@@ -1,0 +1,19 @@
+"""Benchmark configuration.
+
+Every benchmark regenerates one of the paper's artefacts and prints it,
+so ``pytest benchmarks/ --benchmark-only -s`` reproduces the full
+evaluation.  ``BENCH_SCALE`` shrinks the simulated populations relative
+to the calibrated scale-1.0 runs recorded in EXPERIMENTS.md; override
+with ``REPRO_BENCH_SCALE=1.0`` for the full-size run.
+"""
+
+import os
+
+import pytest
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return BENCH_SCALE

@@ -1,0 +1,21 @@
+"""Ablation: per-block parameter tuning vs homogeneous parameters.
+
+The design choice DESIGN.md calls out: prior passive systems share one
+parameter set across the Internet.  A fixed fine bin keeps precision
+but collapses coverage to the dense slice; a fixed coarse bin recovers
+coverage but loses short-outage sensitivity.  Per-block tuning holds
+both.
+"""
+
+from repro.experiments import run_tuning_ablation
+
+
+def test_bench_ablation_tuning(benchmark, bench_scale):
+    result = benchmark.pedantic(run_tuning_ablation,
+                                kwargs={"scale": bench_scale},
+                                rounds=1, iterations=1)
+    print()
+    print(result.text)
+    assert result.tuned_coverage > result.homogeneous[300.0] + 0.3
+    assert result.tuned_coverage >= result.homogeneous[3600.0]
+    assert result.tuned_confusion.precision > 0.995

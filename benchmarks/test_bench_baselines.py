@@ -1,0 +1,20 @@
+"""Baseline comparison: our detector vs CUSUM and Chocolatine.
+
+The paper's framing: prior passive systems are "too inflexible, fixed
+parameters across the whole internet with CUSUM-like change detection",
+or operate at AS granularity (Chocolatine).  All three run over the
+same simulated day and are scored against the same truth.
+"""
+
+from repro.experiments import run_baseline_comparison
+
+
+def test_bench_baselines(benchmark, bench_scale):
+    result = benchmark.pedantic(run_baseline_comparison,
+                                kwargs={"scale": bench_scale},
+                                rounds=1, iterations=1)
+    print()
+    print(result.text)
+    assert result.ours.tnr >= result.cusum.tnr - 0.05
+    assert result.chocolatine.tnr < 0.3
+    assert result.ours.precision > 0.995

@@ -1,0 +1,23 @@
+"""Figure 1: trading temporal precision for coverage.
+
+Paper: coverage rises with the time-bin size, reaching ~90 % of
+observed B-root blocks at coarse bins; dense blocks keep better
+precision than sparse ones.
+"""
+
+from repro.experiments import run_figure1
+from repro.traffic.rates import DensityClass
+
+
+def test_bench_figure1(benchmark, bench_scale):
+    result = benchmark.pedantic(run_figure1, kwargs={"scale": bench_scale},
+                                rounds=1, iterations=1)
+    print()
+    print(result.text)
+    coverages = [point.coverage for point in result.points]
+    assert coverages == sorted(coverages), "coverage must grow with bin size"
+    assert result.coverage_at_coarsest > 0.8
+    assert result.coverage_at_finest < 0.5
+    dense = result.precision_by_density[DensityClass.DENSE]
+    sparse = result.precision_by_density[DensityClass.SPARSE]
+    assert dense.tnr > sparse.tnr

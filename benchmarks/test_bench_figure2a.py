@@ -1,0 +1,22 @@
+"""Figure 2a: outage rate, IPv4 vs IPv6.
+
+Paper: 167,851 measurable IPv4 /24s of which 5.5 % have a >= 10-minute
+outage; 11,918 measurable IPv6 /48s of which 12 % do.  The claim is the
+*ordering*: the IPv6 outage rate exceeds IPv4's while IPv4 dominates in
+absolute measurable blocks.
+"""
+
+from repro.experiments import run_figure2a
+
+
+def test_bench_figure2a(benchmark, bench_scale):
+    result = benchmark.pedantic(run_figure2a, kwargs={"scale": bench_scale},
+                                rounds=1, iterations=1)
+    print()
+    print(result.text)
+    print("  [paper: IPv4 167,851 measurable @ 5.5%; "
+          "IPv6 11,918 measurable @ 12%]")
+    assert result.ipv4.measurable_blocks > 5 * result.ipv6.measurable_blocks
+    assert result.ipv6.outage_rate > result.ipv4.outage_rate
+    assert 0.02 < result.ipv4.outage_rate < 0.10
+    assert 0.05 < result.ipv6.outage_rate < 0.20

@@ -1,0 +1,21 @@
+"""Figure 2b: coverage relative to the best prior system per family.
+
+Paper: our IPv4 coverage is ~19.6 % of Trinocular's 5.1 M probeable
+/24s; our IPv6 coverage is ~17 % of the Gasser hitlist's 74,373 /48s —
+similar fractions for both families.
+"""
+
+from repro.experiments import run_figure2b
+
+
+def test_bench_figure2b(benchmark, bench_scale):
+    result = benchmark.pedantic(run_figure2b, kwargs={"scale": bench_scale},
+                                rounds=1, iterations=1)
+    print()
+    print(result.text)
+    print("  [paper: IPv4 19.6% of Trinocular, IPv6 17% of Gasser]")
+    assert 0.10 < result.ipv4.fraction_of_prior < 0.35
+    assert 0.10 < result.ipv6.fraction_of_prior < 0.35
+    # the two families land in the same coverage band
+    ratio = result.ipv4.fraction_of_prior / result.ipv6.fraction_of_prior
+    assert 0.5 < ratio < 2.5

@@ -1,0 +1,19 @@
+"""Extension bench: darknet fusion (the poster's stated future work).
+
+Adding a darknet telescope as a second passive source raises coverage
+(blocks sparse at one vantage are loud at the other) and outage
+detection, at unchanged precision.
+"""
+
+from repro.experiments import run_darknet_fusion
+
+
+def test_bench_fusion(benchmark, bench_scale):
+    result = benchmark.pedantic(run_darknet_fusion,
+                                kwargs={"scale": bench_scale},
+                                rounds=1, iterations=1)
+    print()
+    print(result.text)
+    assert result.fused_coverage >= result.dns_coverage
+    assert result.fused_confusion.tnr >= result.dns_confusion.tnr - 0.02
+    assert result.fused_confusion.precision > 0.995

@@ -1,0 +1,110 @@
+"""Micro-benchmarks of the pipeline's hot paths.
+
+Not a paper artefact — these track the throughput that makes a
+country-scale deployment feasible: the vectorised belief filter, the
+binning kernel, capture serialisation, and the DNS codec.
+"""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.core.belief import vector_belief_pass
+from repro.dns.message import Message, QType
+from repro.dns.name import Name
+from repro.dns.rootserver import RootServer, RootZone
+from repro.net.addr import Family
+from repro.telescope.aggregate import BinGrid, binned_counts
+from repro.telescope.capture import read_batches, write_batches
+from repro.telescope.records import ObservationBatch
+
+
+@pytest.fixture(scope="module")
+def count_matrix():
+    rng = np.random.default_rng(0)
+    counts = rng.poisson(3.0, size=(5000, 288)).astype(np.int32)
+    return counts
+
+
+def test_bench_vector_belief_pass(benchmark, count_matrix):
+    """Filter 5,000 blocks x 288 five-minute bins (one day)."""
+    n_blocks = count_matrix.shape[0]
+    p_empty = np.full(n_blocks, 0.01)
+    noise = np.full(n_blocks, 1e-5)
+    prior_down = np.full(n_blocks, 0.002)
+    prior_up = np.full(n_blocks, 0.08)
+    states, _ = benchmark(vector_belief_pass, count_matrix, p_empty, noise,
+                          prior_down, prior_up)
+    assert states.shape == count_matrix.shape
+
+
+def test_bench_binned_counts(benchmark):
+    """Bin 1M arrivals across 2,000 blocks."""
+    rng = np.random.default_rng(1)
+    keys = list(range(2000))
+    per_block = {key: np.sort(rng.uniform(0, 86400.0, 500))
+                 for key in keys}
+    grid = BinGrid(0, 86400.0, 300.0)
+    counts = benchmark(binned_counts, keys, per_block, grid)
+    assert counts.sum() == 2000 * 500
+
+
+def test_bench_capture_roundtrip(benchmark):
+    """Serialise + parse 200k observations."""
+    rng = np.random.default_rng(2)
+    batch = ObservationBatch(
+        Family.IPV4,
+        np.sort(rng.uniform(0, 86400.0, 200_000)),
+        rng.integers(0, 1 << 24, 200_000).astype(np.uint64))
+
+    def roundtrip():
+        buffer = io.BytesIO()
+        write_batches(buffer, batch)
+        buffer.seek(0)
+        return read_batches(buffer)
+
+    got4, _ = benchmark(roundtrip)
+    assert len(got4) == 200_000
+
+
+def test_bench_dns_server(benchmark):
+    """Answer 1,000 root queries through the full wire path."""
+    server = RootServer(RootZone.synthetic(["com", "net", "org", "io"]))
+    queries = [Message.query(Name.parse(f"host{i}.com"), QType.A, i).encode()
+               for i in range(1000)]
+
+    def serve():
+        return sum(server.handle_wire(q) is not None for q in queries)
+
+    answered = benchmark(serve)
+    assert answered == 1000
+
+
+def test_bench_streaming_detector(benchmark):
+    """Stream one day of observations for 200 blocks through the
+    online detector (the deployment path's throughput)."""
+    from repro.core.detector import StreamingDetector
+    from repro.core.history import train_histories
+    from repro.core.parameters import ParameterPlanner
+    from repro.telescope.records import Observation
+    from repro.traffic.sources import poisson_times
+
+    rng = np.random.default_rng(3)
+    day = 86400.0
+    train = {key: poisson_times(rng, 0.05, 0, day) for key in range(200)}
+    histories = train_histories(train, 0, day)
+    parameters = ParameterPlanner().plan(histories)
+    rows = sorted(
+        Observation(float(t), Family.IPV4, int(key) << 8)
+        for key, times in train.items() for t in times)
+
+    def stream_day():
+        detector = StreamingDetector(Family.IPV4, histories, parameters,
+                                     0.0)
+        for row in rows:
+            detector.observe(row)
+        return detector.finalize(day)
+
+    results = benchmark(stream_day)
+    assert len(results) == sum(p.measurable for p in parameters.values())

@@ -1,0 +1,23 @@
+"""Ablation bench: sensitivity of the tuning target.
+
+The empty-bin target is the reproduction's one free parameter; the
+sweep must show the default on a plateau (metrics move smoothly, no
+knife edge) with the expected coverage/quality trade direction.
+"""
+
+from repro.experiments import run_sensitivity
+
+
+def test_bench_sensitivity(benchmark, bench_scale):
+    result = benchmark.pedantic(run_sensitivity,
+                                kwargs={"scale": bench_scale},
+                                rounds=1, iterations=1)
+    print()
+    print(result.text)
+    coverages = [coverage for _, coverage, _, _ in result.rows]
+    precisions = [precision for _, _, precision, _ in result.rows]
+    # Looser targets (listed first) admit more blocks.
+    assert coverages == sorted(coverages, reverse=True)
+    # Precision stays on a plateau across the whole sweep.
+    assert max(precisions) - min(precisions) < 0.005
+    assert min(precisions) > 0.995

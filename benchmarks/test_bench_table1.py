@@ -1,0 +1,19 @@
+"""Table 1: long-duration outage confusion matrix vs Trinocular.
+
+Paper: precision 0.9999, recall 0.9985, TNR 0.84178 (seconds).
+"""
+
+from repro.experiments import run_table1
+
+
+def test_bench_table1(benchmark, bench_scale):
+    result = benchmark.pedantic(run_table1, kwargs={"scale": bench_scale},
+                                rounds=1, iterations=1)
+    print()
+    print(result.text)
+    print(f"  [paper: precision {result.paper['precision']}, "
+          f"recall {result.paper['recall']}, tnr {result.paper['tnr']}]")
+    confusion = result.confusion
+    assert confusion.precision > 0.995
+    assert confusion.recall > 0.99
+    assert 0.7 < confusion.tnr <= 1.0

@@ -1,0 +1,19 @@
+"""Table 2: long-duration outage confusion matrix on dense blocks.
+
+Paper: precision 0.99, recall 0.99, TNR 0.96 (seconds).
+"""
+
+from repro.experiments import run_table2
+
+
+def test_bench_table2(benchmark, bench_scale):
+    result = benchmark.pedantic(run_table2, kwargs={"scale": bench_scale},
+                                rounds=1, iterations=1)
+    print()
+    print(result.text)
+    print(f"  [paper: precision {result.paper['precision']}, "
+          f"recall {result.paper['recall']}, tnr {result.paper['tnr']}]")
+    confusion = result.confusion
+    assert confusion.precision > 0.995
+    assert confusion.recall > 0.995
+    assert confusion.tnr > 0.85

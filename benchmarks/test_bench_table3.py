@@ -1,0 +1,20 @@
+"""Table 3: short-duration outage confusion matrix vs RIPE, by events.
+
+Paper: precision 0.97692, recall 0.9453, TNR 0.7341 (events).
+"""
+
+from repro.experiments import run_table3
+
+
+def test_bench_table3(benchmark, bench_scale):
+    result = benchmark.pedantic(run_table3, kwargs={"scale": bench_scale},
+                                rounds=1, iterations=1)
+    print()
+    print(result.text)
+    print(f"  [paper: precision {result.paper['precision']}, "
+          f"recall {result.paper['recall']}, tnr {result.paper['tnr']}] "
+          f"({result.compared_blocks} blocks with both signals)")
+    confusion = result.confusion
+    assert confusion.precision > 0.9
+    assert confusion.recall > 0.88
+    assert confusion.tnr > 0.55

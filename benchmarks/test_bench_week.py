@@ -1,0 +1,19 @@
+"""Validation bench: the paper's seven-day operating window.
+
+Paper: "We compare seven days (2019-01-09 to 2019-01-15)".  The
+confusion metrics must hold up day after day under the rolling
+drift-refresh loop, not just on the calibrated single day.
+"""
+
+from repro.experiments import run_week_validation
+
+
+def test_bench_week_validation(benchmark, bench_scale):
+    result = benchmark.pedantic(run_week_validation,
+                                kwargs={"scale": bench_scale},
+                                rounds=1, iterations=1)
+    print()
+    print(result.text)
+    assert result.worst_precision > 0.995
+    for _, confusion in result.daily:
+        assert confusion.tnr > 0.4

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""The poster's illustrative figure, regenerated: dense vs sparse belief.
+
+The poster shows two strip charts — a dense block whose belief B(a)
+stays pinned at UP and drops like a cliff at an outage, and a sparse
+block whose belief wanders because every long inter-arrival gap is
+weak evidence.  This example builds exactly those two blocks, runs the
+detector with belief traces on, and renders the per-block drill-down an
+operator would pull up.
+
+Run:  python examples/block_drilldown.py
+"""
+
+import numpy as np
+
+from repro.core import PassiveDetector, ParameterPlanner
+from repro.core.history import train_histories
+from repro.eval import drilldown
+from repro.net import Family
+from repro.traffic import poisson_times, suppress_intervals
+
+DAY = 86400.0
+DENSE_KEY = 0xC00002   # 192.0.2.0/24
+SPARSE_KEY = 0xCB0071  # 203.0.113.0/24
+
+
+def main() -> None:
+    rng = np.random.default_rng(4)
+    # Both blocks suffer the same 25-minute outage mid-day-two.
+    outage = (DAY + 40000.0, DAY + 41500.0)
+
+    train = {
+        DENSE_KEY: poisson_times(rng, 0.2, 0, DAY),       # ~1 query / 5 s
+        SPARSE_KEY: poisson_times(rng, 0.003, 0, DAY),    # ~1 query / 5.5 min
+    }
+    evaluate = {
+        key: suppress_intervals(
+            poisson_times(rng, rate, DAY, 2 * DAY), [outage])
+        for key, rate in ((DENSE_KEY, 0.2), (SPARSE_KEY, 0.003))
+    }
+
+    histories = train_histories(train, 0.0, DAY)
+    parameters = ParameterPlanner().plan(histories)
+    detector = PassiveDetector(keep_belief_traces=True)
+    results = detector.detect(Family.IPV4, evaluate, histories, parameters,
+                              DAY, 2 * DAY)
+
+    print("Same 25-minute outage, two very different blocks "
+          f"(truth: {outage[0]:,.0f}s -> {outage[1]:,.0f}s):")
+    print()
+    for label, key in (("DENSE", DENSE_KEY), ("SPARSE", SPARSE_KEY)):
+        print(f"--- {label} " + "-" * 60)
+        print(drilldown(results[key], DAY, 2 * DAY, evaluate[key]))
+        print()
+
+    dense_events = results[DENSE_KEY].timeline.events()
+    sparse_events = results[SPARSE_KEY].timeline.events()
+    print("reading the strips:")
+    if dense_events:
+        error = abs(dense_events[0].start - outage[0])
+        print(f"  dense block: outage found, start within {error:.0f}s of "
+              f"truth — exact timestamps at work")
+    if not sparse_events:
+        print("  sparse block: the same outage is invisible at this rate — "
+              "its tuned bin is coarser than the whole event, precisely "
+              "the coverage/precision trade-off of Figure 1")
+    else:
+        print(f"  sparse block: found, but with "
+              f"{abs(sparse_events[0].start - outage[0]):.0f}s timing error")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""A day in the life of a deployed detector: the operator workflow.
+
+Beyond the paper's evaluation, a production deployment needs the glue
+this example walks through:
+
+1. **anonymize** the raw capture (prefix-preserving, so blocks survive)
+   before it ever leaves the collection host;
+2. **detect** with a previously saved model;
+3. roll per-block events up into **incidents** (regional vs isolated);
+4. **audit drift** and retrain only the blocks whose traffic moved,
+   saving the refreshed model for tomorrow.
+
+Run:  python examples/operator_workflow.py
+"""
+
+import io
+from collections import Counter
+
+from repro.core import (
+    PassiveOutagePipeline,
+    audit_drift,
+    load_model,
+    refresh_model,
+    save_model,
+)
+from repro.eval import format_incident_report, group_incidents
+from repro.net import Family
+from repro.telescope import PrefixPreservingAnonymizer
+from repro.telescope.aggregate import per_block_times
+from repro.telescope.records import Observation, ObservationBatch
+from repro.traffic import (
+    FamilyConfig,
+    InternetConfig,
+    OutageModel,
+    SimulatedInternet,
+)
+
+DAY = 86400.0
+
+
+def main() -> None:
+    # The world: day one for the saved model, day two is "today".
+    # A regional event takes out part of one /12 this afternoon.
+    internet = SimulatedInternet.build(InternetConfig(
+        end=2 * DAY, training_seconds=DAY, seed=35,
+        ipv4=FamilyConfig(n_blocks=300,
+                          outage_model=OutageModel(outage_probability=0.15))))
+    region = Counter(p.key >> 12 for p in internet.family_profiles(
+        Family.IPV4) if p.mean_rate > 0.005).most_common(1)[0][0]
+    hit = internet.inject_regional_outage(Family.IPV4, region, 12,
+                                          DAY + 50000.0, DAY + 53600.0)
+    per_block = {p.key: t for p, t in internet.passive_observations()}
+
+    # --- 1. anonymize at the edge --------------------------------------
+    anonymizer = PrefixPreservingAnonymizer(b"operator-demo-key-32-bytes!!")
+    raw = [Observation(float(t), Family.IPV4, int(k) << 8)
+           for k, times in per_block.items() for t in times]
+    raw.sort()
+    anonymized = ObservationBatch.from_observations(
+        Family.IPV4, anonymizer.anonymize_stream(raw))
+    print(f"anonymized {len(anonymized):,} observations "
+          f"(prefix-preserving: /24s still map to /24s)")
+
+    # --- 2. train once, save, reload, detect today ----------------------
+    pipeline = PassiveOutagePipeline()
+    streams = per_block_times(anonymized)
+    model = pipeline.train(
+        Family.IPV4, {k: t[t < DAY] for k, t in streams.items()}, 0.0, DAY)
+    stored = io.StringIO()
+    save_model(model, stored)
+    stored.seek(0)
+    model = load_model(stored)
+    print(f"model loaded: {len(model.measurable_keys)} measurable blocks")
+
+    today = {k: t[t >= DAY] for k, t in streams.items()}
+    result = pipeline.detect(model, today, DAY, 2 * DAY)
+
+    # --- 3. incident roll-up --------------------------------------------
+    events = {key: block.timeline.events(300.0)
+              for key, block in result.blocks.items()}
+    incidents = group_incidents(events, levels=12, slack=600.0)
+    print()
+    print(format_incident_report(
+        incidents, title=f"Today's incidents ({hit} blocks were truly in "
+                         f"the injected regional event)"))
+
+    # --- 4. drift audit + rolling retrain -------------------------------
+    audits = audit_drift(model, result.blocks, today)
+    drifted = [a for a in audits.values() if a.needs_retraining]
+    refreshed, retrained = refresh_model(model, audits, today, DAY, 2 * DAY)
+    print()
+    print(f"drift audit: {len(audits)} blocks checked, "
+          f"{len(drifted)} drifted, {len(retrained)} retrained")
+    tomorrow_model = io.StringIO()
+    save_model(refreshed, tomorrow_model)
+    print(f"refreshed model saved for tomorrow "
+          f"({len(tomorrow_model.getvalue()):,} bytes of JSON)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""repro — passive Internet outage detection (IMC 2022 reproduction).
+
+A full reproduction of "Internet Outage Detection using Passive
+Analysis" (Enayet & Heidemann, IMC 2022): a per-block-tuned Bayesian
+detector over passive traffic, the substrates it runs on (simulated
+Internet, DNS root service, capture pipeline), the comparators it is
+evaluated against (Trinocular, RIPE-Atlas-style probing, Chocolatine,
+CUSUM), and the evaluation harness that regenerates the paper's tables
+and figures.
+
+Quickstart::
+
+    from repro import Family, PassiveOutagePipeline
+    from repro.traffic import InternetConfig, SimulatedInternet
+
+    internet = SimulatedInternet.build(InternetConfig())
+    pipeline = PassiveOutagePipeline()
+    ...
+
+See README.md for the full tour and DESIGN.md for the system inventory.
+"""
+
+from .net.addr import Address, Family
+from .net.blocks import Block
+from .timeline import OutageEvent, Timeline
+from .core.pipeline import PassiveOutagePipeline, PipelineResult, TrainedModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Address",
+    "Family",
+    "Block",
+    "OutageEvent",
+    "Timeline",
+    "PassiveOutagePipeline",
+    "PipelineResult",
+    "TrainedModel",
+    "__version__",
+]

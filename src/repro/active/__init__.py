@@ -1,0 +1,16 @@
+"""Active-probing comparators: generic prober, Trinocular, RIPE Atlas."""
+
+from .prober import ActiveProber, ProbeRecord
+from .ripe_atlas import RipeAtlas, RipeAtlasConfig, RipeResult
+from .trinocular import Trinocular, TrinocularConfig, TrinocularResult
+
+__all__ = [
+    "ActiveProber",
+    "ProbeRecord",
+    "RipeAtlas",
+    "RipeAtlasConfig",
+    "RipeResult",
+    "Trinocular",
+    "TrinocularConfig",
+    "TrinocularResult",
+]

@@ -1,0 +1,85 @@
+"""Generic active-probing primitives over the simulated Internet.
+
+Active comparators (Trinocular, RIPE-Atlas-style anchors) all reduce to
+"send a probe to an address at a time, observe response/timeout".  The
+:class:`ActiveProber` wraps the simulator's truth with the artefacts a
+real prober faces — per-probe network loss and a probing budget — so the
+comparators' imperfections are simulated, not assumed away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..net.addr import Family
+from ..traffic.internet import BlockProfile, SimulatedInternet
+
+__all__ = ["ProbeRecord", "ActiveProber"]
+
+
+@dataclass(frozen=True)
+class ProbeRecord:
+    """One probe and its outcome."""
+
+    time: float
+    family: Family
+    target: int
+    responded: bool
+
+
+@dataclass
+class ActiveProber:
+    """Probe issuer with loss and budget accounting.
+
+    ``network_loss`` models transit loss *in addition to* per-address
+    responsiveness (which the simulator owns); real probers cannot tell
+    the two apart, and neither can this one.
+    """
+
+    internet: SimulatedInternet
+    rng: np.random.Generator
+    network_loss: float = 0.01
+    probes_sent: int = 0
+    responses_seen: int = 0
+    log: Optional[List[ProbeRecord]] = None
+
+    def probe(self, family: Family, target: int, time: float) -> bool:
+        """Send one probe; True on response."""
+        self.probes_sent += 1
+        responded = False
+        if self.rng.random() >= self.network_loss:
+            responded = self.internet.probe(family, target, time, self.rng)
+        if responded:
+            self.responses_seen += 1
+        if self.log is not None:
+            self.log.append(ProbeRecord(time, family, target, responded))
+        return responded
+
+    def probe_round(self, profile: BlockProfile, time: float,
+                    max_probes: int, inter_probe_gap: float = 3.0
+                    ) -> Tuple[int, bool]:
+        """Probe a block's known-active addresses until one responds.
+
+        Returns ``(probes_used, any_response)``.  Addresses are tried in
+        a random rotation, one every ``inter_probe_gap`` seconds, the
+        way Trinocular paces its rounds.
+        """
+        addresses = profile.active_addresses
+        if len(addresses) == 0:
+            return 0, False
+        order = self.rng.permutation(len(addresses))
+        used = 0
+        for slot, index in enumerate(order[:max_probes]):
+            used += 1
+            if self.probe(profile.family, int(addresses[index]),
+                          time + slot * inter_probe_gap):
+                return used, True
+        return used, False
+
+    @property
+    def response_rate(self) -> float:
+        return (self.responses_seen / self.probes_sent
+                if self.probes_sent else 0.0)

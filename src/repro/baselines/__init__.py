@@ -1,0 +1,17 @@
+"""Comparator systems: threshold bins, CUSUM, Chocolatine, Disco."""
+
+from .bins import ThresholdBinDetector
+from .chocolatine import ChocolatineConfig, ChocolatineDetector, group_by_as
+from .cusum import CusumConfig, CusumDetector
+from .disco import DiscoConfig, DiscoDetector
+
+__all__ = [
+    "ThresholdBinDetector",
+    "ChocolatineConfig",
+    "ChocolatineDetector",
+    "group_by_as",
+    "CusumConfig",
+    "CusumDetector",
+    "DiscoConfig",
+    "DiscoDetector",
+]

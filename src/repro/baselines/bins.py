@@ -1,0 +1,67 @@
+"""Fixed-threshold bin detector — the naive passive baseline.
+
+The simplest possible passive detector: one global bin size, "down"
+whenever a bin is empty, "up" otherwise.  No model, no inference.  It
+serves two purposes: a floor for the benchmark comparisons, and a
+demonstration of why per-block tuning matters — at a 5-minute bin this
+detector drowns sparse blocks in false outages, and at a 2-hour bin it
+cannot see short outages at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+import numpy as np
+
+from ..telescope.aggregate import BinGrid
+from ..timeline import Timeline
+
+__all__ = ["ThresholdBinDetector"]
+
+
+@dataclass
+class ThresholdBinDetector:
+    """Declare a block down in every bin with fewer than ``min_count``
+    arrivals.
+
+    ``consecutive_bins`` requires that many empty bins in a row before
+    declaring down (a crude debounce real deployments add).
+    """
+
+    bin_seconds: float = 300.0
+    min_count: int = 1
+    consecutive_bins: int = 1
+
+    def detect_block(self, times: np.ndarray, start: float,
+                     end: float) -> Timeline:
+        """Timeline for one block's arrivals."""
+        grid = BinGrid(start, end, self.bin_seconds)
+        times = np.asarray(times, dtype=float)
+        inside = times[(times >= start) & (times < end)]
+        counts = np.bincount(grid.bin_of(inside), minlength=grid.n_bins)
+        below = counts < self.min_count
+        down = []
+        run_start = None
+        run_length = 0
+        for index, is_below in enumerate(below):
+            if is_below:
+                run_length += 1
+                if run_start is None:
+                    run_start = index
+            else:
+                if run_start is not None and run_length >= self.consecutive_bins:
+                    down.append((grid.bin_start(run_start),
+                                 grid.bin_start(index)))
+                run_start = None
+                run_length = 0
+        if run_start is not None and run_length >= self.consecutive_bins:
+            down.append((grid.bin_start(run_start), grid.end))
+        return Timeline(start, end, down)
+
+    def detect(self, per_block: Mapping[int, np.ndarray], start: float,
+               end: float) -> Dict[int, Timeline]:
+        """Timelines for a whole population."""
+        return {key: self.detect_block(times, start, end)
+                for key, times in per_block.items()}

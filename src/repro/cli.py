@@ -1,0 +1,222 @@
+"""Command-line interface: simulate, detect, and reproduce experiments.
+
+Examples::
+
+    repro-outage simulate --blocks 500 --out day.pobs
+    repro-outage detect day.pobs --train-end 86400
+    repro-outage experiment table1 --scale 0.5
+    repro-outage report --scale 0.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from .core.pipeline import PassiveOutagePipeline
+from .experiments import (
+    run_baseline_comparison,
+    run_darknet_fusion,
+    run_sensitivity,
+    run_figure1,
+    run_figure2a,
+    run_figure2b,
+    run_short_uplift,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_tuning_ablation,
+    run_week_validation,
+)
+from .telescope.aggregate import per_block_times
+from .telescope.capture import CaptureWriter, read_batches
+from .telescope.records import ObservationBatch
+from .traffic.internet import FamilyConfig, InternetConfig, SimulatedInternet
+from .traffic.outages import IPV4_OUTAGE_MODEL, IPV6_OUTAGE_MODEL
+
+EXPERIMENTS: Dict[str, Callable] = {
+    "table1": run_table1,
+    "table2": run_table2,
+    "table3": run_table3,
+    "figure1": run_figure1,
+    "figure2a": run_figure2a,
+    "figure2b": run_figure2b,
+    "uplift": run_short_uplift,
+    "ablation": run_tuning_ablation,
+    "baselines": run_baseline_comparison,
+    "fusion": run_darknet_fusion,
+    "sensitivity": run_sensitivity,
+    "week": run_week_validation,
+}
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    """Build a simulated Internet and write its capture file."""
+    config = InternetConfig(
+        end=args.days * 86400.0,
+        training_seconds=min(86400.0, args.days * 86400.0 / 2.0),
+        seed=args.seed,
+        ipv4=FamilyConfig(n_blocks=args.blocks,
+                          outage_model=IPV4_OUTAGE_MODEL),
+        ipv6=(FamilyConfig(n_blocks=args.v6_blocks,
+                           outage_model=IPV6_OUTAGE_MODEL)
+              if args.v6_blocks else None),
+    )
+    internet = SimulatedInternet.build(config)
+    print(internet.describe())
+    records = 0
+    with CaptureWriter(args.out) as writer:
+        for profile, times in internet.passive_observations():
+            batch = ObservationBatch(
+                profile.family, times,
+                [profile.key] * len(times))
+            writer.write_batch(batch)
+            records += len(batch)
+    print(f"wrote {records:,} observations to {args.out}")
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    """Train per-block models from a capture and save them as JSON."""
+    from .core.serialize import save_model
+
+    ipv4, ipv6 = read_batches(args.capture)
+    batch = (ipv4 if args.family == 4 else ipv6).sorted_by_time()
+    if not len(batch):
+        print(f"capture has no IPv{args.family} observations",
+              file=sys.stderr)
+        return 1
+    start = float(batch.times[0])
+    end = args.train_end if args.train_end else float(batch.times[-1]) + 1.0
+    pipeline = PassiveOutagePipeline()
+    model = pipeline.train(batch.family, per_block_times(batch), start, end)
+    save_model(model, args.out)
+    print(f"trained {len(model.parameters)} blocks "
+          f"({model.coverage():.1%} measurable) -> {args.out}")
+    return 0
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    """Train on the leading window of a capture, detect on the rest.
+
+    With ``--model``, skips training and uses a saved model instead.
+    """
+    ipv4, ipv6 = read_batches(args.capture)
+    batch = ipv4 if args.family == 4 else ipv6
+    if not len(batch):
+        print(f"capture has no IPv{args.family} observations",
+              file=sys.stderr)
+        return 1
+    batch = batch.sorted_by_time()
+    start = float(batch.times[0])
+    end = float(batch.times[-1]) + 1.0
+    train_end = args.train_end if args.train_end else (start + end) / 2.0
+
+    pipeline = PassiveOutagePipeline()
+    per_block = per_block_times(batch)
+    if args.model:
+        from .core.serialize import load_model
+
+        model = load_model(args.model)
+        evaluate = per_block
+        detect_start = start
+    else:
+        train = {k: t[t < train_end] for k, t in per_block.items()}
+        evaluate = {k: t[t >= train_end] for k, t in per_block.items()}
+        model = pipeline.train(batch.family, train, start, train_end)
+        detect_start = train_end
+    result = pipeline.detect(model, evaluate, detect_start, end)
+
+    print(f"trained {len(model.parameters)} blocks "
+          f"({len(model.measurable_keys)} measurable, coverage "
+          f"{model.coverage():.1%})")
+    events = 0
+    for key, block in sorted(result.blocks.items()):
+        for event in block.timeline.events(args.min_duration):
+            events += 1
+            print(f"  block {key:#x}: outage {event.start:,.1f}s "
+                  f"-> {event.end:,.1f}s ({event.duration:,.0f}s)")
+    print(f"{events} outage events >= {args.min_duration:.0f}s")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    """Run one named experiment and print its artefact."""
+    runner = EXPERIMENTS[args.name]
+    result = runner(scale=args.scale)
+    print(result)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Run every experiment in sequence (the full paper reproduction)."""
+    for name, runner in EXPERIMENTS.items():
+        print(f"=== {name} " + "=" * max(0, 60 - len(name)))
+        print(runner(scale=args.scale))
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-outage",
+        description="Passive Internet outage detection (IMC 2022 "
+                    "reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser("simulate",
+                              help="simulate an Internet and write a capture")
+    simulate.add_argument("--blocks", type=int, default=500,
+                          help="IPv4 /24 block count")
+    simulate.add_argument("--v6-blocks", type=int, default=0,
+                          help="IPv6 /48 block count")
+    simulate.add_argument("--days", type=float, default=2.0,
+                          help="simulated days (first half is training)")
+    simulate.add_argument("--seed", type=int, default=42)
+    simulate.add_argument("--out", default="capture.pobs",
+                          help="output capture path")
+    simulate.set_defaults(func=_cmd_simulate)
+
+    train = sub.add_parser("train",
+                           help="train per-block models from a capture")
+    train.add_argument("capture", help="capture file from 'simulate'")
+    train.add_argument("--family", type=int, choices=(4, 6), default=4)
+    train.add_argument("--train-end", type=float, default=0.0,
+                       help="end of the training window (default: capture end)")
+    train.add_argument("--out", default="model.json",
+                       help="output model path")
+    train.set_defaults(func=_cmd_train)
+
+    detect = sub.add_parser("detect",
+                            help="detect outages in a capture file")
+    detect.add_argument("capture", help="capture file from 'simulate'")
+    detect.add_argument("--family", type=int, choices=(4, 6), default=4)
+    detect.add_argument("--train-end", type=float, default=0.0,
+                        help="training/detection boundary (default: middle)")
+    detect.add_argument("--model", default="",
+                        help="saved model from 'train' (skips retraining)")
+    detect.add_argument("--min-duration", type=float, default=300.0,
+                        help="only print outages at least this long")
+    detect.set_defaults(func=_cmd_detect)
+
+    experiment = sub.add_parser("experiment",
+                                help="reproduce one paper table/figure")
+    experiment.add_argument("name", choices=sorted(EXPERIMENTS))
+    experiment.add_argument("--scale", type=float, default=1.0,
+                            help="population scale factor (1.0 = recorded)")
+    experiment.set_defaults(func=_cmd_experiment)
+
+    report = sub.add_parser("report", help="reproduce every table and figure")
+    report.add_argument("--scale", type=float, default=1.0)
+    report.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,69 @@
+"""The paper's contribution: per-block-tuned Bayesian passive detection."""
+
+from .aggregation import AggregationPlan, merge_streams_for_plan, plan_aggregation
+from .belief import BELIEF_CEIL, BELIEF_FLOOR, BeliefState, vector_belief_pass
+from .correlation import (
+    CorroboratedEvent,
+    corroborate_events,
+    fuse_beliefs,
+    fuse_timelines,
+)
+from .detector import BlockResult, PassiveDetector, StreamingDetector
+from .drift import BlockDrift, DriftVerdict, audit_drift, refresh_model
+from .events import RefinementConfig, refine_timeline, states_to_timeline
+from .history import BlockHistory, train_histories, train_history
+from .parameters import (
+    DEFAULT_BIN_LADDER,
+    BlockParameters,
+    HomogeneousPlanner,
+    ParameterPlanner,
+    TuningPolicy,
+)
+from .pipeline import PassiveOutagePipeline, PipelineResult, TrainedModel
+from .serialize import (
+    ModelFormatError,
+    load_model,
+    model_from_json,
+    model_to_json,
+    save_model,
+)
+
+__all__ = [
+    "AggregationPlan",
+    "merge_streams_for_plan",
+    "plan_aggregation",
+    "BELIEF_CEIL",
+    "BELIEF_FLOOR",
+    "BeliefState",
+    "vector_belief_pass",
+    "CorroboratedEvent",
+    "corroborate_events",
+    "fuse_beliefs",
+    "fuse_timelines",
+    "BlockResult",
+    "PassiveDetector",
+    "StreamingDetector",
+    "BlockDrift",
+    "DriftVerdict",
+    "audit_drift",
+    "refresh_model",
+    "RefinementConfig",
+    "refine_timeline",
+    "states_to_timeline",
+    "BlockHistory",
+    "train_histories",
+    "train_history",
+    "DEFAULT_BIN_LADDER",
+    "BlockParameters",
+    "HomogeneousPlanner",
+    "ParameterPlanner",
+    "TuningPolicy",
+    "PassiveOutagePipeline",
+    "PipelineResult",
+    "TrainedModel",
+    "ModelFormatError",
+    "load_model",
+    "model_from_json",
+    "model_to_json",
+    "save_model",
+]

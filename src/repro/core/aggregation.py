@@ -1,0 +1,93 @@
+"""Spatial aggregation: trading spatial precision for coverage.
+
+Blocks too sparse for even the coarsest time bin are not abandoned —
+the paper's Figure 1 point is that precision and coverage are a dial.
+The temporal half of the dial is the bin ladder
+(:mod:`repro.core.parameters`); this module is the spatial half: sibling
+unmeasurable blocks are merged under their common supernet (/24 -> /20
+for IPv4, /48 -> /44 for IPv6 by default), their arrival streams are
+summed, and the supernet is detected as a single coarser unit whose
+combined rate often clears the measurability bar.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence
+
+import numpy as np
+
+from ..net.addr import Family
+from ..net.blocks import supernet_key
+from ..telescope.aggregate import merge_block_times
+
+__all__ = ["AggregationPlan", "plan_aggregation", "merge_streams_for_plan"]
+
+#: Default number of prefix bits to collapse per aggregation step.
+DEFAULT_LEVELS = 4
+
+
+@dataclass
+class AggregationPlan:
+    """Mapping from supernet keys to their member (child) block keys.
+
+    ``levels`` records how many prefix bits were collapsed, so a /24
+    population with ``levels=4`` yields /20 supernets.  Only supernets
+    with at least ``min_members`` children are kept — a singleton
+    supernet adds no signal over its lone child.
+    """
+
+    family: Family
+    child_prefix_len: int
+    levels: int
+    groups: Dict[int, List[int]] = field(default_factory=dict)
+
+    @property
+    def super_prefix_len(self) -> int:
+        return self.child_prefix_len - self.levels
+
+    def children_of(self, super_key: int) -> List[int]:
+        return self.groups.get(super_key, [])
+
+    def covered_children(self) -> int:
+        return sum(len(children) for children in self.groups.values())
+
+
+def plan_aggregation(
+    family: Family,
+    keys: Sequence[int],
+    levels: int = DEFAULT_LEVELS,
+    min_members: int = 2,
+    child_prefix_len: int = 0,
+) -> AggregationPlan:
+    """Group block keys by their ``levels``-bit supernet.
+
+    ``keys`` should be the *unmeasurable* blocks; measurable blocks stay
+    at full spatial precision and must not be mixed in (their strong
+    signal would mask a sibling's outage).
+    """
+    if child_prefix_len == 0:
+        child_prefix_len = family.default_block_prefix
+    if levels <= 0 or levels >= child_prefix_len:
+        raise ValueError(f"cannot collapse {levels} bits of a "
+                         f"/{child_prefix_len}")
+    groups: Dict[int, List[int]] = defaultdict(list)
+    for key in keys:
+        groups[supernet_key(int(key), levels)].append(int(key))
+    kept = {super_key: sorted(children)
+            for super_key, children in groups.items()
+            if len(children) >= min_members}
+    return AggregationPlan(family=family, child_prefix_len=child_prefix_len,
+                           levels=levels, groups=kept)
+
+
+def merge_streams_for_plan(
+    plan: AggregationPlan,
+    per_block: Mapping[int, np.ndarray],
+) -> Dict[int, np.ndarray]:
+    """Build each supernet's merged, sorted arrival stream."""
+    return {
+        super_key: merge_block_times(per_block, children)
+        for super_key, children in plan.groups.items()
+    }

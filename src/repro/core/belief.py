@@ -1,0 +1,183 @@
+"""Bayesian belief over block state — the B(a) of the poster.
+
+A block is modelled as a two-state (up/down) hidden Markov chain
+observed through its traffic: each time bin yields a count, and the
+belief B(a) = P(up | history) is filtered forward bin by bin.
+
+Likelihoods use presence/absence of traffic, which is robust to rate
+misestimation: the informative observation is an *empty* bin, whose
+probability under "up" is the tuned ``p_empty_up`` and under "down" is
+``1 - noise_nonempty`` (spoofed strays aside, a down block is silent).
+For non-empty bins the count magnitude is additionally informative for
+blocks with meaningful rates (many packets cannot be noise), handled by
+a capped count-likelihood ratio.
+
+Two implementations are provided and tested against each other:
+
+* :class:`BeliefState` — scalar, streaming, one block;
+* :func:`vector_belief_pass` — the whole population at once as numpy
+  recurrences over a (blocks x bins) count matrix, used by the batch
+  detector so a simulated day over tens of thousands of blocks filters
+  in milliseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .parameters import BlockParameters
+
+__all__ = ["BeliefState", "vector_belief_pass", "BELIEF_FLOOR", "BELIEF_CEIL"]
+
+#: Belief clamp bounds; keep strictly inside (0, 1) so evidence can
+#: always move the posterior back (no absorbing states).
+BELIEF_FLOOR = 1e-6
+BELIEF_CEIL = 1.0 - 1e-6
+
+#: Cap on the per-bin likelihood ratio contributed by count magnitude.
+#: Prevents a single flood bin from pinning the posterior so hard that
+#: a genuine outage takes many bins to surface.
+_COUNT_RATIO_CAP = 1e6
+
+
+@dataclass
+class BeliefState:
+    """Streaming belief filter for one block.
+
+    Tracks the posterior ``belief`` and a hysteresis ``is_up`` decision:
+    the state flips down when belief falls below the down threshold and
+    back up when it exceeds the up threshold, so beliefs wandering the
+    middle ground do not flap.
+    """
+
+    params: BlockParameters
+    belief: float = BELIEF_CEIL
+    is_up: bool = True
+
+    def update(self, count: int,
+               p_empty_up: Optional[float] = None) -> bool:
+        """Consume one bin's arrival count; returns the new up/down state.
+
+        ``p_empty_up`` overrides the tuned empty-bin likelihood for this
+        bin — the streaming detector passes the diurnal-aware value of
+        :meth:`repro.core.history.BlockHistory.empty_bin_probability_at`.
+        """
+        params = self.params
+        p_empty = (params.p_empty_up if p_empty_up is None
+                   else min(p_empty_up, 1.0 - 1e-9))
+        # Prediction step: apply the state-transition prior.
+        belief = (self.belief * (1.0 - params.prior_down)
+                  + (1.0 - self.belief) * params.prior_up_recovery)
+        # Correction step: weigh the observation.
+        if count == 0:
+            likelihood_up = p_empty
+            likelihood_down = 1.0 - params.noise_nonempty
+        else:
+            # Arrivals are near-proof of up even in a quiet hour (floor),
+            # and multiple packets make "noise" exponentially less
+            # plausible: one extra factor of 1/8 per extra packet, capped.
+            likelihood_up = max(1.0 - p_empty, 1e-3)
+            likelihood_down = params.noise_nonempty * max(
+                8.0 ** -(count - 1), 1.0 / _COUNT_RATIO_CAP)
+        numerator = belief * likelihood_up
+        denominator = numerator + (1.0 - belief) * likelihood_down
+        belief = numerator / denominator if denominator > 0 else belief
+        self.belief = float(np.clip(belief, BELIEF_FLOOR, BELIEF_CEIL))
+        if self.is_up and self.belief <= params.down_threshold:
+            self.is_up = False
+        elif not self.is_up and self.belief >= params.up_threshold:
+            self.is_up = True
+        return self.is_up
+
+
+def vector_belief_pass(
+    counts: np.ndarray,
+    p_empty_up: np.ndarray,
+    noise_nonempty: np.ndarray,
+    prior_down: np.ndarray,
+    prior_up_recovery: np.ndarray,
+    down_threshold: float = 0.1,
+    up_threshold: float = 0.9,
+    initial_belief: Optional[np.ndarray] = None,
+    return_beliefs: bool = False,
+) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    """Filter a whole population of blocks at once.
+
+    Parameters
+    ----------
+    counts:
+        ``(n_blocks, n_bins)`` arrival counts; all blocks in one call
+        must share a bin size (the detector groups them so).
+    p_empty_up:
+        P(empty bin | up): either a per-block vector of length
+        ``n_blocks`` or a ``(n_blocks, n_bins)`` matrix for
+        time-varying (diurnal-aware) likelihoods.
+    noise_nonempty, prior_down, prior_up_recovery:
+        per-block parameter vectors of length ``n_blocks``.
+    return_beliefs:
+        also return the full ``(n_blocks, n_bins)`` belief trajectory
+        (debugging / plotting; costs memory).
+
+    Returns
+    -------
+    (states, beliefs):
+        ``states`` is a boolean ``(n_blocks, n_bins)`` matrix of the
+        hysteresis up/down decision after each bin; ``beliefs`` is the
+        trajectory or None.
+    """
+    counts = np.asarray(counts)
+    if counts.ndim != 2:
+        raise ValueError("counts must be (n_blocks, n_bins)")
+    n_blocks, n_bins = counts.shape
+    p_empty_up = np.asarray(p_empty_up, dtype=float)
+    if p_empty_up.shape not in ((n_blocks,), (n_blocks, n_bins)):
+        raise ValueError(
+            f"p_empty_up must be ({n_blocks},) or ({n_blocks}, {n_bins})")
+    for name, vector in (("noise_nonempty", noise_nonempty),
+                         ("prior_down", prior_down),
+                         ("prior_up_recovery", prior_up_recovery)):
+        if np.shape(vector) != (n_blocks,):
+            raise ValueError(f"{name} must have shape ({n_blocks},)")
+
+    belief = np.full(n_blocks, BELIEF_CEIL)
+    if initial_belief is not None:
+        belief = np.clip(np.asarray(initial_belief, dtype=float),
+                         BELIEF_FLOOR, BELIEF_CEIL).copy()
+    up = np.ones(n_blocks, dtype=bool)
+    states = np.empty((n_blocks, n_bins), dtype=bool)
+    beliefs = np.empty((n_blocks, n_bins)) if return_beliefs else None
+
+    empty_down = 1.0 - noise_nonempty
+    time_varying = p_empty_up.ndim == 2
+
+    for bin_index in range(n_bins):
+        column = counts[:, bin_index]
+        empty = column == 0
+        p_empty = p_empty_up[:, bin_index] if time_varying else p_empty_up
+        # Prediction.
+        belief = belief * (1.0 - prior_down) + (1.0 - belief) * prior_up_recovery
+        # Correction.  A non-empty bin is near-proof of up even when the
+        # expected rate is tiny (quiet hour): floor its likelihood well
+        # above the noise term so arrivals always push toward up.
+        likelihood_up = np.where(empty, p_empty,
+                                 np.maximum(1.0 - p_empty, 1e-3))
+        extra = np.maximum(column - 1, 0)
+        count_discount = np.maximum(
+            np.power(8.0, -extra.astype(float)), 1.0 / _COUNT_RATIO_CAP)
+        likelihood_down = np.where(empty, empty_down,
+                                   noise_nonempty * count_discount)
+        numerator = belief * likelihood_up
+        denominator = numerator + (1.0 - belief) * likelihood_down
+        safe = denominator > 0
+        belief = np.where(safe, numerator / np.where(safe, denominator, 1.0),
+                          belief)
+        np.clip(belief, BELIEF_FLOOR, BELIEF_CEIL, out=belief)
+        # Hysteresis decision.
+        up = np.where(up, belief > down_threshold, belief >= up_threshold)
+        states[:, bin_index] = up
+        if beliefs is not None:
+            beliefs[:, bin_index] = belief
+    return states, beliefs

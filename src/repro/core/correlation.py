@@ -1,0 +1,120 @@
+"""Corroborating outage signals across sources and neighbours.
+
+The poster: "when possible, we correlate multiple signals from the same
+region to corroborate results."  Two fusion mechanisms:
+
+* **belief fusion** — when several passive vantage points each maintain
+  a belief about the same block, their evidence combines in log-odds
+  space (independent-observation assumption), sharpening marginal
+  signals;
+* **event corroboration** — an outage event reported for a block gains
+  confidence when overlapping events appear for sibling blocks (same
+  supernet) or for the same block at other sources, which is how a
+  regional event is distinguished from a single flaky resolver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from ..net.blocks import supernet_key
+from ..timeline import OutageEvent, Timeline
+from .belief import BELIEF_CEIL, BELIEF_FLOOR
+
+__all__ = ["fuse_beliefs", "fuse_timelines", "CorroboratedEvent",
+           "corroborate_events"]
+
+
+def fuse_beliefs(belief_traces: Sequence[np.ndarray],
+                 prior: float = 0.99) -> np.ndarray:
+    """Fuse aligned belief trajectories from independent sources.
+
+    Each trace is P(up | that source's data).  Under independent
+    observations with a shared prior, the fused posterior's log-odds is
+    ``sum(logodds(b_i)) - (n-1) * logodds(prior)``.
+    """
+    if not belief_traces:
+        raise ValueError("need at least one belief trace")
+    stacked = np.clip(np.vstack(belief_traces), BELIEF_FLOOR, BELIEF_CEIL)
+    log_odds = np.log(stacked / (1.0 - stacked)).sum(axis=0)
+    prior_odds = np.log(prior / (1.0 - prior))
+    log_odds -= (stacked.shape[0] - 1) * prior_odds
+    fused = 1.0 / (1.0 + np.exp(-log_odds))
+    return np.clip(fused, BELIEF_FLOOR, BELIEF_CEIL)
+
+
+def fuse_timelines(timelines: Sequence[Timeline],
+                   quorum: int = 0) -> Timeline:
+    """Combine per-source timelines: down where >= ``quorum`` agree.
+
+    ``quorum`` defaults to a majority.  With quorum 1 this is the union
+    (most sensitive); with ``len(timelines)`` the intersection (most
+    specific).
+    """
+    if not timelines:
+        raise ValueError("need at least one timeline")
+    if quorum <= 0:
+        quorum = len(timelines) // 2 + 1
+    quorum = min(quorum, len(timelines))
+    first = timelines[0]
+    edges = sorted({first.start, first.end} | {
+        edge
+        for timeline in timelines
+        for interval in timeline.down_intervals
+        for edge in interval
+    })
+    down: List[Tuple[float, float]] = []
+    for left, right in zip(edges, edges[1:]):
+        middle = 0.5 * (left + right)
+        votes = sum(not t.is_up_at(middle) for t in timelines)
+        if votes >= quorum:
+            down.append((left, right))
+    return Timeline(first.start, first.end, down)
+
+
+@dataclass(frozen=True)
+class CorroboratedEvent:
+    """An outage event annotated with how many witnesses back it."""
+
+    key: int
+    event: OutageEvent
+    witnesses: int
+
+    @property
+    def corroborated(self) -> bool:
+        return self.witnesses > 0
+
+
+def corroborate_events(
+    events_by_block: Mapping[int, Sequence[OutageEvent]],
+    levels: int = 4,
+    slack: float = 300.0,
+) -> List[CorroboratedEvent]:
+    """Count sibling witnesses for every reported event.
+
+    Two blocks are siblings when they share a supernet ``levels`` bits
+    up; an event is witnessed by a sibling's event when the two overlap
+    within ``slack`` seconds.  A regional outage lights up many siblings
+    at once; a lone flapping resolver does not.
+    """
+    by_super: Dict[int, List[Tuple[int, OutageEvent]]] = {}
+    for key, events in events_by_block.items():
+        super_key = supernet_key(int(key), levels)
+        bucket = by_super.setdefault(super_key, [])
+        for event in events:
+            bucket.append((int(key), event))
+
+    corroborated: List[CorroboratedEvent] = []
+    for key, events in events_by_block.items():
+        super_key = supernet_key(int(key), levels)
+        neighbours = by_super.get(super_key, [])
+        for event in events:
+            witnesses = sum(
+                1 for other_key, other_event in neighbours
+                if other_key != int(key) and event.overlaps(other_event, slack))
+            corroborated.append(
+                CorroboratedEvent(int(key), event, witnesses))
+    return corroborated

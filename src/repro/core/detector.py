@@ -1,0 +1,308 @@
+"""The passive outage detector: batch (vectorised) and streaming forms.
+
+:class:`PassiveDetector` is the batch engine behind all experiments: it
+takes trained histories plus tuned per-block parameters, groups blocks
+by their tuned bin size, filters each group with one vectorised belief
+pass, and emits refined per-block timelines.
+
+:class:`StreamingDetector` is the deployment shape: it consumes a live,
+time-ordered observation stream and emits up/down transitions with the
+same refinement, using the scalar :class:`~repro.core.belief.BeliefState`
+per block.  Both paths share parameters and likelihoods, and the test
+suite pins them to identical decisions on identical input.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..net.addr import Family
+from ..telescope.aggregate import BinGrid, binned_counts
+from ..telescope.records import Observation
+from ..timeline import OutageEvent, Timeline
+from .belief import BeliefState, vector_belief_pass
+from .events import (
+    RefinementConfig,
+    gap_outages,
+    refine_timeline,
+    states_to_timeline,
+)
+from .history import BlockHistory
+from .parameters import BlockParameters
+
+__all__ = ["BlockResult", "PassiveDetector", "StreamingDetector"]
+
+
+@dataclass
+class BlockResult:
+    """Detection output for one block."""
+
+    key: int
+    family: Family
+    params: BlockParameters
+    history: BlockHistory
+    timeline: Timeline
+    coarse_timeline: Timeline
+    belief_trace: Optional[np.ndarray] = None
+
+    @property
+    def events(self) -> List[OutageEvent]:
+        return self.timeline.events()
+
+    @property
+    def measurable(self) -> bool:
+        return self.params.measurable
+
+
+class PassiveDetector:
+    """Vectorised batch detection over a trained population."""
+
+    def __init__(self, refinement: Optional[RefinementConfig] = None,
+                 keep_belief_traces: bool = False) -> None:
+        self.refinement = refinement or RefinementConfig()
+        self.keep_belief_traces = keep_belief_traces
+
+    def detect(
+        self,
+        family: Family,
+        per_block: Mapping[int, np.ndarray],
+        histories: Mapping[int, BlockHistory],
+        parameters: Mapping[int, BlockParameters],
+        start: float,
+        end: float,
+    ) -> Dict[int, BlockResult]:
+        """Detect outages for every *measurable* block.
+
+        ``per_block`` maps block key -> sorted arrival times covering
+        the detection window ``[start, end)``; blocks present in
+        ``parameters`` but missing from ``per_block`` are treated as
+        silent for the whole window (which, for a measurable block, is
+        one long outage).
+        """
+        groups: Dict[float, List[int]] = defaultdict(list)
+        for key, params in parameters.items():
+            if params.measurable:
+                groups[params.bin_seconds].append(key)
+
+        results: Dict[int, BlockResult] = {}
+        for bin_seconds, keys in groups.items():
+            keys.sort()
+            grid = BinGrid(start, end, bin_seconds)
+            counts = binned_counts(keys, per_block, grid)
+            p_empty, noise, prior_down, prior_up = self._parameter_vectors(
+                keys, parameters)
+            p_empty_input: np.ndarray = p_empty
+            if any(histories[key].diurnal_profile is not None
+                   for key in keys):
+                # Diurnal-aware likelihood: per-(block, bin) empty-bin
+                # probability so nightly lulls stop counting as evidence.
+                edges = grid.edges()
+                p_empty_input = np.empty((len(keys), grid.n_bins))
+                for row, key in enumerate(keys):
+                    rates = histories[key].likelihood_rates(edges)
+                    p_empty_input[row] = np.minimum(
+                        np.exp(-rates * bin_seconds), 1.0 - 1e-9)
+            states, beliefs = vector_belief_pass(
+                counts, p_empty_input, noise, prior_down, prior_up,
+                down_threshold=parameters[keys[0]].down_threshold,
+                up_threshold=parameters[keys[0]].up_threshold,
+                return_beliefs=self.keep_belief_traces)
+            for row, key in enumerate(keys):
+                times = per_block.get(key, np.empty(0))
+                coarse = states_to_timeline(states[row], grid)
+                refined = refine_timeline(
+                    coarse, times, histories[key].mean_rate, bin_seconds,
+                    self.refinement)
+                params = parameters[key]
+                mean_gap = (1.0 / histories[key].mean_rate
+                            if histories[key].mean_rate > 0 else bin_seconds)
+                gaps = gap_outages(
+                    times, params.gap_threshold_seconds, start, end,
+                    guard=self.refinement.guard_gaps * mean_gap)
+                if gaps:
+                    refined = Timeline(start, end,
+                                       refined.down_intervals + gaps)
+                results[key] = BlockResult(
+                    key=key,
+                    family=family,
+                    params=parameters[key],
+                    history=histories[key],
+                    timeline=refined,
+                    coarse_timeline=coarse,
+                    belief_trace=(beliefs[row] if beliefs is not None
+                                  else None),
+                )
+        return results
+
+    @staticmethod
+    def _parameter_vectors(keys: List[int],
+                           parameters: Mapping[int, BlockParameters]
+                           ) -> Tuple[np.ndarray, np.ndarray,
+                                      np.ndarray, np.ndarray]:
+        p_empty = np.array([parameters[k].p_empty_up for k in keys])
+        noise = np.array([parameters[k].noise_nonempty for k in keys])
+        prior_down = np.array([parameters[k].prior_down for k in keys])
+        prior_up = np.array([parameters[k].prior_up_recovery for k in keys])
+        return p_empty, noise, prior_down, prior_up
+
+
+@dataclass
+class _StreamBlockState:
+    """Streaming bookkeeping for one block."""
+
+    params: BlockParameters
+    history: BlockHistory
+    belief: BeliefState
+    next_bin_end: float
+    bin_count: int = 0
+    last_packet: Optional[float] = None
+    first_packet_this_bin: Optional[float] = None
+    transitions: List[Tuple[float, bool]] = field(default_factory=list)
+
+
+class StreamingDetector:
+    """Online detector over a time-ordered observation stream.
+
+    Typical use::
+
+        detector = StreamingDetector(family, histories, parameters, start)
+        for observation in stream:
+            detector.observe(observation)
+        results = detector.finalize(end)
+
+    ``observe`` must be called in non-decreasing time order (a merged
+    capture stream already is).  Between packets, :meth:`advance` may be
+    called with the wall clock so silent blocks are judged promptly; the
+    batch-equivalence guarantee holds either way because ``finalize``
+    flushes every pending bin.
+    """
+
+    def __init__(
+        self,
+        family: Family,
+        histories: Mapping[int, BlockHistory],
+        parameters: Mapping[int, BlockParameters],
+        start: float,
+        refinement: Optional[RefinementConfig] = None,
+    ) -> None:
+        self.family = family
+        self.start = float(start)
+        self.refinement = refinement or RefinementConfig()
+        self.histories = dict(histories)
+        self._states: Dict[int, _StreamBlockState] = {}
+        self._last_time = float(start)
+        for key, params in parameters.items():
+            if not params.measurable:
+                continue
+            self._states[key] = _StreamBlockState(
+                params=params,
+                history=self.histories[key],
+                belief=BeliefState(params),
+                next_bin_end=self.start + params.bin_seconds,
+            )
+
+    def observe(self, observation: Observation) -> None:
+        """Feed one observation (must be time-ordered)."""
+        if observation.time < self._last_time - 1e-9:
+            raise ValueError(
+                f"stream went backwards: {observation.time} after "
+                f"{self._last_time}")
+        self._last_time = max(self._last_time, observation.time)
+        if observation.family is not self.family:
+            return
+        state = self._states.get(observation.block_key)
+        if state is None:
+            return
+        self._advance_block(state, observation.time)
+        # Gap detector: a silence longer than the trained threshold is an
+        # outage bounded by exact packet times, regardless of bin state.
+        threshold = state.params.gap_threshold_seconds
+        if (state.last_packet is not None
+                and observation.time - state.last_packet > threshold):
+            mean_gap = (1.0 / state.history.mean_rate
+                        if state.history.mean_rate > 0
+                        else state.params.bin_seconds)
+            guard = min(self.refinement.guard_gaps * mean_gap,
+                        threshold / 2.0)
+            state.transitions.append((state.last_packet + guard, False))
+            state.transitions.append((observation.time - guard, True))
+        if state.first_packet_this_bin is None:
+            state.first_packet_this_bin = observation.time
+        state.bin_count += 1
+        state.last_packet = observation.time
+
+    def advance(self, now: float) -> None:
+        """Flush every block's complete bins up to wall-clock ``now``."""
+        self._last_time = max(self._last_time, now)
+        for state in self._states.values():
+            self._advance_block(state, now)
+
+    def finalize(self, end: float) -> Dict[int, BlockResult]:
+        """Close the window at ``end`` and return per-block results."""
+        self.advance(end)
+        results: Dict[int, BlockResult] = {}
+        for key, state in self._states.items():
+            coarse = Timeline.from_transitions(
+                self.start, end, state.transitions, initial_up=True)
+            # Streaming refinement already placed transition timestamps
+            # on packet evidence, so the coarse timeline is the result.
+            results[key] = BlockResult(
+                key=key,
+                family=self.family,
+                params=state.params,
+                history=state.history,
+                timeline=coarse,
+                coarse_timeline=coarse,
+            )
+        return results
+
+    # -- internals ----------------------------------------------------------
+
+    def _advance_block(self, state: _StreamBlockState, now: float) -> None:
+        """Close every bin that ends at or before ``now``."""
+        while state.next_bin_end <= now:
+            self._close_bin(state)
+
+    def _close_bin(self, state: _StreamBlockState) -> None:
+        params = state.params
+        was_up = state.belief.is_up
+        bin_start = state.next_bin_end - params.bin_seconds
+        p_empty = (state.history.empty_bin_probability_at(
+            bin_start, params.bin_seconds)
+            if state.history.diurnal_profile is not None else None)
+        is_up = state.belief.update(state.bin_count, p_empty)
+        if was_up and not is_up:
+            # Refined outage start: just after the last packet seen.
+            mean_gap = (1.0 / state.history.mean_rate
+                        if state.history.mean_rate > 0 else params.bin_seconds)
+            guard = min(self.refinement.guard_gaps * mean_gap,
+                        params.bin_seconds)
+            max_backfill = (self.refinement.max_backfill_bins
+                            * params.bin_seconds)
+            if state.last_packet is not None:
+                refined = max(state.last_packet + guard,
+                              bin_start - max_backfill)
+            else:
+                refined = bin_start
+            state.transitions.append((min(refined, state.next_bin_end), False))
+        elif not was_up and is_up:
+            # Refined recovery: the first packet of the reviving bin,
+            # pulled back one forward-recurrence time (see
+            # events.refine_timeline) so durations stay unbiased.
+            if state.first_packet_this_bin is not None:
+                mean_gap = (1.0 / state.history.mean_rate
+                            if state.history.mean_rate > 0
+                            else params.bin_seconds)
+                guard = min(self.refinement.guard_gaps * mean_gap,
+                            params.bin_seconds)
+                recovery = state.first_packet_this_bin - guard
+            else:
+                recovery = bin_start
+            state.transitions.append((recovery, True))
+        state.bin_count = 0
+        state.first_packet_this_bin = None
+        state.next_bin_end += params.bin_seconds

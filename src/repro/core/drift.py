@@ -1,0 +1,161 @@
+"""Model-drift detection and rolling retraining.
+
+A trained per-block model ages: providers renumber, resolver
+deployments move, traffic engineering shifts rates.  A block whose
+*current* healthy traffic no longer matches its trained model produces
+either false outages (rate fell) or lost sensitivity (rate rose).
+This module watches for that drift and drives rolling retraining — the
+operational glue a long-running deployment needs around the paper's
+train-once pipeline.
+
+Drift is judged on *up* time only: comparing a day that contains a real
+outage against the trained rate would flag every outage as drift, so
+the audit first masks the detector's own down intervals.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..timeline import Timeline, total_duration
+from .detector import BlockResult
+from .history import BlockHistory, train_history
+from .parameters import BlockParameters, ParameterPlanner
+from .pipeline import TrainedModel
+
+__all__ = ["DriftVerdict", "BlockDrift", "audit_drift", "refresh_model"]
+
+
+class DriftVerdict(enum.Enum):
+    """Outcome of a drift audit for one block."""
+
+    STABLE = "stable"
+    RATE_ROSE = "rate-rose"
+    RATE_FELL = "rate-fell"
+    INSUFFICIENT = "insufficient-uptime"
+
+
+@dataclass(frozen=True)
+class BlockDrift:
+    """One block's drift measurement."""
+
+    key: int
+    trained_rate: float
+    observed_rate: float
+    up_seconds: float
+    verdict: DriftVerdict
+
+    @property
+    def ratio(self) -> float:
+        """Observed/trained rate (inf when trained rate was zero)."""
+        if self.trained_rate == 0:
+            return float("inf") if self.observed_rate > 0 else 1.0
+        return self.observed_rate / self.trained_rate
+
+    @property
+    def needs_retraining(self) -> bool:
+        return self.verdict in (DriftVerdict.RATE_ROSE,
+                                DriftVerdict.RATE_FELL)
+
+
+def _observed_up_rate(times: np.ndarray,
+                      timeline: Timeline) -> Tuple[float, float]:
+    """Arrival rate over the block's detected-up intervals only."""
+    up_intervals = timeline.up_intervals
+    up_seconds = total_duration(up_intervals)
+    if up_seconds <= 0:
+        return 0.0, 0.0
+    count = 0
+    for start, end in up_intervals:
+        left = int(np.searchsorted(times, start, side="left"))
+        right = int(np.searchsorted(times, end, side="left"))
+        count += right - left
+    return count / up_seconds, up_seconds
+
+
+def audit_drift(
+    model: TrainedModel,
+    results: Mapping[int, BlockResult],
+    per_block: Mapping[int, np.ndarray],
+    drift_factor: float = 2.0,
+    min_up_seconds: float = 4.0 * 3600.0,
+    min_arrivals: int = 20,
+) -> Dict[int, BlockDrift]:
+    """Compare each block's healthy-time rate against its trained rate.
+
+    A block drifts when its observed up-time rate leaves
+    ``[trained/drift_factor, trained*drift_factor]``.  The tolerance is
+    deliberately wide: normal diurnal and sampling variation must not
+    trigger daily retraining churn.
+    """
+    if drift_factor <= 1.0:
+        raise ValueError("drift_factor must exceed 1")
+    audits: Dict[int, BlockDrift] = {}
+    for key, result in results.items():
+        history = model.histories.get(key)
+        if history is None:
+            continue
+        times = np.asarray(per_block.get(key, np.empty(0)), dtype=float)
+        observed_rate, up_seconds = _observed_up_rate(times,
+                                                      result.timeline)
+        observed_count = observed_rate * up_seconds
+        if up_seconds < min_up_seconds or observed_count < min_arrivals:
+            verdict = DriftVerdict.INSUFFICIENT
+        elif observed_rate > history.mean_rate * drift_factor:
+            verdict = DriftVerdict.RATE_ROSE
+        elif observed_rate < history.mean_rate / drift_factor:
+            verdict = DriftVerdict.RATE_FELL
+        else:
+            verdict = DriftVerdict.STABLE
+        audits[key] = BlockDrift(
+            key=key,
+            trained_rate=history.mean_rate,
+            observed_rate=observed_rate,
+            up_seconds=up_seconds,
+            verdict=verdict,
+        )
+    return audits
+
+
+def refresh_model(
+    model: TrainedModel,
+    audits: Mapping[int, BlockDrift],
+    per_block: Mapping[int, np.ndarray],
+    window_start: float,
+    window_end: float,
+    planner: Optional[ParameterPlanner] = None,
+    learn_diurnal: bool = True,
+) -> Tuple[TrainedModel, List[int]]:
+    """Retrain only the drifted blocks on the new window.
+
+    Returns ``(new_model, retrained_keys)``.  Stable blocks keep their
+    existing histories and parameters, so a daily refresh touches the
+    few blocks that actually moved.
+    """
+    planner = planner or ParameterPlanner()
+    histories: Dict[int, BlockHistory] = dict(model.histories)
+    parameters: Dict[int, BlockParameters] = dict(model.parameters)
+    retrained: List[int] = []
+    for key, audit in audits.items():
+        if not audit.needs_retraining:
+            continue
+        times = per_block.get(key)
+        if times is None:
+            continue
+        history = train_history(times, window_start, window_end,
+                                learn_diurnal)
+        histories[key] = history
+        parameters[key] = planner.plan_block(history)
+        retrained.append(key)
+    refreshed = TrainedModel(
+        family=model.family,
+        histories=histories,
+        parameters=parameters,
+        train_start=model.train_start,
+        train_end=window_end,
+    )
+    return refreshed, sorted(retrained)

@@ -1,0 +1,184 @@
+"""Outage-event extraction with exact-timestamp edge refinement.
+
+The belief filter yields up/down decisions at bin granularity.  A
+bin-edge outage boundary carries the bin size as uncertainty; the
+paper's precision advantage comes from refining the boundary with the
+*exact timestamps* of the surrounding packets:
+
+* the outage cannot have started before the **last packet** seen prior
+  to the quiet run — the refined start is that timestamp plus a small
+  guard (the block's expected inter-arrival gap);
+* the outage ends no later than the **first packet** after the run —
+  that arrival is direct evidence the block is back.
+
+For dense blocks the guard is sub-second and the refined edges land
+within one inter-arrival gap of truth, which is what lets the system
+beat Trinocular's ±330 s.  For sparse blocks the backfill is clamped so
+an ordinary long inter-arrival gap ahead of a detected outage does not
+balloon the reported duration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..telescope.aggregate import BinGrid
+from ..timeline import OutageEvent, Timeline
+
+__all__ = ["RefinementConfig", "states_to_timeline", "refine_timeline",
+           "gap_outages"]
+
+
+@dataclass(frozen=True)
+class RefinementConfig:
+    """Edge-refinement knobs.
+
+    ``guard_gaps`` scales the forward guard after the last packet (in
+    units of the block's mean inter-arrival gap): the block most likely
+    died somewhere inside the gap, not at the instant of its last
+    packet.  ``max_backfill_bins`` caps how far an outage start may be
+    pulled back before the first silent bin.
+    """
+
+    guard_gaps: float = 1.0
+    max_backfill_bins: float = 1.0
+    min_event_seconds: float = 0.0
+
+
+def states_to_timeline(states: np.ndarray, grid: BinGrid) -> Timeline:
+    """Convert one block's boolean up-state vector into a timeline."""
+    states = np.asarray(states, dtype=bool)
+    if states.shape != (grid.n_bins,):
+        raise ValueError(
+            f"states length {states.shape} does not match grid {grid.n_bins}")
+    down: List[Tuple[float, float]] = []
+    run_start: Optional[int] = None
+    for index, is_up in enumerate(states):
+        if not is_up and run_start is None:
+            run_start = index
+        elif is_up and run_start is not None:
+            down.append((grid.bin_start(run_start), grid.bin_start(index)))
+            run_start = None
+    if run_start is not None:
+        down.append((grid.bin_start(run_start), grid.end))
+    return Timeline(grid.start, grid.end, down)
+
+
+def refine_timeline(
+    timeline: Timeline,
+    times: np.ndarray,
+    mean_rate: float,
+    bin_seconds: float,
+    config: Optional[RefinementConfig] = None,
+) -> Timeline:
+    """Refine a bin-granularity timeline against exact packet times.
+
+    Parameters
+    ----------
+    timeline:
+        bin-granularity output of :func:`states_to_timeline`.
+    times:
+        the block's sorted arrival timestamps over the same span.
+    mean_rate:
+        the block's trained mean rate (sets the start guard).
+    bin_seconds:
+        the block's tuned bin size (sets the backfill clamp).
+    """
+    config = config or RefinementConfig()
+    times = np.asarray(times, dtype=float)
+    mean_gap = 1.0 / mean_rate if mean_rate > 0 else bin_seconds
+    guard = min(config.guard_gaps * mean_gap, bin_seconds)
+    max_backfill = config.max_backfill_bins * bin_seconds
+
+    refined: List[Tuple[float, float]] = []
+    for coarse_start, coarse_end in timeline.down_intervals:
+        # --- start edge: last packet before the quiet run -------------
+        before = int(np.searchsorted(times, coarse_start, side="left"))
+        if before > 0:
+            last_packet = float(times[before - 1])
+            start = max(last_packet + guard, coarse_start - max_backfill)
+            start = min(start, coarse_start + bin_seconds)  # sanity clamp
+        else:
+            start = coarse_start
+        # --- end edge: first packet after the quiet run -----------------
+        after = int(np.searchsorted(times, coarse_end - bin_seconds,
+                                    side="left"))
+        # The detector flips up in the first bin containing traffic, so
+        # the recovery packet may fall just *inside* the final down bin's
+        # successor; look from one bin before the coarse end.
+        while after < times.size and times[after] < start:
+            after += 1
+        if after < times.size:
+            # The first packet trails the true recovery by one forward
+            # recurrence time (~1/rate); subtract it so durations are
+            # unbiased rather than systematically long.
+            end = float(times[after]) - guard
+            end = max(end, start)
+            end = min(end, coarse_end + bin_seconds)
+        else:
+            end = coarse_end
+        if end > start:
+            refined.append((start, end))
+
+    result = Timeline(timeline.start, timeline.end, refined)
+    if config.min_event_seconds > 0:
+        result = result.drop_short_outages(config.min_event_seconds)
+    return result
+
+
+def gap_outages(
+    times: np.ndarray,
+    gap_threshold: float,
+    start: float,
+    end: float,
+    guard: float,
+) -> List[Tuple[float, float]]:
+    """Outage intervals from inter-arrival gaps alone.
+
+    Any silence longer than ``gap_threshold`` (trained as a multiple of
+    the block's largest healthy gap) is an outage whose edges are the
+    *exact timestamps* of the flanking packets: down from ``last packet
+    + guard`` until the next packet.  This is the sub-bin detection path
+    that lets dense blocks resolve 5-minute outages regardless of bin
+    alignment.  Leading and trailing silences against the window edges
+    are included.
+    """
+    if not np.isfinite(gap_threshold) or gap_threshold <= 0:
+        return []
+    times = np.asarray(times, dtype=float)
+    times = times[(times >= start) & (times < end)]
+    guard = min(guard, gap_threshold / 2.0)
+    intervals: List[Tuple[float, float]] = []
+    if times.size == 0:
+        if end - start > gap_threshold:
+            intervals.append((start, end))
+        return intervals
+    if times[0] - start > gap_threshold:
+        intervals.append((start, float(times[0]) - guard))
+    if times.size >= 2:
+        gaps = np.diff(times)
+        for index in np.flatnonzero(gaps > gap_threshold):
+            # Edges are exact packet timestamps corrected by one forward
+            # recurrence time on each side, so durations are unbiased.
+            intervals.append((float(times[index]) + guard,
+                              float(times[index + 1]) - guard))
+    if end - times[-1] > gap_threshold:
+        intervals.append((float(times[-1]) + guard, end))
+    return intervals
+
+
+def events_from_states(
+    states: np.ndarray,
+    grid: BinGrid,
+    times: np.ndarray,
+    mean_rate: float,
+    config: Optional[RefinementConfig] = None,
+) -> List[OutageEvent]:
+    """Convenience: states -> refined timeline -> event list."""
+    coarse = states_to_timeline(states, grid)
+    refined = refine_timeline(coarse, times, mean_rate, grid.bin_seconds,
+                              config)
+    return refined.events()

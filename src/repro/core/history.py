@@ -1,0 +1,205 @@
+"""Per-block historical traffic models — the P(a) of the poster.
+
+Training observes a clean window of traffic and summarises each block as
+a :class:`BlockHistory`: its mean arrival rate, inter-arrival spread,
+burstiness, and an optional diurnal profile.  Everything the per-block
+parameter tuner (:mod:`repro.core.parameters`) and the belief engine
+(:mod:`repro.core.belief`) need is derived from this summary, which is
+what "customising parameters for each block" means in practice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from ..traffic.rates import DensityClass, classify_rate
+
+__all__ = ["BlockHistory", "train_history", "train_histories"]
+
+#: Number of slots in the learned diurnal profile (one per hour).
+DIURNAL_SLOTS = 24
+
+
+@dataclass
+class BlockHistory:
+    """Learned traffic summary for one block.
+
+    ``mean_rate`` is arrivals/second over the training window.
+    ``burstiness`` is the index of dispersion of per-minute counts
+    (1 for Poisson, larger for clumped traffic); the parameter planner
+    widens its safety margins for bursty blocks.
+    ``diurnal_profile`` holds 24 multiplicative hour-of-day factors
+    (mean 1) when the training window is long enough to estimate them.
+    """
+
+    mean_rate: float
+    observed_count: int
+    training_seconds: float
+    median_gap: float
+    p95_gap: float
+    max_gap: float = 0.0
+    burstiness: float = 1.0
+    diurnal_profile: Optional[np.ndarray] = None
+    #: multiplicative day-of-week factors (7 slots, mean 1); learned
+    #: only when training spans at least a full week.
+    weekly_profile: Optional[np.ndarray] = None
+
+    @property
+    def density(self) -> DensityClass:
+        """Dense/sparse/unmeasurable label for reporting."""
+        return classify_rate(self.mean_rate)
+
+    def expected_rate_at(self, time: float) -> float:
+        """Rate adjusted by the learned hour-of-day and day-of-week
+        factors (where learned)."""
+        rate = self.mean_rate
+        if self.diurnal_profile is not None:
+            hour = int((time % 86400.0) // 3600.0) % DIURNAL_SLOTS
+            rate *= float(self.diurnal_profile[hour])
+        if self.weekly_profile is not None:
+            day = int((time % (7 * 86400.0)) // 86400.0) % 7
+            rate *= float(self.weekly_profile[day])
+        return rate
+
+    def min_rate(self) -> float:
+        """A conservative (off-peak) rate for empty-bin probabilities.
+
+        Using a shrunk diurnal trough instead of the mean keeps the bin
+        *tuner* from promising temporal precision the block cannot
+        deliver around the clock.
+        """
+        if self.diurnal_profile is None:
+            return self.mean_rate
+        trough = float(self.diurnal_profile.min())
+        # Shrink toward flat: a noisy trough estimate should not tank
+        # the whole block's tuning.
+        return self.mean_rate * (0.5 * trough + 0.5)
+
+    def empty_bin_probability(self, bin_seconds: float) -> float:
+        """P(no arrivals in a bin | block up), at the trough rate.
+
+        Burstiness inflates the effective probability: clumped traffic
+        leaves more empty bins than a Poisson stream of the same mean.
+        The sqrt tempering is an empirical variance correction for
+        MMPP-like clumping.
+        """
+        effective_rate = self.min_rate() / max(1.0, np.sqrt(self.burstiness))
+        return float(np.exp(-effective_rate * bin_seconds))
+
+    def likelihood_rate_at(self, time: float) -> float:
+        """Hour-aware rate used by the belief *likelihood* at ``time``.
+
+        Above-average hours are shrunk toward the mean (a noisy peak
+        estimate must not manufacture down-evidence), while
+        below-average hours are taken at face value — at a genuine
+        nightly trough an empty bin is expected and carries no evidence.
+        Burstiness tempering matches :meth:`empty_bin_probability`.
+        """
+        if self.diurnal_profile is None:
+            factor = 1.0
+        else:
+            raw = float(
+                self.diurnal_profile[int((time % 86400.0) // 3600.0) % 24])
+            factor = raw if raw < 1.0 else 0.75 * raw + 0.25
+        if self.weekly_profile is not None:
+            raw_week = float(
+                self.weekly_profile[int((time % (7 * 86400.0))
+                                        // 86400.0) % 7])
+            factor *= raw_week if raw_week < 1.0 else 0.75 * raw_week + 0.25
+        return self.mean_rate * factor / max(1.0, np.sqrt(self.burstiness))
+
+    def empty_bin_probability_at(self, time: float,
+                                 bin_seconds: float) -> float:
+        """Hour-aware P(empty bin | up) for the bin starting at ``time``."""
+        return float(np.exp(-self.likelihood_rate_at(time) * bin_seconds))
+
+    def likelihood_rates(self, times: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`likelihood_rate_at` over bin-start times."""
+        base = self.mean_rate / max(1.0, np.sqrt(self.burstiness))
+        times = np.asarray(times)
+        if self.diurnal_profile is None:
+            factor = np.ones(times.shape)
+        else:
+            hours = ((times % 86400.0) // 3600.0).astype(int) % 24
+            raw = self.diurnal_profile[hours]
+            factor = np.where(raw < 1.0, raw, 0.75 * raw + 0.25)
+        if self.weekly_profile is not None:
+            days = ((times % (7 * 86400.0)) // 86400.0).astype(int) % 7
+            raw_week = self.weekly_profile[days]
+            factor = factor * np.where(raw_week < 1.0, raw_week,
+                                       0.75 * raw_week + 0.25)
+        return base * factor
+
+
+def train_history(times: np.ndarray, start: float, end: float,
+                  learn_diurnal: bool = True) -> BlockHistory:
+    """Summarise one block's training arrivals over ``[start, end)``."""
+    span = end - start
+    if span <= 0:
+        raise ValueError("training window must have positive span")
+    times = np.asarray(times, dtype=float)
+    times = times[(times >= start) & (times < end)]
+    count = int(times.size)
+    mean_rate = count / span
+
+    if count >= 2:
+        gaps = np.diff(times)
+        median_gap = float(np.median(gaps))
+        p95_gap = float(np.quantile(gaps, 0.95))
+        max_gap = float(gaps.max())
+    else:
+        median_gap = span
+        p95_gap = span
+        max_gap = span
+
+    burstiness = 1.0
+    if count >= 30:
+        minute_bins = np.bincount(((times - start) // 60.0).astype(np.int64),
+                                  minlength=int(span // 60.0) or 1)
+        mean_count = minute_bins.mean()
+        if mean_count > 0:
+            burstiness = max(1.0, float(minute_bins.var() / mean_count))
+
+    profile = None
+    if learn_diurnal and span >= 86400.0 and count >= 240:
+        hours = ((times % 86400.0) // 3600.0).astype(np.int64)
+        hour_counts = np.bincount(hours, minlength=DIURNAL_SLOTS).astype(float)
+        hours_observed = span / 86400.0  # full days cover each slot equally
+        hour_rates = hour_counts / (3600.0 * hours_observed)
+        if hour_rates.mean() > 0:
+            # Stored raw (mean 1); consumers apply their own shrinkage:
+            # the tuner shrinks the trough, the likelihood shrinks peaks.
+            profile = hour_rates / hour_rates.mean()
+
+    weekly = None
+    if learn_diurnal and span >= 7 * 86400.0 and count >= 7 * 100:
+        days = ((times % (7 * 86400.0)) // 86400.0).astype(np.int64)
+        day_counts = np.bincount(days, minlength=7).astype(float)
+        weeks_observed = span / (7 * 86400.0)
+        day_rates = day_counts / (86400.0 * weeks_observed)
+        if day_rates.mean() > 0:
+            weekly = day_rates / day_rates.mean()
+    return BlockHistory(
+        mean_rate=mean_rate,
+        observed_count=count,
+        training_seconds=span,
+        median_gap=median_gap,
+        p95_gap=p95_gap,
+        max_gap=max_gap,
+        burstiness=burstiness,
+        diurnal_profile=profile,
+        weekly_profile=weekly,
+    )
+
+
+def train_histories(per_block: Mapping[int, np.ndarray], start: float,
+                    end: float, learn_diurnal: bool = True
+                    ) -> Dict[int, BlockHistory]:
+    """Train a :class:`BlockHistory` for every block in the mapping."""
+    return {
+        key: train_history(times, start, end, learn_diurnal)
+        for key, times in per_block.items()
+    }

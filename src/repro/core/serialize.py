@@ -1,0 +1,172 @@
+"""Persistence for trained models.
+
+A deployed detector trains on yesterday and detects today; retraining
+from raw captures on every restart is wasteful, so trained models
+(histories + tuned parameters) serialise to a single JSON document.
+JSON is chosen over pickle deliberately: the model is configuration-like
+data an operator may want to inspect or diff, and loading it must be
+safe regardless of provenance.
+
+The format is versioned; loaders reject documents from future versions
+rather than misreading them.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, IO, Union
+
+import numpy as np
+
+from ..net.addr import Family
+from .history import BlockHistory
+from .parameters import BlockParameters
+from .pipeline import TrainedModel
+
+__all__ = ["MODEL_FORMAT_VERSION", "ModelFormatError", "model_to_json",
+           "model_from_json", "save_model", "load_model"]
+
+MODEL_FORMAT_VERSION = 1
+
+
+class ModelFormatError(ValueError):
+    """Raised when a model document is malformed or from a newer format."""
+
+
+def _history_to_dict(history: BlockHistory) -> Dict[str, Any]:
+    return {
+        "mean_rate": history.mean_rate,
+        "observed_count": history.observed_count,
+        "training_seconds": history.training_seconds,
+        "median_gap": history.median_gap,
+        "p95_gap": history.p95_gap,
+        "max_gap": history.max_gap,
+        "burstiness": history.burstiness,
+        "diurnal_profile": (None if history.diurnal_profile is None
+                            else [float(x) for x in history.diurnal_profile]),
+        "weekly_profile": (None if history.weekly_profile is None
+                           else [float(x) for x in history.weekly_profile]),
+    }
+
+
+def _history_from_dict(data: Dict[str, Any]) -> BlockHistory:
+    profile = data.get("diurnal_profile")
+    weekly = data.get("weekly_profile")
+    return BlockHistory(
+        mean_rate=float(data["mean_rate"]),
+        observed_count=int(data["observed_count"]),
+        training_seconds=float(data["training_seconds"]),
+        median_gap=float(data["median_gap"]),
+        p95_gap=float(data["p95_gap"]),
+        max_gap=float(data.get("max_gap", 0.0)),
+        burstiness=float(data.get("burstiness", 1.0)),
+        diurnal_profile=(None if profile is None
+                         else np.asarray(profile, dtype=float)),
+        weekly_profile=(None if weekly is None
+                        else np.asarray(weekly, dtype=float)),
+    )
+
+
+def _parameters_to_dict(params: BlockParameters) -> Dict[str, Any]:
+    return {
+        "bin_seconds": params.bin_seconds,
+        "p_empty_up": params.p_empty_up,
+        "noise_nonempty": params.noise_nonempty,
+        "prior_down": params.prior_down,
+        "prior_up_recovery": params.prior_up_recovery,
+        "down_threshold": params.down_threshold,
+        "up_threshold": params.up_threshold,
+        "measurable": params.measurable,
+        # JSON has no Infinity in strict mode; None means "disabled".
+        "gap_threshold_seconds": (
+            None if not np.isfinite(params.gap_threshold_seconds)
+            else params.gap_threshold_seconds),
+    }
+
+
+def _parameters_from_dict(data: Dict[str, Any]) -> BlockParameters:
+    gap = data.get("gap_threshold_seconds")
+    return BlockParameters(
+        bin_seconds=float(data["bin_seconds"]),
+        p_empty_up=float(data["p_empty_up"]),
+        noise_nonempty=float(data["noise_nonempty"]),
+        prior_down=float(data["prior_down"]),
+        prior_up_recovery=float(data["prior_up_recovery"]),
+        down_threshold=float(data["down_threshold"]),
+        up_threshold=float(data["up_threshold"]),
+        measurable=bool(data["measurable"]),
+        gap_threshold_seconds=float("inf") if gap is None else float(gap),
+    )
+
+
+def model_to_json(model: TrainedModel) -> str:
+    """Serialise a trained model to a JSON string."""
+    document = {
+        "format_version": MODEL_FORMAT_VERSION,
+        "family": int(model.family),
+        "train_start": model.train_start,
+        "train_end": model.train_end,
+        "blocks": {
+            str(key): {
+                "history": _history_to_dict(model.histories[key]),
+                "parameters": _parameters_to_dict(model.parameters[key]),
+            }
+            for key in sorted(model.histories)
+        },
+    }
+    return json.dumps(document, indent=1)
+
+
+def model_from_json(text: str) -> TrainedModel:
+    """Reconstruct a trained model from :func:`model_to_json` output."""
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ModelFormatError(f"not valid JSON: {error}") from None
+    if not isinstance(document, dict):
+        raise ModelFormatError("model document must be a JSON object")
+    version = document.get("format_version")
+    if version != MODEL_FORMAT_VERSION:
+        raise ModelFormatError(
+            f"unsupported model format version {version!r} "
+            f"(this build reads {MODEL_FORMAT_VERSION})")
+    try:
+        family = Family(document["family"])
+        histories = {}
+        parameters = {}
+        for key_text, entry in document["blocks"].items():
+            key = int(key_text)
+            histories[key] = _history_from_dict(entry["history"])
+            parameters[key] = _parameters_from_dict(entry["parameters"])
+        return TrainedModel(
+            family=family,
+            histories=histories,
+            parameters=parameters,
+            train_start=float(document["train_start"]),
+            train_end=float(document["train_end"]),
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise ModelFormatError(f"malformed model document: {error}") from None
+
+
+PathOrFile = Union[str, "IO[str]"]
+
+
+def save_model(model: TrainedModel, target: PathOrFile) -> None:
+    """Write a trained model to a path or text file object."""
+    text = model_to_json(model)
+    if isinstance(target, str):
+        with open(target, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    else:
+        target.write(text)
+
+
+def load_model(source: PathOrFile) -> TrainedModel:
+    """Read a trained model from a path or text file object."""
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    else:
+        text = source.read()
+    return model_from_json(text)

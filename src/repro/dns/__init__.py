@@ -1,0 +1,38 @@
+"""DNS substrate: wire format, query workload model, root server."""
+
+from .message import (
+    Header,
+    Message,
+    Opcode,
+    QClass,
+    QType,
+    Question,
+    RCode,
+    ResourceRecord,
+)
+from .name import ROOT, DnsError, Name
+from .query import POPULAR_TLDS, QueryModel
+from .rootserver import Delegation, RootServer, RootZone, ServerStats
+from .server_io import UdpRootServer, udp_query
+
+__all__ = [
+    "Header",
+    "Message",
+    "Opcode",
+    "QClass",
+    "QType",
+    "Question",
+    "RCode",
+    "ResourceRecord",
+    "ROOT",
+    "DnsError",
+    "Name",
+    "POPULAR_TLDS",
+    "QueryModel",
+    "Delegation",
+    "RootServer",
+    "RootZone",
+    "ServerStats",
+    "UdpRootServer",
+    "udp_query",
+]

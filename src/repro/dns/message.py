@@ -1,0 +1,218 @@
+"""DNS message wire format: header, questions, resource records.
+
+A compact but real RFC 1035 codec.  The simulated B-root service speaks
+this format end-to-end: clients encode query messages, the server
+decodes them, and the telescope's capture layer can carry either the raw
+wire bytes or the pre-parsed observation tuple.
+
+Only the record types the root zone actually serves (NS, A, AAAA, SOA)
+carry typed RDATA; anything else round-trips as opaque bytes, which is
+the honest behaviour for a passive observer.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from .name import DnsError, Name
+
+__all__ = ["QType", "QClass", "RCode", "Opcode", "Question", "ResourceRecord",
+           "Header", "Message"]
+
+_HEADER = struct.Struct("!HHHHHH")
+
+
+class QType(enum.IntEnum):
+    """Query/record types seen at a root server."""
+
+    A = 1
+    NS = 2
+    SOA = 6
+    PTR = 12
+    MX = 15
+    TXT = 16
+    AAAA = 28
+    SRV = 33
+    DS = 43
+    DNSKEY = 48
+    ANY = 255
+
+
+class QClass(enum.IntEnum):
+    IN = 1
+    CH = 3
+    ANY = 255
+
+
+class Opcode(enum.IntEnum):
+    QUERY = 0
+    NOTIFY = 4
+    UPDATE = 5
+
+
+class RCode(enum.IntEnum):
+    NOERROR = 0
+    FORMERR = 1
+    SERVFAIL = 2
+    NXDOMAIN = 3
+    NOTIMP = 4
+    REFUSED = 5
+
+
+@dataclass(frozen=True)
+class Question:
+    """One question-section entry."""
+
+    name: Name
+    qtype: int
+    qclass: int = QClass.IN
+
+    def encode(self, buffer: bytearray, compression: Dict) -> None:
+        self.name.encode(buffer, compression)
+        buffer.extend(struct.pack("!HH", self.qtype, self.qclass))
+
+    @classmethod
+    def decode(cls, data: bytes, offset: int) -> Tuple["Question", int]:
+        name, offset = Name.decode(data, offset)
+        if offset + 4 > len(data):
+            raise DnsError("truncated question")
+        qtype, qclass = struct.unpack_from("!HH", data, offset)
+        return cls(name, qtype, qclass), offset + 4
+
+
+@dataclass(frozen=True)
+class ResourceRecord:
+    """One answer/authority/additional record with opaque RDATA bytes."""
+
+    name: Name
+    rtype: int
+    rclass: int
+    ttl: int
+    rdata: bytes
+
+    def encode(self, buffer: bytearray, compression: Dict) -> None:
+        self.name.encode(buffer, compression)
+        buffer.extend(struct.pack("!HHIH", self.rtype, self.rclass,
+                                  self.ttl, len(self.rdata)))
+        buffer.extend(self.rdata)
+
+    @classmethod
+    def decode(cls, data: bytes, offset: int) -> Tuple["ResourceRecord", int]:
+        name, offset = Name.decode(data, offset)
+        if offset + 10 > len(data):
+            raise DnsError("truncated resource record")
+        rtype, rclass, ttl, rdlen = struct.unpack_from("!HHIH", data, offset)
+        offset += 10
+        if offset + rdlen > len(data):
+            raise DnsError("RDATA runs past end of message")
+        rdata = bytes(data[offset:offset + rdlen])
+        return cls(name, rtype, rclass, ttl, rdata), offset + rdlen
+
+    @classmethod
+    def ns(cls, owner: Name, nsdname: Name, ttl: int = 518400) -> "ResourceRecord":
+        """Build an NS record (RDATA is an uncompressed name)."""
+        rdata = bytearray()
+        nsdname.encode(rdata, compression=None)
+        return cls(owner, QType.NS, QClass.IN, ttl, bytes(rdata))
+
+    @classmethod
+    def a(cls, owner: Name, address_value: int, ttl: int = 518400) -> "ResourceRecord":
+        """Build an A record from a 32-bit address integer."""
+        return cls(owner, QType.A, QClass.IN, ttl, struct.pack("!I", address_value))
+
+    @classmethod
+    def aaaa(cls, owner: Name, address_value: int, ttl: int = 518400) -> "ResourceRecord":
+        """Build an AAAA record from a 128-bit address integer."""
+        return cls(owner, QType.AAAA, QClass.IN, ttl,
+                   address_value.to_bytes(16, "big"))
+
+
+@dataclass
+class Header:
+    """The 12-byte DNS header."""
+
+    txid: int = 0
+    is_response: bool = False
+    opcode: int = Opcode.QUERY
+    authoritative: bool = False
+    truncated: bool = False
+    recursion_desired: bool = False
+    recursion_available: bool = False
+    rcode: int = RCode.NOERROR
+
+    def flags(self) -> int:
+        value = (int(self.is_response) << 15) | ((self.opcode & 0xF) << 11)
+        value |= int(self.authoritative) << 10
+        value |= int(self.truncated) << 9
+        value |= int(self.recursion_desired) << 8
+        value |= int(self.recursion_available) << 7
+        value |= self.rcode & 0xF
+        return value
+
+    @classmethod
+    def from_flags(cls, txid: int, flags: int) -> "Header":
+        return cls(
+            txid=txid,
+            is_response=bool(flags >> 15),
+            opcode=(flags >> 11) & 0xF,
+            authoritative=bool((flags >> 10) & 1),
+            truncated=bool((flags >> 9) & 1),
+            recursion_desired=bool((flags >> 8) & 1),
+            recursion_available=bool((flags >> 7) & 1),
+            rcode=flags & 0xF,
+        )
+
+
+@dataclass
+class Message:
+    """A full DNS message (header + four sections)."""
+
+    header: Header = field(default_factory=Header)
+    questions: List[Question] = field(default_factory=list)
+    answers: List[ResourceRecord] = field(default_factory=list)
+    authority: List[ResourceRecord] = field(default_factory=list)
+    additional: List[ResourceRecord] = field(default_factory=list)
+
+    def encode(self) -> bytes:
+        """Serialise to wire bytes with name compression."""
+        buffer = bytearray()
+        buffer.extend(_HEADER.pack(
+            self.header.txid, self.header.flags(),
+            len(self.questions), len(self.answers),
+            len(self.authority), len(self.additional)))
+        compression: Dict = {}
+        for question in self.questions:
+            question.encode(buffer, compression)
+        for section in (self.answers, self.authority, self.additional):
+            for record in section:
+                record.encode(buffer, compression)
+        return bytes(buffer)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Message":
+        """Parse wire bytes; raises :class:`DnsError` on malformed input."""
+        if len(data) < _HEADER.size:
+            raise DnsError("message shorter than header")
+        txid, flags, qdcount, ancount, nscount, arcount = _HEADER.unpack_from(data, 0)
+        message = cls(header=Header.from_flags(txid, flags))
+        offset = _HEADER.size
+        for _ in range(qdcount):
+            question, offset = Question.decode(data, offset)
+            message.questions.append(question)
+        for count, section in ((ancount, message.answers),
+                               (nscount, message.authority),
+                               (arcount, message.additional)):
+            for _ in range(count):
+                record, offset = ResourceRecord.decode(data, offset)
+                section.append(record)
+        return message
+
+    @classmethod
+    def query(cls, name: Name, qtype: int, txid: int,
+              recursion_desired: bool = False) -> "Message":
+        """Build a standard query message."""
+        header = Header(txid=txid, recursion_desired=recursion_desired)
+        return cls(header=header, questions=[Question(name, qtype)])

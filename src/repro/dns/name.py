@@ -1,0 +1,155 @@
+"""DNS domain-name wire encoding and decoding.
+
+Implements RFC 1035 label sequences, including message compression
+pointers on decode (and optional pointer emission on encode via a shared
+compression table).  The passive pipeline decodes query names from the
+simulated B-root packet stream, so the decoder is written defensively:
+pointer loops, over-long names, and truncated buffers raise
+:class:`DnsError` instead of looping or over-reading.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["DnsError", "Name", "ROOT"]
+
+MAX_LABEL = 63
+MAX_NAME = 255
+_POINTER_MASK = 0xC0
+
+
+class DnsError(ValueError):
+    """Raised on malformed DNS wire data or invalid names."""
+
+
+class Name:
+    """An absolute DNS name as a tuple of byte labels (root = no labels).
+
+    Names compare and hash case-insensitively, as the DNS requires.
+    """
+
+    __slots__ = ("labels",)
+
+    def __init__(self, labels: Tuple[bytes, ...] = ()):
+        total = 0
+        for label in labels:
+            if not label:
+                raise DnsError("empty interior label")
+            if len(label) > MAX_LABEL:
+                raise DnsError(f"label too long: {len(label)} bytes")
+            total += len(label) + 1
+        if total + 1 > MAX_NAME:
+            raise DnsError(f"name too long: {total + 1} bytes")
+        self.labels = tuple(label.lower() for label in labels)
+
+    @classmethod
+    def parse(cls, text: str) -> "Name":
+        """Parse presentation format; a lone ``"."`` is the root."""
+        text = text.rstrip(".")
+        if not text:
+            return cls(())
+        return cls(tuple(part.encode("ascii") for part in text.split(".")))
+
+    def __str__(self) -> str:
+        if not self.labels:
+            return "."
+        return ".".join(label.decode("ascii", "replace") for label in self.labels) + "."
+
+    def __repr__(self) -> str:
+        return f"Name.parse({str(self)!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Name) and self.labels == other.labels
+
+    def __hash__(self) -> int:
+        return hash(self.labels)
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    @property
+    def tld(self) -> Optional[bytes]:
+        """The top-level label, or None for the root name."""
+        return self.labels[-1] if self.labels else None
+
+    def parent(self) -> "Name":
+        """The name with the leftmost label removed (root's parent is root)."""
+        return Name(self.labels[1:]) if self.labels else self
+
+    def is_subdomain_of(self, other: "Name") -> bool:
+        """True when ``other`` is a suffix of this name (or equal)."""
+        if len(other.labels) > len(self.labels):
+            return False
+        return self.labels[len(self.labels) - len(other.labels):] == other.labels
+
+    def encode(
+        self,
+        buffer: bytearray,
+        compression: Optional[Dict[Tuple[bytes, ...], int]] = None,
+    ) -> None:
+        """Append the wire form to ``buffer``.
+
+        With a ``compression`` table, known suffixes are emitted as
+        pointers and new suffixes are registered (when their offset fits
+        in 14 bits), matching how real servers pack responses.
+        """
+        labels = self.labels
+        for index in range(len(labels)):
+            suffix = labels[index:]
+            if compression is not None and suffix in compression:
+                pointer = compression[suffix]
+                buffer.append(_POINTER_MASK | (pointer >> 8))
+                buffer.append(pointer & 0xFF)
+                return
+            if compression is not None and len(buffer) < 0x4000:
+                compression[suffix] = len(buffer)
+            label = labels[index]
+            buffer.append(len(label))
+            buffer.extend(label)
+        buffer.append(0)
+
+    @classmethod
+    def decode(cls, data: bytes, offset: int) -> Tuple["Name", int]:
+        """Decode a name at ``offset``; returns ``(name, next_offset)``.
+
+        ``next_offset`` is the offset just past the name *in place* —
+        i.e. past the pointer if the name was compressed.
+        """
+        labels: List[bytes] = []
+        jumps = 0
+        next_offset = -1
+        position = offset
+        while True:
+            if position >= len(data):
+                raise DnsError("name runs past end of message")
+            length = data[position]
+            if length & _POINTER_MASK == _POINTER_MASK:
+                if position + 1 >= len(data):
+                    raise DnsError("truncated compression pointer")
+                if next_offset < 0:
+                    next_offset = position + 2
+                target = ((length & 0x3F) << 8) | data[position + 1]
+                if target >= position:
+                    raise DnsError("forward compression pointer")
+                jumps += 1
+                if jumps > 32:
+                    raise DnsError("compression pointer loop")
+                position = target
+                continue
+            if length & _POINTER_MASK:
+                raise DnsError(f"reserved label type {length:#x}")
+            position += 1
+            if length == 0:
+                break
+            if position + length > len(data):
+                raise DnsError("label runs past end of message")
+            labels.append(bytes(data[position:position + length]))
+            position += length
+        if next_offset < 0:
+            next_offset = position
+        return cls(tuple(labels)), next_offset
+
+
+#: The DNS root name.
+ROOT = Name(())

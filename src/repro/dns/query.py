@@ -1,0 +1,95 @@
+"""Root-server query-workload synthesis.
+
+Real B-root traffic is dominated by recursive resolvers asking for TLD
+delegations (a Zipf mix of popular TLDs), junk queries for nonexistent
+TLDs, and a long tail of qtypes.  This module draws realistic query
+names and types so that the passive telescope sees plausible payloads —
+the detector itself only needs (timestamp, source), but realistic
+payloads let the full decode path be exercised end-to-end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .message import Message, QType
+from .name import Name
+
+__all__ = ["QueryModel", "POPULAR_TLDS"]
+
+#: TLD popularity skeleton used by the default workload.
+POPULAR_TLDS: Tuple[str, ...] = (
+    "com", "net", "org", "arpa", "de", "uk", "jp", "cn", "nl", "ru",
+    "br", "fr", "it", "edu", "gov", "io", "info", "biz", "au", "in",
+)
+
+#: Query-type mix roughly matching published root-traffic breakdowns.
+_QTYPE_MIX: Tuple[Tuple[int, float], ...] = (
+    (QType.A, 0.45),
+    (QType.AAAA, 0.20),
+    (QType.NS, 0.08),
+    (QType.DS, 0.10),
+    (QType.MX, 0.04),
+    (QType.SOA, 0.03),
+    (QType.TXT, 0.03),
+    (QType.PTR, 0.04),
+    (QType.SRV, 0.02),
+    (QType.DNSKEY, 0.01),
+)
+_JUNK_FRACTION = 0.12  # queries for nonexistent TLDs (chromium-style noise)
+
+_SLD_SYLLABLES = ("net", "mail", "www", "cdn", "api", "app", "data", "edge",
+                  "node", "host", "srv", "dns", "web", "img", "ad")
+
+
+@dataclass
+class QueryModel:
+    """Draws (qname, qtype) pairs matching a root server's request mix.
+
+    Parameters
+    ----------
+    tlds:
+        TLD vocabulary, most popular first; popularity is Zipf(1.1).
+    junk_fraction:
+        Probability a query names a nonexistent TLD.
+    """
+
+    tlds: Sequence[str] = POPULAR_TLDS
+    junk_fraction: float = _JUNK_FRACTION
+
+    def __post_init__(self) -> None:
+        ranks = np.arange(1, len(self.tlds) + 1, dtype=float)
+        weights = ranks ** -1.1
+        self._tld_weights = weights / weights.sum()
+        self._qtypes = np.array([qtype for qtype, _ in _QTYPE_MIX])
+        qtype_weights = np.array([weight for _, weight in _QTYPE_MIX])
+        self._qtype_weights = qtype_weights / qtype_weights.sum()
+
+    def draw_qtypes(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """Vector-draw ``count`` query types."""
+        return rng.choice(self._qtypes, size=count, p=self._qtype_weights)
+
+    def draw_qname(self, rng: np.random.Generator) -> Name:
+        """Draw a single query name (TLD or junk label)."""
+        if rng.random() < self.junk_fraction:
+            label = "".join(rng.choice(list("abcdefghijklmnopqrstuvwxyz"), size=10))
+            return Name.parse(label)
+        tld = str(rng.choice(np.asarray(self.tlds, dtype=object),
+                             p=self._tld_weights))
+        # Most root queries carry a full name whose answer is a referral.
+        if rng.random() < 0.7:
+            sld = str(rng.choice(np.asarray(_SLD_SYLLABLES, dtype=object)))
+            return Name.parse(f"{sld}{int(rng.integers(0, 100))}.{tld}")
+        return Name.parse(tld)
+
+    def draw_queries(self, rng: np.random.Generator, count: int) -> List[Message]:
+        """Draw ``count`` complete query messages with random txids."""
+        qtypes = self.draw_qtypes(rng, count)
+        txids = rng.integers(0, 1 << 16, size=count)
+        return [
+            Message.query(self.draw_qname(rng), int(qtype), int(txid))
+            for qtype, txid in zip(qtypes, txids)
+        ]

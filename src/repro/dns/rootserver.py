@@ -1,0 +1,189 @@
+"""A B-root-like authoritative root name server.
+
+The passive detector's vantage point is a root DNS service: every
+recursive resolver on the Internet occasionally asks it for TLD
+delegations, and those arrivals are the passive signal.  This module
+implements the server side — a small authoritative engine over a
+synthetic root zone — so the simulation closes the loop: client blocks
+emit queries, the server answers (referral, NXDOMAIN, ...), and the
+telescope records the request stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .message import Header, Message, QClass, QType, RCode, ResourceRecord
+from .name import DnsError, Name, ROOT
+
+__all__ = ["Delegation", "RootZone", "RootServer", "ServerStats"]
+
+
+@dataclass
+class Delegation:
+    """One TLD delegation: NS names plus their glue addresses."""
+
+    tld: Name
+    nameservers: List[Name]
+    glue_v4: Dict[Name, int] = field(default_factory=dict)
+    glue_v6: Dict[Name, int] = field(default_factory=dict)
+
+
+class RootZone:
+    """The synthetic root zone: a map of TLD -> delegation plus the SOA."""
+
+    def __init__(self) -> None:
+        self._delegations: Dict[Name, Delegation] = {}
+
+    def add_delegation(self, delegation: Delegation) -> None:
+        if len(delegation.tld) != 1:
+            raise ValueError(f"TLD must be a single label: {delegation.tld}")
+        self._delegations[delegation.tld] = delegation
+
+    def delegation_for(self, name: Name) -> Optional[Delegation]:
+        """Find the delegation covering ``name`` (by its last label)."""
+        if not name.labels:
+            return None
+        return self._delegations.get(Name(name.labels[-1:]))
+
+    def __len__(self) -> int:
+        return len(self._delegations)
+
+    @classmethod
+    def synthetic(cls, tlds: Sequence[str]) -> "RootZone":
+        """Build a zone with two nameservers + glue per TLD."""
+        zone = cls()
+        for index, tld in enumerate(tlds):
+            tld_name = Name.parse(tld)
+            ns_names = [Name.parse(f"{letter}.nic.{tld}") for letter in "ab"]
+            glue_v4 = {
+                ns: (192 << 24) | (175 << 16) | (index << 4) | i
+                for i, ns in enumerate(ns_names)
+            }
+            glue_v6 = {
+                ns: (0x2001_0500 << 96) | (index << 16) | i
+                for i, ns in enumerate(ns_names)
+            }
+            zone.add_delegation(Delegation(tld_name, ns_names, glue_v4, glue_v6))
+        return zone
+
+
+@dataclass
+class ServerStats:
+    """Counters a real root operator would export."""
+
+    queries: int = 0
+    referrals: int = 0
+    nxdomain: int = 0
+    formerr: int = 0
+    notimp: int = 0
+    apex_answers: int = 0
+
+    def total_responses(self) -> int:
+        return (self.referrals + self.nxdomain + self.formerr
+                + self.notimp + self.apex_answers)
+
+
+class RootServer:
+    """Authoritative responder over a :class:`RootZone`.
+
+    ``handle_wire`` is the full path (decode request bytes, encode
+    response bytes); ``respond`` works on parsed messages for callers
+    that skip serialisation.
+    """
+
+    #: SOA RDATA is static for the simulation; content is irrelevant to
+    #: the outage pipeline but keeps responses structurally complete.
+    _SOA_RDATA = b"\x01a\x0croot-servers\x03net\x00" \
+                 b"\x05nstld\x08verisign\x03grs\x03com\x00" \
+                 b"\x78\x68\x33\x05\x00\x00\x07\x08\x00\x00\x03\x84" \
+                 b"\x00\x09\x3a\x80\x00\x01\x51\x80"
+
+    def __init__(self, zone: RootZone) -> None:
+        self.zone = zone
+        self.stats = ServerStats()
+
+    def handle_wire(self, request_bytes: bytes) -> Optional[bytes]:
+        """Decode, answer, and re-encode; None when the input is garbage
+        that a real server would drop rather than answer."""
+        try:
+            request = Message.decode(request_bytes)
+        except DnsError:
+            self.stats.formerr += 1
+            return None
+        response = self.respond(request)
+        return response.encode() if response is not None else None
+
+    def respond(self, request: Message) -> Optional[Message]:
+        """Produce the authoritative response for a parsed request."""
+        self.stats.queries += 1
+        if request.header.is_response or not request.questions:
+            self.stats.formerr += 1
+            return self._error(request, RCode.FORMERR)
+        if request.header.opcode != 0:
+            self.stats.notimp += 1
+            return self._error(request, RCode.NOTIMP)
+
+        question = request.questions[0]
+        if question.qclass not in (QClass.IN, QClass.ANY):
+            self.stats.notimp += 1
+            return self._error(request, RCode.NOTIMP)
+
+        if question.name == ROOT:
+            return self._apex_answer(request)
+
+        delegation = self.zone.delegation_for(question.name)
+        if delegation is None:
+            self.stats.nxdomain += 1
+            response = self._error(request, RCode.NXDOMAIN)
+            response.authority.append(
+                ResourceRecord(ROOT, QType.SOA, QClass.IN, 86400, self._SOA_RDATA))
+            return response
+        return self._referral(request, delegation)
+
+    def _base_response(self, request: Message) -> Message:
+        header = Header(
+            txid=request.header.txid,
+            is_response=True,
+            authoritative=True,
+            recursion_desired=request.header.recursion_desired,
+        )
+        return Message(header=header, questions=list(request.questions[:1]))
+
+    def _error(self, request: Message, rcode: int) -> Message:
+        response = self._base_response(request)
+        response.header.rcode = rcode
+        response.header.authoritative = rcode != RCode.NOTIMP
+        return response
+
+    def _apex_answer(self, request: Message) -> Message:
+        """Answer queries for the root apex itself (SOA/NS)."""
+        self.stats.apex_answers += 1
+        response = self._base_response(request)
+        qtype = request.questions[0].qtype
+        if qtype in (QType.SOA, QType.ANY):
+            response.answers.append(
+                ResourceRecord(ROOT, QType.SOA, QClass.IN, 86400, self._SOA_RDATA))
+        if qtype in (QType.NS, QType.ANY):
+            for letter in "abcdefghijklm":
+                rdata = bytearray()
+                Name.parse(f"{letter}.root-servers.net").encode(rdata, None)
+                response.answers.append(
+                    ResourceRecord(ROOT, QType.NS, QClass.IN, 518400, bytes(rdata)))
+        return response
+
+    def _referral(self, request: Message, delegation: Delegation) -> Message:
+        """A classic root referral: NS in authority, glue in additional."""
+        self.stats.referrals += 1
+        response = self._base_response(request)
+        response.header.authoritative = False  # referrals are not AA
+        for ns_name in delegation.nameservers:
+            response.authority.append(ResourceRecord.ns(delegation.tld, ns_name))
+            if ns_name in delegation.glue_v4:
+                response.additional.append(
+                    ResourceRecord.a(ns_name, delegation.glue_v4[ns_name]))
+            if ns_name in delegation.glue_v6:
+                response.additional.append(
+                    ResourceRecord.aaaa(ns_name, delegation.glue_v6[ns_name]))
+        return response

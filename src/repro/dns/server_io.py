@@ -1,0 +1,142 @@
+"""Asyncio UDP front-end for the root server + passive tap.
+
+Everything else in the repository drives the pipeline from simulated or
+recorded streams; this module is the live path: a datagram endpoint
+that answers DNS queries with :class:`~repro.dns.rootserver.RootServer`
+and *taps* every request as a passive observation — the exact coupling
+the paper's vantage point has (the detector is a bump in the wire of a
+production service).
+
+The tap is a plain callable so it can feed a
+:class:`~repro.core.detector.StreamingDetector`, a
+:class:`~repro.telescope.capture.CaptureWriter`, or both.
+
+Only UDP is implemented: at a root server UDP carries the overwhelming
+majority of queries, and the passive signal needs arrival events, not
+connection state.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time as time_module
+from typing import Callable, Optional, Tuple
+
+from ..net.addr import parse_address
+from ..telescope.records import Observation
+from .message import Message
+from .name import DnsError
+from .rootserver import RootServer
+
+__all__ = ["ObservationTap", "UdpRootServer", "udp_query"]
+
+#: Signature of a passive tap: called once per decodable request.
+ObservationTap = Callable[[Observation], None]
+
+
+class _RootProtocol(asyncio.DatagramProtocol):
+    """Datagram glue between the event loop and the zone logic."""
+
+    def __init__(self, server: "UdpRootServer") -> None:
+        self._server = server
+        self._transport: Optional[asyncio.DatagramTransport] = None
+
+    def connection_made(self, transport) -> None:
+        self._transport = transport
+
+    def datagram_received(self, data: bytes, peer: Tuple) -> None:
+        response = self._server.handle_datagram(data, peer)
+        if response is not None and self._transport is not None:
+            self._transport.sendto(response, peer)
+
+
+class UdpRootServer:
+    """A live UDP root-like name server with a passive observation tap.
+
+    Usage::
+
+        server = UdpRootServer(RootServer(zone), tap=detector_feed)
+        await server.start(host="127.0.0.1", port=0)
+        ...
+        await server.stop()
+    """
+
+    def __init__(self, engine: RootServer,
+                 tap: Optional[ObservationTap] = None,
+                 clock: Callable[[], float] = time_module.time) -> None:
+        self.engine = engine
+        self.tap = tap
+        self.clock = clock
+        self.datagrams_received = 0
+        self.datagrams_dropped = 0
+        self._transport: Optional[asyncio.DatagramTransport] = None
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        """Bind and start serving; ``port=0`` picks a free port."""
+        if self._transport is not None:
+            raise RuntimeError("server already started")
+        loop = asyncio.get_running_loop()
+        self._transport, _ = await loop.create_datagram_endpoint(
+            lambda: _RootProtocol(self), local_addr=(host, port))
+
+    @property
+    def bound_address(self) -> Tuple[str, int]:
+        """The (host, port) actually bound (after :meth:`start`)."""
+        if self._transport is None:
+            raise RuntimeError("server not started")
+        sockname = self._transport.get_extra_info("sockname")
+        return sockname[0], sockname[1]
+
+    async def stop(self) -> None:
+        if self._transport is not None:
+            self._transport.close()
+            self._transport = None
+
+    # -- datagram path ------------------------------------------------------
+
+    def handle_datagram(self, data: bytes,
+                        peer: Tuple) -> Optional[bytes]:
+        """Decode, tap, answer.  Returns response bytes or None (drop)."""
+        self.datagrams_received += 1
+        arrival = self.clock()
+        qtype = 0
+        try:
+            request = Message.decode(data)
+            if request.questions:
+                qtype = request.questions[0].qtype
+        except DnsError:
+            self.datagrams_dropped += 1
+            return None
+        if self.tap is not None:
+            family, value = parse_address(peer[0])
+            self.tap(Observation(arrival, family, value, qtype))
+        response = self.engine.respond(request)
+        return response.encode() if response is not None else None
+
+
+class _ClientProtocol(asyncio.DatagramProtocol):
+    def __init__(self, future: "asyncio.Future[bytes]") -> None:
+        self._future = future
+
+    def datagram_received(self, data: bytes, peer: Tuple) -> None:
+        if not self._future.done():
+            self._future.set_result(data)
+
+    def error_received(self, exc: Exception) -> None:
+        if not self._future.done():
+            self._future.set_exception(exc)
+
+
+async def udp_query(host: str, port: int, request: Message,
+                    timeout: float = 2.0) -> Message:
+    """Send one query over UDP and await the decoded response."""
+    loop = asyncio.get_running_loop()
+    future: "asyncio.Future[bytes]" = loop.create_future()
+    transport, _ = await loop.create_datagram_endpoint(
+        lambda: _ClientProtocol(future), remote_addr=(host, port))
+    try:
+        transport.sendto(request.encode())
+        payload = await asyncio.wait_for(future, timeout)
+    finally:
+        transport.close()
+    return Message.decode(payload)

@@ -1,0 +1,58 @@
+"""Evaluation: confusion matrices, event matching, coverage, reports."""
+
+from .bootstrap import MetricInterval, bootstrap_confusion
+from .incidents import Incident, format_incident_report, group_incidents
+from .confusion import Confusion, confusion_for_block, confusion_for_population
+from .drilldown import BlockDrilldown, drilldown, render_belief_strip
+from .coverage import (
+    CoveragePoint,
+    OutageRateReport,
+    PriorCoverageReport,
+    confusion_by_density,
+    coverage_vs_bin,
+    outage_rate_report,
+    prior_coverage_report,
+)
+from .matching import (
+    MatchResult,
+    event_confusion,
+    event_confusion_for_population,
+    match_events,
+)
+from .report import (
+    ascii_bar_chart,
+    format_confusion_table,
+    format_coverage_curve,
+    format_outage_rates,
+    format_prior_coverage,
+)
+
+__all__ = [
+    "Incident",
+    "format_incident_report",
+    "group_incidents",
+    "MetricInterval",
+    "bootstrap_confusion",
+    "BlockDrilldown",
+    "drilldown",
+    "render_belief_strip",
+    "Confusion",
+    "confusion_for_block",
+    "confusion_for_population",
+    "CoveragePoint",
+    "OutageRateReport",
+    "PriorCoverageReport",
+    "confusion_by_density",
+    "coverage_vs_bin",
+    "outage_rate_report",
+    "prior_coverage_report",
+    "MatchResult",
+    "event_confusion",
+    "event_confusion_for_population",
+    "match_events",
+    "ascii_bar_chart",
+    "format_confusion_table",
+    "format_coverage_curve",
+    "format_outage_rates",
+    "format_prior_coverage",
+]

@@ -1,0 +1,87 @@
+"""Block-bootstrap confidence intervals for evaluation metrics.
+
+A single simulated (or measured) day yields point estimates of
+precision/recall/TNR; resampling *blocks* with replacement quantifies
+how much those estimates depend on which blocks happened to fail.
+Blocks — not seconds — are the exchangeable unit: outage seconds within
+one block are strongly dependent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+import numpy as np
+
+from ..timeline import Timeline
+from .confusion import confusion_for_block
+
+__all__ = ["MetricInterval", "bootstrap_confusion"]
+
+
+@dataclass(frozen=True)
+class MetricInterval:
+    """A point estimate with a percentile bootstrap interval."""
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+
+    def __str__(self) -> str:
+        return (f"{self.estimate:.4f} "
+                f"[{self.low:.4f}, {self.high:.4f}]"
+                f"@{self.confidence:.0%}")
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+
+def bootstrap_confusion(
+    observed: Mapping[int, Timeline],
+    truth: Mapping[int, Timeline],
+    replicates: int = 500,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> Dict[str, MetricInterval]:
+    """Bootstrap precision/recall/TNR over blocks.
+
+    Returns intervals for ``precision``, ``recall``, and ``tnr``.
+    Per-block confusion cells are computed once; each replicate is a
+    cheap resampled sum, so 500 replicates over thousands of blocks run
+    in milliseconds.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    keys = sorted(set(observed) & set(truth))
+    if not keys:
+        raise ValueError("no blocks common to both mappings")
+
+    cells = np.array([confusion_for_block(observed[key],
+                                          truth[key]).as_tuple()
+                      for key in keys])  # (n_blocks, 4): ta, fa, fo, to
+
+    def metrics_of(matrix: np.ndarray) -> Tuple[float, float, float]:
+        ta, fa, fo, to = matrix.sum(axis=0)
+        precision = ta / (ta + fa) if ta + fa else 0.0
+        recall = ta / (ta + fo) if ta + fo else 0.0
+        tnr = to / (to + fa) if to + fa else 0.0
+        return precision, recall, tnr
+
+    point = metrics_of(cells)
+    rng = np.random.default_rng(seed)
+    samples = np.empty((replicates, 3))
+    n_blocks = len(keys)
+    for replicate in range(replicates):
+        chosen = rng.integers(0, n_blocks, size=n_blocks)
+        samples[replicate] = metrics_of(cells[chosen])
+
+    alpha = (1.0 - confidence) / 2.0
+    intervals: Dict[str, MetricInterval] = {}
+    for column, name in enumerate(("precision", "recall", "tnr")):
+        low, high = np.quantile(samples[:, column], [alpha, 1.0 - alpha])
+        intervals[name] = MetricInterval(
+            estimate=point[column], low=float(low), high=float(high),
+            confidence=confidence)
+    return intervals

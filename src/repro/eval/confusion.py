@@ -1,0 +1,129 @@
+"""Second-weighted confusion matrices (paper Tables 1 and 2).
+
+The paper scores the passive system against Trinocular by *time*: every
+second of the comparison window falls into one of four cells, named
+from B-root's point of view with availability as the positive class:
+
+* ``ta`` — true availability: both say up;
+* ``fa`` — false availability: B-root says up, ground truth says down;
+* ``fo`` — false outage: B-root says down, ground truth says up;
+* ``to`` — true outage: both say down.
+
+Precision = ta/(ta+fa), recall = ta/(ta+fo) (how well availability is
+tracked), and TNR = to/(to+fa) (what fraction of true outage time the
+system also calls outage) — the headline numbers of Tables 1–2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Tuple
+
+from ..timeline import Timeline, intersect_intervals, total_duration
+
+__all__ = ["Confusion", "confusion_for_block", "confusion_for_population"]
+
+
+@dataclass
+class Confusion:
+    """Accumulable 2x2 confusion matrix (seconds or events).
+
+    The four cells follow the paper's naming; all metric properties
+    return NaN-free safe values (0 when the denominator is empty).
+    """
+
+    ta: float = 0.0
+    fa: float = 0.0
+    fo: float = 0.0
+    to: float = 0.0
+
+    def __add__(self, other: "Confusion") -> "Confusion":
+        return Confusion(self.ta + other.ta, self.fa + other.fa,
+                         self.fo + other.fo, self.to + other.to)
+
+    def __iadd__(self, other: "Confusion") -> "Confusion":
+        self.ta += other.ta
+        self.fa += other.fa
+        self.fo += other.fo
+        self.to += other.to
+        return self
+
+    @property
+    def total(self) -> float:
+        return self.ta + self.fa + self.fo + self.to
+
+    @property
+    def precision(self) -> float:
+        """Of the availability we report, how much is real."""
+        denominator = self.ta + self.fa
+        return self.ta / denominator if denominator else 0.0
+
+    @property
+    def recall(self) -> float:
+        """Of the real availability, how much we report."""
+        denominator = self.ta + self.fo
+        return self.ta / denominator if denominator else 0.0
+
+    @property
+    def tnr(self) -> float:
+        """Of the real outage time, how much we also call outage."""
+        denominator = self.to + self.fa
+        return self.to / denominator if denominator else 0.0
+
+    @property
+    def outage_precision(self) -> float:
+        """Of the outage we report, how much is real."""
+        denominator = self.to + self.fo
+        return self.to / denominator if denominator else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        return (self.ta + self.to) / self.total if self.total else 0.0
+
+    def as_tuple(self) -> Tuple[float, float, float, float]:
+        return self.ta, self.fa, self.fo, self.to
+
+
+def confusion_for_block(observed: Timeline, truth: Timeline) -> Confusion:
+    """Second-weighted confusion between one block's two timelines.
+
+    The two timelines are clipped to their overlapping span first, so a
+    detector that reports a shorter window than the comparator is only
+    judged where both have an opinion.
+    """
+    start = max(observed.start, truth.start)
+    end = min(observed.end, truth.end)
+    if end <= start:
+        return Confusion()
+    observed = observed.clip(start, end)
+    truth = truth.clip(start, end)
+
+    observed_down = observed.down_intervals
+    truth_down = truth.down_intervals
+    to = total_duration(intersect_intervals(observed_down, truth_down))
+    observed_down_total = total_duration(observed_down)
+    truth_down_total = total_duration(truth_down)
+    fo = observed_down_total - to          # we say down, truth up
+    fa = truth_down_total - to             # truth down, we say up
+    span = end - start
+    ta = span - to - fo - fa
+    return Confusion(ta=max(ta, 0.0), fa=max(fa, 0.0),
+                     fo=max(fo, 0.0), to=max(to, 0.0))
+
+
+def confusion_for_population(
+    observed: Mapping[int, Timeline],
+    truth: Mapping[int, Timeline],
+    keys: Iterable[int] = (),
+) -> Confusion:
+    """Sum block confusions over the keys both systems cover.
+
+    With no explicit ``keys``, the intersection of the two mappings is
+    used — mirroring the paper's "compare only /24 blocks that overlap
+    between B-root and Trinocular".
+    """
+    keys = list(keys) or sorted(set(observed) & set(truth))
+    accumulated = Confusion()
+    for key in keys:
+        accumulated += confusion_for_block(observed[key], truth[key])
+    return accumulated

@@ -1,0 +1,202 @@
+"""Coverage and measurability accounting (paper Figures 1 and 2).
+
+Figure 1 is the precision/coverage dial: how many blocks become
+measurable as the time bin coarsens, and what time-weighted precision
+each density class retains.  Figure 2a compares IPv4 and IPv6 outage
+*rates* over measurable blocks; Figure 2b compares our coverage against
+the best prior system per family (Trinocular's probeable /24s, the
+Gasser hitlist's /48s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence
+
+import numpy as np
+
+from ..core.history import BlockHistory
+from ..traffic.rates import DensityClass
+from ..timeline import Timeline
+from .confusion import Confusion, confusion_for_block
+
+__all__ = ["CoveragePoint", "coverage_vs_bin", "SpatialCoveragePoint",
+           "coverage_vs_spatial", "OutageRateReport",
+           "outage_rate_report", "PriorCoverageReport",
+           "prior_coverage_report", "confusion_by_density"]
+
+
+@dataclass
+class CoveragePoint:
+    """One point on the Figure 1 trade-off curve."""
+
+    bin_seconds: float
+    measurable_blocks: int
+    total_blocks: int
+
+    @property
+    def coverage(self) -> float:
+        return (self.measurable_blocks / self.total_blocks
+                if self.total_blocks else 0.0)
+
+
+def coverage_vs_bin(
+    histories: Mapping[int, BlockHistory],
+    bin_ladder: Sequence[float],
+    target_empty_prob: float = 0.02,
+    min_training_arrivals: int = 10,
+) -> List[CoveragePoint]:
+    """Coverage achievable at each candidate bin size.
+
+    A block counts as covered at bin τ when its empty-bin probability
+    at τ meets the tuning target — i.e. the block *could* be watched at
+    that temporal precision.  Coverage is monotone in τ: coarser bins
+    admit sparser blocks, the heart of the paper's trade-off.
+    """
+    points: List[CoveragePoint] = []
+    total = len(histories)
+    for bin_seconds in bin_ladder:
+        measurable = sum(
+            1 for history in histories.values()
+            if history.observed_count >= min_training_arrivals
+            and history.empty_bin_probability(bin_seconds)
+            <= target_empty_prob)
+        points.append(CoveragePoint(bin_seconds, measurable, total))
+    return points
+
+
+@dataclass
+class SpatialCoveragePoint:
+    """One point on the *spatial* half of the Figure 1 trade-off.
+
+    At aggregation ``levels`` (0 = native /24s), ``covered_blocks`` of
+    the ``total_blocks`` native blocks live inside some measurable
+    detection unit — either measurable themselves or members of a
+    measurable supernet.
+    """
+
+    levels: int
+    covered_blocks: int
+    total_blocks: int
+    detection_units: int
+
+    @property
+    def coverage(self) -> float:
+        return (self.covered_blocks / self.total_blocks
+                if self.total_blocks else 0.0)
+
+
+def coverage_vs_spatial(
+    histories: Mapping[int, BlockHistory],
+    bin_seconds: float,
+    levels_ladder: Sequence[int] = (0, 2, 4, 6, 8),
+    target_empty_prob: float = 0.02,
+    min_training_arrivals: int = 10,
+) -> List[SpatialCoveragePoint]:
+    """Coverage achievable by widening *blocks* at a fixed time bin.
+
+    The dual of :func:`coverage_vs_bin`: hold temporal precision fixed
+    and merge sibling blocks into supernets until the combined rate
+    clears the measurability bar.  Rates add across siblings, so a
+    supernet is covered when the sum of member rates (discounted by the
+    members' worst burstiness) meets the empty-bin target.
+    """
+    points: List[SpatialCoveragePoint] = []
+    total = len(histories)
+    for levels in levels_ladder:
+        groups: Dict[int, List[BlockHistory]] = {}
+        for key, history in histories.items():
+            groups.setdefault(int(key) >> levels, []).append(history)
+        covered = 0
+        units = 0
+        for members in groups.values():
+            rate = sum(h.min_rate() for h in members)
+            count = sum(h.observed_count for h in members)
+            burst = max(h.burstiness for h in members)
+            effective = rate / max(1.0, np.sqrt(burst))
+            measurable = (count >= min_training_arrivals
+                          and np.exp(-effective * bin_seconds)
+                          <= target_empty_prob)
+            if measurable:
+                covered += len(members)
+                units += 1
+        points.append(SpatialCoveragePoint(
+            levels=levels, covered_blocks=covered, total_blocks=total,
+            detection_units=units))
+    return points
+
+
+def confusion_by_density(
+    observed: Mapping[int, Timeline],
+    truth: Mapping[int, Timeline],
+    histories: Mapping[int, BlockHistory],
+) -> Dict[DensityClass, Confusion]:
+    """Time-weighted confusion split by the blocks' density class.
+
+    Figure 1's "good precision for dense blocks, less for sparse"
+    statement, quantified.
+    """
+    split: Dict[DensityClass, Confusion] = {
+        cls: Confusion() for cls in DensityClass}
+    for key in sorted(set(observed) & set(truth)):
+        history = histories.get(key)
+        if history is None:
+            continue
+        split[history.density] += confusion_for_block(
+            observed[key], truth[key])
+    return split
+
+
+@dataclass
+class OutageRateReport:
+    """Figure 2a numbers for one family."""
+
+    family_name: str
+    measurable_blocks: int
+    blocks_with_outage: int
+    min_outage_seconds: float
+
+    @property
+    def outage_rate(self) -> float:
+        return (self.blocks_with_outage / self.measurable_blocks
+                if self.measurable_blocks else 0.0)
+
+
+def outage_rate_report(
+    family_name: str,
+    timelines: Mapping[int, Timeline],
+    min_outage_seconds: float = 600.0,
+) -> OutageRateReport:
+    """Count measurable blocks with >= 1 outage of the given length."""
+    with_outage = sum(
+        1 for timeline in timelines.values()
+        if timeline.events(min_outage_seconds))
+    return OutageRateReport(
+        family_name=family_name,
+        measurable_blocks=len(timelines),
+        blocks_with_outage=with_outage,
+        min_outage_seconds=min_outage_seconds,
+    )
+
+
+@dataclass
+class PriorCoverageReport:
+    """Figure 2b numbers for one family."""
+
+    family_name: str
+    our_blocks: int
+    prior_system: str
+    prior_blocks: int
+
+    @property
+    def fraction_of_prior(self) -> float:
+        return self.our_blocks / self.prior_blocks if self.prior_blocks else 0.0
+
+
+def prior_coverage_report(family_name: str, our_blocks: int,
+                          prior_system: str,
+                          prior_blocks: int) -> PriorCoverageReport:
+    """Package a coverage-vs-prior comparison."""
+    return PriorCoverageReport(family_name=family_name, our_blocks=our_blocks,
+                               prior_system=prior_system,
+                               prior_blocks=prior_blocks)

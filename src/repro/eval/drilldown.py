@@ -1,0 +1,109 @@
+"""Per-block diagnostic drill-down.
+
+The poster illustrates its method with two strip charts: a dense block
+whose belief B(a) pins to 1 and drops sharply at an outage, and a
+sparse block whose belief wanders.  This module renders that view for
+any detected block — trained statistics, tuned parameters, an ASCII
+belief strip, and the event list — the first thing an operator wants
+when a block's verdict looks surprising.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.detector import BlockResult
+from ..telescope.aggregate import BinGrid
+
+__all__ = ["BlockDrilldown", "drilldown", "render_belief_strip"]
+
+#: glyphs from DOWN (left) to UP (right).
+_BELIEF_GLYPHS = " .:-=+*#@"
+
+
+def render_belief_strip(beliefs: np.ndarray, width: int = 72) -> str:
+    """Compress a belief trajectory into a one-line ASCII strip.
+
+    Each output column shows the *minimum* belief over its span — a
+    short outage must stay visible after downsampling, and min is the
+    conservative aggregate for "was this ever in trouble".
+    """
+    beliefs = np.asarray(beliefs, dtype=float)
+    if beliefs.size == 0:
+        return ""
+    width = min(width, beliefs.size)
+    edges = np.linspace(0, beliefs.size, width + 1).astype(int)
+    glyphs = []
+    for left, right in zip(edges, edges[1:]):
+        value = float(beliefs[left:max(right, left + 1)].min())
+        index = int(np.clip(value, 0.0, 1.0) * (len(_BELIEF_GLYPHS) - 1))
+        glyphs.append(_BELIEF_GLYPHS[index])
+    return "".join(glyphs)
+
+
+@dataclass
+class BlockDrilldown:
+    """A rendered diagnostic for one block."""
+
+    key: int
+    text: str
+
+    def __str__(self) -> str:
+        return self.text
+
+
+def drilldown(result: BlockResult, start: float, end: float,
+              times: Optional[np.ndarray] = None) -> BlockDrilldown:
+    """Render the poster-style diagnostic for one block's result.
+
+    ``times`` (the block's raw arrivals over the window) adds an arrival
+    sparkline above the belief strip when provided.  The belief strip
+    requires the detector to have been run with
+    ``keep_belief_traces=True``.
+    """
+    history = result.history
+    params = result.params
+    lines: List[str] = [
+        f"block {result.key:#x} ({result.family.name}, "
+        f"/{result.family.default_block_prefix})",
+        f"  trained: rate {history.mean_rate:.4g} q/s "
+        f"({history.density.value}), burstiness {history.burstiness:.2f}, "
+        f"max healthy gap {history.max_gap:.0f}s",
+        f"  tuned:   bin {params.bin_seconds / 60:.0f} min, "
+        f"P(empty|up) {params.p_empty_up:.2e}, "
+        + (f"gap threshold {params.gap_threshold_seconds:.0f}s"
+           if np.isfinite(params.gap_threshold_seconds)
+           else "gap detector off"),
+    ]
+
+    if times is not None and len(times):
+        grid = BinGrid(start, end, (end - start) / 72.0)
+        counts = np.bincount(grid.bin_of(np.asarray(times)),
+                             minlength=grid.n_bins)
+        peak = counts.max() or 1
+        spark = "".join(
+            _BELIEF_GLYPHS[int(c / peak * (len(_BELIEF_GLYPHS) - 1))]
+            for c in counts)
+        lines.append(f"  arrivals {spark}")
+
+    if result.belief_trace is not None:
+        strip = render_belief_strip(result.belief_trace)
+        lines.append(f"  belief   {strip}")
+        lines.append(f"           ^ {start:.0f}s"
+                     f"{'':>{max(0, 60 - len(str(int(start))))}}"
+                     f"{end:.0f}s ^")
+
+    events = result.timeline.events()
+    if events:
+        lines.append(f"  {len(events)} outage event(s):")
+        for event in events[:8]:
+            lines.append(f"    down {event.start:,.1f}s -> "
+                         f"{event.end:,.1f}s  ({event.duration:,.0f}s)")
+        if len(events) > 8:
+            lines.append(f"    ... and {len(events) - 8} more")
+    else:
+        lines.append("  no outages detected")
+    return BlockDrilldown(key=result.key, text="\n".join(lines))

@@ -1,0 +1,100 @@
+"""Text renderers that print the paper's tables and figures.
+
+Each function formats one artefact in the same shape the paper reports
+it, so a benchmark run ends with output directly comparable to the
+published numbers (EXPERIMENTS.md holds the side-by-side record).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .confusion import Confusion
+from .coverage import CoveragePoint, OutageRateReport, PriorCoverageReport
+
+__all__ = ["format_confusion_table", "format_coverage_curve",
+           "format_outage_rates", "format_prior_coverage", "ascii_bar_chart"]
+
+
+def format_confusion_table(confusion: Confusion, title: str,
+                           unit: str = "s",
+                           ground_truth: str = "Trinocular") -> str:
+    """Render a Table 1/2/3-style confusion matrix."""
+    def fmt(value: float) -> str:
+        return f"{value:,.0f}"
+
+    lines = [
+        title,
+        f"  Observation (B-root) vs ground truth ({ground_truth}), in {unit}",
+        f"  {'':14s}{'truth avail':>18s}{'truth outage':>18s}",
+        (f"  {'availability':14s}{'TP=ta=' + fmt(confusion.ta):>18s}"
+         f"{'FP=fa=' + fmt(confusion.fa):>18s}"
+         f"   Precision {confusion.precision:.4f}"),
+        (f"  {'outage':14s}{'FN=fo=' + fmt(confusion.fo):>18s}"
+         f"{'TN=to=' + fmt(confusion.to):>18s}"),
+        (f"  {'':14s}{'Recall ' + format(confusion.recall, '.4f'):>18s}"
+         f"{'TNR ' + format(confusion.tnr, '.4f'):>18s}"),
+    ]
+    return "\n".join(lines)
+
+
+def format_coverage_curve(points: Sequence[CoveragePoint],
+                          title: str = "Figure 1: coverage vs time bin"
+                          ) -> str:
+    """Render the Figure 1 temporal-precision/coverage trade-off."""
+    lines = [title,
+             f"  {'bin (min)':>10s}{'measurable':>12s}{'total':>9s}"
+             f"{'coverage':>10s}  "]
+    for point in points:
+        bar = "#" * int(round(point.coverage * 40))
+        lines.append(
+            f"  {point.bin_seconds / 60.0:>10.0f}"
+            f"{point.measurable_blocks:>12d}{point.total_blocks:>9d}"
+            f"{point.coverage:>9.1%}  {bar}")
+    return "\n".join(lines)
+
+
+def format_outage_rates(reports: Sequence[OutageRateReport],
+                        title: str = "Figure 2a: outage rate, IPv4 vs IPv6"
+                        ) -> str:
+    """Render the Figure 2a measurable-blocks / outage-rate comparison."""
+    lines = [title,
+             f"  {'family':>8s}{'measurable':>12s}{'with outage':>13s}"
+             f"{'rate':>8s}   (outage >= "
+             f"{reports[0].min_outage_seconds / 60.0:.0f} min)"]
+    for report in reports:
+        lines.append(
+            f"  {report.family_name:>8s}{report.measurable_blocks:>12d}"
+            f"{report.blocks_with_outage:>13d}{report.outage_rate:>7.1%}")
+    return "\n".join(lines)
+
+
+def format_prior_coverage(reports: Sequence[PriorCoverageReport],
+                          title: str = "Figure 2b: coverage vs best prior "
+                                       "system") -> str:
+    """Render the Figure 2b coverage-fraction comparison."""
+    lines = [title,
+             f"  {'family':>8s}{'ours':>10s}{'prior system':>16s}"
+             f"{'prior':>10s}{'fraction':>10s}"]
+    for report in reports:
+        lines.append(
+            f"  {report.family_name:>8s}{report.our_blocks:>10d}"
+            f"{report.prior_system:>16s}{report.prior_blocks:>10d}"
+            f"{report.fraction_of_prior:>9.1%}")
+    return "\n".join(lines)
+
+
+def ascii_bar_chart(labels: Sequence[str], values: Sequence[float],
+                    width: int = 40, value_format: str = ".3f") -> str:
+    """Generic horizontal bar chart for examples and benches."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    peak = max(values) if values else 1.0
+    peak = peak or 1.0
+    label_width = max((len(label) for label in labels), default=0)
+    lines: List[str] = []
+    for label, value in zip(labels, values):
+        bar = "#" * int(round(width * value / peak))
+        lines.append(f"  {label:<{label_width}s} "
+                     f"{value:{value_format}} {bar}")
+    return "\n".join(lines)

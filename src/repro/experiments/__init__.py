@@ -1,0 +1,68 @@
+"""Canonical experiments reproducing the paper's tables and figures."""
+
+from .extensions import (
+    AblationResult,
+    BaselineComparison,
+    FusionResult,
+    ShortUpliftResult,
+    run_baseline_comparison,
+    run_darknet_fusion,
+    run_sensitivity,
+    run_short_uplift,
+    run_tuning_ablation,
+)
+from .figures import (
+    Figure1Result,
+    Figure2aResult,
+    Figure2bResult,
+    run_figure1,
+    run_figure2a,
+    run_figure2b,
+)
+from .scenarios import (
+    DAY,
+    EVAL_END,
+    TRAIN_END,
+    Scenario,
+    ipv6_scenario,
+    long_outage_scenario,
+    short_outage_scenario,
+    split_window,
+    tradeoff_scenario,
+)
+from .tables import TableResult, detect_passive, run_table1, run_table2, run_table3
+from .weeklong import WeekResult, run_week_validation
+
+__all__ = [
+    "AblationResult",
+    "BaselineComparison",
+    "FusionResult",
+    "ShortUpliftResult",
+    "run_baseline_comparison",
+    "run_darknet_fusion",
+    "run_sensitivity",
+    "run_short_uplift",
+    "run_tuning_ablation",
+    "Figure1Result",
+    "Figure2aResult",
+    "Figure2bResult",
+    "run_figure1",
+    "run_figure2a",
+    "run_figure2b",
+    "DAY",
+    "EVAL_END",
+    "TRAIN_END",
+    "Scenario",
+    "ipv6_scenario",
+    "long_outage_scenario",
+    "short_outage_scenario",
+    "split_window",
+    "tradeoff_scenario",
+    "TableResult",
+    "detect_passive",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "WeekResult",
+    "run_week_validation",
+]

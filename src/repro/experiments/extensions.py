@@ -1,0 +1,392 @@
+"""Secondary claims and ablations beyond the numbered tables/figures.
+
+* :func:`run_short_uplift` — the poster's "short outages add up": the
+  5–11-minute events prior systems omit add ~20 % to total outage time.
+* :func:`run_tuning_ablation` — per-block tuning vs the homogeneous
+  fixed-bin planner prior systems use (the design choice DESIGN.md
+  calls out).
+* :func:`run_baseline_comparison` — our detector vs CUSUM and
+  Chocolatine on the same day.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..baselines.chocolatine import ChocolatineDetector, group_by_as
+from ..baselines.cusum import CusumDetector
+from ..baselines.disco import DiscoDetector
+from ..core.parameters import TuningPolicy
+from ..core.pipeline import PassiveOutagePipeline
+from ..traffic.darknet import DarknetTelescope
+from ..eval.confusion import Confusion, confusion_for_population
+from ..eval.report import ascii_bar_chart
+from ..net.addr import Family
+from ..traffic.rates import DensityClass
+from .scenarios import (
+    EVAL_END,
+    TRAIN_END,
+    long_outage_scenario,
+    split_window,
+    uplift_scenario,
+)
+from .tables import detect_passive
+
+__all__ = ["ShortUpliftResult", "run_short_uplift", "AblationResult",
+           "run_tuning_ablation", "BaselineComparison",
+           "run_baseline_comparison", "FusionResult", "run_darknet_fusion",
+           "SensitivityResult", "run_sensitivity"]
+
+#: Trinocular's detection floor: outages under 11 minutes are invisible
+#: to a round-based prober.
+PRIOR_FLOOR_SECONDS = 660.0
+#: Our floor: the 5-minute class the paper newly reaches.
+OUR_FLOOR_SECONDS = 300.0
+
+
+@dataclass
+class ShortUpliftResult:
+    """Outage-time accounting with and without the 5–11-minute class."""
+
+    long_outage_seconds: float
+    short_outage_seconds: float
+    short_events: int
+    long_events: int
+    text: str
+
+    @property
+    def uplift(self) -> float:
+        """Fractional increase in total outage time from short events."""
+        if self.long_outage_seconds == 0:
+            return 0.0
+        return self.short_outage_seconds / self.long_outage_seconds
+
+    def __str__(self) -> str:
+        return self.text
+
+
+def run_short_uplift(scale: float = 1.0, seed: int = 19) -> ShortUpliftResult:
+    """Quantify the outage time the 5–11-minute class adds.
+
+    Accounting is restricted to dense blocks: only they resolve the
+    5–11-minute class, so only there can "what prior systems omitted"
+    be measured without the denominator being dominated by coarse-bin
+    noise.
+    """
+    scenario = uplift_scenario(scale, seed)
+    model, result = detect_passive(scenario)
+    short_seconds = 0.0
+    long_seconds = 0.0
+    short_events = 0
+    long_events = 0
+    for key, block in result.blocks.items():
+        if model.histories[key].density is not DensityClass.DENSE:
+            continue
+        for event in block.timeline.events(OUR_FLOOR_SECONDS):
+            if event.duration < PRIOR_FLOOR_SECONDS:
+                short_seconds += event.duration
+                short_events += 1
+            else:
+                long_seconds += event.duration
+                long_events += 1
+    uplift = short_seconds / long_seconds if long_seconds else 0.0
+    text = ("Short-outage uplift (5-11 min events prior systems omit):\n"
+            f"  long events (>=11 min): {long_events} "
+            f"({long_seconds:,.0f} s)\n"
+            f"  short events (5-11 min): {short_events} "
+            f"({short_seconds:,.0f} s)\n"
+            f"  total outage time increases by {uplift:.1%}")
+    return ShortUpliftResult(
+        long_outage_seconds=long_seconds, short_outage_seconds=short_seconds,
+        short_events=short_events, long_events=long_events, text=text)
+
+
+@dataclass
+class AblationResult:
+    """Per-block tuning vs homogeneous parameters."""
+
+    tuned_coverage: float
+    homogeneous: Dict[float, float]
+    tuned_confusion: Confusion
+    homogeneous_confusion: Dict[float, Confusion]
+    text: str
+
+    def __str__(self) -> str:
+        return self.text
+
+
+def run_tuning_ablation(scale: float = 1.0, seed: int = 44,
+                        fixed_bins: Tuple[float, ...] = (300.0, 3600.0)
+                        ) -> AblationResult:
+    """Compare the per-block planner against fixed-bin planners.
+
+    The fixed 5-minute planner keeps precision but covers only the
+    dense slice; the fixed 1-hour planner recovers coverage but loses
+    the short-outage class.  The tuned planner gets both — the paper's
+    core argument.
+    """
+    scenario = long_outage_scenario(scale, seed)
+    truths = scenario.truths(Family.IPV4)
+
+    model, result = detect_passive(scenario)
+    tuned_coverage = model.coverage()
+    tuned_confusion = confusion_for_population(
+        {key: block.timeline for key, block in result.blocks.items()},
+        truths)
+
+    homogeneous_coverage: Dict[float, float] = {}
+    homogeneous_confusion: Dict[float, Confusion] = {}
+    for bin_seconds in fixed_bins:
+        pipeline = PassiveOutagePipeline(homogeneous_bin=bin_seconds,
+                                         aggregation_levels=0)
+        fixed_model, fixed_result = detect_passive(scenario,
+                                                   pipeline=pipeline)
+        homogeneous_coverage[bin_seconds] = fixed_model.coverage()
+        homogeneous_confusion[bin_seconds] = confusion_for_population(
+            {key: block.timeline
+             for key, block in fixed_result.blocks.items()},
+            truths)
+
+    labels = [f"tuned (per-block)"]
+    values = [tuned_coverage]
+    for bin_seconds in fixed_bins:
+        labels.append(f"fixed {bin_seconds / 60.0:.0f}-min bin")
+        values.append(homogeneous_coverage[bin_seconds])
+    lines = ["Ablation: per-block tuning vs homogeneous parameters",
+             "  Coverage (fraction of observed blocks measurable):",
+             ascii_bar_chart(labels, values),
+             "  Detection quality vs simulator truth (TNR = outage "
+             "seconds caught):",
+             f"    tuned: TNR {tuned_confusion.tnr:.4f}, "
+             f"precision {tuned_confusion.precision:.4f}"]
+    for bin_seconds in fixed_bins:
+        confusion = homogeneous_confusion[bin_seconds]
+        lines.append(f"    fixed {bin_seconds / 60.0:.0f} min: "
+                     f"TNR {confusion.tnr:.4f}, "
+                     f"precision {confusion.precision:.4f}")
+    return AblationResult(
+        tuned_coverage=tuned_coverage,
+        homogeneous=homogeneous_coverage,
+        tuned_confusion=tuned_confusion,
+        homogeneous_confusion=homogeneous_confusion,
+        text="\n".join(lines))
+
+
+@dataclass
+class BaselineComparison:
+    """Our detector vs CUSUM, Chocolatine, and Disco."""
+
+    ours: Confusion
+    cusum: Confusion
+    cusum_covered: int
+    chocolatine: Confusion
+    chocolatine_ases: int
+    disco: Confusion
+    disco_regions: int
+    text: str
+
+    def __str__(self) -> str:
+        return self.text
+
+
+def run_baseline_comparison(scale: float = 1.0,
+                            seed: int = 44) -> BaselineComparison:
+    """Score all passive systems against the same simulated truth.
+
+    CUSUM runs per block with global parameters (covering only blocks
+    dense enough to standardise).  Chocolatine runs per AS; its AS-level
+    alarm is projected onto every member block and scored against
+    block-level truth, which is the fair framing of the paper's
+    criticism — an AS-wide signal cannot see (or localise) single-block
+    outages.
+    """
+    scenario = long_outage_scenario(scale, seed)
+    train, evaluate = split_window(scenario.per_block(Family.IPV4))
+    truths = scenario.truths(Family.IPV4)
+
+    _, result = detect_passive(scenario)
+    ours = confusion_for_population(
+        {key: block.timeline for key, block in result.blocks.items()},
+        truths)
+
+    cusum = CusumDetector()
+    cusum.train(train, 0.0, TRAIN_END)
+    cusum_timelines = cusum.detect(evaluate, TRAIN_END, EVAL_END)
+    cusum_confusion = confusion_for_population(cusum_timelines, truths)
+
+    as_of_block = {profile.key: profile.as_id
+                   for profile in scenario.internet.family_profiles(
+                       Family.IPV4)}
+    chocolatine = ChocolatineDetector()
+    chocolatine.train(group_by_as(train, as_of_block), 0.0, TRAIN_END)
+    as_timelines = chocolatine.detect(group_by_as(evaluate, as_of_block),
+                                      TRAIN_END, EVAL_END)
+    # Project each AS alarm onto its member blocks: the finest statement
+    # an AS-granular detector can make about a block.
+    block_level = {
+        key: as_timelines[as_id]
+        for key, as_id in as_of_block.items()
+        if as_id in as_timelines and key in truths
+    }
+    chocolatine_confusion = confusion_for_population(block_level, truths)
+
+    # Disco: burst detection over probe disconnections, projected from
+    # its regional alarms onto member blocks the same way.
+    disco = DiscoDetector(scenario.internet)
+    disco_timelines = disco.survey(Family.IPV4, TRAIN_END, EVAL_END)
+    disco_block_level = {
+        key: disco_timelines[key >> disco.config.region_levels]
+        for key in truths
+        if (key >> disco.config.region_levels) in disco_timelines
+    }
+    disco_confusion = confusion_for_population(disco_block_level, truths)
+
+    text = "\n".join([
+        "Passive systems vs simulator truth (same day):",
+        f"  ours (per-block Bayesian): precision {ours.precision:.4f}, "
+        f"TNR {ours.tnr:.4f}, blocks {len(result.blocks)}",
+        f"  CUSUM (global params):     precision "
+        f"{cusum_confusion.precision:.4f}, TNR {cusum_confusion.tnr:.4f}, "
+        f"blocks {len(cusum_timelines)}",
+        f"  Chocolatine (per AS):      precision "
+        f"{chocolatine_confusion.precision:.4f}, "
+        f"TNR {chocolatine_confusion.tnr:.4f}, "
+        f"ASes {len(as_timelines)}",
+        f"  Disco (probe bursts):      precision "
+        f"{disco_confusion.precision:.4f}, "
+        f"TNR {disco_confusion.tnr:.4f}, "
+        f"regions {len(disco_timelines)}",
+    ])
+    return BaselineComparison(
+        ours=ours, cusum=cusum_confusion, cusum_covered=len(cusum_timelines),
+        chocolatine=chocolatine_confusion, chocolatine_ases=len(as_timelines),
+        disco=disco_confusion, disco_regions=len(disco_timelines),
+        text=text)
+
+
+
+@dataclass
+class FusionResult:
+    """Single-source vs fused multi-source detection."""
+
+    dns_coverage: float
+    darknet_coverage: float
+    fused_coverage: float
+    dns_confusion: Confusion
+    darknet_confusion: Confusion
+    fused_confusion: Confusion
+    text: str
+
+    def __str__(self) -> str:
+        return self.text
+
+
+def run_darknet_fusion(scale: float = 1.0, seed: int = 44) -> FusionResult:
+    """The poster's future-work extension: add a darknet passive source.
+
+    Both vantage points watch the same simulated Internet: the DNS
+    service sees resolver queries, the darknet telescope sees background
+    radiation (weakly correlated rates, partly spoofed).  Per-block
+    arrival streams are merged packet-wise before training, so a block
+    that is sparse at either single vantage can clear the measurability
+    bar on the combined signal — the coverage motivation for adding
+    sources.
+    """
+    scenario = long_outage_scenario(scale, seed)
+    truths = scenario.truths(Family.IPV4)
+    dns = scenario.per_block(Family.IPV4)
+    telescope = DarknetTelescope(scenario.internet)
+    darknet = telescope.per_block(Family.IPV4)
+
+    merged = {}
+    for key in set(dns) | set(darknet):
+        streams = [s for s in (dns.get(key), darknet.get(key))
+                   if s is not None and s.size]
+        if not streams:
+            continue
+        combined = np.concatenate(streams)
+        combined.sort()
+        merged[key] = combined
+
+    # Spoofed IBR keeps flowing during outages; the darknet-fed
+    # pipelines assume a per-block noise floor proportional to rate.
+    spoof_policy = TuningPolicy(noise_fraction_of_rate=0.04)
+    runs = {
+        "dns": (dns, PassiveOutagePipeline()),
+        "darknet": (darknet, PassiveOutagePipeline(policy=spoof_policy)),
+        "fused": (merged, PassiveOutagePipeline(policy=spoof_policy)),
+    }
+    coverage = {}
+    confusion = {}
+    for name, (per_block, pipeline) in runs.items():
+        train = {k: t[t < TRAIN_END] for k, t in per_block.items()}
+        evaluate = {k: t[t >= TRAIN_END] for k, t in per_block.items()}
+        model = pipeline.train(Family.IPV4, train, 0.0, TRAIN_END)
+        result = pipeline.detect(model, evaluate, TRAIN_END, EVAL_END)
+        coverage[name] = model.coverage()
+        confusion[name] = confusion_for_population(
+            {k: b.timeline for k, b in result.blocks.items()}, truths)
+
+    text = "\n".join([
+        "Multi-source fusion (DNS vantage + darknet telescope):",
+        f"  {'source':<10s}{'coverage':>10s}{'precision':>11s}{'TNR':>8s}",
+        *(f"  {name:<10s}{coverage[name]:>9.1%}"
+          f"{confusion[name].precision:>11.4f}{confusion[name].tnr:>8.4f}"
+          for name in ("dns", "darknet", "fused")),
+    ])
+    return FusionResult(
+        dns_coverage=coverage["dns"],
+        darknet_coverage=coverage["darknet"],
+        fused_coverage=coverage["fused"],
+        dns_confusion=confusion["dns"],
+        darknet_confusion=confusion["darknet"],
+        fused_confusion=confusion["fused"],
+        text=text)
+
+@dataclass
+class SensitivityResult:
+    """Detector metrics across a sweep of the tuning target."""
+
+    rows: List[Tuple[float, float, float, float]]
+    text: str
+
+    def __str__(self) -> str:
+        return self.text
+
+
+def run_sensitivity(scale: float = 1.0, seed: int = 44,
+                    targets: Tuple[float, ...] = (0.10, 0.05, 0.02,
+                                                  0.01, 0.005)
+                    ) -> SensitivityResult:
+    """Sweep the per-block tuner's empty-bin target.
+
+    ``target_empty_prob`` is the system's one real free parameter: it
+    decides how aggressive a bin each block may claim.  Loose targets
+    buy coverage and temporal precision at the cost of false outages;
+    tight targets the reverse.  The sweep shows the default (0.02)
+    sitting on the flat part of the precision curve while keeping most
+    of the coverage — evidence the reproduction's headline numbers are
+    not knife-edge artefacts.
+    """
+    scenario = long_outage_scenario(scale, seed)
+    truths = scenario.truths(Family.IPV4)
+    rows: List[Tuple[float, float, float, float]] = []
+    for target in targets:
+        pipeline = PassiveOutagePipeline(
+            policy=TuningPolicy(target_empty_prob=target))
+        model, result = detect_passive(scenario, pipeline=pipeline)
+        confusion = confusion_for_population(
+            {k: b.timeline for k, b in result.blocks.items()}, truths)
+        rows.append((target, model.coverage(), confusion.precision,
+                     confusion.tnr))
+    lines = ["Sensitivity: empty-bin target vs coverage/precision/TNR",
+             f"  {'target':>8s}{'coverage':>10s}{'precision':>11s}"
+             f"{'TNR':>8s}"]
+    for target, coverage, precision, tnr in rows:
+        marker = "  <- default" if target == 0.02 else ""
+        lines.append(f"  {target:>8.3f}{coverage:>9.1%}{precision:>11.4f}"
+                     f"{tnr:>8.4f}{marker}")
+    return SensitivityResult(rows=rows, text="\n".join(lines))

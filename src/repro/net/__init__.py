@@ -1,0 +1,37 @@
+"""Addressing substrate: addresses, blocks, prefix tries, hitlists."""
+
+from .addr import (
+    Address,
+    AddressError,
+    Family,
+    format_address,
+    format_ipv4,
+    format_ipv6,
+    parse_address,
+    parse_ipv4,
+    parse_ipv6,
+)
+from .blocks import Block, block_of, block_of_value, supernet_key, vector_block_keys
+from .hitlist import Hitlist, hitlist_from_blocks, synthesize_hitlist
+from .trie import PrefixTrie
+
+__all__ = [
+    "Address",
+    "AddressError",
+    "Family",
+    "format_address",
+    "format_ipv4",
+    "format_ipv6",
+    "parse_address",
+    "parse_ipv4",
+    "parse_ipv6",
+    "Block",
+    "block_of",
+    "block_of_value",
+    "supernet_key",
+    "vector_block_keys",
+    "Hitlist",
+    "hitlist_from_blocks",
+    "synthesize_hitlist",
+    "PrefixTrie",
+]

@@ -1,0 +1,249 @@
+"""IP address arithmetic for the outage-detection substrate.
+
+Addresses are represented internally as plain Python integers paired with
+an address family.  This keeps the hot paths (hashing millions of packet
+sources into block keys) allocation-free and lets the rest of the system
+use integers as dictionary keys and numpy array elements.
+
+The module implements parsing and formatting for both IPv4 dotted-quad
+and IPv6 colon-hex (including ``::`` compression) from scratch so that
+the library has no dependency on the platform's ``inet_pton`` behaviour.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+__all__ = [
+    "Family",
+    "AddressError",
+    "Address",
+    "parse_ipv4",
+    "parse_ipv6",
+    "parse_address",
+    "format_ipv4",
+    "format_ipv6",
+    "format_address",
+    "MAX_IPV4",
+    "MAX_IPV6",
+]
+
+#: Largest representable IPv4 address as an integer.
+MAX_IPV4 = (1 << 32) - 1
+#: Largest representable IPv6 address as an integer.
+MAX_IPV6 = (1 << 128) - 1
+
+
+class Family(enum.IntEnum):
+    """Address family of an address or block.
+
+    The values match the conventional bit widths so that
+    ``family.bits`` style arithmetic stays obvious at call sites.
+    """
+
+    IPV4 = 4
+    IPV6 = 6
+
+    @property
+    def bits(self) -> int:
+        """Total number of address bits for this family (32 or 128)."""
+        return 32 if self is Family.IPV4 else 128
+
+    @property
+    def max_address(self) -> int:
+        """Largest representable address integer for this family."""
+        return MAX_IPV4 if self is Family.IPV4 else MAX_IPV6
+
+    @property
+    def default_block_prefix(self) -> int:
+        """Prefix length of the paper's analysis block for this family.
+
+        The paper analyses IPv4 at /24 granularity and IPv6 at /48.
+        """
+        return 24 if self is Family.IPV4 else 48
+
+
+class AddressError(ValueError):
+    """Raised when an address string or integer is malformed."""
+
+
+def parse_ipv4(text: str) -> int:
+    """Parse dotted-quad IPv4 text into an address integer.
+
+    Rejects shorthand forms (``10.1``), leading zeros that would be
+    ambiguous with octal notation, and out-of-range octets.
+
+    >>> parse_ipv4("192.0.2.1")
+    3221225985
+    """
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise AddressError(f"IPv4 address needs 4 octets: {text!r}")
+    value = 0
+    for part in parts:
+        if not part or not part.isdigit():
+            raise AddressError(f"bad IPv4 octet {part!r} in {text!r}")
+        if len(part) > 1 and part[0] == "0":
+            raise AddressError(f"ambiguous leading zero in {text!r}")
+        octet = int(part)
+        if octet > 255:
+            raise AddressError(f"IPv4 octet out of range in {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def format_ipv4(value: int) -> str:
+    """Format an address integer as dotted-quad IPv4 text.
+
+    >>> format_ipv4(3221225985)
+    '192.0.2.1'
+    """
+    if not 0 <= value <= MAX_IPV4:
+        raise AddressError(f"IPv4 integer out of range: {value!r}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def _parse_hextets(chunk: str, where: str) -> list:
+    """Parse a run of colon-separated hextets, rejecting malformed groups."""
+    if not chunk:
+        return []
+    hextets = []
+    for group in chunk.split(":"):
+        if not group or len(group) > 4:
+            raise AddressError(f"bad IPv6 group {group!r} in {where!r}")
+        try:
+            hextets.append(int(group, 16))
+        except ValueError:
+            raise AddressError(f"bad IPv6 group {group!r} in {where!r}") from None
+    return hextets
+
+
+def parse_ipv6(text: str) -> int:
+    """Parse colon-hex IPv6 text (with optional ``::``) into an integer.
+
+    Supports the embedded-IPv4 tail form (``::ffff:192.0.2.1``).
+
+    >>> hex(parse_ipv6("2001:db8::1"))
+    '0x20010db8000000000000000000000001'
+    """
+    if text.count("::") > 1:
+        raise AddressError(f"multiple '::' in {text!r}")
+
+    # Convert an embedded IPv4 tail into its two trailing hextets.
+    if "." in text:
+        head, _, tail = text.rpartition(":")
+        v4 = parse_ipv4(tail)
+        text = f"{head}:{v4 >> 16:x}:{v4 & 0xFFFF:x}"
+
+    if "::" in text:
+        left_text, right_text = text.split("::")
+        left = _parse_hextets(left_text, text)
+        right = _parse_hextets(right_text, text)
+        missing = 8 - len(left) - len(right)
+        if missing < 1:
+            raise AddressError(f"'::' expands to nothing in {text!r}")
+        hextets = left + [0] * missing + right
+    else:
+        hextets = _parse_hextets(text, text)
+        if len(hextets) != 8:
+            raise AddressError(f"IPv6 address needs 8 groups: {text!r}")
+
+    value = 0
+    for hextet in hextets:
+        value = (value << 16) | hextet
+    return value
+
+
+def format_ipv6(value: int) -> str:
+    """Format an address integer as canonical (RFC 5952) IPv6 text.
+
+    The longest run of two or more zero hextets is compressed to ``::``
+    and hex digits are lower-case.
+
+    >>> format_ipv6(0x20010db8000000000000000000000001)
+    '2001:db8::1'
+    """
+    if not 0 <= value <= MAX_IPV6:
+        raise AddressError(f"IPv6 integer out of range: {value!r}")
+    hextets = [(value >> shift) & 0xFFFF for shift in range(112, -16, -16)]
+
+    # Find the longest run of zeros (>= 2) to compress, earliest wins ties.
+    best_start, best_len = -1, 1
+    run_start, run_len = -1, 0
+    for index, hextet in enumerate(hextets + [-1]):  # sentinel ends final run
+        if hextet == 0:
+            if run_len == 0:
+                run_start = index
+            run_len += 1
+        else:
+            if run_len > best_len:
+                best_start, best_len = run_start, run_len
+            run_len = 0
+
+    groups = [f"{h:x}" for h in hextets]
+    if best_start < 0:
+        return ":".join(groups)
+    left = ":".join(groups[:best_start])
+    right = ":".join(groups[best_start + best_len:])
+    return f"{left}::{right}"
+
+
+def parse_address(text: str) -> Tuple[Family, int]:
+    """Parse either family from text, returning ``(family, value)``."""
+    if ":" in text:
+        return Family.IPV6, parse_ipv6(text)
+    return Family.IPV4, parse_ipv4(text)
+
+
+def format_address(family: Family, value: int) -> str:
+    """Format an address integer for the given family."""
+    if family is Family.IPV4:
+        return format_ipv4(value)
+    return format_ipv6(value)
+
+
+@dataclass(frozen=True, order=True)
+class Address:
+    """A single IP address: an integer value tagged with its family.
+
+    ``Address`` is an immutable value type, safe to use as a dict key.
+    Ordering sorts IPv4 before IPv6 and then by numeric value, which
+    gives a stable total order across mixed-family collections.
+    """
+
+    family: Family
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value <= self.family.max_address:
+            raise AddressError(
+                f"address {self.value:#x} out of range for {self.family.name}"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "Address":
+        """Parse dotted-quad or colon-hex text into an :class:`Address`."""
+        family, value = parse_address(text)
+        return cls(family, value)
+
+    def __str__(self) -> str:
+        return format_address(self.family, self.value)
+
+    def shifted(self, offset: int) -> "Address":
+        """Return the address ``offset`` positions away (may be negative)."""
+        return Address(self.family, self.value + offset)
+
+    def hosts_in_prefix(self, prefix_len: int) -> Iterator["Address"]:
+        """Iterate every address inside this address's enclosing prefix.
+
+        Intended for small prefixes (e.g. a /24 or a /120); iterating a
+        /48 would enumerate 2**80 hosts and is a caller bug.
+        """
+        span_bits = self.family.bits - prefix_len
+        if span_bits > 20:
+            raise AddressError(f"refusing to enumerate 2**{span_bits} hosts")
+        base = (self.value >> span_bits) << span_bits
+        for offset in range(1 << span_bits):
+            yield Address(self.family, base + offset)

@@ -1,0 +1,158 @@
+"""Binary prefix trie for longest-prefix matching over blocks.
+
+The evaluation pipeline repeatedly asks "which monitored block (if any)
+contains this address?" for populations where blocks may live at mixed
+prefix lengths (/24s plus aggregated /20s, /48s plus /44s).  A
+dictionary keyed by a single fixed prefix length cannot answer that, so
+we provide a classic path-compressed binary trie with longest-prefix
+match semantics — the same structure a routing table uses.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterator, List, Optional, Tuple, TypeVar
+
+from .addr import Address, Family
+from .blocks import Block
+
+__all__ = ["PrefixTrie"]
+
+V = TypeVar("V")
+
+
+class _Node(Generic[V]):
+    """One trie node; ``value`` is set when a prefix terminates here."""
+
+    __slots__ = ("children", "value", "has_value")
+
+    def __init__(self) -> None:
+        self.children: List[Optional["_Node[V]"]] = [None, None]
+        self.value: Optional[V] = None
+        self.has_value = False
+
+
+class PrefixTrie(Generic[V]):
+    """Longest-prefix-match table from :class:`Block` to arbitrary values.
+
+    One trie instance serves a single address family; mixing families in
+    one routing structure is almost always a caller bug, so it is
+    rejected eagerly.
+
+    >>> trie = PrefixTrie(Family.IPV4)
+    >>> trie.insert(Block.parse("192.0.2.0/24"), "fine")
+    >>> trie.insert(Block.parse("192.0.0.0/16"), "coarse")
+    >>> trie.lookup(Address.parse("192.0.2.9"))
+    ('fine', Block.parse('192.0.2.0/24'))
+    """
+
+    def __init__(self, family: Family) -> None:
+        self.family = family
+        self._root: _Node[V] = _Node()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _check_family(self, family: Family) -> None:
+        if family is not self.family:
+            raise ValueError(
+                f"trie holds {self.family.name} prefixes, got {family.name}"
+            )
+
+    def _bits_of(self, block: Block) -> Iterator[int]:
+        """High-to-low bits of the block's prefix."""
+        for position in range(block.prefix_len - 1, -1, -1):
+            yield (block.prefix >> position) & 1
+
+    def insert(self, block: Block, value: V) -> None:
+        """Insert or replace the value stored at ``block``."""
+        self._check_family(block.family)
+        node = self._root
+        for bit in self._bits_of(block):
+            child = node.children[bit]
+            if child is None:
+                child = _Node()
+                node.children[bit] = child
+            node = child
+        if not node.has_value:
+            self._size += 1
+        node.value = value
+        node.has_value = True
+
+    def remove(self, block: Block) -> bool:
+        """Delete the exact prefix; returns False when it was absent.
+
+        Interior nodes left childless are pruned so repeated insert and
+        remove cycles do not leak memory.
+        """
+        self._check_family(block.family)
+        path: List[Tuple[_Node[V], int]] = []
+        node = self._root
+        for bit in self._bits_of(block):
+            child = node.children[bit]
+            if child is None:
+                return False
+            path.append((node, bit))
+            node = child
+        if not node.has_value:
+            return False
+        node.has_value = False
+        node.value = None
+        self._size -= 1
+        for parent, bit in reversed(path):
+            child = parent.children[bit]
+            if child is not None and not child.has_value and child.children == [None, None]:
+                parent.children[bit] = None
+            else:
+                break
+        return True
+
+    def get(self, block: Block) -> Optional[V]:
+        """Exact-match lookup of a prefix; None when absent."""
+        self._check_family(block.family)
+        node = self._root
+        for bit in self._bits_of(block):
+            child = node.children[bit]
+            if child is None:
+                return None
+            node = child
+        return node.value if node.has_value else None
+
+    def lookup(self, address: Address) -> Optional[Tuple[V, Block]]:
+        """Longest-prefix match for an address.
+
+        Returns ``(value, matched_block)`` for the most specific stored
+        prefix containing the address, or None when nothing matches.
+        """
+        self._check_family(address.family)
+        node = self._root
+        best: Optional[Tuple[V, int]] = None
+        if node.has_value:  # a /0 default route
+            best = (node.value, 0)  # type: ignore[assignment]
+        bits = self.family.bits
+        for depth in range(1, bits + 1):
+            bit = (address.value >> (bits - depth)) & 1
+            child = node.children[bit]
+            if child is None:
+                break
+            node = child
+            if node.has_value:
+                best = (node.value, depth)  # type: ignore[assignment]
+        if best is None:
+            return None
+        value, depth = best
+        matched = Block(self.family, address.value >> (bits - depth), depth)
+        return value, matched
+
+    def items(self) -> Iterator[Tuple[Block, V]]:
+        """Iterate all stored ``(block, value)`` pairs in prefix order."""
+
+        def walk(node: _Node[V], prefix: int, depth: int) -> Iterator[Tuple[Block, V]]:
+            if node.has_value:
+                yield Block(self.family, prefix, depth), node.value  # type: ignore[misc]
+            for bit in (0, 1):
+                child = node.children[bit]
+                if child is not None:
+                    yield from walk(child, (prefix << 1) | bit, depth + 1)
+
+        yield from walk(self._root, 0, 0)

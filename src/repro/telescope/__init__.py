@@ -1,0 +1,37 @@
+"""Telescope substrate: observation records, captures, aggregation."""
+
+from .anonymize import PrefixPreservingAnonymizer
+from .aggregate import (
+    BinGrid,
+    bin_edge_timestamps,
+    binned_counts,
+    merge_block_times,
+    per_block_times,
+)
+from .capture import (
+    CaptureError,
+    CaptureReader,
+    CaptureWriter,
+    read_batches,
+    write_batches,
+)
+from .records import Observation, ObservationBatch
+from .stream import merge_streams, window_stream
+
+__all__ = [
+    "PrefixPreservingAnonymizer",
+    "BinGrid",
+    "bin_edge_timestamps",
+    "binned_counts",
+    "merge_block_times",
+    "per_block_times",
+    "CaptureError",
+    "CaptureReader",
+    "CaptureWriter",
+    "read_batches",
+    "write_batches",
+    "Observation",
+    "ObservationBatch",
+    "merge_streams",
+    "window_stream",
+]

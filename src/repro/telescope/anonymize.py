@@ -1,0 +1,110 @@
+"""Prefix-preserving address anonymization for captures.
+
+Passive traces are sensitive: sources are real clients.  The standard
+mitigation before sharing (as the paper's group does for its released
+datasets) is *prefix-preserving* anonymization in the Crypto-PAn
+style: a deterministic, keyed permutation of the address space such
+that two addresses sharing a k-bit prefix before anonymization share
+exactly a k-bit prefix after.  The outage pipeline is unaffected —
+blocks map to blocks — while raw identities are unrecoverable without
+the key.
+
+The construction is the classic one: walk the address bits from the
+top; flip bit *i* by a keyed pseudorandom function of the (original)
+i-bit prefix above it.  Prefix preservation follows directly: two
+addresses agreeing on the top k bits see identical flip decisions for
+those bits.  The PRF here is HMAC-SHA256, which is deliberately boring.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from typing import Iterable, Iterator
+
+from ..net.addr import Family
+from .records import Observation
+
+__all__ = ["PrefixPreservingAnonymizer"]
+
+
+class PrefixPreservingAnonymizer:
+    """Keyed, deterministic, prefix-preserving address permutation.
+
+    The same key always yields the same mapping, so longitudinal
+    analyses over multiple anonymized captures still line up.  There is
+    intentionally no unanonymize operation: the mapping is one-way
+    without replaying the PRF with the key.
+    """
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) < 16:
+            raise ValueError("anonymization key must be >= 16 bytes")
+        self._key = key
+        # Flip decisions are memoised per (family, prefix) — trace
+        # sources cluster heavily, so the cache hit rate is high.
+        self._cache = {}
+
+    def _flip_bit(self, family: Family, prefix: int, depth: int) -> int:
+        """Keyed PRF: should the bit below this prefix be flipped?"""
+        cache_key = (family, depth, prefix)
+        cached = self._cache.get(cache_key)
+        if cached is not None:
+            return cached
+        message = (int(family).to_bytes(1, "big")
+                   + depth.to_bytes(1, "big")
+                   + prefix.to_bytes(16, "big"))
+        digest = hmac.new(self._key, message, hashlib.sha256).digest()
+        flip = digest[0] & 1
+        self._cache[cache_key] = flip
+        return flip
+
+    def anonymize_value(self, family: Family, value: int) -> int:
+        """Anonymize one address integer."""
+        bits = family.bits
+        if not 0 <= value < (1 << bits):
+            raise ValueError(f"address {value:#x} out of range for "
+                             f"{family.name}")
+        result = 0
+        prefix = 0
+        for depth in range(bits):
+            bit = (value >> (bits - 1 - depth)) & 1
+            result = (result << 1) | (bit ^ self._flip_bit(family, prefix,
+                                                           depth))
+            prefix = (prefix << 1) | bit
+        return result
+
+    def anonymize_block_key(self, family: Family, key: int,
+                            prefix_len: int = 0) -> int:
+        """Anonymize a right-aligned block key (prefix bits only).
+
+        Because the permutation is prefix-preserving, anonymizing the
+        enclosing block of an address equals the enclosing block of the
+        anonymized address — asserted by the property tests.
+        """
+        if prefix_len == 0:
+            prefix_len = family.default_block_prefix
+        result = 0
+        prefix = 0
+        for depth in range(prefix_len):
+            bit = (key >> (prefix_len - 1 - depth)) & 1
+            result = (result << 1) | (bit ^ self._flip_bit(family, prefix,
+                                                           depth))
+            prefix = (prefix << 1) | bit
+        return result
+
+    def anonymize(self, observation: Observation) -> Observation:
+        """Anonymize one observation (time and qtype untouched)."""
+        return Observation(
+            time=observation.time,
+            family=observation.family,
+            source=self.anonymize_value(observation.family,
+                                        observation.source),
+            qtype=observation.qtype,
+        )
+
+    def anonymize_stream(self, stream: Iterable[Observation]
+                         ) -> Iterator[Observation]:
+        """Anonymize a whole observation stream lazily."""
+        for observation in stream:
+            yield self.anonymize(observation)

@@ -1,0 +1,205 @@
+"""On-disk capture format for passive observations.
+
+A minimal, self-describing binary trace format (".pobs") in the spirit
+of pcap: a fixed magic+version header followed by fixed-width records.
+Each record stores the exact arrival timestamp (float64 — the exact
+timestamps are the paper's precision advantage, so they are first-class
+here), the address family, the full 128-bit source address (IPv4 is
+zero-extended), and the DNS query type.
+
+Record layout (27 bytes, network byte order):
+
+    float64  time_seconds
+    uint8    family (4 or 6)
+    byte[16] source address, big-endian, zero-padded
+    uint16   qtype
+
+Writers append; readers stream or bulk-load into
+:class:`~repro.telescope.records.ObservationBatch` columns.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from pathlib import Path
+from typing import BinaryIO, Iterator, Optional, Tuple, Union
+
+import numpy as np
+
+from ..net.addr import Family
+from .records import Observation, ObservationBatch
+
+__all__ = ["CaptureError", "CaptureWriter", "CaptureReader",
+           "write_batches", "read_batches", "MAGIC", "VERSION"]
+
+MAGIC = b"POBS"
+VERSION = 1
+_HEADER = struct.Struct("!4sHH")  # magic, version, reserved
+_RECORD = struct.Struct("!dB16sH")
+
+
+class CaptureError(IOError):
+    """Raised on malformed capture files."""
+
+
+PathOrFile = Union[str, Path, BinaryIO]
+
+
+def _open(target: PathOrFile, mode: str) -> Tuple[BinaryIO, bool]:
+    if isinstance(target, (str, Path)):
+        return open(target, mode), True
+    return target, False
+
+
+class CaptureWriter:
+    """Append observations to a capture stream.
+
+    Use as a context manager::
+
+        with CaptureWriter("day.pobs") as writer:
+            writer.write(observation)
+    """
+
+    def __init__(self, target: PathOrFile) -> None:
+        self._file, self._owns = _open(target, "wb")
+        self._file.write(_HEADER.pack(MAGIC, VERSION, 0))
+        self.records_written = 0
+
+    def write(self, observation: Observation) -> None:
+        """Append one observation."""
+        self.write_raw(observation.time, observation.family,
+                       observation.source, observation.qtype)
+
+    def write_raw(self, time: float, family: Family, source: int,
+                  qtype: int = 0) -> None:
+        """Append one record from plain fields (hot path)."""
+        self._file.write(_RECORD.pack(
+            time, int(family), source.to_bytes(16, "big"), qtype))
+        self.records_written += 1
+
+    def write_batch(self, batch: ObservationBatch) -> None:
+        """Append a whole batch (block-base addresses reconstructed)."""
+        host_bits = batch.family.bits - batch.family.default_block_prefix
+        family = int(batch.family)
+        pack = _RECORD.pack
+        chunks = [
+            pack(float(t), family, (int(k) << host_bits).to_bytes(16, "big"),
+                 int(q))
+            for t, k, q in zip(batch.times, batch.block_keys, batch.qtypes)
+        ]
+        self._file.write(b"".join(chunks))
+        self.records_written += len(chunks)
+
+    def close(self) -> None:
+        if self._owns:
+            self._file.close()
+
+    def __enter__(self) -> "CaptureWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class CaptureReader:
+    """Stream or bulk-load a capture file."""
+
+    def __init__(self, target: PathOrFile) -> None:
+        self._file, self._owns = _open(target, "rb")
+        header = self._file.read(_HEADER.size)
+        if len(header) < _HEADER.size:
+            raise CaptureError("capture shorter than its header")
+        magic, version, _ = _HEADER.unpack(header)
+        if magic != MAGIC:
+            raise CaptureError(f"bad magic {magic!r}")
+        if version != VERSION:
+            raise CaptureError(f"unsupported capture version {version}")
+
+    def __iter__(self) -> Iterator[Observation]:
+        """Stream records one at a time."""
+        while True:
+            observation = self.read_one()
+            if observation is None:
+                return
+            yield observation
+
+    def read_one(self) -> Optional[Observation]:
+        """Read the next record, or None at EOF."""
+        raw = self._file.read(_RECORD.size)
+        if not raw:
+            return None
+        if len(raw) < _RECORD.size:
+            raise CaptureError("truncated record at end of capture")
+        time, family_value, source_bytes, qtype = _RECORD.unpack(raw)
+        try:
+            family = Family(family_value)
+        except ValueError:
+            raise CaptureError(f"bad family byte {family_value}") from None
+        return Observation(time, family,
+                           int.from_bytes(source_bytes, "big"), qtype)
+
+    def read_all(self) -> Tuple[ObservationBatch, ObservationBatch]:
+        """Bulk-load the remaining records into per-family batches.
+
+        Returns ``(ipv4_batch, ipv6_batch)``; either may be empty.
+        """
+        payload = self._file.read()
+        if len(payload) % _RECORD.size:
+            raise CaptureError("capture payload is not record-aligned")
+        count = len(payload) // _RECORD.size
+        times = np.empty(count, dtype=np.float64)
+        families = np.empty(count, dtype=np.uint8)
+        keys = np.empty(count, dtype=np.uint64)
+        qtypes = np.empty(count, dtype=np.uint16)
+        view = memoryview(payload)
+        for index in range(count):
+            time, family_value, source_bytes, qtype = _RECORD.unpack_from(
+                view, index * _RECORD.size)
+            times[index] = time
+            families[index] = family_value
+            qtypes[index] = qtype
+            source = int.from_bytes(source_bytes, "big")
+            shift = (Family(family_value).bits
+                     - Family(family_value).default_block_prefix)
+            keys[index] = (source >> shift) & 0xFFFFFFFFFFFFFFFF
+        batches = []
+        for family in (Family.IPV4, Family.IPV6):
+            mask = families == int(family)
+            batches.append(ObservationBatch(
+                family, times[mask], keys[mask], qtypes[mask]))
+        return batches[0], batches[1]
+
+    def close(self) -> None:
+        if self._owns:
+            self._file.close()
+
+    def __enter__(self) -> "CaptureReader":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def write_batches(target: PathOrFile, *batches: ObservationBatch) -> int:
+    """Write batches to a capture file; returns the record count."""
+    with CaptureWriter(target) as writer:
+        for batch in batches:
+            writer.write_batch(batch)
+        return writer.records_written
+
+
+def read_batches(target: PathOrFile) -> Tuple[ObservationBatch,
+                                              ObservationBatch]:
+    """Load a capture file into ``(ipv4, ipv6)`` batches."""
+    with CaptureReader(target) as reader:
+        return reader.read_all()
+
+
+def roundtrip_bytes(*batches: ObservationBatch) -> Tuple[ObservationBatch,
+                                                         ObservationBatch]:
+    """Serialise and re-load in memory (testing helper)."""
+    buffer = io.BytesIO()
+    write_batches(buffer, *batches)
+    buffer.seek(0)
+    return read_batches(buffer)

@@ -1,0 +1,150 @@
+"""Observation records: what the passive vantage point keeps per packet.
+
+The detector needs only ``(timestamp, source block)``; for realism and
+for debugging the pipeline also carries the full source address and the
+query type.  :class:`ObservationBatch` is the column-oriented bulk form
+used everywhere performance matters — one numpy column per field, with
+block keys precomputed (both /24 and /48 right-aligned keys fit in a
+``uint64``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from ..net.addr import Family, format_address
+from ..net.blocks import Block
+
+__all__ = ["Observation", "ObservationBatch"]
+
+
+@dataclass(frozen=True, order=True)
+class Observation:
+    """A single passive observation (one query arriving at the service)."""
+
+    time: float
+    family: Family
+    source: int
+    qtype: int = 0
+
+    @property
+    def block_key(self) -> int:
+        """Right-aligned key of the enclosing analysis block."""
+        return self.source >> (self.family.bits
+                               - self.family.default_block_prefix)
+
+    @property
+    def block(self) -> Block:
+        return Block(self.family, self.block_key,
+                     self.family.default_block_prefix)
+
+    def __str__(self) -> str:
+        return (f"{self.time:.3f}s {format_address(self.family, self.source)} "
+                f"qtype={self.qtype}")
+
+
+class ObservationBatch:
+    """Column-oriented batch of observations for one address family.
+
+    Columns: ``times`` (float64, seconds), ``block_keys`` (uint64,
+    right-aligned /24 or /48 keys), ``qtypes`` (uint16).  Full source
+    addresses are not kept in the batch — the capture layer preserves
+    them on disk; in memory the detector only needs block keys.
+    """
+
+    __slots__ = ("family", "times", "block_keys", "qtypes")
+
+    def __init__(self, family: Family, times: np.ndarray,
+                 block_keys: np.ndarray,
+                 qtypes: Optional[np.ndarray] = None) -> None:
+        times = np.asarray(times, dtype=np.float64)
+        block_keys = np.asarray(block_keys, dtype=np.uint64)
+        if times.shape != block_keys.shape:
+            raise ValueError("times and block_keys must align")
+        if qtypes is None:
+            qtypes = np.zeros(times.shape, dtype=np.uint16)
+        else:
+            qtypes = np.asarray(qtypes, dtype=np.uint16)
+            if qtypes.shape != times.shape:
+                raise ValueError("qtypes must align with times")
+        self.family = family
+        self.times = times
+        self.block_keys = block_keys
+        self.qtypes = qtypes
+
+    def __len__(self) -> int:
+        return int(self.times.size)
+
+    @classmethod
+    def empty(cls, family: Family) -> "ObservationBatch":
+        return cls(family, np.empty(0), np.empty(0, dtype=np.uint64))
+
+    @classmethod
+    def from_observations(cls, family: Family,
+                          observations: Iterable[Observation]
+                          ) -> "ObservationBatch":
+        rows = [(o.time, o.block_key, o.qtype) for o in observations
+                if o.family is family]
+        if not rows:
+            return cls.empty(family)
+        times, keys, qtypes = zip(*rows)
+        return cls(family, np.array(times), np.array(keys, dtype=np.uint64),
+                   np.array(qtypes, dtype=np.uint16))
+
+    @classmethod
+    def concatenate(cls, batches: Sequence["ObservationBatch"]
+                    ) -> "ObservationBatch":
+        """Merge batches of the same family, re-sorted by time."""
+        batches = [b for b in batches if len(b)]
+        if not batches:
+            raise ValueError("nothing to concatenate")
+        family = batches[0].family
+        if any(b.family is not family for b in batches):
+            raise ValueError("cannot concatenate across families")
+        times = np.concatenate([b.times for b in batches])
+        keys = np.concatenate([b.block_keys for b in batches])
+        qtypes = np.concatenate([b.qtypes for b in batches])
+        order = np.argsort(times, kind="stable")
+        return cls(family, times[order], keys[order], qtypes[order])
+
+    def sorted_by_time(self) -> "ObservationBatch":
+        if self.times.size and np.all(np.diff(self.times) >= 0):
+            return self
+        order = np.argsort(self.times, kind="stable")
+        return ObservationBatch(self.family, self.times[order],
+                                self.block_keys[order], self.qtypes[order])
+
+    def time_slice(self, start: float, end: float) -> "ObservationBatch":
+        """Rows with ``start <= time < end`` (requires time-sorted batch)."""
+        left = np.searchsorted(self.times, start, side="left")
+        right = np.searchsorted(self.times, end, side="left")
+        return ObservationBatch(self.family, self.times[left:right],
+                                self.block_keys[left:right],
+                                self.qtypes[left:right])
+
+    def unique_blocks(self) -> np.ndarray:
+        """Sorted unique block keys present in the batch."""
+        return np.unique(self.block_keys)
+
+    def per_block(self) -> Iterator:
+        """Yield ``(block_key, sorted times)`` per distinct block."""
+        order = np.lexsort((self.times, self.block_keys))
+        keys = self.block_keys[order]
+        times = self.times[order]
+        boundaries = np.flatnonzero(np.diff(keys)) + 1
+        starts = np.concatenate(([0], boundaries))
+        ends = np.concatenate((boundaries, [keys.size]))
+        for start, end in zip(starts, ends):
+            if end > start:
+                yield int(keys[start]), times[start:end]
+
+    def to_observations(self) -> List[Observation]:
+        """Expand to row objects (block-base source addresses)."""
+        host_bits = self.family.bits - self.family.default_block_prefix
+        return [
+            Observation(float(t), self.family, int(k) << host_bits, int(q))
+            for t, k, q in zip(self.times, self.block_keys, self.qtypes)
+        ]

@@ -1,0 +1,73 @@
+"""Streaming utilities over observation sources.
+
+The batch pipeline (simulate a day, then analyse it) covers the paper's
+experiments, but a deployed system consumes a live feed.  This module
+provides the streaming half: a k-way time-ordered merge over multiple
+capture sources and a windowing iterator that releases observations in
+bin-sized chunks, which is exactly the shape the streaming detector
+(:class:`repro.core.detector.StreamingDetector`) consumes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Iterator, List, Tuple
+
+from .records import Observation
+
+__all__ = ["merge_streams", "window_stream"]
+
+
+def merge_streams(*streams: Iterable[Observation]) -> Iterator[Observation]:
+    """Merge time-sorted observation streams into one sorted stream.
+
+    Each input must already be sorted by time (capture files are; the
+    simulator's per-block streams are).  Ties are broken by input order,
+    keeping the merge stable.
+    """
+    heap: List[Tuple[float, int, Observation, Iterator[Observation]]] = []
+    for index, stream in enumerate(streams):
+        iterator = iter(stream)
+        first = next(iterator, None)
+        if first is not None:
+            heap.append((first.time, index, first, iterator))
+    heapq.heapify(heap)
+    previous_time = float("-inf")
+    while heap:
+        time, index, observation, iterator = heapq.heappop(heap)
+        if time < previous_time:
+            raise ValueError(
+                f"stream {index} is not time-sorted: {time} after "
+                f"{previous_time}")
+        previous_time = time
+        yield observation
+        following = next(iterator, None)
+        if following is not None:
+            heapq.heappush(heap, (following.time, index, following, iterator))
+
+
+def window_stream(stream: Iterable[Observation], start: float,
+                  window_seconds: float
+                  ) -> Iterator[Tuple[float, float, List[Observation]]]:
+    """Chunk a sorted stream into fixed windows.
+
+    Yields ``(window_start, window_end, observations)`` for every window
+    from ``start`` until the stream ends, including empty windows
+    between sparse arrivals — empty windows are precisely the signal the
+    detector must see.
+    """
+    if window_seconds <= 0:
+        raise ValueError("window_seconds must be positive")
+    window_start = start
+    window_end = start + window_seconds
+    pending: List[Observation] = []
+    for observation in stream:
+        if observation.time < start:
+            continue
+        while observation.time >= window_end:
+            yield window_start, window_end, pending
+            pending = []
+            window_start = window_end
+            window_end += window_seconds
+        pending.append(observation)
+    yield window_start, window_end, pending

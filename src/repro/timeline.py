@@ -1,0 +1,266 @@
+"""Piecewise-constant up/down timelines and outage events.
+
+Every component of the system — the simulator's ground truth, the
+passive detector, the Trinocular and RIPE comparators — reduces a
+block's history to the same shape: a span of time partitioned into *up*
+and *down* intervals.  This module is the shared algebra over that
+shape: construction from transitions, clipping, interval set operations,
+event extraction, and duration accounting.  The evaluation package
+builds its second-weighted confusion matrices directly on these
+primitives.
+
+Conventions: times are float seconds on a simulation clock; intervals
+are half-open ``[start, end)``; a timeline covers ``[start, end)`` and
+stores only its *down* intervals (sorted, non-overlapping, non-empty).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+__all__ = ["OutageEvent", "Timeline", "merge_intervals", "intersect_intervals",
+           "total_duration"]
+
+Interval = Tuple[float, float]
+
+
+@dataclass(frozen=True, order=True)
+class OutageEvent:
+    """One contiguous down interval, ``[start, end)``."""
+
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def overlaps(self, other: "OutageEvent", slack: float = 0.0) -> bool:
+        """True when the events intersect, allowing ``slack`` seconds of
+        timing disagreement at the edges."""
+        return self.start < other.end + slack and other.start < self.end + slack
+
+
+def merge_intervals(intervals: Iterable[Interval]) -> List[Interval]:
+    """Sort and coalesce overlapping/touching intervals; drops empties."""
+    cleaned = sorted((s, e) for s, e in intervals if e > s)
+    merged: List[Interval] = []
+    for start, end in cleaned:
+        if merged and start <= merged[-1][1]:
+            if end > merged[-1][1]:
+                merged[-1] = (merged[-1][0], end)
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def intersect_intervals(
+    a: Sequence[Interval], b: Sequence[Interval]
+) -> List[Interval]:
+    """Pairwise intersection of two sorted non-overlapping interval sets."""
+    result: List[Interval] = []
+    i = j = 0
+    while i < len(a) and j < len(b):
+        start = max(a[i][0], b[j][0])
+        end = min(a[i][1], b[j][1])
+        if end > start:
+            result.append((start, end))
+        if a[i][1] <= b[j][1]:
+            i += 1
+        else:
+            j += 1
+    return result
+
+
+def total_duration(intervals: Iterable[Interval]) -> float:
+    """Sum of interval lengths (assumes non-overlapping input)."""
+    return sum(end - start for start, end in intervals)
+
+
+class Timeline:
+    """Up/down state of one block over ``[start, end)``.
+
+    Immutable by convention: all operations return new timelines.
+    """
+
+    __slots__ = ("start", "end", "_down")
+
+    def __init__(self, start: float, end: float,
+                 down_intervals: Iterable[Interval] = ()) -> None:
+        if end < start:
+            raise ValueError(f"timeline ends before it starts: [{start}, {end})")
+        self.start = float(start)
+        self.end = float(end)
+        clipped = ((max(s, self.start), min(e, self.end))
+                   for s, e in down_intervals)
+        self._down: List[Interval] = merge_intervals(clipped)
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def always_up(cls, start: float, end: float) -> "Timeline":
+        return cls(start, end, ())
+
+    @classmethod
+    def always_down(cls, start: float, end: float) -> "Timeline":
+        return cls(start, end, [(start, end)])
+
+    @classmethod
+    def from_transitions(
+        cls, start: float, end: float,
+        transitions: Sequence[Tuple[float, bool]],
+        initial_up: bool = True,
+    ) -> "Timeline":
+        """Build from ``(time, is_up)`` state-change events.
+
+        Transitions outside ``[start, end)`` are clipped; redundant
+        transitions (to the current state) are ignored.
+        """
+        down: List[Interval] = []
+        up = initial_up
+        down_since = start if not up else None
+        for time, is_up in sorted(transitions):
+            if is_up == up:
+                continue
+            up = is_up
+            if not up:
+                down_since = time
+            elif down_since is not None:
+                down.append((down_since, time))
+                down_since = None
+        if down_since is not None:
+            down.append((down_since, end))
+        return cls(start, end, down)
+
+    # -- inspection -------------------------------------------------------
+
+    @property
+    def down_intervals(self) -> List[Interval]:
+        return list(self._down)
+
+    @property
+    def up_intervals(self) -> List[Interval]:
+        """Complement of the down set within the timeline span."""
+        ups: List[Interval] = []
+        cursor = self.start
+        for down_start, down_end in self._down:
+            if down_start > cursor:
+                ups.append((cursor, down_start))
+            cursor = down_end
+        if cursor < self.end:
+            ups.append((cursor, self.end))
+        return ups
+
+    @property
+    def span(self) -> float:
+        return self.end - self.start
+
+    def down_seconds(self) -> float:
+        return total_duration(self._down)
+
+    def up_seconds(self) -> float:
+        return self.span - self.down_seconds()
+
+    def availability(self) -> float:
+        """Fraction of the span spent up (1.0 for an empty span)."""
+        return self.up_seconds() / self.span if self.span > 0 else 1.0
+
+    def is_up_at(self, time: float) -> bool:
+        """State at an instant (end-of-span queries use the final state)."""
+        if not self.start <= time <= self.end:
+            raise ValueError(f"time {time} outside [{self.start}, {self.end}]")
+        index = bisect.bisect_right(self._down, (time, float("inf"))) - 1
+        if index >= 0:
+            down_start, down_end = self._down[index]
+            if down_start <= time < down_end:
+                return False
+        return True
+
+    def events(self, min_duration: float = 0.0) -> List[OutageEvent]:
+        """Down intervals as events, optionally dropping short ones."""
+        return [OutageEvent(s, e) for s, e in self._down
+                if e - s >= min_duration]
+
+    def segments(self) -> Iterator[Tuple[float, float, bool]]:
+        """Alternating ``(start, end, is_up)`` covering the whole span."""
+        cursor = self.start
+        for down_start, down_end in self._down:
+            if down_start > cursor:
+                yield cursor, down_start, True
+            yield down_start, down_end, False
+            cursor = down_end
+        if cursor < self.end:
+            yield cursor, self.end, True
+
+    # -- algebra ----------------------------------------------------------
+
+    def clip(self, start: float, end: float) -> "Timeline":
+        """Restrict to a sub-span."""
+        start = max(start, self.start)
+        end = min(end, self.end)
+        return Timeline(start, end, self._down)
+
+    def invert(self) -> "Timeline":
+        """Swap up and down."""
+        return Timeline(self.start, self.end, self.up_intervals)
+
+    def union_down(self, other: "Timeline") -> "Timeline":
+        """Down wherever either timeline is down (spans must match)."""
+        self._check_span(other)
+        return Timeline(self.start, self.end, self._down + other._down)
+
+    def intersect_down(self, other: "Timeline") -> "Timeline":
+        """Down only where both timelines are down (spans must match)."""
+        self._check_span(other)
+        return Timeline(self.start, self.end,
+                        intersect_intervals(self._down, other._down))
+
+    def drop_short_outages(self, min_duration: float) -> "Timeline":
+        """Remove down intervals shorter than ``min_duration``.
+
+        This models a detector that cannot resolve outages below its
+        temporal precision — e.g. Trinocular's 11-minute rounds.
+        """
+        return Timeline(self.start, self.end,
+                        [(s, e) for s, e in self._down if e - s >= min_duration])
+
+    def fill_short_ups(self, min_duration: float) -> "Timeline":
+        """Merge down intervals separated by an up gap below
+        ``min_duration`` (flap damping)."""
+        if not self._down:
+            return Timeline(self.start, self.end, ())
+        filled: List[Interval] = [self._down[0]]
+        for start, end in self._down[1:]:
+            if start - filled[-1][1] < min_duration:
+                filled[-1] = (filled[-1][0], end)
+            else:
+                filled.append((start, end))
+        return Timeline(self.start, self.end, filled)
+
+    def shift(self, delta: float) -> "Timeline":
+        """Translate the whole timeline in time by ``delta`` seconds."""
+        return Timeline(self.start + delta, self.end + delta,
+                        [(s + delta, e + delta) for s, e in self._down])
+
+    def _check_span(self, other: "Timeline") -> None:
+        if (self.start, self.end) != (other.start, other.end):
+            raise ValueError(
+                f"timeline spans differ: [{self.start}, {self.end}) vs "
+                f"[{other.start}, {other.end})")
+
+    # -- dunder ------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, Timeline)
+                and (self.start, self.end) == (other.start, other.end)
+                and self._down == other._down)
+
+    def __hash__(self) -> int:
+        return hash((self.start, self.end, tuple(self._down)))
+
+    def __repr__(self) -> str:
+        return (f"Timeline([{self.start}, {self.end}), "
+                f"{len(self._down)} outages, "
+                f"availability={self.availability():.4f})")

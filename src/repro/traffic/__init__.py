@@ -1,0 +1,36 @@
+"""Traffic substrate: the simulated Internet and its arrival processes."""
+
+from .darknet import DarknetConfig, DarknetTelescope
+from .internet import BlockProfile, FamilyConfig, InternetConfig, SimulatedInternet
+from .outages import IPV4_OUTAGE_MODEL, IPV6_OUTAGE_MODEL, OutageModel
+from .rates import DENSE_RATE_THRESHOLD, DensityClass, RateMixture, classify_rate
+from .seasonal import DAY_SECONDS, WEEK_SECONDS, DiurnalPattern
+from .sources import (
+    mmpp_times,
+    modulated_poisson_times,
+    poisson_times,
+    suppress_intervals,
+)
+
+__all__ = [
+    "DarknetConfig",
+    "DarknetTelescope",
+    "BlockProfile",
+    "FamilyConfig",
+    "InternetConfig",
+    "SimulatedInternet",
+    "IPV4_OUTAGE_MODEL",
+    "IPV6_OUTAGE_MODEL",
+    "OutageModel",
+    "DENSE_RATE_THRESHOLD",
+    "DensityClass",
+    "RateMixture",
+    "classify_rate",
+    "DAY_SECONDS",
+    "WEEK_SECONDS",
+    "DiurnalPattern",
+    "mmpp_times",
+    "modulated_poisson_times",
+    "poisson_times",
+    "suppress_intervals",
+]

@@ -1,0 +1,120 @@
+"""Darknet (Internet background radiation) as a second passive source.
+
+The poster's future work: "we plan to extend this work to other passive
+data sources (such as darknets)".  A darknet telescope watches an
+unused prefix; the traffic arriving there — scanner probes, backscatter
+from spoofed-source floods, misconfiguration — comes from live hosts
+everywhere, so per-block IBR arrival is an outage signal with exactly
+the same shape as root-server queries: it stops when the block dies.
+This is the signal Chocolatine consumes at AS level; here it feeds the
+per-block detector and fuses with the DNS vantage.
+
+Differences from the DNS source that the model preserves:
+
+* the per-block IBR rate is only weakly correlated with its resolver
+  query rate (scanners are not resolvers) — fusing the two therefore
+  genuinely adds coverage rather than just doubling one signal;
+* a share of IBR is spoofed, so some "arrivals" from a block continue
+  while it is down (higher noise floor than the DNS source);
+* scanning is burstier than resolver traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from ..net.addr import Family
+from .internet import BlockProfile, SimulatedInternet
+from .sources import mmpp_times, poisson_times, suppress_intervals
+
+__all__ = ["DarknetConfig", "DarknetTelescope"]
+
+
+@dataclass(frozen=True)
+class DarknetConfig:
+    """Shape of the IBR a darknet telescope attracts.
+
+    ``rate_exponent``/``rate_noise_sigma`` set how a block's IBR rate
+    derives from its DNS rate: ``ibr = scale * dns**exponent * lognoise``
+    — exponent < 1 flattens the relationship, so some DNS-quiet blocks
+    are IBR-loud (the coverage win) and vice versa.
+    """
+
+    rate_scale: float = 0.25
+    rate_exponent: float = 0.55
+    rate_noise_sigma: float = 1.0
+    #: fraction of a block's IBR that is spoofed (keeps flowing during
+    #: outages, raising the detector's noise floor for this source).
+    spoofed_fraction: float = 0.02
+    #: fraction of blocks whose IBR is bursty scanning (MMPP).
+    bursty_fraction: float = 0.5
+    seed: int = 31337
+
+
+class DarknetTelescope:
+    """Generates per-block IBR observation streams over a simulated
+    Internet, sharing that Internet's ground truth."""
+
+    def __init__(self, internet: SimulatedInternet,
+                 config: Optional[DarknetConfig] = None) -> None:
+        self.internet = internet
+        self.config = config or DarknetConfig()
+        self._rates: Dict[Tuple[Family, int], float] = {}
+        rng = np.random.default_rng(self.config.seed)
+        for profile in internet.profiles:
+            base = max(profile.mean_rate, 1e-7)
+            rate = (self.config.rate_scale
+                    * base ** self.config.rate_exponent
+                    * float(rng.lognormal(0.0,
+                                          self.config.rate_noise_sigma)))
+            self._rates[(profile.family, profile.key)] = rate
+
+    def ibr_rate_for(self, profile: BlockProfile) -> float:
+        """The block's mean IBR arrival rate at the telescope (pkts/s)."""
+        return self._rates[(profile.family, profile.key)]
+
+    def observations(
+        self, seed: Optional[int] = None,
+        start: Optional[float] = None, end: Optional[float] = None,
+    ) -> Iterator[Tuple[BlockProfile, np.ndarray]]:
+        """Yield ``(profile, sorted IBR arrival times)`` per block.
+
+        Legitimate (non-spoofed) IBR is suppressed during ground-truth
+        outages; the spoofed share flows regardless — it never saw the
+        block, only its address space.
+        """
+        config = self.config
+        start = self.internet.config.start if start is None else start
+        end = self.internet.config.end if end is None else end
+        base_seed = config.seed if seed is None else seed
+        children = np.random.SeedSequence(base_seed).spawn(
+            len(self.internet.profiles))
+        for profile, child in zip(self.internet.profiles, children):
+            rng = np.random.default_rng(child)
+            rate = self._rates[(profile.family, profile.key)]
+            genuine_rate = rate * (1.0 - config.spoofed_fraction)
+            spoofed_rate = rate * config.spoofed_fraction
+            if rng.random() < config.bursty_fraction:
+                genuine = mmpp_times(rng, genuine_rate, start, end,
+                                     burst_factor=8.0)
+            else:
+                genuine = poisson_times(rng, genuine_rate, start, end)
+            down = [(max(s, start), min(e, end))
+                    for s, e in profile.truth.down_intervals
+                    if e > start and s < end]
+            genuine = suppress_intervals(genuine, down)
+            spoofed = poisson_times(rng, spoofed_rate, start, end)
+            merged = np.concatenate([genuine, spoofed])
+            merged.sort()
+            yield profile, merged
+
+    def per_block(self, family: Family, seed: Optional[int] = None,
+                  start: Optional[float] = None,
+                  end: Optional[float] = None) -> Dict[int, np.ndarray]:
+        """Observation streams for one family, keyed by block."""
+        return {profile.key: times
+                for profile, times in self.observations(seed, start, end)
+                if profile.family is family}

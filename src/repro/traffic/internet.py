@@ -1,0 +1,414 @@
+"""The simulated Internet: block populations, truth, and traffic.
+
+This is the substrate that replaces the paper's real-world data.  It
+holds one :class:`BlockProfile` per simulated edge block (/24 IPv4 or
+/48 IPv6) with:
+
+* a mean query rate toward the passive vantage point (B-root), drawn
+  from the heavy-tailed dense/sparse mixture;
+* an arrival process (Poisson / diurnally modulated / bursty MMPP);
+* a ground-truth up/down :class:`~repro.timeline.Timeline` with injected
+  short and long outages;
+* a set of active addresses that answer (or don't) active probes, so
+  Trinocular and RIPE-style comparators observe the *same* truth.
+
+Everything downstream — the passive detector, the active comparators,
+and the evaluation — consumes this one object, which is what makes the
+confusion-matrix experiments meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..net.addr import Family
+from ..net.blocks import Block
+from ..timeline import Timeline
+from .outages import IPV4_OUTAGE_MODEL, OutageModel
+from .rates import RateMixture
+from .seasonal import DiurnalPattern
+from .sources import (
+    mmpp_times,
+    modulated_poisson_times,
+    poisson_times,
+    suppress_intervals,
+)
+
+__all__ = ["BlockProfile", "FamilyConfig", "InternetConfig", "SimulatedInternet"]
+
+
+@dataclass
+class BlockProfile:
+    """Everything the simulation knows about one edge block."""
+
+    block: Block
+    mean_rate: float
+    pattern: DiurnalPattern
+    arrival_kind: str
+    truth: Timeline
+    active_addresses: np.ndarray
+    probe_response_prob: float
+    as_id: int
+    visible_to_vantage: bool = True
+    #: stray (spoofed / scanning) queries that leak even while down,
+    #: exercising the detector's noise term.
+    noise_rate: float = 0.0
+
+    @property
+    def key(self) -> int:
+        """Right-aligned block prefix key."""
+        return self.block.prefix
+
+    @property
+    def family(self) -> Family:
+        return self.block.family
+
+
+@dataclass
+class FamilyConfig:
+    """Population parameters for one address family."""
+
+    n_blocks: int
+    outage_model: OutageModel
+    rate_mixture: RateMixture = field(default_factory=RateMixture)
+    #: fraction of existing blocks that route any traffic toward the
+    #: passive vantage point (B-root sees only recursive resolvers).
+    vantage_visibility: float = 1.0
+    mean_diurnal_amplitude: float = 0.25
+    bursty_fraction: float = 0.15
+    modulated_fraction: float = 0.35
+    mean_active_addresses: float = 12.0
+    probe_response_mean: float = 0.8
+    noise_rate: float = 1.0 / 36000.0  # one stray packet per 10 h
+
+
+@dataclass
+class InternetConfig:
+    """Full simulation configuration.
+
+    ``start``/``end`` bound the simulated clock; outages are only
+    injected after ``start + training_seconds`` so the leading window is
+    clean history the detector can train on.
+    """
+
+    start: float = 0.0
+    end: float = 2.0 * 86400.0
+    training_seconds: float = 86400.0
+    seed: int = 42
+    n_ases: int = 400
+    ipv4: FamilyConfig = field(default_factory=lambda: FamilyConfig(
+        n_blocks=4000, outage_model=IPV4_OUTAGE_MODEL))
+    ipv6: Optional[FamilyConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError("simulation must cover a positive span")
+        if self.training_seconds < 0:
+            raise ValueError("training_seconds must be non-negative")
+        if self.start + self.training_seconds > self.end:
+            raise ValueError("training window exceeds the simulation span")
+
+    @property
+    def eval_start(self) -> float:
+        """First instant at which outages may occur."""
+        return self.start + self.training_seconds
+
+
+def _draw_v4_prefixes(rng: np.random.Generator, count: int,
+                      num_providers: int = 0) -> np.ndarray:
+    """Distinct /24 keys clustered into provider /16 allocations.
+
+    Real address space is allocated in contiguous ranges, so sibling
+    /24s under a /20 or /16 routinely belong to the same network — the
+    structure spatial aggregation and regional corroboration rely on.
+    Provider /16s get Zipf-weighted shares of the population.
+    """
+    if num_providers <= 0:
+        num_providers = max(8, count // 6)
+    providers = np.unique(rng.integers(1 << 8, 224 << 8,
+                                       size=num_providers))
+    weights = np.arange(1, len(providers) + 1, dtype=float) ** -1.1
+    weights /= weights.sum()
+    keys = set()
+    while len(keys) < count:
+        remaining = count - len(keys)
+        chosen = rng.choice(providers, size=remaining, p=weights)
+        subnets = rng.integers(0, 256, size=remaining)
+        for provider, subnet in zip(chosen, subnets):
+            keys.add((int(provider) << 8) | int(subnet))
+    return np.array(sorted(keys), dtype=np.int64)
+
+
+def _draw_v6_prefixes(rng: np.random.Generator, count: int,
+                      num_providers: int = 120) -> np.ndarray:
+    """Distinct /48 keys clustered into provider /32s (2000::/4-ish)."""
+    providers = np.unique(rng.integers(0x20010000, 0x3FFF0000,
+                                       size=num_providers))
+    weights = np.arange(1, len(providers) + 1, dtype=float) ** -1.1
+    weights /= weights.sum()
+    keys = set()
+    while len(keys) < count:
+        remaining = count - len(keys)
+        chosen = rng.choice(providers, size=remaining, p=weights)
+        subnets = rng.integers(0, 1 << 16, size=remaining)
+        for provider, subnet in zip(chosen, subnets):
+            keys.add((int(provider) << 16) | int(subnet))
+    return np.array(sorted(keys), dtype=np.uint64)
+
+
+class SimulatedInternet:
+    """A population of blocks with shared ground truth.
+
+    Build with :meth:`build`; then draw passive observations with
+    :meth:`passive_observations` and active-probe responses with
+    :meth:`probe`.
+    """
+
+    def __init__(self, config: InternetConfig,
+                 profiles: List[BlockProfile]) -> None:
+        self.config = config
+        self.profiles = profiles
+        self._by_key: Dict[Tuple[Family, int], BlockProfile] = {
+            (p.family, p.key): p for p in profiles
+        }
+        self._address_index: Dict[Tuple[Family, int], Dict[int, float]] = {}
+        for profile in profiles:
+            per_address = {}
+            for address in profile.active_addresses:
+                per_address[int(address)] = profile.probe_response_prob
+            self._address_index[(profile.family, profile.key)] = per_address
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def build(cls, config: InternetConfig) -> "SimulatedInternet":
+        """Materialise the population described by ``config``."""
+        rng = np.random.default_rng(config.seed)
+        profiles: List[BlockProfile] = []
+        for family, family_config in ((Family.IPV4, config.ipv4),
+                                      (Family.IPV6, config.ipv6)):
+            if family_config is None or family_config.n_blocks == 0:
+                continue
+            profiles.extend(cls._build_family(config, family, family_config, rng))
+        return cls(config, profiles)
+
+    @classmethod
+    def _build_family(cls, config: InternetConfig, family: Family,
+                      family_config: FamilyConfig,
+                      rng: np.random.Generator) -> Iterator[BlockProfile]:
+        count = family_config.n_blocks
+        if family is Family.IPV4:
+            prefixes = _draw_v4_prefixes(rng, count)
+            prefix_len, span_bits = 24, 8
+        else:
+            prefixes = _draw_v6_prefixes(rng, count)
+            prefix_len, span_bits = 48, 80
+
+        rates = family_config.rate_mixture.draw(rng, count)
+        visible = rng.random(count) < family_config.vantage_visibility
+        kinds = rng.choice(
+            np.array(["poisson", "modulated", "mmpp"], dtype=object),
+            size=count,
+            p=[1.0 - family_config.modulated_fraction
+               - family_config.bursty_fraction,
+               family_config.modulated_fraction,
+               family_config.bursty_fraction])
+        as_ids = cls._draw_as_ids(rng, count, config.n_ases)
+        address_counts = 1 + rng.poisson(
+            family_config.mean_active_addresses - 1, size=count)
+
+        for index in range(count):
+            block = Block(family, int(prefixes[index]), prefix_len)
+            truth = family_config.outage_model.draw_timeline(
+                rng, config.eval_start, config.end)
+            # Expand truth to the full simulated span (training is clean).
+            truth = Timeline(config.start, config.end, truth.down_intervals)
+            n_addresses = min(int(address_counts[index]),
+                              1 << min(span_bits, 16))
+            base = int(prefixes[index]) << span_bits
+            if span_bits > 63:
+                # 2**80 host offsets overflow int64; draw the low 63 bits,
+                # which is ample entropy for distinct active addresses.
+                offsets = rng.integers(0, 1 << 63, size=n_addresses)
+                addresses = np.unique(
+                    np.array([base + int(o) for o in offsets], dtype=object))
+            else:
+                offsets = rng.integers(0, 1 << span_bits, size=n_addresses)
+                addresses = np.unique(base + offsets)
+            pattern = (DiurnalPattern.draw(
+                rng, family_config.mean_diurnal_amplitude)
+                if kinds[index] == "modulated" else DiurnalPattern.flat())
+            yield BlockProfile(
+                block=block,
+                mean_rate=float(rates[index]),
+                pattern=pattern,
+                arrival_kind=str(kinds[index]),
+                truth=truth,
+                active_addresses=np.asarray(addresses),
+                probe_response_prob=float(np.clip(
+                    rng.normal(family_config.probe_response_mean, 0.1),
+                    0.3, 0.98)),
+                as_id=int(as_ids[index]),
+                visible_to_vantage=bool(visible[index]),
+                noise_rate=family_config.noise_rate,
+            )
+
+    @staticmethod
+    def _draw_as_ids(rng: np.random.Generator, count: int,
+                     n_ases: int) -> np.ndarray:
+        """Zipf-ish AS sizes: a few large ASes own many blocks."""
+        weights = np.arange(1, n_ases + 1, dtype=float) ** -1.0
+        weights /= weights.sum()
+        return rng.choice(n_ases, size=count, p=weights)
+
+    # -- lookup --------------------------------------------------------------
+
+    def profile_for(self, family: Family, key: int) -> Optional[BlockProfile]:
+        return self._by_key.get((family, key))
+
+    def truth_for(self, family: Family, key: int) -> Optional[Timeline]:
+        profile = self.profile_for(family, key)
+        return profile.truth if profile else None
+
+    def blocks(self, family: Optional[Family] = None) -> List[Block]:
+        return [p.block for p in self.profiles
+                if family is None or p.family is family]
+
+    def family_profiles(self, family: Family) -> List[BlockProfile]:
+        return [p for p in self.profiles if p.family is family]
+
+    # -- passive side ---------------------------------------------------------
+
+    def arrivals_for(self, profile: BlockProfile,
+                     rng: np.random.Generator,
+                     start: Optional[float] = None,
+                     end: Optional[float] = None) -> np.ndarray:
+        """One block's query arrival times toward the vantage point.
+
+        Ground-truth outages suppress arrivals; a trickle of noise
+        arrivals is injected during down intervals.
+        """
+        start = self.config.start if start is None else start
+        end = self.config.end if end is None else end
+        if not profile.visible_to_vantage:
+            return np.empty(0, dtype=float)
+        if profile.arrival_kind == "mmpp":
+            times = mmpp_times(rng, profile.mean_rate, start, end)
+        elif profile.arrival_kind == "modulated":
+            times = modulated_poisson_times(
+                rng, profile.mean_rate, profile.pattern, start, end)
+        else:
+            times = poisson_times(rng, profile.mean_rate, start, end)
+        down = [(max(s, start), min(e, end))
+                for s, e in profile.truth.down_intervals if e > start and s < end]
+        times = suppress_intervals(times, down)
+        if profile.noise_rate > 0 and down:
+            noise_pieces = [poisson_times(rng, profile.noise_rate, s, e)
+                            for s, e in down]
+            noise = np.concatenate([times] + noise_pieces)
+            noise.sort()
+            times = noise
+        return times
+
+    def passive_observations(
+        self, seed: Optional[int] = None,
+        start: Optional[float] = None, end: Optional[float] = None,
+    ) -> Iterator[Tuple[BlockProfile, np.ndarray]]:
+        """Yield ``(profile, sorted arrival times)`` for every visible block.
+
+        A fresh child generator per block keeps draws reproducible and
+        independent of iteration order changes elsewhere.
+        """
+        base_seed = self.config.seed if seed is None else seed
+        root = np.random.SeedSequence(base_seed)
+        children = root.spawn(len(self.profiles))
+        for profile, child in zip(self.profiles, children):
+            if not profile.visible_to_vantage:
+                continue
+            rng = np.random.default_rng(child)
+            yield profile, self.arrivals_for(profile, rng, start, end)
+
+    # -- active side ------------------------------------------------------------
+
+    def probe(self, family: Family, address_value: int, time: float,
+              rng: np.random.Generator) -> bool:
+        """Simulate one active probe (ICMP echo style).
+
+        Responds only when the enclosing block exists, is up at ``time``,
+        the address is one of the block's live addresses, and the
+        per-probe response draw succeeds.
+        """
+        key = address_value >> (family.bits - family.default_block_prefix)
+        per_address = self._address_index.get((family, key))
+        if not per_address:
+            return False
+        response_prob = per_address.get(int(address_value))
+        if response_prob is None:
+            return False
+        profile = self._by_key[(family, key)]
+        if not profile.truth.is_up_at(min(time, profile.truth.end)):
+            return False
+        return bool(rng.random() < response_prob)
+
+    def probe_block(self, profile: BlockProfile, time: float,
+                    rng: np.random.Generator,
+                    max_probes: int = 1) -> int:
+        """Probe up to ``max_probes`` of a block's live addresses;
+        returns the number of responses (stops at the first)."""
+        responses = 0
+        for address in profile.active_addresses[:max_probes]:
+            if self.probe(profile.family, int(address), time, rng):
+                responses += 1
+                break
+        return responses
+
+    def inject_regional_outage(self, family: Family, super_key: int,
+                               levels: int, start: float,
+                               end: float) -> int:
+        """Force an outage interval onto every block under a supernet.
+
+        Models a regional event (power failure, cable cut): all blocks
+        whose key collapses to ``super_key`` after dropping ``levels``
+        bits go down together over ``[start, end)``.  Must be called
+        *before* :meth:`passive_observations` so the injected outage
+        suppresses traffic.  Returns the number of blocks affected.
+        """
+        affected = 0
+        for profile in self.family_profiles(family):
+            if profile.key >> levels != super_key:
+                continue
+            profile.truth = Timeline(
+                profile.truth.start, profile.truth.end,
+                profile.truth.down_intervals + [(start, end)])
+            affected += 1
+        return affected
+
+    # -- bookkeeping -------------------------------------------------------------
+
+    def truth_outage_rate(self, family: Family,
+                          min_duration: float = 0.0) -> float:
+        """Fraction of family blocks with >= 1 (long-enough) outage."""
+        profiles = self.family_profiles(family)
+        if not profiles:
+            return 0.0
+        hit = sum(bool(p.truth.events(min_duration)) for p in profiles)
+        return hit / len(profiles)
+
+    def describe(self) -> str:
+        """One-paragraph summary for logs and examples."""
+        lines = [f"SimulatedInternet over [{self.config.start}, "
+                 f"{self.config.end}) s, seed={self.config.seed}"]
+        for family in (Family.IPV4, Family.IPV6):
+            profiles = self.family_profiles(family)
+            if not profiles:
+                continue
+            visible = sum(p.visible_to_vantage for p in profiles)
+            with_outage = sum(bool(p.truth.events()) for p in profiles)
+            lines.append(
+                f"  {family.name}: {len(profiles)} blocks "
+                f"({visible} visible to vantage), "
+                f"{with_outage} with >=1 outage")
+        return "\n".join(lines)

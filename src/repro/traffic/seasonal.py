@@ -1,0 +1,76 @@
+"""Diurnal and weekly modulation of traffic intensity.
+
+The poster notes that future work will model seasonal and diurnal
+effects; the simulator includes them anyway so that (a) the detector's
+robustness to daily rate swings is testable, and (b) the per-block
+history model can be extended to absorb them (see
+``repro.core.history``).  Modulation is a smooth multiplicative factor
+with mean ~1 over a day, so a block's configured mean rate stays its
+daily average.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DiurnalPattern", "DAY_SECONDS", "WEEK_SECONDS"]
+
+DAY_SECONDS = 86400.0
+WEEK_SECONDS = 7 * DAY_SECONDS
+
+
+@dataclass(frozen=True)
+class DiurnalPattern:
+    """Sinusoidal day/week modulation of an arrival rate.
+
+    intensity(t) = max(0, 1 + a_day*sin(day phase) + a_week*sin(week phase))
+
+    ``amplitude`` below 1 keeps the factor strictly positive; the draw
+    helper therefore caps it.
+    """
+
+    amplitude: float = 0.0
+    peak_hour: float = 14.0
+    week_amplitude: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.amplitude <= 0.95:
+            raise ValueError(f"diurnal amplitude out of range: {self.amplitude}")
+        if not 0.0 <= self.week_amplitude <= 0.5:
+            raise ValueError(f"weekly amplitude out of range: {self.week_amplitude}")
+
+    @property
+    def max_intensity(self) -> float:
+        """Upper bound of :meth:`intensity`, used for thinning."""
+        return 1.0 + self.amplitude + self.week_amplitude
+
+    def intensity(self, times: np.ndarray) -> np.ndarray:
+        """Vectorised multiplicative intensity at ``times`` (seconds)."""
+        times = np.asarray(times, dtype=float)
+        day_phase = 2.0 * np.pi * (times / DAY_SECONDS - self.peak_hour / 24.0)
+        factor = 1.0 + self.amplitude * np.cos(day_phase)
+        if self.week_amplitude:
+            week_phase = 2.0 * np.pi * times / WEEK_SECONDS
+            factor = factor + self.week_amplitude * np.cos(week_phase)
+        return np.maximum(factor, 0.0)
+
+    @classmethod
+    def flat(cls) -> "DiurnalPattern":
+        """No modulation (intensity identically 1)."""
+        return cls(0.0, 0.0, 0.0)
+
+    @classmethod
+    def draw(cls, rng: np.random.Generator,
+             mean_amplitude: float = 0.3) -> "DiurnalPattern":
+        """Draw a random per-block pattern.
+
+        Amplitudes are beta-distributed around ``mean_amplitude`` and the
+        peak hour is uniform — blocks around the world peak at different
+        local afternoons.
+        """
+        amplitude = min(0.95, float(rng.beta(2.0, 2.0 / mean_amplitude)))
+        peak_hour = float(rng.uniform(0.0, 24.0))
+        week_amplitude = float(rng.uniform(0.0, 0.15))
+        return cls(amplitude, peak_hour, week_amplitude)

@@ -1,0 +1,47 @@
+"""Shared fixtures: a small simulated Internet and derived artefacts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.net.addr import Family
+from repro.traffic.internet import (
+    FamilyConfig,
+    InternetConfig,
+    SimulatedInternet,
+)
+from repro.traffic.outages import IPV4_OUTAGE_MODEL, IPV6_OUTAGE_MODEL, OutageModel
+
+DAY = 86400.0
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def small_internet() -> SimulatedInternet:
+    """A two-day simulation: clean first day, outages on the second."""
+    config = InternetConfig(
+        end=2 * DAY,
+        training_seconds=DAY,
+        seed=99,
+        ipv4=FamilyConfig(
+            n_blocks=120,
+            outage_model=OutageModel(outage_probability=0.3)),
+        ipv6=FamilyConfig(
+            n_blocks=30,
+            outage_model=IPV6_OUTAGE_MODEL),
+    )
+    return SimulatedInternet.build(config)
+
+
+@pytest.fixture(scope="session")
+def small_per_block(small_internet):
+    """Per-block arrival times for the small Internet (both families)."""
+    v4, v6 = {}, {}
+    for profile, times in small_internet.passive_observations():
+        (v4 if profile.family is Family.IPV4 else v6)[profile.key] = times
+    return {Family.IPV4: v4, Family.IPV6: v6}

@@ -1,0 +1,158 @@
+"""Passive baselines: threshold bins, CUSUM, Chocolatine."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.bins import ThresholdBinDetector
+from repro.baselines.chocolatine import (
+    ChocolatineConfig,
+    ChocolatineDetector,
+    group_by_as,
+)
+from repro.baselines.cusum import CusumConfig, CusumDetector
+from repro.traffic.seasonal import DiurnalPattern
+from repro.traffic.sources import (
+    modulated_poisson_times,
+    poisson_times,
+    suppress_intervals,
+)
+
+DAY = 86400.0
+
+
+def dense_block_with_outage(rng, rate=0.1, outage=(40000.0, 50000.0),
+                            span=DAY):
+    times = poisson_times(rng, rate, 0, span)
+    return suppress_intervals(times, [outage]), outage
+
+
+class TestThresholdBins:
+    def test_finds_outage(self):
+        rng = np.random.default_rng(0)
+        times, outage = dense_block_with_outage(rng)
+        timeline = ThresholdBinDetector(bin_seconds=300.0).detect_block(
+            times, 0, DAY)
+        overlap = [i for i in timeline.down_intervals
+                   if i[0] < outage[1] and i[1] > outage[0]]
+        assert overlap
+
+    def test_consecutive_debounce(self):
+        # one empty bin should not alarm with consecutive_bins=2
+        times = np.concatenate([np.arange(0.0, 300.0, 10.0),
+                                np.arange(600.0, 1200.0, 10.0)])
+        strict = ThresholdBinDetector(300.0, consecutive_bins=2)
+        assert strict.detect_block(times, 0, 1200).down_seconds() == 0
+        loose = ThresholdBinDetector(300.0, consecutive_bins=1)
+        assert loose.detect_block(times, 0, 1200).down_seconds() == 300.0
+
+    def test_sparse_block_drowns_in_false_outages(self):
+        rng = np.random.default_rng(1)
+        times = poisson_times(rng, 0.001, 0, DAY)  # healthy sparse block
+        timeline = ThresholdBinDetector(300.0).detect_block(times, 0, DAY)
+        assert timeline.availability() < 0.9  # the naive detector fails
+
+    def test_detect_population(self):
+        rng = np.random.default_rng(2)
+        per_block = {1: poisson_times(rng, 0.1, 0, DAY)}
+        result = ThresholdBinDetector().detect(per_block, 0, DAY)
+        assert set(result) == {1}
+
+
+class TestCusum:
+    def test_finds_outage(self):
+        rng = np.random.default_rng(3)
+        train = poisson_times(rng, 0.1, 0, DAY)
+        evaluate, outage = dense_block_with_outage(
+            rng, outage=(DAY + 40000.0, DAY + 55000.0), span=0)
+        evaluate = suppress_intervals(
+            poisson_times(rng, 0.1, DAY, 2 * DAY), [outage])
+        detector = CusumDetector()
+        detector.train({1: train}, 0, DAY)
+        timeline = detector.detect_block(1, evaluate, DAY, 2 * DAY)
+        overlap = [i for i in timeline.down_intervals
+                   if i[0] < outage[1] and i[1] > outage[0]]
+        assert overlap
+
+    def test_healthy_block_quiet(self):
+        rng = np.random.default_rng(4)
+        detector = CusumDetector()
+        detector.train({1: poisson_times(rng, 0.1, 0, DAY)}, 0, DAY)
+        timeline = detector.detect_block(
+            1, poisson_times(rng, 0.1, DAY, 2 * DAY), DAY, 2 * DAY)
+        assert timeline.down_seconds() < 0.02 * DAY
+
+    def test_sparse_blocks_not_trainable(self):
+        rng = np.random.default_rng(5)
+        detector = CusumDetector()
+        detector.train({1: poisson_times(rng, 0.0005, 0, DAY)}, 0, DAY)
+        assert detector.trained_keys == []
+        assert detector.detect_block(1, np.empty(0), 0, DAY) is None
+
+    def test_detect_population_covers_trained_only(self):
+        rng = np.random.default_rng(6)
+        detector = CusumDetector()
+        detector.train({1: poisson_times(rng, 0.1, 0, DAY),
+                        2: poisson_times(rng, 0.0001, 0, DAY)}, 0, DAY)
+        result = detector.detect({1: np.empty(0)}, DAY, 2 * DAY)
+        assert set(result) == {1}
+        # absent traffic for a trained block = one long alarm
+        assert result[1].availability() < 0.2
+
+
+class TestChocolatine:
+    def build_as_streams(self, rng, n_blocks=30, rate=0.05,
+                         outage=None):
+        pattern = DiurnalPattern(amplitude=0.4, peak_hour=15.0)
+        streams = []
+        for _ in range(n_blocks):
+            times = modulated_poisson_times(rng, rate, pattern, 0, 2 * DAY)
+            if outage is not None:
+                times = suppress_intervals(times, [outage])
+            streams.append(times)
+        merged = np.concatenate(streams)
+        merged.sort()
+        return merged
+
+    def test_finds_as_wide_outage(self):
+        rng = np.random.default_rng(7)
+        outage = (DAY + 30000.0, DAY + 40000.0)
+        train_stream = self.build_as_streams(rng)
+        eval_stream = self.build_as_streams(rng, outage=outage)
+        detector = ChocolatineDetector()
+        detector.train({7: train_stream[train_stream < DAY]}, 0, DAY)
+        assert detector.trained_ases == [7]
+        timeline = detector.detect_as(
+            7, eval_stream[eval_stream >= DAY], DAY, 2 * DAY)
+        overlap = [i for i in timeline.down_intervals
+                   if i[0] < outage[1] and i[1] > outage[0]]
+        assert overlap
+
+    def test_tolerates_diurnal_swings(self):
+        rng = np.random.default_rng(8)
+        stream = self.build_as_streams(rng)
+        detector = ChocolatineDetector()
+        detector.train({7: stream[stream < DAY]}, 0, DAY)
+        timeline = detector.detect_as(7, stream[stream >= DAY], DAY, 2 * DAY)
+        assert timeline.down_seconds() < 0.05 * DAY
+
+    def test_quiet_as_not_modelled(self):
+        rng = np.random.default_rng(9)
+        detector = ChocolatineDetector()
+        detector.train({7: poisson_times(rng, 0.001, 0, DAY)}, 0, DAY)
+        assert detector.trained_ases == []
+
+    def test_training_needs_full_season(self):
+        detector = ChocolatineDetector()
+        with pytest.raises(ValueError):
+            detector.train({}, 0, 3600.0)
+
+    def test_group_by_as(self):
+        per_block = {1: np.array([3.0, 1.0]), 2: np.array([2.0]),
+                     3: np.array([5.0])}
+        merged = group_by_as(per_block, {1: 10, 2: 10, 3: 20})
+        assert list(merged[10]) == [1.0, 2.0, 3.0]
+        assert list(merged[20]) == [5.0]
+
+    def test_group_by_as_skips_unmapped(self):
+        merged = group_by_as({1: np.array([1.0])}, {})
+        assert merged == {}

@@ -1,0 +1,94 @@
+"""Disco baseline: burst detection over probe disconnections."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.disco import DiscoConfig, DiscoDetector
+from repro.net.addr import Family
+from repro.traffic.internet import (
+    FamilyConfig,
+    InternetConfig,
+    SimulatedInternet,
+)
+from repro.traffic.outages import OutageModel
+
+DAY = 86400.0
+
+
+def quiet_internet(seed=51, n_blocks=120):
+    """No spontaneous outages; tests inject their own."""
+    config = InternetConfig(
+        end=2 * DAY, training_seconds=DAY, seed=seed,
+        ipv4=FamilyConfig(
+            n_blocks=n_blocks,
+            outage_model=OutageModel(outage_probability=0.0)))
+    return SimulatedInternet.build(config)
+
+
+def regional_target(internet, detector):
+    """The region with the most instrumented probes."""
+    from collections import Counter
+    regions = Counter(
+        p.key >> detector.config.region_levels
+        for p in detector.instrumented_profiles(Family.IPV4))
+    return regions.most_common(1)[0]
+
+
+class TestDisco:
+    def test_regional_outage_detected_with_fast_reaction(self):
+        internet = quiet_internet()
+        detector = DiscoDetector(
+            internet, DiscoConfig(instrumented_fraction=0.8, min_burst=3))
+        region, probes = regional_target(internet, detector)
+        if probes < 3:
+            pytest.skip("unlucky world: no region with 3 probes")
+        outage = (DAY + 30000.0, DAY + 33600.0)
+        internet.inject_regional_outage(Family.IPV4, region,
+                                        detector.config.region_levels,
+                                        *outage)
+        timelines = detector.survey(Family.IPV4, DAY, 2 * DAY)
+        events = timelines[region].events()
+        assert events, "regional outage missed"
+        # reaction: the burst is at the exact disconnection instants
+        assert events[0].start == pytest.approx(outage[0], abs=1.0)
+        assert events[0].end == pytest.approx(outage[1], abs=120.0)
+
+    def test_single_block_outage_invisible(self):
+        """The paper's contrast: one block down = one disconnection,
+        below any burst threshold."""
+        internet = quiet_internet()
+        detector = DiscoDetector(
+            internet, DiscoConfig(instrumented_fraction=1.0, min_burst=3))
+        profile = detector.instrumented_profiles(Family.IPV4)[0]
+        internet.inject_regional_outage(
+            Family.IPV4, profile.key, 0, DAY + 30000.0, DAY + 40000.0)
+        timelines = detector.survey(Family.IPV4, DAY, 2 * DAY)
+        region = profile.key >> detector.config.region_levels
+        assert timelines[region].events() == []
+
+    def test_churn_alone_does_not_alarm(self):
+        internet = quiet_internet()
+        detector = DiscoDetector(
+            internet, DiscoConfig(instrumented_fraction=1.0, min_burst=3,
+                                  churn_rate=1.0 / 7200.0))
+        timelines = detector.survey(Family.IPV4, DAY, 2 * DAY)
+        false_seconds = sum(t.down_seconds() for t in timelines.values())
+        total_seconds = sum(t.span for t in timelines.values())
+        assert false_seconds / total_seconds < 0.01
+
+    def test_custom_region_mapping(self):
+        internet = quiet_internet()
+        as_of_block = {p.key: p.as_id
+                       for p in internet.family_profiles(Family.IPV4)}
+        detector = DiscoDetector(
+            internet, DiscoConfig(instrumented_fraction=1.0))
+        timelines = detector.survey(Family.IPV4, DAY, 2 * DAY,
+                                    region_of_block=as_of_block)
+        assert set(timelines) <= set(as_of_block.values())
+
+    def test_instrumentation_deterministic(self):
+        internet = quiet_internet()
+        a = DiscoDetector(internet)
+        b = DiscoDetector(internet)
+        assert [p.key for p in a.instrumented_profiles(Family.IPV4)] == \
+            [p.key for p in b.instrumented_profiles(Family.IPV4)]

@@ -1,0 +1,72 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiment_names_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "table99"])
+
+
+class TestSimulateDetect:
+    def test_roundtrip(self, tmp_path, capsys):
+        capture = tmp_path / "day.pobs"
+        assert main(["simulate", "--blocks", "60", "--days", "2",
+                     "--seed", "3", "--out", str(capture)]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        assert capture.exists()
+
+        assert main(["detect", str(capture), "--train-end", "86400"]) == 0
+        out = capsys.readouterr().out
+        assert "trained 60 blocks" in out
+        assert "outage events" in out
+
+    def test_detect_missing_family(self, tmp_path, capsys):
+        capture = tmp_path / "v4only.pobs"
+        main(["simulate", "--blocks", "10", "--days", "1",
+              "--out", str(capture)])
+        capsys.readouterr()
+        assert main(["detect", str(capture), "--family", "6"]) == 1
+
+    def test_train_then_detect_with_saved_model(self, tmp_path, capsys):
+        capture = tmp_path / "two_days.pobs"
+        model_path = tmp_path / "model.json"
+        main(["simulate", "--blocks", "40", "--days", "2",
+              "--out", str(capture)])
+        capsys.readouterr()
+        assert main(["train", str(capture), "--train-end", "86400",
+                     "--out", str(model_path)]) == 0
+        out = capsys.readouterr().out
+        assert "trained 40 blocks" in out
+        assert model_path.exists()
+        assert main(["detect", str(capture),
+                     "--model", str(model_path)]) == 0
+        out = capsys.readouterr().out
+        assert "outage events" in out
+
+    def test_simulate_with_ipv6(self, tmp_path, capsys):
+        capture = tmp_path / "dual.pobs"
+        assert main(["simulate", "--blocks", "20", "--v6-blocks", "10",
+                     "--days", "1", "--out", str(capture)]) == 0
+        assert main(["detect", str(capture), "--family", "6"]) == 0
+
+
+class TestExperimentCommand:
+    def test_runs_small_table1(self, capsys):
+        assert main(["experiment", "table1", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Precision" in out
+
+    def test_runs_small_figure1(self, capsys):
+        assert main(["experiment", "figure1", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "coverage" in out.lower()

@@ -1,0 +1,63 @@
+"""Spatial aggregation of sparse sibling blocks."""
+
+import numpy as np
+import pytest
+
+from repro.core.aggregation import (
+    merge_streams_for_plan,
+    plan_aggregation,
+)
+from repro.net.addr import Family
+
+
+class TestPlan:
+    def test_groups_by_supernet(self):
+        # /24 keys sharing the top 20 bits differ only in low 4 bits.
+        keys = [0xC00020, 0xC00021, 0xC00022, 0xA00010]
+        plan = plan_aggregation(Family.IPV4, keys, levels=4)
+        assert plan.super_prefix_len == 20
+        assert plan.groups == {0xC0002: [0xC00020, 0xC00021, 0xC00022]}
+
+    def test_min_members_filters_singletons(self):
+        keys = [0xC00020, 0xA00010]
+        plan = plan_aggregation(Family.IPV4, keys, levels=4, min_members=2)
+        assert plan.groups == {}
+        plan_loose = plan_aggregation(Family.IPV4, keys, levels=4,
+                                      min_members=1)
+        assert len(plan_loose.groups) == 2
+
+    def test_ipv6_default_prefix(self):
+        keys = [0x20010DB80000, 0x20010DB80001]
+        plan = plan_aggregation(Family.IPV6, keys, levels=4)
+        assert plan.child_prefix_len == 48
+        assert plan.super_prefix_len == 44
+        assert plan.groups == {0x20010DB8000: sorted(keys)}
+
+    def test_invalid_levels(self):
+        with pytest.raises(ValueError):
+            plan_aggregation(Family.IPV4, [1], levels=0)
+        with pytest.raises(ValueError):
+            plan_aggregation(Family.IPV4, [1], levels=24)
+
+    def test_covered_children(self):
+        keys = [0xC00020, 0xC00021]
+        plan = plan_aggregation(Family.IPV4, keys, levels=4)
+        assert plan.covered_children() == 2
+        assert plan.children_of(0xC0002) == keys
+        assert plan.children_of(0xBEEF) == []
+
+
+class TestMerge:
+    def test_streams_merged_sorted(self):
+        keys = [0xC00020, 0xC00021]
+        plan = plan_aggregation(Family.IPV4, keys, levels=4)
+        per_block = {0xC00020: np.array([5.0, 20.0]),
+                     0xC00021: np.array([1.0, 10.0, 30.0])}
+        merged = merge_streams_for_plan(plan, per_block)
+        assert list(merged[0xC0002]) == [1.0, 5.0, 10.0, 20.0, 30.0]
+
+    def test_missing_children_tolerated(self):
+        keys = [0xC00020, 0xC00021]
+        plan = plan_aggregation(Family.IPV4, keys, levels=4)
+        merged = merge_streams_for_plan(plan, {0xC00020: np.array([2.0])})
+        assert list(merged[0xC0002]) == [2.0]

@@ -1,0 +1,95 @@
+"""Multi-signal corroboration."""
+
+import numpy as np
+import pytest
+
+from repro.core.correlation import (
+    corroborate_events,
+    fuse_beliefs,
+    fuse_timelines,
+)
+from repro.timeline import OutageEvent, Timeline
+
+
+class TestFuseBeliefs:
+    def test_agreement_sharpens(self):
+        a = np.array([0.8, 0.2])
+        fused = fuse_beliefs([a, a], prior=0.5)
+        assert fused[0] > 0.8
+        assert fused[1] < 0.2
+
+    def test_single_source_identity(self):
+        a = np.array([0.7, 0.3])
+        assert np.allclose(fuse_beliefs([a]), a)
+
+    def test_disagreement_moderates(self):
+        up = np.array([0.9])
+        down = np.array([0.1])
+        fused = fuse_beliefs([up, down], prior=0.5)
+        assert 0.3 < fused[0] < 0.7
+
+    def test_requires_input(self):
+        with pytest.raises(ValueError):
+            fuse_beliefs([])
+
+    def test_output_clamped(self):
+        extreme = np.array([1.0 - 1e-9])
+        fused = fuse_beliefs([extreme, extreme, extreme])
+        assert fused[0] < 1.0
+
+
+class TestFuseTimelines:
+    def make(self, *down):
+        return Timeline(0, 100, list(down))
+
+    def test_majority_quorum_default(self):
+        fused = fuse_timelines([self.make((10, 30)), self.make((20, 40)),
+                                self.make((25, 35))])
+        # majority (2 of 3) agree on [20, 35)
+        assert fused.down_intervals == [(20.0, 35.0)]
+
+    def test_quorum_one_is_union(self):
+        fused = fuse_timelines([self.make((10, 20)), self.make((30, 40))],
+                               quorum=1)
+        assert fused.down_intervals == [(10.0, 20.0), (30.0, 40.0)]
+
+    def test_full_quorum_is_intersection(self):
+        fused = fuse_timelines([self.make((10, 30)), self.make((20, 40))],
+                               quorum=2)
+        assert fused.down_intervals == [(20.0, 30.0)]
+
+    def test_requires_input(self):
+        with pytest.raises(ValueError):
+            fuse_timelines([])
+
+
+class TestCorroborateEvents:
+    def test_sibling_witnesses_counted(self):
+        # keys 0x100 and 0x101 share a /20 supernet (levels=4).
+        events = {0x100: [OutageEvent(10, 20)],
+                  0x101: [OutageEvent(12, 25)],
+                  0x900: [OutageEvent(10, 20)]}
+        results = corroborate_events(events, levels=4, slack=0)
+        by_key = {(r.key, r.event.start): r for r in results}
+        assert by_key[(0x100, 10)].witnesses == 1
+        assert by_key[(0x100, 10)].corroborated
+        assert by_key[(0x900, 10)].witnesses == 0
+
+    def test_non_overlapping_not_witnessed(self):
+        events = {0x100: [OutageEvent(10, 20)],
+                  0x101: [OutageEvent(50, 60)]}
+        results = corroborate_events(events, levels=4, slack=0)
+        assert all(r.witnesses == 0 for r in results)
+
+    def test_slack_extends_matching(self):
+        events = {0x100: [OutageEvent(10, 20)],
+                  0x101: [OutageEvent(22, 30)]}
+        strict = corroborate_events(events, levels=4, slack=0)
+        loose = corroborate_events(events, levels=4, slack=5)
+        assert all(r.witnesses == 0 for r in strict)
+        assert all(r.witnesses == 1 for r in loose)
+
+    def test_same_block_not_its_own_witness(self):
+        events = {0x100: [OutageEvent(10, 20), OutageEvent(12, 22)]}
+        results = corroborate_events(events, levels=4, slack=0)
+        assert all(r.witnesses == 0 for r in results)

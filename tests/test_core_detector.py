@@ -1,0 +1,173 @@
+"""Batch and streaming detectors on synthetic blocks with known truth."""
+
+import numpy as np
+import pytest
+
+from repro.core.detector import PassiveDetector, StreamingDetector
+from repro.core.history import train_histories
+from repro.core.parameters import ParameterPlanner
+from repro.net.addr import Family
+from repro.telescope.records import Observation
+from repro.timeline import Timeline
+from repro.traffic.sources import poisson_times, suppress_intervals
+
+DAY = 86400.0
+
+
+def make_population(rates, outages, seed=0, span=DAY):
+    """Blocks with given rates; `outages` maps key -> [(start, end)].
+
+    Returns (train_per_block, eval_per_block); eval arrivals are
+    suppressed during the injected outages.
+    """
+    rng = np.random.default_rng(seed)
+    train, evaluate = {}, {}
+    for key, rate in rates.items():
+        train[key] = poisson_times(rng, rate, 0, span)
+        eval_times = poisson_times(rng, rate, span, 2 * span)
+        evaluate[key] = suppress_intervals(eval_times,
+                                           outages.get(key, []))
+    return train, evaluate
+
+
+@pytest.fixture
+def trained_dense():
+    rates = {1: 0.2, 2: 0.1, 3: 0.05}
+    outages = {1: [(DAY + 30000.0, DAY + 33000.0)],
+               2: [(DAY + 50000.0, DAY + 50400.0)]}  # a short outage
+    train, evaluate = make_population(rates, outages)
+    histories = train_histories(train, 0, DAY)
+    parameters = ParameterPlanner().plan(histories)
+    return train, evaluate, histories, parameters, outages
+
+
+class TestBatchDetector:
+    def test_long_outage_found_accurately(self, trained_dense):
+        _, evaluate, histories, parameters, outages = trained_dense
+        results = PassiveDetector().detect(
+            Family.IPV4, evaluate, histories, parameters, DAY, 2 * DAY)
+        events = results[1].timeline.events()
+        assert len(events) == 1
+        truth_start, truth_end = outages[1][0]
+        assert events[0].start == pytest.approx(truth_start, abs=60.0)
+        assert events[0].end == pytest.approx(truth_end, abs=60.0)
+
+    def test_short_outage_found_on_dense_block(self, trained_dense):
+        _, evaluate, histories, parameters, outages = trained_dense
+        results = PassiveDetector().detect(
+            Family.IPV4, evaluate, histories, parameters, DAY, 2 * DAY)
+        events = results[2].timeline.events(120.0)
+        truth_start, truth_end = outages[2][0]
+        matching = [e for e in events
+                    if e.start < truth_end and truth_start < e.end]
+        assert matching, "400-second outage missed on a dense block"
+
+    def test_healthy_block_clean(self, trained_dense):
+        _, evaluate, histories, parameters, _ = trained_dense
+        results = PassiveDetector().detect(
+            Family.IPV4, evaluate, histories, parameters, DAY, 2 * DAY)
+        assert results[3].timeline.events(300.0) == []
+
+    def test_unmeasurable_blocks_excluded(self):
+        train, evaluate = make_population({9: 1e-5}, {})
+        histories = train_histories(train, 0, DAY)
+        parameters = ParameterPlanner().plan(histories)
+        results = PassiveDetector().detect(
+            Family.IPV4, evaluate, histories, parameters, DAY, 2 * DAY)
+        assert 9 not in results
+
+    def test_missing_block_is_full_outage(self):
+        train, _ = make_population({5: 0.2}, {})
+        histories = train_histories(train, 0, DAY)
+        parameters = ParameterPlanner().plan(histories)
+        results = PassiveDetector().detect(
+            Family.IPV4, {}, histories, parameters, DAY, 2 * DAY)
+        assert results[5].timeline.availability() < 0.05
+
+    def test_belief_traces_optional(self, trained_dense):
+        _, evaluate, histories, parameters, _ = trained_dense
+        detector = PassiveDetector(keep_belief_traces=True)
+        results = detector.detect(Family.IPV4, evaluate, histories,
+                                  parameters, DAY, 2 * DAY)
+        trace = results[1].belief_trace
+        assert trace is not None
+        assert np.all((trace > 0) & (trace < 1))
+
+    def test_mixed_bin_sizes_grouped(self):
+        rates = {1: 0.2, 2: 0.002}
+        train, evaluate = make_population(rates, {})
+        histories = train_histories(train, 0, DAY)
+        parameters = ParameterPlanner().plan(histories)
+        assert parameters[1].bin_seconds != parameters[2].bin_seconds
+        results = PassiveDetector().detect(
+            Family.IPV4, evaluate, histories, parameters, DAY, 2 * DAY)
+        assert set(results) == {1, 2}
+
+
+class TestStreamingDetector:
+    def as_stream(self, evaluate):
+        rows = []
+        for key, times in evaluate.items():
+            rows.extend(Observation(float(t), Family.IPV4, int(key) << 8)
+                        for t in times)
+        rows.sort()
+        return rows
+
+    def test_finds_same_long_outage_as_batch(self, trained_dense):
+        _, evaluate, histories, parameters, outages = trained_dense
+        batch = PassiveDetector().detect(
+            Family.IPV4, evaluate, histories, parameters, DAY, 2 * DAY)
+
+        stream = StreamingDetector(Family.IPV4, histories, parameters, DAY)
+        for observation in self.as_stream(evaluate):
+            stream.observe(observation)
+        results = stream.finalize(2 * DAY)
+
+        truth_start, truth_end = outages[1][0]
+        events = results[1].timeline.events(300.0)
+        assert len(events) == 1
+        batch_event = batch[1].timeline.events(300.0)[0]
+        assert events[0].start == pytest.approx(batch_event.start, abs=300.0)
+        assert events[0].end == pytest.approx(batch_event.end, abs=300.0)
+
+    def test_rejects_time_travel(self, trained_dense):
+        _, _, histories, parameters, _ = trained_dense
+        stream = StreamingDetector(Family.IPV4, histories, parameters, DAY)
+        stream.observe(Observation(DAY + 100.0, Family.IPV4, 1 << 8))
+        with pytest.raises(ValueError):
+            stream.observe(Observation(DAY + 50.0, Family.IPV4, 1 << 8))
+
+    def test_ignores_unknown_blocks_and_families(self, trained_dense):
+        _, _, histories, parameters, _ = trained_dense
+        stream = StreamingDetector(Family.IPV4, histories, parameters, DAY)
+        stream.observe(Observation(DAY + 1.0, Family.IPV6, 1 << 80))
+        stream.observe(Observation(DAY + 2.0, Family.IPV4, 0xFFFFFF00))
+        results = stream.finalize(DAY + 10.0)
+        assert all(r.timeline.span == 10.0 for r in results.values())
+
+    def test_advance_flushes_silent_blocks(self, trained_dense):
+        _, _, histories, parameters, _ = trained_dense
+        stream = StreamingDetector(Family.IPV4, histories, parameters, DAY)
+        # No packets at all; advancing the clock must judge block 1 down.
+        stream.advance(DAY + 7200.0)
+        results = stream.finalize(DAY + 7200.0)
+        assert results[1].timeline.availability() < 0.5
+
+    def test_gap_detection_streams(self):
+        # One dense block, a 1500-s silence well above its gap threshold.
+        rng = np.random.default_rng(4)
+        train = {3: poisson_times(rng, 0.2, 0, DAY)}
+        part1 = poisson_times(rng, 0.2, DAY, DAY + 20000.0)
+        part2 = poisson_times(rng, 0.2, DAY + 21500.0, 2 * DAY)
+        evaluate = {3: np.concatenate([part1, part2])}
+        histories = train_histories(train, 0, DAY)
+        parameters = ParameterPlanner().plan(histories)
+        assert parameters[3].gap_threshold_seconds < 1500.0
+
+        stream = StreamingDetector(Family.IPV4, histories, parameters, DAY)
+        for time in evaluate[3]:
+            stream.observe(Observation(float(time), Family.IPV4, 3 << 8))
+        results = stream.finalize(2 * DAY)
+        events = [e for e in results[3].timeline.events()
+                  if e.start < DAY + 21500.0 and e.end > DAY + 20000.0]
+        assert events, "streaming gap detection missed the silence"

@@ -1,0 +1,119 @@
+"""Model drift auditing and rolling retraining."""
+
+import numpy as np
+import pytest
+
+from repro.core.drift import (
+    BlockDrift,
+    DriftVerdict,
+    audit_drift,
+    refresh_model,
+)
+from repro.core.pipeline import PassiveOutagePipeline
+from repro.net.addr import Family
+from repro.traffic.sources import poisson_times, suppress_intervals
+
+DAY = 86400.0
+
+
+@pytest.fixture(scope="module")
+def world():
+    """Blocks with different day-two behaviour relative to training.
+
+    1: stable; 2: rate quadrupled; 3: rate collapsed to a fifth;
+    4: stable but with a real outage (must NOT read as drift).
+    """
+    rng = np.random.default_rng(77)
+    train = {
+        1: poisson_times(rng, 0.05, 0, DAY),
+        2: poisson_times(rng, 0.05, 0, DAY),
+        3: poisson_times(rng, 0.05, 0, DAY),
+        4: poisson_times(rng, 0.10, 0, DAY),
+    }
+    outage = (DAY + 30000.0, DAY + 40000.0)
+    evaluate = {
+        1: poisson_times(rng, 0.05, DAY, 2 * DAY),
+        2: poisson_times(rng, 0.20, DAY, 2 * DAY),
+        3: poisson_times(rng, 0.01, DAY, 2 * DAY),
+        4: suppress_intervals(poisson_times(rng, 0.10, DAY, 2 * DAY),
+                              [outage]),
+    }
+    pipeline = PassiveOutagePipeline()
+    model = pipeline.train(Family.IPV4, train, 0, DAY)
+    result = pipeline.detect(model, evaluate, DAY, 2 * DAY)
+    return pipeline, model, result, evaluate
+
+
+class TestAudit:
+    def test_verdicts(self, world):
+        _, model, result, evaluate = world
+        audits = audit_drift(model, result.blocks, evaluate)
+        assert audits[1].verdict is DriftVerdict.STABLE
+        assert audits[2].verdict is DriftVerdict.RATE_ROSE
+        assert audits[3].verdict is DriftVerdict.RATE_FELL
+        assert audits[2].needs_retraining
+        assert not audits[1].needs_retraining
+
+    def test_outage_not_mistaken_for_drift(self, world):
+        _, model, result, evaluate = world
+        audits = audit_drift(model, result.blocks, evaluate)
+        # block 4 lost ~12% of its day to a real outage, but its healthy
+        # rate is unchanged — masking by detected downtime must hold.
+        assert audits[4].verdict is DriftVerdict.STABLE
+
+    def test_ratio(self, world):
+        _, model, result, evaluate = world
+        audits = audit_drift(model, result.blocks, evaluate)
+        assert audits[2].ratio == pytest.approx(4.0, rel=0.25)
+        assert audits[3].ratio == pytest.approx(0.2, rel=0.3)
+
+    def test_insufficient_data(self, world):
+        _, model, result, _ = world
+        sparse_eval = {key: np.empty(0) for key in result.blocks}
+        audits = audit_drift(model, result.blocks, sparse_eval)
+        # no arrivals at all -> either insufficient or rate-fell; the
+        # distinction is the up-time mask: a block judged fully down has
+        # no healthy time to measure.
+        assert audits[1].verdict in (DriftVerdict.INSUFFICIENT,
+                                     DriftVerdict.RATE_FELL)
+
+    def test_validation(self, world):
+        _, model, result, evaluate = world
+        with pytest.raises(ValueError):
+            audit_drift(model, result.blocks, evaluate, drift_factor=1.0)
+
+
+class TestRefresh:
+    def test_only_drifted_blocks_retrained(self, world):
+        _, model, result, evaluate = world
+        audits = audit_drift(model, result.blocks, evaluate)
+        refreshed, retrained = refresh_model(
+            model, audits, evaluate, DAY, 2 * DAY)
+        assert set(retrained) == {2, 3}
+        # stable blocks keep their exact history objects
+        assert refreshed.histories[1] is model.histories[1]
+        assert refreshed.histories[2] is not model.histories[2]
+        assert refreshed.train_end == 2 * DAY
+
+    def test_refreshed_rates_track_new_traffic(self, world):
+        _, model, result, evaluate = world
+        audits = audit_drift(model, result.blocks, evaluate)
+        refreshed, _ = refresh_model(model, audits, evaluate, DAY, 2 * DAY)
+        assert refreshed.histories[2].mean_rate == pytest.approx(0.20,
+                                                                 rel=0.15)
+        assert refreshed.histories[3].mean_rate == pytest.approx(0.01,
+                                                                 rel=0.3)
+
+    def test_refreshed_model_detects_cleanly(self, world):
+        """After retraining, the rate-collapsed block no longer shows
+        false outages on a third day at its new rate."""
+        pipeline, model, result, evaluate = world
+        audits = audit_drift(model, result.blocks, evaluate)
+        refreshed, _ = refresh_model(model, audits, evaluate, DAY, 2 * DAY)
+        rng = np.random.default_rng(5)
+        day3 = {3: poisson_times(rng, 0.01, 2 * DAY, 3 * DAY)}
+        stale = pipeline.detect(model, day3, 2 * DAY, 3 * DAY)
+        fresh = pipeline.detect(refreshed, day3, 2 * DAY, 3 * DAY)
+        assert fresh.blocks[3].timeline.down_seconds() <= \
+            stale.blocks[3].timeline.down_seconds()
+        assert fresh.blocks[3].timeline.availability() > 0.97

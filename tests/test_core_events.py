@@ -1,0 +1,118 @@
+"""Event extraction and exact-timestamp refinement."""
+
+import numpy as np
+import pytest
+
+from repro.core.events import (
+    RefinementConfig,
+    gap_outages,
+    refine_timeline,
+    states_to_timeline,
+)
+from repro.telescope.aggregate import BinGrid
+from repro.timeline import Timeline
+
+
+class TestStatesToTimeline:
+    def test_all_up(self):
+        grid = BinGrid(0, 1000, 100)
+        timeline = states_to_timeline(np.ones(10, dtype=bool), grid)
+        assert timeline.down_seconds() == 0
+
+    def test_down_run(self):
+        grid = BinGrid(0, 1000, 100)
+        states = np.ones(10, dtype=bool)
+        states[3:6] = False
+        timeline = states_to_timeline(states, grid)
+        assert timeline.down_intervals == [(300.0, 600.0)]
+
+    def test_down_at_end(self):
+        grid = BinGrid(0, 1000, 100)
+        states = np.ones(10, dtype=bool)
+        states[8:] = False
+        timeline = states_to_timeline(states, grid)
+        assert timeline.down_intervals == [(800.0, 1000.0)]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            states_to_timeline(np.ones(5, dtype=bool), BinGrid(0, 1000, 100))
+
+
+class TestRefinement:
+    def test_start_snaps_to_last_packet(self):
+        # Dense block: packets every ~10 s until 342 s, detector flags
+        # the 400-500 bin (sic: first fully-empty bin is 400).
+        times = np.arange(0.0, 343.0, 10.0)
+        coarse = Timeline(0, 1000, [(400.0, 700.0)])
+        refined = refine_timeline(coarse, times, mean_rate=0.1,
+                                  bin_seconds=100.0)
+        start = refined.down_intervals[0][0]
+        assert 340.0 <= start <= 400.0
+
+    def test_end_snaps_to_first_packet(self):
+        times = np.concatenate([np.arange(0.0, 343.0, 10.0),
+                                np.arange(675.0, 1000.0, 10.0)])
+        coarse = Timeline(0, 1000, [(400.0, 700.0)])
+        refined = refine_timeline(coarse, times, 0.1, 100.0)
+        end = refined.down_intervals[0][1]
+        # first packet after = 675, minus one mean gap (10)
+        assert 660.0 <= end <= 676.0
+
+    def test_backfill_clamped_for_sparse(self):
+        # Sparse block: last packet long before the outage bin; the start
+        # must not be pulled arbitrarily far back.
+        times = np.array([100.0, 5000.0])
+        coarse = Timeline(0, 20000, [(12000.0, 16000.0)])
+        refined = refine_timeline(coarse, times, 1 / 4000.0, 4000.0,
+                                  RefinementConfig(max_backfill_bins=1.0))
+        start = refined.down_intervals[0][0]
+        assert start >= 12000.0 - 4000.0
+
+    def test_no_packets_keeps_coarse_edges(self):
+        coarse = Timeline(0, 1000, [(400.0, 700.0)])
+        refined = refine_timeline(coarse, np.empty(0), 0.0, 100.0)
+        assert refined.down_intervals == [(400.0, 700.0)]
+
+    def test_min_event_filter(self):
+        coarse = Timeline(0, 1000, [(400.0, 500.0)])
+        config = RefinementConfig(min_event_seconds=200.0)
+        refined = refine_timeline(coarse, np.empty(0), 0.0, 100.0, config)
+        assert refined.events() == []
+
+
+class TestGapOutages:
+    def test_detects_large_gap_with_exact_edges(self):
+        times = np.concatenate([np.arange(0.0, 1000.0, 10.0),
+                                np.arange(2000.0, 3000.0, 10.0)])
+        intervals = gap_outages(times, gap_threshold=500.0, start=0,
+                                end=3000, guard=10.0)
+        assert len(intervals) == 1
+        start, end = intervals[0]
+        assert start == pytest.approx(1000.0, abs=11.0)
+        assert end == pytest.approx(1990.0, abs=11.0)
+
+    def test_ignores_normal_gaps(self):
+        times = np.arange(0.0, 1000.0, 10.0)
+        assert gap_outages(times, 500.0, 0, 1000, 10.0) == []
+
+    def test_leading_and_trailing_gaps(self):
+        times = np.array([600.0, 610.0])
+        intervals = gap_outages(times, 500.0, 0, 2000, 5.0)
+        assert len(intervals) == 2
+        assert intervals[0][0] == 0.0
+        assert intervals[1][1] == 2000.0
+
+    def test_empty_times_whole_window(self):
+        assert gap_outages(np.empty(0), 500.0, 0, 1000, 5.0) == [(0, 1000)]
+        assert gap_outages(np.empty(0), 1500.0, 0, 1000, 5.0) == []
+
+    def test_disabled_threshold(self):
+        times = np.array([0.0, 1e6])
+        assert gap_outages(times, float("inf"), 0, 2e6, 5.0) == []
+        assert gap_outages(times, 0.0, 0, 2e6, 5.0) == []
+
+    def test_window_filtering(self):
+        times = np.array([-50.0, 100.0, 5000.0])
+        intervals = gap_outages(times, 1000.0, 0, 6000, 5.0)
+        assert len(intervals) == 1
+        assert intervals[0][0] == pytest.approx(105.0)

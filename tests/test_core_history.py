@@ -1,0 +1,142 @@
+"""Per-block history training."""
+
+import numpy as np
+import pytest
+
+from repro.core.history import BlockHistory, train_histories, train_history
+from repro.traffic.rates import DensityClass
+from repro.traffic.seasonal import DiurnalPattern
+from repro.traffic.sources import modulated_poisson_times, poisson_times
+
+DAY = 86400.0
+
+
+class TestTrainHistory:
+    def test_rate_estimate(self):
+        rng = np.random.default_rng(0)
+        times = poisson_times(rng, 0.05, 0, DAY)
+        history = train_history(times, 0, DAY)
+        assert history.mean_rate == pytest.approx(0.05, rel=0.1)
+        assert history.observed_count == times.size
+
+    def test_gap_statistics(self):
+        times = np.array([0.0, 10.0, 20.0, 30.0, 100.0])
+        history = train_history(times, 0, 200)
+        assert history.median_gap == 10.0
+        assert history.max_gap == 70.0
+        assert history.p95_gap > 10.0
+
+    def test_empty_block(self):
+        history = train_history(np.empty(0), 0, DAY)
+        assert history.mean_rate == 0.0
+        assert history.median_gap == DAY
+        assert history.density is DensityClass.UNMEASURABLE
+
+    def test_window_filtering(self):
+        times = np.array([-5.0, 10.0, 20.0, 999.0])
+        history = train_history(times, 0, 100)
+        assert history.observed_count == 2
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            train_history(np.empty(0), 10, 10)
+
+    def test_burstiness_poisson_near_one(self):
+        rng = np.random.default_rng(1)
+        times = poisson_times(rng, 0.5, 0, DAY)
+        history = train_history(times, 0, DAY)
+        assert history.burstiness == pytest.approx(1.0, abs=0.3)
+
+    def test_diurnal_profile_learned(self):
+        rng = np.random.default_rng(2)
+        pattern = DiurnalPattern(amplitude=0.8, peak_hour=12.0)
+        times = modulated_poisson_times(rng, 0.1, pattern, 0, DAY)
+        history = train_history(times, 0, DAY)
+        assert history.diurnal_profile is not None
+        profile = history.diurnal_profile
+        assert profile[12] > profile[0]
+        assert profile.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_no_profile_for_sparse(self):
+        rng = np.random.default_rng(3)
+        times = poisson_times(rng, 0.001, 0, DAY)
+        history = train_history(times, 0, DAY)
+        assert history.diurnal_profile is None
+
+    def test_no_profile_when_disabled(self):
+        rng = np.random.default_rng(4)
+        times = poisson_times(rng, 0.1, 0, DAY)
+        history = train_history(times, 0, DAY, learn_diurnal=False)
+        assert history.diurnal_profile is None
+
+
+class TestDerivedQuantities:
+    def test_empty_bin_probability_decreases_with_bin(self):
+        history = BlockHistory(mean_rate=0.01, observed_count=864,
+                               training_seconds=DAY, median_gap=100,
+                               p95_gap=300, max_gap=800)
+        p300 = history.empty_bin_probability(300)
+        p3600 = history.empty_bin_probability(3600)
+        assert p3600 < p300 < 1.0
+
+    def test_burstiness_inflates_empty_probability(self):
+        smooth = BlockHistory(0.01, 864, DAY, 100, 300, 800, burstiness=1.0)
+        bursty = BlockHistory(0.01, 864, DAY, 100, 300, 800, burstiness=9.0)
+        assert bursty.empty_bin_probability(300) > \
+            smooth.empty_bin_probability(300)
+
+    def test_trough_rate_used_for_tuning(self):
+        profile = np.ones(24)
+        profile[3] = 0.2
+        profile /= profile.mean()
+        history = BlockHistory(0.1, 8640, DAY, 10, 30, 100,
+                               diurnal_profile=profile)
+        assert history.min_rate() < 0.1
+
+    def test_likelihood_rate_hour_aware(self):
+        profile = np.ones(24)
+        profile[3] = 0.0  # silent hour
+        history = BlockHistory(0.1, 8640, DAY, 10, 30, 100,
+                               diurnal_profile=profile)
+        assert history.likelihood_rate_at(3 * 3600.0) == 0.0
+        assert history.likelihood_rate_at(12 * 3600.0) > 0.0
+        # empty bin in the silent hour carries no down evidence
+        assert history.empty_bin_probability_at(3 * 3600.0, 300) == 1.0
+
+    def test_likelihood_peak_shrunk(self):
+        profile = np.ones(24)
+        profile[12] = 3.0
+        history = BlockHistory(0.1, 8640, DAY, 10, 30, 100,
+                               diurnal_profile=profile)
+        # peak factor 3 is shrunk to 0.75*3 + 0.25 = 2.5
+        assert history.likelihood_rate_at(12 * 3600.0) == \
+            pytest.approx(0.1 * 2.5)
+
+    def test_likelihood_rates_vectorised_matches_scalar(self):
+        rng = np.random.default_rng(5)
+        profile = rng.uniform(0.2, 2.0, 24)
+        profile /= profile.mean()
+        history = BlockHistory(0.05, 4320, DAY, 20, 60, 200,
+                               burstiness=2.0, diurnal_profile=profile)
+        times = np.array([0.0, 3700.0, 50000.0, 86399.0, 90000.0])
+        vectorised = history.likelihood_rates(times)
+        scalar = [history.likelihood_rate_at(t) for t in times]
+        assert np.allclose(vectorised, scalar)
+
+    def test_expected_rate_at(self):
+        profile = np.full(24, 1.0)
+        profile[0] = 2.0
+        history = BlockHistory(0.1, 8640, DAY, 10, 30, 100,
+                               diurnal_profile=profile)
+        assert history.expected_rate_at(100.0) == pytest.approx(0.2)
+        assert history.expected_rate_at(12 * 3600.0) == pytest.approx(0.1)
+
+
+class TestTrainHistories:
+    def test_trains_every_block(self):
+        rng = np.random.default_rng(6)
+        per_block = {k: poisson_times(rng, 0.01, 0, DAY) for k in range(5)}
+        histories = train_histories(per_block, 0, DAY)
+        assert set(histories) == set(per_block)
+        for history in histories.values():
+            assert history.training_seconds == DAY

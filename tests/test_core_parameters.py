@@ -1,0 +1,150 @@
+"""Per-block parameter tuning."""
+
+import numpy as np
+import pytest
+
+from repro.core.history import BlockHistory
+from repro.core.parameters import (
+    DEFAULT_BIN_LADDER,
+    BlockParameters,
+    HomogeneousPlanner,
+    ParameterPlanner,
+    TuningPolicy,
+)
+
+DAY = 86400.0
+
+
+def history_with_rate(rate, count=None, max_gap=None, burstiness=1.0):
+    count = int(rate * DAY) if count is None else count
+    median = 1.0 / rate if rate > 0 else DAY
+    return BlockHistory(
+        mean_rate=rate, observed_count=count, training_seconds=DAY,
+        median_gap=median, p95_gap=3 * median,
+        max_gap=max_gap if max_gap is not None else 10 * median,
+        burstiness=burstiness)
+
+
+class TestPolicy:
+    def test_ladder_must_be_sorted(self):
+        with pytest.raises(ValueError):
+            TuningPolicy(bin_ladder=(600.0, 300.0))
+
+    def test_ladder_must_be_nonempty(self):
+        with pytest.raises(ValueError):
+            TuningPolicy(bin_ladder=())
+
+    def test_target_range(self):
+        with pytest.raises(ValueError):
+            TuningPolicy(target_empty_prob=0.0)
+
+    def test_transition_priors_scale_with_bin(self):
+        policy = TuningPolicy()
+        down_small, up_small = policy.transition_priors(300)
+        down_big, up_big = policy.transition_priors(3600)
+        assert down_big > down_small
+        assert up_big > up_small
+        assert 0 < down_small < up_small < 1
+
+    def test_gap_factor_shrinks_with_samples(self):
+        policy = TuningPolicy()
+        assert policy.gap_factor_for(100) > policy.gap_factor_for(10000) > 1.0
+
+
+class TestBlockParameters:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlockParameters(bin_seconds=-1, p_empty_up=0.1,
+                            noise_nonempty=0.1, prior_down=0.1,
+                            prior_up_recovery=0.1)
+        with pytest.raises(ValueError):
+            BlockParameters(bin_seconds=300, p_empty_up=1.5,
+                            noise_nonempty=0.1, prior_down=0.1,
+                            prior_up_recovery=0.1)
+        with pytest.raises(ValueError):
+            BlockParameters(bin_seconds=300, p_empty_up=0.1,
+                            noise_nonempty=0.1, prior_down=0.1,
+                            prior_up_recovery=0.1,
+                            down_threshold=0.9, up_threshold=0.1)
+
+
+class TestPlanner:
+    def test_dense_block_gets_finest_bin(self):
+        params = ParameterPlanner().plan_block(history_with_rate(0.5))
+        assert params.bin_seconds == DEFAULT_BIN_LADDER[0]
+        assert params.measurable
+
+    def test_sparse_block_climbs_ladder(self):
+        params = ParameterPlanner().plan_block(history_with_rate(0.002))
+        assert params.bin_seconds > DEFAULT_BIN_LADDER[0]
+        assert params.measurable
+        # the chosen bin actually meets the target
+        assert params.p_empty_up <= TuningPolicy().target_empty_prob
+
+    def test_finest_workable_bin_chosen(self):
+        planner = ParameterPlanner()
+        history = history_with_rate(0.002)
+        params = planner.plan_block(history)
+        ladder = planner.policy.bin_ladder
+        index = ladder.index(params.bin_seconds)
+        if index > 0:
+            finer_p = history.empty_bin_probability(ladder[index - 1])
+            assert finer_p > planner.policy.target_empty_prob
+
+    def test_silent_block_unmeasurable(self):
+        params = ParameterPlanner().plan_block(history_with_rate(1e-6,
+                                                                 count=2))
+        assert not params.measurable
+
+    def test_min_training_arrivals(self):
+        history = history_with_rate(0.5, count=5)
+        params = ParameterPlanner().plan_block(history)
+        assert not params.measurable
+
+    def test_burstiness_coarsens_bin(self):
+        smooth = ParameterPlanner().plan_block(
+            history_with_rate(0.01, burstiness=1.0))
+        bursty = ParameterPlanner().plan_block(
+            history_with_rate(0.01, burstiness=16.0))
+        assert bursty.bin_seconds >= smooth.bin_seconds
+
+    def test_gap_threshold_from_max_gap(self):
+        history = history_with_rate(0.01, max_gap=500.0)
+        params = ParameterPlanner().plan_block(history)
+        policy = TuningPolicy()
+        expected = policy.gap_factor_for(history.observed_count - 1) * 500.0
+        assert params.gap_threshold_seconds == pytest.approx(expected)
+
+    def test_gap_disabled_for_thin_history(self):
+        history = history_with_rate(0.001, count=20)
+        params = ParameterPlanner().plan_block(history)
+        assert params.gap_threshold_seconds == float("inf")
+
+    def test_gap_floor(self):
+        history = history_with_rate(2.0, max_gap=2.0)
+        params = ParameterPlanner().plan_block(history)
+        assert params.gap_threshold_seconds >= \
+            TuningPolicy().gap_floor_seconds
+
+    def test_plan_many(self):
+        histories = {1: history_with_rate(0.5), 2: history_with_rate(1e-6,
+                                                                     count=1)}
+        plan = ParameterPlanner().plan(histories)
+        assert plan[1].measurable and not plan[2].measurable
+
+
+class TestHomogeneousPlanner:
+    def test_fixed_bin_everywhere(self):
+        planner = HomogeneousPlanner(300.0)
+        for rate in (0.5, 0.01, 0.001):
+            assert planner.plan_block(
+                history_with_rate(rate)).bin_seconds == 300.0
+
+    def test_sparse_blocks_lose_coverage(self):
+        planner = HomogeneousPlanner(300.0)
+        assert planner.plan_block(history_with_rate(0.5)).measurable
+        assert not planner.plan_block(history_with_rate(0.001)).measurable
+
+    def test_coarse_bin_recovers_coverage(self):
+        planner = HomogeneousPlanner(7200.0)
+        assert planner.plan_block(history_with_rate(0.002)).measurable

@@ -1,0 +1,126 @@
+"""End-to-end pipeline: train -> tune -> detect -> aggregate."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import PassiveOutagePipeline
+from repro.net.addr import Family
+from repro.telescope.records import ObservationBatch
+from repro.traffic.sources import poisson_times, suppress_intervals
+
+DAY = 86400.0
+
+
+def build_world(seed=0):
+    """A small hand-built world: dense blocks, sparse siblings, an outage."""
+    rng = np.random.default_rng(seed)
+    per_block = {}
+    # dense block with a known outage on day 2
+    outage = (DAY + 40000.0, DAY + 46000.0)
+    dense = poisson_times(rng, 0.1, 0, 2 * DAY)
+    per_block[0xAA0001] = suppress_intervals(dense, [outage])
+    # healthy dense block
+    per_block[0xAA0002] = poisson_times(rng, 0.1, 0, 2 * DAY)
+    # four very sparse siblings under one /20, all dying together on day 2
+    sibling_outage = (DAY + 20000.0, DAY + 80000.0)
+    for low in range(4):
+        key = 0xBB0010 + low
+        times = poisson_times(rng, 0.0004, 0, 2 * DAY)
+        per_block[key] = suppress_intervals(times, [sibling_outage])
+    return per_block, outage, sibling_outage
+
+
+class TestPipeline:
+    def test_detects_known_outage(self):
+        per_block, outage, _ = build_world()
+        pipeline = PassiveOutagePipeline()
+        train = {k: t[t < DAY] for k, t in per_block.items()}
+        evaluate = {k: t[t >= DAY] for k, t in per_block.items()}
+        model = pipeline.train(Family.IPV4, train, 0, DAY)
+        result = pipeline.detect(model, evaluate, DAY, 2 * DAY)
+        events = result.blocks[0xAA0001].timeline.events(300.0)
+        assert len(events) == 1
+        assert events[0].start == pytest.approx(outage[0], abs=120.0)
+        assert events[0].end == pytest.approx(outage[1], abs=120.0)
+
+    def test_healthy_block_stays_clean(self):
+        per_block, _, _ = build_world()
+        pipeline = PassiveOutagePipeline()
+        train = {k: t[t < DAY] for k, t in per_block.items()}
+        evaluate = {k: t[t >= DAY] for k, t in per_block.items()}
+        model = pipeline.train(Family.IPV4, train, 0, DAY)
+        result = pipeline.detect(model, evaluate, DAY, 2 * DAY)
+        assert result.blocks[0xAA0002].timeline.events(300.0) == []
+
+    def test_sparse_siblings_aggregate(self):
+        per_block, _, sibling_outage = build_world()
+        pipeline = PassiveOutagePipeline(aggregation_levels=4)
+        train = {k: t[t < DAY] for k, t in per_block.items()}
+        evaluate = {k: t[t >= DAY] for k, t in per_block.items()}
+        model = pipeline.train(Family.IPV4, train, 0, DAY)
+        # siblings individually unmeasurable
+        assert set(model.unmeasurable_keys) >= {0xBB0010, 0xBB0011}
+        result = pipeline.detect(model, evaluate, DAY, 2 * DAY)
+        assert result.aggregation_plan is not None
+        super_key = 0xBB001
+        assert super_key in result.aggregated
+        events = result.aggregated[super_key].timeline.events(600.0)
+        matching = [e for e in events
+                    if e.start < sibling_outage[1]
+                    and e.end > sibling_outage[0]]
+        assert matching, "aggregated supernet missed the joint outage"
+
+    def test_aggregation_disabled(self):
+        per_block, _, _ = build_world()
+        pipeline = PassiveOutagePipeline(aggregation_levels=0)
+        train = {k: t[t < DAY] for k, t in per_block.items()}
+        model = pipeline.train(Family.IPV4, train, 0, DAY)
+        result = pipeline.detect(model, per_block, DAY, 2 * DAY)
+        assert result.aggregated == {}
+
+    def test_coverage_accounting(self):
+        per_block, _, _ = build_world()
+        pipeline = PassiveOutagePipeline()
+        model = pipeline.train(
+            Family.IPV4, {k: t[t < DAY] for k, t in per_block.items()},
+            0, DAY)
+        assert 0 < model.coverage() < 1
+        assert len(model.measurable_keys) + len(model.unmeasurable_keys) == \
+            len(per_block)
+
+    def test_homogeneous_mode(self):
+        per_block, _, _ = build_world()
+        pipeline = PassiveOutagePipeline(homogeneous_bin=300.0,
+                                         aggregation_levels=0)
+        model = pipeline.train(
+            Family.IPV4, {k: t[t < DAY] for k, t in per_block.items()},
+            0, DAY)
+        assert all(p.bin_seconds == 300.0 for p in model.parameters.values())
+        # sparse blocks lose coverage under the fixed fine bin
+        assert model.coverage() < 1.0
+
+    def test_batch_interface(self):
+        per_block, outage, _ = build_world()
+        times = np.concatenate(list(per_block.values()))
+        keys = np.concatenate([
+            np.full(t.size, k, dtype=np.uint64)
+            for k, t in per_block.items()])
+        order = np.argsort(times)
+        batch = ObservationBatch(Family.IPV4, times[order], keys[order])
+        pipeline = PassiveOutagePipeline()
+        model = pipeline.train_from_batch(batch.time_slice(0, DAY), 0, DAY)
+        result = pipeline.detect_from_batch(
+            model, batch.time_slice(DAY, 2 * DAY), DAY, 2 * DAY)
+        assert result.blocks[0xAA0001].timeline.events(300.0)
+
+    def test_result_summaries(self):
+        per_block, _, _ = build_world()
+        pipeline = PassiveOutagePipeline()
+        train = {k: t[t < DAY] for k, t in per_block.items()}
+        evaluate = {k: t[t >= DAY] for k, t in per_block.items()}
+        model = pipeline.train(Family.IPV4, train, 0, DAY)
+        result = pipeline.detect(model, evaluate, DAY, 2 * DAY)
+        assert 0xAA0001 in result.blocks_with_outages(300.0)
+        assert result.total_outage_seconds() > 0
+        assert result.total_outage_seconds(min_duration=1e9) == 0
+        assert result.measurable_count == len(result.blocks)

@@ -1,0 +1,126 @@
+"""Trained-model persistence."""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import PassiveOutagePipeline
+from repro.core.serialize import (
+    MODEL_FORMAT_VERSION,
+    ModelFormatError,
+    load_model,
+    model_from_json,
+    model_to_json,
+    save_model,
+)
+from repro.net.addr import Family
+from repro.traffic.seasonal import DiurnalPattern
+from repro.traffic.sources import modulated_poisson_times, poisson_times
+
+DAY = 86400.0
+
+
+@pytest.fixture(scope="module")
+def model():
+    rng = np.random.default_rng(55)
+    pattern = DiurnalPattern(amplitude=0.5, peak_hour=10.0)
+    per_block = {
+        1: poisson_times(rng, 0.2, 0, DAY),           # dense
+        2: poisson_times(rng, 0.002, 0, DAY),         # sparse
+        3: modulated_poisson_times(rng, 0.1, pattern, 0, DAY),  # diurnal
+        4: poisson_times(rng, 1e-5, 0, DAY),          # unmeasurable
+    }
+    return PassiveOutagePipeline().train(Family.IPV4, per_block, 0, DAY)
+
+
+class TestRoundtrip:
+    def test_json_roundtrip_preserves_everything(self, model):
+        restored = model_from_json(model_to_json(model))
+        assert restored.family is model.family
+        assert restored.train_start == model.train_start
+        assert restored.train_end == model.train_end
+        assert set(restored.histories) == set(model.histories)
+        for key in model.histories:
+            original = model.histories[key]
+            loaded = restored.histories[key]
+            assert loaded.mean_rate == original.mean_rate
+            assert loaded.max_gap == original.max_gap
+            if original.diurnal_profile is None:
+                assert loaded.diurnal_profile is None
+            else:
+                assert np.allclose(loaded.diurnal_profile,
+                                   original.diurnal_profile)
+            assert restored.parameters[key] == model.parameters[key]
+
+    def test_measurability_preserved(self, model):
+        restored = model_from_json(model_to_json(model))
+        assert restored.measurable_keys == model.measurable_keys
+        assert restored.unmeasurable_keys == model.unmeasurable_keys
+
+    def test_infinite_gap_threshold_roundtrips(self, model):
+        unmeasurable = model.parameters[4]
+        assert unmeasurable.gap_threshold_seconds == float("inf")
+        restored = model_from_json(model_to_json(model))
+        assert restored.parameters[4].gap_threshold_seconds == float("inf")
+
+    def test_detection_identical_after_reload(self, model):
+        rng = np.random.default_rng(56)
+        evaluate = {key: poisson_times(rng, h.mean_rate, DAY, 2 * DAY)
+                    for key, h in model.histories.items()}
+        pipeline = PassiveOutagePipeline()
+        restored = model_from_json(model_to_json(model))
+        direct = pipeline.detect(model, evaluate, DAY, 2 * DAY)
+        reloaded = pipeline.detect(restored, evaluate, DAY, 2 * DAY)
+        for key in direct.blocks:
+            assert direct.blocks[key].timeline == \
+                reloaded.blocks[key].timeline
+
+    def test_file_and_stream_io(self, model, tmp_path):
+        path = tmp_path / "model.json"
+        save_model(model, str(path))
+        assert load_model(str(path)).measurable_keys == \
+            model.measurable_keys
+        buffer = io.StringIO()
+        save_model(model, buffer)
+        buffer.seek(0)
+        assert load_model(buffer).measurable_keys == model.measurable_keys
+
+
+class TestErrors:
+    def test_not_json(self):
+        with pytest.raises(ModelFormatError):
+            model_from_json("{nope")
+
+    def test_wrong_root_type(self):
+        with pytest.raises(ModelFormatError):
+            model_from_json("[1, 2]")
+
+    def test_future_version_rejected(self, model):
+        document = json.loads(model_to_json(model))
+        document["format_version"] = MODEL_FORMAT_VERSION + 1
+        with pytest.raises(ModelFormatError):
+            model_from_json(json.dumps(document))
+
+    def test_missing_fields_rejected(self, model):
+        document = json.loads(model_to_json(model))
+        del document["blocks"]
+        with pytest.raises(ModelFormatError):
+            model_from_json(json.dumps(document))
+
+    def test_corrupt_block_entry_rejected(self, model):
+        document = json.loads(model_to_json(model))
+        first = next(iter(document["blocks"]))
+        del document["blocks"][first]["history"]["mean_rate"]
+        with pytest.raises(ModelFormatError):
+            model_from_json(json.dumps(document))
+
+    def test_document_is_inspectable(self, model):
+        """The format is plain JSON an operator can read."""
+        document = json.loads(model_to_json(model))
+        assert document["format_version"] == MODEL_FORMAT_VERSION
+        assert document["family"] == 4
+        entry = document["blocks"]["1"]
+        assert "mean_rate" in entry["history"]
+        assert "bin_seconds" in entry["parameters"]

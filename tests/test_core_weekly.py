@@ -1,0 +1,92 @@
+"""Weekly (day-of-week) seasonality learning and use."""
+
+import numpy as np
+import pytest
+
+from repro.core.detector import PassiveDetector
+from repro.core.history import train_histories, train_history
+from repro.core.parameters import ParameterPlanner
+from repro.core.serialize import model_from_json, model_to_json
+from repro.core.pipeline import PassiveOutagePipeline
+from repro.net.addr import Family
+from repro.traffic.sources import poisson_times
+
+DAY = 86400.0
+WEEK = 7 * DAY
+
+
+def weekend_quiet_times(rng, rate, start, end, weekend_factor=0.1):
+    """Traffic that nearly vanishes on days 5 and 6 of each week."""
+    pieces = []
+    day_index = int(start // DAY)
+    cursor = start
+    while cursor < end:
+        day_end = min((day_index + 1) * DAY, end)
+        day_of_week = day_index % 7
+        day_rate = rate * (weekend_factor if day_of_week >= 5 else 1.0)
+        pieces.append(poisson_times(rng, day_rate, cursor, day_end))
+        cursor = day_end
+        day_index += 1
+    return np.concatenate(pieces)
+
+
+class TestLearning:
+    def test_weekly_profile_learned_from_full_week(self):
+        rng = np.random.default_rng(1)
+        times = weekend_quiet_times(rng, 0.05, 0, WEEK)
+        history = train_history(times, 0, WEEK)
+        assert history.weekly_profile is not None
+        profile = history.weekly_profile
+        assert profile.shape == (7,)
+        assert profile.mean() == pytest.approx(1.0, abs=0.05)
+        assert profile[5] < 0.4 * profile[0]
+        assert profile[6] < 0.4 * profile[0]
+
+    def test_no_weekly_profile_from_one_day(self):
+        rng = np.random.default_rng(2)
+        times = poisson_times(rng, 0.05, 0, DAY)
+        history = train_history(times, 0, DAY)
+        assert history.weekly_profile is None
+
+    def test_expected_rate_uses_weekday(self):
+        rng = np.random.default_rng(3)
+        times = weekend_quiet_times(rng, 0.05, 0, WEEK)
+        history = train_history(times, 0, WEEK)
+        weekday_rate = history.expected_rate_at(0.5 * DAY)     # day 0
+        weekend_rate = history.expected_rate_at(5.5 * DAY)     # day 5
+        assert weekend_rate < 0.5 * weekday_rate
+
+    def test_likelihood_rates_vector_matches_scalar(self):
+        rng = np.random.default_rng(4)
+        times = weekend_quiet_times(rng, 0.05, 0, WEEK)
+        history = train_history(times, 0, WEEK)
+        probe_times = np.array([0.2 * DAY, 5.3 * DAY, 6.9 * DAY, 7.1 * DAY])
+        vectorised = history.likelihood_rates(probe_times)
+        scalar = [history.likelihood_rate_at(t) for t in probe_times]
+        assert np.allclose(vectorised, scalar)
+
+
+class TestDetectionBehaviour:
+    def test_weekend_lull_is_not_an_outage(self):
+        """A block whose traffic drops 10x at weekends must not be
+        declared down every Saturday."""
+        rng = np.random.default_rng(5)
+        # Train over week one, detect over week two (no real outage).
+        train = {9: weekend_quiet_times(rng, 0.05, 0, WEEK)}
+        evaluate = {9: weekend_quiet_times(rng, 0.05, WEEK, 2 * WEEK)}
+        histories = train_histories(train, 0, WEEK)
+        parameters = ParameterPlanner().plan(histories)
+        results = PassiveDetector().detect(
+            Family.IPV4, evaluate, histories, parameters, WEEK, 2 * WEEK)
+        # Weekend spans days 12 and 13 (of the fortnight).
+        weekend = results[9].timeline.clip(12 * DAY, 14 * DAY)
+        assert weekend.availability() > 0.9
+
+    def test_weekly_profile_survives_serialization(self):
+        rng = np.random.default_rng(6)
+        per_block = {9: weekend_quiet_times(rng, 0.05, 0, WEEK)}
+        model = PassiveOutagePipeline().train(Family.IPV4, per_block,
+                                              0, WEEK)
+        restored = model_from_json(model_to_json(model))
+        assert np.allclose(restored.histories[9].weekly_profile,
+                           model.histories[9].weekly_profile)

@@ -1,0 +1,92 @@
+"""DNS message wire codec."""
+
+import pytest
+
+from repro.dns.message import (
+    Header,
+    Message,
+    QClass,
+    QType,
+    Question,
+    RCode,
+    ResourceRecord,
+)
+from repro.dns.name import DnsError, Name
+
+
+class TestHeader:
+    def test_flag_roundtrip(self):
+        header = Header(txid=0x1234, is_response=True, authoritative=True,
+                        recursion_desired=True, rcode=RCode.NXDOMAIN)
+        recovered = Header.from_flags(0x1234, header.flags())
+        assert recovered == header
+
+    def test_opcode_encoding(self):
+        header = Header(opcode=4)
+        assert Header.from_flags(0, header.flags()).opcode == 4
+
+
+class TestMessageCodec:
+    def test_query_roundtrip(self):
+        query = Message.query(Name.parse("example.com"), QType.AAAA,
+                              txid=77, recursion_desired=True)
+        decoded = Message.decode(query.encode())
+        assert decoded.header.txid == 77
+        assert decoded.header.recursion_desired
+        assert not decoded.header.is_response
+        assert decoded.questions == [
+            Question(Name.parse("example.com"), QType.AAAA, QClass.IN)]
+
+    def test_response_with_all_sections(self):
+        message = Message(header=Header(txid=1, is_response=True))
+        message.questions.append(Question(Name.parse("com"), QType.NS))
+        message.answers.append(
+            ResourceRecord.ns(Name.parse("com"), Name.parse("a.gtld.net")))
+        message.authority.append(
+            ResourceRecord.a(Name.parse("a.gtld.net"), 0x01020304))
+        message.additional.append(
+            ResourceRecord.aaaa(Name.parse("a.gtld.net"), 1 << 64))
+        decoded = Message.decode(message.encode())
+        assert len(decoded.answers) == 1
+        assert len(decoded.authority) == 1
+        assert len(decoded.additional) == 1
+        assert decoded.authority[0].rdata == b"\x01\x02\x03\x04"
+        assert decoded.additional[0].rdata == (1 << 64).to_bytes(16, "big")
+
+    def test_compression_shrinks_message(self):
+        message = Message(header=Header())
+        message.questions.append(Question(Name.parse("www.example.com"),
+                                          QType.A))
+        for _ in range(3):
+            message.answers.append(
+                ResourceRecord.a(Name.parse("www.example.com"), 1))
+        wire = message.encode()
+        # Without compression each repeated name costs 17 bytes; with
+        # pointers, repeats cost 2.
+        uncompressed_estimate = 12 + 4 * 17 + 4 + 3 * 14
+        assert len(wire) < uncompressed_estimate
+        decoded = Message.decode(wire)
+        assert all(record.name == Name.parse("www.example.com")
+                   for record in decoded.answers)
+
+    def test_decode_rejects_short_header(self):
+        with pytest.raises(DnsError):
+            Message.decode(b"\x00" * 11)
+
+    def test_decode_rejects_truncated_question(self):
+        query = Message.query(Name.parse("example.com"), QType.A, txid=1)
+        wire = query.encode()
+        with pytest.raises(DnsError):
+            Message.decode(wire[:-2])
+
+    def test_decode_rejects_truncated_rdata(self):
+        message = Message(header=Header(is_response=True))
+        message.answers.append(ResourceRecord.a(Name.parse("x"), 5))
+        wire = message.encode()
+        with pytest.raises(DnsError):
+            Message.decode(wire[:-1])
+
+    def test_ns_rdata_is_wire_name(self):
+        record = ResourceRecord.ns(Name.parse("com"), Name.parse("a.nic.com"))
+        decoded, _ = Name.decode(record.rdata, 0)
+        assert decoded == Name.parse("a.nic.com")

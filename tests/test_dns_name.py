@@ -1,0 +1,128 @@
+"""DNS name encoding, decoding, and compression."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dns.name import ROOT, DnsError, Name
+
+
+class TestNameBasics:
+    def test_root(self):
+        assert str(ROOT) == "."
+        assert len(ROOT) == 0
+        assert Name.parse(".") == ROOT
+        assert Name.parse("") == ROOT
+
+    def test_parse_and_str(self):
+        name = Name.parse("www.example.com")
+        assert len(name) == 3
+        assert str(name) == "www.example.com."
+
+    def test_case_insensitive_equality(self):
+        assert Name.parse("WWW.Example.COM") == Name.parse("www.example.com")
+        assert hash(Name.parse("ABC")) == hash(Name.parse("abc"))
+
+    def test_tld_and_parent(self):
+        name = Name.parse("www.example.com")
+        assert name.tld == b"com"
+        assert name.parent() == Name.parse("example.com")
+        assert ROOT.parent() == ROOT
+        assert ROOT.tld is None
+
+    def test_subdomain(self):
+        assert Name.parse("a.b.com").is_subdomain_of(Name.parse("b.com"))
+        assert Name.parse("a.b.com").is_subdomain_of(ROOT)
+        assert not Name.parse("b.com").is_subdomain_of(Name.parse("a.b.com"))
+        assert not Name.parse("xb.com").is_subdomain_of(Name.parse("b.com"))
+
+    def test_label_length_limit(self):
+        with pytest.raises(DnsError):
+            Name((b"x" * 64,))
+
+    def test_name_length_limit(self):
+        labels = tuple(b"x" * 60 for _ in range(5))
+        with pytest.raises(DnsError):
+            Name(labels)
+
+
+class TestWire:
+    def encode(self, name, compression=None):
+        buffer = bytearray()
+        name.encode(buffer, compression)
+        return bytes(buffer)
+
+    def test_encode_root(self):
+        assert self.encode(ROOT) == b"\x00"
+
+    def test_encode_simple(self):
+        assert self.encode(Name.parse("ab.c")) == b"\x02ab\x01c\x00"
+
+    def test_roundtrip(self):
+        name = Name.parse("www.example.com")
+        wire = self.encode(name)
+        decoded, offset = Name.decode(wire, 0)
+        assert decoded == name
+        assert offset == len(wire)
+
+    def test_compression_emits_pointer(self):
+        compression = {}
+        buffer = bytearray()
+        Name.parse("example.com").encode(buffer, compression)
+        first_len = len(buffer)
+        Name.parse("www.example.com").encode(buffer, compression)
+        # Second name should be: 3www + 2-byte pointer = 6 bytes.
+        assert len(buffer) - first_len == 6
+        decoded, _ = Name.decode(bytes(buffer), first_len)
+        assert decoded == Name.parse("www.example.com")
+
+    def test_decode_rejects_pointer_loop(self):
+        # Pointer at offset 2 pointing to offset 0, which points to 2...
+        wire = b"\xc0\x02\xc0\x00"
+        with pytest.raises(DnsError):
+            Name.decode(wire, 2)
+
+    def test_decode_rejects_forward_pointer(self):
+        wire = b"\xc0\x02\x00"
+        with pytest.raises(DnsError):
+            Name.decode(wire, 0)
+
+    def test_decode_rejects_truncation(self):
+        with pytest.raises(DnsError):
+            Name.decode(b"\x05ab", 0)
+        with pytest.raises(DnsError):
+            Name.decode(b"", 0)
+        with pytest.raises(DnsError):
+            Name.decode(b"\xc0", 0)  # half a pointer
+
+    def test_decode_rejects_reserved_label_type(self):
+        with pytest.raises(DnsError):
+            Name.decode(b"\x80x\x00", 0)
+
+
+_label = st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789-",
+                 min_size=1, max_size=20)
+
+
+@given(st.lists(_label, min_size=0, max_size=6))
+def test_wire_roundtrip_property(labels):
+    name = Name(tuple(label.encode() for label in labels))
+    buffer = bytearray(b"junkhdr")  # nonzero starting offset
+    name.encode(buffer, None)
+    decoded, offset = Name.decode(bytes(buffer), 7)
+    assert decoded == name
+    assert offset == len(buffer)
+
+
+@given(st.lists(_label, min_size=1, max_size=4), st.lists(_label, min_size=0, max_size=2))
+def test_compressed_roundtrip_property(suffix, prefix):
+    base = Name(tuple(label.encode() for label in suffix))
+    longer = Name(tuple(label.encode() for label in prefix) + base.labels)
+    compression = {}
+    buffer = bytearray()
+    base.encode(buffer, compression)
+    start = len(buffer)
+    longer.encode(buffer, compression)
+    decoded, end = Name.decode(bytes(buffer), start)
+    assert decoded == longer
+    assert end == len(buffer)

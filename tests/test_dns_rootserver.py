@@ -1,0 +1,117 @@
+"""B-root-like authoritative server behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.dns.message import Message, QClass, QType, Question, RCode
+from repro.dns.name import ROOT, Name
+from repro.dns.query import POPULAR_TLDS, QueryModel
+from repro.dns.rootserver import RootServer, RootZone
+
+
+@pytest.fixture
+def server():
+    return RootServer(RootZone.synthetic(["com", "net", "org"]))
+
+
+class TestReferrals:
+    def test_known_tld_gets_referral(self, server):
+        query = Message.query(Name.parse("www.example.com"), QType.A, txid=9)
+        response = server.respond(query)
+        assert response.header.txid == 9
+        assert response.header.is_response
+        assert response.header.rcode == RCode.NOERROR
+        assert not response.answers
+        assert len(response.authority) == 2  # two NS records
+        assert all(record.rtype == QType.NS for record in response.authority)
+        assert all(record.name == Name.parse("com")
+                   for record in response.authority)
+        # glue: one A and one AAAA per nameserver
+        assert len(response.additional) == 4
+
+    def test_bare_tld_also_referred(self, server):
+        response = server.respond(
+            Message.query(Name.parse("net"), QType.NS, txid=1))
+        assert response.authority
+        assert server.stats.referrals == 1
+
+    def test_unknown_tld_nxdomain_with_soa(self, server):
+        response = server.respond(
+            Message.query(Name.parse("host.nosuchtld"), QType.A, txid=2))
+        assert response.header.rcode == RCode.NXDOMAIN
+        assert response.authority[0].rtype == QType.SOA
+        assert response.authority[0].name == ROOT
+
+
+class TestApex:
+    def test_root_soa(self, server):
+        response = server.respond(Message.query(ROOT, QType.SOA, txid=3))
+        assert response.answers[0].rtype == QType.SOA
+
+    def test_root_ns_lists_letters(self, server):
+        response = server.respond(Message.query(ROOT, QType.NS, txid=4))
+        assert len(response.answers) == 13
+
+
+class TestErrors:
+    def test_response_as_query_is_formerr(self, server):
+        bogus = Message.query(Name.parse("com"), QType.A, txid=5)
+        bogus.header.is_response = True
+        response = server.respond(bogus)
+        assert response.header.rcode == RCode.FORMERR
+
+    def test_no_question_is_formerr(self, server):
+        response = server.respond(Message())
+        assert response.header.rcode == RCode.FORMERR
+
+    def test_chaos_class_notimp(self, server):
+        message = Message()
+        message.questions.append(
+            Question(Name.parse("version.bind"), QType.TXT, QClass.CH))
+        response = server.respond(message)
+        assert response.header.rcode == RCode.NOTIMP
+
+    def test_garbage_wire_dropped(self, server):
+        assert server.handle_wire(b"\x00\x01") is None
+        assert server.stats.formerr == 1
+
+
+class TestWirePath:
+    def test_full_wire_roundtrip(self, server):
+        request = Message.query(Name.parse("a.org"), QType.AAAA, txid=42)
+        response_wire = server.handle_wire(request.encode())
+        response = Message.decode(response_wire)
+        assert response.header.txid == 42
+        assert response.questions[0].name == Name.parse("a.org")
+
+    def test_stats_accounting(self, server):
+        rng = np.random.default_rng(3)
+        model = QueryModel(tlds=("com", "net", "org"), junk_fraction=0.5)
+        for query in model.draw_queries(rng, 60):
+            server.handle_wire(query.encode())
+        stats = server.stats
+        assert stats.queries == 60
+        assert stats.referrals > 0
+        assert stats.nxdomain > 0
+        assert stats.total_responses() == 60
+
+
+class TestQueryModel:
+    def test_qtype_mix_plausible(self):
+        rng = np.random.default_rng(0)
+        qtypes = QueryModel().draw_qtypes(rng, 4000)
+        a_share = float(np.mean(qtypes == QType.A))
+        assert 0.35 < a_share < 0.55
+
+    def test_junk_fraction_respected(self):
+        rng = np.random.default_rng(0)
+        model = QueryModel(junk_fraction=0.0)
+        zone = RootZone.synthetic(POPULAR_TLDS)
+        for _ in range(200):
+            name = model.draw_qname(rng)
+            assert zone.delegation_for(name) is not None
+
+    def test_queries_decode(self):
+        rng = np.random.default_rng(0)
+        for query in QueryModel().draw_queries(rng, 50):
+            assert Message.decode(query.encode()).questions

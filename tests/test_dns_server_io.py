@@ -1,0 +1,106 @@
+"""Live UDP server: real sockets on loopback."""
+
+import asyncio
+
+import pytest
+
+from repro.dns.message import Message, QType, RCode
+from repro.dns.name import Name
+from repro.dns.rootserver import RootServer, RootZone
+from repro.dns.server_io import UdpRootServer, udp_query
+from repro.net.addr import Family
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+async def with_server(body, tap=None, clock=None):
+    """Start a loopback server, run ``body(server, host, port)``, stop."""
+    kwargs = {}
+    if clock is not None:
+        kwargs["clock"] = clock
+    server = UdpRootServer(RootServer(RootZone.synthetic(["com", "org"])),
+                           tap=tap, **kwargs)
+    await server.start()
+    try:
+        host, port = server.bound_address
+        return await body(server, host, port)
+    finally:
+        await server.stop()
+
+
+class TestUdpServer:
+    def test_answers_referral_over_the_wire(self):
+        async def body(server, host, port):
+            request = Message.query(Name.parse("www.example.com"),
+                                    QType.A, txid=77)
+            response = await udp_query(host, port, request)
+            assert response.header.txid == 77
+            assert response.header.is_response
+            assert response.authority  # the referral
+            return server.datagrams_received
+
+        assert run(with_server(body)) == 1
+
+    def test_nxdomain_over_the_wire(self):
+        async def body(server, host, port):
+            request = Message.query(Name.parse("x.nosuch"), QType.A, txid=5)
+            response = await udp_query(host, port, request)
+            assert response.header.rcode == RCode.NXDOMAIN
+
+        run(with_server(body))
+
+    def test_many_concurrent_queries(self):
+        async def body(server, host, port):
+            requests = [Message.query(Name.parse(f"h{i}.org"), QType.AAAA,
+                                      txid=i) for i in range(50)]
+            responses = await asyncio.gather(
+                *(udp_query(host, port, request) for request in requests))
+            assert sorted(r.header.txid for r in responses) == \
+                list(range(50))
+            assert server.datagrams_received == 50
+
+        run(with_server(body))
+
+    def test_garbage_datagram_dropped(self):
+        async def body(server, host, port):
+            loop = asyncio.get_running_loop()
+            transport, _ = await loop.create_datagram_endpoint(
+                asyncio.DatagramProtocol, remote_addr=(host, port))
+            transport.sendto(b"\x00\x01garbage")
+            await asyncio.sleep(0.05)
+            transport.close()
+            assert server.datagrams_dropped == 1
+
+        run(with_server(body))
+
+    def test_tap_records_observations(self):
+        observations = []
+        fake_clock = iter(range(100)).__next__
+
+        async def body(server, host, port):
+            request = Message.query(Name.parse("a.com"), QType.A, txid=1)
+            await udp_query(host, port, request)
+            await udp_query(host, port, request)
+
+        run(with_server(body, tap=observations.append,
+                        clock=lambda: float(fake_clock())))
+        assert len(observations) == 2
+        assert observations[0].family is Family.IPV4
+        assert observations[0].qtype == QType.A
+        assert observations[0].time < observations[1].time
+        # loopback source: block key of 127.0.0.1
+        assert observations[0].block_key == 0x7F0000
+
+    def test_double_start_rejected(self):
+        async def body(server, host, port):
+            with pytest.raises(RuntimeError):
+                await server.start()
+
+        run(with_server(body))
+
+    def test_bound_address_requires_start(self):
+        server = UdpRootServer(RootServer(RootZone.synthetic(["com"])))
+        with pytest.raises(RuntimeError):
+            server.bound_address

@@ -1,0 +1,148 @@
+"""Edge cases and failure paths across module boundaries."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.core.aggregation import plan_aggregation
+from repro.core.detector import PassiveDetector, StreamingDetector
+from repro.core.history import train_histories, train_history
+from repro.core.parameters import ParameterPlanner
+from repro.core.pipeline import PassiveOutagePipeline
+from repro.net.addr import Family
+from repro.telescope.aggregate import BinGrid, binned_counts
+from repro.telescope.records import Observation, ObservationBatch
+from repro.timeline import Timeline
+from repro.traffic.sources import poisson_times
+
+DAY = 86400.0
+
+
+class TestDetectorEdges:
+    def test_empty_population(self):
+        results = PassiveDetector().detect(Family.IPV4, {}, {}, {}, 0, DAY)
+        assert results == {}
+
+    def test_single_bin_window(self):
+        rng = np.random.default_rng(0)
+        train = {1: poisson_times(rng, 0.1, 0, DAY)}
+        histories = train_histories(train, 0, DAY)
+        parameters = ParameterPlanner().plan(histories)
+        bin_seconds = parameters[1].bin_seconds
+        evaluate = {1: poisson_times(rng, 0.1, DAY, DAY + bin_seconds)}
+        results = PassiveDetector().detect(
+            Family.IPV4, evaluate, histories, parameters,
+            DAY, DAY + bin_seconds)
+        assert results[1].timeline.span == bin_seconds
+
+    def test_observation_at_exact_window_end_clamped(self):
+        """An arrival exactly at `end` must not crash the binner."""
+        grid = BinGrid(0, 100, 10)
+        counts = binned_counts([1], {1: np.array([100.0 - 1e-12, 50.0])},
+                               grid)
+        assert counts.sum() == 2
+
+    def test_streaming_finalize_before_any_observation(self):
+        rng = np.random.default_rng(1)
+        train = {1: poisson_times(rng, 0.1, 0, DAY)}
+        histories = train_histories(train, 0, DAY)
+        parameters = ParameterPlanner().plan(histories)
+        detector = StreamingDetector(Family.IPV4, histories, parameters,
+                                     DAY)
+        results = detector.finalize(DAY)  # zero-length window
+        assert results[1].timeline.span == 0.0
+
+    def test_duplicate_timestamps_accepted(self):
+        rng = np.random.default_rng(2)
+        train = {1: poisson_times(rng, 0.1, 0, DAY)}
+        histories = train_histories(train, 0, DAY)
+        parameters = ParameterPlanner().plan(histories)
+        detector = StreamingDetector(Family.IPV4, histories, parameters,
+                                     DAY)
+        for _ in range(3):
+            detector.observe(Observation(DAY + 5.0, Family.IPV4, 1 << 8))
+        results = detector.finalize(DAY + 600.0)
+        assert 1 in results
+
+
+class TestPipelineEdges:
+    def test_detect_block_absent_from_training(self):
+        """Blocks that appear only in the detection window are ignored
+        (no model exists for them) rather than crashing."""
+        rng = np.random.default_rng(3)
+        pipeline = PassiveOutagePipeline()
+        model = pipeline.train(
+            Family.IPV4, {1: poisson_times(rng, 0.1, 0, DAY)}, 0, DAY)
+        evaluate = {1: poisson_times(rng, 0.1, DAY, 2 * DAY),
+                    2: poisson_times(rng, 0.1, DAY, 2 * DAY)}
+        result = pipeline.detect(model, evaluate, DAY, 2 * DAY)
+        assert set(result.blocks) == {1}
+
+    def test_training_on_empty_streams(self):
+        pipeline = PassiveOutagePipeline()
+        model = pipeline.train(Family.IPV4, {1: np.empty(0)}, 0, DAY)
+        assert model.unmeasurable_keys == [1]
+        result = pipeline.detect(model, {1: np.empty(0)}, DAY, 2 * DAY)
+        assert result.blocks == {}
+
+    def test_aggregation_of_ipv6_siblings(self):
+        """The spatial fallback must handle 48-bit keys."""
+        rng = np.random.default_rng(4)
+        base = 0x20010DB80000 & ~0xF
+        per_block = {base + low: poisson_times(rng, 0.0004, 0, 2 * DAY)
+                     for low in range(4)}
+        pipeline = PassiveOutagePipeline(aggregation_levels=4)
+        train = {k: t[t < DAY] for k, t in per_block.items()}
+        model = pipeline.train(Family.IPV6, train, 0, DAY)
+        assert len(model.unmeasurable_keys) == 4
+        result = pipeline.detect(model, per_block, DAY, 2 * DAY)
+        assert base >> 4 in result.aggregated
+
+
+class TestHistoryEdges:
+    def test_single_arrival(self):
+        history = train_history(np.array([100.0]), 0, DAY)
+        assert history.observed_count == 1
+        assert history.median_gap == DAY
+
+    def test_all_arrivals_identical(self):
+        history = train_history(np.full(50, 123.0), 0, DAY)
+        assert history.observed_count == 50
+        assert history.median_gap == 0.0
+        params = ParameterPlanner().plan_block(history)
+        # 50 packets in one instant is a burst, not a healthy block: the
+        # empirical max gap (0) keeps the gap detector floored, and the
+        # tuner must not crash.
+        assert params.gap_threshold_seconds >= 90.0
+
+
+class TestAggregationEdges:
+    def test_plan_with_empty_keys(self):
+        plan = plan_aggregation(Family.IPV4, [], levels=4)
+        assert plan.groups == {}
+        assert plan.covered_children() == 0
+
+
+class TestBatchEdges:
+    def test_empty_batch_roundtrip(self):
+        from repro.telescope.capture import read_batches, write_batches
+        buffer = io.BytesIO()
+        with pytest.raises(ValueError):
+            ObservationBatch.concatenate([])
+        write_batches(buffer)  # header-only capture
+        buffer.seek(0)
+        v4, v6 = read_batches(buffer)
+        assert len(v4) == 0 and len(v6) == 0
+
+    def test_time_slice_outside_range(self):
+        batch = ObservationBatch(
+            Family.IPV4, np.array([10.0, 20.0]),
+            np.array([1, 2], dtype=np.uint64))
+        assert len(batch.time_slice(100.0, 200.0)) == 0
+
+    def test_timeline_zero_span(self):
+        timeline = Timeline(5.0, 5.0)
+        assert timeline.availability() == 1.0
+        assert timeline.events() == []
+        assert list(timeline.segments()) == []

@@ -1,0 +1,123 @@
+"""Bootstrap intervals and block drill-down rendering."""
+
+import numpy as np
+import pytest
+
+from repro.core.detector import PassiveDetector
+from repro.core.history import train_histories
+from repro.core.parameters import ParameterPlanner
+from repro.eval.bootstrap import MetricInterval, bootstrap_confusion
+from repro.eval.drilldown import drilldown, render_belief_strip
+from repro.net.addr import Family
+from repro.timeline import Timeline
+from repro.traffic.sources import poisson_times, suppress_intervals
+
+DAY = 86400.0
+
+
+class TestBootstrap:
+    def make_population(self, n_blocks=40, seed=0):
+        rng = np.random.default_rng(seed)
+        observed, truth = {}, {}
+        for key in range(n_blocks):
+            has_outage = rng.random() < 0.4
+            if has_outage:
+                start = rng.uniform(0, DAY - 4000)
+                interval = (start, start + rng.uniform(600, 3600))
+                truth[key] = Timeline(0, DAY, [interval])
+                # observed detects with small edge error
+                jitter = rng.normal(0, 60, 2)
+                observed[key] = Timeline(
+                    0, DAY, [(interval[0] + jitter[0],
+                              interval[1] + jitter[1])])
+            else:
+                truth[key] = Timeline(0, DAY)
+                observed[key] = Timeline(0, DAY)
+        return observed, truth
+
+    def test_point_estimates_inside_intervals(self):
+        observed, truth = self.make_population()
+        intervals = bootstrap_confusion(observed, truth, replicates=200)
+        for interval in intervals.values():
+            assert interval.low <= interval.estimate <= interval.high
+            assert 0.0 <= interval.low <= interval.high <= 1.0
+
+    def test_perfect_detector_degenerate_interval(self):
+        truth = {k: Timeline(0, DAY, [(1000.0 * (k + 1), 1000.0 * (k + 1)
+                                       + 500)])
+                 for k in range(10)}
+        intervals = bootstrap_confusion(truth, truth, replicates=100)
+        assert intervals["precision"].estimate == 1.0
+        assert intervals["precision"].low == 1.0
+        assert intervals["tnr"].estimate == 1.0
+
+    def test_deterministic_given_seed(self):
+        observed, truth = self.make_population()
+        a = bootstrap_confusion(observed, truth, replicates=50, seed=3)
+        b = bootstrap_confusion(observed, truth, replicates=50, seed=3)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_confusion({}, {}, replicates=10)
+        observed, truth = self.make_population(n_blocks=5)
+        with pytest.raises(ValueError):
+            bootstrap_confusion(observed, truth, confidence=1.5)
+
+    def test_interval_str_and_contains(self):
+        interval = MetricInterval(0.9, 0.85, 0.95, 0.95)
+        assert "0.9000" in str(interval)
+        assert interval.contains(0.9)
+        assert not interval.contains(0.5)
+
+
+class TestDrilldown:
+    @pytest.fixture(scope="class")
+    def block_result(self):
+        rng = np.random.default_rng(9)
+        outage = (DAY + 30000.0, DAY + 36000.0)
+        train = {5: poisson_times(rng, 0.1, 0, DAY)}
+        evaluate = {5: suppress_intervals(
+            poisson_times(rng, 0.1, DAY, 2 * DAY), [outage])}
+        histories = train_histories(train, 0, DAY)
+        parameters = ParameterPlanner().plan(histories)
+        detector = PassiveDetector(keep_belief_traces=True)
+        results = detector.detect(Family.IPV4, evaluate, histories,
+                                  parameters, DAY, 2 * DAY)
+        return results[5], evaluate[5]
+
+    def test_render_belief_strip(self):
+        beliefs = np.ones(300)
+        beliefs[100:120] = 0.0
+        strip = render_belief_strip(beliefs, width=60)
+        assert len(strip) == 60
+        assert " " in strip       # the outage shows as the DOWN glyph
+        assert strip[0] == "@"    # healthy start pinned UP
+
+    def test_strip_preserves_short_dips(self):
+        beliefs = np.ones(1000)
+        beliefs[500] = 0.0  # single-bin dip must survive downsampling
+        assert " " in render_belief_strip(beliefs, width=50)
+
+    def test_strip_empty(self):
+        assert render_belief_strip(np.empty(0)) == ""
+
+    def test_drilldown_text(self, block_result):
+        result, times = block_result
+        report = drilldown(result, DAY, 2 * DAY, times)
+        text = str(report)
+        assert f"block {result.key:#x}" in text
+        assert "trained:" in text and "tuned:" in text
+        assert "belief" in text
+        assert "arrivals" in text
+        assert "outage event" in text
+
+    def test_drilldown_without_extras(self, block_result):
+        result, _ = block_result
+        bare = drilldown(
+            type(result)(key=result.key, family=result.family,
+                         params=result.params, history=result.history,
+                         timeline=result.timeline,
+                         coarse_timeline=result.coarse_timeline),
+            DAY, 2 * DAY)
+        assert "belief" not in str(bare)

@@ -1,0 +1,120 @@
+"""Second-weighted confusion matrices."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.eval.confusion import (
+    Confusion,
+    confusion_for_block,
+    confusion_for_population,
+)
+from repro.timeline import Timeline
+
+
+class TestConfusion:
+    def test_metrics(self):
+        confusion = Confusion(ta=900, fa=10, fo=40, to=50)
+        assert confusion.precision == pytest.approx(900 / 910)
+        assert confusion.recall == pytest.approx(900 / 940)
+        assert confusion.tnr == pytest.approx(50 / 60)
+        assert confusion.outage_precision == pytest.approx(50 / 90)
+        assert confusion.accuracy == pytest.approx(950 / 1000)
+        assert confusion.total == 1000
+
+    def test_empty_is_safe(self):
+        confusion = Confusion()
+        assert confusion.precision == 0.0
+        assert confusion.recall == 0.0
+        assert confusion.tnr == 0.0
+        assert confusion.accuracy == 0.0
+
+    def test_addition(self):
+        total = Confusion(1, 2, 3, 4) + Confusion(10, 20, 30, 40)
+        assert total.as_tuple() == (11, 22, 33, 44)
+        accumulator = Confusion()
+        accumulator += Confusion(1, 1, 1, 1)
+        assert accumulator.total == 4
+
+    def test_paper_table1_metrics(self):
+        """The published Table 1 cells yield the published metrics."""
+        confusion = Confusion(ta=52525765695, fa=2471178,
+                              fo=78163261, to=13147965)
+        assert confusion.precision == pytest.approx(0.9999, abs=5e-4)
+        assert confusion.recall == pytest.approx(0.9985, abs=5e-4)
+        assert confusion.tnr == pytest.approx(0.84178, abs=5e-4)
+
+
+class TestConfusionForBlock:
+    def test_perfect_agreement(self):
+        timeline = Timeline(0, 1000, [(100, 300)])
+        confusion = confusion_for_block(timeline, timeline)
+        assert confusion.as_tuple() == (800, 0, 0, 200)
+
+    def test_all_four_cells(self):
+        observed = Timeline(0, 1000, [(100, 300)])
+        truth = Timeline(0, 1000, [(200, 400)])
+        confusion = confusion_for_block(observed, truth)
+        assert confusion.to == 100   # [200, 300)
+        assert confusion.fo == 100   # [100, 200): we down, truth up
+        assert confusion.fa == 100   # [300, 400): truth down, we up
+        assert confusion.ta == 700
+
+    def test_cells_sum_to_span(self):
+        observed = Timeline(0, 500, [(10, 60), (400, 450)])
+        truth = Timeline(0, 500, [(30, 90)])
+        confusion = confusion_for_block(observed, truth)
+        assert confusion.total == pytest.approx(500)
+
+    def test_clipping_to_overlap(self):
+        observed = Timeline(0, 1000, [(100, 200)])
+        truth = Timeline(500, 1500, [(600, 700)])
+        confusion = confusion_for_block(observed, truth)
+        assert confusion.total == pytest.approx(500)  # [500, 1000)
+        assert confusion.fa == pytest.approx(100)
+
+    def test_disjoint_spans(self):
+        observed = Timeline(0, 100)
+        truth = Timeline(200, 300)
+        assert confusion_for_block(observed, truth).total == 0
+
+
+class TestPopulation:
+    def test_intersection_of_keys(self):
+        observed = {1: Timeline(0, 100), 2: Timeline(0, 100)}
+        truth = {2: Timeline(0, 100, [(0, 50)]), 3: Timeline(0, 100)}
+        confusion = confusion_for_population(observed, truth)
+        assert confusion.total == pytest.approx(100)
+        assert confusion.fa == pytest.approx(50)
+
+    def test_explicit_keys(self):
+        observed = {1: Timeline(0, 100), 2: Timeline(0, 100)}
+        truth = {1: Timeline(0, 100), 2: Timeline(0, 100)}
+        confusion = confusion_for_population(observed, truth, keys=[1])
+        assert confusion.total == pytest.approx(100)
+
+
+_intervals = st.lists(
+    st.tuples(st.floats(0, 1000, allow_nan=False),
+              st.floats(0, 1000, allow_nan=False)).map(
+        lambda pair: (min(pair), max(pair))), max_size=10)
+
+
+@given(_intervals, _intervals)
+def test_cells_partition_span_property(a, b):
+    observed = Timeline(0, 1000, a)
+    truth = Timeline(0, 1000, b)
+    confusion = confusion_for_block(observed, truth)
+    assert confusion.total == pytest.approx(1000)
+    assert confusion.ta + confusion.fo == pytest.approx(truth.up_seconds())
+    assert confusion.to + confusion.fa == pytest.approx(truth.down_seconds())
+    assert confusion.ta + confusion.fa == pytest.approx(
+        observed.up_seconds())
+
+
+@given(_intervals)
+def test_self_comparison_is_perfect(a):
+    timeline = Timeline(0, 1000, a)
+    confusion = confusion_for_block(timeline, timeline)
+    assert confusion.fa == pytest.approx(0)
+    assert confusion.fo == pytest.approx(0)

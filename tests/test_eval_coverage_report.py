@@ -1,0 +1,129 @@
+"""Coverage accounting and table/figure renderers."""
+
+import numpy as np
+import pytest
+
+from repro.core.history import BlockHistory
+from repro.core.parameters import DEFAULT_BIN_LADDER
+from repro.eval.confusion import Confusion
+from repro.eval.coverage import (
+    CoveragePoint,
+    confusion_by_density,
+    coverage_vs_bin,
+    outage_rate_report,
+    prior_coverage_report,
+)
+from repro.eval.report import (
+    ascii_bar_chart,
+    format_confusion_table,
+    format_coverage_curve,
+    format_outage_rates,
+    format_prior_coverage,
+)
+from repro.timeline import Timeline
+
+DAY = 86400.0
+
+
+def history(rate, count=None):
+    count = int(rate * DAY) if count is None else count
+    gap = 1.0 / rate if rate else DAY
+    return BlockHistory(rate, count, DAY, gap, 3 * gap, 10 * gap)
+
+
+class TestCoverageVsBin:
+    def test_monotone_in_bin_size(self):
+        histories = {k: history(rate) for k, rate in
+                     enumerate(np.geomspace(1e-4, 1.0, 50))}
+        points = coverage_vs_bin(histories, DEFAULT_BIN_LADDER)
+        coverages = [p.coverage for p in points]
+        assert coverages == sorted(coverages)
+
+    def test_dense_only_at_finest(self):
+        histories = {1: history(0.5), 2: history(0.001)}
+        points = coverage_vs_bin(histories, (300.0, 7200.0))
+        assert points[0].measurable_blocks == 1
+        assert points[1].measurable_blocks == 2
+
+    def test_thin_history_never_covered(self):
+        histories = {1: history(0.5, count=3)}
+        points = coverage_vs_bin(histories, (300.0,))
+        assert points[0].measurable_blocks == 0
+
+    def test_coverage_point_math(self):
+        point = CoveragePoint(300.0, 30, 120)
+        assert point.coverage == 0.25
+        assert CoveragePoint(300.0, 0, 0).coverage == 0.0
+
+
+class TestDensitySplit:
+    def test_split_by_class(self):
+        observed = {1: Timeline(0, 100), 2: Timeline(0, 100, [(0, 10)])}
+        truth = {1: Timeline(0, 100), 2: Timeline(0, 100, [(0, 10)])}
+        histories = {1: history(0.5), 2: history(0.001)}
+        split = confusion_by_density(observed, truth, histories)
+        from repro.traffic.rates import DensityClass
+        assert split[DensityClass.DENSE].total == pytest.approx(100)
+        assert split[DensityClass.SPARSE].to == pytest.approx(10)
+
+    def test_unknown_blocks_skipped(self):
+        observed = {9: Timeline(0, 100)}
+        truth = {9: Timeline(0, 100)}
+        split = confusion_by_density(observed, truth, {})
+        assert all(c.total == 0 for c in split.values())
+
+
+class TestReports:
+    def test_outage_rate_report(self):
+        timelines = {1: Timeline(0, DAY, [(0, 700)]),
+                     2: Timeline(0, DAY, [(0, 100)]),
+                     3: Timeline(0, DAY)}
+        report = outage_rate_report("IPv4 /24", timelines,
+                                    min_outage_seconds=600.0)
+        assert report.measurable_blocks == 3
+        assert report.blocks_with_outage == 1
+        assert report.outage_rate == pytest.approx(1 / 3)
+
+    def test_prior_coverage_report(self):
+        report = prior_coverage_report("IPv6 /48", 123, "Gasser", 1000)
+        assert report.fraction_of_prior == pytest.approx(0.123)
+        assert prior_coverage_report("x", 1, "y", 0).fraction_of_prior == 0.0
+
+
+class TestFormatting:
+    def test_confusion_table_contains_cells_and_metrics(self):
+        confusion = Confusion(ta=1000, fa=10, fo=20, to=70)
+        text = format_confusion_table(confusion, "Table X", unit="s")
+        assert "Table X" in text
+        assert "ta=1,000" in text
+        assert "Precision" in text and "Recall" in text and "TNR" in text
+        assert f"{confusion.precision:.4f}" in text
+
+    def test_coverage_curve_rows(self):
+        points = [CoveragePoint(300.0, 10, 100), CoveragePoint(600.0, 60, 100)]
+        text = format_coverage_curve(points)
+        assert "10.0%" in text and "60.0%" in text
+
+    def test_outage_rates_rows(self):
+        reports = [outage_rate_report("IPv4 /24",
+                                      {1: Timeline(0, DAY, [(0, 700)])})]
+        text = format_outage_rates(reports)
+        assert "IPv4 /24" in text and "100.0%" in text
+
+    def test_prior_coverage_rows(self):
+        text = format_prior_coverage(
+            [prior_coverage_report("IPv4 /24", 200, "Trinocular", 1000)])
+        assert "Trinocular" in text and "20.0%" in text
+
+    def test_ascii_bar_chart(self):
+        text = ascii_bar_chart(["a", "bb"], [1.0, 0.5])
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert lines[0].count("#") == 2 * lines[1].count("#")
+
+    def test_ascii_bar_chart_validates(self):
+        with pytest.raises(ValueError):
+            ascii_bar_chart(["a"], [1.0, 2.0])
+
+    def test_ascii_bar_chart_zero_values(self):
+        assert ascii_bar_chart(["a"], [0.0])  # no division by zero

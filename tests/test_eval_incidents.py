@@ -1,0 +1,98 @@
+"""Incident grouping and reporting."""
+
+import pytest
+
+from repro.eval.incidents import (
+    Incident,
+    format_incident_report,
+    group_incidents,
+)
+from repro.timeline import OutageEvent
+
+
+class TestGrouping:
+    def test_regional_event_forms_one_incident(self):
+        # three /24s under one /16 (levels=8), overlapping outages
+        events = {
+            0xC00001: [OutageEvent(1000, 3000)],
+            0xC00002: [OutageEvent(1200, 3100)],
+            0xC00003: [OutageEvent(900, 2800)],
+        }
+        incidents = group_incidents(events, levels=8)
+        assert len(incidents) == 1
+        incident = incidents[0]
+        assert incident.block_count == 3
+        assert incident.is_regional
+        assert incident.start == 900 and incident.end == 3100
+        assert incident.block_seconds == pytest.approx(2000 + 1900 + 1900)
+
+    def test_different_regions_stay_separate(self):
+        events = {
+            0xC00001: [OutageEvent(1000, 2000)],
+            0xAA0001: [OutageEvent(1000, 2000)],
+        }
+        incidents = group_incidents(events, levels=8)
+        assert len(incidents) == 2
+        assert not any(i.is_regional for i in incidents)
+
+    def test_time_separated_events_split(self):
+        events = {
+            0xC00001: [OutageEvent(1000, 2000), OutageEvent(50000, 51000)],
+        }
+        incidents = group_incidents(events, levels=8, slack=600)
+        assert len(incidents) == 2
+
+    def test_transitive_chaining(self):
+        # A overlaps B, B overlaps C; A and C do not overlap directly.
+        events = {
+            0xC00001: [OutageEvent(0, 1000)],
+            0xC00002: [OutageEvent(900, 2500)],
+            0xC00003: [OutageEvent(2400, 4000)],
+        }
+        incidents = group_incidents(events, levels=8, slack=0)
+        assert len(incidents) == 1
+        assert incidents[0].block_count == 3
+
+    def test_sorted_by_footprint(self):
+        events = {
+            0xC00001: [OutageEvent(0, 100)],
+            0xAA0001: [OutageEvent(0, 10000)],
+        }
+        incidents = group_incidents(events, levels=8)
+        assert incidents[0].block_seconds > incidents[1].block_seconds
+
+    def test_custom_region_mapping(self):
+        # Cluster by AS instead of by supernet.
+        events = {
+            0xC00001: [OutageEvent(1000, 2000)],
+            0xAA0001: [OutageEvent(1100, 2100)],
+            0xBB0001: [OutageEvent(1000, 2000)],
+        }
+        as_of_block = {0xC00001: 64500, 0xAA0001: 64500}  # 0xBB unmapped
+        incidents = group_incidents(events, region_of_block=as_of_block)
+        assert len(incidents) == 1
+        assert incidents[0].block_count == 2
+
+    def test_empty_input(self):
+        assert group_incidents({}) == []
+
+
+class TestReport:
+    def test_report_contains_counts(self):
+        events = {
+            0xC00001: [OutageEvent(1000, 3000)],
+            0xC00002: [OutageEvent(1200, 3100)],
+            0xAA0001: [OutageEvent(500, 800)],
+        }
+        incidents = group_incidents(events, levels=8)
+        text = format_incident_report(incidents)
+        assert "1 regional" in text
+        assert "1 single-block" in text
+        assert "blocks" in text
+
+    def test_top_limit(self):
+        events = {key: [OutageEvent(key * 100.0, key * 100.0 + 50)]
+                  for key in range(1, 30)}
+        incidents = group_incidents(events, levels=2)
+        text = format_incident_report(incidents, top=5)
+        assert "more" in text

@@ -1,0 +1,95 @@
+"""Event matching and event-counted confusion."""
+
+import pytest
+
+from repro.eval.matching import (
+    event_confusion,
+    event_confusion_for_population,
+    match_events,
+)
+from repro.timeline import OutageEvent, Timeline
+
+
+class TestMatchEvents:
+    def test_exact_match(self):
+        events = [OutageEvent(100, 200)]
+        result = match_events(events, events)
+        assert len(result.matched) == 1
+        assert result.precision == 1.0 and result.recall == 1.0
+
+    def test_slack_allows_offset(self):
+        detected = [OutageEvent(100, 200)]
+        truth = [OutageEvent(250, 350)]
+        assert not match_events(detected, truth, slack=0).matched
+        assert match_events(detected, truth, slack=100).matched
+
+    def test_one_detection_cannot_serve_two(self):
+        detected = [OutageEvent(100, 500)]
+        truth = [OutageEvent(100, 200), OutageEvent(400, 500)]
+        result = match_events(detected, truth)
+        assert len(result.matched) == 1
+        assert len(result.unmatched_truth) == 1
+
+    def test_unmatched_both_sides(self):
+        result = match_events([OutageEvent(0, 10)], [OutageEvent(500, 510)])
+        assert result.unmatched_detected == [OutageEvent(0, 10)]
+        assert result.unmatched_truth == [OutageEvent(500, 510)]
+        assert result.precision == 0.0 and result.recall == 0.0
+
+    def test_start_errors(self):
+        result = match_events([OutageEvent(110, 220)],
+                              [OutageEvent(100, 200)])
+        assert result.start_errors() == [pytest.approx(10)]
+
+    def test_empty_inputs(self):
+        result = match_events([], [])
+        assert result.precision == 0.0
+        assert result.recall == 0.0
+
+
+class TestEventConfusion:
+    def test_perfect_day_one_availability_event(self):
+        timeline = Timeline(0, 86400)
+        confusion = event_confusion(timeline, timeline)
+        assert confusion.as_tuple() == (1, 0, 0, 0)
+
+    def test_matched_outage(self):
+        observed = Timeline(0, 86400, [(10000, 10500)])
+        truth = Timeline(0, 86400, [(10060, 10460)])
+        confusion = event_confusion(observed, truth)
+        assert confusion.to == 1
+        assert confusion.fa == 0 and confusion.fo == 0
+        assert confusion.ta == 2  # the segments before and after
+
+    def test_missed_outage_is_false_availability(self):
+        observed = Timeline(0, 86400)
+        truth = Timeline(0, 86400, [(10000, 10500)])
+        confusion = event_confusion(observed, truth)
+        assert confusion.fa == 1
+        assert confusion.to == 0
+
+    def test_spurious_outage_is_false_outage(self):
+        observed = Timeline(0, 86400, [(10000, 10500)])
+        truth = Timeline(0, 86400)
+        confusion = event_confusion(observed, truth)
+        assert confusion.fo == 1
+
+    def test_min_event_floor(self):
+        observed = Timeline(0, 86400, [(100, 200)])
+        truth = Timeline(0, 86400, [(120, 190)])
+        strict = event_confusion(observed, truth, min_event_seconds=300)
+        assert strict.to == 0 and strict.fo == 0 and strict.fa == 0
+
+    def test_population_sums_common_blocks(self):
+        observed = {1: Timeline(0, 100), 2: Timeline(0, 100)}
+        truth = {1: Timeline(0, 100), 9: Timeline(0, 100)}
+        confusion = event_confusion_for_population(observed, truth)
+        assert confusion.ta == 1
+
+    def test_paper_table3_metrics(self):
+        """The published Table 3 cells yield the published metrics."""
+        from repro.eval.confusion import Confusion
+        confusion = Confusion(ta=4445, fa=105, fo=257, to=290)
+        assert confusion.precision == pytest.approx(0.97692, abs=1e-4)
+        assert confusion.recall == pytest.approx(0.9453, abs=1e-3)
+        assert confusion.tnr == pytest.approx(0.7341, abs=1e-3)

@@ -1,0 +1,34 @@
+"""Seven-day rolling validation experiment."""
+
+import pytest
+
+from repro.experiments import run_week_validation
+
+
+@pytest.fixture(scope="module")
+def week():
+    return run_week_validation(scale=0.3)
+
+
+class TestWeekValidation:
+    def test_covers_seven_days(self, week):
+        assert [day for day, _ in week.daily] == list(range(1, 8))
+        assert len(week.retrained_per_day) == 7
+
+    def test_precision_stable_every_day(self, week):
+        assert week.worst_precision > 0.995
+        for _, confusion in week.daily:
+            assert confusion.recall > 0.99
+
+    def test_daily_tnr_reasonable(self, week):
+        for _, confusion in week.daily:
+            assert 0.4 < confusion.tnr <= 1.0
+
+    def test_retraining_is_rare(self, week):
+        # Stationary traffic: the drift loop must not churn.
+        assert sum(week.retrained_per_day) < 20
+
+    def test_text_renders(self, week):
+        text = str(week)
+        assert "Seven-day" in text
+        assert "TNR spread" in text

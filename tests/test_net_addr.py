@@ -1,0 +1,149 @@
+"""Address parsing, formatting, and arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.addr import (
+    MAX_IPV4,
+    MAX_IPV6,
+    Address,
+    AddressError,
+    Family,
+    format_ipv4,
+    format_ipv6,
+    parse_address,
+    parse_ipv4,
+    parse_ipv6,
+)
+
+
+class TestParseIpv4:
+    def test_basic(self):
+        assert parse_ipv4("0.0.0.0") == 0
+        assert parse_ipv4("255.255.255.255") == MAX_IPV4
+        assert parse_ipv4("192.0.2.1") == 0xC0000201
+
+    def test_rejects_short_forms(self):
+        with pytest.raises(AddressError):
+            parse_ipv4("10.1")
+
+    def test_rejects_out_of_range_octet(self):
+        with pytest.raises(AddressError):
+            parse_ipv4("1.2.3.256")
+
+    def test_rejects_leading_zero(self):
+        with pytest.raises(AddressError):
+            parse_ipv4("192.0.02.1")
+
+    def test_rejects_garbage(self):
+        for text in ("", "a.b.c.d", "1..2.3", "1.2.3.4.5", "1.2.3.-4"):
+            with pytest.raises(AddressError):
+                parse_ipv4(text)
+
+
+class TestParseIpv6:
+    def test_full_form(self):
+        assert parse_ipv6("2001:0db8:0000:0000:0000:0000:0000:0001") == \
+            0x20010DB8000000000000000000000001
+
+    def test_compressed(self):
+        assert parse_ipv6("2001:db8::1") == \
+            0x20010DB8000000000000000000000001
+        assert parse_ipv6("::") == 0
+        assert parse_ipv6("::1") == 1
+        assert parse_ipv6("fe80::") == 0xFE80 << 112
+
+    def test_embedded_ipv4(self):
+        assert parse_ipv6("::ffff:192.0.2.1") == \
+            (0xFFFF << 32) | 0xC0000201
+
+    def test_rejects_double_compression(self):
+        with pytest.raises(AddressError):
+            parse_ipv6("1::2::3")
+
+    def test_rejects_too_many_groups(self):
+        with pytest.raises(AddressError):
+            parse_ipv6("1:2:3:4:5:6:7:8:9")
+
+    def test_rejects_wide_group(self):
+        with pytest.raises(AddressError):
+            parse_ipv6("12345::")
+
+    def test_rejects_useless_compression(self):
+        # '::' must stand for at least one zero group.
+        with pytest.raises(AddressError):
+            parse_ipv6("1:2:3:4::5:6:7:8")
+
+
+class TestFormat:
+    def test_ipv4(self):
+        assert format_ipv4(0xC0000201) == "192.0.2.1"
+        assert format_ipv4(0) == "0.0.0.0"
+
+    def test_ipv4_range_check(self):
+        with pytest.raises(AddressError):
+            format_ipv4(MAX_IPV4 + 1)
+
+    def test_ipv6_compression_longest_run(self):
+        assert format_ipv6(parse_ipv6("1:0:0:2:0:0:0:3")) == "1:0:0:2::3"
+
+    def test_ipv6_no_single_zero_compression(self):
+        assert format_ipv6(parse_ipv6("1:0:2:3:4:5:6:7")) == "1:0:2:3:4:5:6:7"
+
+    def test_ipv6_all_zero(self):
+        assert format_ipv6(0) == "::"
+
+
+class TestAddress:
+    def test_parse_dispatch(self):
+        assert Address.parse("10.0.0.1").family is Family.IPV4
+        assert Address.parse("2001:db8::1").family is Family.IPV6
+
+    def test_range_validation(self):
+        with pytest.raises(AddressError):
+            Address(Family.IPV4, MAX_IPV4 + 1)
+        with pytest.raises(AddressError):
+            Address(Family.IPV6, -1)
+
+    def test_ordering_is_family_then_value(self):
+        v4 = Address.parse("255.255.255.255")
+        v6 = Address.parse("::1")
+        assert v4 < v6  # IPv4 sorts before IPv6
+
+    def test_shifted(self):
+        base = Address.parse("192.0.2.1")
+        assert str(base.shifted(1)) == "192.0.2.2"
+        assert str(base.shifted(-1)) == "192.0.2.0"
+
+    def test_hosts_in_prefix(self):
+        hosts = list(Address.parse("192.0.2.7").hosts_in_prefix(30))
+        assert [str(h) for h in hosts] == [
+            "192.0.2.4", "192.0.2.5", "192.0.2.6", "192.0.2.7"]
+
+    def test_hosts_in_prefix_refuses_huge(self):
+        with pytest.raises(AddressError):
+            next(Address.parse("2001:db8::").hosts_in_prefix(48))
+
+    def test_family_properties(self):
+        assert Family.IPV4.bits == 32
+        assert Family.IPV6.bits == 128
+        assert Family.IPV4.default_block_prefix == 24
+        assert Family.IPV6.default_block_prefix == 48
+
+
+@given(st.integers(min_value=0, max_value=MAX_IPV4))
+def test_ipv4_roundtrip(value):
+    assert parse_ipv4(format_ipv4(value)) == value
+
+
+@given(st.integers(min_value=0, max_value=MAX_IPV6))
+def test_ipv6_roundtrip(value):
+    assert parse_ipv6(format_ipv6(value)) == value
+
+
+@given(st.integers(min_value=0, max_value=MAX_IPV6))
+def test_parse_address_roundtrip(value):
+    family, parsed = parse_address(format_ipv6(value))
+    assert family is Family.IPV6
+    assert parsed == value

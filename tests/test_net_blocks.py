@@ -1,0 +1,138 @@
+"""Block arithmetic and address-to-block mapping."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.addr import Address, AddressError, Family
+from repro.net.blocks import (
+    Block,
+    block_of,
+    block_of_value,
+    supernet_key,
+    vector_block_keys,
+)
+
+
+class TestBlockParse:
+    def test_ipv4(self):
+        block = Block.parse("192.0.2.0/24")
+        assert block.family is Family.IPV4
+        assert block.prefix == 0xC00002
+        assert block.prefix_len == 24
+        assert str(block) == "192.0.2.0/24"
+
+    def test_ipv6(self):
+        block = Block.parse("2001:db8::/48")
+        assert block.prefix == 0x20010DB80000
+        assert block.prefix_len == 48
+
+    def test_rejects_host_bits(self):
+        with pytest.raises(AddressError):
+            Block.parse("192.0.2.1/24")
+
+    def test_rejects_missing_length(self):
+        with pytest.raises(AddressError):
+            Block.parse("192.0.2.0")
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(AddressError):
+            Block.parse("192.0.2.0/33")
+
+    def test_prefix_wider_than_length(self):
+        with pytest.raises(AddressError):
+            Block(Family.IPV4, 0x100, 8)
+
+
+class TestBlockOps:
+    def test_num_addresses(self):
+        assert Block.parse("10.0.0.0/24").num_addresses == 256
+        assert Block.parse("10.0.0.0/30").num_addresses == 4
+
+    def test_contains(self):
+        block = Block.parse("192.0.2.0/24")
+        assert block.contains(Address.parse("192.0.2.200"))
+        assert not block.contains(Address.parse("192.0.3.0"))
+        assert not block.contains(Address.parse("::1"))
+
+    def test_supernet(self):
+        block = Block.parse("192.0.2.0/24")
+        assert str(block.supernet(20)) == "192.0.0.0/20"
+        with pytest.raises(AddressError):
+            block.supernet(25)
+
+    def test_subnets(self):
+        children = list(Block.parse("192.0.2.0/24").subnets(26))
+        assert [str(c) for c in children] == [
+            "192.0.2.0/26", "192.0.2.64/26",
+            "192.0.2.128/26", "192.0.2.192/26"]
+
+    def test_subnets_refuses_huge(self):
+        with pytest.raises(AddressError):
+            list(Block.parse("::/0").subnets(48))
+
+    def test_address_at(self):
+        block = Block.parse("192.0.2.0/24")
+        assert str(block.address_at(7)) == "192.0.2.7"
+        with pytest.raises(AddressError):
+            block.address_at(256)
+
+    def test_sample_addresses_distinct(self, rng):
+        block = Block.parse("192.0.2.0/24")
+        sampled = block.sample_addresses(50, rng)
+        assert len({a.value for a in sampled}) == 50
+        assert all(block.contains(a) for a in sampled)
+
+    def test_sample_addresses_ipv6_huge_span(self, rng):
+        block = Block.parse("2001:db8::/48")
+        sampled = block.sample_addresses(10, rng)
+        assert len({a.value for a in sampled}) == 10
+        assert all(block.contains(a) for a in sampled)
+
+    def test_sample_too_many(self, rng):
+        with pytest.raises(AddressError):
+            Block.parse("10.0.0.0/30").sample_addresses(5, rng)
+
+
+class TestBlockOf:
+    def test_default_granularity(self):
+        assert block_of(Address.parse("192.0.2.77")).prefix_len == 24
+        assert block_of(Address.parse("2001:db8::1")).prefix_len == 48
+
+    def test_explicit_granularity(self):
+        assert block_of(Address.parse("192.0.2.77"), 16).prefix_len == 16
+
+    def test_value_fast_path_matches(self):
+        address = Address.parse("203.0.113.9")
+        assert block_of_value(Family.IPV4, address.value) == \
+            block_of(address).prefix
+
+    def test_vector_keys_ipv4(self):
+        values = np.array([0xC0000201, 0xC0000301], dtype=np.uint64)
+        keys = vector_block_keys(Family.IPV4, values)
+        assert list(keys) == [0xC00002, 0xC00003]
+
+    def test_vector_keys_ipv6(self):
+        values = np.array([0x20010DB8000000000000000000000001], dtype=object)
+        keys = vector_block_keys(Family.IPV6, values)
+        assert keys[0] == 0x20010DB80000
+
+    def test_supernet_key(self):
+        assert supernet_key(0xC00002, 4) == 0xC0000
+        assert supernet_key(0xC00002, 8) == 0xC000
+
+
+@given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+def test_block_always_contains_its_address(value):
+    address = Address(Family.IPV4, value)
+    assert block_of(address).contains(address)
+
+
+@given(st.integers(min_value=0, max_value=(1 << 24) - 1),
+       st.integers(min_value=1, max_value=20))
+def test_supernet_contains_subnet(prefix, levels):
+    block = Block(Family.IPV4, prefix, 24)
+    parent = block.supernet(24 - levels)
+    assert parent.contains(block.network_address)
+    assert parent.prefix == supernet_key(prefix, levels)

@@ -1,0 +1,63 @@
+"""Synthetic IPv6 hitlist."""
+
+import numpy as np
+import pytest
+
+from repro.net.addr import Family
+from repro.net.blocks import Block
+from repro.net.hitlist import Hitlist, hitlist_from_blocks, synthesize_hitlist
+
+
+class TestSynthesize:
+    def test_size_close_to_target(self):
+        rng = np.random.default_rng(5)
+        hitlist = synthesize_hitlist(rng, total_blocks=5000)
+        # Collisions within a provider may shave a little off the target.
+        assert 4000 <= len(hitlist) <= 5000
+
+    def test_entries_are_48s_in_global_unicast(self):
+        rng = np.random.default_rng(5)
+        hitlist = synthesize_hitlist(rng, total_blocks=500)
+        for block in hitlist.blocks():
+            assert block.prefix_len == 48
+            top_nibble = block.prefix >> 44
+            assert 0x2 <= top_nibble <= 0x3
+
+    def test_clustered_into_providers(self):
+        rng = np.random.default_rng(5)
+        hitlist = synthesize_hitlist(rng, total_blocks=2000,
+                                     num_providers=50)
+        providers = {key >> 16 for key in hitlist.keys}
+        assert len(providers) <= 50
+
+    def test_deterministic_given_seed(self):
+        a = synthesize_hitlist(np.random.default_rng(7), total_blocks=300)
+        b = synthesize_hitlist(np.random.default_rng(7), total_blocks=300)
+        assert a.keys == b.keys
+
+
+class TestHitlist:
+    def test_membership(self):
+        hitlist = Hitlist()
+        hitlist.add(0xABC)
+        assert 0xABC in hitlist
+        assert 0xDEF not in hitlist
+
+    def test_coverage_fraction(self):
+        hitlist = Hitlist(keys={1, 2, 3, 4})
+        assert hitlist.coverage_fraction([1, 2, 99]) == pytest.approx(0.5)
+        assert hitlist.coverage_fraction([]) == 0.0
+
+    def test_coverage_of_empty_hitlist(self):
+        assert Hitlist().coverage_fraction([1]) == 0.0
+
+    def test_from_blocks(self):
+        blocks = [Block(Family.IPV6, 0x20010DB80000, 48)]
+        hitlist = hitlist_from_blocks(blocks)
+        assert 0x20010DB80000 in hitlist
+
+    def test_from_blocks_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            hitlist_from_blocks([Block.parse("10.0.0.0/24")])
+        with pytest.raises(ValueError):
+            hitlist_from_blocks([Block.parse("2001:db8::/44")])

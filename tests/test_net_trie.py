@@ -1,0 +1,98 @@
+"""Longest-prefix-match trie."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.addr import Address, Family
+from repro.net.blocks import Block
+from repro.net.trie import PrefixTrie
+
+
+@pytest.fixture
+def trie():
+    t = PrefixTrie(Family.IPV4)
+    t.insert(Block.parse("192.0.0.0/16"), "coarse")
+    t.insert(Block.parse("192.0.2.0/24"), "fine")
+    t.insert(Block.parse("10.0.0.0/8"), "ten")
+    return t
+
+
+class TestLookup:
+    def test_longest_prefix_wins(self, trie):
+        value, matched = trie.lookup(Address.parse("192.0.2.9"))
+        assert value == "fine"
+        assert str(matched) == "192.0.2.0/24"
+
+    def test_falls_back_to_shorter(self, trie):
+        value, matched = trie.lookup(Address.parse("192.0.9.9"))
+        assert value == "coarse"
+        assert matched.prefix_len == 16
+
+    def test_miss(self, trie):
+        assert trie.lookup(Address.parse("8.8.8.8")) is None
+
+    def test_family_mismatch_rejected(self, trie):
+        with pytest.raises(ValueError):
+            trie.lookup(Address.parse("::1"))
+
+    def test_default_route(self):
+        t = PrefixTrie(Family.IPV4)
+        t.insert(Block.parse("0.0.0.0/0"), "default")
+        value, matched = t.lookup(Address.parse("203.0.113.1"))
+        assert value == "default"
+        assert matched.prefix_len == 0
+
+
+class TestMutation:
+    def test_len_counts_prefixes(self, trie):
+        assert len(trie) == 3
+
+    def test_insert_replaces(self, trie):
+        trie.insert(Block.parse("192.0.2.0/24"), "fine2")
+        assert trie.get(Block.parse("192.0.2.0/24")) == "fine2"
+        assert len(trie) == 3
+
+    def test_remove(self, trie):
+        assert trie.remove(Block.parse("192.0.2.0/24"))
+        assert trie.get(Block.parse("192.0.2.0/24")) is None
+        # lookup now falls through to the /16
+        value, _ = trie.lookup(Address.parse("192.0.2.9"))
+        assert value == "coarse"
+        assert len(trie) == 2
+
+    def test_remove_absent(self, trie):
+        assert not trie.remove(Block.parse("172.16.0.0/12"))
+        assert len(trie) == 3
+
+    def test_remove_does_not_break_descendants(self):
+        t = PrefixTrie(Family.IPV4)
+        t.insert(Block.parse("192.0.0.0/16"), "outer")
+        t.insert(Block.parse("192.0.2.0/24"), "inner")
+        assert t.remove(Block.parse("192.0.0.0/16"))
+        assert t.get(Block.parse("192.0.2.0/24")) == "inner"
+
+    def test_items_enumerates_all(self, trie):
+        found = {str(block): value for block, value in trie.items()}
+        assert found == {"192.0.0.0/16": "coarse",
+                         "192.0.2.0/24": "fine",
+                         "10.0.0.0/8": "ten"}
+
+
+@given(st.dictionaries(
+    st.integers(min_value=0, max_value=(1 << 24) - 1),
+    st.integers(), min_size=1, max_size=50),
+    st.integers(min_value=0, max_value=(1 << 32) - 1))
+def test_matches_reference_at_fixed_length(table, probe_value):
+    """At a single prefix length, LPM degenerates to exact dict lookup."""
+    trie = PrefixTrie(Family.IPV4)
+    for prefix, value in table.items():
+        trie.insert(Block(Family.IPV4, prefix, 24), value)
+    assert len(trie) == len(table)
+    probe = Address(Family.IPV4, probe_value)
+    expected = table.get(probe_value >> 8)
+    result = trie.lookup(probe)
+    if expected is None:
+        assert result is None
+    else:
+        assert result[0] == expected

@@ -1,0 +1,98 @@
+"""Property-based tests across the detector stack.
+
+Hypothesis generates miniature worlds (rates, outage placements) and
+checks the invariants that hold regardless of the draw: the streaming
+and batch engines agree, timelines stay well-formed, refinement never
+invents time outside the window, and tuning is monotone in rate.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.detector import PassiveDetector, StreamingDetector
+from repro.core.history import train_histories, train_history
+from repro.core.parameters import ParameterPlanner
+from repro.eval.matching import match_events
+from repro.net.addr import Family
+from repro.telescope.records import Observation
+from repro.traffic.sources import poisson_times, suppress_intervals
+
+DAY = 86400.0
+
+_rate = st.floats(min_value=0.005, max_value=0.3)
+_outage_start = st.floats(min_value=DAY + 3600, max_value=2 * DAY - 20000)
+_outage_len = st.floats(min_value=1200.0, max_value=14400.0)
+
+
+@settings(max_examples=15, deadline=None)
+@given(rate=_rate, outage_start=_outage_start, outage_len=_outage_len,
+       seed=st.integers(min_value=0, max_value=2 ** 16))
+def test_streaming_and_batch_agree_on_generated_worlds(
+        rate, outage_start, outage_len, seed):
+    rng = np.random.default_rng(seed)
+    outage = (outage_start, min(outage_start + outage_len, 2 * DAY))
+    train = {1: poisson_times(rng, rate, 0, DAY)}
+    evaluate = {1: suppress_intervals(
+        poisson_times(rng, rate, DAY, 2 * DAY), [outage])}
+    histories = train_histories(train, 0, DAY)
+    parameters = ParameterPlanner().plan(histories)
+    if not parameters[1].measurable:
+        return
+
+    batch = PassiveDetector().detect(Family.IPV4, evaluate, histories,
+                                     parameters, DAY, 2 * DAY)
+    stream = StreamingDetector(Family.IPV4, histories, parameters, DAY)
+    for t in evaluate[1]:
+        stream.observe(Observation(float(t), Family.IPV4, 1 << 8))
+    streamed = stream.finalize(2 * DAY)
+
+    floor = max(600.0, 2 * parameters[1].bin_seconds)
+    batch_events = batch[1].timeline.events(floor)
+    stream_events = streamed[1].timeline.events(floor)
+    # Every solid batch event has a streaming counterpart and vice versa.
+    matched = match_events(stream_events, batch_events,
+                           slack=parameters[1].bin_seconds)
+    assert not matched.unmatched_truth, (batch_events, stream_events)
+
+    # Invariants on every produced timeline.
+    for result in (batch[1], streamed[1]):
+        down = result.timeline.down_intervals
+        for (s1, e1), (s2, e2) in zip(down, down[1:]):
+            assert e1 < s2
+        for s, e in down:
+            assert DAY <= s < e <= 2 * DAY
+
+
+@settings(max_examples=20, deadline=None)
+@given(rate_low=_rate, factor=st.floats(min_value=1.5, max_value=20.0),
+       seed=st.integers(min_value=0, max_value=2 ** 16))
+def test_tuning_monotone_in_rate(rate_low, factor, seed):
+    """A strictly busier block never gets a coarser bin."""
+    rng = np.random.default_rng(seed)
+    slow = train_history(poisson_times(rng, rate_low, 0, DAY), 0, DAY)
+    fast = train_history(poisson_times(rng, rate_low * factor, 0, DAY),
+                         0, DAY)
+    planner = ParameterPlanner()
+    slow_params = planner.plan_block(slow)
+    fast_params = planner.plan_block(fast)
+    if slow_params.measurable and fast.burstiness <= slow.burstiness:
+        assert fast_params.measurable
+        assert fast_params.bin_seconds <= slow_params.bin_seconds
+
+
+@settings(max_examples=15, deadline=None)
+@given(rate=_rate, seed=st.integers(min_value=0, max_value=2 ** 16))
+def test_healthy_block_has_high_availability(rate, seed):
+    """No injected outage => the detector reports mostly-up."""
+    rng = np.random.default_rng(seed)
+    train = {1: poisson_times(rng, rate, 0, DAY)}
+    evaluate = {1: poisson_times(rng, rate, DAY, 2 * DAY)}
+    histories = train_histories(train, 0, DAY)
+    parameters = ParameterPlanner().plan(histories)
+    if not parameters[1].measurable:
+        return
+    results = PassiveDetector().detect(Family.IPV4, evaluate, histories,
+                                       parameters, DAY, 2 * DAY)
+    assert results[1].timeline.availability() > 0.95

@@ -1,0 +1,256 @@
+"""Telescope pipeline: records, capture format, aggregation, streaming."""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.addr import Family
+from repro.telescope.aggregate import (
+    BinGrid,
+    bin_edge_timestamps,
+    binned_counts,
+    merge_block_times,
+    per_block_times,
+)
+from repro.telescope.capture import (
+    CaptureError,
+    CaptureReader,
+    CaptureWriter,
+    read_batches,
+    write_batches,
+)
+from repro.telescope.records import Observation, ObservationBatch
+from repro.telescope.stream import merge_streams, window_stream
+
+
+def make_batch(n=100, blocks=4, seed=0, family=Family.IPV4):
+    rng = np.random.default_rng(seed)
+    times = np.sort(rng.uniform(0, 1000, n))
+    keys = rng.integers(1, blocks + 1, n).astype(np.uint64)
+    qtypes = rng.integers(1, 30, n).astype(np.uint16)
+    return ObservationBatch(family, times, keys, qtypes)
+
+
+class TestObservation:
+    def test_block_key(self):
+        obs = Observation(1.0, Family.IPV4, 0xC0000201)
+        assert obs.block_key == 0xC00002
+        assert str(obs.block) == "192.0.2.0/24"
+
+    def test_ipv6_block_key(self):
+        obs = Observation(1.0, Family.IPV6,
+                          0x20010DB8000100000000000000000001)
+        assert obs.block_key == 0x20010DB80001
+
+    def test_ordering_by_time(self):
+        a = Observation(1.0, Family.IPV4, 5)
+        b = Observation(2.0, Family.IPV4, 4)
+        assert a < b
+
+
+class TestObservationBatch:
+    def test_length_and_columns(self):
+        batch = make_batch(50)
+        assert len(batch) == 50
+        assert batch.times.dtype == np.float64
+        assert batch.block_keys.dtype == np.uint64
+
+    def test_misaligned_columns_rejected(self):
+        with pytest.raises(ValueError):
+            ObservationBatch(Family.IPV4, np.zeros(3),
+                             np.zeros(4, dtype=np.uint64))
+
+    def test_time_slice(self):
+        batch = make_batch(200)
+        sliced = batch.time_slice(100, 300)
+        assert np.all(sliced.times >= 100)
+        assert np.all(sliced.times < 300)
+
+    def test_per_block_partition(self):
+        batch = make_batch(300, blocks=5)
+        rebuilt = 0
+        for key, times in batch.per_block():
+            assert np.all(np.diff(times) >= 0)
+            rebuilt += times.size
+        assert rebuilt == 300
+
+    def test_concatenate_sorts(self):
+        a = make_batch(50, seed=1)
+        b = make_batch(50, seed=2)
+        merged = ObservationBatch.concatenate([a, b])
+        assert len(merged) == 100
+        assert np.all(np.diff(merged.times) >= 0)
+
+    def test_concatenate_family_mismatch(self):
+        with pytest.raises(ValueError):
+            ObservationBatch.concatenate(
+                [make_batch(10), make_batch(10, family=Family.IPV6)])
+
+    def test_from_observations_filters_family(self):
+        rows = [Observation(1.0, Family.IPV4, 0x01020304),
+                Observation(2.0, Family.IPV6, 1 << 100)]
+        batch = ObservationBatch.from_observations(Family.IPV4, rows)
+        assert len(batch) == 1
+
+    def test_roundtrip_to_observations(self):
+        batch = make_batch(20)
+        rows = batch.to_observations()
+        rebuilt = ObservationBatch.from_observations(Family.IPV4, rows)
+        assert np.array_equal(rebuilt.block_keys, batch.block_keys)
+
+
+class TestCapture:
+    def test_roundtrip_both_families(self):
+        v4 = make_batch(100)
+        v6 = make_batch(60, family=Family.IPV6)
+        buffer = io.BytesIO()
+        count = write_batches(buffer, v4, v6)
+        assert count == 160
+        buffer.seek(0)
+        got4, got6 = read_batches(buffer)
+        assert np.allclose(got4.times, v4.times)
+        assert np.array_equal(got4.block_keys, v4.block_keys)
+        assert np.array_equal(got4.qtypes, v4.qtypes)
+        assert np.array_equal(got6.block_keys, v6.block_keys)
+
+    def test_streaming_read(self):
+        buffer = io.BytesIO()
+        with CaptureWriter(buffer) as writer:
+            writer.write(Observation(1.5, Family.IPV4, 0x01020304, 28))
+            writer.write(Observation(2.5, Family.IPV6, 1 << 100, 1))
+        buffer.seek(0)
+        rows = list(CaptureReader(buffer))
+        assert len(rows) == 2
+        assert rows[0].time == 1.5
+        assert rows[0].qtype == 28
+        assert rows[1].family is Family.IPV6
+        assert rows[1].source == 1 << 100
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(CaptureError):
+            CaptureReader(io.BytesIO(b"NOPE\x00\x01\x00\x00"))
+
+    def test_truncated_header_rejected(self):
+        with pytest.raises(CaptureError):
+            CaptureReader(io.BytesIO(b"PO"))
+
+    def test_truncated_record_rejected(self):
+        buffer = io.BytesIO()
+        with CaptureWriter(buffer) as writer:
+            writer.write(Observation(1.0, Family.IPV4, 1))
+        data = buffer.getvalue()[:-3]
+        reader = CaptureReader(io.BytesIO(data))
+        with pytest.raises(CaptureError):
+            list(reader)
+
+    def test_file_paths(self, tmp_path):
+        path = tmp_path / "trace.pobs"
+        write_batches(path, make_batch(10))
+        got4, got6 = read_batches(path)
+        assert len(got4) == 10 and len(got6) == 0
+
+
+class TestBinGrid:
+    def test_bin_count_and_edges(self):
+        grid = BinGrid(0, 1000, 100)
+        assert grid.n_bins == 10
+        assert grid.edges()[0] == 0
+        assert grid.bin_start(3) == 300
+        assert grid.bin_end(9) == 1000
+
+    def test_partial_last_bin(self):
+        grid = BinGrid(0, 950, 100)
+        assert grid.n_bins == 10
+        assert grid.bin_end(9) == 950
+
+    def test_bin_of(self):
+        grid = BinGrid(0, 1000, 100)
+        assert list(grid.bin_of(np.array([0.0, 99.9, 100.0, 999.9]))) == \
+            [0, 0, 1, 9]
+
+    def test_invalid_grid(self):
+        with pytest.raises(ValueError):
+            BinGrid(0, 100, 0)
+        with pytest.raises(ValueError):
+            BinGrid(100, 100, 10)
+
+
+class TestAggregate:
+    def test_binned_counts_total(self):
+        batch = make_batch(500, blocks=6)
+        per_block = per_block_times(batch)
+        grid = BinGrid(0, 1000, 50)
+        counts = binned_counts(sorted(per_block), per_block, grid)
+        assert counts.sum() == 500
+        assert counts.shape == (len(per_block), 20)
+
+    def test_missing_block_is_zero_row(self):
+        grid = BinGrid(0, 100, 10)
+        counts = binned_counts([1, 2], {1: np.array([5.0])}, grid)
+        assert counts[0].sum() == 1
+        assert counts[1].sum() == 0
+
+    def test_edge_timestamps(self):
+        grid = BinGrid(0, 100, 10)
+        per_block = {7: np.array([12.0, 15.0, 18.0, 45.0])}
+        first, last = bin_edge_timestamps([7], per_block, grid)
+        assert first[0, 1] == 12.0 and last[0, 1] == 18.0
+        assert first[0, 4] == 45.0 and last[0, 4] == 45.0
+        assert np.isnan(first[0, 0])
+
+    def test_merge_block_times(self):
+        per_block = {1: np.array([3.0, 9.0]), 2: np.array([1.0, 5.0])}
+        merged = merge_block_times(per_block, [1, 2, 3])
+        assert list(merged) == [1.0, 3.0, 5.0, 9.0]
+
+
+class TestStream:
+    def rows(self, times, family=Family.IPV4):
+        return [Observation(t, family, 0x01020300 + i)
+                for i, t in enumerate(times)]
+
+    def test_merge_streams_sorted(self):
+        merged = list(merge_streams(self.rows([1, 4, 7]),
+                                    self.rows([2, 3, 9])))
+        assert [o.time for o in merged] == [1, 2, 3, 4, 7, 9]
+
+    def test_merge_rejects_unsorted_input(self):
+        with pytest.raises(ValueError):
+            list(merge_streams(self.rows([5, 1])))
+
+    def test_window_stream_includes_empty_windows(self):
+        windows = list(window_stream(self.rows([1, 25]), start=0,
+                                     window_seconds=10))
+        assert len(windows) == 3
+        assert [len(w[2]) for w in windows] == [1, 0, 1]
+        assert windows[1][:2] == (10, 20)
+
+    def test_window_stream_skips_early_rows(self):
+        windows = list(window_stream(self.rows([1, 15]), start=10,
+                                     window_seconds=10))
+        assert [len(w[2]) for w in windows] == [1]
+
+    def test_window_stream_invalid(self):
+        with pytest.raises(ValueError):
+            list(window_stream([], 0, 0))
+
+
+@given(st.lists(st.tuples(
+    st.floats(0, 1e6, allow_nan=False),
+    st.integers(min_value=0, max_value=(1 << 48) - 1),
+    st.integers(min_value=0, max_value=65535)), max_size=50))
+def test_capture_roundtrip_property(rows):
+    times = np.array(sorted(t for t, _, _ in rows), dtype=np.float64)
+    keys = np.array([k for _, k, _ in rows], dtype=np.uint64)
+    qtypes = np.array([q for _, _, q in rows], dtype=np.uint16)
+    batch = ObservationBatch(Family.IPV6, times, keys, qtypes)
+    buffer = io.BytesIO()
+    write_batches(buffer, batch)
+    buffer.seek(0)
+    _, got = read_batches(buffer)
+    assert np.array_equal(got.times, times)
+    assert np.array_equal(got.block_keys, keys)
+    assert np.array_equal(got.qtypes, qtypes)

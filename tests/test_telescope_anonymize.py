@@ -1,0 +1,94 @@
+"""Prefix-preserving anonymization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.addr import Family
+from repro.telescope.anonymize import PrefixPreservingAnonymizer
+from repro.telescope.records import Observation
+
+KEY = b"0123456789abcdef0123456789abcdef"
+
+
+@pytest.fixture
+def anonymizer():
+    return PrefixPreservingAnonymizer(KEY)
+
+
+class TestBasics:
+    def test_key_length_enforced(self):
+        with pytest.raises(ValueError):
+            PrefixPreservingAnonymizer(b"short")
+
+    def test_deterministic(self, anonymizer):
+        other = PrefixPreservingAnonymizer(KEY)
+        for value in (0, 1, 0xC0000201, (1 << 32) - 1):
+            assert anonymizer.anonymize_value(Family.IPV4, value) == \
+                other.anonymize_value(Family.IPV4, value)
+
+    def test_different_keys_differ(self):
+        a = PrefixPreservingAnonymizer(KEY)
+        b = PrefixPreservingAnonymizer(b"x" * 32)
+        values = [a.anonymize_value(Family.IPV4, v) for v in range(100)]
+        others = [b.anonymize_value(Family.IPV4, v) for v in range(100)]
+        assert values != others
+
+    def test_range_validation(self, anonymizer):
+        with pytest.raises(ValueError):
+            anonymizer.anonymize_value(Family.IPV4, 1 << 32)
+
+    def test_observation_anonymized(self, anonymizer):
+        observation = Observation(5.0, Family.IPV4, 0xC0000201, 28)
+        result = anonymizer.anonymize(observation)
+        assert result.time == 5.0 and result.qtype == 28
+        assert result.source != observation.source
+
+    def test_stream_helper(self, anonymizer):
+        rows = [Observation(float(i), Family.IPV4, i) for i in range(10)]
+        out = list(anonymizer.anonymize_stream(rows))
+        assert len(out) == 10
+        assert [o.time for o in out] == [o.time for o in rows]
+
+
+class TestPrefixPreservation:
+    def test_is_permutation_on_small_space(self):
+        anonymizer = PrefixPreservingAnonymizer(KEY)
+        # Check bijectivity over a full /24 (the bottom 8 bits).
+        base = 0xC0000200
+        images = {anonymizer.anonymize_value(Family.IPV4, base + i)
+                  for i in range(256)}
+        assert len(images) == 256
+        # Prefix preservation: all images share one /24.
+        assert len({v >> 8 for v in images}) == 1
+
+    def test_block_key_consistency(self):
+        anonymizer = PrefixPreservingAnonymizer(KEY)
+        value = 0xCB007142
+        anonymized = anonymizer.anonymize_value(Family.IPV4, value)
+        assert anonymized >> 8 == anonymizer.anonymize_block_key(
+            Family.IPV4, value >> 8)
+
+    def test_ipv6_block_key_consistency(self):
+        anonymizer = PrefixPreservingAnonymizer(KEY)
+        value = 0x20010DB8000100000000000000000001
+        anonymized = anonymizer.anonymize_value(Family.IPV6, value)
+        assert anonymized >> 80 == anonymizer.anonymize_block_key(
+            Family.IPV6, value >> 80)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(min_value=0, max_value=(1 << 32) - 1),
+       st.integers(min_value=0, max_value=(1 << 32) - 1))
+def test_common_prefix_length_preserved(a, b):
+    """The defining property: |common prefix| in == |common prefix| out."""
+    anonymizer = PrefixPreservingAnonymizer(KEY)
+    image_a = anonymizer.anonymize_value(Family.IPV4, a)
+    image_b = anonymizer.anonymize_value(Family.IPV4, b)
+
+    def common_prefix(x, y, bits=32):
+        diff = x ^ y
+        return bits if diff == 0 else bits - diff.bit_length()
+
+    assert common_prefix(image_a, image_b) == common_prefix(a, b)

@@ -1,0 +1,191 @@
+"""Timeline algebra and outage events."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.timeline import (
+    OutageEvent,
+    Timeline,
+    intersect_intervals,
+    merge_intervals,
+    total_duration,
+)
+
+
+class TestIntervals:
+    def test_merge_overlapping(self):
+        assert merge_intervals([(0, 5), (3, 8), (10, 12)]) == [(0, 8), (10, 12)]
+
+    def test_merge_touching(self):
+        assert merge_intervals([(0, 5), (5, 8)]) == [(0, 8)]
+
+    def test_merge_drops_empty(self):
+        assert merge_intervals([(3, 3), (5, 4)]) == []
+
+    def test_intersect(self):
+        a = [(0, 10), (20, 30)]
+        b = [(5, 25)]
+        assert intersect_intervals(a, b) == [(5, 10), (20, 25)]
+
+    def test_intersect_disjoint(self):
+        assert intersect_intervals([(0, 5)], [(6, 9)]) == []
+
+    def test_total_duration(self):
+        assert total_duration([(0, 5), (10, 12)]) == 7
+
+
+class TestTimelineBasics:
+    def test_always_up(self):
+        t = Timeline.always_up(0, 100)
+        assert t.availability() == 1.0
+        assert t.down_seconds() == 0
+        assert t.events() == []
+
+    def test_always_down(self):
+        t = Timeline.always_down(0, 100)
+        assert t.availability() == 0.0
+        assert t.events() == [OutageEvent(0, 100)]
+
+    def test_down_intervals_clipped_to_span(self):
+        t = Timeline(10, 20, [(0, 12), (18, 30)])
+        assert t.down_intervals == [(10, 12), (18, 20)]
+
+    def test_invalid_span(self):
+        with pytest.raises(ValueError):
+            Timeline(10, 5)
+
+    def test_is_up_at(self):
+        t = Timeline(0, 100, [(10, 20)])
+        assert t.is_up_at(5)
+        assert not t.is_up_at(10)
+        assert not t.is_up_at(19.999)
+        assert t.is_up_at(20)
+        with pytest.raises(ValueError):
+            t.is_up_at(101)
+
+    def test_segments_cover_span(self):
+        t = Timeline(0, 100, [(10, 20), (50, 60)])
+        segments = list(t.segments())
+        assert segments == [(0, 10, True), (10, 20, False), (20, 50, True),
+                            (50, 60, False), (60, 100, True)]
+
+    def test_events_min_duration(self):
+        t = Timeline(0, 100, [(0, 5), (10, 40)])
+        assert t.events(10) == [OutageEvent(10, 40)]
+
+
+class TestFromTransitions:
+    def test_simple(self):
+        t = Timeline.from_transitions(0, 100, [(10, False), (20, True)])
+        assert t.down_intervals == [(10, 20)]
+
+    def test_unterminated_outage_runs_to_end(self):
+        t = Timeline.from_transitions(0, 100, [(90, False)])
+        assert t.down_intervals == [(90, 100)]
+
+    def test_initially_down(self):
+        t = Timeline.from_transitions(0, 100, [(30, True)], initial_up=False)
+        assert t.down_intervals == [(0, 30)]
+
+    def test_redundant_transitions_ignored(self):
+        t = Timeline.from_transitions(
+            0, 100, [(10, False), (15, False), (20, True), (25, True)])
+        assert t.down_intervals == [(10, 20)]
+
+    def test_unsorted_input_sorted(self):
+        t = Timeline.from_transitions(0, 100, [(20, True), (10, False)])
+        assert t.down_intervals == [(10, 20)]
+
+
+class TestAlgebra:
+    def test_clip(self):
+        t = Timeline(0, 100, [(10, 30)])
+        clipped = t.clip(20, 50)
+        assert clipped.start == 20 and clipped.end == 50
+        assert clipped.down_intervals == [(20, 30)]
+
+    def test_invert_involution(self):
+        t = Timeline(0, 100, [(10, 30), (50, 55)])
+        assert t.invert().invert() == t
+
+    def test_union_and_intersection(self):
+        a = Timeline(0, 100, [(10, 30)])
+        b = Timeline(0, 100, [(20, 40)])
+        assert a.union_down(b).down_intervals == [(10, 40)]
+        assert a.intersect_down(b).down_intervals == [(20, 30)]
+
+    def test_span_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Timeline(0, 100).union_down(Timeline(0, 99))
+
+    def test_drop_short_outages(self):
+        t = Timeline(0, 100, [(0, 2), (10, 40)])
+        assert t.drop_short_outages(5).down_intervals == [(10, 40)]
+
+    def test_fill_short_ups(self):
+        t = Timeline(0, 100, [(10, 20), (22, 30)])
+        assert t.fill_short_ups(5).down_intervals == [(10, 30)]
+
+    def test_shift(self):
+        t = Timeline(0, 100, [(10, 20)]).shift(50)
+        assert (t.start, t.end) == (50, 150)
+        assert t.down_intervals == [(60, 70)]
+
+
+class TestOutageEvent:
+    def test_duration(self):
+        assert OutageEvent(5, 25).duration == 20
+
+    def test_overlap_with_slack(self):
+        a = OutageEvent(0, 10)
+        b = OutageEvent(12, 20)
+        assert not a.overlaps(b)
+        assert a.overlaps(b, slack=3)
+
+
+_intervals = st.lists(
+    st.tuples(st.floats(0, 1000, allow_nan=False),
+              st.floats(0, 1000, allow_nan=False)).map(
+        lambda pair: (min(pair), max(pair))),
+    max_size=20)
+
+
+@given(_intervals)
+def test_up_plus_down_equals_span(intervals):
+    t = Timeline(0, 1000, intervals)
+    assert t.up_seconds() + t.down_seconds() == pytest.approx(1000)
+
+
+@given(_intervals)
+def test_down_intervals_sorted_disjoint(intervals):
+    t = Timeline(0, 1000, intervals)
+    down = t.down_intervals
+    for (s1, e1), (s2, e2) in zip(down, down[1:]):
+        assert e1 < s2
+    assert all(s < e for s, e in down)
+
+
+@given(_intervals, _intervals)
+def test_union_down_is_at_least_each(a_intervals, b_intervals):
+    a = Timeline(0, 1000, a_intervals)
+    b = Timeline(0, 1000, b_intervals)
+    union = a.union_down(b)
+    intersection = a.intersect_down(b)
+    assert union.down_seconds() >= max(a.down_seconds(), b.down_seconds()) - 1e-9
+    assert intersection.down_seconds() <= min(a.down_seconds(),
+                                              b.down_seconds()) + 1e-9
+    # inclusion-exclusion
+    assert union.down_seconds() + intersection.down_seconds() == pytest.approx(
+        a.down_seconds() + b.down_seconds())
+
+
+@given(_intervals)
+def test_segments_partition_span(intervals):
+    t = Timeline(0, 1000, intervals)
+    segments = list(t.segments())
+    if segments:
+        assert segments[0][0] == 0
+        assert segments[-1][1] == 1000
+        for (s1, e1, _), (s2, e2, _) in zip(segments, segments[1:]):
+            assert e1 == s2

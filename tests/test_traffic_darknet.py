@@ -1,0 +1,98 @@
+"""Darknet telescope (IBR second source)."""
+
+import numpy as np
+import pytest
+
+from repro.net.addr import Family
+from repro.traffic.darknet import DarknetConfig, DarknetTelescope
+from repro.traffic.internet import (
+    FamilyConfig,
+    InternetConfig,
+    SimulatedInternet,
+)
+from repro.traffic.outages import OutageModel
+
+DAY = 86400.0
+
+
+@pytest.fixture(scope="module")
+def internet():
+    config = InternetConfig(
+        end=2 * DAY, training_seconds=DAY, seed=41,
+        ipv4=FamilyConfig(
+            n_blocks=60,
+            outage_model=OutageModel(outage_probability=1.0,
+                                     short_fraction=0.0)))
+    return SimulatedInternet.build(config)
+
+
+class TestRates:
+    def test_rates_positive_and_deterministic(self, internet):
+        a = DarknetTelescope(internet)
+        b = DarknetTelescope(internet)
+        for profile in internet.profiles:
+            assert a.ibr_rate_for(profile) > 0
+            assert a.ibr_rate_for(profile) == b.ibr_rate_for(profile)
+
+    def test_rates_weakly_correlated_with_dns(self, internet):
+        telescope = DarknetTelescope(internet)
+        dns_rates = np.array([p.mean_rate for p in internet.profiles])
+        ibr_rates = np.array([telescope.ibr_rate_for(p)
+                              for p in internet.profiles])
+        correlation = np.corrcoef(np.log(dns_rates), np.log(ibr_rates))[0, 1]
+        assert 0.2 < correlation < 0.95  # related, but not a copy
+
+    def test_config_scaling(self, internet):
+        small = DarknetTelescope(internet, DarknetConfig(rate_scale=0.1))
+        large = DarknetTelescope(internet, DarknetConfig(rate_scale=1.0))
+        profile = internet.profiles[0]
+        assert large.ibr_rate_for(profile) > small.ibr_rate_for(profile)
+
+
+class TestObservations:
+    def test_sorted_within_window(self, internet):
+        telescope = DarknetTelescope(internet)
+        for profile, times in telescope.observations(start=0, end=DAY):
+            assert np.all(np.diff(times) >= 0)
+            if times.size:
+                assert times[0] >= 0 and times[-1] < DAY
+
+    def test_outage_suppresses_genuine_but_not_spoofed(self, internet):
+        config = DarknetConfig(spoofed_fraction=0.0)
+        clean = DarknetTelescope(internet, config)
+        for profile, times in clean.observations():
+            for start, end in profile.truth.down_intervals:
+                inside = times[(times >= start) & (times < end)]
+                assert inside.size == 0
+
+        spoofy = DarknetTelescope(internet,
+                                  DarknetConfig(spoofed_fraction=0.5,
+                                                rate_scale=2.0))
+        leaked = 0
+        for profile, times in spoofy.observations():
+            for start, end in profile.truth.down_intervals:
+                leaked += times[(times >= start) & (times < end)].size
+        assert leaked > 0  # spoofed traffic ignores the outage
+
+    def test_per_block_family_filter(self, internet):
+        telescope = DarknetTelescope(internet)
+        v4 = telescope.per_block(Family.IPV4)
+        assert set(v4) == {p.key for p in
+                           internet.family_profiles(Family.IPV4)}
+        assert telescope.per_block(Family.IPV6) == {}
+
+    def test_reproducible_given_seed(self, internet):
+        telescope = DarknetTelescope(internet)
+        first = telescope.per_block(Family.IPV4, seed=5)
+        second = telescope.per_block(Family.IPV4, seed=5)
+        for key in first:
+            assert np.array_equal(first[key], second[key])
+
+
+class TestFusionExperiment:
+    def test_fused_coverage_dominates(self):
+        from repro.experiments import run_darknet_fusion
+        result = run_darknet_fusion(scale=0.2)
+        assert result.fused_coverage >= result.dns_coverage
+        assert result.fused_coverage >= result.darknet_coverage - 0.02
+        assert result.fused_confusion.precision > 0.99

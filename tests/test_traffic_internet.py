@@ -1,0 +1,178 @@
+"""The simulated Internet: construction, observations, probing."""
+
+import numpy as np
+import pytest
+
+from repro.net.addr import Family
+from repro.traffic.internet import (
+    FamilyConfig,
+    InternetConfig,
+    SimulatedInternet,
+)
+from repro.traffic.outages import OutageModel
+
+DAY = 86400.0
+
+
+def build(n_v4=60, n_v6=15, seed=5, outage_probability=0.5, **kwargs):
+    config = InternetConfig(
+        end=2 * DAY, training_seconds=DAY, seed=seed,
+        ipv4=FamilyConfig(
+            n_blocks=n_v4,
+            outage_model=OutageModel(outage_probability=outage_probability),
+            **kwargs),
+        ipv6=(FamilyConfig(
+            n_blocks=n_v6,
+            outage_model=OutageModel(outage_probability=outage_probability))
+            if n_v6 else None),
+    )
+    return SimulatedInternet.build(config)
+
+
+class TestConstruction:
+    def test_population_counts(self):
+        internet = build()
+        assert len(internet.family_profiles(Family.IPV4)) == 60
+        assert len(internet.family_profiles(Family.IPV6)) == 15
+
+    def test_blocks_at_standard_prefixes(self):
+        internet = build()
+        for profile in internet.profiles:
+            expected = profile.family.default_block_prefix
+            assert profile.block.prefix_len == expected
+
+    def test_distinct_prefixes(self):
+        internet = build(n_v4=200)
+        keys = [p.key for p in internet.family_profiles(Family.IPV4)]
+        assert len(set(keys)) == len(keys)
+
+    def test_deterministic_given_seed(self):
+        a = build(seed=9)
+        b = build(seed=9)
+        assert [p.key for p in a.profiles] == [p.key for p in b.profiles]
+        assert [p.mean_rate for p in a.profiles] == \
+            [p.mean_rate for p in b.profiles]
+
+    def test_training_window_is_clean(self):
+        internet = build(outage_probability=1.0)
+        for profile in internet.profiles:
+            for start, _ in profile.truth.down_intervals:
+                assert start >= DAY
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            InternetConfig(end=0.0)
+        with pytest.raises(ValueError):
+            InternetConfig(end=DAY, training_seconds=2 * DAY)
+
+    def test_addresses_inside_block(self):
+        internet = build()
+        for profile in internet.profiles:
+            for address in profile.active_addresses:
+                key = (int(address)
+                       >> (profile.family.bits
+                           - profile.family.default_block_prefix))
+                assert key == profile.key
+
+
+class TestPassiveObservations:
+    def test_arrivals_sorted_and_in_window(self):
+        internet = build()
+        for profile, times in internet.passive_observations():
+            assert np.all(np.diff(times) >= 0)
+            if times.size:
+                assert times[0] >= 0 and times[-1] < 2 * DAY
+
+    def test_outage_suppresses_traffic(self):
+        internet = build(outage_probability=1.0, n_v6=0)
+        noisy = 0
+        total_outage_time = 0.0
+        for profile, times in internet.passive_observations():
+            for start, end in profile.truth.down_intervals:
+                inside = times[(times >= start) & (times < end)]
+                noisy += inside.size
+                total_outage_time += end - start
+        # only the configured noise trickle may appear while down
+        expected_noise = total_outage_time / 36000.0
+        assert noisy <= max(10.0, 4 * expected_noise)
+
+    def test_observation_reproducibility(self):
+        internet = build()
+        first = {p.key: t for p, t in internet.passive_observations(seed=1)}
+        second = {p.key: t for p, t in internet.passive_observations(seed=1)}
+        for key in first:
+            assert np.array_equal(first[key], second[key])
+
+    def test_different_seed_differs(self):
+        internet = build()
+        first = {p.key: t for p, t in internet.passive_observations(seed=1)}
+        second = {p.key: t for p, t in internet.passive_observations(seed=2)}
+        assert any(not np.array_equal(first[k], second[k]) for k in first)
+
+    def test_invisible_blocks_emit_nothing(self):
+        internet = build(vantage_visibility=0.0, n_v6=0)
+        assert sum(t.size for _, t in internet.passive_observations()) == 0
+
+    def test_rate_roughly_matches_profile(self):
+        internet = build(n_v4=100, n_v6=0, outage_probability=0.0)
+        for profile, times in internet.passive_observations():
+            expected = profile.mean_rate * 2 * DAY
+            if expected > 200:
+                assert times.size == pytest.approx(expected, rel=0.35)
+
+
+class TestProbing:
+    def test_probe_active_address_up(self):
+        internet = build(outage_probability=0.0, probe_response_mean=0.95)
+        rng = np.random.default_rng(0)
+        profile = internet.family_profiles(Family.IPV4)[0]
+        hits = sum(
+            internet.probe(Family.IPV4, int(profile.active_addresses[0]),
+                           100.0, rng)
+            for _ in range(100))
+        assert hits > 50
+
+    def test_probe_down_block_never_responds(self):
+        internet = build(outage_probability=1.0)
+        rng = np.random.default_rng(0)
+        for profile in internet.family_profiles(Family.IPV4):
+            if not profile.truth.down_intervals:
+                continue
+            start, end = profile.truth.down_intervals[0]
+            middle = (start + end) / 2
+            assert not internet.probe(
+                profile.family, int(profile.active_addresses[0]), middle, rng)
+            break
+
+    def test_probe_inactive_address_never_responds(self):
+        internet = build(outage_probability=0.0)
+        rng = np.random.default_rng(0)
+        profile = internet.family_profiles(Family.IPV4)[0]
+        base = profile.block.network_address.value
+        candidates = set(int(a) for a in profile.active_addresses)
+        dead = next(base + i for i in range(256)
+                    if base + i not in candidates)
+        assert not any(internet.probe(Family.IPV4, dead, 100.0, rng)
+                       for _ in range(20))
+
+    def test_probe_unknown_block(self):
+        internet = build()
+        rng = np.random.default_rng(0)
+        assert not internet.probe(Family.IPV4, 0x01010101, 100.0, rng)
+
+
+class TestBookkeeping:
+    def test_truth_outage_rate(self):
+        internet = build(outage_probability=1.0)
+        assert internet.truth_outage_rate(Family.IPV4) == 1.0
+
+    def test_describe_mentions_families(self):
+        text = build().describe()
+        assert "IPV4" in text and "IPV6" in text
+
+    def test_lookup_helpers(self):
+        internet = build()
+        profile = internet.profiles[0]
+        assert internet.profile_for(profile.family, profile.key) is profile
+        assert internet.truth_for(profile.family, profile.key) is profile.truth
+        assert internet.profile_for(Family.IPV4, 0xDEADBEEF) is None

@@ -1,0 +1,126 @@
+"""Rate mixtures, seasonality, and outage models."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.traffic.outages import IPV4_OUTAGE_MODEL, IPV6_OUTAGE_MODEL, OutageModel
+from repro.traffic.rates import (
+    DENSE_RATE_THRESHOLD,
+    DensityClass,
+    RateMixture,
+    classify_rate,
+)
+from repro.traffic.seasonal import DiurnalPattern
+
+
+class TestRateMixture:
+    def test_dense_share_near_configured(self):
+        mixture = RateMixture(dense_fraction=0.22)
+        assert mixture.expected_dense_share() == pytest.approx(0.22, abs=0.05)
+
+    def test_draw_shapes_and_positivity(self):
+        rng = np.random.default_rng(1)
+        rates = RateMixture().draw(rng, 1000)
+        assert rates.shape == (1000,)
+        assert np.all(rates > 0)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            RateMixture().draw(np.random.default_rng(0), -1)
+
+    def test_heavy_tail(self):
+        rng = np.random.default_rng(1)
+        rates = RateMixture().draw(rng, 20000)
+        assert rates.max() / np.median(rates) > 100
+
+
+class TestClassify:
+    def test_thresholds(self):
+        assert classify_rate(1.0) is DensityClass.DENSE
+        assert classify_rate(DENSE_RATE_THRESHOLD) is DensityClass.DENSE
+        assert classify_rate(0.001) is DensityClass.SPARSE
+        assert classify_rate(1e-6) is DensityClass.UNMEASURABLE
+
+
+class TestDiurnal:
+    def test_flat_is_identity(self):
+        pattern = DiurnalPattern.flat()
+        times = np.linspace(0, 86400, 100)
+        assert np.allclose(pattern.intensity(times), 1.0)
+
+    def test_intensity_nonnegative_and_bounded(self):
+        pattern = DiurnalPattern(amplitude=0.9, peak_hour=3.0,
+                                 week_amplitude=0.15)
+        times = np.linspace(0, 7 * 86400, 5000)
+        intensity = pattern.intensity(times)
+        assert np.all(intensity >= 0)
+        assert np.all(intensity <= pattern.max_intensity + 1e-9)
+
+    def test_daily_mean_near_one(self):
+        pattern = DiurnalPattern(amplitude=0.5, peak_hour=14.0)
+        times = np.linspace(0, 86400, 86400, endpoint=False)
+        assert pattern.intensity(times).mean() == pytest.approx(1.0, abs=0.01)
+
+    def test_peak_at_peak_hour(self):
+        pattern = DiurnalPattern(amplitude=0.5, peak_hour=14.0)
+        peak = pattern.intensity(np.array([14 * 3600.0]))[0]
+        trough = pattern.intensity(np.array([2 * 3600.0]))[0]
+        assert peak > trough
+
+    def test_amplitude_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalPattern(amplitude=0.99)
+        with pytest.raises(ValueError):
+            DiurnalPattern(amplitude=0.1, week_amplitude=0.9)
+
+    def test_draw_within_bounds(self):
+        rng = np.random.default_rng(2)
+        for _ in range(50):
+            pattern = DiurnalPattern.draw(rng)
+            assert 0 <= pattern.amplitude <= 0.95
+            assert 0 <= pattern.peak_hour < 24
+
+
+class TestOutageModel:
+    def test_durations_respect_bounds(self):
+        rng = np.random.default_rng(3)
+        model = OutageModel(min_duration=100, max_duration=1000)
+        durations = model.draw_durations(rng, 500)
+        assert np.all(durations >= 100)
+        assert np.all(durations <= 1000)
+
+    def test_outage_probability_scales(self):
+        rng = np.random.default_rng(4)
+        model = OutageModel(outage_probability=0.5)
+        full_day = sum(
+            bool(model.draw_timeline(rng, 0, 86400).events())
+            for _ in range(600)) / 600
+        assert full_day == pytest.approx(0.5, abs=0.08)
+
+    def test_half_window_halves_probability(self):
+        rng = np.random.default_rng(5)
+        model = OutageModel(outage_probability=0.5)
+        half_day = sum(
+            bool(model.draw_timeline(rng, 0, 43200).events())
+            for _ in range(600)) / 600
+        assert half_day == pytest.approx(0.25, abs=0.08)
+
+    def test_timeline_within_window(self):
+        rng = np.random.default_rng(6)
+        model = OutageModel(outage_probability=1.0)
+        timeline = model.draw_timeline(rng, 100.0, 1000.0)
+        for start, end in timeline.down_intervals:
+            assert 100.0 <= start < end <= 1000.0
+
+    def test_short_long_mixture(self):
+        rng = np.random.default_rng(7)
+        durations = OutageModel().draw_durations(rng, 4000)
+        short = np.mean(durations < 660)
+        assert 0.2 < short < 0.7
+
+    def test_default_models_calibration(self):
+        assert IPV6_OUTAGE_MODEL.outage_probability > \
+            IPV4_OUTAGE_MODEL.outage_probability
+        assert IPV4_OUTAGE_MODEL.expected_outage_rate() == pytest.approx(0.055)

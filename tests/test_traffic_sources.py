@@ -1,0 +1,98 @@
+"""Arrival-process generators."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.seasonal import DiurnalPattern
+from repro.traffic.sources import (
+    arrival_generator_for,
+    mmpp_times,
+    modulated_poisson_times,
+    poisson_times,
+    suppress_intervals,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(77)
+
+
+class TestPoisson:
+    def test_count_matches_rate(self, rng):
+        times = poisson_times(rng, rate=0.5, start=0, end=10000)
+        assert times.size == pytest.approx(5000, rel=0.1)
+
+    def test_sorted_and_bounded(self, rng):
+        times = poisson_times(rng, 0.2, 100, 200)
+        assert np.all(np.diff(times) >= 0)
+        assert times.min() >= 100 and times.max() < 200
+
+    def test_zero_rate(self, rng):
+        assert poisson_times(rng, 0.0, 0, 100).size == 0
+
+    def test_empty_span(self, rng):
+        assert poisson_times(rng, 1.0, 100, 100).size == 0
+
+    def test_exponential_gaps(self, rng):
+        times = poisson_times(rng, 1.0, 0, 50000)
+        gaps = np.diff(times)
+        assert gaps.mean() == pytest.approx(1.0, rel=0.05)
+        # CV of exponential is 1.
+        assert gaps.std() / gaps.mean() == pytest.approx(1.0, rel=0.1)
+
+
+class TestModulated:
+    def test_mean_rate_preserved(self, rng):
+        pattern = DiurnalPattern(amplitude=0.5, peak_hour=12.0)
+        times = modulated_poisson_times(rng, 0.1, pattern, 0, 5 * 86400.0)
+        assert times.size == pytest.approx(0.1 * 5 * 86400, rel=0.1)
+
+    def test_peak_hour_is_busiest(self, rng):
+        pattern = DiurnalPattern(amplitude=0.9, peak_hour=12.0)
+        times = modulated_poisson_times(rng, 0.2, pattern, 0, 10 * 86400.0)
+        hours = ((times % 86400.0) // 3600.0).astype(int)
+        counts = np.bincount(hours, minlength=24)
+        assert counts[12] > 2 * counts[0]
+
+
+class TestMmpp:
+    def test_long_run_mean(self, rng):
+        times = mmpp_times(rng, 0.1, 0, 10 * 86400.0)
+        assert times.size == pytest.approx(0.1 * 10 * 86400, rel=0.15)
+
+    def test_burstier_than_poisson(self, rng):
+        times = mmpp_times(rng, 0.2, 0, 5 * 86400.0, burst_factor=10.0)
+        counts = np.bincount((times // 60).astype(int))
+        dispersion = counts.var() / counts.mean()
+        assert dispersion > 1.5  # Poisson would be ~1
+
+    def test_zero_rate(self, rng):
+        assert mmpp_times(rng, 0.0, 0, 1000).size == 0
+
+
+class TestSuppress:
+    def test_removes_inside_interval(self):
+        times = np.arange(0.0, 100.0, 10.0)
+        kept = suppress_intervals(times, [(25.0, 55.0)])
+        assert list(kept) == [0, 10, 20, 60, 70, 80, 90]
+
+    def test_half_open_semantics(self):
+        times = np.array([10.0, 20.0])
+        assert list(suppress_intervals(times, [(10.0, 20.0)])) == [20.0]
+
+    def test_empty_inputs(self):
+        empty = np.empty(0)
+        assert suppress_intervals(empty, [(0, 1)]).size == 0
+        times = np.array([1.0])
+        assert suppress_intervals(times, []).size == 1
+
+
+class TestRegistry:
+    def test_known_names(self):
+        assert arrival_generator_for("poisson") is poisson_times
+        assert arrival_generator_for("mmpp") is mmpp_times
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            arrival_generator_for("fractal")
