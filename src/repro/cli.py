@@ -11,6 +11,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable, Dict, List, Optional
 
@@ -32,6 +33,7 @@ from .experiments import (
 from .telescope.aggregate import per_block_times
 from .telescope.capture import CaptureWriter, read_batches
 from .telescope.records import ObservationBatch
+from .telescope.stream import merge_streams
 from .traffic.internet import FamilyConfig, InternetConfig, SimulatedInternet
 from .traffic.outages import IPV4_OUTAGE_MODEL, IPV6_OUTAGE_MODEL
 
@@ -65,14 +67,27 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     )
     internet = SimulatedInternet.build(config)
     print(internet.describe())
+    # A real vantage point writes records in arrival order, and the
+    # streaming consumers (repro-outage live, StreamingDetector) rely
+    # on it: group per family, then interleave globally by time.
+    per_family: Dict[object, List[ObservationBatch]] = {}
+    for profile, times in internet.passive_observations():
+        batch = ObservationBatch(
+            profile.family, times,
+            [profile.key] * len(times))
+        per_family.setdefault(profile.family, []).append(batch)
+    batches = [ObservationBatch.concatenate(group).sorted_by_time()
+               for group in per_family.values() if group]
     records = 0
     with CaptureWriter(args.out) as writer:
-        for profile, times in internet.passive_observations():
-            batch = ObservationBatch(
-                profile.family, times,
-                [profile.key] * len(times))
-            writer.write_batch(batch)
-            records += len(batch)
+        if len(batches) == 1:
+            writer.write_batch(batches[0])
+            records = len(batches[0])
+        else:
+            for observation in merge_streams(
+                    *(batch.to_observations() for batch in batches)):
+                writer.write(observation)
+                records += 1
     print(f"wrote {records:,} observations to {args.out}")
     return 0
 
@@ -141,6 +156,123 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_live(args: argparse.Namespace) -> int:
+    """Replay a capture through the resilient live-monitor path.
+
+    This is the deployment shape: a saved model, a streaming detector
+    fed record by record, an optional reorder buffer in front (bounded
+    out-of-order tolerance), an optional vantage sentinel (observer
+    failure quarantine), and periodic atomic checkpoints so a killed
+    monitor resumes mid-stream instead of retraining.
+    """
+    from .core.checkpoint import (
+        CheckpointFormatError,
+        load_checkpoint,
+        save_checkpoint,
+    )
+    from .core.detector import StreamingDetector
+    from .core.sentinel import SentinelConfig, VantageSentinel
+    from .core.serialize import load_model
+    from .telescope.capture import CaptureCorruptionError, CaptureReader
+    from .telescope.reorder import LatePolicy, ReorderBuffer
+
+    model = load_model(args.model)
+    if int(model.family) != args.family:
+        print(f"model is IPv{int(model.family)}, not IPv{args.family}",
+              file=sys.stderr)
+        return 1
+
+    if args.reorder_horizon < 0:
+        print(f"--reorder-horizon must be >= 0, got {args.reorder_horizon}",
+              file=sys.stderr)
+        return 1
+
+    resume_time = None
+    if args.checkpoint and os.path.exists(args.checkpoint):
+        try:
+            detector = load_checkpoint(args.checkpoint, model)
+        except CheckpointFormatError as error:
+            print(f"cannot resume from {args.checkpoint}: {error}",
+                  file=sys.stderr)
+            return 1
+        resume_time = detector.last_time
+        print(f"resumed from {args.checkpoint} at t={resume_time:,.1f}s")
+    else:
+        sentinel = (VantageSentinel(model.train_end, SentinelConfig())
+                    if args.sentinel else None)
+        detector = StreamingDetector(model.family, model.histories,
+                                     model.parameters, model.train_end,
+                                     sentinel=sentinel)
+
+    buffer = (ReorderBuffer(args.reorder_horizon, LatePolicy.COUNT)
+              if args.reorder_horizon > 0 else None)
+    next_checkpoint = (detector.last_time + args.checkpoint_every
+                       if args.checkpoint else float("inf"))
+    replayed = 0
+    try:
+        with CaptureReader(args.capture, tolerant=args.tolerant) as reader:
+            for observation in reader:
+                if observation.time < detector.start:
+                    continue  # training-window traffic, not live
+                if (resume_time is not None
+                        and observation.time <= resume_time):
+                    continue  # already accounted before the crash
+                ready = (buffer.push(observation) if buffer
+                         else [observation])
+                for row in ready:
+                    detector.observe(row)
+                    replayed += 1
+                if args.checkpoint and detector.last_time >= next_checkpoint:
+                    save_checkpoint(detector, args.checkpoint)
+                    next_checkpoint = (detector.last_time
+                                       + args.checkpoint_every)
+            if buffer:
+                for row in buffer.flush():
+                    detector.observe(row)
+                    replayed += 1
+            if reader.stopped_early:
+                print(f"capture corrupt past record {reader.records_read}; "
+                      f"stopped at last good frame", file=sys.stderr)
+    except CaptureCorruptionError as error:
+        print(f"corrupt capture: {error}", file=sys.stderr)
+        print("hint: pass --tolerant to stop at the last good frame instead",
+              file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(f"cannot read capture: {error}", file=sys.stderr)
+        return 1
+    except ValueError as error:
+        print(f"capture is not time-sorted: {error}", file=sys.stderr)
+        print("hint: pass --reorder-horizon SECONDS to re-sort bounded "
+              "disorder in-stream", file=sys.stderr)
+        return 1
+
+    end = detector.last_time
+    results = detector.finalize(end)
+    if args.checkpoint:
+        save_checkpoint(detector, args.checkpoint)
+        print(f"checkpoint saved to {args.checkpoint}")
+    print(f"replayed {replayed:,} observations to t={end:,.1f}s")
+    if buffer:
+        stats = buffer.stats
+        print(f"reorder buffer: {stats.out_of_order} out-of-order arrivals "
+              f"re-sorted, {stats.late_dropped} beyond-horizon dropped")
+    if detector.sentinel is not None:
+        windows = detector.sentinel.quarantined_intervals()
+        print(f"sentinel: {len(windows)} quarantined feed windows "
+              f"({detector.sentinel.quarantined_seconds():,.0f}s)")
+        for window_start, window_end in windows:
+            print(f"  quarantine {window_start:,.1f}s -> {window_end:,.1f}s")
+    events = 0
+    for key, block in sorted(results.items()):
+        for event in block.timeline.events(args.min_duration):
+            events += 1
+            print(f"  block {key:#x}: outage {event.start:,.1f}s "
+                  f"-> {event.end:,.1f}s ({event.duration:,.0f}s)")
+    print(f"{events} outage events >= {args.min_duration:.0f}s")
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     """Run one named experiment and print its artefact."""
     runner = EXPERIMENTS[args.name]
@@ -199,6 +331,31 @@ def build_parser() -> argparse.ArgumentParser:
     detect.add_argument("--min-duration", type=float, default=300.0,
                         help="only print outages at least this long")
     detect.set_defaults(func=_cmd_detect)
+
+    live = sub.add_parser("live",
+                          help="replay a capture through the resilient "
+                               "live-monitor path")
+    live.add_argument("capture", help="capture file to replay as a stream")
+    live.add_argument("--model", required=True,
+                      help="saved model from 'train'")
+    live.add_argument("--family", type=int, choices=(4, 6), default=4)
+    live.add_argument("--checkpoint", default="",
+                      help="checkpoint path; resumes from it when present")
+    live.add_argument("--checkpoint-every", type=float, default=3600.0,
+                      help="stream-seconds between checkpoints")
+    live.add_argument("--sentinel", action="store_true",
+                      help="quarantine feed-level quiet periods "
+                           "(observer failure) instead of reporting "
+                           "mass outages")
+    live.add_argument("--reorder-horizon", type=float, default=0.0,
+                      help="re-sort out-of-order arrivals within this "
+                           "many seconds")
+    live.add_argument("--tolerant", action="store_true",
+                      help="stop cleanly at the last good frame of a "
+                           "corrupt capture")
+    live.add_argument("--min-duration", type=float, default=300.0,
+                      help="only print outages at least this long")
+    live.set_defaults(func=_cmd_live)
 
     experiment = sub.add_parser("experiment",
                                 help="reproduce one paper table/figure")

@@ -2,6 +2,13 @@
 
 from .aggregation import AggregationPlan, merge_streams_for_plan, plan_aggregation
 from .belief import BELIEF_CEIL, BELIEF_FLOOR, BeliefState, vector_belief_pass
+from .checkpoint import (
+    CheckpointFormatError,
+    detector_from_json,
+    detector_to_json,
+    load_checkpoint,
+    save_checkpoint,
+)
 from .correlation import (
     CorroboratedEvent,
     corroborate_events,
@@ -20,8 +27,10 @@ from .parameters import (
     TuningPolicy,
 )
 from .pipeline import PassiveOutagePipeline, PipelineResult, TrainedModel
+from .sentinel import SentinelConfig, VantageSentinel, suppress_quarantined
 from .serialize import (
     ModelFormatError,
+    atomic_write_text,
     load_model,
     model_from_json,
     model_to_json,
@@ -61,7 +70,16 @@ __all__ = [
     "PassiveOutagePipeline",
     "PipelineResult",
     "TrainedModel",
+    "SentinelConfig",
+    "VantageSentinel",
+    "suppress_quarantined",
+    "CheckpointFormatError",
+    "detector_from_json",
+    "detector_to_json",
+    "load_checkpoint",
+    "save_checkpoint",
     "ModelFormatError",
+    "atomic_write_text",
     "load_model",
     "model_from_json",
     "model_to_json",

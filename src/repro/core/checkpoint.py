@@ -1,0 +1,167 @@
+"""Checkpoint/restore for the streaming detector.
+
+A live detector accumulates state it cannot cheaply rebuild: per-block
+beliefs, hysteresis decisions, partial-bin counts, exact last-packet
+timestamps, and the transition log.  Losing that state to a process
+crash forces a retrain and erases in-flight outage evidence.  This
+module snapshots the whole of :class:`~repro.core.detector.
+StreamingDetector` (including an attached vantage sentinel) to a
+versioned JSON document, following the :mod:`repro.core.serialize`
+conventions: safe-to-load JSON rather than pickle, explicit format
+versioning, and atomic write-temp-then-rename persistence so a crash
+*during* checkpointing leaves the previous checkpoint intact.
+
+The restore guarantee is exact: a detector restored from a checkpoint
+and fed the remainder of a stream produces bit-for-bit the same events
+as an uninterrupted run (pinned by the fault-injection suite).  The
+trained model travels separately (it is day-scale state, already
+persisted by :func:`repro.core.serialize.save_model`); the checkpoint
+references it only through block keys and validates consistency on
+load.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Mapping, Optional, Union
+
+from ..net.addr import Family
+from .detector import StreamingDetector
+from .events import RefinementConfig
+from .history import BlockHistory
+from .parameters import BlockParameters
+from .pipeline import TrainedModel
+from .sentinel import VantageSentinel
+from .serialize import atomic_write_text
+
+__all__ = ["CHECKPOINT_FORMAT_VERSION", "CheckpointFormatError",
+           "detector_to_json", "detector_from_json", "save_checkpoint",
+           "load_checkpoint"]
+
+CHECKPOINT_FORMAT_VERSION = 1
+
+
+class CheckpointFormatError(ValueError):
+    """Raised when a checkpoint document is malformed, from a newer
+    format, or inconsistent with the model it is restored against."""
+
+
+def _finite_or_none(value: Optional[float]) -> Optional[float]:
+    return None if value is None else float(value)
+
+
+def detector_to_json(detector: StreamingDetector) -> str:
+    """Serialise a streaming detector's mutable state to JSON."""
+    refinement = detector.refinement
+    blocks: Dict[str, Any] = {}
+    for key, state in detector._states.items():
+        blocks[str(key)] = {
+            "belief": state.belief.belief,
+            "is_up": state.belief.is_up,
+            "next_bin_end": state.next_bin_end,
+            "bin_count": state.bin_count,
+            "last_packet": _finite_or_none(state.last_packet),
+            "first_packet_this_bin": _finite_or_none(
+                state.first_packet_this_bin),
+            "transitions": [[time, up] for time, up in state.transitions],
+        }
+    document = {
+        "format_version": CHECKPOINT_FORMAT_VERSION,
+        "family": int(detector.family),
+        "start": detector.start,
+        "last_time": detector.last_time,
+        "refinement": {
+            "guard_gaps": refinement.guard_gaps,
+            "max_backfill_bins": refinement.max_backfill_bins,
+            "min_event_seconds": refinement.min_event_seconds,
+        },
+        "blocks": blocks,
+        "sentinel": (detector.sentinel.to_dict()
+                     if detector.sentinel is not None else None),
+    }
+    return json.dumps(document, indent=1)
+
+
+def detector_from_json(
+    text: str,
+    histories: Mapping[int, BlockHistory],
+    parameters: Mapping[int, BlockParameters],
+) -> StreamingDetector:
+    """Rebuild a streaming detector from checkpoint JSON plus its model.
+
+    Blocks present in the model but absent from the checkpoint start
+    fresh (new blocks can join between checkpoints); blocks present in
+    the checkpoint but unknown to the model are rejected — restoring
+    against the wrong model silently corrupts every verdict.
+    """
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise CheckpointFormatError(f"not valid JSON: {error}") from None
+    if not isinstance(document, dict):
+        raise CheckpointFormatError(
+            "checkpoint document must be a JSON object")
+    version = document.get("format_version")
+    if version != CHECKPOINT_FORMAT_VERSION:
+        raise CheckpointFormatError(
+            f"unsupported checkpoint format version {version!r} "
+            f"(this build reads {CHECKPOINT_FORMAT_VERSION})")
+    try:
+        family = Family(document["family"])
+        refinement = RefinementConfig(**document["refinement"])
+        sentinel_data = document.get("sentinel")
+        sentinel = (None if sentinel_data is None
+                    else VantageSentinel.from_dict(sentinel_data))
+        detector = StreamingDetector(
+            family, histories, parameters, float(document["start"]),
+            refinement=refinement, sentinel=sentinel)
+        detector._last_time = float(document["last_time"])
+        for key_text, entry in document["blocks"].items():
+            key = int(key_text)
+            state = detector._states.get(key)
+            if state is None:
+                raise CheckpointFormatError(
+                    f"checkpoint block {key:#x} is not a measurable "
+                    f"block of the supplied model")
+            state.belief.belief = float(entry["belief"])
+            state.belief.is_up = bool(entry["is_up"])
+            state.next_bin_end = float(entry["next_bin_end"])
+            state.bin_count = int(entry["bin_count"])
+            last_packet = entry.get("last_packet")
+            state.last_packet = (None if last_packet is None
+                                 else float(last_packet))
+            first = entry.get("first_packet_this_bin")
+            state.first_packet_this_bin = (None if first is None
+                                           else float(first))
+            state.transitions = [(float(time), bool(up))
+                                 for time, up in entry["transitions"]]
+        return detector
+    except CheckpointFormatError:
+        raise
+    except (KeyError, TypeError, ValueError) as error:
+        raise CheckpointFormatError(
+            f"malformed checkpoint document: {error}") from None
+
+
+PathLike = Union[str, "Any"]
+
+
+def save_checkpoint(detector: StreamingDetector, path: PathLike) -> None:
+    """Atomically persist a detector checkpoint to ``path``."""
+    atomic_write_text(path, detector_to_json(detector))
+
+
+def load_checkpoint(path: PathLike, model: TrainedModel,
+                    ) -> StreamingDetector:
+    """Restore a detector from ``path`` against a trained model.
+
+    The checkpoint's address family must match the model's.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    detector = detector_from_json(text, model.histories, model.parameters)
+    if detector.family is not model.family:
+        raise CheckpointFormatError(
+            f"checkpoint family {detector.family} does not match model "
+            f"family {model.family}")
+    return detector

@@ -33,6 +33,7 @@ from .events import (
 )
 from .history import BlockHistory
 from .parameters import BlockParameters
+from .sentinel import VantageSentinel, suppress_quarantined
 
 __all__ = ["BlockResult", "PassiveDetector", "StreamingDetector"]
 
@@ -48,6 +49,9 @@ class BlockResult:
     timeline: Timeline
     coarse_timeline: Timeline
     belief_trace: Optional[np.ndarray] = None
+    #: feed-quarantine windows (observer unhealthy) overlapping this
+    #: block's span; down-time inside them was retracted.
+    quarantined: List[Tuple[float, float]] = field(default_factory=list)
 
     @property
     def events(self) -> List[OutageEvent]:
@@ -175,10 +179,17 @@ class StreamingDetector:
         results = detector.finalize(end)
 
     ``observe`` must be called in non-decreasing time order (a merged
-    capture stream already is).  Between packets, :meth:`advance` may be
-    called with the wall clock so silent blocks are judged promptly; the
-    batch-equivalence guarantee holds either way because ``finalize``
-    flushes every pending bin.
+    capture stream already is; a noisy feed becomes one through
+    :class:`repro.telescope.reorder.ReorderBuffer`).  Between packets,
+    :meth:`advance` may be called with the wall clock so silent blocks
+    are judged promptly; the batch-equivalence guarantee holds either
+    way because ``finalize`` flushes every pending bin.
+
+    An optional :class:`~repro.core.sentinel.VantageSentinel` guards
+    against observer-side failures: it sees every observation (any
+    family, any block — feed health is a property of the tap, not the
+    population), and ``finalize`` retracts per-block down-time that
+    falls inside its quarantine windows.
     """
 
     def __init__(
@@ -188,10 +199,12 @@ class StreamingDetector:
         parameters: Mapping[int, BlockParameters],
         start: float,
         refinement: Optional[RefinementConfig] = None,
+        sentinel: Optional[VantageSentinel] = None,
     ) -> None:
         self.family = family
         self.start = float(start)
         self.refinement = refinement or RefinementConfig()
+        self.sentinel = sentinel
         self.histories = dict(histories)
         self._states: Dict[int, _StreamBlockState] = {}
         self._last_time = float(start)
@@ -205,6 +218,11 @@ class StreamingDetector:
                 next_bin_end=self.start + params.bin_seconds,
             )
 
+    @property
+    def last_time(self) -> float:
+        """High-water mark of the stream clock (observe/advance)."""
+        return self._last_time
+
     def observe(self, observation: Observation) -> None:
         """Feed one observation (must be time-ordered)."""
         if observation.time < self._last_time - 1e-9:
@@ -212,6 +230,8 @@ class StreamingDetector:
                 f"stream went backwards: {observation.time} after "
                 f"{self._last_time}")
         self._last_time = max(self._last_time, observation.time)
+        if self.sentinel is not None:
+            self.sentinel.observe(observation.time)
         if observation.family is not self.family:
             return
         state = self._states.get(observation.block_key)
@@ -238,25 +258,42 @@ class StreamingDetector:
     def advance(self, now: float) -> None:
         """Flush every block's complete bins up to wall-clock ``now``."""
         self._last_time = max(self._last_time, now)
+        if self.sentinel is not None:
+            self.sentinel.advance(now)
         for state in self._states.values():
             self._advance_block(state, now)
 
     def finalize(self, end: float) -> Dict[int, BlockResult]:
-        """Close the window at ``end`` and return per-block results."""
+        """Close the window at ``end`` and return per-block results.
+
+        With a sentinel attached, down-time inside feed-quarantine
+        windows is retracted (the observer, not the block, was judged
+        unhealthy) and the overlapping windows are recorded on each
+        :class:`BlockResult`.
+        """
         self.advance(end)
+        quarantined = (self.sentinel.quarantined_intervals()
+                       if self.sentinel is not None else [])
         results: Dict[int, BlockResult] = {}
         for key, state in self._states.items():
             coarse = Timeline.from_transitions(
                 self.start, end, state.transitions, initial_up=True)
             # Streaming refinement already placed transition timestamps
             # on packet evidence, so the coarse timeline is the result.
+            timeline = coarse
+            overlapping = [
+                (max(s, self.start), min(e, end))
+                for s, e in quarantined if s < end and e > self.start]
+            if overlapping:
+                timeline = suppress_quarantined(coarse, overlapping)
             results[key] = BlockResult(
                 key=key,
                 family=self.family,
                 params=state.params,
                 history=state.history,
-                timeline=coarse,
+                timeline=timeline,
                 coarse_timeline=coarse,
+                quarantined=overlapping,
             )
         return results
 

@@ -14,6 +14,9 @@ rather than misreading them.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
+from pathlib import Path
 from typing import Any, Dict, IO, Union
 
 import numpy as np
@@ -23,8 +26,34 @@ from .history import BlockHistory
 from .parameters import BlockParameters
 from .pipeline import TrainedModel
 
-__all__ = ["MODEL_FORMAT_VERSION", "ModelFormatError", "model_to_json",
-           "model_from_json", "save_model", "load_model"]
+__all__ = ["MODEL_FORMAT_VERSION", "ModelFormatError", "atomic_write_text",
+           "model_to_json", "model_from_json", "save_model", "load_model"]
+
+
+def atomic_write_text(path: Union[str, Path], text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + rename).
+
+    A crash at any point leaves either the old file or the new file,
+    never a torn mix: the text is flushed and fsynced to a temporary
+    sibling first, then moved over the target with :func:`os.replace`
+    (atomic within a filesystem).  The temp file is removed on failure.
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, temp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory)
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
 
 MODEL_FORMAT_VERSION = 1
 
@@ -149,22 +178,25 @@ def model_from_json(text: str) -> TrainedModel:
         raise ModelFormatError(f"malformed model document: {error}") from None
 
 
-PathOrFile = Union[str, "IO[str]"]
+PathOrFile = Union[str, Path, "IO[str]"]
 
 
 def save_model(model: TrainedModel, target: PathOrFile) -> None:
-    """Write a trained model to a path or text file object."""
+    """Write a trained model to a path or text file object.
+
+    Path writes are atomic (see :func:`atomic_write_text`): a process
+    killed mid-save leaves the previous model file intact.
+    """
     text = model_to_json(model)
-    if isinstance(target, str):
-        with open(target, "w", encoding="utf-8") as handle:
-            handle.write(text)
+    if isinstance(target, (str, Path)):
+        atomic_write_text(target, text)
     else:
         target.write(text)
 
 
 def load_model(source: PathOrFile) -> TrainedModel:
     """Read a trained model from a path or text file object."""
-    if isinstance(source, str):
+    if isinstance(source, (str, Path)):
         with open(source, "r", encoding="utf-8") as handle:
             text = handle.read()
     else:

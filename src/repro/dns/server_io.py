@@ -69,6 +69,11 @@ class UdpRootServer:
         self.clock = clock
         self.datagrams_received = 0
         self.datagrams_dropped = 0
+        #: undecodable datagrams, by cause — a rising malformed count is
+        #: an operational signal (scanner, corruption on the path, or a
+        #: broken resolver), distinct from ordinary drops.
+        self.malformed_datagrams = 0
+        self.last_malformed_error: Optional[str] = None
         self._transport: Optional[asyncio.DatagramTransport] = None
 
     async def start(self, host: str = "127.0.0.1", port: int = 0) -> None:
@@ -104,14 +109,25 @@ class UdpRootServer:
             request = Message.decode(data)
             if request.questions:
                 qtype = request.questions[0].qtype
-        except DnsError:
+        except DnsError as error:
             self.datagrams_dropped += 1
+            self.malformed_datagrams += 1
+            self.last_malformed_error = str(error)
             return None
         if self.tap is not None:
             family, value = parse_address(peer[0])
             self.tap(Observation(arrival, family, value, qtype))
         response = self.engine.respond(request)
         return response.encode() if response is not None else None
+
+    def stats(self) -> dict:
+        """Operational counters for dashboards and health checks."""
+        return {
+            "datagrams_received": self.datagrams_received,
+            "datagrams_dropped": self.datagrams_dropped,
+            "malformed_datagrams": self.malformed_datagrams,
+            "last_malformed_error": self.last_malformed_error,
+        }
 
 
 class _ClientProtocol(asyncio.DatagramProtocol):
@@ -128,15 +144,37 @@ class _ClientProtocol(asyncio.DatagramProtocol):
 
 
 async def udp_query(host: str, port: int, request: Message,
-                    timeout: float = 2.0) -> Message:
-    """Send one query over UDP and await the decoded response."""
+                    timeout: float = 2.0, retries: int = 2,
+                    backoff: float = 2.0) -> Message:
+    """Send one query over UDP and await the decoded response.
+
+    UDP gives no delivery guarantee, so a lost datagram must not hang
+    the caller forever: each attempt waits ``timeout * backoff**attempt``
+    seconds, the request is retransmitted up to ``retries`` times
+    (datagrams are idempotent queries), and the final failure raises
+    :class:`asyncio.TimeoutError` naming the attempt count.
+    """
+    if retries < 0:
+        raise ValueError("retries must be >= 0")
+    if backoff < 1.0:
+        raise ValueError("backoff must be >= 1.0")
     loop = asyncio.get_running_loop()
     future: "asyncio.Future[bytes]" = loop.create_future()
     transport, _ = await loop.create_datagram_endpoint(
         lambda: _ClientProtocol(future), remote_addr=(host, port))
+    payload = request.encode()
     try:
-        transport.sendto(request.encode())
-        payload = await asyncio.wait_for(future, timeout)
+        attempts = retries + 1
+        for attempt in range(attempts):
+            transport.sendto(payload)
+            done, _ = await asyncio.wait(
+                {future}, timeout=timeout * backoff ** attempt)
+            if done:
+                return Message.decode(future.result())
+        raise asyncio.TimeoutError(
+            f"no response from {host}:{port} after {attempts} attempts "
+            f"(base timeout {timeout}s, backoff x{backoff})")
     finally:
+        if not future.done():
+            future.cancel()
         transport.close()
-    return Message.decode(payload)

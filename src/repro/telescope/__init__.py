@@ -9,6 +9,7 @@ from .aggregate import (
     per_block_times,
 )
 from .capture import (
+    CaptureCorruptionError,
     CaptureError,
     CaptureReader,
     CaptureWriter,
@@ -16,6 +17,7 @@ from .capture import (
     write_batches,
 )
 from .records import Observation, ObservationBatch
+from .reorder import LatePolicy, ReorderBuffer, ReorderStats, reorder_stream
 from .stream import merge_streams, window_stream
 
 __all__ = [
@@ -25,6 +27,7 @@ __all__ = [
     "binned_counts",
     "merge_block_times",
     "per_block_times",
+    "CaptureCorruptionError",
     "CaptureError",
     "CaptureReader",
     "CaptureWriter",
@@ -32,6 +35,10 @@ __all__ = [
     "write_batches",
     "Observation",
     "ObservationBatch",
+    "LatePolicy",
+    "ReorderBuffer",
+    "ReorderStats",
+    "reorder_stream",
     "merge_streams",
     "window_stream",
 ]

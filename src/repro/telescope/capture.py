@@ -30,8 +30,9 @@ import numpy as np
 from ..net.addr import Family
 from .records import Observation, ObservationBatch
 
-__all__ = ["CaptureError", "CaptureWriter", "CaptureReader",
-           "write_batches", "read_batches", "MAGIC", "VERSION"]
+__all__ = ["CaptureError", "CaptureCorruptionError", "CaptureWriter",
+           "CaptureReader", "write_batches", "read_batches", "MAGIC",
+           "VERSION"]
 
 MAGIC = b"POBS"
 VERSION = 1
@@ -41,6 +42,24 @@ _RECORD = struct.Struct("!dB16sH")
 
 class CaptureError(IOError):
     """Raised on malformed capture files."""
+
+
+class CaptureCorruptionError(CaptureError):
+    """A capture's payload is damaged (truncated or undecodable frame).
+
+    Carries enough context to act on operationally: ``byte_offset`` is
+    where in the file the bad frame starts and ``records_read`` how many
+    good records preceded it — i.e. how much of the capture survives a
+    tolerant re-read.
+    """
+
+    def __init__(self, message: str, byte_offset: int,
+                 records_read: int) -> None:
+        super().__init__(
+            f"{message} (byte offset {byte_offset}, after "
+            f"{records_read} good records)")
+        self.byte_offset = byte_offset
+        self.records_read = records_read
 
 
 PathOrFile = Union[str, Path, BinaryIO]
@@ -103,10 +122,20 @@ class CaptureWriter:
 
 
 class CaptureReader:
-    """Stream or bulk-load a capture file."""
+    """Stream or bulk-load a capture file.
 
-    def __init__(self, target: PathOrFile) -> None:
+    ``tolerant=True`` turns trailing corruption (a truncated or
+    undecodable final stretch, the signature of a writer killed
+    mid-record) into a clean stop at the last good frame instead of a
+    :class:`CaptureCorruptionError`; ``records_read`` and
+    ``stopped_early`` report what happened either way.
+    """
+
+    def __init__(self, target: PathOrFile, tolerant: bool = False) -> None:
         self._file, self._owns = _open(target, "rb")
+        self.tolerant = tolerant
+        self.records_read = 0
+        self.stopped_early = False
         header = self._file.read(_HEADER.size)
         if len(header) < _HEADER.size:
             raise CaptureError("capture shorter than its header")
@@ -124,18 +153,34 @@ class CaptureReader:
                 return
             yield observation
 
+    def _byte_offset(self) -> int:
+        return _HEADER.size + self.records_read * _RECORD.size
+
+    def _corrupt(self, message: str) -> Optional[Observation]:
+        if self.tolerant:
+            self.stopped_early = True
+            return None
+        raise CaptureCorruptionError(message, self._byte_offset(),
+                                     self.records_read)
+
     def read_one(self) -> Optional[Observation]:
-        """Read the next record, or None at EOF."""
+        """Read the next record, or None at EOF (or at the last good
+        frame when ``tolerant``)."""
+        if self.stopped_early:
+            return None
         raw = self._file.read(_RECORD.size)
         if not raw:
             return None
         if len(raw) < _RECORD.size:
-            raise CaptureError("truncated record at end of capture")
+            return self._corrupt(
+                f"truncated record at end of capture "
+                f"({len(raw)} of {_RECORD.size} bytes)")
         time, family_value, source_bytes, qtype = _RECORD.unpack(raw)
         try:
             family = Family(family_value)
         except ValueError:
-            raise CaptureError(f"bad family byte {family_value}") from None
+            return self._corrupt(f"bad family byte {family_value}")
+        self.records_read += 1
         return Observation(time, family,
                            int.from_bytes(source_bytes, "big"), qtype)
 
@@ -146,28 +191,48 @@ class CaptureReader:
         """
         payload = self._file.read()
         if len(payload) % _RECORD.size:
-            raise CaptureError("capture payload is not record-aligned")
+            if not self.tolerant:
+                raise CaptureCorruptionError(
+                    f"capture payload is not record-aligned "
+                    f"({len(payload) % _RECORD.size} trailing bytes)",
+                    self._byte_offset()
+                    + len(payload) - len(payload) % _RECORD.size,
+                    self.records_read + len(payload) // _RECORD.size)
+            self.stopped_early = True
         count = len(payload) // _RECORD.size
         times = np.empty(count, dtype=np.float64)
         families = np.empty(count, dtype=np.uint8)
         keys = np.empty(count, dtype=np.uint64)
         qtypes = np.empty(count, dtype=np.uint16)
         view = memoryview(payload)
+        good = count
         for index in range(count):
             time, family_value, source_bytes, qtype = _RECORD.unpack_from(
                 view, index * _RECORD.size)
+            try:
+                family = Family(family_value)
+            except ValueError:
+                if not self.tolerant:
+                    raise CaptureCorruptionError(
+                        f"bad family byte {family_value}",
+                        self._byte_offset() + index * _RECORD.size,
+                        self.records_read + index) from None
+                self.stopped_early = True
+                good = index
+                break
             times[index] = time
             families[index] = family_value
             qtypes[index] = qtype
             source = int.from_bytes(source_bytes, "big")
-            shift = (Family(family_value).bits
-                     - Family(family_value).default_block_prefix)
+            shift = family.bits - family.default_block_prefix
             keys[index] = (source >> shift) & 0xFFFFFFFFFFFFFFFF
+        self.records_read += good
         batches = []
         for family in (Family.IPV4, Family.IPV6):
-            mask = families == int(family)
+            mask = families[:good] == int(family)
             batches.append(ObservationBatch(
-                family, times[mask], keys[mask], qtypes[mask]))
+                family, times[:good][mask], keys[:good][mask],
+                qtypes[:good][mask]))
         return batches[0], batches[1]
 
     def close(self) -> None:

@@ -1,0 +1,178 @@
+"""Watermark/reorder buffer: out-of-order tolerance for the live feed.
+
+A production vantage point does not deliver a perfectly sorted stream:
+multi-queue NICs, per-CPU capture buffers, and multi-file merges all
+introduce bounded local disorder.  The strict consumers downstream
+(:func:`repro.telescope.stream.merge_streams` and
+:class:`repro.core.detector.StreamingDetector`) reject a stream that
+goes backwards, so the live path needs a re-sorting stage with an
+explicit bound and an explicit policy for what happens beyond it.
+
+:class:`ReorderBuffer` implements the classic watermark design: arrivals
+are held in a min-heap, and a record is released only once the maximum
+timestamp seen exceeds it by at least ``horizon_seconds`` — i.e. once
+no in-horizon straggler can still precede it.  Records arriving *later*
+than the watermark (more than a horizon behind the stream front) cannot
+be re-sorted without unbounded memory; they are handled by a
+:class:`LatePolicy` instead of a crash:
+
+* ``ADMIT`` — emit the late record immediately, out of order.  The
+  output is no longer monotone; use only for consumers that re-sort
+  (e.g. a capture writer feeding the batch pipeline).
+* ``COUNT`` — drop the record and account for it in :class:`ReorderStats`
+  (the default: the detector never sees disorder, the operator sees the
+  loss).
+* ``DROP`` — drop it without distinct accounting (still tallied in
+  ``late_total``).
+* ``RAISE`` — fail loudly, for pipelines that prefer the old behaviour.
+
+Within the horizon the buffer is *lossless and exact*: any input that is
+a bounded permutation of a sorted stream is restored to that sorted
+stream, which is what lets the fault-injection suite pin "10% reorder
+within the horizon produces bit-identical events".
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from .records import Observation
+
+__all__ = ["LatePolicy", "ReorderStats", "ReorderBuffer", "reorder_stream"]
+
+
+class LatePolicy(enum.Enum):
+    """What to do with a record that arrives beyond the reorder horizon."""
+
+    ADMIT = "admit"
+    COUNT = "count"
+    DROP = "drop"
+    RAISE = "raise"
+
+
+@dataclass
+class ReorderStats:
+    """Operational counters for one :class:`ReorderBuffer`."""
+
+    pushed: int = 0
+    emitted: int = 0
+    out_of_order: int = 0  #: arrivals older than the previous arrival
+    late_total: int = 0    #: arrivals older than the emitted watermark
+    late_admitted: int = 0
+    late_dropped: int = 0
+    max_displacement_seconds: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "pushed": self.pushed,
+            "emitted": self.emitted,
+            "out_of_order": self.out_of_order,
+            "late_total": self.late_total,
+            "late_admitted": self.late_admitted,
+            "late_dropped": self.late_dropped,
+            "max_displacement_seconds": self.max_displacement_seconds,
+        }
+
+
+class ReorderBuffer:
+    """Re-sort a nearly-sorted observation stream within a bounded horizon.
+
+    Usage::
+
+        buffer = ReorderBuffer(horizon_seconds=2.0)
+        for observation in noisy_feed:
+            for ready in buffer.push(observation):
+                detector.observe(ready)
+        for ready in buffer.flush():
+            detector.observe(ready)
+
+    Output is guaranteed non-decreasing in time for every policy except
+    ``ADMIT``.  Ties are released in arrival order (stable).
+    """
+
+    def __init__(self, horizon_seconds: float,
+                 policy: LatePolicy = LatePolicy.COUNT) -> None:
+        if horizon_seconds < 0:
+            raise ValueError("horizon_seconds must be >= 0")
+        self.horizon_seconds = float(horizon_seconds)
+        self.policy = policy
+        self.stats = ReorderStats()
+        self._heap: List[Tuple[float, int, Observation]] = []
+        self._sequence = 0
+        self._front = float("-inf")      # max timestamp seen so far
+        self._emitted_up_to = float("-inf")
+        self._last_arrival = float("-inf")
+
+    @property
+    def watermark(self) -> float:
+        """Largest timestamp that is safe to emit (front minus horizon)."""
+        return self._front - self.horizon_seconds
+
+    @property
+    def pending(self) -> int:
+        """Records currently held back waiting for the watermark."""
+        return len(self._heap)
+
+    def push(self, observation: Observation) -> List[Observation]:
+        """Add one arrival; return the records now past the watermark."""
+        stats = self.stats
+        stats.pushed += 1
+        time = observation.time
+        if time < self._last_arrival:
+            stats.out_of_order += 1
+            stats.max_displacement_seconds = max(
+                stats.max_displacement_seconds, self._last_arrival - time)
+        self._last_arrival = max(self._last_arrival, time)
+        if time < self._emitted_up_to:
+            # Beyond repair: something at or after this timestamp already
+            # left the buffer, so re-sorting is impossible.
+            stats.late_total += 1
+            if self.policy is LatePolicy.RAISE:
+                raise ValueError(
+                    f"observation at {time:.6f} arrived "
+                    f"{self._emitted_up_to - time:.6f}s behind the reorder "
+                    f"watermark {self._emitted_up_to:.6f} (horizon "
+                    f"{self.horizon_seconds}s)")
+            if self.policy is LatePolicy.ADMIT:
+                stats.late_admitted += 1
+                stats.emitted += 1
+                return [observation]
+            stats.late_dropped += 1
+            return []
+        heapq.heappush(self._heap, (time, self._sequence, observation))
+        self._sequence += 1
+        self._front = max(self._front, time)
+        return self._drain(self.watermark)
+
+    def flush(self) -> List[Observation]:
+        """Release everything still buffered, in time order."""
+        return self._drain(float("inf"))
+
+    def _drain(self, up_to: float) -> List[Observation]:
+        ready: List[Observation] = []
+        heap = self._heap
+        while heap and heap[0][0] <= up_to:
+            time, _, observation = heapq.heappop(heap)
+            ready.append(observation)
+            self._emitted_up_to = time
+        self.stats.emitted += len(ready)
+        return ready
+
+
+def reorder_stream(stream: Iterable[Observation], horizon_seconds: float,
+                   policy: LatePolicy = LatePolicy.COUNT,
+                   buffer: Optional[ReorderBuffer] = None,
+                   ) -> Iterator[Observation]:
+    """Wrap a noisy stream in a :class:`ReorderBuffer`.
+
+    Pass ``buffer`` to keep a handle on the stats; otherwise one is
+    created from ``horizon_seconds`` and ``policy``.
+    """
+    if buffer is None:
+        buffer = ReorderBuffer(horizon_seconds, policy)
+    for observation in stream:
+        yield from buffer.push(observation)
+    yield from buffer.flush()

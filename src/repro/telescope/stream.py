@@ -11,9 +11,10 @@ bin-sized chunks, which is exactly the shape the streaming detector
 from __future__ import annotations
 
 import heapq
-from typing import Iterable, Iterator, List, Tuple
+from typing import Iterable, Iterator, List, Optional, Tuple
 
 from .records import Observation
+from .reorder import LatePolicy, reorder_stream
 
 __all__ = ["merge_streams", "window_stream"]
 
@@ -23,7 +24,13 @@ def merge_streams(*streams: Iterable[Observation]) -> Iterator[Observation]:
 
     Each input must already be sorted by time (capture files are; the
     simulator's per-block streams are).  Ties are broken by input order,
-    keeping the merge stable.
+    keeping the merge stable: when two sources carry the same timestamp,
+    the record from the lower-numbered stream is emitted first, and
+    records within one stream keep their relative order.
+
+    An unsorted input raises :class:`ValueError` naming the offending
+    stream and both timestamps.  For feeds with bounded disorder, wrap
+    the input in :func:`repro.telescope.reorder.reorder_stream` instead.
     """
     heap: List[Tuple[float, int, Observation, Iterator[Observation]]] = []
     for index, stream in enumerate(streams):
@@ -33,13 +40,17 @@ def merge_streams(*streams: Iterable[Observation]) -> Iterator[Observation]:
             heap.append((first.time, index, first, iterator))
     heapq.heapify(heap)
     previous_time = float("-inf")
+    previous_index = -1
     while heap:
         time, index, observation, iterator = heapq.heappop(heap)
         if time < previous_time:
             raise ValueError(
-                f"stream {index} is not time-sorted: {time} after "
-                f"{previous_time}")
+                f"input stream {index} is not time-sorted: it produced "
+                f"t={time!r} after t={previous_time!r} had already been "
+                f"merged (from stream {previous_index}); sort the source "
+                f"or wrap it in repro.telescope.reorder.reorder_stream()")
         previous_time = time
+        previous_index = index
         yield observation
         following = next(iterator, None)
         if following is not None:
@@ -47,7 +58,9 @@ def merge_streams(*streams: Iterable[Observation]) -> Iterator[Observation]:
 
 
 def window_stream(stream: Iterable[Observation], start: float,
-                  window_seconds: float
+                  window_seconds: float,
+                  reorder_horizon: float = 0.0,
+                  late_policy: Optional[LatePolicy] = None,
                   ) -> Iterator[Tuple[float, float, List[Observation]]]:
     """Chunk a sorted stream into fixed windows.
 
@@ -55,9 +68,18 @@ def window_stream(stream: Iterable[Observation], start: float,
     from ``start`` until the stream ends, including empty windows
     between sparse arrivals — empty windows are precisely the signal the
     detector must see.
+
+    A positive ``reorder_horizon`` first routes the stream through
+    :func:`repro.telescope.reorder.reorder_stream`, so a feed with
+    bounded disorder windows identically to its sorted equivalent
+    (``late_policy`` defaults to counting-and-dropping records that
+    fall beyond the horizon).
     """
     if window_seconds <= 0:
         raise ValueError("window_seconds must be positive")
+    if reorder_horizon > 0 or late_policy is not None:
+        stream = reorder_stream(stream, reorder_horizon,
+                                late_policy or LatePolicy.COUNT)
     window_start = start
     window_end = start + window_seconds
     pending: List[Observation] = []

@@ -1,0 +1,27 @@
+"""Test instrumentation shipped with the package.
+
+:mod:`repro.testing.faults` holds the composable stream/capture
+mutators behind the fault-injection suite; they live in the package
+(not in ``tests/``) so operators and downstream integrations can run
+the same chaos drills against their own deployments.
+"""
+
+from .faults import (
+    clock_skew,
+    compose,
+    corrupt_capture,
+    drop_observations,
+    duplicate_observations,
+    feed_gap,
+    reorder_observations,
+)
+
+__all__ = [
+    "clock_skew",
+    "compose",
+    "corrupt_capture",
+    "drop_observations",
+    "duplicate_observations",
+    "feed_gap",
+    "reorder_observations",
+]

@@ -1,0 +1,164 @@
+"""Composable fault injectors for the passive ingest path.
+
+Each mutator takes an observation iterable and returns a mutated
+iterable, so faults chain by nesting (or with :func:`compose`)::
+
+    noisy = reorder_observations(
+        drop_observations(stream, 0.1, rng), 0.1, 30.0, rng)
+
+All randomised mutators are deterministic given their
+``numpy.random.Generator``, which is what lets the fault suite pin
+exact outputs ("10% reorder within the horizon produces bit-identical
+events").  Mutators model *delivery*, not reality: timestamps are never
+altered except by :func:`clock_skew`, which models the one fault that
+does alter them (a drifting capture clock).
+
+:func:`corrupt_capture` operates one layer down, on the raw bytes of a
+``.pobs`` capture file, to exercise the reader's corruption handling.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Iterable, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..telescope.capture import _HEADER, _RECORD
+from ..telescope.records import Observation
+
+__all__ = ["drop_observations", "duplicate_observations",
+           "reorder_observations", "clock_skew", "feed_gap",
+           "corrupt_capture", "compose"]
+
+Stream = Iterable[Observation]
+Mutator = Callable[[Stream], Iterator[Observation]]
+
+
+def drop_observations(stream: Stream, fraction: float,
+                      rng: np.random.Generator) -> Iterator[Observation]:
+    """Lose each observation independently with probability ``fraction``.
+
+    Models random packet loss between the tap and the detector.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    for observation in stream:
+        if rng.random() >= fraction:
+            yield observation
+
+
+def duplicate_observations(stream: Stream, fraction: float,
+                           rng: np.random.Generator,
+                           ) -> Iterator[Observation]:
+    """Deliver each observation twice with probability ``fraction``.
+
+    Models retransmission/mirroring artefacts; the duplicate carries an
+    identical timestamp, as a duplicated frame would.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    for observation in stream:
+        yield observation
+        if rng.random() < fraction:
+            yield observation
+
+
+def reorder_observations(stream: Stream, fraction: float,
+                         max_shift_seconds: float,
+                         rng: np.random.Generator,
+                         ) -> Iterator[Observation]:
+    """Delay delivery of a random subset by up to ``max_shift_seconds``.
+
+    Timestamps are untouched — only the *delivery order* changes, which
+    is exactly the disorder a multi-queue capture path introduces.  A
+    selected observation is held back until the stream front passes its
+    timestamp plus the drawn delay, so the output is a bounded
+    permutation recoverable by a reorder buffer with
+    ``horizon >= max_shift_seconds``.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    if max_shift_seconds < 0:
+        raise ValueError("max_shift_seconds must be >= 0")
+    held: List[Tuple[float, int, Observation]] = []
+    sequence = 0
+    for observation in stream:
+        if rng.random() < fraction:
+            release = observation.time + rng.uniform(0.0, max_shift_seconds)
+            heapq.heappush(held, (release, sequence, observation))
+            sequence += 1
+            continue
+        while held and held[0][0] <= observation.time:
+            yield heapq.heappop(held)[2]
+        yield observation
+    while held:
+        yield heapq.heappop(held)[2]
+
+
+def clock_skew(stream: Stream, offset: float = 0.0, drift: float = 0.0,
+               anchor: Optional[float] = None) -> Iterator[Observation]:
+    """Shift timestamps: constant ``offset`` plus linear ``drift``.
+
+    ``time' = time + offset + drift * (time - anchor)``; ``anchor``
+    defaults to the first observation's timestamp.  Models a capture
+    clock that stepped (offset) or runs fast/slow (drift, in seconds of
+    error per second of stream).
+    """
+    for observation in stream:
+        if anchor is None:
+            anchor = observation.time
+        skewed = (observation.time + offset
+                  + drift * (observation.time - anchor))
+        yield Observation(skewed, observation.family, observation.source,
+                          observation.qtype)
+
+
+def feed_gap(stream: Stream, start: float, end: float,
+             ) -> Iterator[Observation]:
+    """Silence the whole feed over ``[start, end)``.
+
+    Models the observer-side failure (capture stall, service restart)
+    the vantage sentinel exists to disambiguate: every block goes quiet
+    at once, but nothing was wrong with the observed networks.
+    """
+    if end < start:
+        raise ValueError("feed gap must not end before it starts")
+    for observation in stream:
+        if not start <= observation.time < end:
+            yield observation
+
+
+def corrupt_capture(payload: bytes, rng: np.random.Generator,
+                    mode: str = "truncate") -> bytes:
+    """Damage the raw bytes of a ``.pobs`` capture.
+
+    ``truncate`` cuts the file mid-record (the signature of a writer
+    killed part-way through an append); ``flip`` corrupts one record's
+    family byte to an undecodable value.  Both leave the header and at
+    least one leading record intact so readers must locate the damage,
+    not merely reject the file.
+    """
+    header, records = payload[:_HEADER.size], payload[_HEADER.size:]
+    count = len(records) // _RECORD.size
+    if count < 2:
+        raise ValueError("need at least two records to corrupt meaningfully")
+    if mode == "truncate":
+        keep = int(rng.integers(1, count))
+        cut = keep * _RECORD.size + int(rng.integers(1, _RECORD.size))
+        return header + records[:cut]
+    if mode == "flip":
+        victim = int(rng.integers(1, count))
+        family_offset = victim * _RECORD.size + 8  # after float64 time
+        mutated = bytearray(records)
+        mutated[family_offset] = 0xFF  # neither 4 nor 6
+        return header + bytes(mutated)
+    raise ValueError(f"unknown corruption mode {mode!r}")
+
+
+def compose(stream: Stream, *mutators: Mutator) -> Iterator[Observation]:
+    """Apply mutators left-to-right: first listed touches the feed first."""
+    result: Iterable[Observation] = stream
+    for mutator in mutators:
+        result = mutator(result)
+    return iter(result)

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Sequence, Tuple
 
 __all__ = ["OutageEvent", "Timeline", "merge_intervals", "intersect_intervals",
-           "total_duration"]
+           "subtract_intervals", "total_duration"]
 
 Interval = Tuple[float, float]
 
@@ -71,6 +71,29 @@ def intersect_intervals(
             i += 1
         else:
             j += 1
+    return result
+
+
+def subtract_intervals(
+    a: Sequence[Interval], b: Sequence[Interval]
+) -> List[Interval]:
+    """Portions of sorted non-overlapping ``a`` not covered by ``b``."""
+    result: List[Interval] = []
+    j = 0
+    for start, end in a:
+        cursor = start
+        while j < len(b) and b[j][1] <= cursor:
+            j += 1
+        k = j
+        while k < len(b) and b[k][0] < end:
+            if b[k][0] > cursor:
+                result.append((cursor, b[k][0]))
+            cursor = max(cursor, b[k][1])
+            if b[k][1] >= end:
+                break
+            k += 1
+        if cursor < end:
+            result.append((cursor, end))
     return result
 
 
@@ -216,6 +239,17 @@ class Timeline:
         self._check_span(other)
         return Timeline(self.start, self.end,
                         intersect_intervals(self._down, other._down))
+
+    def without_down(self, intervals: Sequence[Interval]) -> "Timeline":
+        """Force *up* over the given intervals (quarantine suppression).
+
+        Down time overlapping ``intervals`` is removed; down time outside
+        them is preserved exactly.  Used by the vantage sentinel to
+        retract verdicts made while the observer itself was unhealthy.
+        """
+        cleaned = merge_intervals(intervals)
+        return Timeline(self.start, self.end,
+                        subtract_intervals(self._down, cleaned))
 
     def drop_short_outages(self, min_duration: float) -> "Timeline":
         """Remove down intervals shorter than ``min_duration``.

@@ -70,3 +70,47 @@ class TestExperimentCommand:
         assert main(["experiment", "figure1", "--scale", "0.1"]) == 0
         out = capsys.readouterr().out
         assert "coverage" in out.lower()
+
+
+class TestLiveMonitor:
+    def _prepare(self, tmp_path):
+        capture = tmp_path / "two_days.pobs"
+        model = tmp_path / "model.json"
+        main(["simulate", "--blocks", "40", "--days", "2", "--seed", "7",
+              "--out", str(capture)])
+        main(["train", str(capture), "--train-end", "86400",
+              "--out", str(model)])
+        return capture, model
+
+    def test_live_replay_with_sentinel_and_checkpoint(self, tmp_path,
+                                                      capsys):
+        capture, model = self._prepare(tmp_path)
+        checkpoint = tmp_path / "live.ckpt.json"
+        capsys.readouterr()
+        assert main(["live", str(capture), "--model", str(model),
+                     "--sentinel", "--checkpoint", str(checkpoint),
+                     "--reorder-horizon", "2.0"]) == 0
+        out = capsys.readouterr().out
+        assert "replayed" in out
+        assert "sentinel:" in out
+        assert "reorder buffer:" in out
+        assert checkpoint.exists()
+
+    def test_live_resumes_from_checkpoint(self, tmp_path, capsys):
+        capture, model = self._prepare(tmp_path)
+        checkpoint = tmp_path / "live.ckpt.json"
+        assert main(["live", str(capture), "--model", str(model),
+                     "--checkpoint", str(checkpoint)]) == 0
+        capsys.readouterr()
+        # Second run finds the checkpoint and resumes instead of replaying.
+        assert main(["live", str(capture), "--model", str(model),
+                     "--checkpoint", str(checkpoint)]) == 0
+        out = capsys.readouterr().out
+        assert "resumed from" in out
+        assert "replayed 0 observations" in out
+
+    def test_live_family_mismatch_fails_cleanly(self, tmp_path, capsys):
+        capture, model = self._prepare(tmp_path)
+        capsys.readouterr()
+        assert main(["live", str(capture), "--model", str(model),
+                     "--family", "6"]) == 1

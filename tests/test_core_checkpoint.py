@@ -1,0 +1,116 @@
+"""Unit tests for streaming-detector checkpoint/restore."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoint import (
+    CHECKPOINT_FORMAT_VERSION,
+    CheckpointFormatError,
+    detector_from_json,
+    detector_to_json,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.core.detector import StreamingDetector
+from repro.core.events import RefinementConfig
+from repro.core.history import train_histories
+from repro.core.parameters import ParameterPlanner
+from repro.core.pipeline import TrainedModel
+from repro.core.sentinel import VantageSentinel
+from repro.net.addr import Family
+from repro.telescope.records import Observation
+from repro.traffic.sources import poisson_times
+
+DAY = 86400.0
+
+
+@pytest.fixture(scope="module")
+def model():
+    rng = np.random.default_rng(3)
+    train = {1: poisson_times(rng, 0.2, 0, DAY),
+             2: poisson_times(rng, 0.05, 0, DAY)}
+    histories = train_histories(train, 0, DAY)
+    parameters = ParameterPlanner().plan(histories)
+    return TrainedModel(Family.IPV4, histories, parameters, 0.0, DAY)
+
+
+def make_detector(model, **kwargs):
+    return StreamingDetector(model.family, model.histories,
+                             model.parameters, DAY, **kwargs)
+
+
+class TestRoundTrip:
+    def test_fresh_detector_roundtrips(self, model):
+        detector = make_detector(model)
+        restored = detector_from_json(detector_to_json(detector),
+                                      model.histories, model.parameters)
+        assert restored.family is detector.family
+        assert restored.last_time == detector.last_time
+        assert detector_to_json(restored) == detector_to_json(detector)
+
+    def test_mid_stream_state_roundtrips_exactly(self, model):
+        detector = make_detector(
+            model, refinement=RefinementConfig(guard_gaps=2.0),
+            sentinel=VantageSentinel(DAY))
+        rng = np.random.default_rng(8)
+        for time in np.sort(rng.uniform(DAY, DAY + 20000.0, 2000)):
+            detector.observe(Observation(float(time), Family.IPV4, 1 << 8))
+        detector.advance(DAY + 25000.0)
+        text = detector_to_json(detector)
+        restored = detector_from_json(text, model.histories,
+                                      model.parameters)
+        assert detector_to_json(restored) == text
+        assert restored.refinement == detector.refinement
+        assert restored.sentinel is not None
+
+    def test_save_and_load_paths(self, model, tmp_path):
+        detector = make_detector(model)
+        path = tmp_path / "ckpt.json"
+        save_checkpoint(detector, path)
+        restored = load_checkpoint(path, model)
+        assert detector_to_json(restored) == detector_to_json(detector)
+
+
+class TestValidation:
+    def test_rejects_future_format(self, model):
+        detector = make_detector(model)
+        document = json.loads(detector_to_json(detector))
+        document["format_version"] = CHECKPOINT_FORMAT_VERSION + 1
+        with pytest.raises(CheckpointFormatError, match="format version"):
+            detector_from_json(json.dumps(document), model.histories,
+                               model.parameters)
+
+    def test_rejects_non_json(self, model):
+        with pytest.raises(CheckpointFormatError, match="not valid JSON"):
+            detector_from_json("not json{", model.histories,
+                               model.parameters)
+
+    def test_rejects_unknown_block(self, model):
+        detector = make_detector(model)
+        document = json.loads(detector_to_json(detector))
+        document["blocks"]["999"] = next(iter(
+            document["blocks"].values()))
+        with pytest.raises(CheckpointFormatError, match="not a measurable"):
+            detector_from_json(json.dumps(document), model.histories,
+                               model.parameters)
+
+    def test_rejects_family_mismatch(self, model, tmp_path):
+        detector = make_detector(model)
+        path = tmp_path / "ckpt.json"
+        save_checkpoint(detector, path)
+        wrong = TrainedModel(Family.IPV6, model.histories,
+                             model.parameters, 0.0, DAY)
+        with pytest.raises(CheckpointFormatError, match="family"):
+            load_checkpoint(path, wrong)
+
+    def test_model_may_gain_blocks(self, model):
+        # A block added to the model after the checkpoint starts fresh.
+        detector = make_detector(model)
+        document = json.loads(detector_to_json(detector))
+        removed = sorted(document["blocks"])[0]
+        del document["blocks"][removed]
+        restored = detector_from_json(json.dumps(document),
+                                      model.histories, model.parameters)
+        assert int(removed) in restored._states

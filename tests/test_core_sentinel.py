@@ -1,0 +1,138 @@
+"""Unit tests for the vantage-health sentinel and quarantine algebra."""
+
+import numpy as np
+import pytest
+
+from repro.core.sentinel import (
+    SentinelConfig,
+    VantageSentinel,
+    suppress_quarantined,
+)
+from repro.timeline import Timeline, subtract_intervals
+
+
+def feed(sentinel, rate, start, end, step=None):
+    """Feed a constant-rate arrival pattern over [start, end)."""
+    step = step or (1.0 / rate)
+    for time in np.arange(start, end, step):
+        sentinel.observe(float(time))
+
+
+class TestSubtractIntervals:
+    def test_disjoint_untouched(self):
+        assert subtract_intervals([(0, 5)], [(6, 8)]) == [(0, 5)]
+
+    def test_middle_clipped(self):
+        assert subtract_intervals([(0, 10)], [(3, 5)]) == [(0, 3), (5, 10)]
+
+    def test_full_cover_removes(self):
+        assert subtract_intervals([(2, 4)], [(0, 10)]) == []
+
+    def test_multiple_holes(self):
+        assert subtract_intervals(
+            [(0, 10), (20, 30)], [(1, 2), (9, 21), (25, 26)]
+        ) == [(0, 1), (2, 9), (21, 25), (26, 30)]
+
+    def test_timeline_without_down(self):
+        timeline = Timeline(0, 100, [(10, 40), (60, 70)])
+        cleaned = timeline.without_down([(20, 30), (55, 80)])
+        assert cleaned.down_intervals == [(10, 20), (30, 40)]
+
+
+class TestSentinelQuarantine:
+    def test_healthy_feed_never_quarantined(self):
+        sentinel = VantageSentinel(0.0, SentinelConfig(expected_rate=2.0))
+        feed(sentinel, 2.0, 0.0, 3600.0)
+        sentinel.advance(3600.0)
+        assert sentinel.quarantined_intervals() == []
+
+    def test_feed_gap_quarantined_with_margins(self):
+        config = SentinelConfig(expected_rate=2.0, bin_seconds=60.0)
+        sentinel = VantageSentinel(0.0, config)
+        feed(sentinel, 2.0, 0.0, 1000.0)
+        feed(sentinel, 2.0, 2800.0, 3600.0)
+        sentinel.advance(3600.0)
+        windows = sentinel.quarantined_intervals()
+        assert len(windows) == 1
+        start, end = windows[0]
+        assert start <= 1000.0 <= start + 2 * config.bin_seconds
+        assert end - 2 * config.bin_seconds <= 2800.0 <= end
+
+    def test_open_gap_reported_before_recovery(self):
+        sentinel = VantageSentinel(0.0, SentinelConfig(expected_rate=2.0))
+        feed(sentinel, 2.0, 0.0, 600.0)
+        sentinel.advance(1200.0)  # wall clock moves, feed does not
+        windows = sentinel.quarantined_intervals()
+        assert len(windows) == 1
+        assert sentinel.is_quarantined(900.0)
+
+    def test_single_quiet_bin_is_not_quarantined(self):
+        sentinel = VantageSentinel(
+            0.0, SentinelConfig(expected_rate=2.0, min_quiet_bins=2))
+        feed(sentinel, 2.0, 0.0, 300.0)
+        feed(sentinel, 2.0, 360.0, 700.0)  # one silent bin only
+        sentinel.advance(700.0)
+        assert sentinel.quarantined_intervals() == []
+
+    def test_sparse_feed_below_min_expected_never_judged(self):
+        # Expected two arrivals per bin: an empty bin proves nothing.
+        sentinel = VantageSentinel(
+            0.0, SentinelConfig(expected_rate=2.0 / 60.0,
+                                min_expected_count=5.0))
+        feed(sentinel, 2.0 / 60.0, 0.0, 600.0)
+        sentinel.advance(3600.0)
+        assert sentinel.quarantined_intervals() == []
+
+    def test_online_learning_matches_known_rate(self):
+        known = VantageSentinel(0.0, SentinelConfig(expected_rate=2.0))
+        learned = VantageSentinel(0.0, SentinelConfig())
+        for sentinel in (known, learned):
+            feed(sentinel, 2.0, 0.0, 1000.0)
+            feed(sentinel, 2.0, 2800.0, 3600.0)
+            sentinel.advance(3600.0)
+        assert (known.quarantined_intervals()
+                == learned.quarantined_intervals())
+
+    def test_gap_does_not_poison_learned_baseline(self):
+        sentinel = VantageSentinel(0.0, SentinelConfig())
+        feed(sentinel, 2.0, 0.0, 1000.0)
+        sentinel.advance(4600.0)  # an hour of silence
+        expected = sentinel.expected_bin_count
+        assert expected is not None and expected > 60.0, \
+            "silent bins must not drag the EWMA toward zero"
+
+    def test_state_roundtrip_mid_gap(self):
+        sentinel = VantageSentinel(0.0, SentinelConfig(expected_rate=2.0))
+        feed(sentinel, 2.0, 0.0, 1000.0)
+        sentinel.advance(1500.0)  # inside a forming gap
+        restored = VantageSentinel.from_dict(sentinel.to_dict())
+        for s in (sentinel, restored):
+            feed(s, 2.0, 2800.0, 3600.0)
+            s.advance(3600.0)
+        assert (sentinel.quarantined_intervals()
+                == restored.quarantined_intervals())
+        assert sentinel.quarantined_bins == restored.quarantined_bins
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SentinelConfig(bin_seconds=0.0)
+        with pytest.raises(ValueError):
+            SentinelConfig(quiet_fraction=1.5)
+        with pytest.raises(ValueError):
+            SentinelConfig(min_quiet_bins=0)
+
+
+class TestSuppression:
+    def test_onset_inside_quarantine_fully_retracted(self):
+        timeline = Timeline(0, 1000, [(500, 900)])
+        result = suppress_quarantined(timeline, [(480, 600)])
+        assert result.down_intervals == []
+
+    def test_onset_before_quarantine_clipped_not_removed(self):
+        timeline = Timeline(0, 1000, [(100, 700)])
+        result = suppress_quarantined(timeline, [(300, 400)])
+        assert result.down_intervals == [(100, 300), (400, 700)]
+
+    def test_no_quarantine_is_identity(self):
+        timeline = Timeline(0, 1000, [(100, 200)])
+        assert suppress_quarantined(timeline, []) is timeline

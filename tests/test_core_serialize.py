@@ -124,3 +124,68 @@ class TestErrors:
         entry = document["blocks"]["1"]
         assert "mean_rate" in entry["history"]
         assert "bin_seconds" in entry["parameters"]
+
+
+class TestAtomicWrites:
+    """A save killed at any point must leave the old file intact."""
+
+    def test_crash_before_rename_preserves_old_model(self, model, tmp_path,
+                                                     monkeypatch):
+        import os
+
+        path = tmp_path / "model.json"
+        save_model(model, str(path))
+        original = path.read_text()
+
+        def killed_replace(src, dst):
+            raise OSError("process killed between temp-write and rename")
+
+        monkeypatch.setattr(os, "replace", killed_replace)
+        with pytest.raises(OSError):
+            save_model(model, str(path))
+        assert path.read_text() == original
+        assert load_model(str(path)).measurable_keys == model.measurable_keys
+
+    def test_crash_during_temp_write_leaves_no_debris(self, model, tmp_path,
+                                                      monkeypatch):
+        from repro.core import serialize
+
+        path = tmp_path / "model.json"
+        save_model(model, str(path))
+        original = path.read_text()
+
+        monkeypatch.setattr(
+            serialize, "model_to_json",
+            lambda m: (_ for _ in ()).throw(MemoryError("killed mid-build")))
+        with pytest.raises(MemoryError):
+            save_model(model, str(path))
+        assert path.read_text() == original
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_fsync_failure_cleans_temp_file(self, model, tmp_path,
+                                            monkeypatch):
+        import os
+
+        path = tmp_path / "model.json"
+        save_model(model, str(path))
+        original = path.read_text()
+
+        def failing_fsync(fd):
+            raise OSError("disk gone")
+
+        monkeypatch.setattr(os, "fsync", failing_fsync)
+        with pytest.raises(OSError):
+            save_model(model, str(path))
+        assert path.read_text() == original
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_atomic_write_accepts_pathlib(self, model, tmp_path):
+        path = tmp_path / "model.json"
+        save_model(model, path)
+        assert load_model(path).train_end == model.train_end
+
+    def test_successful_save_leaves_no_temp_files(self, model, tmp_path):
+        path = tmp_path / "model.json"
+        save_model(model, str(path))
+        leftovers = [p for p in tmp_path.iterdir() if p != path]
+        assert leftovers == []

@@ -104,3 +104,71 @@ class TestUdpServer:
         server = UdpRootServer(RootServer(RootZone.synthetic(["com"])))
         with pytest.raises(RuntimeError):
             server.bound_address
+
+
+class TestResilience:
+    def test_malformed_datagrams_counted_distinctly(self):
+        async def body(server, host, port):
+            loop = asyncio.get_running_loop()
+            transport, _ = await loop.create_datagram_endpoint(
+                asyncio.DatagramProtocol, remote_addr=(host, port))
+            transport.sendto(b"\x00\x01garbage")
+            transport.sendto(b"\xff")
+            await asyncio.sleep(0.05)
+            transport.close()
+            stats = server.stats()
+            assert stats["malformed_datagrams"] == 2
+            assert stats["datagrams_dropped"] == 2
+            assert stats["datagrams_received"] == 2
+            assert stats["last_malformed_error"]
+
+        run(with_server(body))
+
+    def test_query_timeout_raises_after_bounded_retries(self):
+        async def body():
+            # A bound socket nobody answers from: every attempt times out.
+            loop = asyncio.get_running_loop()
+            transport, _ = await loop.create_datagram_endpoint(
+                asyncio.DatagramProtocol, local_addr=("127.0.0.1", 0))
+            host, port = transport.get_extra_info("sockname")[:2]
+            try:
+                request = Message.query(Name.parse("a.com"), QType.A, txid=9)
+                with pytest.raises(asyncio.TimeoutError) as info:
+                    await udp_query(host, port, request,
+                                    timeout=0.05, retries=2, backoff=1.0)
+                assert "3 attempts" in str(info.value)
+            finally:
+                transport.close()
+
+        run(body())
+
+    def test_retry_recovers_from_single_lost_datagram(self):
+        async def body(server, host, port):
+            # Drop the first datagram server-side; the retransmit wins.
+            original = server.handle_datagram
+            dropped = []
+
+            def flaky(data, peer):
+                if not dropped:
+                    dropped.append(True)
+                    return None
+                return original(data, peer)
+
+            server.handle_datagram = flaky
+            request = Message.query(Name.parse("a.com"), QType.A, txid=8)
+            response = await udp_query(host, port, request,
+                                       timeout=0.1, retries=2)
+            assert response.header.txid == 8
+            assert len(dropped) == 1
+
+        run(with_server(body))
+
+    def test_retry_parameters_validated(self):
+        async def body(server, host, port):
+            request = Message.query(Name.parse("a.com"), QType.A, txid=2)
+            with pytest.raises(ValueError):
+                await udp_query(host, port, request, retries=-1)
+            with pytest.raises(ValueError):
+                await udp_query(host, port, request, backoff=0.5)
+
+        run(with_server(body))

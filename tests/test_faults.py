@@ -1,0 +1,295 @@
+"""Fault-injection suite: the ingest path must degrade, not lie.
+
+Every test here injects a realistic feed fault with
+:mod:`repro.testing.faults` and asserts the resilient-ingest contract:
+
+* bounded disorder is invisible (reorder within the horizon produces
+  bit-identical events);
+* observer death is not a mass outage (the sentinel quarantines feed
+  gaps and the detector retracts verdicts inside them);
+* a killed monitor resumes from its checkpoint with bit-identical
+  events;
+* random loss degrades belief boundedly (no false outages on healthy
+  blocks at 10% loss);
+* corrupt captures fail loudly with location, or stop cleanly when
+  tolerance is requested.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoint import load_checkpoint, save_checkpoint
+from repro.core.detector import StreamingDetector
+from repro.core.history import train_histories
+from repro.core.parameters import ParameterPlanner
+from repro.core.pipeline import TrainedModel
+from repro.core.sentinel import SentinelConfig, VantageSentinel
+from repro.net.addr import Family
+from repro.telescope.capture import (
+    CaptureCorruptionError,
+    CaptureReader,
+    CaptureWriter,
+)
+from repro.telescope.records import Observation, ObservationBatch
+from repro.telescope.reorder import LatePolicy, ReorderBuffer, reorder_stream
+from repro.testing.faults import (
+    clock_skew,
+    compose,
+    corrupt_capture,
+    drop_observations,
+    duplicate_observations,
+    feed_gap,
+    reorder_observations,
+)
+from repro.traffic.sources import poisson_times
+
+pytestmark = pytest.mark.faults
+
+DAY = 86400.0
+
+
+@pytest.fixture(scope="module")
+def trained():
+    """Six healthy blocks spanning dense to sparse, trained on day one."""
+    rng = np.random.default_rng(11)
+    rates = {key: rate for key, rate in
+             enumerate([0.3, 0.2, 0.2, 0.15, 0.1, 0.05], start=1)}
+    train = {k: poisson_times(rng, r, 0, DAY) for k, r in rates.items()}
+    evaluate = {k: poisson_times(rng, r, DAY, 2 * DAY)
+                for k, r in rates.items()}
+    histories = train_histories(train, 0, DAY)
+    parameters = ParameterPlanner().plan(histories)
+    model = TrainedModel(Family.IPV4, histories, parameters, 0.0, DAY)
+    rows = sorted(Observation(float(t), Family.IPV4, k << 8)
+                  for k, times in evaluate.items() for t in times)
+    return model, rows
+
+
+def run_detector(model, rows, sentinel=None, end=2 * DAY):
+    detector = StreamingDetector(model.family, model.histories,
+                                 model.parameters, DAY, sentinel=sentinel)
+    for row in rows:
+        detector.observe(row)
+    return detector.finalize(end)
+
+
+class TestFeedGap:
+    GAP = (DAY + 40000.0, DAY + 41800.0)  # 30 minutes, mid-day
+
+    def overlapping_events(self, results):
+        return [event for block in results.values()
+                for event in block.timeline.events()
+                if event.start < self.GAP[1] and event.end > self.GAP[0]]
+
+    def test_gap_without_sentinel_is_a_false_mass_outage(self, trained):
+        model, rows = trained
+        results = run_detector(model, feed_gap(rows, *self.GAP))
+        assert len(self.overlapping_events(results)) >= len(results) // 2
+
+    def test_sentinel_quarantines_gap_and_suppresses_events(self, trained):
+        model, rows = trained
+        sentinel = VantageSentinel(DAY, SentinelConfig())
+        results = run_detector(model, feed_gap(rows, *self.GAP),
+                               sentinel=sentinel)
+        windows = sentinel.quarantined_intervals()
+        assert len(windows) == 1
+        assert windows[0][0] <= self.GAP[0]
+        assert windows[0][1] >= self.GAP[1]
+        assert self.overlapping_events(results) == []
+        # Nothing real was suppressed elsewhere: the feed was healthy.
+        assert all(block.timeline.events(300.0) == []
+                   for block in results.values())
+        # The retraction is recorded on every block result.
+        assert all(block.quarantined for block in results.values())
+
+    def test_real_outage_outside_gap_survives_quarantine(self, trained):
+        model, rows = trained
+        outage = (DAY + 60000.0, DAY + 64000.0)
+        faulted = list(feed_gap(rows, *self.GAP))
+        faulted = [row for row in faulted
+                   if not (row.block_key == 1
+                           and outage[0] <= row.time < outage[1])]
+        sentinel = VantageSentinel(DAY, SentinelConfig())
+        results = run_detector(model, faulted, sentinel=sentinel)
+        events = results[1].timeline.events(300.0)
+        assert any(e.start < outage[1] and e.end > outage[0]
+                   for e in events), "quarantine must not eat real outages"
+
+    def test_sentinel_with_known_rate_needs_no_warmup(self, trained):
+        model, rows = trained
+        aggregate_rate = 1.0  # sum of the fixture's block rates
+        early_gap = (DAY + 120.0, DAY + 1920.0)
+        sentinel = VantageSentinel(
+            DAY, SentinelConfig(expected_rate=aggregate_rate))
+        run_detector(model, feed_gap(rows, *early_gap), sentinel=sentinel)
+        windows = sentinel.quarantined_intervals()
+        assert windows and windows[0][0] <= early_gap[0]
+
+
+class TestReorderTolerance:
+    def test_ten_percent_reorder_within_horizon_is_bit_identical(
+            self, trained):
+        model, rows = trained
+        clean = run_detector(model, rows)
+        rng = np.random.default_rng(23)
+        noisy = list(reorder_observations(rows, 0.10, 30.0, rng))
+        assert noisy != rows, "fault must actually perturb the order"
+        restored = reorder_stream(noisy, horizon_seconds=30.0)
+        reordered = run_detector(model, restored)
+        assert set(clean) == set(reordered)
+        for key in clean:
+            assert clean[key].timeline == reordered[key].timeline
+
+    def test_beyond_horizon_records_are_counted_not_fatal(self, trained):
+        model, rows = trained
+        rng = np.random.default_rng(29)
+        noisy = list(reorder_observations(rows, 0.05, 120.0, rng))
+        buffer = ReorderBuffer(10.0, LatePolicy.COUNT)
+        detector = StreamingDetector(model.family, model.histories,
+                                     model.parameters, DAY)
+        for row in noisy:
+            for ready in buffer.push(row):
+                detector.observe(ready)
+        for ready in buffer.flush():
+            detector.observe(ready)
+        detector.finalize(2 * DAY)
+        assert buffer.stats.late_dropped > 0
+        assert (buffer.stats.emitted + buffer.stats.late_dropped
+                == buffer.stats.pushed)
+
+
+class TestCheckpointResume:
+    def test_kill_and_resume_mid_day_is_bit_identical(self, trained,
+                                                      tmp_path):
+        model, rows = trained
+        clean = run_detector(model, rows)
+
+        kill_at = DAY + 43200.0
+        first = StreamingDetector(model.family, model.histories,
+                                  model.parameters, DAY,
+                                  sentinel=VantageSentinel(DAY))
+        for row in rows:
+            if row.time >= kill_at:
+                break  # the process dies here
+            first.observe(row)
+        path = tmp_path / "detector.ckpt.json"
+        save_checkpoint(first, path)
+        del first
+
+        resumed = load_checkpoint(path, model)
+        assert resumed.sentinel is not None
+        for row in rows:
+            if row.time <= resumed.last_time:
+                continue  # replayed from the capture, already accounted
+            resumed.observe(row)
+        results = resumed.finalize(2 * DAY)
+        for key in clean:
+            assert clean[key].timeline == results[key].timeline
+
+    def test_checkpoint_is_atomic_under_crash(self, trained, tmp_path,
+                                              monkeypatch):
+        model, rows = trained
+        detector = StreamingDetector(model.family, model.histories,
+                                     model.parameters, DAY)
+        path = tmp_path / "detector.ckpt.json"
+        save_checkpoint(detector, path)
+        good = path.read_text()
+
+        for row in rows[:1000]:
+            detector.observe(row)
+        monkeypatch.setattr(os, "replace",
+                            lambda *a: (_ for _ in ()).throw(OSError("kill")))
+        with pytest.raises(OSError):
+            save_checkpoint(detector, path)
+        assert path.read_text() == good, "old checkpoint must survive"
+        assert list(tmp_path.glob("*.tmp")) == []
+
+
+class TestLossAndDuplication:
+    def test_ten_percent_loss_causes_no_false_outages(self, trained):
+        model, rows = trained
+        rng = np.random.default_rng(31)
+        lossy = drop_observations(rows, 0.10, rng)
+        results = run_detector(model, lossy)
+        for block in results.values():
+            assert block.timeline.events(300.0) == [], \
+                "10% random loss must not fabricate outages"
+
+    def test_duplication_causes_no_false_recoveries(self, trained):
+        model, rows = trained
+        outage = (DAY + 30000.0, DAY + 34000.0)
+        faulted = [row for row in rows
+                   if not (row.block_key == 1
+                           and outage[0] <= row.time < outage[1])]
+        rng = np.random.default_rng(37)
+        duplicated = duplicate_observations(faulted, 0.2, rng)
+        results = run_detector(model, duplicated)
+        events = results[1].timeline.events(300.0)
+        assert any(e.start < outage[1] and e.end > outage[0]
+                   for e in events)
+
+    def test_constant_clock_offset_shifts_events_coherently(self, trained):
+        model, rows = trained
+        outage = (DAY + 30000.0, DAY + 34000.0)
+        faulted = [row for row in rows
+                   if not (row.block_key == 1
+                           and outage[0] <= row.time < outage[1])]
+        skewed = clock_skew(faulted, offset=5.0)
+        results = run_detector(model, skewed, end=2 * DAY + 5.0)
+        events = results[1].timeline.events(300.0)
+        assert any(e.start < outage[1] + 5.0 and e.end > outage[0] + 5.0
+                   for e in events)
+
+    def test_compose_chains_mutators_in_order(self, trained):
+        _, rows = trained
+        rng = np.random.default_rng(41)
+        gap = (DAY + 10000.0, DAY + 11000.0)
+        mutated = list(compose(
+            rows,
+            lambda s: drop_observations(s, 0.05, rng),
+            lambda s: feed_gap(s, *gap),
+        ))
+        assert 0 < len(mutated) < len(rows)
+        assert not any(gap[0] <= row.time < gap[1] for row in mutated)
+
+
+class TestCaptureCorruption:
+    def make_capture(self) -> bytes:
+        rng = np.random.default_rng(43)
+        times = np.sort(rng.uniform(0, 1000.0, 64))
+        batch = ObservationBatch(Family.IPV4, times,
+                                 np.arange(64, dtype=np.uint64))
+        buffer = io.BytesIO()
+        with CaptureWriter(buffer) as writer:
+            writer.write_batch(batch)
+        return buffer.getvalue()
+
+    @pytest.mark.parametrize("mode", ["truncate", "flip"])
+    def test_corruption_raises_with_location(self, mode):
+        rng = np.random.default_rng(47)
+        damaged = corrupt_capture(self.make_capture(), rng, mode)
+        reader = CaptureReader(io.BytesIO(damaged))
+        with pytest.raises(CaptureCorruptionError) as info:
+            list(reader)
+        assert info.value.byte_offset > 0
+        assert 0 < info.value.records_read < 64
+        assert str(info.value.records_read) in str(info.value)
+
+    @pytest.mark.parametrize("mode", ["truncate", "flip"])
+    def test_tolerant_reader_stops_at_last_good_frame(self, mode):
+        rng = np.random.default_rng(47)
+        clean = self.make_capture()
+        damaged = corrupt_capture(clean, rng, mode)
+        reader = CaptureReader(io.BytesIO(damaged), tolerant=True)
+        survivors = list(reader)
+        assert reader.stopped_early
+        assert 0 < len(survivors) < 64
+        assert len(survivors) == reader.records_read
+        # The surviving prefix is byte-exact with the clean capture.
+        pristine = list(CaptureReader(io.BytesIO(clean)))
+        assert survivors == pristine[:len(survivors)]

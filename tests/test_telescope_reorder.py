@@ -1,0 +1,140 @@
+"""Unit tests for the watermark/reorder buffer."""
+
+import numpy as np
+import pytest
+
+from repro.net.addr import Family
+from repro.telescope.records import Observation
+from repro.telescope.reorder import (
+    LatePolicy,
+    ReorderBuffer,
+    reorder_stream,
+)
+from repro.telescope.stream import merge_streams, window_stream
+
+
+def obs(time, source=1 << 8, qtype=0):
+    return Observation(float(time), Family.IPV4, source, qtype)
+
+
+class TestReorderBuffer:
+    def test_sorted_input_passes_through(self):
+        buffer = ReorderBuffer(2.0)
+        out = []
+        for t in [1.0, 2.0, 3.0, 10.0]:
+            out.extend(buffer.push(obs(t)))
+        out.extend(buffer.flush())
+        assert [o.time for o in out] == [1.0, 2.0, 3.0, 10.0]
+
+    def test_bounded_disorder_is_restored_exactly(self):
+        rng = np.random.default_rng(5)
+        times = np.sort(rng.uniform(0, 100, 200))
+        rows = [obs(t) for t in times]
+        # Swap random adjacent pairs closer than the horizon.
+        noisy = rows[:]
+        for i in range(0, len(noisy) - 1, 2):
+            if noisy[i + 1].time - noisy[i].time < 1.0:
+                noisy[i], noisy[i + 1] = noisy[i + 1], noisy[i]
+        assert list(reorder_stream(noisy, 1.0)) == rows
+
+    def test_watermark_withholds_recent_records(self):
+        buffer = ReorderBuffer(5.0)
+        assert buffer.push(obs(10.0)) == []
+        assert buffer.push(obs(11.0)) == []
+        released = buffer.push(obs(16.0))  # watermark now 11.0
+        assert [o.time for o in released] == [10.0, 11.0]
+        assert buffer.pending == 1
+
+    def test_zero_horizon_is_immediate(self):
+        buffer = ReorderBuffer(0.0)
+        assert [o.time for o in buffer.push(obs(1.0))] == [1.0]
+        assert [o.time for o in buffer.push(obs(2.0))] == [2.0]
+
+    def test_ties_released_in_arrival_order(self):
+        buffer = ReorderBuffer(0.0)
+        first, second = obs(1.0, qtype=1), obs(1.0, qtype=2)
+        out = buffer.push(first) + buffer.push(second) + buffer.flush()
+        assert [o.qtype for o in out] == [1, 2]
+
+    def test_late_policy_count_drops_and_counts(self):
+        buffer = ReorderBuffer(1.0, LatePolicy.COUNT)
+        buffer.push(obs(10.0))
+        buffer.push(obs(20.0))  # emits 10.0, watermark 19.0
+        assert buffer.push(obs(5.0)) == []
+        assert buffer.stats.late_total == 1
+        assert buffer.stats.late_dropped == 1
+        assert buffer.stats.late_admitted == 0
+
+    def test_late_policy_admit_emits_out_of_order(self):
+        buffer = ReorderBuffer(1.0, LatePolicy.ADMIT)
+        buffer.push(obs(10.0))
+        buffer.push(obs(20.0))
+        released = buffer.push(obs(5.0))
+        assert [o.time for o in released] == [5.0]
+        assert buffer.stats.late_admitted == 1
+
+    def test_late_policy_raise_is_fatal(self):
+        buffer = ReorderBuffer(1.0, LatePolicy.RAISE)
+        buffer.push(obs(10.0))
+        buffer.push(obs(20.0))
+        with pytest.raises(ValueError, match="behind the reorder watermark"):
+            buffer.push(obs(5.0))
+
+    def test_stats_accounting_balances(self):
+        rng = np.random.default_rng(9)
+        buffer = ReorderBuffer(0.5, LatePolicy.COUNT)
+        emitted = 0
+        for t in rng.uniform(0, 50, 300):
+            emitted += len(buffer.push(obs(t)))
+        emitted += len(buffer.flush())
+        stats = buffer.stats
+        assert stats.pushed == 300
+        assert stats.emitted == emitted
+        assert stats.emitted + stats.late_dropped == stats.pushed
+        assert stats.out_of_order > 0
+        assert stats.max_displacement_seconds > 0
+
+    def test_negative_horizon_rejected(self):
+        with pytest.raises(ValueError):
+            ReorderBuffer(-1.0)
+
+    def test_output_monotone_under_count_policy(self):
+        rng = np.random.default_rng(13)
+        buffer = ReorderBuffer(2.0, LatePolicy.COUNT)
+        out = []
+        for t in rng.uniform(0, 100, 500):
+            out.extend(buffer.push(obs(t)))
+        out.extend(buffer.flush())
+        times = [o.time for o in out]
+        assert times == sorted(times)
+
+
+class TestStreamIntegration:
+    def test_window_stream_reorder_horizon_matches_clean(self):
+        rng = np.random.default_rng(17)
+        times = np.sort(rng.uniform(0, 600, 400))
+        rows = [obs(t) for t in times]
+        noisy = rows[:]
+        for i in range(0, len(noisy) - 1, 3):
+            noisy[i], noisy[i + 1] = noisy[i + 1], noisy[i]
+        clean = list(window_stream(rows, 0.0, 60.0))
+        recovered = list(window_stream(noisy, 0.0, 60.0,
+                                       reorder_horizon=600.0))
+        assert clean == recovered
+
+    def test_merge_streams_error_names_stream_and_times(self):
+        good = [obs(1.0), obs(2.0), obs(3.0)]
+        bad = [obs(1.5), obs(0.5)]  # stream 1, goes backwards
+        with pytest.raises(ValueError) as info:
+            list(merge_streams(good, bad))
+        message = str(info.value)
+        assert "stream 1" in message
+        assert "0.5" in message and "1.5" in message
+        assert "reorder_stream" in message
+
+    def test_merge_streams_tie_break_is_stable(self):
+        # Docstring claim: ties break by input order and stay stable.
+        left = [obs(1.0, qtype=10), obs(2.0, qtype=11), obs(2.0, qtype=12)]
+        right = [obs(1.0, qtype=20), obs(2.0, qtype=21)]
+        merged = list(merge_streams(left, right))
+        assert [o.qtype for o in merged] == [10, 20, 11, 12, 21]
