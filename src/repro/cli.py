@@ -15,6 +15,9 @@ import os
 import sys
 from typing import Callable, Dict, List, Optional
 
+import numpy as np
+
+from .core.health import ErrorBudgetExceeded, RunHealthReport
 from .core.pipeline import PassiveOutagePipeline
 from .experiments import (
     run_baseline_comparison,
@@ -36,6 +39,11 @@ from .telescope.records import ObservationBatch
 from .telescope.stream import merge_streams
 from .traffic.internet import FamilyConfig, InternetConfig, SimulatedInternet
 from .traffic.outages import IPV4_OUTAGE_MODEL, IPV6_OUTAGE_MODEL
+
+#: Exit code for :class:`ErrorBudgetExceeded` — distinct from generic
+#: failure (1) and argparse usage errors (2) so operators can alert on
+#: "the run was too degraded to trust" specifically.
+EXIT_BUDGET_TRIPPED = 3
 
 EXPERIMENTS: Dict[str, Callable] = {
     "table1": run_table1,
@@ -112,6 +120,27 @@ def _cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_health_report(path: str,
+                         report: Optional[RunHealthReport]) -> None:
+    """Atomically write a run health report (no-op without a report)."""
+    from .core.serialize import atomic_write_text
+
+    if report is None:
+        return
+    atomic_write_text(path, report.to_json())
+    print(f"health report written to {path}")
+
+
+def _print_quarantine_summary(report: Optional[RunHealthReport]) -> None:
+    if report is None or not report.blocks_quarantined:
+        return
+    print(f"{report.blocks_quarantined} blocks quarantined "
+          f"({report.quarantine_fraction:.1%} of attempted):")
+    for entry in report.dead_letters.entries:
+        print(f"  block {entry.block_key:#x} [{entry.stage}] "
+              f"{entry.error_type}: {entry.error}")
+
+
 def _cmd_detect(args: argparse.Namespace) -> int:
     """Train on the leading window of a capture, detect on the rest.
 
@@ -124,28 +153,51 @@ def _cmd_detect(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 1
     batch = batch.sorted_by_time()
-    start = float(batch.times[0])
-    end = float(batch.times[-1]) + 1.0
+    # Window bounds from the data must survive poisoned records: a
+    # single NaN timestamp sorts last and would otherwise become the
+    # window end (and poison every block's bin grid, not just its own).
+    finite = batch.times[np.isfinite(batch.times)]
+    if not len(finite):
+        print("capture has no finite timestamps", file=sys.stderr)
+        return 1
+    start = float(finite[0])
+    end = float(finite[-1]) + 1.0
     train_end = args.train_end if args.train_end else (start + end) / 2.0
 
-    pipeline = PassiveOutagePipeline()
+    pipeline = PassiveOutagePipeline(
+        max_quarantine_frac=args.max_quarantine_frac)
     per_block = per_block_times(batch)
-    if args.model:
-        from .core.serialize import load_model
+    try:
+        if args.model:
+            from .core.serialize import load_model
 
-        model = load_model(args.model)
-        evaluate = per_block
-        detect_start = start
-    else:
-        train = {k: t[t < train_end] for k, t in per_block.items()}
-        evaluate = {k: t[t >= train_end] for k, t in per_block.items()}
-        model = pipeline.train(batch.family, train, start, train_end)
-        detect_start = train_end
-    result = pipeline.detect(model, evaluate, detect_start, end)
+            model = load_model(args.model)
+            evaluate = per_block
+            detect_start = start
+        else:
+            # NaN compares false against the boundary, so a plain
+            # t >= split would silently discard poisoned records; keep
+            # them on the detection side instead, where the detector
+            # quarantines the block and the health report names it.
+            train = {k: t[(t < train_end) & np.isfinite(t)]
+                     for k, t in per_block.items()}
+            evaluate = {k: t[~(t < train_end)]
+                        for k, t in per_block.items()}
+            model = pipeline.train(batch.family, train, start, train_end)
+            detect_start = train_end
+        result = pipeline.detect(model, evaluate, detect_start, end)
+    except ErrorBudgetExceeded as error:
+        print(f"error budget exceeded: {error}", file=sys.stderr)
+        if args.health_report:
+            _write_health_report(args.health_report, error.report)
+        return EXIT_BUDGET_TRIPPED
 
     print(f"trained {len(model.parameters)} blocks "
           f"({len(model.measurable_keys)} measurable, coverage "
           f"{model.coverage():.1%})")
+    _print_quarantine_summary(result.health)
+    if args.health_report:
+        _write_health_report(args.health_report, result.health)
     events = 0
     for key, block in sorted(result.blocks.items()):
         for event in block.timeline.events(args.min_duration):
@@ -171,6 +223,7 @@ def _cmd_live(args: argparse.Namespace) -> int:
         save_checkpoint,
     )
     from .core.detector import StreamingDetector
+    from .core.health import ErrorBudget
     from .core.sentinel import SentinelConfig, VantageSentinel
     from .core.serialize import load_model
     from .telescope.capture import CaptureCorruptionError, CaptureReader
@@ -203,6 +256,9 @@ def _cmd_live(args: argparse.Namespace) -> int:
         detector = StreamingDetector(model.family, model.histories,
                                      model.parameters, model.train_end,
                                      sentinel=sentinel)
+    # The flag wins over a resumed checkpoint's stored budget: the
+    # operator invoking the monitor sets this run's tolerance.
+    detector.budget = ErrorBudget(args.max_quarantine_frac)
 
     buffer = (ReorderBuffer(args.reorder_horizon, LatePolicy.COUNT)
               if args.reorder_horizon > 0 else None)
@@ -248,7 +304,19 @@ def _cmd_live(args: argparse.Namespace) -> int:
         return 1
 
     end = detector.last_time
-    results = detector.finalize(end)
+    try:
+        results = detector.finalize(end)
+    except ErrorBudgetExceeded as error:
+        print(f"error budget exceeded: {error}", file=sys.stderr)
+        if args.health_report:
+            _write_health_report(args.health_report, detector.last_health)
+        if args.checkpoint:
+            save_checkpoint(detector, args.checkpoint)
+            print(f"checkpoint saved to {args.checkpoint}", file=sys.stderr)
+        return EXIT_BUDGET_TRIPPED
+    _print_quarantine_summary(detector.last_health)
+    if args.health_report:
+        _write_health_report(args.health_report, detector.last_health)
     if args.checkpoint:
         save_checkpoint(detector, args.checkpoint)
         print(f"checkpoint saved to {args.checkpoint}")
@@ -330,6 +398,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="saved model from 'train' (skips retraining)")
     detect.add_argument("--min-duration", type=float, default=300.0,
                         help="only print outages at least this long")
+    detect.add_argument("--health-report", default="",
+                        help="write the run health report (JSON) here")
+    detect.add_argument("--max-quarantine-frac", type=float, default=0.5,
+                        help="fail (exit 3) when more than this fraction "
+                             "of blocks is quarantined (1.0 disables)")
     detect.set_defaults(func=_cmd_detect)
 
     live = sub.add_parser("live",
@@ -355,6 +428,11 @@ def build_parser() -> argparse.ArgumentParser:
                            "corrupt capture")
     live.add_argument("--min-duration", type=float, default=300.0,
                       help="only print outages at least this long")
+    live.add_argument("--health-report", default="",
+                      help="write the run health report (JSON) here")
+    live.add_argument("--max-quarantine-frac", type=float, default=0.5,
+                      help="fail (exit 3) when more than this fraction "
+                           "of blocks is quarantined (1.0 disables)")
     live.set_defaults(func=_cmd_live)
 
     experiment = sub.add_parser("experiment",

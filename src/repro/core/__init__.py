@@ -1,7 +1,13 @@
 """The paper's contribution: per-block-tuned Bayesian passive detection."""
 
 from .aggregation import AggregationPlan, merge_streams_for_plan, plan_aggregation
-from .belief import BELIEF_CEIL, BELIEF_FLOOR, BeliefState, vector_belief_pass
+from .belief import (
+    BELIEF_CEIL,
+    BELIEF_FLOOR,
+    BeliefState,
+    guarded_belief_pass,
+    vector_belief_pass,
+)
 from .checkpoint import (
     CheckpointFormatError,
     detector_from_json,
@@ -18,6 +24,17 @@ from .correlation import (
 from .detector import BlockResult, PassiveDetector, StreamingDetector
 from .drift import BlockDrift, DriftVerdict, audit_drift, refresh_model
 from .events import RefinementConfig, refine_timeline, states_to_timeline
+from .health import (
+    BlockDataError,
+    DeadLetterEntry,
+    DeadLetterRegistry,
+    ErrorBudget,
+    ErrorBudgetExceeded,
+    GuardrailCounters,
+    RunHealthReport,
+    StageStats,
+    inputs_digest,
+)
 from .history import BlockHistory, train_histories, train_history
 from .parameters import (
     DEFAULT_BIN_LADDER,
@@ -44,7 +61,17 @@ __all__ = [
     "BELIEF_CEIL",
     "BELIEF_FLOOR",
     "BeliefState",
+    "guarded_belief_pass",
     "vector_belief_pass",
+    "BlockDataError",
+    "DeadLetterEntry",
+    "DeadLetterRegistry",
+    "ErrorBudget",
+    "ErrorBudgetExceeded",
+    "GuardrailCounters",
+    "RunHealthReport",
+    "StageStats",
+    "inputs_digest",
     "CorroboratedEvent",
     "corroborate_events",
     "fuse_beliefs",

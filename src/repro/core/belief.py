@@ -28,9 +28,11 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from .health import BlockDataError, GuardrailCounters
 from .parameters import BlockParameters
 
-__all__ = ["BeliefState", "vector_belief_pass", "BELIEF_FLOOR", "BELIEF_CEIL"]
+__all__ = ["BeliefState", "vector_belief_pass", "guarded_belief_pass",
+           "BELIEF_FLOOR", "BELIEF_CEIL"]
 
 #: Belief clamp bounds; keep strictly inside (0, 1) so evidence can
 #: always move the posterior back (no absorbing states).
@@ -41,6 +43,12 @@ BELIEF_CEIL = 1.0 - 1e-6
 #: Prevents a single flood bin from pinning the posterior so hard that
 #: a genuine outage takes many bins to surface.
 _COUNT_RATIO_CAP = 1e6
+
+#: Probability clamp for degenerate likelihood parameters.  A
+#: ``p_empty_up`` of exactly 0 or 1 makes one of the likelihood terms
+#: vanish and the posterior absorbing; clamping strictly inside (0, 1)
+#: keeps every bin's evidence finite and reversible.
+_PROB_EPS = 1e-9
 
 
 @dataclass
@@ -56,6 +64,10 @@ class BeliefState:
     params: BlockParameters
     belief: float = BELIEF_CEIL
     is_up: bool = True
+    #: numerical-guardrail trips absorbed by this block (NaN/inf counts
+    #: neutralised, degenerate likelihoods clamped); surfaced by the
+    #: streaming detector's run health report.
+    guardrail_trips: int = 0
 
     def update(self, count: int,
                p_empty_up: Optional[float] = None) -> bool:
@@ -64,15 +76,46 @@ class BeliefState:
         ``p_empty_up`` overrides the tuned empty-bin likelihood for this
         bin — the streaming detector passes the diurnal-aware value of
         :meth:`repro.core.history.BlockHistory.empty_bin_probability_at`.
+
+        Numerical guardrails: a non-finite or negative ``count`` is
+        neutralised to a no-evidence bin (prediction only), and a
+        degenerate ``p_empty_up`` (at or beyond 0/1) is clamped strictly
+        inside (0, 1); both increment :attr:`guardrail_trips`.  A
+        non-finite ``p_empty_up`` raises :class:`BlockDataError` — the
+        block's model itself is poisoned and the caller must quarantine,
+        not filter on garbage.
         """
         params = self.params
         p_empty = (params.p_empty_up if p_empty_up is None
-                   else min(p_empty_up, 1.0 - 1e-9))
+                   else p_empty_up)
+        if not np.isfinite(p_empty):
+            raise BlockDataError(
+                f"non-finite p_empty_up {p_empty!r}: block model is "
+                f"poisoned (bad history or parameters)")
+        if not (np.isfinite(params.noise_nonempty)
+                and np.isfinite(params.prior_down)
+                and np.isfinite(params.prior_up_recovery)):
+            # Matches the vectorised pass, which masks (and the detector
+            # quarantines) rows with non-finite parameters; silently
+            # filtering on garbage would diverge from it.
+            raise BlockDataError(
+                "non-finite likelihood/prior parameters: block model is "
+                "poisoned (bad history or parameters)")
+        if p_empty <= 0.0 or p_empty >= 1.0:
+            p_empty = min(max(p_empty, _PROB_EPS), 1.0 - _PROB_EPS)
+            self.guardrail_trips += 1
+        count_valid = np.isfinite(count) and count >= 0
+        if not count_valid:
+            self.guardrail_trips += 1
         # Prediction step: apply the state-transition prior.
         belief = (self.belief * (1.0 - params.prior_down)
                   + (1.0 - self.belief) * params.prior_up_recovery)
-        # Correction step: weigh the observation.
-        if count == 0:
+        # Correction step: weigh the observation.  A poisoned count is
+        # no evidence either way (likelihood 1 under both states).
+        if not count_valid:
+            likelihood_up = 1.0
+            likelihood_down = 1.0
+        elif count == 0:
             likelihood_up = p_empty
             likelihood_down = 1.0 - params.noise_nonempty
         else:
@@ -127,7 +170,53 @@ def vector_belief_pass(
         ``states`` is a boolean ``(n_blocks, n_bins)`` matrix of the
         hysteresis up/down decision after each bin; ``beliefs`` is the
         trajectory or None.
+
+    Poisoned inputs (non-finite counts or parameters) are masked rather
+    than propagated — see :func:`guarded_belief_pass` for the variant
+    that also reports *which* rows were poisoned.
     """
+    states, beliefs, _ = guarded_belief_pass(
+        counts, p_empty_up, noise_nonempty, prior_down, prior_up_recovery,
+        down_threshold=down_threshold, up_threshold=up_threshold,
+        initial_belief=initial_belief, return_beliefs=return_beliefs)
+    return states, beliefs
+
+
+def guarded_belief_pass(
+    counts: np.ndarray,
+    p_empty_up: np.ndarray,
+    noise_nonempty: np.ndarray,
+    prior_down: np.ndarray,
+    prior_up_recovery: np.ndarray,
+    down_threshold: float = 0.1,
+    up_threshold: float = 0.9,
+    initial_belief: Optional[np.ndarray] = None,
+    return_beliefs: bool = False,
+    guardrails: Optional[GuardrailCounters] = None,
+) -> Tuple[np.ndarray, Optional[np.ndarray], np.ndarray]:
+    """:func:`vector_belief_pass` plus poisoned-row accounting.
+
+    The vectorised recurrence is elementwise per block, but one NaN in
+    a count matrix historically produced NaN beliefs for that row and
+    (worse) NaN comparisons that silently decided "up" forever.  Here
+    every poisoned input is detected up front and *masked*:
+
+    * a non-finite or negative count entry becomes a no-evidence bin
+      (likelihood 1 under both states — prediction only), mirroring the
+      scalar :meth:`BeliefState.update` guardrail;
+    * a degenerate likelihood (``p_empty_up`` at/beyond 0 or 1) is
+      clamped strictly inside (0, 1);
+    * a block whose *parameters* are non-finite cannot be filtered at
+      all: its row is pinned to "up" (no events) and flagged.
+
+    Returns ``(states, beliefs, poisoned_rows)`` where
+    ``poisoned_rows`` is a boolean ``(n_blocks,)`` mask of rows whose
+    counts or parameters contained poison.  Callers that care about
+    containment (the batch detector) quarantine flagged rows into the
+    dead-letter registry; results for those rows are placeholders, not
+    verdicts.  ``guardrails``, when given, accumulates trip counts.
+    """
+    guardrails = guardrails if guardrails is not None else GuardrailCounters()
     counts = np.asarray(counts)
     if counts.ndim != 2:
         raise ValueError("counts must be (n_blocks, n_bins)")
@@ -141,6 +230,56 @@ def vector_belief_pass(
                          ("prior_up_recovery", prior_up_recovery)):
         if np.shape(vector) != (n_blocks,):
             raise ValueError(f"{name} must have shape ({n_blocks},)")
+
+    # -- guardrails: find and neutralise poison up front ----------------
+    if counts.dtype.kind == "f":
+        bad_counts = ~np.isfinite(counts)
+        negative = counts < 0  # NaN compares False, so disjoint from bad
+    else:
+        bad_counts = np.zeros(counts.shape, dtype=bool)
+        negative = counts < 0
+    invalid_counts = bad_counts | negative
+    guardrails.trip("nonfinite_count", int(bad_counts.sum()))
+    guardrails.trip("negative_count", int(negative.sum()))
+
+    noise_nonempty = np.asarray(noise_nonempty, dtype=float)
+    prior_down = np.asarray(prior_down, dtype=float)
+    prior_up_recovery = np.asarray(prior_up_recovery, dtype=float)
+    bad_params = (~np.isfinite(noise_nonempty) | ~np.isfinite(prior_down)
+                  | ~np.isfinite(prior_up_recovery))
+    if p_empty_up.ndim == 2:
+        bad_params |= ~np.isfinite(p_empty_up).all(axis=1)
+    else:
+        bad_params |= ~np.isfinite(p_empty_up)
+    guardrails.trip("nonfinite_parameter", int(bad_params.sum()))
+
+    degenerate = np.isfinite(p_empty_up) & ((p_empty_up <= 0.0)
+                                            | (p_empty_up >= 1.0))
+    guardrails.trip("degenerate_p_empty", int(degenerate.sum()))
+    if degenerate.any():
+        p_empty_up = np.clip(p_empty_up, _PROB_EPS, 1.0 - _PROB_EPS)
+
+    poisoned = bad_params | invalid_counts.any(axis=1)
+    guardrails.trip("masked_row", int(poisoned.sum()))
+
+    if bad_params.any():
+        # Substitute inert values so the recurrence stays finite; the
+        # row is pinned to "up" afterwards regardless.
+        p_fill = 0.5
+        if p_empty_up.ndim == 2:
+            p_empty_up = np.where(bad_params[:, None],
+                                  p_fill, np.nan_to_num(p_empty_up, nan=p_fill))
+        else:
+            p_empty_up = np.where(bad_params, p_fill,
+                                  np.nan_to_num(p_empty_up, nan=p_fill))
+        noise_nonempty = np.where(bad_params, 0.5,
+                                  np.nan_to_num(noise_nonempty, nan=0.5))
+        prior_down = np.where(bad_params, 0.0,
+                              np.nan_to_num(prior_down, nan=0.0))
+        prior_up_recovery = np.where(bad_params, 0.0,
+                                     np.nan_to_num(prior_up_recovery, nan=0.0))
+    if invalid_counts.any():
+        counts = np.where(invalid_counts, 0, counts)
 
     belief = np.full(n_blocks, BELIEF_CEIL)
     if initial_belief is not None:
@@ -156,12 +295,14 @@ def vector_belief_pass(
     for bin_index in range(n_bins):
         column = counts[:, bin_index]
         empty = column == 0
+        masked = invalid_counts[:, bin_index]
         p_empty = p_empty_up[:, bin_index] if time_varying else p_empty_up
         # Prediction.
         belief = belief * (1.0 - prior_down) + (1.0 - belief) * prior_up_recovery
         # Correction.  A non-empty bin is near-proof of up even when the
         # expected rate is tiny (quiet hour): floor its likelihood well
-        # above the noise term so arrivals always push toward up.
+        # above the noise term so arrivals always push toward up.  A
+        # masked (poisoned) entry carries no evidence either way.
         likelihood_up = np.where(empty, p_empty,
                                  np.maximum(1.0 - p_empty, 1e-3))
         extra = np.maximum(column - 1, 0)
@@ -169,6 +310,9 @@ def vector_belief_pass(
             np.power(8.0, -extra.astype(float)), 1.0 / _COUNT_RATIO_CAP)
         likelihood_down = np.where(empty, empty_down,
                                    noise_nonempty * count_discount)
+        if masked.any():
+            likelihood_up = np.where(masked, 1.0, likelihood_up)
+            likelihood_down = np.where(masked, 1.0, likelihood_down)
         numerator = belief * likelihood_up
         denominator = numerator + (1.0 - belief) * likelihood_down
         safe = denominator > 0
@@ -180,4 +324,13 @@ def vector_belief_pass(
         states[:, bin_index] = up
         if beliefs is not None:
             beliefs[:, bin_index] = belief
-    return states, beliefs
+    if bad_params.any():
+        # A row filtered on substitute parameters is not a verdict: pin
+        # it "up" so no phantom events leak out should a caller ignore
+        # the mask.  Rows poisoned only through their counts keep the
+        # neutralised trajectory — bit-identical to the scalar filter's
+        # no-evidence handling — and are reported for quarantine.
+        states[bad_params] = True
+        if beliefs is not None:
+            beliefs[bad_params] = BELIEF_CEIL
+    return states, beliefs, poisoned

@@ -28,6 +28,7 @@ from typing import Any, Dict, Mapping, Optional, Union
 from ..net.addr import Family
 from .detector import StreamingDetector
 from .events import RefinementConfig
+from .health import DeadLetterRegistry, ErrorBudget, GuardrailCounters
 from .history import BlockHistory
 from .parameters import BlockParameters
 from .pipeline import TrainedModel
@@ -58,6 +59,7 @@ def detector_to_json(detector: StreamingDetector) -> str:
         blocks[str(key)] = {
             "belief": state.belief.belief,
             "is_up": state.belief.is_up,
+            "guardrail_trips": state.belief.guardrail_trips,
             "next_bin_end": state.next_bin_end,
             "bin_count": state.bin_count,
             "last_packet": _finite_or_none(state.last_packet),
@@ -78,6 +80,13 @@ def detector_to_json(detector: StreamingDetector) -> str:
         "blocks": blocks,
         "sentinel": (detector.sentinel.to_dict()
                      if detector.sentinel is not None else None),
+        # Fault-containment state: quarantined blocks must stay
+        # quarantined across a restart (their in-memory evidence is
+        # gone; resurrecting them would fabricate clean-looking
+        # verdicts), and guardrail accounting survives with them.
+        "dead_letters": detector.dead_letters.as_dict(),
+        "guardrails": detector.guardrails.as_dict(),
+        "max_quarantine_frac": detector.budget.max_quarantine_frac,
     }
     return json.dumps(document, indent=1)
 
@@ -114,17 +123,34 @@ def detector_from_json(
                     else VantageSentinel.from_dict(sentinel_data))
         detector = StreamingDetector(
             family, histories, parameters, float(document["start"]),
-            refinement=refinement, sentinel=sentinel)
+            refinement=refinement, sentinel=sentinel,
+            max_quarantine_frac=float(
+                document.get("max_quarantine_frac",
+                             ErrorBudget().max_quarantine_frac)))
         detector._last_time = float(document["last_time"])
+        # Checkpoints from before fault containment lack these keys;
+        # default to empty so they still load (format stays version 1).
+        detector.dead_letters = DeadLetterRegistry.from_dict(
+            document.get("dead_letters", []))
+        detector.guardrails = GuardrailCounters.from_dict(
+            document.get("guardrails", {}))
+        for key in detector.dead_letters.keys():
+            # Quarantined blocks must not restart fresh: their evidence
+            # is gone and a fresh state would fabricate clean verdicts.
+            detector._states.pop(key, None)
         for key_text, entry in document["blocks"].items():
             key = int(key_text)
             state = detector._states.get(key)
             if state is None:
+                if key in detector.dead_letters:
+                    continue
                 raise CheckpointFormatError(
                     f"checkpoint block {key:#x} is not a measurable "
                     f"block of the supplied model")
             state.belief.belief = float(entry["belief"])
             state.belief.is_up = bool(entry["is_up"])
+            state.belief.guardrail_trips = int(
+                entry.get("guardrail_trips", 0))
             state.next_bin_end = float(entry["next_bin_end"])
             state.bin_count = int(entry["bin_count"])
             last_packet = entry.get("last_packet")

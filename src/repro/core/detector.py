@@ -24,12 +24,20 @@ from ..net.addr import Family
 from ..telescope.aggregate import BinGrid, binned_counts
 from ..telescope.records import Observation
 from ..timeline import OutageEvent, Timeline
-from .belief import BeliefState, vector_belief_pass
+from .belief import BeliefState, guarded_belief_pass
 from .events import (
     RefinementConfig,
     gap_outages,
     refine_timeline,
     states_to_timeline,
+)
+from .health import (
+    BlockDataError,
+    DeadLetterRegistry,
+    ErrorBudget,
+    ErrorBudgetExceeded,
+    GuardrailCounters,
+    RunHealthReport,
 )
 from .history import BlockHistory
 from .parameters import BlockParameters
@@ -63,12 +71,25 @@ class BlockResult:
 
 
 class PassiveDetector:
-    """Vectorised batch detection over a trained population."""
+    """Vectorised batch detection over a trained population.
+
+    Fault containment: every per-block computation runs inside a
+    supervised scope.  A block whose detection-window timestamps are
+    poisoned (non-finite), whose counts or parameters poison the
+    vectorised belief pass, or whose refinement raises is quarantined
+    into :attr:`last_dead_letters` — the rest of the population
+    completes untouched, and the chaos suite pins clean blocks to
+    bit-identical results against an unpoisoned run.
+    """
 
     def __init__(self, refinement: Optional[RefinementConfig] = None,
                  keep_belief_traces: bool = False) -> None:
         self.refinement = refinement or RefinementConfig()
         self.keep_belief_traces = keep_belief_traces
+        #: quarantine and guardrail accounting for the most recent
+        #: :meth:`detect` call (callers may pass their own instead).
+        self.last_dead_letters = DeadLetterRegistry()
+        self.last_guardrails = GuardrailCounters()
 
     def detect(
         self,
@@ -78,6 +99,8 @@ class PassiveDetector:
         parameters: Mapping[int, BlockParameters],
         start: float,
         end: float,
+        registry: Optional[DeadLetterRegistry] = None,
+        guardrails: Optional[GuardrailCounters] = None,
     ) -> Dict[int, BlockResult]:
         """Detect outages for every *measurable* block.
 
@@ -86,61 +109,138 @@ class PassiveDetector:
         ``parameters`` but missing from ``per_block`` are treated as
         silent for the whole window (which, for a measurable block, is
         one long outage).
+
+        ``registry``/``guardrails`` collect quarantined blocks and
+        guardrail trips; when omitted, fresh collectors are created and
+        exposed as :attr:`last_dead_letters`/:attr:`last_guardrails`.
+        Quarantined blocks are absent from the returned mapping.
         """
+        registry = registry if registry is not None else DeadLetterRegistry()
+        guardrails = (guardrails if guardrails is not None
+                      else GuardrailCounters())
+        self.last_dead_letters = registry
+        self.last_guardrails = guardrails
+
         groups: Dict[float, List[int]] = defaultdict(list)
         for key, params in parameters.items():
-            if params.measurable:
-                groups[params.bin_seconds].append(key)
+            if not params.measurable:
+                continue
+            # Supervised scope 1: the block's own input data.  NaN/inf
+            # timestamps would silently corrupt the count grid (bin_of
+            # clips garbage indices into range), so they must be caught
+            # here, not discovered as wrong verdicts later.
+            times = per_block.get(key)
+            if times is not None:
+                times = np.asarray(times)
+                if times.dtype.kind == "f" and not np.isfinite(times).all():
+                    bad = int((~np.isfinite(np.asarray(times))).sum())
+                    guardrails.trip("nonfinite_timestamp", bad)
+                    registry.record(
+                        "detect", key,
+                        BlockDataError(
+                            f"{bad} of {times.size} detection timestamps "
+                            f"are non-finite"),
+                        times)
+                    continue
+            if key not in histories:
+                registry.record(
+                    "detect", key,
+                    BlockDataError("no trained history for this block"))
+                continue
+            groups[params.bin_seconds].append(key)
 
         results: Dict[int, BlockResult] = {}
         for bin_seconds, keys in groups.items():
             keys.sort()
             grid = BinGrid(start, end, bin_seconds)
-            counts = binned_counts(keys, per_block, grid)
-            p_empty, noise, prior_down, prior_up = self._parameter_vectors(
-                keys, parameters)
-            p_empty_input: np.ndarray = p_empty
             if any(histories[key].diurnal_profile is not None
                    for key in keys):
                 # Diurnal-aware likelihood: per-(block, bin) empty-bin
-                # probability so nightly lulls stop counting as evidence.
+                # probability so nightly lulls stop counting as
+                # evidence.  Supervised scope 2: a poisoned diurnal
+                # profile (wrong shape, NaN rates) fails only its own
+                # block.
                 edges = grid.edges()
-                p_empty_input = np.empty((len(keys), grid.n_bins))
-                for row, key in enumerate(keys):
-                    rates = histories[key].likelihood_rates(edges)
-                    p_empty_input[row] = np.minimum(
-                        np.exp(-rates * bin_seconds), 1.0 - 1e-9)
-            states, beliefs = vector_belief_pass(
+                rows: Dict[int, np.ndarray] = {}
+                for key in list(keys):
+                    try:
+                        rates = histories[key].likelihood_rates(edges)
+                        rows[key] = np.minimum(
+                            np.exp(-rates * bin_seconds), 1.0 - 1e-9)
+                    except Exception as error:
+                        registry.record("detect", key, error,
+                                        histories[key].diurnal_profile)
+                        keys.remove(key)
+                if not keys:
+                    continue
+                p_empty_input = np.vstack([rows[key] for key in keys])
+            else:
+                p_empty_input = np.array(
+                    [parameters[k].p_empty_up for k in keys])
+            counts = binned_counts(keys, per_block, grid)
+            _, noise, prior_down, prior_up = self._parameter_vectors(
+                keys, parameters)
+            # Supervised scope 3: the vectorised pass masks rows whose
+            # counts or parameters are poisoned instead of letting NaN
+            # spread through the recurrence; masked rows are
+            # quarantined, not reported.
+            states, beliefs, poisoned = guarded_belief_pass(
                 counts, p_empty_input, noise, prior_down, prior_up,
                 down_threshold=parameters[keys[0]].down_threshold,
                 up_threshold=parameters[keys[0]].up_threshold,
-                return_beliefs=self.keep_belief_traces)
+                return_beliefs=self.keep_belief_traces,
+                guardrails=guardrails)
             for row, key in enumerate(keys):
-                times = per_block.get(key, np.empty(0))
-                coarse = states_to_timeline(states[row], grid)
-                refined = refine_timeline(
-                    coarse, times, histories[key].mean_rate, bin_seconds,
-                    self.refinement)
-                params = parameters[key]
-                mean_gap = (1.0 / histories[key].mean_rate
-                            if histories[key].mean_rate > 0 else bin_seconds)
-                gaps = gap_outages(
-                    times, params.gap_threshold_seconds, start, end,
-                    guard=self.refinement.guard_gaps * mean_gap)
-                if gaps:
-                    refined = Timeline(start, end,
-                                       refined.down_intervals + gaps)
-                results[key] = BlockResult(
-                    key=key,
-                    family=family,
-                    params=parameters[key],
-                    history=histories[key],
-                    timeline=refined,
-                    coarse_timeline=coarse,
-                    belief_trace=(beliefs[row] if beliefs is not None
-                                  else None),
-                )
+                if poisoned[row]:
+                    registry.record(
+                        "belief", key,
+                        BlockDataError(
+                            "non-finite counts or parameters poisoned "
+                            "the belief pass; row masked"),
+                        counts[row])
+                    continue
+                # Supervised scope 4: per-block refinement and the gap
+                # detector.
+                try:
+                    results[key] = self._build_result(
+                        family, key, per_block, histories[key],
+                        parameters[key], states[row],
+                        beliefs[row] if beliefs is not None else None,
+                        grid, start, end)
+                except Exception as error:
+                    registry.record("refine", key, error,
+                                    per_block.get(key))
         return results
+
+    def _build_result(self, family: Family, key: int,
+                      per_block: Mapping[int, np.ndarray],
+                      history: BlockHistory, params: BlockParameters,
+                      states: np.ndarray, belief_trace: Optional[np.ndarray],
+                      grid: BinGrid, start: float, end: float) -> BlockResult:
+        """Refine one block's bin-level states into its final result."""
+        bin_seconds = grid.bin_seconds
+        times = per_block.get(key, np.empty(0))
+        coarse = states_to_timeline(states, grid)
+        refined = refine_timeline(
+            coarse, times, history.mean_rate, bin_seconds,
+            self.refinement)
+        mean_gap = (1.0 / history.mean_rate
+                    if history.mean_rate > 0 else bin_seconds)
+        gaps = gap_outages(
+            times, params.gap_threshold_seconds, start, end,
+            guard=self.refinement.guard_gaps * mean_gap)
+        if gaps:
+            refined = Timeline(start, end,
+                               refined.down_intervals + gaps)
+        return BlockResult(
+            key=key,
+            family=family,
+            params=params,
+            history=history,
+            timeline=refined,
+            coarse_timeline=coarse,
+            belief_trace=belief_trace,
+        )
 
     @staticmethod
     def _parameter_vectors(keys: List[int],
@@ -190,6 +290,13 @@ class StreamingDetector:
     family, any block — feed health is a property of the tap, not the
     population), and ``finalize`` retracts per-block down-time that
     falls inside its quarantine windows.
+
+    Fault containment mirrors the batch detector: an exception while
+    processing one block's observation or closing one block's bin
+    quarantines that block into :attr:`dead_letters` and the stream
+    continues; ``finalize`` enforces the error budget
+    (``max_quarantine_frac``) and publishes a
+    :class:`~repro.core.health.RunHealthReport` as :attr:`last_health`.
     """
 
     def __init__(
@@ -200,12 +307,17 @@ class StreamingDetector:
         start: float,
         refinement: Optional[RefinementConfig] = None,
         sentinel: Optional[VantageSentinel] = None,
+        max_quarantine_frac: float = 0.5,
     ) -> None:
         self.family = family
         self.start = float(start)
         self.refinement = refinement or RefinementConfig()
         self.sentinel = sentinel
         self.histories = dict(histories)
+        self.dead_letters = DeadLetterRegistry()
+        self.guardrails = GuardrailCounters()
+        self.budget = ErrorBudget(max_quarantine_frac)
+        self.last_health: Optional[RunHealthReport] = None
         self._states: Dict[int, _StreamBlockState] = {}
         self._last_time = float(start)
         for key, params in parameters.items():
@@ -217,6 +329,7 @@ class StreamingDetector:
                 belief=BeliefState(params),
                 next_bin_end=self.start + params.bin_seconds,
             )
+        self._initial_blocks = len(self._states)
 
     @property
     def last_time(self) -> float:
@@ -224,7 +337,19 @@ class StreamingDetector:
         return self._last_time
 
     def observe(self, observation: Observation) -> None:
-        """Feed one observation (must be time-ordered)."""
+        """Feed one observation (must be time-ordered).
+
+        A non-finite timestamp is a *stream*-level fault (it would
+        corrupt the shared clock), so it raises; an exception while
+        processing the observation's own block is a *block*-level fault
+        and quarantines only that block.
+        """
+        if not np.isfinite(observation.time):
+            raise ValueError(
+                f"non-finite observation timestamp {observation.time!r}: "
+                f"reject poisoned records at the ingest boundary "
+                f"(merge_streams/ReorderBuffer) before they reach the "
+                f"detector clock")
         if observation.time < self._last_time - 1e-9:
             raise ValueError(
                 f"stream went backwards: {observation.time} after "
@@ -234,9 +359,18 @@ class StreamingDetector:
             self.sentinel.observe(observation.time)
         if observation.family is not self.family:
             return
-        state = self._states.get(observation.block_key)
+        key = observation.block_key
+        state = self._states.get(key)
         if state is None:
             return
+        try:
+            self._observe_block(state, observation)
+        except Exception as error:
+            self._quarantine(key, "stream", error)
+
+    def _observe_block(self, state: _StreamBlockState,
+                       observation: Observation) -> None:
+        """One block's share of :meth:`observe` (supervised scope)."""
         self._advance_block(state, observation.time)
         # Gap detector: a silence longer than the trained threshold is an
         # outage bounded by exact packet times, regardless of bin state.
@@ -260,8 +394,21 @@ class StreamingDetector:
         self._last_time = max(self._last_time, now)
         if self.sentinel is not None:
             self.sentinel.advance(now)
-        for state in self._states.values():
-            self._advance_block(state, now)
+        for key, state in list(self._states.items()):
+            try:
+                self._advance_block(state, now)
+            except Exception as error:
+                self._quarantine(key, "stream", error)
+
+    def _quarantine(self, key: int, stage: str,
+                    error: BaseException) -> None:
+        """Dead-letter one block and stop processing it."""
+        state = self._states.pop(key, None)
+        if state is not None:
+            # Preserve the trips the block absorbed before it died.
+            self.guardrails.trip("neutralised_bin",
+                                 state.belief.guardrail_trips)
+        self.dead_letters.record(stage, key, error)
 
     def finalize(self, end: float) -> Dict[int, BlockResult]:
         """Close the window at ``end`` and return per-block results.
@@ -270,32 +417,87 @@ class StreamingDetector:
         windows is retracted (the observer, not the block, was judged
         unhealthy) and the overlapping windows are recorded on each
         :class:`BlockResult`.
+
+        Enforces the error budget: when more than ``max_quarantine_frac``
+        of the blocks this detector started with have been dead-lettered,
+        raises :class:`~repro.core.health.ErrorBudgetExceeded` instead of
+        reporting a hollowed-out run as success.  The run's
+        :class:`~repro.core.health.RunHealthReport` is published as
+        :attr:`last_health` either way.
         """
         self.advance(end)
         quarantined = (self.sentinel.quarantined_intervals()
                        if self.sentinel is not None else [])
         results: Dict[int, BlockResult] = {}
-        for key, state in self._states.items():
-            coarse = Timeline.from_transitions(
-                self.start, end, state.transitions, initial_up=True)
-            # Streaming refinement already placed transition timestamps
-            # on packet evidence, so the coarse timeline is the result.
-            timeline = coarse
-            overlapping = [
-                (max(s, self.start), min(e, end))
-                for s, e in quarantined if s < end and e > self.start]
-            if overlapping:
-                timeline = suppress_quarantined(coarse, overlapping)
-            results[key] = BlockResult(
-                key=key,
-                family=self.family,
-                params=state.params,
-                history=state.history,
-                timeline=timeline,
-                coarse_timeline=coarse,
-                quarantined=overlapping,
-            )
+        for key, state in list(self._states.items()):
+            try:
+                coarse = Timeline.from_transitions(
+                    self.start, end, state.transitions, initial_up=True)
+                # Streaming refinement already placed transition
+                # timestamps on packet evidence, so the coarse timeline
+                # is the result.
+                timeline = coarse
+                overlapping = [
+                    (max(s, self.start), min(e, end))
+                    for s, e in quarantined if s < end and e > self.start]
+                if overlapping:
+                    timeline = suppress_quarantined(coarse, overlapping)
+                results[key] = BlockResult(
+                    key=key,
+                    family=self.family,
+                    params=state.params,
+                    history=state.history,
+                    timeline=timeline,
+                    coarse_timeline=coarse,
+                    quarantined=overlapping,
+                )
+            except Exception as error:
+                self._quarantine(key, "finalize", error)
+        self.last_health = self._build_health(end, quarantined)
+        try:
+            self.budget.check("stream", self._initial_blocks,
+                              len(self.dead_letters))
+        except ErrorBudgetExceeded as error:
+            error.report = self.last_health
+            raise
         return results
+
+    def health_report(self, end: Optional[float] = None) -> RunHealthReport:
+        """The most recent run health report (building one if needed)."""
+        if self.last_health is None:
+            windows = (self.sentinel.quarantined_intervals()
+                       if self.sentinel is not None else [])
+            self.last_health = self._build_health(
+                end if end is not None else self._last_time, windows)
+        return self.last_health
+
+    def _build_health(self, end: float,
+                      sentinel_windows: List[Tuple[float, float]]
+                      ) -> RunHealthReport:
+        guardrails = GuardrailCounters()
+        guardrails.merge(self.guardrails)
+        live_trips = sum(state.belief.guardrail_trips
+                         for state in self._states.values())
+        guardrails.trip("neutralised_bin", live_trips)
+        report = RunHealthReport(
+            run="streaming",
+            dead_letters=DeadLetterRegistry(self.dead_letters.entries),
+            guardrails=guardrails,
+            sentinel_windows=[(float(s), float(e))
+                              for s, e in sentinel_windows],
+            max_quarantine_frac=self.budget.max_quarantine_frac,
+        )
+        stage = report.stage("stream")
+        stage.seconds = max(0.0, end - self.start)
+        stage.attempted = self._initial_blocks
+        stage.quarantined = len(self.dead_letters)
+        stage.succeeded = stage.attempted - stage.quarantined
+        report.budget_tripped = (
+            self.budget.max_quarantine_frac < 1.0
+            and stage.attempted > 0
+            and stage.quarantined / stage.attempted
+            > self.budget.max_quarantine_frac)
+        return report
 
     # -- internals ----------------------------------------------------------
 

@@ -1,0 +1,425 @@
+"""Fault containment: dead-letter quarantine, error budget, run health.
+
+The compute path used to be all-or-nothing: one pathological block — a
+NaN count, a `p_empty_up` of exactly 1, a history with corrupt
+timestamps — aborted training or detection for the *entire* population.
+At the ROADMAP's target scale (millions of blocks from feeds the
+operator does not control) that failure mode is unacceptable: a single
+bad series must degrade to a *skipped* series, not a crashed job.
+
+This module provides the vocabulary the pipeline, the detectors, and
+the CLI share to make that happen:
+
+* :class:`DeadLetterRegistry` — the quarantine.  Every block whose
+  training, tuning, or detection raised (or violated a numerical
+  invariant) is recorded with its stage, the exception, and a digest of
+  the offending inputs, so an operator can replay exactly what broke
+  without trawling the raw feed.
+* :class:`ErrorBudget` — the circuit breaker.  Quarantining protects
+  the run from a bad block, but *silently* quarantining everything is
+  its own failure (a poisoned model, a decoder bug).  Above a
+  configurable quarantine fraction the run fails loudly with
+  :class:`ErrorBudgetExceeded` instead.
+* :class:`GuardrailCounters` — trip accounting for the numerical
+  guardrails in :mod:`repro.core.belief`: every neutralised NaN count,
+  masked matrix row, and clamped degenerate parameter is counted, so
+  "the run passed" and "the run passed because guardrails absorbed ten
+  thousand poisoned bins" are distinguishable.
+* :class:`RunHealthReport` — the artefact.  Per-stage timings and
+  attempted/succeeded/quarantined accounting, the dead letters, the
+  guardrail trips, and any sentinel quarantine windows, as one
+  JSON-serialisable document emitted by ``PassiveOutagePipeline``,
+  ``StreamingDetector.finalize``, and the ``detect``/``live`` CLI.
+
+This module sits at the bottom of :mod:`repro.core` and imports nothing
+from it, so every core layer may depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "BlockDataError",
+    "ErrorBudgetExceeded",
+    "ErrorBudget",
+    "DeadLetterEntry",
+    "DeadLetterRegistry",
+    "GuardrailCounters",
+    "StageStats",
+    "RunHealthReport",
+    "inputs_digest",
+]
+
+
+class BlockDataError(ValueError):
+    """One block's input data violates an invariant (non-finite
+    timestamps, unsorted arrivals, impossible parameters).
+
+    Raised *per block* so the supervised scopes in the pipeline can
+    quarantine the offender and continue; it never signals a run-level
+    problem.
+    """
+
+
+class ErrorBudgetExceeded(RuntimeError):
+    """Too large a fraction of the population was quarantined.
+
+    Carries the accounting so callers (and the CLI's distinct exit
+    code) can report precisely how the budget tripped.
+    """
+
+    def __init__(self, stage: str, attempted: int, quarantined: int,
+                 max_fraction: float) -> None:
+        self.stage = stage
+        self.attempted = attempted
+        self.quarantined = quarantined
+        self.max_fraction = max_fraction
+        #: the run's health report, attached by callers that have one
+        #: so the operator still gets the accounting on a tripped run.
+        self.report: Optional["RunHealthReport"] = None
+        fraction = quarantined / attempted if attempted else 1.0
+        super().__init__(
+            f"{stage}: quarantined {quarantined}/{attempted} blocks "
+            f"({fraction:.1%}), above the error budget of "
+            f"{max_fraction:.1%} — refusing to report a run this "
+            f"degraded as success")
+
+    @property
+    def fraction(self) -> float:
+        return (self.quarantined / self.attempted if self.attempted
+                else 1.0)
+
+
+@dataclass(frozen=True)
+class ErrorBudget:
+    """Quarantine-fraction circuit breaker.
+
+    ``max_quarantine_frac`` is the largest tolerable fraction of
+    attempted blocks landing in the dead-letter registry; exactly *at*
+    the threshold is still within budget.  A fraction of 1.0 disables
+    the breaker (every block may fail individually without failing the
+    run).
+    """
+
+    max_quarantine_frac: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.max_quarantine_frac <= 1.0:
+            raise ValueError("max_quarantine_frac must be in [0, 1]")
+
+    def check(self, stage: str, attempted: int, quarantined: int) -> None:
+        """Raise :class:`ErrorBudgetExceeded` when over budget."""
+        if attempted <= 0 or quarantined <= 0:
+            return
+        if self.max_quarantine_frac >= 1.0:
+            return
+        if quarantined / attempted > self.max_quarantine_frac:
+            raise ErrorBudgetExceeded(stage, attempted, quarantined,
+                                      self.max_quarantine_frac)
+
+
+def inputs_digest(values: Any) -> str:
+    """Deterministic fingerprint of a block's offending inputs.
+
+    Summarises rather than copies (the inputs may be megabytes of
+    timestamps): element count, finite count, and a short blake2b of
+    the raw bytes, enough to match a dead letter to its source data
+    and to spot two blocks poisoned identically.
+    """
+    try:
+        array = np.asarray(values)
+    except Exception:  # truly malformed inputs still deserve a digest
+        text = repr(values).encode("utf-8", "replace")
+        return f"repr:{hashlib.blake2b(text, digest_size=6).hexdigest()}"
+    if array.dtype == object or array.dtype.kind in "US":
+        text = repr(values).encode("utf-8", "replace")
+        return f"repr:{hashlib.blake2b(text, digest_size=6).hexdigest()}"
+    finite = int(np.isfinite(array).sum()) if array.size else 0
+    blob = np.ascontiguousarray(array).tobytes()
+    digest = hashlib.blake2b(blob, digest_size=6).hexdigest()
+    return f"n={array.size},finite={finite},blake2b={digest}"
+
+
+@dataclass(frozen=True)
+class DeadLetterEntry:
+    """One quarantined block: who, where, why, and on what data."""
+
+    block_key: int
+    stage: str
+    error_type: str
+    error: str
+    digest: str = ""
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "block_key": self.block_key,
+            "stage": self.stage,
+            "error_type": self.error_type,
+            "error": self.error,
+            "digest": self.digest,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "DeadLetterEntry":
+        return cls(
+            block_key=int(data["block_key"]),
+            stage=str(data["stage"]),
+            error_type=str(data["error_type"]),
+            error=str(data["error"]),
+            digest=str(data.get("digest", "")),
+        )
+
+
+class DeadLetterRegistry:
+    """Structured quarantine for blocks the run could not process.
+
+    Append-only; a block may accumulate entries from several stages
+    (history poisoned at train time *and* counts poisoned at detect
+    time) but counts once toward the error budget.
+    """
+
+    def __init__(self,
+                 entries: Optional[Iterable[DeadLetterEntry]] = None) -> None:
+        self.entries: List[DeadLetterEntry] = list(entries or ())
+
+    def record(self, stage: str, block_key: int, error: BaseException,
+               inputs: Any = None) -> DeadLetterEntry:
+        """Quarantine one block with the exception that condemned it."""
+        entry = DeadLetterEntry(
+            block_key=int(block_key),
+            stage=stage,
+            error_type=type(error).__name__,
+            error=str(error),
+            digest="" if inputs is None else inputs_digest(inputs),
+        )
+        self.entries.append(entry)
+        return entry
+
+    def keys(self) -> List[int]:
+        """Distinct quarantined block keys, sorted."""
+        return sorted({entry.block_key for entry in self.entries})
+
+    def by_stage(self, stage: str) -> List[DeadLetterEntry]:
+        return [entry for entry in self.entries if entry.stage == stage]
+
+    def __len__(self) -> int:
+        return len({entry.block_key for entry in self.entries})
+
+    def __contains__(self, block_key: int) -> bool:
+        return any(entry.block_key == block_key for entry in self.entries)
+
+    def __bool__(self) -> bool:
+        return bool(self.entries)
+
+    def extend(self, other: "DeadLetterRegistry") -> None:
+        self.entries.extend(other.entries)
+
+    def as_dict(self) -> List[Dict[str, Any]]:
+        return [entry.as_dict() for entry in self.entries]
+
+    @classmethod
+    def from_dict(cls, data: Sequence[Dict[str, Any]]
+                  ) -> "DeadLetterRegistry":
+        return cls(DeadLetterEntry.from_dict(entry) for entry in data)
+
+
+class GuardrailCounters:
+    """Trip counts for the numerical guardrails, keyed by guard name.
+
+    Known keys (others may appear as guards are added):
+
+    * ``nonfinite_count`` — a NaN/inf bin count neutralised to
+      no-evidence;
+    * ``negative_count`` — a negative bin count neutralised;
+    * ``masked_row`` — a whole block row masked out of the vectorised
+      belief pass;
+    * ``degenerate_p_empty`` — a p_empty_up at/beyond {0, 1} clamped;
+    * ``nonfinite_parameter`` — a non-finite parameter vector entry
+      detected in the vectorised pass;
+    * ``nonfinite_timestamp`` — a non-finite arrival timestamp rejected
+      at an ingest boundary.
+    """
+
+    def __init__(self, counts: Optional[Dict[str, int]] = None) -> None:
+        self._counts: Dict[str, int] = dict(counts or {})
+
+    def trip(self, guard: str, count: int = 1) -> None:
+        if count:
+            self._counts[guard] = self._counts.get(guard, 0) + int(count)
+
+    def count(self, guard: str) -> int:
+        return self._counts.get(guard, 0)
+
+    @property
+    def total(self) -> int:
+        return sum(self._counts.values())
+
+    def merge(self, other: "GuardrailCounters") -> None:
+        for guard, count in other._counts.items():
+            self.trip(guard, count)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {guard: self._counts[guard] for guard in sorted(self._counts)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, int]) -> "GuardrailCounters":
+        return cls({str(k): int(v) for k, v in data.items()})
+
+    def __bool__(self) -> bool:
+        return self.total > 0
+
+    def __repr__(self) -> str:
+        return f"GuardrailCounters({self.as_dict()!r})"
+
+
+@dataclass
+class StageStats:
+    """Accounting for one pipeline stage (train, tune, detect, ...)."""
+
+    name: str
+    seconds: float = 0.0
+    attempted: int = 0
+    succeeded: int = 0
+    quarantined: int = 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "seconds": self.seconds,
+            "attempted": self.attempted,
+            "succeeded": self.succeeded,
+            "quarantined": self.quarantined,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "StageStats":
+        return cls(
+            name=str(data["name"]),
+            seconds=float(data.get("seconds", 0.0)),
+            attempted=int(data.get("attempted", 0)),
+            succeeded=int(data.get("succeeded", 0)),
+            quarantined=int(data.get("quarantined", 0)),
+        )
+
+
+@dataclass
+class RunHealthReport:
+    """One run's health: stage accounting, quarantine, guardrail trips.
+
+    JSON-serialisable (:meth:`as_dict`/:meth:`to_json`) and restorable
+    (:meth:`from_dict`), so it travels inside checkpoints and lands on
+    disk via the CLI's ``--health-report``.  ``sentinel_windows`` are
+    the vantage sentinel's feed-quarantine intervals, distinct from
+    block-level dead letters: the former say "the *observer* was
+    unhealthy here", the latter "this *block's data* was unusable".
+    """
+
+    run: str = "pipeline"
+    stages: List[StageStats] = field(default_factory=list)
+    dead_letters: DeadLetterRegistry = field(
+        default_factory=DeadLetterRegistry)
+    guardrails: GuardrailCounters = field(default_factory=GuardrailCounters)
+    sentinel_windows: List[Tuple[float, float]] = field(default_factory=list)
+    max_quarantine_frac: float = 1.0
+    budget_tripped: bool = False
+
+    # -- accounting ---------------------------------------------------------
+
+    def stage(self, name: str) -> StageStats:
+        """Fetch (or create) the stats row for one stage."""
+        for stats in self.stages:
+            if stats.name == name:
+                return stats
+        stats = StageStats(name)
+        self.stages.append(stats)
+        return stats
+
+    @property
+    def blocks_attempted(self) -> int:
+        return max((stats.attempted for stats in self.stages), default=0)
+
+    @property
+    def blocks_quarantined(self) -> int:
+        return len(self.dead_letters)
+
+    @property
+    def blocks_succeeded(self) -> int:
+        return self.blocks_attempted - self.blocks_quarantined
+
+    @property
+    def quarantine_fraction(self) -> float:
+        attempted = self.blocks_attempted
+        if attempted == 0:
+            return 0.0
+        return self.blocks_quarantined / attempted
+
+    def accounts_for(self, keys: Iterable[int]) -> bool:
+        """True when every key is either succeeded or dead-lettered.
+
+        The chaos suite's completeness check: no block may silently
+        vanish from a run.
+        """
+        expected = set(keys)
+        quarantined = set(self.dead_letters.keys())
+        if not quarantined <= expected:
+            return False  # quarantined a block that was never attempted
+        if self.blocks_attempted != len(expected):
+            return False
+        return self.blocks_succeeded == len(expected - quarantined)
+
+    # -- serialisation ------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "run": self.run,
+            "stages": [stats.as_dict() for stats in self.stages],
+            "dead_letters": self.dead_letters.as_dict(),
+            "guardrails": self.guardrails.as_dict(),
+            "sentinel_windows": [list(pair)
+                                 for pair in self.sentinel_windows],
+            "max_quarantine_frac": self.max_quarantine_frac,
+            "budget_tripped": self.budget_tripped,
+            "blocks_attempted": self.blocks_attempted,
+            "blocks_succeeded": self.blocks_succeeded,
+            "blocks_quarantined": self.blocks_quarantined,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), indent=1)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunHealthReport":
+        return cls(
+            run=str(data.get("run", "pipeline")),
+            stages=[StageStats.from_dict(entry)
+                    for entry in data.get("stages", [])],
+            dead_letters=DeadLetterRegistry.from_dict(
+                data.get("dead_letters", [])),
+            guardrails=GuardrailCounters.from_dict(
+                data.get("guardrails", {})),
+            sentinel_windows=[(float(s), float(e))
+                              for s, e in data.get("sentinel_windows", [])],
+            max_quarantine_frac=float(data.get("max_quarantine_frac", 1.0)),
+            budget_tripped=bool(data.get("budget_tripped", False)),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunHealthReport":
+        return cls.from_dict(json.loads(text))
+
+    def summary(self) -> str:
+        """One-line operator summary for CLI output."""
+        parts = [f"{self.blocks_succeeded}/{self.blocks_attempted} blocks ok"]
+        if self.blocks_quarantined:
+            parts.append(f"{self.blocks_quarantined} quarantined")
+        if self.guardrails:
+            parts.append(f"{self.guardrails.total} guardrail trips")
+        if self.sentinel_windows:
+            parts.append(f"{len(self.sentinel_windows)} sentinel windows")
+        return ", ".join(parts)

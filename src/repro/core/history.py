@@ -16,6 +16,7 @@ from typing import Dict, Mapping, Optional
 import numpy as np
 
 from ..traffic.rates import DensityClass, classify_rate
+from .health import BlockDataError
 
 __all__ = ["BlockHistory", "train_history", "train_histories"]
 
@@ -136,11 +137,27 @@ class BlockHistory:
 
 def train_history(times: np.ndarray, start: float, end: float,
                   learn_diurnal: bool = True) -> BlockHistory:
-    """Summarise one block's training arrivals over ``[start, end)``."""
+    """Summarise one block's training arrivals over ``[start, end)``.
+
+    Raises :class:`~repro.core.health.BlockDataError` on poisoned input
+    (non-finite or unsorted timestamps): a history trained on corrupt
+    arrivals would mistune every downstream parameter, so the block
+    must be quarantined instead — the pipeline's per-block supervised
+    scope turns this exception into a dead-letter entry.
+    """
+    if not (np.isfinite(start) and np.isfinite(end)):
+        raise ValueError("training window bounds must be finite")
     span = end - start
-    if span <= 0:
+    if not span > 0:
         raise ValueError("training window must have positive span")
     times = np.asarray(times, dtype=float)
+    bad = ~np.isfinite(times)
+    if bad.any():
+        raise BlockDataError(
+            f"{int(bad.sum())} of {times.size} training timestamps are "
+            f"non-finite (first at index {int(np.flatnonzero(bad)[0])})")
+    if times.size >= 2 and np.any(np.diff(times) < 0):
+        raise BlockDataError("training timestamps are not sorted")
     times = times[(times >= start) & (times < end)]
     count = int(times.size)
     mean_rate = count / span

@@ -56,9 +56,17 @@ class BlockParameters:
     #: detector for blocks whose training history is too thin to trust.
     gap_threshold_seconds: float = float("inf")
 
+    #: probabilities are clamped strictly inside (0, 1) by this margin;
+    #: a ``p_empty_up`` of exactly 0 or 1 would zero one side of every
+    #: likelihood ratio and make the posterior absorbing.
+    PROB_EPS = 1e-9
+
     def __post_init__(self) -> None:
-        if not 0.0 < self.bin_seconds:
-            raise ValueError("bin_seconds must be positive")
+        if not (np.isfinite(self.bin_seconds) and self.bin_seconds > 0.0):
+            raise ValueError(
+                f"bin_seconds={self.bin_seconds} must be positive and "
+                f"finite (zero-width or non-finite bins cannot index a "
+                f"count grid)")
         for name in ("p_empty_up", "noise_nonempty", "prior_down",
                      "prior_up_recovery", "down_threshold", "up_threshold"):
             value = getattr(self, name)
@@ -66,6 +74,19 @@ class BlockParameters:
                 raise ValueError(f"{name}={value} outside [0, 1]")
         if self.down_threshold >= self.up_threshold:
             raise ValueError("down threshold must sit below up threshold")
+        if np.isnan(self.gap_threshold_seconds):
+            raise ValueError("gap_threshold_seconds must not be NaN "
+                             "(use inf to disable the gap detector)")
+        # Degenerate-likelihood guard: admit boundary inputs (an
+        # untrained or deserialised model may legitimately carry
+        # p_empty_up of 0.0 or 1.0) but store them clamped so no
+        # downstream likelihood ratio can divide by zero or absorb.
+        eps = self.PROB_EPS
+        for name in ("p_empty_up", "noise_nonempty"):
+            value = getattr(self, name)
+            clamped = min(max(value, eps), 1.0 - eps)
+            if clamped != value:
+                object.__setattr__(self, name, clamped)
 
 
 @dataclass(frozen=True)

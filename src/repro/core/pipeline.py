@@ -17,6 +17,7 @@ unmeasurable.
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional
 
@@ -32,7 +33,14 @@ from .aggregation import (
 )
 from .detector import BlockResult, PassiveDetector
 from .events import RefinementConfig
-from .history import BlockHistory, train_histories
+from .health import (
+    DeadLetterRegistry,
+    ErrorBudget,
+    ErrorBudgetExceeded,
+    GuardrailCounters,
+    RunHealthReport,
+)
+from .history import BlockHistory, train_history
 from .parameters import (
     BlockParameters,
     HomogeneousPlanner,
@@ -45,13 +53,22 @@ __all__ = ["TrainedModel", "PipelineResult", "PassiveOutagePipeline"]
 
 @dataclass
 class TrainedModel:
-    """Output of the training pass for one family."""
+    """Output of the training pass for one family.
+
+    ``dead_letters`` records blocks quarantined during training or
+    tuning (poisoned histories, parameter failures); they carry no
+    history or parameters and are excluded from detection.  ``health``
+    is the training run's :class:`~repro.core.health.RunHealthReport`.
+    """
 
     family: Family
     histories: Dict[int, BlockHistory]
     parameters: Dict[int, BlockParameters]
     train_start: float
     train_end: float
+    dead_letters: DeadLetterRegistry = field(
+        default_factory=DeadLetterRegistry)
+    health: Optional[RunHealthReport] = None
 
     @property
     def measurable_keys(self) -> List[int]:
@@ -79,10 +96,19 @@ class PipelineResult:
     blocks: Dict[int, BlockResult]
     aggregated: Dict[int, BlockResult] = field(default_factory=dict)
     aggregation_plan: Optional[AggregationPlan] = None
+    #: blocks quarantined during this detection run (absent from
+    #: ``blocks``), plus the run's health accounting.
+    dead_letters: DeadLetterRegistry = field(
+        default_factory=DeadLetterRegistry)
+    health: Optional[RunHealthReport] = None
 
     @property
     def measurable_count(self) -> int:
         return len(self.blocks)
+
+    @property
+    def quarantined_keys(self) -> List[int]:
+        return self.dead_letters.keys()
 
     def blocks_with_outages(self, min_duration: float = 0.0) -> List[int]:
         """Keys of blocks reporting >= 1 outage of the given length."""
@@ -114,6 +140,10 @@ class PassiveOutagePipeline:
         homogeneous planner — the ablation the paper argues against.
     aggregation_levels:
         prefix bits collapsed by the spatial fallback (0 disables it).
+    max_quarantine_frac:
+        error budget — the largest fraction of attempted blocks that
+        may be quarantined before the run fails loudly with
+        :class:`~repro.core.health.ErrorBudgetExceeded` (1.0 disables).
     """
 
     def __init__(
@@ -124,6 +154,7 @@ class PassiveOutagePipeline:
         aggregation_levels: int = 4,
         learn_diurnal: bool = True,
         keep_belief_traces: bool = False,
+        max_quarantine_frac: float = 0.5,
     ) -> None:
         self.policy = policy or TuningPolicy()
         self.refinement = refinement or RefinementConfig()
@@ -135,18 +166,67 @@ class PassiveOutagePipeline:
         self.aggregation_levels = aggregation_levels
         self.learn_diurnal = learn_diurnal
         self.detector = PassiveDetector(self.refinement, keep_belief_traces)
+        self.budget = ErrorBudget(max_quarantine_frac)
 
     # -- training --------------------------------------------------------
 
     def train(self, family: Family, per_block: Mapping[int, np.ndarray],
               start: float, end: float) -> TrainedModel:
-        """Learn histories and tune parameters from a clean window."""
-        histories = train_histories(per_block, start, end,
-                                    self.learn_diurnal)
-        parameters = self.planner.plan(histories)
+        """Learn histories and tune parameters from a clean window.
+
+        Each block trains and tunes inside a supervised scope: a
+        poisoned history (non-finite timestamps, degenerate summaries)
+        or a tuning failure quarantines that block into the model's
+        dead-letter registry while the rest of the population trains
+        normally.  Exceeding the error budget raises
+        :class:`~repro.core.health.ErrorBudgetExceeded`.
+        """
+        registry = DeadLetterRegistry()
+        report = RunHealthReport(
+            run="train", dead_letters=registry,
+            max_quarantine_frac=self.budget.max_quarantine_frac)
+
+        train_stage = report.stage("train")
+        clock = _time.perf_counter()
+        histories: Dict[int, BlockHistory] = {}
+        for key, times in per_block.items():
+            train_stage.attempted += 1
+            try:
+                histories[key] = train_history(times, start, end,
+                                               self.learn_diurnal)
+                train_stage.succeeded += 1
+            except Exception as error:
+                train_stage.quarantined += 1
+                registry.record("train", key, error, times)
+        train_stage.seconds = _time.perf_counter() - clock
+
+        tune_stage = report.stage("tune")
+        clock = _time.perf_counter()
+        parameters: Dict[int, BlockParameters] = {}
+        for key, history in histories.items():
+            tune_stage.attempted += 1
+            try:
+                parameters[key] = self.planner.plan_block(history)
+                tune_stage.succeeded += 1
+            except Exception as error:
+                tune_stage.quarantined += 1
+                registry.record("tune", key, error)
+        tune_stage.seconds = _time.perf_counter() - clock
+        # A block that failed tuning has a history but no parameters;
+        # drop the orphan so the model stays internally consistent.
+        for key in registry.keys():
+            histories.pop(key, None)
+
+        try:
+            self.budget.check("train", len(per_block), len(registry))
+        except ErrorBudgetExceeded as error:
+            report.budget_tripped = True
+            error.report = report
+            raise
         return TrainedModel(family=family, histories=histories,
                             parameters=parameters,
-                            train_start=start, train_end=end)
+                            train_start=start, train_end=end,
+                            dead_letters=registry, health=report)
 
     def train_from_batch(self, batch: ObservationBatch, start: float,
                          end: float) -> TrainedModel:
@@ -158,14 +238,52 @@ class PassiveOutagePipeline:
     def detect(self, model: TrainedModel,
                per_block: Mapping[int, np.ndarray],
                start: float, end: float) -> PipelineResult:
-        """Run detection over ``[start, end)`` with a trained model."""
+        """Run detection over ``[start, end)`` with a trained model.
+
+        Per-block faults (poisoned timestamps or counts, degenerate
+        parameters, refinement failures) quarantine the offending block
+        into ``result.dead_letters``; every other block's result is
+        bit-identical to a run without the poison.  The run's health
+        accounting lands on ``result.health``, and exceeding the error
+        budget raises :class:`~repro.core.health.ErrorBudgetExceeded`.
+        """
+        registry = DeadLetterRegistry()
+        guardrails = GuardrailCounters()
+        report = RunHealthReport(
+            run="detect", dead_letters=registry, guardrails=guardrails,
+            max_quarantine_frac=self.budget.max_quarantine_frac)
+
+        detect_stage = report.stage("detect")
+        clock = _time.perf_counter()
+        measurable = [key for key, params in model.parameters.items()
+                      if params.measurable]
         blocks = self.detector.detect(
             model.family, per_block, model.histories, model.parameters,
-            start, end)
+            start, end, registry=registry, guardrails=guardrails)
+        detect_stage.seconds = _time.perf_counter() - clock
+        detect_stage.attempted = len(measurable)
+        detect_stage.succeeded = len(blocks)
+        detect_stage.quarantined = len(registry)
+
         result = PipelineResult(family=model.family, start=start, end=end,
-                                blocks=blocks)
+                                blocks=blocks, dead_letters=registry,
+                                health=report)
+        # Budget is judged on the primary population before the
+        # best-effort aggregation fallback runs.
+        try:
+            self.budget.check("detect", len(measurable), len(registry))
+        except ErrorBudgetExceeded as error:
+            report.budget_tripped = True
+            error.report = report
+            raise
         if self.aggregation_levels > 0 and model.unmeasurable_keys:
-            self._detect_aggregated(model, per_block, start, end, result)
+            aggregate_stage = report.stage("aggregate")
+            clock = _time.perf_counter()
+            self._detect_aggregated(model, per_block, start, end, result,
+                                    registry)
+            aggregate_stage.seconds = _time.perf_counter() - clock
+            aggregate_stage.attempted = len(result.aggregated)
+            aggregate_stage.succeeded = len(result.aggregated)
         return result
 
     def detect_from_batch(self, model: TrainedModel,
@@ -176,8 +294,11 @@ class PassiveOutagePipeline:
     def _detect_aggregated(self, model: TrainedModel,
                            per_block: Mapping[int, np.ndarray],
                            start: float, end: float,
-                           result: PipelineResult) -> None:
+                           result: PipelineResult,
+                           registry: Optional[DeadLetterRegistry] = None,
+                           ) -> None:
         """Fallback pass over supernets of the unmeasurable blocks."""
+        registry = registry if registry is not None else DeadLetterRegistry()
         plan = plan_aggregation(model.family, model.unmeasurable_keys,
                                 self.aggregation_levels)
         if not plan.groups:
@@ -185,14 +306,22 @@ class PassiveOutagePipeline:
         merged = merge_streams_for_plan(plan, per_block)
         # Supernet history: re-train over the training window by merging
         # the members' training estimate — rates add across children.
+        # A supernet whose merge or tuning fails is quarantined alone.
         histories: Dict[int, BlockHistory] = {}
+        parameters: Dict[int, BlockParameters] = {}
         for super_key, children in plan.groups.items():
-            child_histories = [model.histories[c] for c in children
-                               if c in model.histories]
-            histories[super_key] = _merge_histories(child_histories)
-        parameters = self.planner.plan(histories)
+            try:
+                child_histories = [model.histories[c] for c in children
+                                   if c in model.histories]
+                histories[super_key] = _merge_histories(child_histories)
+                parameters[super_key] = self.planner.plan_block(
+                    histories[super_key])
+            except Exception as error:
+                histories.pop(super_key, None)
+                registry.record("aggregate", super_key, error)
         result.aggregated = self.detector.detect(
-            model.family, merged, histories, parameters, start, end)
+            model.family, merged, histories, parameters, start, end,
+            registry=registry)
         result.aggregation_plan = plan
 
 

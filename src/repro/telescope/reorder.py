@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import enum
 import heapq
+import math
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, List, Optional, Tuple
 
@@ -117,10 +118,21 @@ class ReorderBuffer:
         return len(self._heap)
 
     def push(self, observation: Observation) -> List[Observation]:
-        """Add one arrival; return the records now past the watermark."""
+        """Add one arrival; return the records now past the watermark.
+
+        A non-finite timestamp raises :class:`ValueError` regardless of
+        the late policy: NaN compares false against the watermark (it
+        would silently corrupt the heap order) and inf would advance the
+        front so far that every later genuine arrival looks late.
+        """
         stats = self.stats
         stats.pushed += 1
         time = observation.time
+        if not math.isfinite(time):
+            raise ValueError(
+                f"arrival {stats.pushed - 1} has a non-finite timestamp "
+                f"t={time!r}; a NaN defeats watermark ordering and an "
+                f"inf would wedge the reorder front")
         if time < self._last_arrival:
             stats.out_of_order += 1
             stats.max_displacement_seconds = max(

@@ -11,6 +11,7 @@ bin-sized chunks, which is exactly the shape the streaming detector
 from __future__ import annotations
 
 import heapq
+import math
 from typing import Iterable, Iterator, List, Optional, Tuple
 
 from .records import Observation
@@ -31,13 +32,33 @@ def merge_streams(*streams: Iterable[Observation]) -> Iterator[Observation]:
     An unsorted input raises :class:`ValueError` naming the offending
     stream and both timestamps.  For feeds with bounded disorder, wrap
     the input in :func:`repro.telescope.reorder.reorder_stream` instead.
+
+    A NaN or infinite timestamp also raises :class:`ValueError`, naming
+    the stream and the record's index within it.  NaN cannot be merge-
+    ordered at all (every comparison is false, so it would slide through
+    the heap unnoticed and poison every downstream bin count), and an
+    infinite time would wedge the merge front permanently.
     """
     heap: List[Tuple[float, int, Observation, Iterator[Observation]]] = []
+    # Per-stream count of records consumed so far, for diagnostics.
+    consumed = [0] * len(streams)
+
+    def _checked_time(observation: Observation, index: int) -> float:
+        record_index = consumed[index]
+        consumed[index] += 1
+        time = observation.time
+        if not math.isfinite(time):
+            raise ValueError(
+                f"input stream {index} record {record_index} has a "
+                f"non-finite timestamp t={time!r}; refusing to merge it "
+                f"(NaN defeats time ordering, inf wedges the merge front)")
+        return time
+
     for index, stream in enumerate(streams):
         iterator = iter(stream)
         first = next(iterator, None)
         if first is not None:
-            heap.append((first.time, index, first, iterator))
+            heap.append((_checked_time(first, index), index, first, iterator))
     heapq.heapify(heap)
     previous_time = float("-inf")
     previous_index = -1
@@ -54,7 +75,9 @@ def merge_streams(*streams: Iterable[Observation]) -> Iterator[Observation]:
         yield observation
         following = next(iterator, None)
         if following is not None:
-            heapq.heappush(heap, (following.time, index, following, iterator))
+            heapq.heappush(
+                heap,
+                (_checked_time(following, index), index, following, iterator))
 
 
 def window_stream(stream: Iterable[Observation], start: float,

@@ -10,9 +10,12 @@ from .faults import (
     clock_skew,
     compose,
     corrupt_capture,
+    degenerate_parameters,
     drop_observations,
     duplicate_observations,
     feed_gap,
+    poison_block_times,
+    poison_timestamps,
     reorder_observations,
 )
 
@@ -20,8 +23,11 @@ __all__ = [
     "clock_skew",
     "compose",
     "corrupt_capture",
+    "degenerate_parameters",
     "drop_observations",
     "duplicate_observations",
     "feed_gap",
+    "poison_block_times",
+    "poison_timestamps",
     "reorder_observations",
 ]

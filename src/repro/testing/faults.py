@@ -19,8 +19,10 @@ does alter them (a drifting capture clock).
 
 from __future__ import annotations
 
+import copy
 import heapq
-from typing import Callable, Iterable, Iterator, List, Optional, Tuple
+from typing import (Any, Callable, Dict, Iterable, Iterator, List, Mapping,
+                    Optional, Tuple)
 
 import numpy as np
 
@@ -29,7 +31,8 @@ from ..telescope.records import Observation
 
 __all__ = ["drop_observations", "duplicate_observations",
            "reorder_observations", "clock_skew", "feed_gap",
-           "corrupt_capture", "compose"]
+           "corrupt_capture", "poison_timestamps", "poison_block_times",
+           "degenerate_parameters", "compose"]
 
 Stream = Iterable[Observation]
 Mutator = Callable[[Stream], Iterator[Observation]]
@@ -154,6 +157,106 @@ def corrupt_capture(payload: bytes, rng: np.random.Generator,
         mutated[family_offset] = 0xFF  # neither 4 nor 6
         return header + bytes(mutated)
     raise ValueError(f"unknown corruption mode {mode!r}")
+
+
+def poison_timestamps(stream: Stream, fraction: float,
+                      rng: np.random.Generator,
+                      poison: float = float("nan"),
+                      ) -> Iterator[Observation]:
+    """Replace a random subset of timestamps with a non-finite value.
+
+    Models a decoder bug or garbage capture hardware emitting NaN/inf
+    times.  The ingest layer is expected to *reject* these loudly
+    (``merge_streams``/``ReorderBuffer``) and the streaming detector to
+    refuse them at :meth:`observe` — a NaN that slips past either would
+    silently corrupt bin ordering, so the chaos suite feeds this mutator
+    to pin the refusal.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    for observation in stream:
+        if rng.random() < fraction:
+            yield Observation(poison, observation.family,
+                              observation.source, observation.qtype)
+        else:
+            yield observation
+
+
+def poison_block_times(per_block: Mapping[int, np.ndarray],
+                       keys: Iterable[int],
+                       mode: str = "nan",
+                       ) -> Dict[int, np.ndarray]:
+    """Copy a per-block times mapping with the chosen blocks poisoned.
+
+    Data-level counterpart of :func:`poison_timestamps` for the batch
+    pipeline, which consumes ``{block_key: sorted times}`` mappings
+    rather than streams.  Untouched blocks share the original arrays
+    (no copy), which is what lets the chaos suite assert their results
+    are *bit-identical* with and without the poison.
+
+    ``nan``
+        overwrite the middle timestamp with NaN.
+    ``inf``
+        overwrite the last timestamp with +inf (appended when empty).
+    ``unsorted``
+        swap the first and last timestamps, breaking sort order.
+    """
+    keys = list(keys)
+    missing = [key for key in keys if key not in per_block]
+    if missing:
+        raise KeyError(f"cannot poison absent blocks {missing!r}")
+    poisoned = dict(per_block)
+    for key in keys:
+        times = np.array(per_block[key], dtype=float, copy=True)
+        if mode == "nan":
+            if times.size == 0:
+                times = np.array([np.nan])
+            else:
+                times[times.size // 2] = np.nan
+        elif mode == "inf":
+            if times.size == 0:
+                times = np.array([np.inf])
+            else:
+                times[-1] = np.inf
+        elif mode == "unsorted":
+            if times.size < 2:
+                raise ValueError(
+                    f"block {key:#x} has {times.size} arrivals; need >= 2 "
+                    f"to break sort order")
+            times[0], times[-1] = times[-1], times[0]
+        else:
+            raise ValueError(f"unknown poison mode {mode!r}")
+        poisoned[key] = times
+    return poisoned
+
+
+def degenerate_parameters(parameters: Mapping[int, Any],
+                          keys: Iterable[int],
+                          field: str = "p_empty_up",
+                          value: float = float("nan"),
+                          ) -> Dict[int, Any]:
+    """Copy a parameters mapping with chosen blocks' models corrupted.
+
+    Simulates a poisoned *model* (a bad deserialisation, a bit-flipped
+    checkpoint) rather than poisoned data.  The parameter class
+    validates and clamps on construction, so the corruption is applied
+    through ``object.__setattr__`` on a shallow copy — exactly the
+    backdoor a corrupt pickle or buggy migration would use.  Untouched
+    blocks share the original objects.
+    """
+    keys = list(keys)
+    missing = [key for key in keys if key not in parameters]
+    if missing:
+        raise KeyError(f"cannot corrupt absent blocks {missing!r}")
+    corrupted = dict(parameters)
+    for key in keys:
+        params = copy.copy(parameters[key])
+        if not hasattr(params, field):
+            raise AttributeError(
+                f"parameters for block {key:#x} have no field {field!r}")
+        object.__setattr__(params, field, value)
+        corrupted[key] = params
+    return corrupted
 
 
 def compose(stream: Stream, *mutators: Mutator) -> Iterator[Observation]:

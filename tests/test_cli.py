@@ -1,8 +1,11 @@
 """Command-line interface."""
 
+import json
+
+import numpy as np
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import EXIT_BUDGET_TRIPPED, build_parser, main
 
 
 class TestParser:
@@ -114,3 +117,72 @@ class TestLiveMonitor:
         capsys.readouterr()
         assert main(["live", str(capture), "--model", str(model),
                      "--family", "6"]) == 1
+
+
+class TestHealthAndBudget:
+    def _poisoned_capture(self, tmp_path, n_poison):
+        """Simulated two-day capture with ``n_poison`` blocks' detection
+        timestamps overwritten with NaN (20 blocks total)."""
+        from repro.telescope.capture import CaptureWriter, read_batches
+
+        capture = tmp_path / "poisoned.pobs"
+        main(["simulate", "--blocks", "20", "--days", "2", "--seed", "5",
+              "--out", str(capture)])
+        ipv4, _ = read_batches(str(capture))
+        victims = sorted(set(ipv4.block_keys.tolist()))[:n_poison]
+        times = ipv4.times.copy()
+        for key in victims:
+            mask = (ipv4.block_keys == key) & (times >= 86400.0)
+            times[mask] = float("nan")
+        with CaptureWriter(str(capture)) as writer:
+            writer.write_batch(type(ipv4)(ipv4.family, times,
+                                          ipv4.block_keys, ipv4.qtypes))
+        return capture
+
+    def test_detect_writes_health_report(self, tmp_path, capsys):
+        capture = self._poisoned_capture(tmp_path, 1)
+        report_path = tmp_path / "health.json"
+        capsys.readouterr()
+        assert main(["detect", str(capture), "--train-end", "86400",
+                     "--health-report", str(report_path)]) == 0
+        out = capsys.readouterr().out
+        assert "quarantined" in out
+        assert "non-finite" in out
+        document = json.loads(report_path.read_text())
+        assert document["run"] == "detect"
+        assert len(document["dead_letters"]) == 1
+        assert document["budget_tripped"] is False
+
+    def test_detect_budget_trip_exits_3_and_reports(self, tmp_path,
+                                                    capsys):
+        capture = self._poisoned_capture(tmp_path, 4)  # 20% poisoned
+        report_path = tmp_path / "health.json"
+        capsys.readouterr()
+        code = main(["detect", str(capture), "--train-end", "86400",
+                     "--max-quarantine-frac", "0.1",
+                     "--health-report", str(report_path)])
+        assert code == EXIT_BUDGET_TRIPPED
+        err = capsys.readouterr().err
+        assert "error budget exceeded" in err
+        document = json.loads(report_path.read_text())
+        assert document["budget_tripped"] is True
+        assert len(document["dead_letters"]) == 4
+
+    def test_clean_run_reports_zero_quarantine(self, tmp_path, capsys):
+        capture = tmp_path / "clean.pobs"
+        model = tmp_path / "model.json"
+        report_path = tmp_path / "health.json"
+        main(["simulate", "--blocks", "20", "--days", "2", "--seed", "5",
+              "--out", str(capture)])
+        main(["train", str(capture), "--train-end", "86400",
+              "--out", str(model)])
+        capsys.readouterr()
+        assert main(["live", str(capture), "--model", str(model),
+                     "--max-quarantine-frac", "0.0",
+                     "--health-report", str(report_path)]) == 0
+        out = capsys.readouterr().out
+        assert "health report written" in out
+        document = json.loads(report_path.read_text())
+        assert document["run"] == "streaming"
+        assert document["dead_letters"] == []
+        assert document["budget_tripped"] is False

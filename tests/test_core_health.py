@@ -1,0 +1,154 @@
+"""Fault-containment vocabulary: dead letters, budget, health reports."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.health import (
+    BlockDataError,
+    DeadLetterEntry,
+    DeadLetterRegistry,
+    ErrorBudget,
+    ErrorBudgetExceeded,
+    GuardrailCounters,
+    RunHealthReport,
+    inputs_digest,
+)
+
+
+class TestErrorBudget:
+    def test_at_threshold_is_within_budget(self):
+        ErrorBudget(0.1).check("detect", 10, 1)  # exactly 10%: fine
+
+    def test_above_threshold_raises_with_accounting(self):
+        with pytest.raises(ErrorBudgetExceeded) as info:
+            ErrorBudget(0.1).check("detect", 10, 2)
+        error = info.value
+        assert error.stage == "detect"
+        assert error.attempted == 10
+        assert error.quarantined == 2
+        assert error.fraction == pytest.approx(0.2)
+        assert "20.0%" in str(error)
+
+    def test_one_point_zero_disables(self):
+        ErrorBudget(1.0).check("detect", 10, 10)
+
+    def test_zero_budget_trips_on_any_quarantine(self):
+        with pytest.raises(ErrorBudgetExceeded):
+            ErrorBudget(0.0).check("train", 100, 1)
+
+    def test_zero_attempted_never_trips(self):
+        ErrorBudget(0.0).check("detect", 0, 0)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            ErrorBudget(1.5)
+        with pytest.raises(ValueError):
+            ErrorBudget(-0.1)
+
+
+class TestInputsDigest:
+    def test_array_digest_is_deterministic_and_counts_finite(self):
+        values = np.array([1.0, float("nan"), 3.0])
+        digest = inputs_digest(values)
+        assert digest.startswith("n=3,finite=2,blake2b=")
+        assert digest == inputs_digest(values.copy())
+
+    def test_distinct_data_distinct_digest(self):
+        assert inputs_digest(np.arange(5.0)) != inputs_digest(np.arange(6.0))
+
+    def test_non_array_inputs_fall_back_to_repr(self):
+        assert inputs_digest({"weird": object()}).startswith("repr:")
+
+
+class TestDeadLetterRegistry:
+    def test_record_captures_exception_and_digest(self):
+        registry = DeadLetterRegistry()
+        entry = registry.record("train", 0x2b, BlockDataError("poisoned"),
+                                np.array([1.0, float("inf")]))
+        assert entry.block_key == 0x2b
+        assert entry.error_type == "BlockDataError"
+        assert "poisoned" in entry.error
+        assert entry.digest.startswith("n=2,finite=1")
+
+    def test_block_counts_once_across_stages(self):
+        registry = DeadLetterRegistry()
+        registry.record("train", 7, ValueError("a"))
+        registry.record("detect", 7, ValueError("b"))
+        registry.record("detect", 9, ValueError("c"))
+        assert len(registry) == 2
+        assert registry.keys() == [7, 9]
+        assert 7 in registry and 8 not in registry
+        assert len(registry.by_stage("detect")) == 2
+
+    def test_round_trips_through_dict(self):
+        registry = DeadLetterRegistry()
+        registry.record("tune", 3, RuntimeError("boom"))
+        restored = DeadLetterRegistry.from_dict(
+            json.loads(json.dumps(registry.as_dict())))
+        assert restored.entries == registry.entries
+        assert isinstance(restored.entries[0], DeadLetterEntry)
+
+
+class TestGuardrailCounters:
+    def test_trip_and_merge(self):
+        a = GuardrailCounters()
+        a.trip("nonfinite_count", 3)
+        a.trip("nonfinite_count")
+        b = GuardrailCounters()
+        b.trip("masked_row", 2)
+        a.merge(b)
+        assert a.count("nonfinite_count") == 4
+        assert a.count("masked_row") == 2
+        assert a.total == 6
+        assert bool(a)
+
+    def test_zero_trips_are_not_recorded(self):
+        counters = GuardrailCounters()
+        counters.trip("masked_row", 0)
+        assert counters.as_dict() == {}
+        assert not counters
+
+
+class TestRunHealthReport:
+    def build(self):
+        report = RunHealthReport(run="detect", max_quarantine_frac=0.5)
+        stage = report.stage("detect")
+        stage.attempted = 10
+        stage.succeeded = 8
+        stage.quarantined = 2
+        stage.seconds = 1.5
+        report.dead_letters.record("detect", 1, ValueError("x"))
+        report.dead_letters.record("detect", 2, ValueError("y"))
+        report.guardrails.trip("nonfinite_count", 4)
+        return report
+
+    def test_accounts_for_every_block(self):
+        report = self.build()
+        assert report.accounts_for(range(1, 11))
+        # A key that never ran, a quarantined stranger, a count
+        # mismatch: all must fail the completeness check.
+        assert not report.accounts_for(range(1, 12))
+        assert not report.accounts_for(range(3, 13))
+
+    def test_stage_is_get_or_create(self):
+        report = RunHealthReport()
+        assert report.stage("train") is report.stage("train")
+        assert len(report.stages) == 1
+
+    def test_json_round_trip(self):
+        report = self.build()
+        restored = RunHealthReport.from_json(report.to_json())
+        assert restored.run == "detect"
+        assert restored.blocks_attempted == 10
+        assert restored.blocks_quarantined == 2
+        assert restored.quarantine_fraction == pytest.approx(0.2)
+        assert restored.guardrails.count("nonfinite_count") == 4
+        assert restored.stage("detect").seconds == pytest.approx(1.5)
+
+    def test_summary_mentions_quarantine_and_guardrails(self):
+        text = self.build().summary()
+        assert "8/10 blocks ok" in text
+        assert "2 quarantined" in text
+        assert "4 guardrail trips" in text

@@ -67,6 +67,50 @@ class TestBlockParameters:
                             prior_up_recovery=0.1,
                             down_threshold=0.9, up_threshold=0.1)
 
+    def test_boundary_probabilities_clamped_inside_unit_interval(self):
+        """Exact 0/1 likelihoods are admitted but stored strictly inside
+        (0, 1): a p_empty_up of 0 or 1 makes a likelihood term vanish
+        and the posterior absorbing, so the constructor guards it."""
+        eps = BlockParameters.PROB_EPS
+        low = BlockParameters(bin_seconds=300, p_empty_up=0.0,
+                              noise_nonempty=0.0, prior_down=0.1,
+                              prior_up_recovery=0.1)
+        assert low.p_empty_up == eps
+        assert low.noise_nonempty == eps
+        high = BlockParameters(bin_seconds=300, p_empty_up=1.0,
+                               noise_nonempty=1.0, prior_down=0.1,
+                               prior_up_recovery=0.1)
+        assert high.p_empty_up == 1.0 - eps
+        assert high.noise_nonempty == 1.0 - eps
+        # In-range values are untouched, including ones near the edge.
+        near = BlockParameters(bin_seconds=300, p_empty_up=2 * eps,
+                               noise_nonempty=0.5, prior_down=0.1,
+                               prior_up_recovery=0.1)
+        assert near.p_empty_up == 2 * eps
+        assert near.noise_nonempty == 0.5
+
+    def test_degenerate_bins_and_nan_rejected(self):
+        for bad_bin in (0.0, float("nan"), float("inf")):
+            with pytest.raises(ValueError):
+                BlockParameters(bin_seconds=bad_bin, p_empty_up=0.1,
+                                noise_nonempty=0.1, prior_down=0.1,
+                                prior_up_recovery=0.1)
+        with pytest.raises(ValueError):
+            BlockParameters(bin_seconds=300, p_empty_up=float("nan"),
+                            noise_nonempty=0.1, prior_down=0.1,
+                            prior_up_recovery=0.1)
+        with pytest.raises(ValueError):
+            BlockParameters(bin_seconds=300, p_empty_up=0.1,
+                            noise_nonempty=0.1, prior_down=0.1,
+                            prior_up_recovery=0.1,
+                            gap_threshold_seconds=float("nan"))
+        # +inf gap threshold is the documented "gap detector off" value.
+        params = BlockParameters(bin_seconds=300, p_empty_up=0.1,
+                                 noise_nonempty=0.1, prior_down=0.1,
+                                 prior_up_recovery=0.1,
+                                 gap_threshold_seconds=float("inf"))
+        assert params.gap_threshold_seconds == float("inf")
+
 
 class TestPlanner:
     def test_dense_block_gets_finest_bin(self):

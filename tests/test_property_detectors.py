@@ -11,9 +11,10 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.belief import BeliefState, guarded_belief_pass
 from repro.core.detector import PassiveDetector, StreamingDetector
 from repro.core.history import train_histories, train_history
-from repro.core.parameters import ParameterPlanner
+from repro.core.parameters import BlockParameters, ParameterPlanner
 from repro.eval.matching import match_events
 from repro.net.addr import Family
 from repro.telescope.records import Observation
@@ -96,3 +97,48 @@ def test_healthy_block_has_high_availability(rate, seed):
     results = PassiveDetector().detect(Family.IPV4, evaluate, histories,
                                        parameters, DAY, 2 * DAY)
     assert results[1].timeline.availability() > 0.95
+
+
+_poison = st.sampled_from(
+    [None, float("nan"), float("inf"), float("-inf"), -3.0])
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    counts=st.lists(st.integers(min_value=0, max_value=5),
+                    min_size=5, max_size=40),
+    poison=st.lists(_poison, min_size=40, max_size=40),
+    p_empty=st.sampled_from([0.0, 1e-9, 0.02, 0.5, 1.0]),
+    noise=st.sampled_from([1e-4, 1e-2]),
+)
+def test_scalar_and_vector_agree_under_poisoned_inputs(
+        counts, poison, p_empty, noise):
+    """The streaming filter and the guarded vector pass make identical
+    decisions bin for bin, even when counts are poisoned (NaN/inf/
+    negative, neutralised to no-evidence bins) and the empty-bin
+    likelihood is degenerate (0/1, clamped strictly inside)."""
+    row = np.array(counts, dtype=float)
+    for index, value in enumerate(poison[:row.size]):
+        if value is not None:
+            row[index] = value
+
+    params = BlockParameters(
+        bin_seconds=600.0, p_empty_up=0.02, noise_nonempty=noise,
+        prior_down=0.01, prior_up_recovery=0.05)
+    state = BeliefState(params)
+    scalar_states = np.array([state.update(count, p_empty)
+                              for count in row])
+
+    states, _, poisoned = guarded_belief_pass(
+        row[None, :], np.array([p_empty]), np.array([noise]),
+        np.array([0.01]), np.array([0.05]))
+
+    assert np.array_equal(states[0], scalar_states)
+    bad = ~np.isfinite(row) | (row < 0)
+    assert bool(poisoned[0]) == bool(bad.any())
+    # Every neutralised bin tripped the scalar guardrail too (plus one
+    # trip per bin when the degenerate likelihood had to be clamped).
+    expected = int(bad.sum())
+    if p_empty in (0.0, 1.0):
+        expected += row.size
+    assert state.guardrail_trips == expected

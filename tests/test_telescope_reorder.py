@@ -138,3 +138,39 @@ class TestStreamIntegration:
         right = [obs(1.0, qtype=20), obs(2.0, qtype=21)]
         merged = list(merge_streams(left, right))
         assert [o.qtype for o in merged] == [10, 20, 11, 12, 21]
+
+
+class TestNonFiniteTimestamps:
+    def test_merge_streams_rejects_nan_naming_stream_and_index(self):
+        good = [obs(1.0), obs(2.0)]
+        bad = [obs(0.5), obs(float("nan"))]
+        with pytest.raises(ValueError) as info:
+            list(merge_streams(good, bad))
+        message = str(info.value)
+        assert "stream 1" in message
+        assert "record 1" in message
+        assert "nan" in message
+
+    def test_merge_streams_rejects_inf_at_head(self):
+        with pytest.raises(ValueError) as info:
+            list(merge_streams([obs(float("inf"))], [obs(1.0)]))
+        message = str(info.value)
+        assert "stream 0" in message
+        assert "record 0" in message
+        assert "inf" in message
+
+    def test_reorder_buffer_rejects_nan_naming_arrival_index(self):
+        buffer = ReorderBuffer(2.0)
+        buffer.push(obs(1.0))
+        buffer.push(obs(2.0))
+        with pytest.raises(ValueError) as info:
+            buffer.push(obs(float("nan")))
+        message = str(info.value)
+        assert "arrival 2" in message
+        assert "nan" in message
+
+    def test_reorder_buffer_rejects_inf_under_every_policy(self):
+        for policy in LatePolicy:
+            buffer = ReorderBuffer(2.0, policy)
+            with pytest.raises(ValueError):
+                buffer.push(obs(float("-inf")))
