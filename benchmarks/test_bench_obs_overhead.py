@@ -1,0 +1,127 @@
+"""Telemetry overhead benchmark: the no-op registry must be free.
+
+Not a paper artefact — this pins the cost contract of the ``repro.obs``
+subsystem: a detector constructed without a registry runs against
+``NULL_REGISTRY``, whose counters and histograms are no-op calls, so an
+uninstrumented deployment must pay (essentially) nothing for the
+instrumentation hooks compiled into the hot path.
+
+The guard here is an assertion, not just a number: the no-op-metered
+``guarded_belief_pass`` must run within 5% of the unmetered one.  Both
+sides are measured as a best-of-N minimum (minimum, not mean, because
+scheduler noise only ever adds time), and a small absolute slack floor
+keeps the ratio test meaningful when a single pass is microseconds.
+
+``pytest benchmarks/test_bench_obs_overhead.py -s`` also prints the
+measured timings, and CI saves them as the ``BENCH_obs.json`` artefact.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.belief import guarded_belief_pass
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+
+N_BLOCKS = 2000
+N_BINS = 288          # one day of five-minute bins
+REPEATS = 9
+MAX_OVERHEAD_FRAC = 0.05
+ABSOLUTE_SLACK_SECONDS = 2e-4
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(0)
+    counts = rng.poisson(3.0, size=(N_BLOCKS, N_BINS)).astype(np.int32)
+    return {
+        "counts": counts,
+        "p_empty_up": np.full(N_BLOCKS, 0.01),
+        "noise_nonempty": np.full(N_BLOCKS, 1e-5),
+        "prior_down": np.full(N_BLOCKS, 0.002),
+        "prior_up_recovery": np.full(N_BLOCKS, 0.08),
+    }
+
+
+def paired_overhead(repeats, first, second):
+    """Median per-round difference between two closures.
+
+    Machine throughput drifts on the scale of a whole benchmark run
+    (frequency scaling, noisy neighbours), so timing all of A then all
+    of B attributes the drift to whichever ran second — enough to fail
+    a 5 % budget on its own.  Instead each round times the closures
+    back to back, when conditions are as equal as they get, and the
+    overhead estimate is the *median* of the per-round differences: a
+    real constant overhead appears in every pair, while a drift spike
+    lands in a single round and is discarded.  Returns the estimate
+    plus each side's best-of-N for reporting.
+    """
+    diffs = []
+    best_first = best_second = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        first()
+        first_s = time.perf_counter() - start
+        start = time.perf_counter()
+        second()
+        second_s = time.perf_counter() - start
+        diffs.append(second_s - first_s)
+        best_first = min(best_first, first_s)
+        best_second = min(best_second, second_s)
+    diffs.sort()
+    return diffs[len(diffs) // 2], best_first, best_second
+
+
+def test_null_registry_overhead_under_five_percent(workload):
+    """Filter 2,000 blocks x 288 bins with and without no-op metrics."""
+    def bare():
+        guarded_belief_pass(**workload)
+
+    def metered():
+        guarded_belief_pass(**workload, metrics=NULL_REGISTRY)
+
+    # Warm both paths before timing.
+    bare()
+    metered()
+    overhead, bare_s, metered_s = paired_overhead(REPEATS, bare, metered)
+    budget = bare_s * MAX_OVERHEAD_FRAC + ABSOLUTE_SLACK_SECONDS
+
+    timings = {
+        "workload": f"guarded_belief_pass {N_BLOCKS}x{N_BINS}",
+        "repeats": REPEATS,
+        "bare_best_seconds": bare_s,
+        "noop_metered_best_seconds": metered_s,
+        "overhead_median_pair_seconds": overhead,
+        "overhead_budget_seconds": budget,
+        "max_overhead_frac": MAX_OVERHEAD_FRAC,
+    }
+    print("\nobs overhead:", json.dumps(timings, indent=2))
+    artefact = os.environ.get("REPRO_BENCH_OBS_OUT")
+    if artefact:
+        with open(artefact, "w", encoding="utf-8") as handle:
+            json.dump(timings, handle, indent=2)
+            handle.write("\n")
+
+    assert overhead <= budget, (
+        f"no-op registry added {overhead * 1e3:.3f}ms to a "
+        f"{bare_s * 1e3:.3f}ms pass (budget {budget * 1e3:.3f}ms); "
+        f"the NULL_REGISTRY fast path has regressed")
+
+
+def test_real_registry_records_and_stays_bounded(workload):
+    """Sanity companion: a live registry counts the work it observed.
+
+    No latency assertion here — a real histogram observe is allowed to
+    cost something — but the recorded totals must match the workload,
+    proving the benchmark above exercised the instrumented branch.
+    """
+    registry = MetricsRegistry()
+    guarded_belief_pass(**workload, metrics=registry)
+    assert (registry.get("belief_bins_total").value
+            == N_BLOCKS * N_BINS)
+    ((_, histogram),) = registry.get("belief_pass_seconds").series()
+    assert histogram.count == 1
+    assert histogram.sum > 0

@@ -11,14 +11,24 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
-from typing import Callable, Dict, List, Optional
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from .core.health import ErrorBudgetExceeded, RunHealthReport
 from .core.pipeline import PassiveOutagePipeline
+from .obs.metrics import (
+    NULL_REGISTRY,
+    SNAPSHOT_FORMAT,
+    MetricsRegistry,
+    render_snapshot,
+    set_registry,
+)
+from .obs.tracing import NULL_TRACER, SpanTracer, set_tracer
 from .experiments import (
     run_baseline_comparison,
     run_darknet_fusion,
@@ -59,6 +69,48 @@ EXPERIMENTS: Dict[str, Callable] = {
     "sensitivity": run_sensitivity,
     "week": run_week_validation,
 }
+
+
+@contextmanager
+def _telemetry(args: argparse.Namespace,
+               force_metrics: bool = False) -> Iterator[Tuple[object, object]]:
+    """Install (and on exit, export and uninstall) run telemetry.
+
+    A real registry/tracer is created only when the corresponding
+    ``--metrics-out``/``--trace-out`` flag was given (or
+    ``force_metrics`` — the live monitor always meters so checkpoints
+    carry cumulative telemetry).  Both are installed as the process
+    defaults so internally-constructed pipelines pick them up, and the
+    previous defaults are restored afterwards — ``main()`` is called
+    repeatedly in-process by the test suite.  Export happens in the
+    ``finally`` so a budget-tripped run still writes its telemetry.
+    """
+    from .core.serialize import atomic_write_text
+
+    metrics_out = getattr(args, "metrics_out", "")
+    trace_out = getattr(args, "trace_out", "")
+    registry = (MetricsRegistry() if (metrics_out or force_metrics)
+                else NULL_REGISTRY)
+    tracer = SpanTracer() if trace_out else NULL_TRACER
+    previous_registry = set_registry(registry)
+    previous_tracer = set_tracer(tracer)
+    try:
+        yield registry, tracer
+    finally:
+        set_registry(previous_registry)
+        set_tracer(previous_tracer)
+        if metrics_out and registry.enabled:
+            atomic_write_text(metrics_out, registry.to_json())
+            print(f"metrics written to {metrics_out}")
+        if trace_out and tracer.enabled:
+            atomic_write_text(trace_out, tracer.to_chrome_json())
+            print(f"trace written to {trace_out}")
+
+
+def _metric_value(registry: object, name: str) -> float:
+    """Current value of an unlabelled counter/gauge, 0 if unregistered."""
+    family = registry.get(name)
+    return family.value if family is not None else 0
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -164,33 +216,36 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     end = float(finite[-1]) + 1.0
     train_end = args.train_end if args.train_end else (start + end) / 2.0
 
-    pipeline = PassiveOutagePipeline(
-        max_quarantine_frac=args.max_quarantine_frac)
     per_block = per_block_times(batch)
-    try:
-        if args.model:
-            from .core.serialize import load_model
+    with _telemetry(args) as (registry, tracer):
+        pipeline = PassiveOutagePipeline(
+            max_quarantine_frac=args.max_quarantine_frac,
+            metrics=registry, tracer=tracer)
+        try:
+            if args.model:
+                from .core.serialize import load_model
 
-            model = load_model(args.model)
-            evaluate = per_block
-            detect_start = start
-        else:
-            # NaN compares false against the boundary, so a plain
-            # t >= split would silently discard poisoned records; keep
-            # them on the detection side instead, where the detector
-            # quarantines the block and the health report names it.
-            train = {k: t[(t < train_end) & np.isfinite(t)]
-                     for k, t in per_block.items()}
-            evaluate = {k: t[~(t < train_end)]
-                        for k, t in per_block.items()}
-            model = pipeline.train(batch.family, train, start, train_end)
-            detect_start = train_end
-        result = pipeline.detect(model, evaluate, detect_start, end)
-    except ErrorBudgetExceeded as error:
-        print(f"error budget exceeded: {error}", file=sys.stderr)
-        if args.health_report:
-            _write_health_report(args.health_report, error.report)
-        return EXIT_BUDGET_TRIPPED
+                model = load_model(args.model)
+                evaluate = per_block
+                detect_start = start
+            else:
+                # NaN compares false against the boundary, so a plain
+                # t >= split would silently discard poisoned records;
+                # keep them on the detection side instead, where the
+                # detector quarantines the block and the health report
+                # names it.
+                train = {k: t[(t < train_end) & np.isfinite(t)]
+                         for k, t in per_block.items()}
+                evaluate = {k: t[~(t < train_end)]
+                            for k, t in per_block.items()}
+                model = pipeline.train(batch.family, train, start, train_end)
+                detect_start = train_end
+            result = pipeline.detect(model, evaluate, detect_start, end)
+        except ErrorBudgetExceeded as error:
+            print(f"error budget exceeded: {error}", file=sys.stderr)
+            if args.health_report:
+                _write_health_report(args.health_report, error.report)
+            return EXIT_BUDGET_TRIPPED
 
     print(f"trained {len(model.parameters)} blocks "
           f"({len(model.measurable_keys)} measurable, coverage "
@@ -217,17 +272,7 @@ def _cmd_live(args: argparse.Namespace) -> int:
     failure quarantine), and periodic atomic checkpoints so a killed
     monitor resumes mid-stream instead of retraining.
     """
-    from .core.checkpoint import (
-        CheckpointFormatError,
-        load_checkpoint,
-        save_checkpoint,
-    )
-    from .core.detector import StreamingDetector
-    from .core.health import ErrorBudget
-    from .core.sentinel import SentinelConfig, VantageSentinel
     from .core.serialize import load_model
-    from .telescope.capture import CaptureCorruptionError, CaptureReader
-    from .telescope.reorder import LatePolicy, ReorderBuffer
 
     model = load_model(args.model)
     if int(model.family) != args.family:
@@ -240,10 +285,32 @@ def _cmd_live(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 1
 
+    # The live monitor always meters (force_metrics): checkpoints carry
+    # the cumulative telemetry snapshot whether or not this particular
+    # invocation asked for --metrics-out, so counters survive a
+    # kill-and-resume regardless of the resuming operator's flags.
+    with _telemetry(args, force_metrics=True) as (registry, _):
+        return _run_live(args, model, registry)
+
+
+def _run_live(args: argparse.Namespace, model: "TrainedModel",
+              registry: object) -> int:
+    from .core.checkpoint import (
+        CheckpointFormatError,
+        load_checkpoint,
+        save_checkpoint,
+    )
+    from .core.detector import StreamingDetector
+    from .core.health import ErrorBudget
+    from .core.sentinel import SentinelConfig, VantageSentinel
+    from .telescope.capture import CaptureCorruptionError, CaptureReader
+    from .telescope.reorder import LatePolicy, ReorderBuffer
+
     resume_time = None
     if args.checkpoint and os.path.exists(args.checkpoint):
         try:
-            detector = load_checkpoint(args.checkpoint, model)
+            detector = load_checkpoint(args.checkpoint, model,
+                                       metrics=registry)
         except CheckpointFormatError as error:
             print(f"cannot resume from {args.checkpoint}: {error}",
                   file=sys.stderr)
@@ -255,15 +322,20 @@ def _cmd_live(args: argparse.Namespace) -> int:
                     if args.sentinel else None)
         detector = StreamingDetector(model.family, model.histories,
                                      model.parameters, model.train_end,
-                                     sentinel=sentinel)
+                                     sentinel=sentinel, metrics=registry)
     # The flag wins over a resumed checkpoint's stored budget: the
     # operator invoking the monitor sets this run's tolerance.
     detector.budget = ErrorBudget(args.max_quarantine_frac)
 
-    buffer = (ReorderBuffer(args.reorder_horizon, LatePolicy.COUNT)
+    buffer = (ReorderBuffer(args.reorder_horizon, LatePolicy.COUNT,
+                            metrics=registry)
               if args.reorder_horizon > 0 else None)
     next_checkpoint = (detector.last_time + args.checkpoint_every
                        if args.checkpoint else float("inf"))
+    interval = getattr(args, "metrics_interval", 0.0)
+    next_status = (detector.last_time + interval
+                   if interval > 0 else float("inf"))
+    status_bins = _metric_value(registry, "stream_bins_total")
     replayed = 0
     try:
         with CaptureReader(args.capture, tolerant=args.tolerant) as reader:
@@ -282,6 +354,17 @@ def _cmd_live(args: argparse.Namespace) -> int:
                     save_checkpoint(detector, args.checkpoint)
                     next_checkpoint = (detector.last_time
                                        + args.checkpoint_every)
+                if detector.last_time >= next_status:
+                    bins = _metric_value(registry, "stream_bins_total")
+                    lag = _metric_value(registry,
+                                        "stream_watermark_lag_seconds")
+                    print(f"[live t={detector.last_time:,.0f}s] "
+                          f"{(bins - status_bins) / interval:,.2f} windows/s, "
+                          f"lag {lag:,.1f}s, "
+                          f"{len(detector.dead_letters)} blocks quarantined",
+                          file=sys.stderr)
+                    status_bins = bins
+                    next_status = detector.last_time + interval
             if buffer:
                 for row in buffer.flush():
                     detector.observe(row)
@@ -324,7 +407,8 @@ def _cmd_live(args: argparse.Namespace) -> int:
     if buffer:
         stats = buffer.stats
         print(f"reorder buffer: {stats.out_of_order} out-of-order arrivals "
-              f"re-sorted, {stats.late_dropped} beyond-horizon dropped")
+              f"re-sorted, {stats.late_dropped} beyond-horizon dropped "
+              f"(peak occupancy {stats.occupancy_peak})")
     if detector.sentinel is not None:
         windows = detector.sentinel.quarantined_intervals()
         print(f"sentinel: {len(windows)} quarantined feed windows "
@@ -342,10 +426,47 @@ def _cmd_live(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    """Run one named experiment and print its artefact."""
+    """Run one named experiment and print its artefact.
+
+    Experiments build their pipelines internally, so telemetry reaches
+    them through the process-default registry/tracer installed by
+    :func:`_telemetry` (components resolve the default at construction).
+    """
     runner = EXPERIMENTS[args.name]
-    result = runner(scale=args.scale)
-    print(result)
+    with _telemetry(args):
+        result = runner(scale=args.scale)
+        print(result)
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    """Pretty-print a metrics snapshot or a checkpoint's telemetry."""
+    try:
+        with open(args.path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"cannot read {args.path}: {error}", file=sys.stderr)
+        return 1
+    if not isinstance(document, dict):
+        print(f"{args.path} is neither a metrics snapshot nor a checkpoint",
+              file=sys.stderr)
+        return 1
+    if document.get("format") == SNAPSHOT_FORMAT:
+        snapshot = document
+    elif "format_version" in document:
+        snapshot = document.get("metrics")
+        if snapshot is None:
+            print(f"{args.path} is a checkpoint without embedded telemetry "
+                  f"(it was written by a monitor with metrics off)",
+                  file=sys.stderr)
+            return 1
+        print(f"embedded telemetry from checkpoint {args.path} "
+              f"(t={float(document.get('last_time', 0.0)):,.1f}s)")
+    else:
+        print(f"{args.path} is neither a metrics snapshot nor a checkpoint",
+              file=sys.stderr)
+        return 1
+    print(render_snapshot(snapshot))
     return 0
 
 
@@ -403,6 +524,11 @@ def build_parser() -> argparse.ArgumentParser:
     detect.add_argument("--max-quarantine-frac", type=float, default=0.5,
                         help="fail (exit 3) when more than this fraction "
                              "of blocks is quarantined (1.0 disables)")
+    detect.add_argument("--metrics-out", default="",
+                        help="write the run's metrics snapshot (JSON) here")
+    detect.add_argument("--trace-out", default="",
+                        help="write a Chrome-trace JSON of the run's "
+                             "stage spans here")
     detect.set_defaults(func=_cmd_detect)
 
     live = sub.add_parser("live",
@@ -433,6 +559,14 @@ def build_parser() -> argparse.ArgumentParser:
     live.add_argument("--max-quarantine-frac", type=float, default=0.5,
                       help="fail (exit 3) when more than this fraction "
                            "of blocks is quarantined (1.0 disables)")
+    live.add_argument("--metrics-out", default="",
+                      help="write the run's metrics snapshot (JSON) here")
+    live.add_argument("--trace-out", default="",
+                      help="write a Chrome-trace JSON of the run's "
+                           "stage spans here")
+    live.add_argument("--metrics-interval", type=float, default=0.0,
+                      help="print a telemetry one-liner to stderr every "
+                           "this many stream-seconds (0 disables)")
     live.set_defaults(func=_cmd_live)
 
     experiment = sub.add_parser("experiment",
@@ -440,7 +574,21 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("name", choices=sorted(EXPERIMENTS))
     experiment.add_argument("--scale", type=float, default=1.0,
                             help="population scale factor (1.0 = recorded)")
+    experiment.add_argument("--metrics-out", default="",
+                            help="write the run's metrics snapshot "
+                                 "(JSON) here")
+    experiment.add_argument("--trace-out", default="",
+                            help="write a Chrome-trace JSON of the run's "
+                                 "stage spans here")
     experiment.set_defaults(func=_cmd_experiment)
+
+    inspect = sub.add_parser("inspect",
+                             help="pretty-print a metrics snapshot or a "
+                                  "checkpoint's embedded telemetry")
+    inspect.add_argument("path",
+                         help="metrics JSON from --metrics-out, or a "
+                              "checkpoint file")
+    inspect.set_defaults(func=_cmd_inspect)
 
     report = sub.add_parser("report", help="reproduce every table and figure")
     report.add_argument("--scale", type=float, default=1.0)

@@ -23,9 +23,11 @@ load.
 from __future__ import annotations
 
 import json
+import time as _time
 from typing import Any, Dict, Mapping, Optional, Union
 
 from ..net.addr import Family
+from ..obs.metrics import resolve_registry
 from .detector import StreamingDetector
 from .events import RefinementConfig
 from .health import DeadLetterRegistry, ErrorBudget, GuardrailCounters
@@ -88,6 +90,12 @@ def detector_to_json(detector: StreamingDetector) -> str:
         "guardrails": detector.guardrails.as_dict(),
         "max_quarantine_frac": detector.budget.max_quarantine_frac,
     }
+    # Telemetry rides along (defaulted key, format stays version 1):
+    # cumulative counters survive kill-and-resume instead of resetting
+    # to zero.  Omitted entirely when telemetry is off, so documents
+    # from uninstrumented runs are byte-identical to older builds.
+    if detector.metrics.enabled:
+        document["metrics"] = detector.metrics.snapshot()
     return json.dumps(document, indent=1)
 
 
@@ -95,6 +103,7 @@ def detector_from_json(
     text: str,
     histories: Mapping[int, BlockHistory],
     parameters: Mapping[int, BlockParameters],
+    metrics: Optional[Any] = None,
 ) -> StreamingDetector:
     """Rebuild a streaming detector from checkpoint JSON plus its model.
 
@@ -102,6 +111,11 @@ def detector_from_json(
     fresh (new blocks can join between checkpoints); blocks present in
     the checkpoint but unknown to the model are rejected — restoring
     against the wrong model silently corrupts every verdict.
+
+    When the restoring process has telemetry on (``metrics`` or the
+    process default registry), the checkpoint's embedded metrics
+    snapshot — if any — is loaded into it, so cumulative counters
+    continue from where the killed process left off.
     """
     try:
         document = json.loads(text)
@@ -121,12 +135,14 @@ def detector_from_json(
         sentinel_data = document.get("sentinel")
         sentinel = (None if sentinel_data is None
                     else VantageSentinel.from_dict(sentinel_data))
+        restore_clock = _time.perf_counter()
         detector = StreamingDetector(
             family, histories, parameters, float(document["start"]),
             refinement=refinement, sentinel=sentinel,
             max_quarantine_frac=float(
                 document.get("max_quarantine_frac",
-                             ErrorBudget().max_quarantine_frac)))
+                             ErrorBudget().max_quarantine_frac)),
+            metrics=resolve_registry(metrics))
         detector._last_time = float(document["last_time"])
         # Checkpoints from before fault containment lack these keys;
         # default to empty so they still load (format stays version 1).
@@ -161,6 +177,19 @@ def detector_from_json(
                                            else float(first))
             state.transitions = [(float(time), bool(up))
                                  for time, up in entry["transitions"]]
+        if detector.metrics.enabled:
+            snapshot = document.get("metrics")
+            if snapshot is not None:
+                detector.metrics.restore(snapshot)
+            # Rebind the restored health registries to the (restored)
+            # metric series.  Backfill only when the checkpoint carried
+            # no snapshot — a snapshot already counts those entries, so
+            # backfilling again would double them.
+            detector._register_metrics(backfill=snapshot is None)
+            detector.metrics.histogram(
+                "checkpoint_restore_seconds",
+                "Wall-time of one checkpoint restore").observe(
+                    _time.perf_counter() - restore_clock)
         return detector
     except CheckpointFormatError:
         raise
@@ -174,18 +203,27 @@ PathLike = Union[str, "Any"]
 
 def save_checkpoint(detector: StreamingDetector, path: PathLike) -> None:
     """Atomically persist a detector checkpoint to ``path``."""
+    clock = (_time.perf_counter() if detector.metrics.enabled else None)
     atomic_write_text(path, detector_to_json(detector))
+    if clock is not None:
+        detector.metrics.histogram(
+            "checkpoint_save_seconds",
+            "Wall-time of one atomic checkpoint write").observe(
+                _time.perf_counter() - clock)
+        detector.metrics.counter(
+            "checkpoints_saved_total", "Checkpoints written").inc()
 
 
 def load_checkpoint(path: PathLike, model: TrainedModel,
-                    ) -> StreamingDetector:
+                    metrics: Optional[Any] = None) -> StreamingDetector:
     """Restore a detector from ``path`` against a trained model.
 
     The checkpoint's address family must match the model's.
     """
     with open(path, "r", encoding="utf-8") as handle:
         text = handle.read()
-    detector = detector_from_json(text, model.histories, model.parameters)
+    detector = detector_from_json(text, model.histories, model.parameters,
+                                  metrics=metrics)
     if detector.family is not model.family:
         raise CheckpointFormatError(
             f"checkpoint family {detector.family} does not match model "

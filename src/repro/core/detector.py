@@ -14,13 +14,15 @@ suite pins them to identical decisions on identical input.
 
 from __future__ import annotations
 
+import time as _time
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
 from ..net.addr import Family
+from ..obs.metrics import resolve_registry
 from ..telescope.aggregate import BinGrid, binned_counts
 from ..telescope.records import Observation
 from ..timeline import OutageEvent, Timeline
@@ -43,7 +45,28 @@ from .history import BlockHistory
 from .parameters import BlockParameters
 from .sentinel import VantageSentinel, suppress_quarantined
 
-__all__ = ["BlockResult", "PassiveDetector", "StreamingDetector"]
+__all__ = ["BlockResult", "PassiveDetector", "StreamingDetector",
+           "dead_letter_metric", "guardrail_metric"]
+
+
+def dead_letter_metric(metrics: Any) -> Any:
+    """The shared ``dead_letters_total{stage}`` counter family.
+
+    One definition site, so the pipeline, the streaming detector, and
+    checkpoint restore all bind health registries to the *same* series.
+    """
+    return metrics.counter(
+        "dead_letters_total",
+        "Blocks quarantined into the dead-letter registry, by stage",
+        labelnames=("stage",))
+
+
+def guardrail_metric(metrics: Any) -> Any:
+    """The shared ``guardrail_trips_total{guard}`` counter family."""
+    return metrics.counter(
+        "guardrail_trips_total",
+        "Numerical guardrail trips (poison neutralised), by guard",
+        labelnames=("guard",))
 
 
 @dataclass
@@ -83,9 +106,13 @@ class PassiveDetector:
     """
 
     def __init__(self, refinement: Optional[RefinementConfig] = None,
-                 keep_belief_traces: bool = False) -> None:
+                 keep_belief_traces: bool = False,
+                 metrics: Optional[Any] = None) -> None:
         self.refinement = refinement or RefinementConfig()
         self.keep_belief_traces = keep_belief_traces
+        #: metrics registry (``repro.obs.metrics``); defaults to the
+        #: process-wide registry, which is a no-op until installed.
+        self.metrics = resolve_registry(metrics)
         #: quarantine and guardrail accounting for the most recent
         #: :meth:`detect` call (callers may pass their own instead).
         self.last_dead_letters = DeadLetterRegistry()
@@ -189,7 +216,12 @@ class PassiveDetector:
                 down_threshold=parameters[keys[0]].down_threshold,
                 up_threshold=parameters[keys[0]].up_threshold,
                 return_beliefs=self.keep_belief_traces,
-                guardrails=guardrails)
+                guardrails=guardrails, metrics=self.metrics)
+            self.metrics.counter(
+                "belief_updates_total",
+                "Belief-filter updates applied, by address family",
+                labelnames=("family",)).labels(
+                    family=family.name.lower()).inc(counts.size)
             for row, key in enumerate(keys):
                 if poisoned[row]:
                     registry.record(
@@ -308,6 +340,7 @@ class StreamingDetector:
         refinement: Optional[RefinementConfig] = None,
         sentinel: Optional[VantageSentinel] = None,
         max_quarantine_frac: float = 0.5,
+        metrics: Optional[Any] = None,
     ) -> None:
         self.family = family
         self.start = float(start)
@@ -330,6 +363,51 @@ class StreamingDetector:
                 next_bin_end=self.start + params.bin_seconds,
             )
         self._initial_blocks = len(self._states)
+        #: metrics registry; the no-op default costs one attribute read
+        #: per hot-path increment.
+        self.metrics = resolve_registry(metrics)
+        self._register_metrics()
+
+    def _register_metrics(self, backfill: bool = True) -> None:
+        """(Re)create metric handles and bind health registries.
+
+        Called from ``__init__`` and again by checkpoint restore after
+        swapping in restored health registries, so the handles always
+        point at the live registry's series.  ``backfill=False`` skips
+        seeding the dead-letter/guardrail counters from the registries'
+        current contents — checkpoint restore uses it because the
+        restored metrics snapshot already counts those entries.
+        """
+        m = self.metrics
+        self._m_observations = m.counter(
+            "stream_observations_total",
+            "Observations fed to the streaming detector")
+        self._m_bins = m.counter(
+            "stream_bins_total",
+            "Per-block bins closed by the streaming detector")
+        transitions = m.counter(
+            "stream_transitions_total",
+            "Block state transitions emitted, by direction",
+            labelnames=("direction",))
+        self._m_down = transitions.labels(direction="down")
+        self._m_up = transitions.labels(direction="up")
+        self._m_lag = m.gauge(
+            "stream_watermark_lag_seconds",
+            "Stream clock minus the bin boundary most recently closed")
+        self._m_clock = m.gauge(
+            "stream_clock_seconds",
+            "High-water mark of the stream clock (epoch seconds)")
+        self._m_blocks = m.gauge(
+            "stream_active_blocks",
+            "Blocks still tracked (not dead-lettered)")
+        self._m_belief = m.histogram(
+            "belief_update_seconds",
+            "Wall-time of one scalar belief update at bin close")
+        self._m_blocks.set(len(self._states))
+        self.dead_letters.bind(dead_letter_metric(m), backfill=backfill)
+        self.guardrails.bind(guardrail_metric(m), backfill=backfill)
+        if self.sentinel is not None:
+            self.sentinel.bind_metrics(m)
 
     @property
     def last_time(self) -> float:
@@ -355,6 +433,7 @@ class StreamingDetector:
                 f"stream went backwards: {observation.time} after "
                 f"{self._last_time}")
         self._last_time = max(self._last_time, observation.time)
+        self._m_observations.inc()
         if self.sentinel is not None:
             self.sentinel.observe(observation.time)
         if observation.family is not self.family:
@@ -403,12 +482,9 @@ class StreamingDetector:
     def _quarantine(self, key: int, stage: str,
                     error: BaseException) -> None:
         """Dead-letter one block and stop processing it."""
-        state = self._states.pop(key, None)
-        if state is not None:
-            # Preserve the trips the block absorbed before it died.
-            self.guardrails.trip("neutralised_bin",
-                                 state.belief.guardrail_trips)
+        self._states.pop(key, None)
         self.dead_letters.record(stage, key, error)
+        self._m_blocks.set(len(self._states))
 
     def finalize(self, end: float) -> Dict[int, BlockResult]:
         """Close the window at ``end`` and return per-block results.
@@ -474,11 +550,11 @@ class StreamingDetector:
     def _build_health(self, end: float,
                       sentinel_windows: List[Tuple[float, float]]
                       ) -> RunHealthReport:
+        # Guardrail trips were already folded into ``self.guardrails``
+        # at each bin close, so the report is a plain copy — by
+        # construction equal to the ``guardrail_trips_total`` metric.
         guardrails = GuardrailCounters()
         guardrails.merge(self.guardrails)
-        live_trips = sum(state.belief.guardrail_trips
-                         for state in self._states.values())
-        guardrails.trip("neutralised_bin", live_trips)
         report = RunHealthReport(
             run="streaming",
             dead_letters=DeadLetterRegistry(self.dead_letters.entries),
@@ -513,8 +589,23 @@ class StreamingDetector:
         p_empty = (state.history.empty_bin_probability_at(
             bin_start, params.bin_seconds)
             if state.history.diurnal_profile is not None else None)
+        trips_before = state.belief.guardrail_trips
+        update_clock = (_time.perf_counter()
+                        if self.metrics.enabled else None)
         is_up = state.belief.update(state.bin_count, p_empty)
+        if update_clock is not None:
+            self._m_belief.observe(_time.perf_counter() - update_clock)
+        # Guardrail trips are accounted the moment they happen (delta
+        # against the belief state's running total) so the health report
+        # and the metrics registry can never disagree mid-run.
+        trip_delta = state.belief.guardrail_trips - trips_before
+        if trip_delta:
+            self.guardrails.trip("neutralised_bin", trip_delta)
+        self._m_bins.inc()
+        self._m_lag.set(self._last_time - state.next_bin_end)
+        self._m_clock.set(self._last_time)
         if was_up and not is_up:
+            self._m_down.inc()
             # Refined outage start: just after the last packet seen.
             mean_gap = (1.0 / state.history.mean_rate
                         if state.history.mean_rate > 0 else params.bin_seconds)
@@ -529,6 +620,7 @@ class StreamingDetector:
                 refined = bin_start
             state.transitions.append((min(refined, state.next_bin_end), False))
         elif not was_up and is_up:
+            self._m_up.inc()
             # Refined recovery: the first packet of the reviving bin,
             # pulled back one forward-recurrence time (see
             # events.refine_timeline) so durations stay unbiased.

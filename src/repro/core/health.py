@@ -187,6 +187,24 @@ class DeadLetterRegistry:
     def __init__(self,
                  entries: Optional[Iterable[DeadLetterEntry]] = None) -> None:
         self.entries: List[DeadLetterEntry] = list(entries or ())
+        self._metric: Optional[Any] = None
+
+    def bind(self, counter_family: Any,
+             backfill: bool = True) -> "DeadLetterRegistry":
+        """Mirror every record into an obs counter labelled by stage.
+
+        The registry stays the source of truth for the health report;
+        binding makes ``record`` the *single* write path for both, so
+        the report and the metrics snapshot cannot drift (asserted by
+        the chaos suite).  ``backfill`` pushes already-recorded entries
+        into the counter; pass False when the counter values were
+        restored separately (checkpoint resume).
+        """
+        self._metric = counter_family
+        if backfill:
+            for entry in self.entries:
+                counter_family.labels(stage=entry.stage).inc()
+        return self
 
     def record(self, stage: str, block_key: int, error: BaseException,
                inputs: Any = None) -> DeadLetterEntry:
@@ -199,6 +217,8 @@ class DeadLetterRegistry:
             digest="" if inputs is None else inputs_digest(inputs),
         )
         self.entries.append(entry)
+        if self._metric is not None:
+            self._metric.labels(stage=stage).inc()
         return entry
 
     def keys(self) -> List[int]:
@@ -219,6 +239,9 @@ class DeadLetterRegistry:
 
     def extend(self, other: "DeadLetterRegistry") -> None:
         self.entries.extend(other.entries)
+        if self._metric is not None:
+            for entry in other.entries:
+                self._metric.labels(stage=entry.stage).inc()
 
     def as_dict(self) -> List[Dict[str, Any]]:
         return [entry.as_dict() for entry in self.entries]
@@ -248,10 +271,28 @@ class GuardrailCounters:
 
     def __init__(self, counts: Optional[Dict[str, int]] = None) -> None:
         self._counts: Dict[str, int] = dict(counts or {})
+        self._metric: Optional[Any] = None
+
+    def bind(self, counter_family: Any,
+             backfill: bool = True) -> "GuardrailCounters":
+        """Mirror every trip into an obs counter labelled by guard.
+
+        Makes ``trip`` the single write path for the health report and
+        the metrics registry (see :meth:`DeadLetterRegistry.bind`).
+        ``backfill=False`` skips pushing existing counts, for resume
+        paths where the counter was restored from a snapshot.
+        """
+        self._metric = counter_family
+        if backfill:
+            for guard, count in self._counts.items():
+                counter_family.labels(guard=guard).inc(count)
+        return self
 
     def trip(self, guard: str, count: int = 1) -> None:
         if count:
             self._counts[guard] = self._counts.get(guard, 0) + int(count)
+            if self._metric is not None:
+                self._metric.labels(guard=guard).inc(int(count))
 
     def count(self, guard: str) -> int:
         return self._counts.get(guard, 0)

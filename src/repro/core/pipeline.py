@@ -19,11 +19,13 @@ from __future__ import annotations
 
 import time as _time
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional
+from typing import Any, Dict, List, Mapping, Optional
 
 import numpy as np
 
 from ..net.addr import Family
+from ..obs.metrics import resolve_registry
+from ..obs.tracing import resolve_tracer
 from ..telescope.records import ObservationBatch
 from ..telescope.aggregate import per_block_times
 from .aggregation import (
@@ -31,7 +33,12 @@ from .aggregation import (
     merge_streams_for_plan,
     plan_aggregation,
 )
-from .detector import BlockResult, PassiveDetector
+from .detector import (
+    BlockResult,
+    PassiveDetector,
+    dead_letter_metric,
+    guardrail_metric,
+)
 from .events import RefinementConfig
 from .health import (
     DeadLetterRegistry,
@@ -155,6 +162,8 @@ class PassiveOutagePipeline:
         learn_diurnal: bool = True,
         keep_belief_traces: bool = False,
         max_quarantine_frac: float = 0.5,
+        metrics: Optional[Any] = None,
+        tracer: Optional[Any] = None,
     ) -> None:
         self.policy = policy or TuningPolicy()
         self.refinement = refinement or RefinementConfig()
@@ -165,8 +174,18 @@ class PassiveOutagePipeline:
             self.planner = ParameterPlanner(self.policy)
         self.aggregation_levels = aggregation_levels
         self.learn_diurnal = learn_diurnal
-        self.detector = PassiveDetector(self.refinement, keep_belief_traces)
+        self.metrics = resolve_registry(metrics)
+        self.tracer = resolve_tracer(tracer)
+        self.detector = PassiveDetector(self.refinement, keep_belief_traces,
+                                        metrics=self.metrics)
         self.budget = ErrorBudget(max_quarantine_frac)
+
+    def _stage_seconds(self, stage: str, seconds: float) -> None:
+        """Record one stage's wall-time in the shared histogram."""
+        self.metrics.histogram(
+            "pipeline_stage_seconds",
+            "Wall-time of each batch pipeline stage, by stage",
+            labelnames=("stage",)).labels(stage=stage).observe(seconds)
 
     # -- training --------------------------------------------------------
 
@@ -182,36 +201,54 @@ class PassiveOutagePipeline:
         :class:`~repro.core.health.ErrorBudgetExceeded`.
         """
         registry = DeadLetterRegistry()
+        if self.metrics.enabled:
+            registry.bind(dead_letter_metric(self.metrics))
         report = RunHealthReport(
             run="train", dead_letters=registry,
             max_quarantine_frac=self.budget.max_quarantine_frac)
 
-        train_stage = report.stage("train")
-        clock = _time.perf_counter()
         histories: Dict[int, BlockHistory] = {}
-        for key, times in per_block.items():
-            train_stage.attempted += 1
-            try:
-                histories[key] = train_history(times, start, end,
-                                               self.learn_diurnal)
-                train_stage.succeeded += 1
-            except Exception as error:
-                train_stage.quarantined += 1
-                registry.record("train", key, error, times)
-        train_stage.seconds = _time.perf_counter() - clock
-
-        tune_stage = report.stage("tune")
-        clock = _time.perf_counter()
         parameters: Dict[int, BlockParameters] = {}
-        for key, history in histories.items():
-            tune_stage.attempted += 1
-            try:
-                parameters[key] = self.planner.plan_block(history)
-                tune_stage.succeeded += 1
-            except Exception as error:
-                tune_stage.quarantined += 1
-                registry.record("tune", key, error)
-        tune_stage.seconds = _time.perf_counter() - clock
+        with self.tracer.span("train", family=family.name.lower(),
+                              blocks=len(per_block)):
+            train_stage = report.stage("train")
+            clock = _time.perf_counter()
+            with self.tracer.span("fit", blocks=len(per_block)):
+                for key, times in per_block.items():
+                    train_stage.attempted += 1
+                    try:
+                        histories[key] = train_history(times, start, end,
+                                                       self.learn_diurnal)
+                        train_stage.succeeded += 1
+                    except Exception as error:
+                        train_stage.quarantined += 1
+                        registry.record("train", key, error, times)
+            train_stage.seconds = _time.perf_counter() - clock
+            self._stage_seconds("train", train_stage.seconds)
+
+            tune_stage = report.stage("tune")
+            clock = _time.perf_counter()
+            tune_timer = (self.metrics.histogram(
+                "tune_block_seconds",
+                "Wall-time of one block's parameter fit (tuning)")
+                if self.metrics.enabled else None)
+            with self.tracer.span("tune", blocks=len(histories)):
+                for key, history in histories.items():
+                    tune_stage.attempted += 1
+                    block_clock = (_time.perf_counter()
+                                   if tune_timer is not None else 0.0)
+                    try:
+                        parameters[key] = self.planner.plan_block(history)
+                        tune_stage.succeeded += 1
+                    except Exception as error:
+                        tune_stage.quarantined += 1
+                        registry.record("tune", key, error)
+                    finally:
+                        if tune_timer is not None:
+                            tune_timer.observe(
+                                _time.perf_counter() - block_clock)
+            tune_stage.seconds = _time.perf_counter() - clock
+            self._stage_seconds("tune", tune_stage.seconds)
         # A block that failed tuning has a history but no parameters;
         # drop the orphan so the model stays internally consistent.
         for key in registry.keys():
@@ -249,6 +286,9 @@ class PassiveOutagePipeline:
         """
         registry = DeadLetterRegistry()
         guardrails = GuardrailCounters()
+        if self.metrics.enabled:
+            registry.bind(dead_letter_metric(self.metrics))
+            guardrails.bind(guardrail_metric(self.metrics))
         report = RunHealthReport(
             run="detect", dead_letters=registry, guardrails=guardrails,
             max_quarantine_frac=self.budget.max_quarantine_frac)
@@ -257,13 +297,16 @@ class PassiveOutagePipeline:
         clock = _time.perf_counter()
         measurable = [key for key, params in model.parameters.items()
                       if params.measurable]
-        blocks = self.detector.detect(
-            model.family, per_block, model.histories, model.parameters,
-            start, end, registry=registry, guardrails=guardrails)
+        with self.tracer.span("detect", family=model.family.name.lower(),
+                              blocks=len(measurable)):
+            blocks = self.detector.detect(
+                model.family, per_block, model.histories, model.parameters,
+                start, end, registry=registry, guardrails=guardrails)
         detect_stage.seconds = _time.perf_counter() - clock
         detect_stage.attempted = len(measurable)
         detect_stage.succeeded = len(blocks)
         detect_stage.quarantined = len(registry)
+        self._stage_seconds("detect", detect_stage.seconds)
 
         result = PipelineResult(family=model.family, start=start, end=end,
                                 blocks=blocks, dead_letters=registry,
@@ -279,11 +322,14 @@ class PassiveOutagePipeline:
         if self.aggregation_levels > 0 and model.unmeasurable_keys:
             aggregate_stage = report.stage("aggregate")
             clock = _time.perf_counter()
-            self._detect_aggregated(model, per_block, start, end, result,
-                                    registry)
+            with self.tracer.span("aggregate",
+                                  family=model.family.name.lower()):
+                self._detect_aggregated(model, per_block, start, end,
+                                        result, registry)
             aggregate_stage.seconds = _time.perf_counter() - clock
             aggregate_stage.attempted = len(result.aggregated)
             aggregate_stage.succeeded = len(result.aggregated)
+            self._stage_seconds("aggregate", aggregate_stage.seconds)
         return result
 
     def detect_from_batch(self, model: TrainedModel,

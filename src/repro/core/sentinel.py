@@ -118,6 +118,30 @@ class VantageSentinel:
         self._quiet_run_bins = 0
         self._closed: List[Interval] = []
         self.quarantined_bins = 0
+        self._m_entered: Optional[Any] = None
+        self._m_exited: Optional[Any] = None
+        self._m_expected: Optional[Any] = None
+
+    def bind_metrics(self, metrics: Any) -> "VantageSentinel":
+        """Mirror quarantine decisions into a metrics registry.
+
+        Registers ``sentinel_quarantine_entered_total`` /
+        ``sentinel_quarantine_exited_total`` counters and the
+        ``sentinel_expected_bin_count`` gauge.  Counters reflect
+        decisions made *after* binding only; cumulative continuity
+        across restarts comes from the checkpointed registry snapshot,
+        not from replaying sentinel state.
+        """
+        self._m_entered = metrics.counter(
+            "sentinel_quarantine_entered_total",
+            "Feed-quarantine windows opened by the vantage sentinel")
+        self._m_exited = metrics.counter(
+            "sentinel_quarantine_exited_total",
+            "Feed-quarantine windows closed (feed recovered)")
+        self._m_expected = metrics.gauge(
+            "sentinel_expected_bin_count",
+            "Learned expected arrivals per sentinel bin (0 = warming up)")
+        return self
 
     # -- feeding ------------------------------------------------------------
 
@@ -226,12 +250,17 @@ class VantageSentinel:
                 self._quiet_run_start = self._bin_start
             self._quiet_run_bins += 1
             self.quarantined_bins += 1
+            if (self._quiet_run_bins == config.min_quiet_bins
+                    and self._m_entered is not None):
+                self._m_entered.inc()
         else:
             if (self._quiet_run_start is not None
                     and self._quiet_run_bins >= config.min_quiet_bins):
                 self._closed.append(
                     (self._quiet_run_start - config.margin,
                      self._bin_start + config.margin))
+                if self._m_exited is not None:
+                    self._m_exited.inc()
             self._quiet_run_start = None
             self._quiet_run_bins = 0
             # Learn the expected volume from healthy bins only, so a
@@ -247,3 +276,7 @@ class VantageSentinel:
         self._bins_closed += 1
         self._bin_count = 0
         self._bin_start += config.bin_seconds
+        if self._m_expected is not None:
+            expected_now = self.expected_bin_count
+            self._m_expected.set(expected_now
+                                 if expected_now is not None else 0.0)

@@ -1,0 +1,56 @@
+"""Observability: metrics registry and span tracing for the detector.
+
+This package sits at the very bottom of the dependency graph — pure
+standard library, importable from the ingest layers (telescope, dns)
+and the analysis core alike without creating cycles.  See
+:mod:`repro.obs.metrics` for counters/gauges/histograms and
+:mod:`repro.obs.tracing` for wall-time span trees.
+"""
+
+from .metrics import (
+    DEFAULT_SECONDS_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    NullRegistry,
+    get_registry,
+    log_spaced_buckets,
+    render_snapshot,
+    resolve_registry,
+    set_registry,
+)
+from .tracing import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    SpanTracer,
+    get_tracer,
+    resolve_tracer,
+    set_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "get_registry",
+    "set_registry",
+    "resolve_registry",
+    "log_spaced_buckets",
+    "render_snapshot",
+    "DEFAULT_SECONDS_BUCKETS",
+    "Span",
+    "SpanTracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "resolve_tracer",
+]

@@ -1,0 +1,216 @@
+"""Lightweight span tracing: where does wall-time go inside a run?
+
+Metrics (:mod:`repro.obs.metrics`) answer "how much, how often"; spans
+answer "in what order, nested how".  A :class:`SpanTracer` records
+wall-clock intervals opened with the :meth:`SpanTracer.span` context
+manager::
+
+    with tracer.span("train", family="ipv4"):
+        with tracer.span("tune"):
+            ...
+
+and exports two views:
+
+* a Chrome-trace JSON document (:meth:`SpanTracer.to_chrome_json`) —
+  complete ("X"-phase) events that ``chrome://tracing`` and Perfetto
+  render as a nested flame chart, nesting inferred from time
+  containment per thread;
+* a flat stage-latency table (:meth:`SpanTracer.stage_table`) —
+  per-span-name count / total / mean / max, the "where did the seconds
+  go" summary the CLI prints.
+
+Like the metrics registry, tracing is opt-out by default: the
+:data:`NULL_TRACER` records nothing and its ``span`` is a no-op
+context manager, so instrumented code pays one generator frame per
+span only when a real tracer is installed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = [
+    "Span",
+    "SpanTracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "resolve_tracer",
+]
+
+
+@dataclass(frozen=True)
+class Span:
+    """One finished wall-clock interval."""
+
+    name: str
+    start: float  #: seconds since the tracer's epoch
+    end: float
+    thread_id: int
+    depth: int    #: nesting depth within its thread (0 = top level)
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class SpanTracer:
+    """Collects spans; thread-safe; export to Chrome trace or a table."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._epoch = time.perf_counter()
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self.spans: List[Span] = []
+
+    def _stack(self) -> List[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    @contextmanager
+    def span(self, name: str, **args: Any) -> Iterator[None]:
+        """Record the wall-time of the enclosed block as one span."""
+        stack = self._stack()
+        depth = len(stack)
+        stack.append(name)
+        start = time.perf_counter() - self._epoch
+        try:
+            yield
+        finally:
+            end = time.perf_counter() - self._epoch
+            stack.pop()
+            span = Span(name=name, start=start, end=end,
+                        thread_id=threading.get_ident(), depth=depth,
+                        args=args)
+            with self._lock:
+                self.spans.append(span)
+
+    # -- exports ------------------------------------------------------------
+
+    def chrome_trace(self) -> Dict[str, Any]:
+        """Chrome-trace document (``chrome://tracing`` / Perfetto).
+
+        Complete events on one pid, one tid per recording thread;
+        timestamps in microseconds since the tracer epoch.  Events on
+        the same tid nest by time containment, which is exactly how the
+        spans were recorded.
+        """
+        with self._lock:
+            spans = list(self.spans)
+        events = [
+            {
+                "name": span.name,
+                "ph": "X",
+                "ts": span.start * 1e6,
+                "dur": span.duration * 1e6,
+                "pid": os.getpid(),
+                "tid": span.thread_id % 1_000_000,
+                "args": {key: _jsonable(value)
+                         for key, value in span.args.items()},
+            }
+            for span in sorted(spans, key=lambda s: (s.start, -s.depth))
+        ]
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def to_chrome_json(self) -> str:
+        return json.dumps(self.chrome_trace(), indent=1)
+
+    def stage_table(self) -> List[Dict[str, Any]]:
+        """Aggregate spans by name: count, total/mean/max seconds.
+
+        Sorted by total descending — the first row is where the run
+        spent its time.
+        """
+        with self._lock:
+            spans = list(self.spans)
+        rows: Dict[str, Dict[str, Any]] = {}
+        for span in spans:
+            row = rows.setdefault(span.name, {
+                "name": span.name, "count": 0, "total_seconds": 0.0,
+                "max_seconds": 0.0})
+            row["count"] += 1
+            row["total_seconds"] += span.duration
+            row["max_seconds"] = max(row["max_seconds"], span.duration)
+        for row in rows.values():
+            row["mean_seconds"] = row["total_seconds"] / row["count"]
+        return sorted(rows.values(),
+                      key=lambda row: (-row["total_seconds"], row["name"]))
+
+    def format_stage_table(self) -> str:
+        rows = self.stage_table()
+        if not rows:
+            return "(no spans recorded)"
+        lines = [f"  {'stage':<28} {'count':>7} {'total_s':>10} "
+                 f"{'mean_s':>10} {'max_s':>10}"]
+        for row in rows:
+            lines.append(
+                f"  {row['name']:<28} {row['count']:>7} "
+                f"{row['total_seconds']:>10.4g} "
+                f"{row['mean_seconds']:>10.4g} "
+                f"{row['max_seconds']:>10.4g}")
+        return "\n".join(lines)
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+class NullTracer:
+    """Opt-out tracer: ``span`` is a do-nothing context manager."""
+
+    enabled = False
+    spans: List[Span] = []
+
+    @contextmanager
+    def span(self, name: str, **args: Any) -> Iterator[None]:
+        yield
+
+    def chrome_trace(self) -> Dict[str, Any]:
+        return {"traceEvents": [], "displayTimeUnit": "ms"}
+
+    def to_chrome_json(self) -> str:
+        return json.dumps(self.chrome_trace(), indent=1)
+
+    def stage_table(self) -> List[Dict[str, Any]]:
+        return []
+
+    def format_stage_table(self) -> str:
+        return "(no spans recorded)"
+
+
+NULL_TRACER = NullTracer()
+
+_global_tracer: Any = NULL_TRACER
+
+
+def get_tracer() -> Any:
+    """The process-wide default tracer (NULL_TRACER until set)."""
+    return _global_tracer
+
+
+def set_tracer(tracer: Optional[Any]) -> Any:
+    """Install a process-wide default tracer; returns the previous one."""
+    global _global_tracer
+    previous = _global_tracer
+    _global_tracer = tracer if tracer is not None else NULL_TRACER
+    return previous
+
+
+def resolve_tracer(tracer: Optional[Any]) -> Any:
+    """``tracer`` if given, else the process-wide default."""
+    return tracer if tracer is not None else _global_tracer

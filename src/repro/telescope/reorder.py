@@ -38,8 +38,9 @@ import enum
 import heapq
 import math
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, List, Optional, Tuple
+from typing import Any, Iterable, Iterator, List, Optional, Tuple
 
+from ..obs.metrics import resolve_registry
 from .records import Observation
 
 __all__ = ["LatePolicy", "ReorderStats", "ReorderBuffer", "reorder_stream"]
@@ -65,6 +66,7 @@ class ReorderStats:
     late_admitted: int = 0
     late_dropped: int = 0
     max_displacement_seconds: float = 0.0
+    occupancy_peak: int = 0  #: most records ever held back at once
 
     def as_dict(self) -> dict:
         return {
@@ -75,6 +77,7 @@ class ReorderStats:
             "late_admitted": self.late_admitted,
             "late_dropped": self.late_dropped,
             "max_displacement_seconds": self.max_displacement_seconds,
+            "occupancy_peak": self.occupancy_peak,
         }
 
 
@@ -95,7 +98,8 @@ class ReorderBuffer:
     """
 
     def __init__(self, horizon_seconds: float,
-                 policy: LatePolicy = LatePolicy.COUNT) -> None:
+                 policy: LatePolicy = LatePolicy.COUNT,
+                 metrics: Optional[Any] = None) -> None:
         if horizon_seconds < 0:
             raise ValueError("horizon_seconds must be >= 0")
         self.horizon_seconds = float(horizon_seconds)
@@ -106,6 +110,20 @@ class ReorderBuffer:
         self._front = float("-inf")      # max timestamp seen so far
         self._emitted_up_to = float("-inf")
         self._last_arrival = float("-inf")
+        self.metrics = resolve_registry(metrics)
+        records = self.metrics.counter(
+            "reorder_records_total",
+            "Records leaving the reorder buffer, by outcome",
+            labelnames=("outcome",))
+        self._m_admitted = records.labels(outcome="admitted")
+        self._m_late_admitted = records.labels(outcome="late_admitted")
+        self._m_late_dropped = records.labels(outcome="late_dropped")
+        self._m_occupancy = self.metrics.gauge(
+            "reorder_buffer_occupancy",
+            "Records currently held back waiting for the watermark")
+        self._m_occupancy_peak = self.metrics.gauge(
+            "reorder_buffer_occupancy_peak",
+            "High-watermark of reorder-buffer occupancy")
 
     @property
     def watermark(self) -> float:
@@ -151,11 +169,16 @@ class ReorderBuffer:
             if self.policy is LatePolicy.ADMIT:
                 stats.late_admitted += 1
                 stats.emitted += 1
+                self._m_late_admitted.inc()
                 return [observation]
             stats.late_dropped += 1
+            self._m_late_dropped.inc()
             return []
         heapq.heappush(self._heap, (time, self._sequence, observation))
         self._sequence += 1
+        if len(self._heap) > stats.occupancy_peak:
+            stats.occupancy_peak = len(self._heap)
+            self._m_occupancy_peak.set(stats.occupancy_peak)
         self._front = max(self._front, time)
         return self._drain(self.watermark)
 
@@ -171,20 +194,24 @@ class ReorderBuffer:
             ready.append(observation)
             self._emitted_up_to = time
         self.stats.emitted += len(ready)
+        if ready:
+            self._m_admitted.inc(len(ready))
+            self._m_occupancy.set(len(heap))
         return ready
 
 
 def reorder_stream(stream: Iterable[Observation], horizon_seconds: float,
                    policy: LatePolicy = LatePolicy.COUNT,
                    buffer: Optional[ReorderBuffer] = None,
+                   metrics: Optional[Any] = None,
                    ) -> Iterator[Observation]:
     """Wrap a noisy stream in a :class:`ReorderBuffer`.
 
     Pass ``buffer`` to keep a handle on the stats; otherwise one is
-    created from ``horizon_seconds`` and ``policy``.
+    created from ``horizon_seconds``, ``policy``, and ``metrics``.
     """
     if buffer is None:
-        buffer = ReorderBuffer(horizon_seconds, policy)
+        buffer = ReorderBuffer(horizon_seconds, policy, metrics=metrics)
     for observation in stream:
         yield from buffer.push(observation)
     yield from buffer.flush()

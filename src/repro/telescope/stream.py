@@ -12,15 +12,17 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import Iterable, Iterator, List, Optional, Tuple
+from typing import Any, Iterable, Iterator, List, Optional, Tuple
 
+from ..obs.metrics import resolve_registry
 from .records import Observation
 from .reorder import LatePolicy, reorder_stream
 
 __all__ = ["merge_streams", "window_stream"]
 
 
-def merge_streams(*streams: Iterable[Observation]) -> Iterator[Observation]:
+def merge_streams(*streams: Iterable[Observation],
+                  metrics: Optional[Any] = None) -> Iterator[Observation]:
     """Merge time-sorted observation streams into one sorted stream.
 
     Each input must already be sorted by time (capture files are; the
@@ -38,10 +40,15 @@ def merge_streams(*streams: Iterable[Observation]) -> Iterator[Observation]:
     ordered at all (every comparison is false, so it would slide through
     the heap unnoticed and poison every downstream bin count), and an
     infinite time would wedge the merge front permanently.
+
+    With ``metrics`` (or a process-default registry) the per-stream
+    consumption counts land on ``merge_records_total{stream=...}``,
+    flushed when the merge finishes or its consumer abandons it.
     """
     heap: List[Tuple[float, int, Observation, Iterator[Observation]]] = []
     # Per-stream count of records consumed so far, for diagnostics.
     consumed = [0] * len(streams)
+    registry = resolve_registry(metrics)
 
     def _checked_time(observation: Observation, index: int) -> float:
         record_index = consumed[index]
@@ -54,36 +61,51 @@ def merge_streams(*streams: Iterable[Observation]) -> Iterator[Observation]:
                 f"(NaN defeats time ordering, inf wedges the merge front)")
         return time
 
-    for index, stream in enumerate(streams):
-        iterator = iter(stream)
-        first = next(iterator, None)
-        if first is not None:
-            heap.append((_checked_time(first, index), index, first, iterator))
-    heapq.heapify(heap)
-    previous_time = float("-inf")
-    previous_index = -1
-    while heap:
-        time, index, observation, iterator = heapq.heappop(heap)
-        if time < previous_time:
-            raise ValueError(
-                f"input stream {index} is not time-sorted: it produced "
-                f"t={time!r} after t={previous_time!r} had already been "
-                f"merged (from stream {previous_index}); sort the source "
-                f"or wrap it in repro.telescope.reorder.reorder_stream()")
-        previous_time = time
-        previous_index = index
-        yield observation
-        following = next(iterator, None)
-        if following is not None:
-            heapq.heappush(
-                heap,
-                (_checked_time(following, index), index, following, iterator))
+    try:
+        for index, stream in enumerate(streams):
+            iterator = iter(stream)
+            first = next(iterator, None)
+            if first is not None:
+                heap.append(
+                    (_checked_time(first, index), index, first, iterator))
+        heapq.heapify(heap)
+        previous_time = float("-inf")
+        previous_index = -1
+        while heap:
+            time, index, observation, iterator = heapq.heappop(heap)
+            if time < previous_time:
+                raise ValueError(
+                    f"input stream {index} is not time-sorted: it produced "
+                    f"t={time!r} after t={previous_time!r} had already been "
+                    f"merged (from stream {previous_index}); sort the source "
+                    f"or wrap it in repro.telescope.reorder.reorder_stream()")
+            previous_time = time
+            previous_index = index
+            yield observation
+            following = next(iterator, None)
+            if following is not None:
+                heapq.heappush(
+                    heap,
+                    (_checked_time(following, index), index, following,
+                     iterator))
+    finally:
+        # One labelled increment per input stream, not per record: the
+        # merge is the hottest loop in the live path.
+        if registry.enabled:
+            family = registry.counter(
+                "merge_records_total",
+                "Records consumed from each merge input stream",
+                labelnames=("stream",))
+            for index, count in enumerate(consumed):
+                if count:
+                    family.labels(stream=str(index)).inc(count)
 
 
 def window_stream(stream: Iterable[Observation], start: float,
                   window_seconds: float,
                   reorder_horizon: float = 0.0,
                   late_policy: Optional[LatePolicy] = None,
+                  metrics: Optional[Any] = None,
                   ) -> Iterator[Tuple[float, float, List[Observation]]]:
     """Chunk a sorted stream into fixed windows.
 
@@ -100,9 +122,14 @@ def window_stream(stream: Iterable[Observation], start: float,
     """
     if window_seconds <= 0:
         raise ValueError("window_seconds must be positive")
+    registry = resolve_registry(metrics)
+    windows = registry.counter(
+        "stream_windows_total",
+        "Fixed-size windows released to the streaming consumer")
     if reorder_horizon > 0 or late_policy is not None:
         stream = reorder_stream(stream, reorder_horizon,
-                                late_policy or LatePolicy.COUNT)
+                                late_policy or LatePolicy.COUNT,
+                                metrics=registry)
     window_start = start
     window_end = start + window_seconds
     pending: List[Observation] = []
@@ -110,9 +137,11 @@ def window_stream(stream: Iterable[Observation], start: float,
         if observation.time < start:
             continue
         while observation.time >= window_end:
+            windows.inc()
             yield window_start, window_end, pending
             pending = []
             window_start = window_end
             window_end += window_seconds
         pending.append(observation)
+    windows.inc()
     yield window_start, window_end, pending

@@ -200,6 +200,81 @@ class TestStreamingContainment:
                             model.measurable_keys[0] << 8))
 
 
+class TestTelemetryAgreement:
+    """Health report and metrics registry share the counter write path.
+
+    Satellite contract of the telemetry PR: ``RunHealthReport`` and the
+    ``dead_letters_total``/``guardrail_trips_total`` metric series are
+    fed by the *same* ``record()``/``trip()`` calls, so after a chaos
+    run they must agree exactly — no second accounting path to drift.
+    """
+
+    def metric_counts(self, registry, name):
+        family = registry.get(name)
+        if family is None:
+            return {}
+        return {labels[0]: child.value
+                for labels, child in family.series() if child.value}
+
+    def test_streaming_report_equals_metrics_after_chaos(self, population):
+        from repro.obs.metrics import MetricsRegistry
+
+        _, model, _, evaluate = population
+        keys = model.measurable_keys
+        victims = keys[:1]
+        corrupt = degenerate_parameters(model.parameters, victims,
+                                        "noise_nonempty", float("nan"))
+        registry = MetricsRegistry()
+        detector = StreamingDetector(model.family, model.histories,
+                                     corrupt, DAY, metrics=registry)
+        for row in sorted(Observation(float(t), Family.IPV4, k << 8)
+                          for k in keys for t in evaluate[k]):
+            detector.observe(row)
+        detector.finalize(2 * DAY)
+        health = detector.last_health
+        assert health is not None
+
+        dead_by_stage = {}
+        for entry in health.dead_letters.entries:
+            dead_by_stage[entry.stage] = dead_by_stage.get(entry.stage, 0) + 1
+        assert dead_by_stage  # chaos actually quarantined something
+        assert self.metric_counts(registry,
+                                  "dead_letters_total") == dead_by_stage
+
+        report_guards = {guard: count
+                         for guard, count
+                         in health.guardrails.as_dict().items() if count}
+        assert self.metric_counts(registry,
+                                  "guardrail_trips_total") == report_guards
+
+    def test_batch_report_equals_metrics_after_chaos(self, population):
+        from repro.obs.metrics import MetricsRegistry
+
+        _, model, _, evaluate = population
+        victims = sorted(model.measurable_keys)[:1]
+        registry = MetricsRegistry()
+        pipeline = PassiveOutagePipeline(aggregation_levels=0,
+                                         metrics=registry)
+        result = pipeline.detect(
+            model, poison_block_times(evaluate, victims, "nan"),
+            DAY, 2 * DAY)
+        health = result.health
+        assert health is not None
+
+        dead_by_stage = {}
+        for entry in health.dead_letters.entries:
+            dead_by_stage[entry.stage] = dead_by_stage.get(entry.stage, 0) + 1
+        assert dead_by_stage
+        assert self.metric_counts(registry,
+                                  "dead_letters_total") == dead_by_stage
+        report_guards = {guard: count
+                         for guard, count
+                         in health.guardrails.as_dict().items() if count}
+        assert report_guards.get("nonfinite_timestamp", 0) > 0
+        assert self.metric_counts(registry,
+                                  "guardrail_trips_total") == report_guards
+
+
 class TestIngestBoundary:
     def test_reorder_buffer_stops_poisoned_stream(self, population):
         _, model, _, evaluate = population

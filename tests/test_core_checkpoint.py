@@ -20,6 +20,7 @@ from repro.core.parameters import ParameterPlanner
 from repro.core.pipeline import TrainedModel
 from repro.core.sentinel import VantageSentinel
 from repro.net.addr import Family
+from repro.obs.metrics import MetricsRegistry
 from repro.telescope.records import Observation
 from repro.traffic.sources import poisson_times
 
@@ -114,3 +115,104 @@ class TestValidation:
         restored = detector_from_json(json.dumps(document),
                                       model.histories, model.parameters)
         assert int(removed) in restored._states
+
+
+def counter_values(registry):
+    """Every counter series' value, keyed by name + label values."""
+    values = {}
+    for family in registry.families():
+        if family.kind != "counter":
+            continue
+        for labelvalues, child in family.series():
+            values[(family.name, labelvalues)] = child.value
+    return values
+
+
+def feed(detector, seed, start, seconds, n=1500):
+    rng = np.random.default_rng(seed)
+    for time in np.sort(rng.uniform(start, start + seconds, n)):
+        detector.observe(Observation(float(time), Family.IPV4, 1 << 8))
+    detector.advance(start + seconds)
+
+
+class TestTelemetryCheckpoint:
+    def test_metrics_key_absent_without_telemetry(self, model):
+        document = json.loads(detector_to_json(make_detector(model)))
+        assert "metrics" not in document
+
+    def test_metrics_key_present_with_telemetry(self, model):
+        detector = make_detector(model, metrics=MetricsRegistry())
+        document = json.loads(detector_to_json(detector))
+        assert document["metrics"]["format"] == "repro-metrics-v1"
+
+    def test_counters_survive_kill_and_resume_bit_for_bit(self, model):
+        detector = make_detector(model, metrics=MetricsRegistry())
+        feed(detector, 11, DAY, 20000.0)
+        text = detector_to_json(detector)  # the "kill": only JSON survives
+
+        fresh = MetricsRegistry()
+        restored = detector_from_json(text, model.histories,
+                                      model.parameters, metrics=fresh)
+        before = counter_values(detector.metrics)
+        after = counter_values(fresh)
+        assert before  # the run actually counted something
+        for key, value in before.items():
+            assert after[key] == value, key
+        assert restored.metrics is fresh
+
+    def test_resumed_counters_continue_monotonically(self, model):
+        detector = make_detector(model, metrics=MetricsRegistry())
+        feed(detector, 11, DAY, 20000.0)
+        before = counter_values(detector.metrics)
+        restored = detector_from_json(detector_to_json(detector),
+                                      model.histories, model.parameters,
+                                      metrics=MetricsRegistry())
+        feed(restored, 12, DAY + 25000.0, 20000.0)
+        after = counter_values(restored.metrics)
+        for key, value in before.items():
+            assert after[key] >= value, key
+        assert (after[("stream_observations_total", ())]
+                == before[("stream_observations_total", ())] + 1500)
+
+    def test_fresh_registry_without_checkpoint_starts_at_zero(self, model):
+        detector = make_detector(model, metrics=MetricsRegistry())
+        values = counter_values(detector.metrics)
+        assert all(value == 0 for value in values.values())
+
+    def test_dead_letters_not_double_counted_on_restore(self, model):
+        detector = make_detector(model, metrics=MetricsRegistry())
+        feed(detector, 11, DAY, 20000.0)
+        detector._quarantine(1, "stream", RuntimeError("poisoned"))
+        metric = detector.metrics.get("dead_letters_total")
+        assert metric.labels(stage="stream").value == 1
+
+        fresh = MetricsRegistry()
+        restored = detector_from_json(detector_to_json(detector),
+                                      model.histories, model.parameters,
+                                      metrics=fresh)
+        assert len(restored.dead_letters) == 1
+        assert fresh.get("dead_letters_total").labels(
+            stage="stream").value == 1
+
+    def test_restore_without_snapshot_backfills_health_counts(self, model):
+        # A checkpoint written with telemetry off still seeds the
+        # counters of a telemetry-on restore from its health state.
+        detector = make_detector(model)
+        feed(detector, 11, DAY, 20000.0)
+        detector._quarantine(1, "stream", RuntimeError("poisoned"))
+        fresh = MetricsRegistry()
+        restored = detector_from_json(detector_to_json(detector),
+                                      model.histories, model.parameters,
+                                      metrics=fresh)
+        assert len(restored.dead_letters) == 1
+        assert fresh.get("dead_letters_total").labels(
+            stage="stream").value == 1
+
+    def test_default_restore_stays_unmetered(self, model):
+        detector = make_detector(model, metrics=MetricsRegistry())
+        feed(detector, 11, DAY, 20000.0)
+        restored = detector_from_json(detector_to_json(detector),
+                                      model.histories, model.parameters)
+        assert restored.metrics.enabled is False
+        # And the re-serialised document drops the snapshot again.
+        assert "metrics" not in json.loads(detector_to_json(restored))

@@ -1,0 +1,310 @@
+"""Unit tests for the dependency-free metrics registry."""
+
+import json
+import math
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_SECONDS_BUCKETS,
+    NULL_REGISTRY,
+    SNAPSHOT_FORMAT,
+    MetricsRegistry,
+    get_registry,
+    log_spaced_buckets,
+    render_snapshot,
+    resolve_registry,
+    set_registry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = MetricsRegistry().counter("hits_total")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_negative_increment_refused(self):
+        counter = MetricsRegistry().counter("hits_total")
+        with pytest.raises(ValueError, match="only go up"):
+            counter.inc(-1)
+
+    def test_integer_counts_stay_integers(self):
+        counter = MetricsRegistry().counter("hits_total")
+        counter.inc(3)
+        assert isinstance(counter.value, int)
+
+
+class TestGauge:
+    def test_moves_both_directions(self):
+        gauge = MetricsRegistry().gauge("occupancy")
+        gauge.set(10)
+        gauge.dec(3)
+        gauge.inc(1)
+        assert gauge.value == 8
+
+    def test_set_to_max_is_a_high_watermark(self):
+        gauge = MetricsRegistry().gauge("peak")
+        gauge.set_to_max(5)
+        gauge.set_to_max(3)
+        assert gauge.value == 5
+        gauge.set_to_max(9)
+        assert gauge.value == 9
+
+
+class TestHistogram:
+    def test_le_bucket_semantics(self):
+        histogram = MetricsRegistry().histogram(
+            "latency_seconds", buckets=(0.1, 1.0, 10.0))
+        histogram.observe(0.1)    # lands in le=0.1 exactly
+        histogram.observe(0.5)    # le=1
+        histogram.observe(50.0)   # +Inf overflow
+        assert histogram._default().bucket_counts() == [1, 1, 0, 1]
+        assert histogram._default().cumulative_counts() == [1, 2, 2, 3]
+
+    def test_summary_statistics(self):
+        histogram = MetricsRegistry().histogram("x", buckets=(1.0, 2.0))
+        for value in (0.5, 1.5, 1.0):
+            histogram.observe(value)
+        child = histogram._default()
+        assert child.count == 3
+        assert child.sum == pytest.approx(3.0)
+        assert child.mean == pytest.approx(1.0)
+        assert child.minimum == 0.5
+        assert child.maximum == 1.5
+
+    def test_quantiles_clamped_to_observed_range(self):
+        histogram = MetricsRegistry().histogram("x", buckets=(1.0, 10.0))
+        for _ in range(100):
+            histogram.observe(2.0)
+        assert histogram.quantile(0.5) == pytest.approx(2.0)
+        assert histogram.quantile(0.99) <= 2.0
+        assert histogram.quantile(0.0) >= 2.0 - 1e-12
+
+    def test_empty_quantile_is_nan(self):
+        histogram = MetricsRegistry().histogram("x")
+        assert math.isnan(histogram.quantile(0.5))
+
+    def test_timer_context_manager_observes(self):
+        histogram = MetricsRegistry().histogram("x")
+        with histogram.time():
+            pass
+        child = histogram._default()
+        assert child.count == 1
+        assert child.sum >= 0.0
+
+    def test_default_buckets_span_microseconds_to_kiloseconds(self):
+        assert DEFAULT_SECONDS_BUCKETS[0] == pytest.approx(1e-6)
+        assert DEFAULT_SECONDS_BUCKETS[-1] >= 1e3
+
+    def test_log_spaced_buckets_monotone(self):
+        bounds = log_spaced_buckets(1e-3, 10.0, 4)
+        assert list(bounds) == sorted(bounds)
+        assert len(bounds) == len(set(bounds))
+
+    def test_bad_bucket_spec_rejected(self):
+        with pytest.raises(ValueError):
+            log_spaced_buckets(0.0, 1.0)
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="strictly increasing"):
+            registry.histogram("x", buckets=(1.0, 1.0))
+
+
+class TestLabels:
+    def test_children_are_independent(self):
+        family = MetricsRegistry().counter("events_total",
+                                           labelnames=("kind",))
+        family.labels(kind="up").inc(2)
+        family.labels(kind="down").inc(5)
+        assert family.labels(kind="up").value == 2
+        assert family.labels(kind="down").value == 5
+
+    def test_wrong_label_names_rejected(self):
+        family = MetricsRegistry().counter("events_total",
+                                           labelnames=("kind",))
+        with pytest.raises(ValueError, match="takes labels"):
+            family.labels(direction="up")
+
+    def test_unlabelled_proxy_refused_on_labelled_family(self):
+        family = MetricsRegistry().counter("events_total",
+                                           labelnames=("kind",))
+        with pytest.raises(ValueError, match="address a child"):
+            family.inc()
+
+
+class TestRegistration:
+    def test_same_registration_returns_same_family(self):
+        registry = MetricsRegistry()
+        first = registry.counter("runs_total", "help one")
+        second = registry.counter("runs_total", "help two")
+        assert first is second
+        assert first.help == "help one"
+
+    def test_conflicting_kind_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x_total")
+
+    def test_conflicting_labels_raise(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", labelnames=("a",))
+        with pytest.raises(ValueError, match="already registered"):
+            registry.counter("x_total", labelnames=("b",))
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="invalid metric name"):
+            registry.counter("bad name")
+        with pytest.raises(ValueError, match="invalid label name"):
+            registry.counter("ok_total", labelnames=("bad-label",))
+
+    def test_get_and_families_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("zebra_total")
+        registry.gauge("aardvark")
+        assert [f.name for f in registry.families()] == ["aardvark",
+                                                         "zebra_total"]
+        assert registry.get("zebra_total").kind == "counter"
+        assert registry.get("missing") is None
+
+
+def build_reference_registry():
+    registry = MetricsRegistry()
+    registry.counter("runs_total", "Total runs").inc(7)
+    events = registry.counter("events_total", "Events by kind",
+                              labelnames=("kind",))
+    events.labels(kind="up").inc(2)
+    events.labels(kind="down").inc(3)
+    registry.gauge("occupancy", "Current occupancy").set(4)
+    latency = registry.histogram("latency_seconds", "Latency",
+                                 buckets=(0.1, 1.0, 10.0))
+    for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+        latency.observe(value)
+    return registry
+
+
+class TestSnapshotRestore:
+    def test_snapshot_is_deterministic(self):
+        first = build_reference_registry().snapshot()
+        second = build_reference_registry().snapshot()
+        assert first == second
+        assert first["format"] == SNAPSHOT_FORMAT
+
+    def test_restore_round_trips_bit_for_bit(self):
+        source = build_reference_registry()
+        # Through JSON text, exactly as a checkpoint would carry it.
+        document = json.loads(source.to_json())
+        target = MetricsRegistry()
+        target.restore(document)
+        assert target.snapshot() == source.snapshot()
+        assert target.to_json() == source.to_json()
+
+    def test_restore_preserves_integer_counters(self):
+        source = MetricsRegistry()
+        source.counter("n_total").inc(41)
+        target = MetricsRegistry()
+        target.restore(json.loads(source.to_json()))
+        value = target.get("n_total").value
+        assert value == 41 and isinstance(value, int)
+
+    def test_restore_overwrites_existing_values(self):
+        source = build_reference_registry()
+        target = MetricsRegistry()
+        target.counter("runs_total").inc(100)
+        target.restore(source.snapshot())
+        assert target.get("runs_total").value == 7
+
+    def test_restore_rejects_wrong_format(self):
+        with pytest.raises(ValueError, match="snapshot"):
+            MetricsRegistry().restore({"format": "something-else"})
+
+    def test_restore_rejects_bucket_mismatch(self):
+        source = MetricsRegistry()
+        source.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+        snapshot = source.snapshot()
+        snapshot["metrics"][0]["buckets"] = [1.0, 2.0, 3.0]
+        with pytest.raises(ValueError, match="buckets"):
+            MetricsRegistry().restore(snapshot)
+
+    def test_concurrent_increments_are_not_lost(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("n_total")
+
+        def work():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 4000
+
+
+class TestNullRegistry:
+    def test_disabled_and_inert(self):
+        assert NULL_REGISTRY.enabled is False
+        NULL_REGISTRY.counter("x_total").inc()
+        NULL_REGISTRY.gauge("g").set(5)
+        NULL_REGISTRY.histogram("h").observe(1.0)
+        with NULL_REGISTRY.histogram("h").time():
+            pass
+        assert NULL_REGISTRY.counter("x_total").value == 0
+        assert NULL_REGISTRY.snapshot() == {"format": SNAPSHOT_FORMAT,
+                                            "metrics": []}
+        assert NULL_REGISTRY.to_prometheus() == ""
+        assert NULL_REGISTRY.get("x_total") is None
+
+    def test_labels_chain_to_noop(self):
+        child = NULL_REGISTRY.counter("x_total",
+                                      labelnames=("a",)).labels(a="b")
+        child.inc(10)
+        assert child.value == 0
+
+
+class TestGlobalRegistry:
+    def test_default_is_null(self):
+        assert get_registry() is NULL_REGISTRY
+
+    def test_set_and_restore(self):
+        registry = MetricsRegistry()
+        previous = set_registry(registry)
+        try:
+            assert get_registry() is registry
+            assert resolve_registry(None) is registry
+            other = MetricsRegistry()
+            assert resolve_registry(other) is other
+        finally:
+            set_registry(previous)
+        assert get_registry() is previous
+
+    def test_set_none_resets_to_null(self):
+        previous = set_registry(MetricsRegistry())
+        set_registry(None)
+        assert get_registry() is NULL_REGISTRY
+        set_registry(previous)
+
+
+class TestRenderSnapshot:
+    def test_renders_tables(self):
+        text = render_snapshot(build_reference_registry().snapshot())
+        assert "counters and gauges" in text
+        assert "stage latency (histograms)" in text
+        assert 'events_total{kind="down"}' in text
+        assert "runs_total" in text
+        assert "latency_seconds" in text
+        # The gauge is marked so operators don't read it as cumulative.
+        assert "(gauge)" in text
+
+    def test_empty_snapshot(self):
+        text = render_snapshot({"format": SNAPSHOT_FORMAT, "metrics": []})
+        assert "empty" in text
+
+    def test_rejects_foreign_document(self):
+        with pytest.raises(ValueError, match="snapshot"):
+            render_snapshot({"format": "nope"})

@@ -1,0 +1,96 @@
+"""Golden-file test for the Prometheus text exposition format.
+
+The exposition output is an interface to external scrapers, so it is
+pinned byte-for-byte against ``tests/data/prometheus.golden``: any
+change to escaping, label ordering, bucket rendering, or number
+formatting must show up as a reviewed diff of that file, not as a
+silently reshaped scrape.
+"""
+
+import pathlib
+import re
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "data" / "prometheus.golden"
+
+
+def build_exposition_registry():
+    """A registry exercising every rendering rule."""
+    registry = MetricsRegistry()
+    # Help text with a backslash and a newline: both must be escaped.
+    runs = registry.counter("runs_total",
+                            "Total runs (paths use \\ on win)\nsecond line")
+    runs.inc(3)
+    # Label values with a quote, a backslash, and a newline.
+    files = registry.counter("files_total", "Files by path",
+                             labelnames=("path",))
+    files.labels(path='C:\\tmp\\"day".pobs').inc(2)
+    files.labels(path="plain\nname").inc(1)
+    # Multiple label names: must render sorted by label name.
+    pairs = registry.gauge("pair_gauge", "Two labels",
+                           labelnames=("zebra", "alpha"))
+    pairs.labels(zebra="z", alpha="a").set(1.5)
+    # Histogram: cumulative buckets, +Inf last, int-valued floats
+    # rendered as integers.
+    latency = registry.histogram("latency_seconds", "Latency",
+                                 buckets=(0.1, 1.0, 10.0))
+    for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+        latency.observe(value)
+    # An unhelped metric: no # HELP line.
+    registry.gauge("bare_gauge").set(2)
+    return registry
+
+
+class TestGoldenFile:
+    def test_matches_golden_byte_for_byte(self):
+        rendered = build_exposition_registry().to_prometheus()
+        assert rendered == GOLDEN_PATH.read_text(encoding="utf-8"), (
+            "Prometheus exposition changed; if intentional, regenerate "
+            "tests/data/prometheus.golden from "
+            "build_exposition_registry().to_prometheus()")
+
+
+class TestExpositionRules:
+    @pytest.fixture()
+    def text(self):
+        return build_exposition_registry().to_prometheus()
+
+    def test_help_and_type_lines(self, text):
+        assert ("# HELP runs_total Total runs (paths use \\\\ on win)"
+                "\\nsecond line") in text
+        assert "# TYPE runs_total counter" in text
+        assert "# TYPE latency_seconds histogram" in text
+        # Unhelped metric still gets its TYPE line, but no HELP line.
+        assert "# TYPE bare_gauge gauge" in text
+        assert "# HELP bare_gauge" not in text
+
+    def test_label_value_escaping(self, text):
+        assert r'path="C:\\tmp\\\"day\".pobs"' in text
+        assert r'path="plain\nname"' in text
+
+    def test_label_names_sorted_with_le_last(self, text):
+        assert 'pair_gauge{alpha="a",zebra="z"} 1.5' in text
+        for line in text.splitlines():
+            if line.startswith("latency_seconds_bucket"):
+                names = re.findall(r'(\w+)=', line)
+                assert names == sorted(n for n in names if n != "le") + ["le"]
+
+    def test_histogram_buckets_cumulative_and_monotone(self, text):
+        counts = [int(line.rsplit(" ", 1)[1])
+                  for line in text.splitlines()
+                  if line.startswith("latency_seconds_bucket")]
+        assert counts == [1, 3, 4, 5]
+        assert counts == sorted(counts)  # le-cumulativity is monotone
+        assert 'le="+Inf"' in text
+        assert "latency_seconds_count 5" in text
+        assert "latency_seconds_sum 56.05" in text
+
+    def test_integer_values_render_without_decimal(self, text):
+        assert "runs_total 3" in text
+        assert "bare_gauge 2" in text
+
+    def test_ends_with_newline(self, text):
+        assert text.endswith("\n")

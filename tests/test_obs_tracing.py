@@ -1,0 +1,147 @@
+"""Unit tests for the span tracer."""
+
+import threading
+
+import pytest
+
+from repro.obs.tracing import (
+    NULL_TRACER,
+    SpanTracer,
+    get_tracer,
+    resolve_tracer,
+    set_tracer,
+)
+
+
+class TestSpanRecording:
+    def test_nested_spans_record_depth_and_order(self):
+        tracer = SpanTracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        names = {span.name: span for span in tracer.spans}
+        assert names["outer"].depth == 0
+        assert names["inner"].depth == 1
+        assert names["outer"].start <= names["inner"].start
+        assert names["inner"].end <= names["outer"].end
+
+    def test_span_survives_exceptions(self):
+        tracer = SpanTracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("failing"):
+                raise RuntimeError("boom")
+        assert [span.name for span in tracer.spans] == ["failing"]
+
+    def test_span_args_recorded(self):
+        tracer = SpanTracer()
+        with tracer.span("tune", family="ipv4", blocks=12):
+            pass
+        assert tracer.spans[0].args == {"family": "ipv4", "blocks": 12}
+
+    def test_threads_get_independent_stacks(self):
+        tracer = SpanTracer()
+
+        def work():
+            with tracer.span("worker"):
+                pass
+
+        thread = threading.Thread(target=work)
+        with tracer.span("main"):
+            thread.start()
+            thread.join()
+        depths = {span.name: span.depth for span in tracer.spans}
+        # The worker's span is top-level in its own thread, not nested
+        # under the main thread's open span.
+        assert depths == {"worker": 0, "main": 0}
+
+
+class TestChromeTrace:
+    def test_complete_events_in_microseconds(self):
+        tracer = SpanTracer()
+        with tracer.span("detect", family="ipv4"):
+            pass
+        document = tracer.chrome_trace()
+        assert document["displayTimeUnit"] == "ms"
+        (event,) = document["traceEvents"]
+        assert event["ph"] == "X"
+        assert event["name"] == "detect"
+        assert event["dur"] >= 0
+        assert event["args"] == {"family": "ipv4"}
+
+    def test_events_sorted_parents_first(self):
+        tracer = SpanTracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        names = [event["name"]
+                 for event in tracer.chrome_trace()["traceEvents"]]
+        assert names == ["outer", "inner"]
+
+    def test_non_json_args_stringified(self):
+        tracer = SpanTracer()
+        with tracer.span("s", thing=object()):
+            pass
+        (event,) = tracer.chrome_trace()["traceEvents"]
+        assert isinstance(event["args"]["thing"], str)
+
+    def test_to_chrome_json_parses(self):
+        import json
+
+        tracer = SpanTracer()
+        with tracer.span("a"):
+            pass
+        assert json.loads(tracer.to_chrome_json())["traceEvents"]
+
+
+class TestStageTable:
+    def test_aggregates_by_name_sorted_by_total(self):
+        tracer = SpanTracer()
+        for _ in range(3):
+            with tracer.span("fast"):
+                pass
+        with tracer.span("slow"):
+            for _ in range(50000):
+                pass
+        rows = tracer.stage_table()
+        assert {row["name"] for row in rows} == {"fast", "slow"}
+        by_name = {row["name"]: row for row in rows}
+        assert by_name["fast"]["count"] == 3
+        assert by_name["slow"]["count"] == 1
+        assert rows == sorted(rows, key=lambda r: -r["total_seconds"])
+        for row in rows:
+            assert row["mean_seconds"] == pytest.approx(
+                row["total_seconds"] / row["count"])
+
+    def test_format_stage_table(self):
+        tracer = SpanTracer()
+        with tracer.span("train"):
+            pass
+        text = tracer.format_stage_table()
+        assert "train" in text and "count" in text
+        assert SpanTracer().format_stage_table() == "(no spans recorded)"
+
+
+class TestNullTracer:
+    def test_records_nothing(self):
+        with NULL_TRACER.span("ignored", key=1):
+            pass
+        assert NULL_TRACER.spans == []
+        assert NULL_TRACER.chrome_trace()["traceEvents"] == []
+        assert NULL_TRACER.stage_table() == []
+        assert NULL_TRACER.enabled is False
+
+
+class TestGlobalTracer:
+    def test_default_is_null(self):
+        assert get_tracer() is NULL_TRACER
+
+    def test_set_and_resolve(self):
+        tracer = SpanTracer()
+        previous = set_tracer(tracer)
+        try:
+            assert get_tracer() is tracer
+            assert resolve_tracer(None) is tracer
+            other = SpanTracer()
+            assert resolve_tracer(other) is other
+        finally:
+            set_tracer(previous)

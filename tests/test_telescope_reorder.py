@@ -109,6 +109,75 @@ class TestReorderBuffer:
         assert times == sorted(times)
 
 
+class TestReorderTelemetry:
+    def test_occupancy_peak_tracks_high_watermark(self):
+        buffer = ReorderBuffer(5.0)
+        buffer.push(obs(10.0))
+        buffer.push(obs(11.0))
+        assert buffer.stats.occupancy_peak == 2
+        buffer.push(obs(20.0))  # drains 10.0 and 11.0
+        assert buffer.pending == 1
+        assert buffer.stats.occupancy_peak == 3  # peak was before the drain
+        assert buffer.stats.as_dict()["occupancy_peak"] == 3
+
+    def test_record_outcomes_routed_through_registry(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        buffer = ReorderBuffer(1.0, LatePolicy.COUNT, metrics=registry)
+        buffer.push(obs(10.0))
+        buffer.push(obs(20.0))   # admits 10.0, watermark 19.0
+        buffer.push(obs(5.0))    # late: dropped under COUNT
+        buffer.flush()
+        outcomes = registry.get("reorder_records_total")
+        assert outcomes.labels(outcome="admitted").value == 2
+        assert outcomes.labels(outcome="late_dropped").value == 1
+        assert outcomes.labels(outcome="late_admitted").value == 0
+        assert (registry.get("reorder_buffer_occupancy_peak").value
+                == buffer.stats.occupancy_peak)
+
+    def test_late_admitted_outcome_counted(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        buffer = ReorderBuffer(1.0, LatePolicy.ADMIT, metrics=registry)
+        buffer.push(obs(10.0))
+        buffer.push(obs(20.0))
+        buffer.push(obs(5.0))
+        outcomes = registry.get("reorder_records_total")
+        assert outcomes.labels(outcome="late_admitted").value == 1
+        assert outcomes.labels(outcome="late_dropped").value == 0
+
+    def test_merge_streams_counts_per_stream(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        merged = list(merge_streams([obs(1.0), obs(3.0)], [obs(2.0)],
+                                    metrics=registry))
+        assert len(merged) == 3
+        family = registry.get("merge_records_total")
+        assert family.labels(stream="0").value == 2
+        assert family.labels(stream="1").value == 1
+
+    def test_merge_streams_counts_flushed_on_abandonment(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        stream = merge_streams([obs(1.0), obs(2.0), obs(3.0)],
+                               metrics=registry)
+        next(stream)
+        stream.close()  # abandon mid-way: the finally block still flushes
+        assert registry.get("merge_records_total").labels(
+            stream="0").value == 1
+
+    def test_untelemetered_buffer_has_no_registry_cost(self):
+        buffer = ReorderBuffer(1.0)
+        assert buffer.push(obs(1.0)) == []
+        # No metrics kwarg means the null registry: nothing registered.
+        from repro.obs.metrics import NULL_REGISTRY
+        assert NULL_REGISTRY.families() == []
+
+
 class TestStreamIntegration:
     def test_window_stream_reorder_horizon_matches_clean(self):
         rng = np.random.default_rng(17)
