@@ -220,7 +220,8 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     with _telemetry(args) as (registry, tracer):
         pipeline = PassiveOutagePipeline(
             max_quarantine_frac=args.max_quarantine_frac,
-            metrics=registry, tracer=tracer)
+            metrics=registry, tracer=tracer,
+            workers=args.workers, shard_chunk=args.shard_chunk)
         try:
             if args.model:
                 from .core.serialize import load_model
@@ -434,7 +435,22 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     """
     runner = EXPERIMENTS[args.name]
     with _telemetry(args):
-        result = runner(scale=args.scale)
+        # Experiments construct pipelines internally, so --workers
+        # reaches them the same way telemetry does: as a process-wide
+        # default, restored afterwards.
+        from .parallel import set_default_parallelism
+
+        previous = set_default_parallelism(args.workers, args.shard_chunk)
+        try:
+            result = runner(scale=args.scale)
+        except ErrorBudgetExceeded as error:
+            # Same contract as `detect`: a run too degraded to trust
+            # exits with the distinct budget code, and the telemetry
+            # files still land (the _telemetry finally block flushes).
+            print(f"error budget exceeded: {error}", file=sys.stderr)
+            return EXIT_BUDGET_TRIPPED
+        finally:
+            set_default_parallelism(*previous)
         print(result)
     return 0
 
@@ -524,6 +540,13 @@ def build_parser() -> argparse.ArgumentParser:
     detect.add_argument("--max-quarantine-frac", type=float, default=0.5,
                         help="fail (exit 3) when more than this fraction "
                              "of blocks is quarantined (1.0 disables)")
+    detect.add_argument("--workers", type=int, default=None,
+                        help="shard blocks across N worker processes "
+                             "(output is bit-identical to --workers 1; "
+                             "0 forces the sequential path)")
+    detect.add_argument("--shard-chunk", type=int, default=None,
+                        help="blocks per shard for --workers (default: "
+                             "population/16, independent of N)")
     detect.add_argument("--metrics-out", default="",
                         help="write the run's metrics snapshot (JSON) here")
     detect.add_argument("--trace-out", default="",
@@ -574,6 +597,11 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("name", choices=sorted(EXPERIMENTS))
     experiment.add_argument("--scale", type=float, default=1.0,
                             help="population scale factor (1.0 = recorded)")
+    experiment.add_argument("--workers", type=int, default=None,
+                            help="default worker count for pipelines the "
+                                 "experiment builds internally")
+    experiment.add_argument("--shard-chunk", type=int, default=None,
+                            help="blocks per shard for --workers")
     experiment.add_argument("--metrics-out", default="",
                             help="write the run's metrics snapshot "
                                  "(JSON) here")

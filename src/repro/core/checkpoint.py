@@ -23,6 +23,7 @@ load.
 from __future__ import annotations
 
 import json
+import os
 import time as _time
 from typing import Any, Dict, Mapping, Optional, Union
 
@@ -39,9 +40,15 @@ from .serialize import atomic_write_text
 
 __all__ = ["CHECKPOINT_FORMAT_VERSION", "CheckpointFormatError",
            "detector_to_json", "detector_from_json", "save_checkpoint",
-           "load_checkpoint"]
+           "load_checkpoint", "SHARD_CHECKPOINT_FORMAT_VERSION",
+           "write_shard_manifest", "read_shard_manifest",
+           "save_shard_result", "load_shard_result"]
 
 CHECKPOINT_FORMAT_VERSION = 1
+
+#: Format version of a sharded-run checkpoint directory (manifest plus
+#: one JSON document per completed shard).
+SHARD_CHECKPOINT_FORMAT_VERSION = 1
 
 
 class CheckpointFormatError(ValueError):
@@ -212,6 +219,71 @@ def save_checkpoint(detector: StreamingDetector, path: PathLike) -> None:
                 _time.perf_counter() - clock)
         detector.metrics.counter(
             "checkpoints_saved_total", "Checkpoints written").inc()
+
+
+def _shard_path(directory: PathLike, index: int) -> str:
+    return os.path.join(os.fspath(directory), f"shard-{index:05d}.json")
+
+
+def write_shard_manifest(directory: PathLike,
+                         manifest: Dict[str, Any]) -> None:
+    """Atomically persist a sharded run's plan manifest.
+
+    The manifest identifies the plan (stage, window, chunking, and a
+    digest of the block keyspace) so a resume can tell cached shard
+    results from stale ones left by a differently-planned earlier run.
+    """
+    document = dict(manifest)
+    document["format_version"] = SHARD_CHECKPOINT_FORMAT_VERSION
+    os.makedirs(os.fspath(directory), exist_ok=True)
+    atomic_write_text(os.path.join(os.fspath(directory), "manifest.json"),
+                      json.dumps(document, indent=1))
+
+
+def read_shard_manifest(directory: PathLike) -> Optional[Dict[str, Any]]:
+    """The manifest of a sharded checkpoint directory, or None.
+
+    Missing, unreadable, or future-versioned manifests all read as
+    None — resume is best-effort, and "recompute everything" is always
+    a correct answer.
+    """
+    path = os.path.join(os.fspath(directory), "manifest.json")
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return None
+    if not isinstance(document, dict):
+        return None
+    if document.get("format_version") != SHARD_CHECKPOINT_FORMAT_VERSION:
+        return None
+    return document
+
+
+def save_shard_result(directory: PathLike, index: int,
+                      document: Dict[str, Any]) -> None:
+    """Atomically persist one completed shard's result document.
+
+    Written as each shard finishes, so a killed run resumes with every
+    *completed* shard served from disk and only the remainder
+    recomputed.  Atomicity matters doubly here: a torn shard file would
+    otherwise poison the resume that is supposed to rescue the run.
+    """
+    os.makedirs(os.fspath(directory), exist_ok=True)
+    atomic_write_text(_shard_path(directory, index),
+                      json.dumps(document, indent=1))
+
+
+def load_shard_result(directory: PathLike,
+                      index: int) -> Optional[Dict[str, Any]]:
+    """One shard's cached result document, or None when absent/corrupt."""
+    try:
+        with open(_shard_path(directory, index), "r",
+                  encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return None
+    return document if isinstance(document, dict) else None
 
 
 def load_checkpoint(path: PathLike, model: TrainedModel,

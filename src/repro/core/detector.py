@@ -148,7 +148,16 @@ class PassiveDetector:
         self.last_dead_letters = registry
         self.last_guardrails = guardrails
 
-        groups: Dict[float, List[int]] = defaultdict(list)
+        # Group key is every property that steers the vectorised pass:
+        # bin size, the pair of hysteresis thresholds, and whether the
+        # block's own history is diurnal.  Grouping on anything coarser
+        # (the old code grouped on bin size alone and let *any* diurnal
+        # member switch the whole group to the matrix likelihood, with
+        # ``keys[0]``'s thresholds) made a block's verdict depend on its
+        # groupmates — which breaks both per-block correctness and the
+        # sharded/sequential equivalence guarantee.
+        groups: Dict[Tuple[float, float, float, bool], List[int]] = (
+            defaultdict(list))
         for key, params in parameters.items():
             if not params.measurable:
                 continue
@@ -174,14 +183,15 @@ class PassiveDetector:
                     "detect", key,
                     BlockDataError("no trained history for this block"))
                 continue
-            groups[params.bin_seconds].append(key)
+            groups[(params.bin_seconds, params.down_threshold,
+                    params.up_threshold,
+                    histories[key].diurnal_profile is not None)].append(key)
 
         results: Dict[int, BlockResult] = {}
-        for bin_seconds, keys in groups.items():
+        for (bin_seconds, _, _, has_diurnal), keys in sorted(groups.items()):
             keys.sort()
             grid = BinGrid(start, end, bin_seconds)
-            if any(histories[key].diurnal_profile is not None
-                   for key in keys):
+            if has_diurnal:
                 # Diurnal-aware likelihood: per-(block, bin) empty-bin
                 # probability so nightly lulls stop counting as
                 # evidence.  Supervised scope 2: a poisoned diurnal

@@ -243,6 +243,30 @@ class DeadLetterRegistry:
             for entry in other.entries:
                 self._metric.labels(stage=entry.stage).inc()
 
+    def canonicalize(self) -> None:
+        """Re-order entries into the canonical (merge-stable) order.
+
+        Entries sort by (block key, stage, error type, message, digest).
+        Shard workers discover dead letters in whatever order their
+        bin-size groups iterate, so two different shardings of the same
+        population record the same *set* of entries in different
+        orders; merging sorts canonically so the merged registry — and
+        everything derived from it (health report, ``--health-report``
+        JSON) — is identical regardless of shard composition.
+        """
+        self.entries.sort(key=lambda e: (e.block_key, e.stage,
+                                         e.error_type, e.error, e.digest))
+
+    @classmethod
+    def merged(cls, registries: Iterable["DeadLetterRegistry"]
+               ) -> "DeadLetterRegistry":
+        """Union of several registries, in canonical entry order."""
+        merged = cls()
+        for registry in registries:
+            merged.entries.extend(registry.entries)
+        merged.canonicalize()
+        return merged
+
     def as_dict(self) -> List[Dict[str, Any]]:
         return [entry.as_dict() for entry in self.entries]
 
@@ -399,6 +423,47 @@ class RunHealthReport:
         if attempted == 0:
             return 0.0
         return self.blocks_quarantined / attempted
+
+    @classmethod
+    def merged(cls, reports: Iterable["RunHealthReport"],
+               run: Optional[str] = None,
+               max_quarantine_frac: Optional[float] = None,
+               ) -> "RunHealthReport":
+        """Fold per-shard reports into one population-wide report.
+
+        Stage rows with the same name sum (attempted/succeeded/
+        quarantined add exactly; ``seconds`` add too, giving total CPU
+        seconds rather than wall time).  Dead letters merge in
+        canonical order and guardrail counters add, so the merged
+        report is independent of how the population was sharded — and
+        because shards partition the keyspace, :meth:`accounts_for`
+        holds over the union of the shards' keys exactly when it held
+        per shard.  ``budget_tripped`` is left False: the budget is the
+        *parent's* decision over the merged population, not any
+        shard's.
+        """
+        reports = list(reports)
+        merged = cls(run=(run if run is not None
+                          else (reports[0].run if reports else "pipeline")))
+        windows: List[Tuple[float, float]] = []
+        for report in reports:
+            for stats in report.stages:
+                row = merged.stage(stats.name)
+                row.seconds += stats.seconds
+                row.attempted += stats.attempted
+                row.succeeded += stats.succeeded
+                row.quarantined += stats.quarantined
+            merged.guardrails.merge(report.guardrails)
+            windows.extend(report.sentinel_windows)
+        merged.dead_letters = DeadLetterRegistry.merged(
+            report.dead_letters for report in reports)
+        merged.sentinel_windows = sorted(set(windows))
+        if max_quarantine_frac is not None:
+            merged.max_quarantine_frac = max_quarantine_frac
+        elif reports:
+            merged.max_quarantine_frac = min(
+                report.max_quarantine_frac for report in reports)
+        return merged
 
     def accounts_for(self, keys: Iterable[int]) -> bool:
         """True when every key is either succeeded or dead-lettered.

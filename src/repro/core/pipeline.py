@@ -151,6 +151,20 @@ class PassiveOutagePipeline:
         error budget — the largest fraction of attempted blocks that
         may be quarantined before the run fails loudly with
         :class:`~repro.core.health.ErrorBudgetExceeded` (1.0 disables).
+    workers:
+        when >= 1, train/detect run through the sharded parallel path
+        (:mod:`repro.parallel`): the keyspace splits into deterministic
+        chunks, each chunk runs in a worker (in-process for 1 worker, a
+        spawn-safe process pool above that), and results merge
+        bit-for-bit identical to the sequential path.  0 forces the
+        sequential path; None (the default) defers to the process-wide
+        default set by :func:`repro.parallel.set_default_parallelism`.
+    shard_chunk:
+        blocks per shard for the parallel path (None picks a default
+        that depends only on the population size, never on ``workers``).
+    shard_checkpoint_dir:
+        when set, the parallel path checkpoints each completed shard
+        there, so a killed run resumes recomputing only missing shards.
     """
 
     def __init__(
@@ -164,7 +178,19 @@ class PassiveOutagePipeline:
         max_quarantine_frac: float = 0.5,
         metrics: Optional[Any] = None,
         tracer: Optional[Any] = None,
+        workers: Optional[int] = None,
+        shard_chunk: Optional[int] = None,
+        shard_checkpoint_dir: Optional[str] = None,
     ) -> None:
+        if workers is None:
+            # Imported lazily: repro.parallel imports this module.
+            from ..parallel import get_default_parallelism
+            workers, default_chunk = get_default_parallelism()
+            if shard_chunk is None:
+                shard_chunk = default_chunk
+        self.workers = workers
+        self.shard_chunk = shard_chunk
+        self.shard_checkpoint_dir = shard_checkpoint_dir
         self.policy = policy or TuningPolicy()
         self.refinement = refinement or RefinementConfig()
         if homogeneous_bin is not None:
@@ -200,6 +226,10 @@ class PassiveOutagePipeline:
         normally.  Exceeding the error budget raises
         :class:`~repro.core.health.ErrorBudgetExceeded`.
         """
+        if self.workers:
+            from ..parallel import sharded_train
+            return sharded_train(self, family, per_block, start, end,
+                                 checkpoint_dir=self.shard_checkpoint_dir)
         registry = DeadLetterRegistry()
         if self.metrics.enabled:
             registry.bind(dead_letter_metric(self.metrics))
@@ -284,6 +314,10 @@ class PassiveOutagePipeline:
         accounting lands on ``result.health``, and exceeding the error
         budget raises :class:`~repro.core.health.ErrorBudgetExceeded`.
         """
+        if self.workers:
+            from ..parallel import sharded_detect
+            return sharded_detect(self, model, per_block, start, end,
+                                  checkpoint_dir=self.shard_checkpoint_dir)
         registry = DeadLetterRegistry()
         guardrails = GuardrailCounters()
         if self.metrics.enabled:

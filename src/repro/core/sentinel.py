@@ -265,14 +265,29 @@ class VantageSentinel:
             self._quiet_run_bins = 0
             # Learn the expected volume from healthy bins only, so a
             # long feed gap cannot drag the baseline to zero and mask
-            # itself.
+            # itself.  Warmup bins carry no quarantine evidence (the
+            # sentinel cannot judge before the baseline exists), and
+            # they must contribute none: a bin that is suspiciously
+            # quiet against the baseline learned *so far* is neither
+            # folded into the EWMA nor counted toward warmup, so an
+            # outage in progress at cold start cannot poison the
+            # baseline it will later be judged against.
             if config.expected_rate is None:
-                self._healthy_bins += 1
-                if self._ewma_count is None:
-                    self._ewma_count = float(count)
+                ewma = self._ewma_count
+                if ewma is None:
+                    # Seed only from a bin that actually saw traffic: a
+                    # sentinel started mid-outage would otherwise learn
+                    # "zero is normal" and stay unjudgeable forever.
+                    if count > 0:
+                        self._healthy_bins += 1
+                        self._ewma_count = float(count)
+                elif (ewma >= config.min_expected_count
+                        and count < config.quiet_fraction * ewma):
+                    pass  # suspicious warmup bin: no learning, no credit
                 else:
+                    self._healthy_bins += 1
                     alpha = config.ewma_alpha
-                    self._ewma_count += alpha * (count - self._ewma_count)
+                    self._ewma_count = ewma + alpha * (count - ewma)
         self._bins_closed += 1
         self._bin_count = 0
         self._bin_start += config.bin_seconds

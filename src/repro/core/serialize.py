@@ -22,12 +22,17 @@ from typing import Any, Dict, IO, Union
 import numpy as np
 
 from ..net.addr import Family
+from ..timeline import Timeline
+from .detector import BlockResult
 from .history import BlockHistory
 from .parameters import BlockParameters
 from .pipeline import TrainedModel
 
 __all__ = ["MODEL_FORMAT_VERSION", "ModelFormatError", "atomic_write_text",
-           "model_to_json", "model_from_json", "save_model", "load_model"]
+           "model_to_json", "model_from_json", "save_model", "load_model",
+           "timeline_to_dict", "timeline_from_dict",
+           "block_result_to_dict", "block_result_from_dict",
+           "model_blocks_to_dict", "model_blocks_from_dict"]
 
 
 def atomic_write_text(path: Union[str, Path], text: str) -> None:
@@ -115,16 +120,115 @@ def _parameters_to_dict(params: BlockParameters) -> Dict[str, Any]:
 
 def _parameters_from_dict(data: Dict[str, Any]) -> BlockParameters:
     gap = data.get("gap_threshold_seconds")
-    return BlockParameters(
-        bin_seconds=float(data["bin_seconds"]),
-        p_empty_up=float(data["p_empty_up"]),
-        noise_nonempty=float(data["noise_nonempty"]),
-        prior_down=float(data["prior_down"]),
-        prior_up_recovery=float(data["prior_up_recovery"]),
-        down_threshold=float(data["down_threshold"]),
-        up_threshold=float(data["up_threshold"]),
-        measurable=bool(data["measurable"]),
-        gap_threshold_seconds=float("inf") if gap is None else float(gap),
+    fields = {
+        "bin_seconds": float(data["bin_seconds"]),
+        "p_empty_up": float(data["p_empty_up"]),
+        "noise_nonempty": float(data["noise_nonempty"]),
+        "prior_down": float(data["prior_down"]),
+        "prior_up_recovery": float(data["prior_up_recovery"]),
+        "down_threshold": float(data["down_threshold"]),
+        "up_threshold": float(data["up_threshold"]),
+        "measurable": bool(data["measurable"]),
+        "gap_threshold_seconds": (float("inf") if gap is None
+                                  else float(gap)),
+    }
+    try:
+        return BlockParameters(**fields)
+    except ValueError:
+        # Wire faithfulness beats eager validation: a degenerate
+        # parameter set (bit-flipped checkpoint, fault injection) must
+        # cross a worker boundary reproducing the in-memory object
+        # exactly, or the sharded path diverges from the sequential
+        # one.  The detector's numerical guardrails — not the
+        # deserialiser — are the enforcement point for bad parameters,
+        # and they quarantine per block instead of crashing the load.
+        params = object.__new__(BlockParameters)
+        for name, value in fields.items():
+            object.__setattr__(params, name, value)
+        return params
+
+
+def model_blocks_to_dict(histories: Dict[int, BlockHistory],
+                         parameters: Dict[int, BlockParameters],
+                         ) -> Dict[str, Any]:
+    """Per-block model state (history + parameters) as JSON-able dicts.
+
+    The shared wire shape of the model file's ``blocks`` section and of
+    a parallel train-shard result: string keys (JSON objects cannot key
+    on ints) in sorted-key order for determinism.
+    """
+    return {
+        str(key): {
+            "history": _history_to_dict(histories[key]),
+            "parameters": _parameters_to_dict(parameters[key]),
+        }
+        for key in sorted(histories)
+    }
+
+
+def model_blocks_from_dict(data: Dict[str, Any],
+                           ) -> "tuple[Dict[int, BlockHistory], Dict[int, BlockParameters]]":
+    """Inverse of :func:`model_blocks_to_dict`."""
+    histories: Dict[int, BlockHistory] = {}
+    parameters: Dict[int, BlockParameters] = {}
+    for key_text, entry in data.items():
+        key = int(key_text)
+        histories[key] = _history_from_dict(entry["history"])
+        parameters[key] = _parameters_from_dict(entry["parameters"])
+    return histories, parameters
+
+
+def timeline_to_dict(timeline: Timeline) -> Dict[str, Any]:
+    """A timeline as span plus down intervals (floats round-trip exactly)."""
+    return {
+        "start": timeline.start,
+        "end": timeline.end,
+        "down": [[s, e] for s, e in timeline.down_intervals],
+    }
+
+
+def timeline_from_dict(data: Dict[str, Any]) -> Timeline:
+    return Timeline(float(data["start"]), float(data["end"]),
+                    [(float(s), float(e)) for s, e in data["down"]])
+
+
+def block_result_to_dict(result: BlockResult) -> Dict[str, Any]:
+    """One block's detection result as a JSON-able dict.
+
+    This is the worker-result wire format of the parallel pipeline:
+    everything a :class:`~repro.core.detector.BlockResult` holds,
+    self-contained (parameters and history inline) so the parent can
+    rebuild the result without consulting worker state.  Python floats
+    survive JSON bit-for-bit (repr round-trip), which is what makes the
+    sharded path's merge byte-identical to the sequential one.
+    """
+    return {
+        "key": result.key,
+        "family": int(result.family),
+        "params": _parameters_to_dict(result.params),
+        "history": _history_to_dict(result.history),
+        "timeline": timeline_to_dict(result.timeline),
+        "coarse_timeline": timeline_to_dict(result.coarse_timeline),
+        "belief_trace": (None if result.belief_trace is None
+                         else [float(x) for x in result.belief_trace]),
+        "quarantined": [[s, e] for s, e in result.quarantined],
+    }
+
+
+def block_result_from_dict(data: Dict[str, Any]) -> BlockResult:
+    """Inverse of :func:`block_result_to_dict`."""
+    trace = data.get("belief_trace")
+    return BlockResult(
+        key=int(data["key"]),
+        family=Family(data["family"]),
+        params=_parameters_from_dict(data["params"]),
+        history=_history_from_dict(data["history"]),
+        timeline=timeline_from_dict(data["timeline"]),
+        coarse_timeline=timeline_from_dict(data["coarse_timeline"]),
+        belief_trace=(None if trace is None
+                      else np.asarray(trace, dtype=float)),
+        quarantined=[(float(s), float(e))
+                     for s, e in data.get("quarantined", [])],
     )
 
 
@@ -135,13 +239,7 @@ def model_to_json(model: TrainedModel) -> str:
         "family": int(model.family),
         "train_start": model.train_start,
         "train_end": model.train_end,
-        "blocks": {
-            str(key): {
-                "history": _history_to_dict(model.histories[key]),
-                "parameters": _parameters_to_dict(model.parameters[key]),
-            }
-            for key in sorted(model.histories)
-        },
+        "blocks": model_blocks_to_dict(model.histories, model.parameters),
     }
     return json.dumps(document, indent=1)
 
@@ -161,12 +259,7 @@ def model_from_json(text: str) -> TrainedModel:
             f"(this build reads {MODEL_FORMAT_VERSION})")
     try:
         family = Family(document["family"])
-        histories = {}
-        parameters = {}
-        for key_text, entry in document["blocks"].items():
-            key = int(key_text)
-            histories[key] = _history_from_dict(entry["history"])
-            parameters[key] = _parameters_from_dict(entry["parameters"])
+        histories, parameters = model_blocks_from_dict(document["blocks"])
         return TrainedModel(
             family=family,
             histories=histories,

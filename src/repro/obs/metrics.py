@@ -227,6 +227,19 @@ class Histogram:
 
     def observe(self, value: float) -> None:
         value = float(value)
+        # ``bisect_left`` gives exact Prometheus ``le`` semantics for
+        # finite values (an observation exactly on a bound belongs to
+        # that bound's bucket).  NaN is the one value it misroutes:
+        # every comparison is False, so bisect_left returns 0 and the
+        # poison lands in the *smallest* bucket.  Route it to +Inf
+        # instead (the only bucket whose ``le`` contract it satisfies
+        # vacuously) and keep it out of sum/min/max, where a single
+        # NaN would irreversibly poison the streaming statistics.
+        if math.isnan(value):
+            with self._lock:
+                self._bucket_counts[-1] += 1
+                self._count += 1
+            return
         index = bisect_left(self.bounds, value)
         with self._lock:
             self._bucket_counts[index] += 1
@@ -522,6 +535,72 @@ class MetricsRegistry:
                     else:
                         child._value = row["value"]
 
+    def merge_snapshot(self, snapshot: Dict[str, Any]) -> None:
+        """Fold another registry's snapshot *into* this one.
+
+        The parallel pipeline's fold-in path: each worker process runs
+        with its own registry and ships a ``repro-metrics-v1`` snapshot
+        home, where the parent accumulates them.  Unlike
+        :meth:`restore` (which overwrites — checkpoint resume), merging
+        is additive and commutative over disjoint work:
+
+        * counters add;
+        * histograms add bucket counts, sum, and count, and combine
+          min/max;
+        * gauges take the maximum — shard gauges are last-value
+          readings from concurrent processes with no meaningful total,
+          and max is the only fold that is independent of merge order
+          (the high-watermark reading an operator wants anyway).
+
+        Families absent from this registry are registered on the fly,
+        exactly as :meth:`restore` does.
+        """
+        if snapshot.get("format") != SNAPSHOT_FORMAT:
+            raise ValueError(
+                f"not a {SNAPSHOT_FORMAT} snapshot: "
+                f"{snapshot.get('format')!r}")
+        for entry in snapshot.get("metrics", []):
+            kind = entry["type"]
+            labelnames = tuple(entry.get("label_names", ()))
+            if kind == "histogram":
+                family = self.histogram(entry["name"], entry.get("help", ""),
+                                        labelnames,
+                                        entry.get("buckets") or None)
+            elif kind == "counter":
+                family = self.counter(entry["name"], entry.get("help", ""),
+                                      labelnames)
+            elif kind == "gauge":
+                family = self.gauge(entry["name"], entry.get("help", ""),
+                                    labelnames)
+            else:
+                raise ValueError(f"unknown metric type {kind!r}")
+            for row in entry.get("series", []):
+                child = family.labels(**dict(zip(labelnames, row["labels"])))
+                with self._lock:
+                    if kind == "histogram":
+                        counts = [int(c) for c in row["bucket_counts"]]
+                        if len(counts) != len(child.bounds) + 1:
+                            raise ValueError(
+                                f"snapshot for {entry['name']} has "
+                                f"{len(counts)} buckets, metric has "
+                                f"{len(child.bounds) + 1}")
+                        child._bucket_counts = [
+                            a + b for a, b
+                            in zip(child._bucket_counts, counts)]
+                        child._sum += float(row["sum"])
+                        child._count += int(row["count"])
+                        for bound_name, pick in (("min", min), ("max", max)):
+                            theirs = row.get(bound_name)
+                            if theirs is not None:
+                                ours = getattr(child, f"_{bound_name}")
+                                setattr(child, f"_{bound_name}",
+                                        theirs if ours is None
+                                        else pick(ours, theirs))
+                    elif kind == "counter":
+                        child._value += row["value"]
+                    else:
+                        child._value = max(child._value, row["value"])
+
     def to_json(self) -> str:
         return json.dumps(self.snapshot(), indent=1)
 
@@ -580,6 +659,13 @@ def _render_labels(pairs: Sequence[Tuple[str, str]]) -> str:
 
 def _format_number(value: Any) -> str:
     number = float(value)
+    # Prometheus 0.0.4 spells the non-finite values +Inf/-Inf/NaN; the
+    # int() fast path below would raise OverflowError/ValueError on
+    # them (observed when a histogram sum went infinite).
+    if math.isinf(number):
+        return "+Inf" if number > 0 else "-Inf"
+    if math.isnan(number):
+        return "NaN"
     if number == int(number) and abs(number) < 1e15:
         return str(int(number))
     return repr(number)
@@ -670,6 +756,9 @@ class NullRegistry:
         return {"format": SNAPSHOT_FORMAT, "metrics": []}
 
     def restore(self, snapshot: Dict[str, Any]) -> None:
+        pass
+
+    def merge_snapshot(self, snapshot: Dict[str, Any]) -> None:
         pass
 
     def to_json(self) -> str:

@@ -1,0 +1,495 @@
+"""Sharded parallel execution of the batch pipeline.
+
+The batch pipeline is embarrassingly parallel across blocks: training
+fits each block's history independently, tuning plans each block's
+parameters from its own history, and the vectorised belief pass is
+row-independent (each block is one matrix row).  This module exploits
+that by partitioning the block keyspace into deterministic contiguous
+chunks, running each chunk through a worker-local
+:class:`~repro.core.pipeline.PassiveOutagePipeline` in a separate
+process, and merging the shard results into exactly what the
+sequential path would have produced.
+
+Equivalence is a hard guarantee, not an aspiration: shard results are
+merged so that events, dead letters, guardrail counters, and the run
+health report are bit-for-bit identical to a sequential run (pinned by
+the property tests in ``tests/test_parallel.py``, including under
+fault injection).  The ingredients:
+
+* **Deterministic planning.**  Shards are contiguous chunks of the
+  *sorted* key list; the chunk size defaults to a fixed fraction of
+  the population (independent of the worker count), so ``--workers 1``
+  and ``--workers 4`` execute the identical plan and differ only in
+  which process runs each chunk.
+* **Per-block independence.**  The detector groups blocks by
+  (bin size, thresholds, diurnal-ness) and each group's belief pass is
+  elementwise per row, so splitting a group across shards cannot
+  change any block's verdict.
+* **Canonical merge order.**  Workers discover dead letters in group
+  iteration order, which depends on shard composition; the merged
+  registry sorts entries canonically
+  (:meth:`~repro.core.health.DeadLetterRegistry.merged`) so the union
+  is order-independent.
+* **Exact wire format.**  Shard results cross the process boundary as
+  versioned JSON-able documents (:mod:`repro.core.serialize`); Python
+  floats survive the JSON round-trip bit-for-bit via repr.
+* **Parent-side policy.**  Workers run with the error budget disabled
+  (``max_quarantine_frac=1.0``) and report everything; the parent
+  applies :class:`~repro.core.health.ErrorBudget` to the merged union,
+  so the budget verdict cannot depend on how blocks landed in shards.
+  The merged report's ``accounts_for`` completeness proof holds over
+  the union of the shard keyspaces exactly when it held per shard.
+* **Telemetry fold-in.**  When the parent meters, each worker runs a
+  private :class:`~repro.obs.metrics.MetricsRegistry`; its
+  ``repro-metrics-v1`` snapshot rides home in the shard document and
+  is folded into the parent via
+  :meth:`~repro.obs.metrics.MetricsRegistry.merge_snapshot`.  The
+  merged registries are then bound to the parent's metric series with
+  ``backfill=False`` — the fold already counted them.
+
+Shard results can be checkpointed: given a checkpoint directory, every
+completed shard's document is written atomically as it finishes, under
+a manifest naming the plan.  A killed run resumes by recomputing only
+the missing shards — and because merge is deterministic, the resumed
+run's output is identical to an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time as _time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import asdict
+from multiprocessing import get_context
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .core.checkpoint import (
+    load_shard_result,
+    read_shard_manifest,
+    save_shard_result,
+    write_shard_manifest,
+)
+from .core.detector import dead_letter_metric, guardrail_metric
+from .core.events import RefinementConfig
+from .core.health import ErrorBudgetExceeded, RunHealthReport
+from .core.parameters import HomogeneousPlanner, TuningPolicy
+from .core.pipeline import PassiveOutagePipeline, PipelineResult, TrainedModel
+from .core.serialize import (
+    block_result_from_dict,
+    block_result_to_dict,
+    model_blocks_from_dict,
+    model_blocks_to_dict,
+)
+from .net.addr import Family
+from .obs.metrics import NULL_REGISTRY, MetricsRegistry
+from .obs.tracing import NULL_TRACER
+
+__all__ = [
+    "SHARD_RESULT_FORMAT",
+    "plan_shards",
+    "sharded_train",
+    "sharded_detect",
+    "set_default_parallelism",
+    "get_default_parallelism",
+]
+
+#: Format tag of one shard's result document (the worker-result wire
+#: format).  Versioned like every other persisted document in the repo
+#: so a resume never misreads a stale or future shard file.
+SHARD_RESULT_FORMAT = "repro-shard-result-v1"
+
+#: Default number of shards a population is split into when no explicit
+#: chunk size is given.  Deliberately independent of the worker count:
+#: the plan — and therefore every merged artefact — must be a function
+#: of the population alone, so ``--workers 1`` and ``--workers 4``
+#: produce bit-identical output.  16 oversubscribes typical worker
+#: counts enough that one slow shard does not serialise the pool.
+DEFAULT_SHARD_COUNT = 16
+
+
+# -- planning ---------------------------------------------------------------
+
+
+def plan_shards(keys: Sequence[int],
+                shard_chunk: Optional[int] = None) -> List[List[int]]:
+    """Partition ``keys`` into deterministic contiguous sorted chunks.
+
+    The plan depends only on the key population and the chunk size —
+    never on the worker count or any runtime state — which is what
+    makes sharded output reproducible across worker counts and across
+    kill-and-resume.
+    """
+    ordered = sorted(keys)
+    if not ordered:
+        return []
+    if shard_chunk is None:
+        shard_chunk = max(1, -(-len(ordered) // DEFAULT_SHARD_COUNT))
+    if shard_chunk < 1:
+        raise ValueError("shard_chunk must be >= 1")
+    return [ordered[i:i + shard_chunk]
+            for i in range(0, len(ordered), shard_chunk)]
+
+
+def _plan_digest(stage: str, family: Family, start: float, end: float,
+                 shards: Sequence[Sequence[int]]) -> str:
+    """Fingerprint of a shard plan, for matching cached shard results.
+
+    Covers the stage, window, and the exact chunked keyspace, so a
+    checkpoint directory left by a differently-planned (or differently-
+    windowed) run reads as a miss rather than as poison.
+    """
+    parts = [stage, str(int(family)), repr(float(start)), repr(float(end))]
+    for shard in shards:
+        parts.append(",".join(str(key) for key in shard))
+    blob = "|".join(parts).encode("utf-8")
+    return hashlib.blake2b(blob, digest_size=8).hexdigest()
+
+
+# -- process-wide defaults (used by the CLI's experiment command) -----------
+
+_default_workers: Optional[int] = None
+_default_shard_chunk: Optional[int] = None
+
+
+def set_default_parallelism(workers: Optional[int],
+                            shard_chunk: Optional[int] = None,
+                            ) -> Tuple[Optional[int], Optional[int]]:
+    """Set the process-wide default worker count for new pipelines.
+
+    Pipelines constructed with ``workers=None`` pick this up, which is
+    how ``repro experiment --workers N`` parallelises runners that
+    build their own pipelines internally.  Returns the previous
+    ``(workers, shard_chunk)`` so callers can restore it.
+    """
+    global _default_workers, _default_shard_chunk
+    previous = (_default_workers, _default_shard_chunk)
+    _default_workers = workers
+    _default_shard_chunk = shard_chunk
+    return previous
+
+
+def get_default_parallelism() -> Tuple[Optional[int], Optional[int]]:
+    """The process-wide default ``(workers, shard_chunk)``."""
+    return _default_workers, _default_shard_chunk
+
+
+# -- worker side ------------------------------------------------------------
+
+
+def _pipeline_config(pipeline: PassiveOutagePipeline) -> Dict[str, Any]:
+    """Everything a worker needs to rebuild an equivalent pipeline.
+
+    The worker pipeline differs from the parent deliberately: no
+    aggregation (a supernet may span shards, so the fallback runs
+    parent-side over the merged result), no error budget (the budget
+    is the parent's verdict over the union), and sequential execution
+    (``workers=0`` — a worker must never recurse into the pool).
+    """
+    planner = pipeline.planner
+    return {
+        "policy": asdict(pipeline.policy),
+        "refinement": asdict(pipeline.refinement),
+        "homogeneous_bin": (planner.bin_seconds
+                            if isinstance(planner, HomogeneousPlanner)
+                            else None),
+        "learn_diurnal": pipeline.learn_diurnal,
+        "keep_belief_traces": pipeline.detector.keep_belief_traces,
+        "metered": pipeline.metrics.enabled,
+    }
+
+
+def _worker_pipeline(config: Dict[str, Any],
+                     ) -> Tuple[PassiveOutagePipeline, Any]:
+    """Build the worker-local pipeline (and registry) from a config."""
+    registry = MetricsRegistry() if config["metered"] else NULL_REGISTRY
+    pipeline = PassiveOutagePipeline(
+        policy=TuningPolicy(**config["policy"]),
+        refinement=RefinementConfig(**config["refinement"]),
+        homogeneous_bin=config["homogeneous_bin"],
+        aggregation_levels=0,
+        learn_diurnal=config["learn_diurnal"],
+        keep_belief_traces=config["keep_belief_traces"],
+        max_quarantine_frac=1.0,
+        metrics=registry,
+        tracer=NULL_TRACER,
+        workers=0,
+    )
+    return pipeline, registry
+
+
+def _shard_document(stage: str, payload: Dict[str, Any],
+                    health: RunHealthReport, registry: Any) -> Dict[str, Any]:
+    document = {
+        "format": SHARD_RESULT_FORMAT,
+        "stage": stage,
+        "index": payload["index"],
+        "plan_digest": payload["plan_digest"],
+        "health": health.as_dict(),
+    }
+    if registry.enabled:
+        document["metrics"] = registry.snapshot()
+    return document
+
+
+def _run_train_shard(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Train one shard's blocks in the calling process.
+
+    Module-level (not a closure) so the spawn start method can pickle
+    it; everything it needs arrives in the payload.
+    """
+    pipeline, registry = _worker_pipeline(payload["config"])
+    model = pipeline.train(Family(payload["family"]), payload["per_block"],
+                           payload["start"], payload["end"])
+    document = _shard_document("train", payload, model.health, registry)
+    document["blocks"] = model_blocks_to_dict(model.histories,
+                                              model.parameters)
+    return document
+
+
+def _run_detect_shard(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Detect over one shard's blocks in the calling process."""
+    pipeline, registry = _worker_pipeline(payload["config"])
+    histories, parameters = model_blocks_from_dict(payload["blocks"])
+    model = TrainedModel(
+        family=Family(payload["family"]), histories=histories,
+        parameters=parameters, train_start=payload["train_start"],
+        train_end=payload["train_end"])
+    result = pipeline.detect(model, payload["per_block"],
+                             payload["start"], payload["end"])
+    document = _shard_document("detect", payload, result.health, registry)
+    document["results"] = [block_result_to_dict(result.blocks[key])
+                           for key in sorted(result.blocks)]
+    return document
+
+
+# -- orchestration ----------------------------------------------------------
+
+
+def _ensure_child_import_path() -> None:
+    """Make sure spawned workers can ``import repro``.
+
+    Spawned children rebuild ``sys.path`` from the environment; if the
+    parent found this package through an in-process path tweak rather
+    than ``PYTHONPATH``, the children would not.  Prepending the
+    package root to ``PYTHONPATH`` (inherited by children) closes that
+    gap without affecting the parent.
+    """
+    package_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    existing = os.environ.get("PYTHONPATH", "")
+    parts = existing.split(os.pathsep) if existing else []
+    if package_root not in parts:
+        os.environ["PYTHONPATH"] = os.pathsep.join([package_root] + parts)
+
+
+def _load_cached_shards(checkpoint_dir: Optional[str], stage: str,
+                        digest: str, n_shards: int) -> Dict[int, Dict]:
+    """Cached shard documents matching this exact plan, by index."""
+    if checkpoint_dir is None:
+        return {}
+    manifest = read_shard_manifest(checkpoint_dir)
+    if manifest is None or manifest.get("plan_digest") != digest:
+        return {}
+    cached: Dict[int, Dict] = {}
+    for index in range(n_shards):
+        document = load_shard_result(checkpoint_dir, index)
+        if (document is not None
+                and document.get("format") == SHARD_RESULT_FORMAT
+                and document.get("stage") == stage
+                and document.get("index") == index
+                and document.get("plan_digest") == digest):
+            cached[index] = document
+    return cached
+
+
+def _execute_shards(stage: str, worker, payloads: List[Dict[str, Any]],
+                    workers: int, checkpoint_dir: Optional[str],
+                    digest: str, n_shards: int) -> List[Dict[str, Any]]:
+    """Run (or reload) every shard and return documents in plan order.
+
+    ``workers == 1`` runs the shards in-process through the *same*
+    worker function and merge path as the pooled case — single-worker
+    sharded runs are the equivalence baseline, not a separate code
+    path.  Completed shards are checkpointed as they finish.
+    """
+    cached = _load_cached_shards(checkpoint_dir, stage, digest, n_shards)
+    if checkpoint_dir is not None and not cached:
+        # New or mismatched plan: stamp the manifest before computing,
+        # so partial results written below are attributable to it.
+        write_shard_manifest(checkpoint_dir, {
+            "stage": stage, "plan_digest": digest, "n_shards": n_shards})
+    documents: Dict[int, Dict[str, Any]] = dict(cached)
+    pending = [p for p in payloads if p["index"] not in documents]
+
+    def _completed(document: Dict[str, Any]) -> None:
+        documents[document["index"]] = document
+        if checkpoint_dir is not None:
+            save_shard_result(checkpoint_dir, document["index"], document)
+
+    if not pending:
+        pass
+    elif workers <= 1:
+        for payload in pending:
+            _completed(worker(payload))
+    else:
+        _ensure_child_import_path()
+        with ProcessPoolExecutor(
+                max_workers=min(workers, len(pending)),
+                mp_context=get_context("spawn")) as pool:
+            futures = {pool.submit(worker, payload) for payload in pending}
+            while futures:
+                done, futures = wait(futures, return_when=FIRST_COMPLETED)
+                for future in done:
+                    _completed(future.result())
+    return [documents[index] for index in range(n_shards)]
+
+
+def _fold_telemetry(pipeline: PassiveOutagePipeline,
+                    documents: List[Dict[str, Any]]) -> bool:
+    """Fold worker metric snapshots into the parent registry.
+
+    Returns True when snapshots were folded — the signal that merged
+    registries must bind to the parent's metric series *without*
+    backfill (the fold already counted every dead letter and guardrail
+    trip; backfilling would double them).
+    """
+    if not pipeline.metrics.enabled:
+        return False
+    folded = False
+    for document in documents:
+        snapshot = document.get("metrics")
+        if snapshot is not None:
+            pipeline.metrics.merge_snapshot(snapshot)
+            folded = True
+    return folded
+
+
+def _merged_report(pipeline: PassiveOutagePipeline, run: str,
+                   documents: List[Dict[str, Any]]) -> RunHealthReport:
+    report = RunHealthReport.merged(
+        (RunHealthReport.from_dict(document["health"])
+         for document in documents),
+        run=run, max_quarantine_frac=pipeline.budget.max_quarantine_frac)
+    folded = _fold_telemetry(pipeline, documents)
+    if pipeline.metrics.enabled:
+        report.dead_letters.bind(dead_letter_metric(pipeline.metrics),
+                                 backfill=not folded)
+        report.guardrails.bind(guardrail_metric(pipeline.metrics),
+                               backfill=not folded)
+    return report
+
+
+def sharded_train(pipeline: PassiveOutagePipeline, family: Family,
+                  per_block: Mapping[int, np.ndarray],
+                  start: float, end: float,
+                  checkpoint_dir: Optional[str] = None) -> TrainedModel:
+    """Train a model by sharding the population across workers.
+
+    Returns a model identical (histories, parameters, dead letters,
+    health accounting) to ``pipeline.train`` run sequentially; raises
+    :class:`~repro.core.health.ErrorBudgetExceeded` on the *merged*
+    quarantine fraction.
+    """
+    shards = plan_shards(per_block.keys(), pipeline.shard_chunk)
+    digest = _plan_digest("train", family, start, end, shards)
+    config = _pipeline_config(pipeline)
+    payloads = [{
+        "index": index, "plan_digest": digest, "config": config,
+        "family": int(family), "start": float(start), "end": float(end),
+        "per_block": {key: per_block[key] for key in shard
+                      if key in per_block},
+    } for index, shard in enumerate(shards)]
+    with pipeline.tracer.span("train_sharded", family=family.name.lower(),
+                              blocks=len(per_block), shards=len(shards)):
+        documents = _execute_shards("train", _run_train_shard, payloads,
+                                    pipeline.workers or 1, checkpoint_dir,
+                                    digest, len(shards))
+
+    histories: Dict[int, Any] = {}
+    parameters: Dict[int, Any] = {}
+    for document in documents:
+        shard_histories, shard_parameters = model_blocks_from_dict(
+            document["blocks"])
+        histories.update(shard_histories)
+        parameters.update(shard_parameters)
+    report = _merged_report(pipeline, "train", documents)
+    registry = report.dead_letters
+    try:
+        pipeline.budget.check("train", len(per_block), len(registry))
+    except ErrorBudgetExceeded as error:
+        report.budget_tripped = True
+        error.report = report
+        raise
+    return TrainedModel(family=family, histories=histories,
+                        parameters=parameters, train_start=start,
+                        train_end=end, dead_letters=registry, health=report)
+
+
+def sharded_detect(pipeline: PassiveOutagePipeline, model: TrainedModel,
+                   per_block: Mapping[int, np.ndarray],
+                   start: float, end: float,
+                   checkpoint_dir: Optional[str] = None) -> PipelineResult:
+    """Detect over a window by sharding the model's blocks.
+
+    Shards partition the model's *entire* parameter keyspace (not just
+    the measurable blocks), so the merged detect-stage accounting sums
+    to exactly the sequential stage row.  The spatial-aggregation
+    fallback runs parent-side over the merged result: a supernet's
+    children may span shards, so no worker can see a whole supernet.
+    """
+    shards = plan_shards(model.parameters.keys(), pipeline.shard_chunk)
+    digest = _plan_digest("detect", model.family, start, end, shards)
+    config = _pipeline_config(pipeline)
+    payloads = [{
+        "index": index, "plan_digest": digest, "config": config,
+        "family": int(model.family),
+        "train_start": model.train_start, "train_end": model.train_end,
+        "start": float(start), "end": float(end),
+        "blocks": model_blocks_to_dict(
+            {key: model.histories[key] for key in shard
+             if key in model.histories},
+            {key: model.parameters[key] for key in shard}),
+        "per_block": {key: per_block[key] for key in shard
+                      if key in per_block},
+    } for index, shard in enumerate(shards)]
+    with pipeline.tracer.span("detect_sharded",
+                              family=model.family.name.lower(),
+                              blocks=len(model.parameters),
+                              shards=len(shards)):
+        documents = _execute_shards("detect", _run_detect_shard, payloads,
+                                    pipeline.workers or 1, checkpoint_dir,
+                                    digest, len(shards))
+
+    blocks = {}
+    for document in documents:
+        for entry in document["results"]:
+            result = block_result_from_dict(entry)
+            blocks[result.key] = result
+    report = _merged_report(pipeline, "detect", documents)
+    registry = report.dead_letters
+    result = PipelineResult(family=model.family, start=start, end=end,
+                            blocks=blocks, dead_letters=registry,
+                            health=report)
+    # Same ordering as the sequential path: the budget is judged on the
+    # primary population before the best-effort aggregation fallback.
+    try:
+        pipeline.budget.check(
+            "detect", report.stage("detect").attempted, len(registry))
+    except ErrorBudgetExceeded as error:
+        report.budget_tripped = True
+        error.report = report
+        raise
+    if pipeline.aggregation_levels > 0 and model.unmeasurable_keys:
+        aggregate_stage = report.stage("aggregate")
+        clock = _time.perf_counter()
+        with pipeline.tracer.span("aggregate",
+                                  family=model.family.name.lower()):
+            pipeline._detect_aggregated(model, per_block, start, end,
+                                        result, registry)
+        aggregate_stage.seconds = _time.perf_counter() - clock
+        aggregate_stage.attempted = len(result.aggregated)
+        aggregate_stage.succeeded = len(result.aggregated)
+        pipeline._stage_seconds("aggregate", aggregate_stage.seconds)
+    return result

@@ -62,7 +62,8 @@ class ReorderStats:
     pushed: int = 0
     emitted: int = 0
     out_of_order: int = 0  #: arrivals older than the previous arrival
-    late_total: int = 0    #: arrivals older than the emitted watermark
+    late_total: int = 0    #: arrivals strictly behind the watermark
+                           #: (a tie with the watermark is on-time)
     late_admitted: int = 0
     late_dropped: int = 0
     max_displacement_seconds: float = 0.0
@@ -157,8 +158,12 @@ class ReorderBuffer:
                 stats.max_displacement_seconds, self._last_arrival - time)
         self._last_arrival = max(self._last_arrival, time)
         if time < self._emitted_up_to:
-            # Beyond repair: something at or after this timestamp already
-            # left the buffer, so re-sorting is impossible.
+            # Beyond repair: the emission boundary (the furthest watermark
+            # any drain reached) has passed this timestamp, so re-sorting
+            # is impossible.  Strictly-less: a record *at* the boundary is
+            # on-time, matching the drain's `<=` — the two comparisons
+            # must agree or a boundary record would be both emittable and
+            # late depending on arrival order.
             stats.late_total += 1
             if self.policy is LatePolicy.RAISE:
                 raise ValueError(
@@ -193,6 +198,15 @@ class ReorderBuffer:
             time, _, observation = heapq.heappop(heap)
             ready.append(observation)
             self._emitted_up_to = time
+        if math.isfinite(up_to):
+            # The watermark itself is the emission boundary, whether or
+            # not the heap held anything at it: everything <= up_to is
+            # now behind the buffer, and the late check in push() must
+            # judge against the same boundary this loop's `<=` used
+            # (ties on-time on both sides).  A flush passes +inf and
+            # only records what it actually popped — raising the
+            # boundary to infinity would mark every later arrival late.
+            self._emitted_up_to = max(self._emitted_up_to, up_to)
         self.stats.emitted += len(ready)
         if ready:
             self._m_admitted.inc(len(ready))

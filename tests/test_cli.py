@@ -328,3 +328,107 @@ class TestHealthAndBudget:
         assert document["run"] == "streaming"
         assert document["dead_letters"] == []
         assert document["budget_tripped"] is False
+
+
+class TestParallelFlags:
+    def test_detect_workers_output_matches_sequential(self, tmp_path,
+                                                      capsys):
+        capture = tmp_path / "day.pobs"
+        main(["simulate", "--blocks", "30", "--days", "2", "--seed", "7",
+              "--out", str(capture)])
+        capsys.readouterr()
+        reports = {}
+        for label, extra in (("seq", []),
+                             ("w1", ["--workers", "1"]),
+                             ("w4", ["--workers", "4"])):
+            report = tmp_path / f"health-{label}.json"
+            assert main(["detect", str(capture), "--train-end", "86400",
+                         "--health-report", str(report)] + extra) == 0
+            out = "\n".join(line for line in
+                            capsys.readouterr().out.splitlines()
+                            if "health report written" not in line)
+            reports[label] = (out, json.loads(report.read_text()))
+        # stdout (trained/coverage/event lines) is bit-identical across
+        # worker counts; health reports match up to wall-clock timings.
+        assert reports["w1"][0] == reports["w4"][0] == reports["seq"][0]
+        for document in reports.values():
+            for stage in document[1]["stages"]:
+                stage["seconds"] = 0.0
+        assert reports["w1"][1] == reports["w4"][1] == reports["seq"][1]
+
+    def test_detect_workers_budget_trip_still_exits_3(self, tmp_path,
+                                                      capsys):
+        helper = TestHealthAndBudget()
+        capture = helper._poisoned_capture(tmp_path, 4)
+        report_path = tmp_path / "health.json"
+        capsys.readouterr()
+        code = main(["detect", str(capture), "--train-end", "86400",
+                     "--workers", "2", "--max-quarantine-frac", "0.1",
+                     "--health-report", str(report_path)])
+        assert code == EXIT_BUDGET_TRIPPED
+        assert "error budget exceeded" in capsys.readouterr().err
+        document = json.loads(report_path.read_text())
+        assert document["budget_tripped"] is True
+        assert len(document["dead_letters"]) == 4
+
+    def test_experiment_workers_installs_process_default(self, capsys,
+                                                         monkeypatch):
+        from repro import cli
+        from repro.parallel import get_default_parallelism
+
+        seen = {}
+
+        def fake_runner(scale=1.0):
+            seen["parallelism"] = get_default_parallelism()
+            return "ok"
+
+        monkeypatch.setitem(cli.EXPERIMENTS, "week", fake_runner)
+        assert main(["experiment", "week", "--workers", "3",
+                     "--shard-chunk", "5"]) == 0
+        assert seen["parallelism"] == (3, 5)
+        assert get_default_parallelism() == (None, None)  # restored
+        capsys.readouterr()
+
+
+class TestTelemetryOnErrorExit:
+    def test_budget_tripped_detect_still_writes_telemetry(self, tmp_path,
+                                                          capsys):
+        helper = TestHealthAndBudget()
+        capture = helper._poisoned_capture(tmp_path, 4)
+        metrics_path = tmp_path / "metrics.json"
+        trace_path = tmp_path / "trace.json"
+        capsys.readouterr()
+        code = main(["detect", str(capture), "--train-end", "86400",
+                     "--max-quarantine-frac", "0.1",
+                     "--metrics-out", str(metrics_path),
+                     "--trace-out", str(trace_path)])
+        assert code == EXIT_BUDGET_TRIPPED
+        # The flush lives in a finally: an error exit must not lose the
+        # run's telemetry, which is exactly when an operator wants it.
+        snapshot = json.loads(metrics_path.read_text())
+        assert snapshot["format"] == "repro-metrics-v1"
+        names = {family["name"] for family in snapshot["metrics"]}
+        assert "dead_letters_total" in names
+        trace = json.loads(trace_path.read_text())
+        assert trace["traceEvents"]
+
+    def test_budget_tripped_experiment_exits_3_with_telemetry(
+            self, tmp_path, capsys, monkeypatch):
+        from repro import cli
+        from repro.core.health import ErrorBudgetExceeded
+
+        metrics_path = tmp_path / "metrics.json"
+
+        def tripping_runner(scale=1.0):
+            from repro.obs.metrics import resolve_registry
+            resolve_registry(None).counter("attempts_total").inc()
+            raise ErrorBudgetExceeded("detect", 10, 9, 0.5)
+
+        monkeypatch.setitem(cli.EXPERIMENTS, "week", tripping_runner)
+        code = main(["experiment", "week",
+                     "--metrics-out", str(metrics_path)])
+        assert code == EXIT_BUDGET_TRIPPED
+        assert "error budget exceeded" in capsys.readouterr().err
+        snapshot = json.loads(metrics_path.read_text())
+        assert snapshot["format"] == "repro-metrics-v1"
+        assert {f["name"] for f in snapshot["metrics"]} == {"attempts_total"}

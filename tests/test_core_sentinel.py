@@ -136,3 +136,68 @@ class TestSuppression:
     def test_no_quarantine_is_identity(self):
         timeline = Timeline(0, 1000, [(100, 200)])
         assert suppress_quarantined(timeline, []) is timeline
+
+
+class TestWarmupSemantics:
+    """Warmup bins carry no quarantine evidence — and contribute none.
+
+    A sentinel learning its baseline online cannot judge before the
+    baseline exists; but an outage already in progress at cold start
+    must not be *learned into* that baseline, or the sentinel would
+    conclude "zero is normal" and never see the outage it booted into.
+    """
+
+    def test_dead_feed_at_cold_start_never_seeds_the_baseline(self):
+        sentinel = VantageSentinel(0.0, SentinelConfig())
+        sentinel.advance(3600.0)  # an hour of total silence, no seed
+        assert sentinel.expected_bin_count is None
+        assert sentinel.quarantined_intervals() == []
+        # The feed comes up: the first non-empty bin seeds the EWMA at
+        # the observed volume, not at the zero the outage suggested.
+        feed(sentinel, 2.0, 3600.0, 7200.0)
+        sentinel.advance(7200.0)
+        assert sentinel.expected_bin_count is not None
+        assert sentinel.expected_bin_count > 60.0
+
+    def test_outage_during_warmup_does_not_poison_the_baseline(self):
+        config = SentinelConfig(bin_seconds=60.0, warmup_bins=5)
+        sentinel = VantageSentinel(0.0, config)
+        # Two healthy bins seed the EWMA near 120/bin, then the feed
+        # dies immediately — the classic cold-start-into-outage shape.
+        feed(sentinel, 2.0, 0.0, 120.0)
+        sentinel.advance(1200.0)  # 18 empty bins, still warming up
+        assert sentinel.expected_bin_count is None  # cannot judge yet
+        assert sentinel.quarantined_intervals() == []  # no evidence
+        # Feed recovers; warmup completes against *healthy* bins only.
+        feed(sentinel, 2.0, 1200.0, 2400.0)
+        sentinel.advance(2400.0)
+        expected = sentinel.expected_bin_count
+        assert expected is not None and expected > 60.0
+
+    def test_real_gap_after_cold_start_warmup_is_quarantined(self):
+        config = SentinelConfig(bin_seconds=60.0, warmup_bins=5)
+        sentinel = VantageSentinel(0.0, config)
+        feed(sentinel, 2.0, 0.0, 120.0)       # brief healthy prefix
+        sentinel.advance(600.0)               # outage during warmup
+        feed(sentinel, 2.0, 600.0, 1800.0)    # recovery: warmup completes
+        feed(sentinel, 2.0, 3000.0, 3600.0)   # second gap, post-warmup
+        sentinel.advance(3600.0)
+        windows = sentinel.quarantined_intervals()
+        assert len(windows) == 1
+        start, end = windows[0]
+        assert start <= 1800.0 + 2 * config.bin_seconds
+        assert end >= 3000.0 - 2 * config.bin_seconds
+
+    def test_warmup_state_roundtrips_through_checkpoint(self):
+        config = SentinelConfig(bin_seconds=60.0, warmup_bins=5)
+        sentinel = VantageSentinel(0.0, config)
+        feed(sentinel, 2.0, 0.0, 120.0)
+        sentinel.advance(600.0)  # mid-warmup, mid-outage
+        restored = VantageSentinel.from_dict(sentinel.to_dict())
+        feed(sentinel, 2.0, 600.0, 1800.0)
+        feed(restored, 2.0, 600.0, 1800.0)
+        sentinel.advance(1800.0)
+        restored.advance(1800.0)
+        assert restored.expected_bin_count == sentinel.expected_bin_count
+        assert (restored.quarantined_intervals()
+                == sentinel.quarantined_intervals())

@@ -112,6 +112,28 @@ class TestHistogram:
         with pytest.raises(ValueError, match="strictly increasing"):
             registry.histogram("x", buckets=(1.0, 1.0))
 
+    def test_nan_observation_counts_without_poisoning(self):
+        # A NaN sample must not land in the lowest bucket (NaN compares
+        # false against every bound, and bisect would misroute it) and
+        # must not poison sum/min/max; it still counts, so "how many
+        # observations" stays truthful.
+        histogram = MetricsRegistry().histogram("x", buckets=(1.0, 2.0))
+        histogram.observe(1.5)
+        histogram.observe(float("nan"))
+        child = histogram._default()
+        assert child.count == 2
+        assert child.bucket_counts() == [0, 1, 1]  # NaN -> +Inf bucket
+        assert child.sum == pytest.approx(1.5)
+        assert child.minimum == 1.5
+        assert child.maximum == 1.5
+
+    def test_infinite_observation_lands_in_overflow(self):
+        histogram = MetricsRegistry().histogram("x", buckets=(1.0,))
+        histogram.observe(float("inf"))
+        child = histogram._default()
+        assert child.bucket_counts() == [0, 1]
+        assert child.count == 1
+
 
 class TestLabels:
     def test_children_are_independent(self):
@@ -229,6 +251,70 @@ class TestSnapshotRestore:
         snapshot["metrics"][0]["buckets"] = [1.0, 2.0, 3.0]
         with pytest.raises(ValueError, match="buckets"):
             MetricsRegistry().restore(snapshot)
+
+    def test_merge_snapshot_adds_counters_and_histograms(self):
+        # The parallel pipeline's fold-in path: worker snapshots merge
+        # additively into the parent instead of overwriting it.
+        parent = MetricsRegistry()
+        parent.counter("n_total").inc(2)
+        parent.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+        worker = MetricsRegistry()
+        worker.counter("n_total").inc(3)
+        worker.histogram("h", buckets=(1.0, 2.0)).observe(1.5)
+        worker.histogram("h", buckets=(1.0, 2.0)).observe(5.0)
+        parent.merge_snapshot(json.loads(worker.to_json()))
+        value = parent.get("n_total").value
+        assert value == 5 and isinstance(value, int)
+        child = parent.get("h")._default()
+        assert child.count == 3
+        assert child.bucket_counts() == [1, 1, 1]
+        assert child.sum == pytest.approx(7.0)
+        assert child.minimum == 0.5
+        assert child.maximum == 5.0
+
+    def test_merge_snapshot_registers_missing_families(self):
+        worker = MetricsRegistry()
+        worker.counter("only_in_worker_total",
+                       labelnames=("stage",)).labels(stage="a").inc(4)
+        worker.gauge("g").set(7.0)
+        parent = MetricsRegistry()
+        parent.merge_snapshot(worker.snapshot())
+        family = parent.get("only_in_worker_total")
+        assert family.labels(stage="a").value == 4
+        assert parent.get("g").value == 7.0
+
+    def test_merge_snapshot_gauges_keep_the_maximum(self):
+        # Gauges are levels, not totals: two workers' peak occupancy
+        # merges as the larger peak, not the sum.
+        parent = MetricsRegistry()
+        parent.gauge("g").set(10.0)
+        low = MetricsRegistry()
+        low.gauge("g").set(3.0)
+        parent.merge_snapshot(low.snapshot())
+        assert parent.get("g").value == 10.0
+
+    def test_merge_snapshot_is_associative_over_workers(self):
+        def worker(n):
+            registry = MetricsRegistry()
+            registry.counter("n_total").inc(n)
+            registry.histogram("h", buckets=(1.0,)).observe(float(n))
+            return registry.snapshot()
+
+        one = MetricsRegistry()
+        for snap in (worker(1), worker(2), worker(3)):
+            one.merge_snapshot(snap)
+        other = MetricsRegistry()
+        for snap in (worker(3), worker(1), worker(2)):
+            other.merge_snapshot(snap)
+        assert one.snapshot() == other.snapshot()
+
+    def test_merge_snapshot_rejects_wrong_format(self):
+        with pytest.raises(ValueError, match="snapshot"):
+            MetricsRegistry().merge_snapshot({"format": "bogus"})
+
+    def test_null_registry_merge_snapshot_is_inert(self):
+        NULL_REGISTRY.merge_snapshot(build_reference_registry().snapshot())
+        assert NULL_REGISTRY.families() == []
 
     def test_concurrent_increments_are_not_lost(self):
         registry = MetricsRegistry()

@@ -39,6 +39,18 @@ def build_exposition_registry():
                                  buckets=(0.1, 1.0, 10.0))
     for value in (0.05, 0.5, 0.5, 5.0, 50.0):
         latency.observe(value)
+    # Bucket-edge semantics: Prometheus `le` buckets are cumulative
+    # *upper-inclusive*, so a sample exactly on a boundary lands in
+    # that boundary's bucket, not the next one up.
+    edges = registry.histogram("edge_seconds", "Boundary samples",
+                               buckets=(1.0, 2.0, 4.0))
+    for value in (1.0, 2.0, 2.0, 4.0):
+        edges.observe(value)
+    # Non-finite samples: +/-Inf count (in the +Inf bucket / below the
+    # lowest bound), NaN counts toward _count but is excluded from
+    # _sum and min/max so one poisoned sample cannot erase the series.
+    edges.observe(float("inf"))
+    edges.observe(float("nan"))
     # An unhelped metric: no # HELP line.
     registry.gauge("bare_gauge").set(2)
     return registry
@@ -87,6 +99,19 @@ class TestExpositionRules:
         assert 'le="+Inf"' in text
         assert "latency_seconds_count 5" in text
         assert "latency_seconds_sum 56.05" in text
+
+    def test_boundary_samples_land_in_their_le_bucket(self, text):
+        # 1.0 -> le="1", both 2.0s -> le="2", 4.0 -> le="4": on-boundary
+        # values are upper-inclusive, exactly Prometheus `le` semantics.
+        counts = [int(line.rsplit(" ", 1)[1])
+                  for line in text.splitlines()
+                  if line.startswith("edge_seconds_bucket")]
+        assert counts == [1, 3, 4, 6]
+
+    def test_nonfinite_samples_counted_but_not_summed(self, text):
+        # inf lands in the +Inf bucket; NaN counts toward _count only.
+        assert "edge_seconds_count 6" in text
+        assert "edge_seconds_sum +Inf" in text
 
     def test_integer_values_render_without_decimal(self, text):
         assert "runs_total 3" in text

@@ -1,0 +1,310 @@
+"""Sharded/sequential equivalence for the parallel pipeline.
+
+The contract under test is absolute: the sharded path must produce
+*bit-for-bit* the same events, dead letters, guardrail counters, and
+health accounting as the sequential path — for any worker count, any
+chunking, under fault injection, and across a kill-and-resume through
+a sharded checkpoint.  Wall-clock stage timings are the only sanctioned
+difference (shards time their own work), so comparisons zero them.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.health import ErrorBudgetExceeded
+from repro.core.pipeline import PassiveOutagePipeline
+from repro.net.addr import Family
+from repro.obs.metrics import MetricsRegistry
+from repro.parallel import (
+    get_default_parallelism,
+    plan_shards,
+    set_default_parallelism,
+)
+from repro.testing.faults import degenerate_parameters, poison_block_times
+
+DAY = 86400.0
+
+
+def poisson_times(rng, rate, start, end):
+    n = rng.poisson(rate * (end - start))
+    return np.sort(rng.uniform(start, end, n))
+
+
+@pytest.fixture(scope="module")
+def population():
+    """20 blocks of one simulated day, rates spread over a decade."""
+    rng = np.random.default_rng(11)
+    return {k << 8: poisson_times(rng, 0.05 + 0.01 * k, 0.0, DAY)
+            for k in range(20)}
+
+
+def run_pair(per_block, workers, *, mutate=None, shard_chunk=3,
+             aggregation_levels=0, max_quarantine_frac=1.0):
+    """One sequential and one sharded run over identical inputs."""
+    results = []
+    for w in (0, workers):
+        pipeline = PassiveOutagePipeline(
+            aggregation_levels=aggregation_levels,
+            max_quarantine_frac=max_quarantine_frac,
+            metrics=MetricsRegistry(), workers=w, shard_chunk=shard_chunk)
+        model = pipeline.train(Family.IPV4, per_block, 0.0, DAY)
+        evaluate = mutate(model, per_block) if mutate else per_block
+        results.append((pipeline, model,
+                        pipeline.detect(model, evaluate, 0.0, DAY)))
+    return results
+
+
+def normalized_health(report):
+    """Health dict with wall-clock timings zeroed and letters canonical."""
+    report.dead_letters.canonicalize()
+    document = report.as_dict()
+    for stage in document["stages"]:
+        stage["seconds"] = 0.0
+    return document
+
+
+def assert_equivalent(seq, shard):
+    (_, seq_model, seq_result) = seq
+    (_, shard_model, shard_result) = shard
+    assert seq_model.parameters == shard_model.parameters
+    assert seq_model.histories.keys() == shard_model.histories.keys()
+    assert_results_equivalent(seq_result, shard_result)
+
+
+def assert_results_equivalent(seq_result, shard_result):
+    assert sorted(seq_result.blocks) == sorted(shard_result.blocks)
+    for key in seq_result.blocks:
+        a, b = seq_result.blocks[key], shard_result.blocks[key]
+        assert a.timeline == b.timeline, f"block {key:#x} events differ"
+        assert a.coarse_timeline == b.coarse_timeline, f"block {key:#x}"
+        assert a.quarantined == b.quarantined
+    assert (sorted(e.as_dict().items() for e in
+                   seq_result.dead_letters.entries)
+            == sorted(e.as_dict().items() for e in
+                      shard_result.dead_letters.entries))
+    assert (normalized_health(seq_result.health)
+            == normalized_health(shard_result.health))
+
+
+class TestPlanning:
+    def test_contiguous_sorted_chunks(self):
+        assert plan_shards([5, 1, 3, 2, 4], 2) == [[1, 2], [3, 4], [5]]
+
+    def test_plan_is_deterministic_and_worker_independent(self):
+        keys = list(range(100, 0, -1))
+        assert plan_shards(keys) == plan_shards(list(reversed(keys)))
+
+    def test_default_chunk_covers_everything(self):
+        shards = plan_shards(range(37))
+        assert sorted(k for shard in shards for k in shard) == list(range(37))
+
+    def test_empty_population(self):
+        assert plan_shards([]) == []
+
+    def test_bad_chunk_rejected(self):
+        with pytest.raises(ValueError):
+            plan_shards([1, 2], 0)
+
+
+class TestCleanEquivalence:
+    def test_sharded_one_worker_matches_sequential(self, population):
+        seq, shard = run_pair(population, 1)
+        assert_equivalent(seq, shard)
+
+    def test_pooled_workers_match_sequential(self, population):
+        seq, shard = run_pair(population, 2)
+        assert_equivalent(seq, shard)
+
+    def test_worker_counts_are_bit_identical(self, population):
+        # The acceptance bar: --workers 4 output == --workers 1 output,
+        # including the folded metrics snapshot (same plan, same merge).
+        runs = {}
+        for w in (1, 4):
+            registry = MetricsRegistry()
+            pipeline = PassiveOutagePipeline(
+                aggregation_levels=0, metrics=registry, workers=w,
+                shard_chunk=3)
+            model = pipeline.train(Family.IPV4, population, 0.0, DAY)
+            result = pipeline.detect(model, population, 0.0, DAY)
+            runs[w] = (model, result, registry)
+        model1, result1, registry1 = runs[1]
+        model4, result4, registry4 = runs[4]
+        assert model1.parameters == model4.parameters
+        for key in result1.blocks:
+            assert result1.blocks[key].timeline == result4.blocks[key].timeline
+        assert (result1.dead_letters.as_dict()
+                == result4.dead_letters.as_dict())
+        assert (normalized_health(result1.health)
+                == normalized_health(result4.health))
+        # Counter values fold identically; only wall-clock histograms
+        # (stage/tune timings) may differ between runs.
+        counters1 = {f["name"]: f for f in registry1.snapshot()["metrics"]
+                     if f["type"] == "counter"}
+        counters4 = {f["name"]: f for f in registry4.snapshot()["metrics"]
+                     if f["type"] == "counter"}
+        assert counters1 == counters4
+
+    def test_aggregation_fallback_matches(self):
+        # Mostly-sparse population so tuning declares blocks
+        # unmeasurable and the parent-side aggregation pass runs.
+        rng = np.random.default_rng(23)
+        per_block = {}
+        for k in range(16):
+            rate = 0.2 if k % 4 == 0 else 0.0004
+            per_block[k << 8] = poisson_times(rng, rate, 0.0, DAY)
+        seq, shard = run_pair(per_block, 2, aggregation_levels=4,
+                              shard_chunk=5)
+        (_, _, seq_result), (_, _, shard_result) = seq, shard
+        assert seq_result.aggregated.keys() == shard_result.aggregated.keys()
+        for key in seq_result.aggregated:
+            assert (seq_result.aggregated[key].timeline
+                    == shard_result.aggregated[key].timeline)
+
+
+@pytest.mark.faults
+class TestFaultedEquivalence:
+    def test_poisoned_blocks_quarantined_identically(self, population):
+        victims = sorted(population)[3:9:2]
+
+        def mutate(model, per_block):
+            return poison_block_times(per_block, victims, "nan")
+
+        seq, shard = run_pair(population, 2, mutate=mutate)
+        assert_equivalent(seq, shard)
+        (_, _, seq_result) = seq
+        assert sorted(seq_result.dead_letters.keys()) == victims
+
+    def test_unsorted_and_inf_poison(self, population):
+        keys = sorted(population)
+
+        def mutate(model, per_block):
+            poisoned = poison_block_times(per_block, keys[:2], "inf")
+            return poison_block_times(poisoned, keys[-2:], "unsorted")
+
+        seq, shard = run_pair(population, 2, mutate=mutate)
+        assert_equivalent(seq, shard)
+
+    def test_degenerate_parameters_match(self, population):
+        victims = sorted(population)[::7]
+        runs = []
+        for w in (0, 2):
+            pipeline = PassiveOutagePipeline(
+                aggregation_levels=0, max_quarantine_frac=1.0,
+                metrics=MetricsRegistry(), workers=w, shard_chunk=4)
+            model = pipeline.train(Family.IPV4, population, 0.0, DAY)
+            model.parameters = degenerate_parameters(
+                model.parameters, victims, "noise_nonempty", float("nan"))
+            runs.append(pipeline.detect(model, population, 0.0, DAY))
+        # NaN-poisoned parameters are unequal to themselves, so only
+        # the *results* are compared — which is the actual contract.
+        assert_results_equivalent(runs[0], runs[1])
+
+    def test_health_report_accounts_for_union(self, population):
+        victims = sorted(population)[:4]
+
+        def mutate(model, per_block):
+            return poison_block_times(per_block, victims, "nan")
+
+        _, shard = run_pair(population, 2, mutate=mutate)
+        (_, model, result) = shard
+        assert result.health.accounts_for(model.measurable_keys)
+        assert sorted(result.dead_letters.keys()) == victims
+
+    def test_merged_budget_trips_exactly_like_sequential(self, population):
+        victims = sorted(population)[:8]  # 40% > 25% budget
+
+        def mutate(model, per_block):
+            return poison_block_times(per_block, victims, "nan")
+
+        for w in (0, 2):
+            pipeline = PassiveOutagePipeline(
+                aggregation_levels=0, max_quarantine_frac=0.25,
+                workers=w, shard_chunk=3)
+            model = pipeline.train(Family.IPV4, population, 0.0, DAY)
+            with pytest.raises(ErrorBudgetExceeded) as info:
+                pipeline.detect(model, mutate(model, population), 0.0, DAY)
+            assert info.value.quarantined == len(victims)
+            assert info.value.report is not None
+            assert info.value.report.budget_tripped is True
+
+
+class TestShardCheckpoint:
+    def test_kill_and_resume_is_bit_identical(self, population, tmp_path):
+        checkpoint = tmp_path / "shards"
+        baseline = PassiveOutagePipeline(aggregation_levels=0, workers=1,
+                                         shard_chunk=3)
+        model = baseline.train(Family.IPV4, population, 0.0, DAY)
+        expected = baseline.detect(model, population, 0.0, DAY)
+
+        first = PassiveOutagePipeline(
+            aggregation_levels=0, workers=1, shard_chunk=3,
+            shard_checkpoint_dir=str(checkpoint))
+        first.detect(model, population, 0.0, DAY)
+        shard_files = sorted(p for p in os.listdir(checkpoint)
+                             if p.startswith("shard-"))
+        assert len(shard_files) == len(plan_shards(model.parameters, 3))
+
+        # Simulate a mid-run kill: one completed shard survives on
+        # disk, another is lost.  The resume must recompute only the
+        # missing one and still merge to the identical result.
+        (checkpoint / shard_files[2]).unlink()
+        resumed = PassiveOutagePipeline(
+            aggregation_levels=0, workers=1, shard_chunk=3,
+            shard_checkpoint_dir=str(checkpoint))
+        result = resumed.detect(model, population, 0.0, DAY)
+        for key in expected.blocks:
+            assert expected.blocks[key].timeline == result.blocks[key].timeline
+        assert (normalized_health(expected.health)
+                == normalized_health(result.health))
+
+    def test_stale_plan_is_ignored_not_misread(self, population, tmp_path):
+        checkpoint = tmp_path / "shards"
+        pipeline = PassiveOutagePipeline(
+            aggregation_levels=0, workers=1, shard_chunk=3,
+            shard_checkpoint_dir=str(checkpoint))
+        model = pipeline.train(Family.IPV4, population, 0.0, DAY)
+        pipeline.detect(model, population, 0.0, DAY)
+
+        # A different chunking is a different plan: cached shard files
+        # must read as misses, not be merged positionally.
+        other = PassiveOutagePipeline(
+            aggregation_levels=0, workers=1, shard_chunk=7,
+            shard_checkpoint_dir=str(checkpoint))
+        result = other.detect(model, population, 0.0, DAY)
+        baseline = PassiveOutagePipeline(aggregation_levels=0, workers=0)
+        expected = baseline.detect(model, population, 0.0, DAY)
+        for key in expected.blocks:
+            assert expected.blocks[key].timeline == result.blocks[key].timeline
+
+    def test_corrupt_shard_file_recomputed(self, population, tmp_path):
+        checkpoint = tmp_path / "shards"
+        pipeline = PassiveOutagePipeline(
+            aggregation_levels=0, workers=1, shard_chunk=5,
+            shard_checkpoint_dir=str(checkpoint))
+        model = pipeline.train(Family.IPV4, population, 0.0, DAY)
+        expected = pipeline.detect(model, population, 0.0, DAY)
+        (checkpoint / "shard-00001.json").write_text("{ torn", "utf-8")
+        result = pipeline.detect(model, population, 0.0, DAY)
+        for key in expected.blocks:
+            assert expected.blocks[key].timeline == result.blocks[key].timeline
+
+
+class TestProcessDefaults:
+    def test_set_default_parallelism_round_trip(self):
+        previous = set_default_parallelism(3, 7)
+        try:
+            assert get_default_parallelism() == (3, 7)
+            pipeline = PassiveOutagePipeline()
+            assert pipeline.workers == 3
+            assert pipeline.shard_chunk == 7
+            explicit = PassiveOutagePipeline(workers=0)
+            assert explicit.workers == 0
+        finally:
+            set_default_parallelism(*previous)
+
+    def test_default_default_is_sequential(self):
+        pipeline = PassiveOutagePipeline()
+        assert not pipeline.workers  # None/0: legacy sequential path

@@ -94,6 +94,51 @@ class TestReorderBuffer:
         assert stats.out_of_order > 0
         assert stats.max_displacement_seconds > 0
 
+    def test_tie_with_watermark_is_on_time(self):
+        # The drain releases records with time <= watermark, so the late
+        # check must treat time == watermark as on-time too: both
+        # comparisons judge the same boundary, ties land on-time.
+        buffer = ReorderBuffer(5.0, LatePolicy.COUNT)
+        buffer.push(obs(10.0))
+        buffer.push(obs(16.0))  # watermark 11.0, emits 10.0
+        # On-time at the boundary: emitted immediately by this drain.
+        assert [o.time for o in buffer.push(obs(11.0))] == [11.0]
+        assert buffer.stats.late_total == 0
+        assert [o.time for o in buffer.flush()] == [16.0]
+
+    def test_just_behind_watermark_is_late(self):
+        buffer = ReorderBuffer(5.0, LatePolicy.COUNT)
+        buffer.push(obs(10.0))
+        buffer.push(obs(16.0))  # watermark 11.0
+        assert buffer.push(obs(10.999)) == []
+        assert buffer.stats.late_total == 1
+        assert buffer.stats.late_dropped == 1
+
+    def test_lateness_judged_against_watermark_not_last_emission(self):
+        # The watermark can advance without emitting anything (empty
+        # heap at the boundary); a record behind it is still late —
+        # otherwise the late verdict would depend on what happened to
+        # be buffered, not on the horizon contract.
+        buffer = ReorderBuffer(1.0, LatePolicy.COUNT)
+        buffer.push(obs(10.0))  # watermark 9.0, nothing emitted yet
+        assert buffer.stats.emitted == 0
+        assert buffer.push(obs(8.0)) == []
+        assert buffer.stats.late_total == 1
+
+    def test_flush_does_not_wedge_the_boundary(self):
+        # flush() drains with an infinite bound; only what it actually
+        # popped may raise the late boundary, or every post-flush
+        # arrival would read as late.
+        buffer = ReorderBuffer(5.0, LatePolicy.COUNT)
+        buffer.push(obs(10.0))
+        assert [o.time for o in buffer.flush()] == [10.0]
+        assert [o.time for o in buffer.push(obs(10.0))] == []  # tie: on-time
+        assert buffer.stats.late_total == 0
+        buffer.push(obs(9.0))  # behind the emitted 10.0: late
+        assert buffer.stats.late_total == 1
+        out = buffer.flush()
+        assert [o.time for o in out] == [10.0]
+
     def test_negative_horizon_rejected(self):
         with pytest.raises(ValueError):
             ReorderBuffer(-1.0)
