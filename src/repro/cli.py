@@ -55,6 +55,13 @@ from .traffic.outages import IPV4_OUTAGE_MODEL, IPV6_OUTAGE_MODEL
 #: "the run was too degraded to trust" specifically.
 EXIT_BUDGET_TRIPPED = 3
 
+#: Exit code for a supervised run that completed *degraded* — blocks
+#: lost to repeatedly-dying workers — under ``--strict-coverage``.
+#: Distinct from the budget code: 3 means "too much was quarantined to
+#: trust the result", 4 means "the result is trustworthy but
+#: incomplete, and the operator asked to be paged about holes".
+EXIT_DEGRADED_COVERAGE = 4
+
 EXPERIMENTS: Dict[str, Callable] = {
     "table1": run_table1,
     "table2": run_table2,
@@ -216,12 +223,29 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     end = float(finite[-1]) + 1.0
     train_end = args.train_end if args.train_end else (start + end) / 2.0
 
+    supervision = None
+    workers = args.workers
+    if (args.shard_timeout is not None or args.shard_retries is not None
+            or args.shard_max_rss_mb is not None):
+        from .parallel import SupervisionPolicy
+
+        supervision = SupervisionPolicy(
+            timeout=args.shard_timeout,
+            retries=(args.shard_retries
+                     if args.shard_retries is not None else 2),
+            max_rss_mb=args.shard_max_rss_mb)
+        if not workers:
+            # Supervision is a property of the parallel path; asking
+            # for it implies at least one supervised worker.
+            workers = 1
+
     per_block = per_block_times(batch)
     with _telemetry(args) as (registry, tracer):
         pipeline = PassiveOutagePipeline(
             max_quarantine_frac=args.max_quarantine_frac,
             metrics=registry, tracer=tracer,
-            workers=args.workers, shard_chunk=args.shard_chunk)
+            workers=workers, shard_chunk=args.shard_chunk,
+            supervision=supervision)
         try:
             if args.model:
                 from .core.serialize import load_model
@@ -252,6 +276,16 @@ def _cmd_detect(args: argparse.Namespace) -> int:
           f"({len(model.measurable_keys)} measurable, coverage "
           f"{model.coverage():.1%})")
     _print_quarantine_summary(result.health)
+    degraded = False
+    for run_name, health in (("train", getattr(model, "health", None)),
+                             ("detect", result.health)):
+        coverage = health.coverage if health is not None else None
+        if coverage is not None and coverage.degraded:
+            degraded = True
+            print(f"{run_name} coverage degraded: "
+                  f"{len(coverage.blocks_lost)}/{coverage.blocks_planned} "
+                  f"blocks lost to supervision (workers kept dying); "
+                  f"lost blocks are dead-lettered under stage=supervision")
     if args.health_report:
         _write_health_report(args.health_report, result.health)
     events = 0
@@ -261,6 +295,8 @@ def _cmd_detect(args: argparse.Namespace) -> int:
             print(f"  block {key:#x}: outage {event.start:,.1f}s "
                   f"-> {event.end:,.1f}s ({event.duration:,.0f}s)")
     print(f"{events} outage events >= {args.min_duration:.0f}s")
+    if args.strict_coverage and degraded:
+        return EXIT_DEGRADED_COVERAGE
     return 0
 
 
@@ -455,8 +491,47 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _render_health_report(document: Dict) -> str:
+    """Human-readable rendering of a run health report document.
+
+    Deterministic (pinned by a golden test): stages in recorded order,
+    lost blocks and the retry histogram sorted, attempt histories only
+    for units that needed more than one attempt (the interesting ones).
+    """
+    report = RunHealthReport.from_dict(document)
+    lines = [f"health report: run={report.run}", f"  {report.summary()}"]
+    if report.stages:
+        lines.append("stages:")
+        for stage in report.stages:
+            lines.append(
+                f"  {stage.name}: attempted {stage.attempted}, "
+                f"succeeded {stage.succeeded}, "
+                f"quarantined {stage.quarantined} "
+                f"({stage.seconds:.2f}s)")
+    coverage = report.coverage
+    if coverage is not None:
+        lines.append("coverage (supervised run):")
+        lines.append(f"  blocks planned    {coverage.blocks_planned}")
+        lines.append(f"  blocks delivered  {coverage.blocks_delivered}")
+        lost = ", ".join(f"{key:#x}" for key in coverage.blocks_lost)
+        lines.append(f"  blocks lost       {len(coverage.blocks_lost)}"
+                     + (f": {lost}" if lost else ""))
+        lines.append("  retry histogram:")
+        for attempts, units in coverage.retry_histogram().items():
+            lines.append(f"    {attempts} attempt(s): {units} unit(s)")
+        retried = [record for record in coverage.shard_attempts
+                   if len(record.outcomes) > 1 or record.status != "done"]
+        if retried:
+            lines.append("  units beyond one clean attempt:")
+            for record in retried:
+                outcomes = ",".join(record.outcomes) or "-"
+                lines.append(f"    {record.unit}: {outcomes} "
+                             f"-> {record.status}")
+    return "\n".join(lines)
+
+
 def _cmd_inspect(args: argparse.Namespace) -> int:
-    """Pretty-print a metrics snapshot or a checkpoint's telemetry."""
+    """Pretty-print a metrics snapshot, health report, or checkpoint."""
     try:
         with open(args.path, "r", encoding="utf-8") as handle:
             document = json.load(handle)
@@ -469,6 +544,12 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
         return 1
     if document.get("format") == SNAPSHOT_FORMAT:
         snapshot = document
+    elif "stages" in document and "dead_letters" in document:
+        # A --health-report document: no format marker of its own, but
+        # its two mandatory sections distinguish it from the other two
+        # inspectable shapes.
+        print(_render_health_report(document))
+        return 0
     elif "format_version" in document:
         snapshot = document.get("metrics")
         if snapshot is None:
@@ -547,6 +628,19 @@ def build_parser() -> argparse.ArgumentParser:
     detect.add_argument("--shard-chunk", type=int, default=None,
                         help="blocks per shard for --workers (default: "
                              "population/16, independent of N)")
+    detect.add_argument("--shard-timeout", type=float, default=None,
+                        help="supervise shards: wall-clock seconds one "
+                             "shard attempt may run before being killed "
+                             "and retried (implies --workers 1 if unset)")
+    detect.add_argument("--shard-retries", type=int, default=None,
+                        help="supervised attempts beyond the first before "
+                             "a failing shard is bisected (default 2)")
+    detect.add_argument("--shard-max-rss-mb", type=float, default=None,
+                        help="supervise shards: kill an attempt whose "
+                             "resident set exceeds this many MB")
+    detect.add_argument("--strict-coverage", action="store_true",
+                        help="exit 4 when a supervised run completes "
+                             "degraded (blocks lost to dying workers)")
     detect.add_argument("--metrics-out", default="",
                         help="write the run's metrics snapshot (JSON) here")
     detect.add_argument("--trace-out", default="",
@@ -611,10 +705,12 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.set_defaults(func=_cmd_experiment)
 
     inspect = sub.add_parser("inspect",
-                             help="pretty-print a metrics snapshot or a "
-                                  "checkpoint's embedded telemetry")
+                             help="pretty-print a metrics snapshot, a "
+                                  "health report, or a checkpoint's "
+                                  "embedded telemetry")
     inspect.add_argument("path",
-                         help="metrics JSON from --metrics-out, or a "
+                         help="metrics JSON from --metrics-out, a health "
+                              "report from --health-report, or a "
                               "checkpoint file")
     inspect.set_defaults(func=_cmd_inspect)
 

@@ -42,7 +42,9 @@ __all__ = ["CHECKPOINT_FORMAT_VERSION", "CheckpointFormatError",
            "detector_to_json", "detector_from_json", "save_checkpoint",
            "load_checkpoint", "SHARD_CHECKPOINT_FORMAT_VERSION",
            "write_shard_manifest", "read_shard_manifest",
-           "save_shard_result", "load_shard_result"]
+           "save_shard_result", "load_shard_result",
+           "load_shard_document", "discard_shard_result",
+           "prune_stale_shards"]
 
 CHECKPOINT_FORMAT_VERSION = 1
 
@@ -221,8 +223,19 @@ def save_checkpoint(detector: StreamingDetector, path: PathLike) -> None:
             "checkpoints_saved_total", "Checkpoints written").inc()
 
 
-def _shard_path(directory: PathLike, index: int) -> str:
-    return os.path.join(os.fspath(directory), f"shard-{index:05d}.json")
+def _unit_name(unit: Union[int, str]) -> str:
+    """Canonical file-name stem of one execution unit.
+
+    Plain shard indices render as ``00003``; supervised bisection
+    lineage ids (``"00003.0.1"``) pass through unchanged, so a root
+    unit and its legacy-written shard file share a name.
+    """
+    return unit if isinstance(unit, str) else f"{unit:05d}"
+
+
+def _shard_path(directory: PathLike, unit: Union[int, str]) -> str:
+    return os.path.join(os.fspath(directory),
+                        f"shard-{_unit_name(unit)}.json")
 
 
 def write_shard_manifest(directory: PathLike,
@@ -260,7 +273,7 @@ def read_shard_manifest(directory: PathLike) -> Optional[Dict[str, Any]]:
     return document
 
 
-def save_shard_result(directory: PathLike, index: int,
+def save_shard_result(directory: PathLike, index: Union[int, str],
                       document: Dict[str, Any]) -> None:
     """Atomically persist one completed shard's result document.
 
@@ -274,16 +287,85 @@ def save_shard_result(directory: PathLike, index: int,
                       json.dumps(document, indent=1))
 
 
-def load_shard_result(directory: PathLike,
-                      index: int) -> Optional[Dict[str, Any]]:
-    """One shard's cached result document, or None when absent/corrupt."""
+def load_shard_document(directory: PathLike, unit: Union[int, str],
+                        ) -> "tuple[str, Optional[Dict[str, Any]]]":
+    """One cached shard document with its read status.
+
+    Returns ``(status, document)`` where status is ``"ok"`` (document
+    parsed), ``"missing"`` (no such file — the shard was simply never
+    completed), or ``"corrupt"`` (a file *exists* but cannot be parsed
+    — a torn write or bit rot).  The distinction matters: a missing
+    shard is the normal resume case, while a corrupt one is an
+    infrastructure fault the caller should count
+    (``shard_cache_corrupt_total``) and delete so the resume rewrites
+    it instead of tripping over it forever.
+    """
+    path = _shard_path(directory, unit)
     try:
-        with open(_shard_path(directory, index), "r",
-                  encoding="utf-8") as handle:
+        with open(path, "r", encoding="utf-8") as handle:
             document = json.load(handle)
-    except (OSError, json.JSONDecodeError):
-        return None
-    return document if isinstance(document, dict) else None
+    except FileNotFoundError:
+        return "missing", None
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+        return "corrupt", None
+    if not isinstance(document, dict):
+        return "corrupt", None
+    return "ok", document
+
+
+def discard_shard_result(directory: PathLike,
+                         unit: Union[int, str]) -> None:
+    """Best-effort removal of one cached shard file (corrupt/stale)."""
+    try:
+        os.remove(_shard_path(directory, unit))
+    except OSError:
+        pass
+
+
+def prune_stale_shards(directory: PathLike, digest: str) -> int:
+    """Delete cached shard files that do not belong to ``digest``.
+
+    A checkpoint directory reused across differently-planned runs
+    accumulates ``shard-*.json`` files the new plan can never read
+    (their ``plan_digest`` mismatches, or they are unparseable with no
+    attributable plan at all) — without pruning they sit on disk
+    forever.  Called at plan time; returns the number removed.  The
+    manifest itself is left alone (the caller rewrites it).
+    """
+    try:
+        names = os.listdir(os.fspath(directory))
+    except OSError:
+        return 0
+    removed = 0
+    for name in sorted(names):
+        if not (name.startswith("shard-") and name.endswith(".json")):
+            continue
+        path = os.path.join(os.fspath(directory), name)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+            stale = (not isinstance(document, dict)
+                     or document.get("plan_digest") != digest)
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            stale = True
+        if stale:
+            try:
+                os.remove(path)
+                removed += 1
+            except OSError:
+                pass
+    return removed
+
+
+def load_shard_result(directory: PathLike,
+                      index: Union[int, str]) -> Optional[Dict[str, Any]]:
+    """One shard's cached result document, or None when absent/corrupt.
+
+    Legacy accessor that flattens the missing/corrupt distinction; new
+    callers should prefer :func:`load_shard_document` so corruption can
+    be counted and cleaned up.
+    """
+    return load_shard_document(directory, index)[1]
 
 
 def load_checkpoint(path: PathLike, model: TrainedModel,

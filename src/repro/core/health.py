@@ -52,6 +52,8 @@ __all__ = [
     "DeadLetterRegistry",
     "GuardrailCounters",
     "StageStats",
+    "ShardAttemptRecord",
+    "CoverageReport",
     "RunHealthReport",
     "inputs_digest",
 ]
@@ -374,6 +376,91 @@ class StageStats:
 
 
 @dataclass
+class ShardAttemptRecord:
+    """One supervised execution unit's attempt history.
+
+    ``unit`` is the shard's lineage id (``"00003"`` for a root shard,
+    ``"00003.0.1"`` for the right half of its left half after two
+    bisections); ``outcomes`` lists every attempt's verdict in order
+    (``ok``, ``crash``, ``hang``, ``oom``, ``error``); ``status`` is
+    where the unit ended up: ``done`` (delivered), ``bisected`` (split
+    after exhausting retries), ``lost`` (a single block that kept
+    killing its worker), or ``pending`` (the run stopped mid-unit).
+    """
+
+    unit: str
+    outcomes: List[str] = field(default_factory=list)
+    status: str = "pending"
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"unit": self.unit, "outcomes": list(self.outcomes),
+                "status": self.status}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ShardAttemptRecord":
+        return cls(unit=str(data["unit"]),
+                   outcomes=[str(o) for o in data.get("outcomes", [])],
+                   status=str(data.get("status", "pending")))
+
+
+@dataclass
+class CoverageReport:
+    """Delivery accounting for a supervised (process-isolated) run.
+
+    Distinct from the per-stage quarantine accounting: dead letters say
+    "this block's *data* was unusable", coverage says "this block's
+    *worker process* kept dying and its result was never delivered".
+    A run with ``blocks_lost`` is *degraded*: it completed, its health
+    report still accounts for the full population (the lost blocks are
+    dead-lettered under ``stage="supervision"``), but the operator must
+    know the coverage hole exists — that is what ``--strict-coverage``
+    alerts on.
+    """
+
+    blocks_planned: int = 0
+    blocks_delivered: int = 0
+    blocks_lost: List[int] = field(default_factory=list)
+    shard_attempts: List[ShardAttemptRecord] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.blocks_lost)
+
+    @property
+    def lost_fraction(self) -> float:
+        if self.blocks_planned == 0:
+            return 0.0
+        return len(self.blocks_lost) / self.blocks_planned
+
+    def retry_histogram(self) -> Dict[int, int]:
+        """Units by attempt count: ``{n_attempts: n_units}``, sorted."""
+        histogram: Dict[int, int] = {}
+        for record in self.shard_attempts:
+            attempts = len(record.outcomes)
+            histogram[attempts] = histogram.get(attempts, 0) + 1
+        return {count: histogram[count] for count in sorted(histogram)}
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "blocks_planned": self.blocks_planned,
+            "blocks_delivered": self.blocks_delivered,
+            "blocks_lost": list(self.blocks_lost),
+            "shard_attempts": [record.as_dict()
+                               for record in self.shard_attempts],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CoverageReport":
+        return cls(
+            blocks_planned=int(data.get("blocks_planned", 0)),
+            blocks_delivered=int(data.get("blocks_delivered", 0)),
+            blocks_lost=[int(key) for key in data.get("blocks_lost", [])],
+            shard_attempts=[ShardAttemptRecord.from_dict(entry)
+                            for entry in data.get("shard_attempts", [])],
+        )
+
+
+@dataclass
 class RunHealthReport:
     """One run's health: stage accounting, quarantine, guardrail trips.
 
@@ -393,6 +480,11 @@ class RunHealthReport:
     sentinel_windows: List[Tuple[float, float]] = field(default_factory=list)
     max_quarantine_frac: float = 1.0
     budget_tripped: bool = False
+    #: supervised-run delivery accounting; None for unsupervised runs
+    #: (the key is omitted from the serialised document entirely, so
+    #: reports from unsupervised runs are byte-identical to older
+    #: builds).
+    coverage: Optional[CoverageReport] = None
 
     # -- accounting ---------------------------------------------------------
 
@@ -482,7 +574,7 @@ class RunHealthReport:
     # -- serialisation ------------------------------------------------------
 
     def as_dict(self) -> Dict[str, Any]:
-        return {
+        document = {
             "run": self.run,
             "stages": [stats.as_dict() for stats in self.stages],
             "dead_letters": self.dead_letters.as_dict(),
@@ -495,6 +587,9 @@ class RunHealthReport:
             "blocks_succeeded": self.blocks_succeeded,
             "blocks_quarantined": self.blocks_quarantined,
         }
+        if self.coverage is not None:
+            document["coverage"] = self.coverage.as_dict()
+        return document
 
     def to_json(self) -> str:
         return json.dumps(self.as_dict(), indent=1)
@@ -513,6 +608,8 @@ class RunHealthReport:
                               for s, e in data.get("sentinel_windows", [])],
             max_quarantine_frac=float(data.get("max_quarantine_frac", 1.0)),
             budget_tripped=bool(data.get("budget_tripped", False)),
+            coverage=(CoverageReport.from_dict(data["coverage"])
+                      if data.get("coverage") is not None else None),
         )
 
     @classmethod
@@ -528,4 +625,7 @@ class RunHealthReport:
             parts.append(f"{self.guardrails.total} guardrail trips")
         if self.sentinel_windows:
             parts.append(f"{len(self.sentinel_windows)} sentinel windows")
+        if self.coverage is not None and self.coverage.degraded:
+            parts.append(f"DEGRADED: {len(self.coverage.blocks_lost)} "
+                         f"blocks lost to supervision")
         return ", ".join(parts)

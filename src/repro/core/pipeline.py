@@ -165,6 +165,14 @@ class PassiveOutagePipeline:
     shard_checkpoint_dir:
         when set, the parallel path checkpoints each completed shard
         there, so a killed run resumes recomputing only missing shards.
+    supervision:
+        a :class:`~repro.parallel.SupervisionPolicy` (or None).  When
+        set, the parallel path runs every shard attempt in its own
+        supervised child process with a wall-clock deadline and RSS
+        ceiling, retries transient crash/hang/OOM failures, and bisects
+        poisoned shards down to per-block dead letters instead of dying
+        wholesale — see :class:`~repro.parallel.ShardSupervisor`.
+        Ignored by the sequential path (``workers=0``).
     """
 
     def __init__(
@@ -181,6 +189,7 @@ class PassiveOutagePipeline:
         workers: Optional[int] = None,
         shard_chunk: Optional[int] = None,
         shard_checkpoint_dir: Optional[str] = None,
+        supervision: Optional[Any] = None,
     ) -> None:
         if workers is None:
             # Imported lazily: repro.parallel imports this module.
@@ -191,6 +200,9 @@ class PassiveOutagePipeline:
         self.workers = workers
         self.shard_chunk = shard_chunk
         self.shard_checkpoint_dir = shard_checkpoint_dir
+        # Typed Any to avoid a circular import: repro.parallel imports
+        # this module, so the policy class cannot be named here.
+        self.supervision = supervision
         self.policy = policy or TuningPolicy()
         self.refinement = refinement or RefinementConfig()
         if homogeneous_bin is not None:

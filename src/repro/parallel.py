@@ -52,6 +52,26 @@ completed shard's document is written atomically as it finishes, under
 a manifest naming the plan.  A killed run resumes by recomputing only
 the missing shards — and because merge is deterministic, the resumed
 run's output is identical to an uninterrupted one.
+
+**Supervision.**  The pool path above dies wholesale when one worker
+process segfaults, OOMs, or hangs — process-fatal failures that never
+surface as Python exceptions, so the per-block quarantine in
+:mod:`repro.core.health` cannot catch them.  With a
+:class:`SupervisionPolicy`, shards instead run under a
+:class:`ShardSupervisor`: each shard attempt is its own child process
+with a wall-clock deadline and an RSS ceiling; a dead/stalled/bloated
+child is classified (``crash``/``hang``/``oom``), retried with bounded
+exponential backoff and deterministic seeded jitter, and on retry
+exhaustion the shard is **bisected** — the keyspace halves recursively
+until the minimal poisoned block(s) are isolated and dead-lettered
+under ``stage="supervision"``, giving process-fatal poison the same
+per-block quarantine contract as exception-level poison.  The run then
+completes *degraded*: its health report gains a ``coverage`` section
+(planned/delivered/lost blocks plus every unit's attempt history),
+still proves ``accounts_for()`` over the full population, and feeds
+the error budget.  Attempt counts and bisection lineage persist in the
+checkpoint manifest, so kill-and-resume never re-pays completed
+retries.
 """
 
 from __future__ import annotations
@@ -59,22 +79,31 @@ from __future__ import annotations
 import hashlib
 import os
 import time as _time
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import asdict
+from dataclasses import asdict, dataclass, field
 from multiprocessing import get_context
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import (Any, Callable, Dict, List, Mapping, Optional, Sequence,
+                    Tuple)
 
 import numpy as np
 
 from .core.checkpoint import (
-    load_shard_result,
+    discard_shard_result,
+    load_shard_document,
+    prune_stale_shards,
     read_shard_manifest,
     save_shard_result,
     write_shard_manifest,
 )
 from .core.detector import dead_letter_metric, guardrail_metric
 from .core.events import RefinementConfig
-from .core.health import ErrorBudgetExceeded, RunHealthReport
+from .core.health import (
+    CoverageReport,
+    ErrorBudgetExceeded,
+    RunHealthReport,
+    ShardAttemptRecord,
+)
 from .core.parameters import HomogeneousPlanner, TuningPolicy
 from .core.pipeline import PassiveOutagePipeline, PipelineResult, TrainedModel
 from .core.serialize import (
@@ -94,6 +123,13 @@ __all__ = [
     "sharded_detect",
     "set_default_parallelism",
     "get_default_parallelism",
+    "SupervisionPolicy",
+    "ShardSupervisor",
+    "ShardFatalError",
+    "ShardCrash",
+    "ShardHang",
+    "ShardOOM",
+    "ShardWorkerError",
 ]
 
 #: Format tag of one shard's result document (the worker-result wire
@@ -229,6 +265,10 @@ def _shard_document(stage: str, payload: Dict[str, Any],
         "plan_digest": payload["plan_digest"],
         "health": health.as_dict(),
     }
+    if "unit" in payload:
+        # Supervised execution unit id (bisection lineage) — absent
+        # from legacy pool-path documents, whose unit IS the index.
+        document["unit"] = payload["unit"]
     if registry.enabled:
         document["metrics"] = registry.snapshot()
     return document
@@ -284,9 +324,24 @@ def _ensure_child_import_path() -> None:
         os.environ["PYTHONPATH"] = os.pathsep.join([package_root] + parts)
 
 
+def _cache_corrupt_metric(metrics: Any) -> Any:
+    return metrics.counter(
+        "shard_cache_corrupt_total",
+        "Corrupt cached shard files found at resume (counted, deleted, "
+        "and recomputed)")
+
+
 def _load_cached_shards(checkpoint_dir: Optional[str], stage: str,
-                        digest: str, n_shards: int) -> Dict[int, Dict]:
-    """Cached shard documents matching this exact plan, by index."""
+                        digest: str, n_shards: int,
+                        metrics: Any = NULL_REGISTRY) -> Dict[int, Dict]:
+    """Cached shard documents matching this exact plan, by index.
+
+    A *missing* shard file is the normal resume case (the shard never
+    completed); a *corrupt* one is an infrastructure fault — it is
+    counted (``shard_cache_corrupt_total``) and deleted so this resume,
+    and every later one, rewrites it instead of silently recomputing
+    behind an undiagnosed rotting file.
+    """
     if checkpoint_dir is None:
         return {}
     manifest = read_shard_manifest(checkpoint_dir)
@@ -294,8 +349,12 @@ def _load_cached_shards(checkpoint_dir: Optional[str], stage: str,
         return {}
     cached: Dict[int, Dict] = {}
     for index in range(n_shards):
-        document = load_shard_result(checkpoint_dir, index)
-        if (document is not None
+        status, document = load_shard_document(checkpoint_dir, index)
+        if status == "corrupt":
+            _cache_corrupt_metric(metrics).inc()
+            discard_shard_result(checkpoint_dir, index)
+            continue
+        if (status == "ok"
                 and document.get("format") == SHARD_RESULT_FORMAT
                 and document.get("stage") == stage
                 and document.get("index") == index
@@ -306,7 +365,8 @@ def _load_cached_shards(checkpoint_dir: Optional[str], stage: str,
 
 def _execute_shards(stage: str, worker, payloads: List[Dict[str, Any]],
                     workers: int, checkpoint_dir: Optional[str],
-                    digest: str, n_shards: int) -> List[Dict[str, Any]]:
+                    digest: str, n_shards: int,
+                    metrics: Any = NULL_REGISTRY) -> List[Dict[str, Any]]:
     """Run (or reload) every shard and return documents in plan order.
 
     ``workers == 1`` runs the shards in-process through the *same*
@@ -314,7 +374,15 @@ def _execute_shards(stage: str, worker, payloads: List[Dict[str, Any]],
     sharded runs are the equivalence baseline, not a separate code
     path.  Completed shards are checkpointed as they finish.
     """
-    cached = _load_cached_shards(checkpoint_dir, stage, digest, n_shards)
+    cached = _load_cached_shards(checkpoint_dir, stage, digest, n_shards,
+                                 metrics)
+    if checkpoint_dir is not None:
+        # Plan-time hygiene: shard files whose digest mismatches the
+        # current plan can never be read again — without pruning, a
+        # reused checkpoint directory accumulates them forever.  Runs
+        # after the cache load so in-plan corrupt files were already
+        # counted and removed above.
+        prune_stale_shards(checkpoint_dir, digest)
     if checkpoint_dir is not None and not cached:
         # New or mismatched plan: stamp the manifest before computing,
         # so partial results written below are attributable to it.
@@ -344,6 +412,576 @@ def _execute_shards(stage: str, worker, payloads: List[Dict[str, Any]],
                 for future in done:
                     _completed(future.result())
     return [documents[index] for index in range(n_shards)]
+
+
+# -- supervised execution ---------------------------------------------------
+
+#: Env var carrying the process-fault spec for the chaos suite.  The
+#: literal is duplicated from :mod:`repro.testing.faults` on purpose:
+#: this production module must not import the testing layer at module
+#: scope (the import-health contract), and the env channel is the only
+#: coupling point.
+_PROCESS_FAULT_ENV = "REPRO_PROCESS_FAULTS"
+
+
+class ShardFatalError(RuntimeError):
+    """A shard's worker process died without a Python-level verdict.
+
+    Base of the process-fatal outcome taxonomy.  Instances are what
+    land in ``stage="supervision"`` dead letters when bisection
+    isolates a poisoned block — the process-level analogue of
+    :class:`~repro.core.health.BlockDataError`.
+    """
+
+
+class ShardCrash(ShardFatalError):
+    """The worker process exited without delivering a result."""
+
+
+class ShardHang(ShardFatalError):
+    """The worker process overran its wall-clock deadline."""
+
+
+class ShardOOM(ShardFatalError):
+    """The worker process breached its resident-memory ceiling."""
+
+
+class ShardWorkerError(RuntimeError):
+    """A supervised worker raised a Python-level exception.
+
+    Distinct from :class:`ShardFatalError` on purpose: per-block data
+    problems are already contained *inside* the worker by the dead-
+    letter scopes, so an exception escaping a worker is a harness bug —
+    it propagates instead of being retried, exactly like the
+    unsupervised pool path.
+    """
+
+
+_OUTCOME_ERRORS = {
+    "crash": ShardCrash,
+    "hang": ShardHang,
+    "oom": ShardOOM,
+}
+
+
+@dataclass(frozen=True)
+class SupervisionPolicy:
+    """How supervised shard attempts are bounded, retried, and bisected.
+
+    ``timeout`` is the per-attempt wall-clock deadline in seconds
+    (None: no deadline); ``max_rss_mb`` the per-attempt resident-set
+    ceiling in megabytes (None: unenforced; also unenforced off Linux,
+    where ``/proc`` is unavailable).  ``retries`` bounds *failed*
+    attempts per unit — a unit runs at most ``retries + 1`` times
+    before it is bisected (or, at one block, lost).  Backoff before
+    retry ``n`` is ``base * factor**(n-1)`` capped at ``cap``, scaled
+    by a deterministic jitter in ``[0.5, 1.0]`` seeded from the plan
+    digest and unit id, so two runs of the same plan wait identically
+    and a thundering herd of retries still de-synchronises.
+    """
+
+    timeout: Optional[float] = None
+    retries: int = 2
+    max_rss_mb: Optional[float] = None
+    backoff_base: float = 0.25
+    backoff_factor: float = 2.0
+    backoff_cap: float = 5.0
+    poll_interval: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError("timeout must be positive (or None)")
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        if self.max_rss_mb is not None and self.max_rss_mb <= 0:
+            raise ValueError("max_rss_mb must be positive (or None)")
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ValueError("backoff must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.poll_interval <= 0:
+            raise ValueError("poll_interval must be positive")
+
+    @property
+    def max_attempts(self) -> int:
+        return self.retries + 1
+
+
+def _supervised_entry(worker: Callable[[Dict[str, Any]], Dict[str, Any]],
+                      payload: Dict[str, Any], conn: Any) -> None:
+    """Child-process entry point for one supervised shard attempt.
+
+    Sends ``("ok", document)`` or ``("error", message)`` up the pipe;
+    a child that dies before sending anything is the supervisor's
+    ``crash`` outcome.  Module-level so spawn can pickle it.
+    """
+    try:
+        if os.environ.get(_PROCESS_FAULT_ENV):
+            # Chaos-suite channel: only ever taken under the test env
+            # var, and imported lazily so the production path never
+            # touches the testing layer.
+            from .testing.faults import activate_process_faults
+            activate_process_faults(payload.get("keys", ()))
+        document = worker(payload)
+        conn.send(("ok", document))
+    except BaseException as error:  # noqa: BLE001 — verdict must cross
+        try:
+            conn.send(("error", f"{type(error).__name__}: {error}"))
+        except Exception:
+            pass
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass
+
+
+def _process_rss_mb(pid: int) -> Optional[float]:
+    """Resident set size of ``pid`` in MB via /proc, None off Linux."""
+    try:
+        with open(f"/proc/{pid}/statm", "r", encoding="ascii") as handle:
+            resident_pages = int(handle.read().split()[1])
+        return resident_pages * os.sysconf("SC_PAGE_SIZE") / 1e6
+    except (OSError, ValueError, IndexError, AttributeError):
+        return None
+
+
+def _backoff_delay(policy: SupervisionPolicy, digest: str, unit_id: str,
+                   failures: int) -> float:
+    """Deterministic jittered exponential backoff before retry N.
+
+    Pure function of (policy, plan digest, unit lineage, failure
+    count): resumed runs and equivalence tests see identical waits,
+    with no global RNG state touched.
+    """
+    raw = policy.backoff_base * policy.backoff_factor ** max(0, failures - 1)
+    capped = min(raw, policy.backoff_cap)
+    seed = f"{digest}|{unit_id}|{failures}".encode("utf-8")
+    word = int.from_bytes(
+        hashlib.blake2b(seed, digest_size=4).digest(), "big")
+    return capped * (0.5 + 0.5 * word / 0xFFFFFFFF)
+
+
+def _split_keys(keys: Sequence[int]) -> Tuple[List[int], List[int]]:
+    """Bisect a unit's (sorted) keyspace; left half takes the odd one.
+
+    Both halves of a >1-key unit are non-empty, so every bisection
+    strictly shrinks the unit — termination at single blocks is
+    structural, not probabilistic.
+    """
+    mid = (len(keys) + 1) // 2
+    return list(keys[:mid]), list(keys[mid:])
+
+
+@dataclass
+class _Unit:
+    """One supervised execution unit: a (sub-)shard with its history."""
+
+    unit_id: str
+    index: int
+    keys: List[int]
+    attempts: List[str] = field(default_factory=list)
+
+    @property
+    def failures(self) -> int:
+        return sum(1 for outcome in self.attempts if outcome != "ok")
+
+
+@dataclass
+class _Running:
+    """One in-flight supervised attempt."""
+
+    unit: _Unit
+    process: Any
+    conn: Any
+    deadline: Optional[float]
+
+
+class ShardSupervisor:
+    """Run shard units in supervised child processes, bisecting poison.
+
+    Each attempt is its own spawn-context child with a private result
+    pipe; the supervisor polls for results, deadlines, and RSS
+    breaches, classifies failures (``crash``/``hang``/``oom``), retries
+    with :func:`_backoff_delay`, and on retry exhaustion bisects the
+    unit's keyspace (lineage ids ``"00003" -> "00003.0"/"00003.1"``)
+    until single-block units either deliver or are declared *lost*.
+    All attempt history and lineage state persists in the checkpoint
+    manifest after every transition, so a killed run resumes without
+    re-paying completed retries.
+    """
+
+    def __init__(self, stage: str,
+                 worker: Callable[[Dict[str, Any]], Dict[str, Any]],
+                 build_payload: Callable[[Sequence[int]], Dict[str, Any]],
+                 policy: SupervisionPolicy, workers: int, digest: str,
+                 n_shards: int, checkpoint_dir: Optional[str] = None,
+                 metrics: Any = NULL_REGISTRY) -> None:
+        self._stage = stage
+        self._worker = worker
+        self._build_payload = build_payload
+        self._policy = policy
+        self._workers = max(1, workers)
+        self._digest = digest
+        self._n_shards = n_shards
+        self._checkpoint_dir = checkpoint_dir
+        self._metrics = metrics
+        self._ctx = get_context("spawn")
+        #: unit_id -> {"attempts": [...], "status": ...} — the exact
+        #: shape persisted under ``supervision.units`` in the manifest.
+        self._state: Dict[str, Dict[str, Any]] = {}
+        self._attempts_metric = metrics.counter(
+            "shard_attempts_total",
+            "Supervised shard attempts by outcome "
+            "(ok/crash/hang/oom/error)", ("outcome",))
+        self._retries_metric = metrics.counter(
+            "shard_retries_total", "Supervised shard attempts re-queued "
+            "after a transient process failure")
+        self._bisections_metric = metrics.counter(
+            "shard_bisections_total",
+            "Shard units split in half after exhausting their retries")
+
+    # -- manifest state -----------------------------------------------------
+
+    def _write_manifest(self) -> None:
+        if self._checkpoint_dir is None:
+            return
+        write_shard_manifest(self._checkpoint_dir, {
+            "stage": self._stage, "plan_digest": self._digest,
+            "n_shards": self._n_shards,
+            "supervision": {"units": self._state},
+        })
+
+    def _record(self, unit: _Unit, status: str, write: bool = True) -> None:
+        self._state[unit.unit_id] = {"attempts": list(unit.attempts),
+                                     "status": status}
+        if write:
+            self._write_manifest()
+
+    def _load_state(self) -> None:
+        """Adopt a prior run's unit state when its plan matches ours."""
+        self._state = {}
+        if self._checkpoint_dir is None:
+            return
+        manifest = read_shard_manifest(self._checkpoint_dir)
+        if (manifest is None
+                or manifest.get("plan_digest") != self._digest
+                or manifest.get("stage") != self._stage):
+            return
+        units = manifest.get("supervision", {})
+        units = units.get("units", {}) if isinstance(units, dict) else {}
+        if not isinstance(units, dict):
+            return
+        for unit_id, entry in units.items():
+            if isinstance(entry, dict):
+                self._state[str(unit_id)] = {
+                    "attempts": [str(o) for o in entry.get("attempts", [])],
+                    "status": str(entry.get("status", "pending")),
+                }
+
+    def _load_unit_document(self, unit: _Unit) -> Optional[Dict[str, Any]]:
+        """A unit's cached result document, validated against the plan."""
+        if self._checkpoint_dir is None:
+            return None
+        status, document = load_shard_document(self._checkpoint_dir,
+                                               unit.unit_id)
+        if status == "corrupt":
+            _cache_corrupt_metric(self._metrics).inc()
+            discard_shard_result(self._checkpoint_dir, unit.unit_id)
+            return None
+        if status != "ok":
+            return None
+        # Legacy pool-path documents carry no "unit" key — their unit
+        # IS the zero-padded index, so a supervised resume can still
+        # adopt shards completed by an unsupervised run of this plan.
+        implied = "%05d" % document.get("index", -1)
+        if (document.get("format") == SHARD_RESULT_FORMAT
+                and document.get("stage") == self._stage
+                and document.get("plan_digest") == self._digest
+                and document.get("unit", implied) == unit.unit_id):
+            return document
+        return None
+
+    def _expand(self, unit_id: str, index: int, keys: List[int],
+                ready: "deque[_Unit]", documents: Dict[str, Dict[str, Any]],
+                lost: List[_Unit]) -> None:
+        """Resume walker: rebuild one unit's lineage from saved state.
+
+        Unit keyspaces are never persisted — they are re-derived from
+        the (deterministic) plan plus the recorded bisection decisions,
+        which is what keeps the manifest O(units), not O(blocks).
+        """
+        entry = self._state.get(unit_id)
+        unit = _Unit(unit_id=unit_id, index=index, keys=keys,
+                     attempts=list(entry["attempts"]) if entry else [])
+        status = entry["status"] if entry else "pending"
+        if status == "bisected" and len(keys) > 1:
+            left, right = _split_keys(keys)
+            self._expand(unit_id + ".0", index, left, ready, documents, lost)
+            self._expand(unit_id + ".1", index, right, ready, documents, lost)
+            return
+        if status == "lost":
+            # The prior run already paid this unit's full retry and
+            # bisection bill; honouring the verdict is the whole point
+            # of persisting it.
+            lost.append(unit)
+            return
+        document = self._load_unit_document(unit)
+        if document is not None:
+            documents[unit_id] = document
+            self._record(unit, "done", write=False)
+            return
+        # "done" with a vanished/corrupt file falls through: recompute.
+        # Only failed attempts count against the retry budget, so the
+        # recompute costs nothing it should not.
+        ready.append(unit)
+        self._record(unit, "pending", write=False)
+
+    # -- child lifecycle ----------------------------------------------------
+
+    def _launch(self, unit: _Unit) -> _Running:
+        payload = dict(self._build_payload(unit.keys))
+        payload["index"] = unit.index
+        payload["plan_digest"] = self._digest
+        payload["unit"] = unit.unit_id
+        payload["keys"] = list(unit.keys)
+        receiver, sender = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(
+            target=_supervised_entry,
+            args=(self._worker, payload, sender), daemon=True)
+        process.start()
+        sender.close()
+        deadline = (None if self._policy.timeout is None
+                    else _time.monotonic() + self._policy.timeout)
+        return _Running(unit=unit, process=process, conn=receiver,
+                        deadline=deadline)
+
+    @staticmethod
+    def _kill(slot: _Running) -> None:
+        try:
+            if slot.process.is_alive():
+                slot.process.terminate()
+                slot.process.join(1.0)
+            if slot.process.is_alive():
+                slot.process.kill()
+            slot.process.join(1.0)
+        finally:
+            try:
+                slot.conn.close()
+            except Exception:
+                pass
+
+    def _poll(self, slot: _Running) -> Optional[Tuple[str, Optional[Dict]]]:
+        """One supervision scan of a running attempt.
+
+        Returns None while the attempt is still healthy, otherwise the
+        reaped ``(outcome, document_or_None)``.  Liveness is read
+        *before* the pipe so a child that died after sending still has
+        its buffered result honoured.
+        """
+        alive = slot.process.is_alive()
+        if slot.conn.poll(0):
+            try:
+                kind, value = slot.conn.recv()
+            except (EOFError, OSError):
+                kind, value = None, None  # torn message == crash
+            self._kill(slot)
+            if kind == "ok":
+                return "ok", value
+            if kind == "error":
+                return "error", {"message": str(value)}
+            return "crash", None
+        if not alive:
+            self._kill(slot)
+            return "crash", None
+        if (slot.deadline is not None
+                and _time.monotonic() > slot.deadline):
+            self._kill(slot)
+            return "hang", None
+        if self._policy.max_rss_mb is not None:
+            rss = _process_rss_mb(slot.process.pid)
+            if rss is not None and rss > self._policy.max_rss_mb:
+                self._kill(slot)
+                return "oom", None
+        return None
+
+    # -- outcome handling ---------------------------------------------------
+
+    def _complete(self, unit: _Unit, document: Dict[str, Any],
+                  documents: Dict[str, Dict[str, Any]]) -> None:
+        unit.attempts.append("ok")
+        self._attempts_metric.labels(outcome="ok").inc()
+        documents[unit.unit_id] = document
+        if self._checkpoint_dir is not None:
+            save_shard_result(self._checkpoint_dir, unit.unit_id, document)
+        self._record(unit, "done")
+
+    def _failed(self, unit: _Unit, outcome: str, ready: "deque[_Unit]",
+                waiting: List[Tuple[float, _Unit]],
+                lost: List[_Unit]) -> None:
+        unit.attempts.append(outcome)
+        self._attempts_metric.labels(outcome=outcome).inc()
+        if unit.failures <= self._policy.retries:
+            self._retries_metric.inc()
+            delay = _backoff_delay(self._policy, self._digest, unit.unit_id,
+                                   unit.failures)
+            waiting.append((_time.monotonic() + delay, unit))
+            self._record(unit, "pending")
+        elif len(unit.keys) > 1:
+            self._bisections_metric.inc()
+            self._record(unit, "bisected")
+            left, right = _split_keys(unit.keys)
+            for suffix, keys in (("0", left), ("1", right)):
+                child = _Unit(unit_id=f"{unit.unit_id}.{suffix}",
+                              index=unit.index, keys=keys)
+                ready.append(child)
+                self._record(child, "pending")
+        else:
+            self._record(unit, "lost")
+            lost.append(unit)
+
+    # -- scheduler ----------------------------------------------------------
+
+    def execute(self, shards: Sequence[Sequence[int]],
+                ) -> Tuple[List[Dict[str, Any]], List[_Unit],
+                           List[ShardAttemptRecord]]:
+        """Run every unit to a verdict; return (documents, lost, records).
+
+        Documents come back sorted by lineage id (deterministic merge
+        input regardless of completion order); ``lost`` holds the
+        single-block units that kept killing their workers.
+        """
+        documents: Dict[str, Dict[str, Any]] = {}
+        lost: List[_Unit] = []
+        ready: "deque[_Unit]" = deque()
+        waiting: List[Tuple[float, _Unit]] = []
+        self._load_state()
+        for index, shard in enumerate(shards):
+            self._expand(f"{index:05d}", index, list(shard), ready,
+                         documents, lost)
+        if self._checkpoint_dir is not None:
+            # After resume adoption (so in-plan corrupt files were
+            # counted above), clear out files this plan can never read.
+            prune_stale_shards(self._checkpoint_dir, self._digest)
+        self._write_manifest()
+        running: List[_Running] = []
+        try:
+            while ready or waiting or running:
+                now = _time.monotonic()
+                due = [pair for pair in waiting if pair[0] <= now]
+                if due:
+                    waiting = [pair for pair in waiting if pair[0] > now]
+                    ready.extend(unit for _, unit in due)
+                while ready and len(running) < self._workers:
+                    running.append(self._launch(ready.popleft()))
+                progressed = False
+                for slot in list(running):
+                    verdict = self._poll(slot)
+                    if verdict is None:
+                        continue
+                    progressed = True
+                    running.remove(slot)
+                    outcome, value = verdict
+                    if outcome == "ok":
+                        self._complete(slot.unit, value, documents)
+                    elif outcome == "error":
+                        slot.unit.attempts.append("error")
+                        self._attempts_metric.labels(outcome="error").inc()
+                        self._record(slot.unit, "pending")
+                        raise ShardWorkerError(
+                            f"shard unit {slot.unit.unit_id} raised in "
+                            f"its worker: {value['message']}")
+                    else:
+                        self._failed(slot.unit, outcome, ready, waiting,
+                                     lost)
+                if not progressed:
+                    _time.sleep(self._policy.poll_interval)
+        finally:
+            for slot in running:
+                self._kill(slot)
+        records = [ShardAttemptRecord(unit=unit_id,
+                                      outcomes=list(entry["attempts"]),
+                                      status=entry["status"])
+                   for unit_id, entry in sorted(self._state.items())]
+        ordered = [documents[unit_id] for unit_id in sorted(documents)]
+        return ordered, lost, records
+
+
+def _run_shards(stage: str,
+                worker: Callable[[Dict[str, Any]], Dict[str, Any]],
+                build_payload: Callable[[Sequence[int]], Dict[str, Any]],
+                shards: Sequence[Sequence[int]],
+                pipeline: PassiveOutagePipeline,
+                checkpoint_dir: Optional[str], digest: str,
+                ) -> Tuple[List[Dict[str, Any]], List[_Unit],
+                           Optional[List[ShardAttemptRecord]]]:
+    """Dispatch a planned stage to the supervised or the pool path.
+
+    Returns ``(documents, lost_units, attempt_records)``;
+    ``attempt_records`` is None exactly when the run was unsupervised,
+    which is also the signal that no coverage section applies.
+    """
+    supervision = getattr(pipeline, "supervision", None)
+    if supervision is not None:
+        _ensure_child_import_path()
+        supervisor = ShardSupervisor(
+            stage=stage, worker=worker, build_payload=build_payload,
+            policy=supervision, workers=pipeline.workers or 1,
+            digest=digest, n_shards=len(shards),
+            checkpoint_dir=checkpoint_dir, metrics=pipeline.metrics)
+        return supervisor.execute(shards)
+    payloads = [dict(build_payload(shard), index=index, plan_digest=digest)
+                for index, shard in enumerate(shards)]
+    documents = _execute_shards(stage, worker, payloads,
+                                pipeline.workers or 1, checkpoint_dir,
+                                digest, len(shards), pipeline.metrics)
+    return documents, [], None
+
+
+def _apply_supervision(report: RunHealthReport, stage_name: str,
+                       planned: int, lost_units: List[_Unit],
+                       lost_keys: Sequence[int],
+                       records: Optional[List[ShardAttemptRecord]],
+                       metrics: Any) -> None:
+    """Fold supervised-run delivery accounting into a merged report.
+
+    Lost blocks join the *existing* stage row as attempted-and-
+    quarantined (not a separate row: ``blocks_attempted`` is the max
+    over stage rows, so a parallel row would break ``accounts_for``
+    over the full population) and are dead-lettered under
+    ``stage="supervision"`` through the registry's normal ``record``
+    path — the single write path that keeps report and metrics in
+    lockstep.  Runs after :func:`_merged_report` binds the registry,
+    before the budget verdict, so lost blocks are judged by the error
+    budget exactly like data-poisoned ones.
+    """
+    if records is None:
+        return
+    lost_set = set(lost_keys)
+    stage = report.stage(stage_name)
+    stage.attempted += len(lost_set)
+    stage.quarantined += len(lost_set)
+    for unit in sorted(lost_units, key=lambda u: u.unit_id):
+        failure = next(
+            (o for o in reversed(unit.attempts) if o != "ok"), "crash")
+        error_cls = _OUTCOME_ERRORS.get(failure, ShardFatalError)
+        error = error_cls(
+            f"worker process for unit {unit.unit_id} kept dying "
+            f"({failure}) through {len(unit.attempts)} attempts "
+            f"[{','.join(unit.attempts)}]; block isolated by bisection")
+        for key in unit.keys:
+            if key in lost_set:
+                report.dead_letters.record("supervision", key, error)
+    report.dead_letters.canonicalize()
+    report.coverage = CoverageReport(
+        blocks_planned=planned,
+        blocks_delivered=planned - len(lost_set),
+        blocks_lost=sorted(lost_set),
+        shard_attempts=records)
+    metrics.gauge(
+        "supervision_lost_blocks",
+        "Blocks whose supervised workers kept dying; dead-lettered "
+        "under stage=supervision").set(len(lost_set))
 
 
 def _fold_telemetry(pipeline: PassiveOutagePipeline,
@@ -395,17 +1033,20 @@ def sharded_train(pipeline: PassiveOutagePipeline, family: Family,
     shards = plan_shards(per_block.keys(), pipeline.shard_chunk)
     digest = _plan_digest("train", family, start, end, shards)
     config = _pipeline_config(pipeline)
-    payloads = [{
-        "index": index, "plan_digest": digest, "config": config,
-        "family": int(family), "start": float(start), "end": float(end),
-        "per_block": {key: per_block[key] for key in shard
-                      if key in per_block},
-    } for index, shard in enumerate(shards)]
+
+    def build_payload(shard_keys: Sequence[int]) -> Dict[str, Any]:
+        return {
+            "config": config, "family": int(family),
+            "start": float(start), "end": float(end),
+            "per_block": {key: per_block[key] for key in shard_keys
+                          if key in per_block},
+        }
+
     with pipeline.tracer.span("train_sharded", family=family.name.lower(),
                               blocks=len(per_block), shards=len(shards)):
-        documents = _execute_shards("train", _run_train_shard, payloads,
-                                    pipeline.workers or 1, checkpoint_dir,
-                                    digest, len(shards))
+        documents, lost_units, records = _run_shards(
+            "train", _run_train_shard, build_payload, shards, pipeline,
+            checkpoint_dir, digest)
 
     histories: Dict[int, Any] = {}
     parameters: Dict[int, Any] = {}
@@ -415,6 +1056,11 @@ def sharded_train(pipeline: PassiveOutagePipeline, family: Family,
         histories.update(shard_histories)
         parameters.update(shard_parameters)
     report = _merged_report(pipeline, "train", documents)
+    # Every planned train key is a per_block key, so a lost unit's whole
+    # keyspace is lost coverage.
+    lost_keys = sorted({key for unit in lost_units for key in unit.keys})
+    _apply_supervision(report, "train", len(per_block), lost_units,
+                       lost_keys, records, pipeline.metrics)
     registry = report.dead_letters
     try:
         pipeline.budget.check("train", len(per_block), len(registry))
@@ -442,25 +1088,27 @@ def sharded_detect(pipeline: PassiveOutagePipeline, model: TrainedModel,
     shards = plan_shards(model.parameters.keys(), pipeline.shard_chunk)
     digest = _plan_digest("detect", model.family, start, end, shards)
     config = _pipeline_config(pipeline)
-    payloads = [{
-        "index": index, "plan_digest": digest, "config": config,
-        "family": int(model.family),
-        "train_start": model.train_start, "train_end": model.train_end,
-        "start": float(start), "end": float(end),
-        "blocks": model_blocks_to_dict(
-            {key: model.histories[key] for key in shard
-             if key in model.histories},
-            {key: model.parameters[key] for key in shard}),
-        "per_block": {key: per_block[key] for key in shard
-                      if key in per_block},
-    } for index, shard in enumerate(shards)]
+
+    def build_payload(shard_keys: Sequence[int]) -> Dict[str, Any]:
+        return {
+            "config": config, "family": int(model.family),
+            "train_start": model.train_start, "train_end": model.train_end,
+            "start": float(start), "end": float(end),
+            "blocks": model_blocks_to_dict(
+                {key: model.histories[key] for key in shard_keys
+                 if key in model.histories},
+                {key: model.parameters[key] for key in shard_keys}),
+            "per_block": {key: per_block[key] for key in shard_keys
+                          if key in per_block},
+        }
+
     with pipeline.tracer.span("detect_sharded",
                               family=model.family.name.lower(),
                               blocks=len(model.parameters),
                               shards=len(shards)):
-        documents = _execute_shards("detect", _run_detect_shard, payloads,
-                                    pipeline.workers or 1, checkpoint_dir,
-                                    digest, len(shards))
+        documents, lost_units, records = _run_shards(
+            "detect", _run_detect_shard, build_payload, shards, pipeline,
+            checkpoint_dir, digest)
 
     blocks = {}
     for document in documents:
@@ -468,6 +1116,15 @@ def sharded_detect(pipeline: PassiveOutagePipeline, model: TrainedModel,
             result = block_result_from_dict(entry)
             blocks[result.key] = result
     report = _merged_report(pipeline, "detect", documents)
+    # The detect stage row counts measurable blocks (unmeasurable ones
+    # are the aggregation fallback's problem, lost or not), so coverage
+    # is judged over the measurable population.
+    measurable = {key for key, params in model.parameters.items()
+                  if params.measurable}
+    lost_keys = sorted(
+        {key for unit in lost_units for key in unit.keys} & measurable)
+    _apply_supervision(report, "detect", len(measurable), lost_units,
+                       lost_keys, records, pipeline.metrics)
     registry = report.dead_letters
     result = PipelineResult(family=model.family, start=start, end=end,
                             blocks=blocks, dead_letters=registry,

@@ -15,12 +15,28 @@ does alter them (a drifting capture clock).
 
 :func:`corrupt_capture` operates one layer down, on the raw bytes of a
 ``.pobs`` capture file, to exercise the reader's corruption handling.
+
+The *process-level* hooks (:func:`crash_on_block`, :func:`hang_on_block`,
+:func:`balloon_rss_on_block`) operate another layer down still: they
+kill, stall, or bloat the whole worker *process* rather than poisoning
+data, exercising the shard supervisor's crash/hang/OOM containment.
+They reach workers through a test-only environment channel
+(:data:`PROCESS_FAULT_ENV`): the chaos suite serialises the fault spec
+into the environment, spawned workers call
+:func:`activate_process_faults` at shard entry, and the fault fires
+when the worker's keyspace contains the targeted block.  Stateful
+faults (``times=N`` — fail the first N attempts, then succeed) keep
+their attempt count in a shared counter directory because each worker
+attempt is a fresh process.
 """
 
 from __future__ import annotations
 
 import copy
 import heapq
+import json
+import os
+import time
 from typing import (Any, Callable, Dict, Iterable, Iterator, List, Mapping,
                     Optional, Tuple)
 
@@ -32,7 +48,10 @@ from ..telescope.records import Observation
 __all__ = ["drop_observations", "duplicate_observations",
            "reorder_observations", "clock_skew", "feed_gap",
            "corrupt_capture", "poison_timestamps", "poison_block_times",
-           "degenerate_parameters", "compose"]
+           "degenerate_parameters", "compose",
+           "PROCESS_FAULT_ENV", "crash_on_block", "hang_on_block",
+           "balloon_rss_on_block", "process_fault_env",
+           "activate_process_faults"]
 
 Stream = Iterable[Observation]
 Mutator = Callable[[Stream], Iterator[Observation]]
@@ -265,3 +284,143 @@ def compose(stream: Stream, *mutators: Mutator) -> Iterator[Observation]:
     for mutator in mutators:
         result = mutator(result)
     return iter(result)
+
+
+# -- process-level faults (shard supervision chaos) --------------------------
+
+#: Test-only environment channel carrying a JSON process-fault spec
+#: into spawned shard workers.  Production code never sets it; the
+#: supervised worker entry checks it and activates matching faults.
+PROCESS_FAULT_ENV = "REPRO_PROCESS_FAULTS"
+
+
+def crash_on_block(block_key: int, times: Optional[int] = None,
+                   exit_code: int = 134) -> Dict[str, Any]:
+    """Hook spec: kill the worker process handling ``block_key``.
+
+    The worker dies via ``os._exit`` — no exception, no cleanup, no
+    result document — exactly like a segfault or a C-extension abort.
+    ``times=N`` makes the fault *flaky*: the first N attempts die, then
+    the block computes normally (models a transient infrastructure
+    fault the supervisor's retries should absorb).
+    """
+    return {"kind": "crash", "block": int(block_key), "times": times,
+            "exit_code": int(exit_code)}
+
+
+def hang_on_block(block_key: int, seconds: float = 3600.0,
+                  times: Optional[int] = None) -> Dict[str, Any]:
+    """Hook spec: stall the worker handling ``block_key`` for ``seconds``.
+
+    Models a wedged worker (deadlocked lock, hung filesystem call); the
+    supervisor's wall-clock timeout is the only thing that can reclaim
+    it.  The sleep eventually returns, so a run *without* a timeout
+    still terminates — just pathologically late.
+    """
+    return {"kind": "hang", "block": int(block_key),
+            "seconds": float(seconds), "times": times}
+
+
+def balloon_rss_on_block(block_key: int, mb: float = 512.0,
+                         hold_seconds: float = 3600.0,
+                         times: Optional[int] = None) -> Dict[str, Any]:
+    """Hook spec: balloon the worker's resident set to ``mb`` megabytes.
+
+    Allocates (and touches) ballast until the target RSS is reached,
+    then holds it for ``hold_seconds`` so the supervisor's RSS ceiling
+    poll can catch the breach — models a leak or a pathological input
+    blowing up memory before the OS OOM killer fires.
+    """
+    return {"kind": "rss", "block": int(block_key), "mb": float(mb),
+            "hold_seconds": float(hold_seconds), "times": times}
+
+
+def process_fault_env(*hooks: Dict[str, Any],
+                      counter_dir: Optional[str] = None) -> Dict[str, str]:
+    """Environment mapping that activates ``hooks`` in shard workers.
+
+    Merge the result into ``os.environ`` (tests use monkeypatch) before
+    running a supervised pipeline; every spawned worker inherits it.
+    ``counter_dir`` is required when any hook is stateful (``times=N``):
+    attempts are counted in files there because each attempt is a fresh
+    process with no shared memory.
+    """
+    if any(hook.get("times") is not None for hook in hooks):
+        if counter_dir is None:
+            raise ValueError("stateful faults (times=N) need a counter_dir")
+    spec: Dict[str, Any] = {"faults": list(hooks)}
+    if counter_dir is not None:
+        spec["counter_dir"] = os.fspath(counter_dir)
+    return {PROCESS_FAULT_ENV: json.dumps(spec)}
+
+
+def _consume_fault_attempt(fault: Dict[str, Any],
+                           counter_dir: Optional[str]) -> bool:
+    """Whether this attempt should fire; burns one flaky-fault charge."""
+    times = fault.get("times")
+    if times is None:
+        return True
+    if counter_dir is None:
+        raise ValueError("stateful fault reached a worker without a "
+                         "counter_dir in its spec")
+    path = os.path.join(counter_dir,
+                        f"fault-{fault['kind']}-{int(fault['block'])}.count")
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            used = int(handle.read().strip() or 0)
+    except (OSError, ValueError):
+        used = 0
+    if used >= int(times):
+        return False
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(str(used + 1))
+    return True
+
+
+def _fire_process_fault(fault: Dict[str, Any]) -> None:
+    kind = fault.get("kind")
+    if kind == "crash":
+        # No exception path, no atexit, no conn.send: the parent sees a
+        # dead child with a nonzero exit code and nothing else.
+        os._exit(int(fault.get("exit_code", 134)))
+    elif kind == "hang":
+        time.sleep(float(fault.get("seconds", 3600.0)))
+    elif kind == "rss":
+        target_bytes = int(float(fault.get("mb", 512.0)) * 1e6)
+        step = 16 * 1024 * 1024
+        ballast: List[bytearray] = []
+        held = 0
+        while held < target_bytes:
+            # bytearray(b"\xab" * step) touches every page, so the
+            # allocation is resident, not merely reserved.
+            ballast.append(bytearray(b"\xab" * min(step,
+                                                   target_bytes - held)))
+            held += step
+        time.sleep(float(fault.get("hold_seconds", 3600.0)))
+        del ballast
+    else:
+        raise ValueError(f"unknown process fault kind {kind!r}")
+
+
+def activate_process_faults(keys: Iterable[int],
+                            environ: Optional[Mapping[str, str]] = None,
+                            ) -> None:
+    """Fire any environment-specified fault targeting one of ``keys``.
+
+    Called by supervised shard workers at entry with the unit's block
+    keyspace.  A no-op unless :data:`PROCESS_FAULT_ENV` is set, so the
+    production path never pays more than one dict lookup.
+    """
+    raw = (environ if environ is not None else os.environ).get(
+        PROCESS_FAULT_ENV)
+    if not raw:
+        return
+    spec = json.loads(raw)
+    counter_dir = spec.get("counter_dir")
+    keyset = {int(key) for key in keys}
+    for fault in spec.get("faults", []):
+        if int(fault.get("block", -1)) not in keyset:
+            continue
+        if not _consume_fault_attempt(fault, counter_dir):
+            continue
+        _fire_process_fault(fault)

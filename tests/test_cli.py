@@ -5,7 +5,8 @@ import json
 import numpy as np
 import pytest
 
-from repro.cli import EXIT_BUDGET_TRIPPED, build_parser, main
+from repro.cli import (EXIT_BUDGET_TRIPPED, EXIT_DEGRADED_COVERAGE,
+                       build_parser, main)
 
 
 class TestParser:
@@ -432,3 +433,76 @@ class TestTelemetryOnErrorExit:
         snapshot = json.loads(metrics_path.read_text())
         assert snapshot["format"] == "repro-metrics-v1"
         assert {f["name"] for f in snapshot["metrics"]} == {"attempts_total"}
+
+
+class TestSupervisionCLI:
+    def test_inspect_renders_coverage_golden(self, tmp_path, capsys):
+        from repro.core.health import (CoverageReport, RunHealthReport,
+                                       ShardAttemptRecord)
+
+        report = RunHealthReport(run="detect")
+        stage = report.stage("detect")
+        stage.attempted = 8
+        stage.succeeded = 7
+        stage.quarantined = 1
+        stage.seconds = 2.5
+        report.dead_letters.record(
+            "supervision", 0x0A00,
+            RuntimeError("worker process for unit 00001.1 kept dying"))
+        report.coverage = CoverageReport(
+            blocks_planned=8, blocks_delivered=7, blocks_lost=[0x0A00],
+            shard_attempts=[
+                ShardAttemptRecord("00000", ["ok"], "done"),
+                ShardAttemptRecord("00001", ["crash", "crash"], "bisected"),
+                ShardAttemptRecord("00001.0", ["ok"], "done"),
+                ShardAttemptRecord("00001.1", ["crash", "crash"], "lost"),
+            ])
+        path = tmp_path / "health.json"
+        path.write_text(report.to_json())
+        capsys.readouterr()
+        assert main(["inspect", str(path)]) == 0
+        golden = (
+            "health report: run=detect\n"
+            "  7/8 blocks ok, 1 quarantined, "
+            "DEGRADED: 1 blocks lost to supervision\n"
+            "stages:\n"
+            "  detect: attempted 8, succeeded 7, quarantined 1 (2.50s)\n"
+            "coverage (supervised run):\n"
+            "  blocks planned    8\n"
+            "  blocks delivered  7\n"
+            "  blocks lost       1: 0xa00\n"
+            "  retry histogram:\n"
+            "    1 attempt(s): 2 unit(s)\n"
+            "    2 attempt(s): 2 unit(s)\n"
+            "  units beyond one clean attempt:\n"
+            "    00001: crash,crash -> bisected\n"
+            "    00001.1: crash,crash -> lost\n")
+        assert capsys.readouterr().out == golden
+
+    @pytest.mark.faults
+    def test_strict_coverage_exits_4_when_a_worker_keeps_dying(
+            self, tmp_path, capsys, monkeypatch):
+        from repro.telescope.aggregate import per_block_times
+        from repro.telescope.capture import read_batches
+        from repro.testing.faults import crash_on_block, process_fault_env
+
+        capture = tmp_path / "day.pobs"
+        assert main(["simulate", "--blocks", "6", "--days", "2",
+                     "--seed", "11", "--out", str(capture)]) == 0
+        ipv4, _ = read_batches(str(capture))
+        victim = sorted(per_block_times(ipv4))[2]
+        for name, value in process_fault_env(crash_on_block(victim)).items():
+            monkeypatch.setenv(name, value)
+        capsys.readouterr()
+        report_path = tmp_path / "health.json"
+        code = main(["detect", str(capture), "--train-end", "86400",
+                     "--shard-timeout", "60", "--shard-retries", "1",
+                     "--strict-coverage",
+                     "--health-report", str(report_path)])
+        out = capsys.readouterr().out
+        assert code == EXIT_DEGRADED_COVERAGE
+        assert "train coverage degraded: 1/6 blocks lost" in out
+        # The victim dies during training, so the detect-side report is
+        # clean while the train-side report carries the coverage hole.
+        document = json.loads(report_path.read_text())
+        assert document["coverage"]["blocks_lost"] == []

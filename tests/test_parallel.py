@@ -291,6 +291,68 @@ class TestShardCheckpoint:
         for key in expected.blocks:
             assert expected.blocks[key].timeline == result.blocks[key].timeline
 
+    def test_corrupt_shard_is_counted_and_deleted(self, population,
+                                                  tmp_path):
+        """Corrupt != missing: a torn cached shard file is an
+        infrastructure fault — it must be counted
+        (``shard_cache_corrupt_total``), deleted, and rewritten by the
+        resume, not silently recomputed behind a rotting file."""
+        checkpoint = tmp_path / "shards"
+        pipeline = PassiveOutagePipeline(
+            aggregation_levels=0, workers=1, shard_chunk=5,
+            shard_checkpoint_dir=str(checkpoint))
+        model = pipeline.train(Family.IPV4, population, 0.0, DAY)
+        expected = pipeline.detect(model, population, 0.0, DAY)
+        (checkpoint / "shard-00001.json").write_text("{ torn", "utf-8")
+
+        registry = MetricsRegistry()
+        resumed = PassiveOutagePipeline(
+            aggregation_levels=0, workers=1, shard_chunk=5,
+            metrics=registry, shard_checkpoint_dir=str(checkpoint))
+        result = resumed.detect(model, population, 0.0, DAY)
+        assert registry.get("shard_cache_corrupt_total").value == 1
+        # The torn file was removed and rewritten valid by the resume.
+        rewritten = json.loads(
+            (checkpoint / "shard-00001.json").read_text("utf-8"))
+        assert rewritten["index"] == 1
+        for key in expected.blocks:
+            assert expected.blocks[key].timeline == result.blocks[key].timeline
+
+        # A clean re-resume finds nothing corrupt.
+        again = MetricsRegistry()
+        clean = PassiveOutagePipeline(
+            aggregation_levels=0, workers=1, shard_chunk=5,
+            metrics=again, shard_checkpoint_dir=str(checkpoint))
+        clean.detect(model, population, 0.0, DAY)
+        assert again.get("shard_cache_corrupt_total") is None
+
+    def test_stale_plan_files_are_pruned(self, population, tmp_path):
+        """Two successive plans in one checkpoint dir: files from the
+        first plan's digest can never be read again and must be pruned
+        at the second plan's plan time, not accumulate forever."""
+        checkpoint = tmp_path / "shards"
+        first = PassiveOutagePipeline(
+            aggregation_levels=0, workers=1, shard_chunk=3,
+            shard_checkpoint_dir=str(checkpoint))
+        model = first.train(Family.IPV4, population, 0.0, DAY)
+        first.detect(model, population, 0.0, DAY)
+        first_files = [name for name in os.listdir(checkpoint)
+                       if name.startswith("shard-")]
+        assert len(first_files) == len(plan_shards(model.parameters, 3))
+
+        second = PassiveOutagePipeline(
+            aggregation_levels=0, workers=1, shard_chunk=7,
+            shard_checkpoint_dir=str(checkpoint))
+        second.detect(model, population, 0.0, DAY)
+        manifest = json.loads(
+            (checkpoint / "manifest.json").read_text("utf-8"))
+        shard_files = [name for name in os.listdir(checkpoint)
+                       if name.startswith("shard-")]
+        assert len(shard_files) == len(plan_shards(model.parameters, 7))
+        for name in shard_files:
+            document = json.loads((checkpoint / name).read_text("utf-8"))
+            assert document["plan_digest"] == manifest["plan_digest"]
+
 
 class TestProcessDefaults:
     def test_set_default_parallelism_round_trip(self):
