@@ -13,6 +13,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import signal
 import sys
 from contextlib import contextmanager
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
@@ -118,6 +119,35 @@ def _metric_value(registry: object, name: str) -> float:
     """Current value of an unlabelled counter/gauge, 0 if unregistered."""
     family = registry.get(name)
     return family.value if family is not None else 0
+
+
+@contextmanager
+def _graceful_stop() -> Iterator[Callable[[], bool]]:
+    """SIGTERM/SIGINT set a flag instead of killing the monitor.
+
+    The live paths poll the yielded callable once per record and exit
+    through their normal teardown — flushing checkpoints and telemetry
+    — rather than dying mid-write.  Previous handlers are restored on
+    exit because ``main()`` is called repeatedly in-process by the
+    test suite; installation is skipped quietly off the main thread,
+    where CPython forbids it.
+    """
+    stop = {"flag": False}
+
+    def _handler(signum: int, frame: object) -> None:
+        stop["flag"] = True
+
+    previous: Dict[int, object] = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous[signum] = signal.signal(signum, _handler)
+        except ValueError:
+            pass
+    try:
+        yield lambda: stop["flag"]
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -327,34 +357,68 @@ def _cmd_live(args: argparse.Namespace) -> int:
     # invocation asked for --metrics-out, so counters survive a
     # kill-and-resume regardless of the resuming operator's flags.
     with _telemetry(args, force_metrics=True) as (registry, _):
+        if args.partitions is not None or args.partition_chunk is not None:
+            return _run_live_partitioned(args, model, registry)
         return _run_live(args, model, registry)
+
+
+def _live_drift_config(args: argparse.Namespace) -> Optional[object]:
+    from .live import DriftConfig
+
+    if args.drift_audit_every <= 0:
+        return None
+    return DriftConfig(args.drift_audit_every,
+                       window_seconds=args.drift_window,
+                       drift_factor=args.drift_factor,
+                       min_arrivals=args.drift_min_arrivals)
+
+
+def _print_live_summary(args: argparse.Namespace, results: Dict,
+                        registry: object) -> int:
+    """Event listing shared by the single and partitioned live paths."""
+    swaps = _metric_value(registry, "drift_hot_swaps_total")
+    if swaps:
+        flagged = _metric_value(registry, "drift_blocks_flagged_total")
+        print(f"drift: {flagged:.0f} blocks flagged, "
+              f"{swaps:.0f} models hot-swapped")
+    events = 0
+    for key, block in sorted(results.items()):
+        for event in block.timeline.events(args.min_duration):
+            events += 1
+            print(f"  block {key:#x}: outage {event.start:,.1f}s "
+                  f"-> {event.end:,.1f}s ({event.duration:,.0f}s)")
+    print(f"{events} outage events >= {args.min_duration:.0f}s")
+    return events
 
 
 def _run_live(args: argparse.Namespace, model: "TrainedModel",
               registry: object) -> int:
     from .core.checkpoint import (
         CheckpointFormatError,
-        load_checkpoint,
-        save_checkpoint,
+        load_checkpoint_rotated,
+        save_checkpoint_rotated,
     )
     from .core.detector import StreamingDetector
     from .core.health import ErrorBudget
     from .core.sentinel import SentinelConfig, VantageSentinel
+    from .live import _PROCESS_FAULT_ENV, LiveBlockEngine
     from .telescope.capture import CaptureCorruptionError, CaptureReader
     from .telescope.reorder import LatePolicy, ReorderBuffer
 
     resume_time = None
+    detector = None
     if args.checkpoint and os.path.exists(args.checkpoint):
         try:
-            detector = load_checkpoint(args.checkpoint, model,
-                                       metrics=registry)
+            detector = load_checkpoint_rotated(args.checkpoint, model,
+                                               metrics=registry,
+                                               keep=args.checkpoint_keep)
         except CheckpointFormatError as error:
             print(f"cannot resume from {args.checkpoint}: {error}",
                   file=sys.stderr)
             return 1
         resume_time = detector.last_time
         print(f"resumed from {args.checkpoint} at t={resume_time:,.1f}s")
-    else:
+    if detector is None:
         sentinel = (VantageSentinel(model.train_end, SentinelConfig())
                     if args.sentinel else None)
         detector = StreamingDetector(model.family, model.histories,
@@ -367,61 +431,95 @@ def _run_live(args: argparse.Namespace, model: "TrainedModel",
     buffer = (ReorderBuffer(args.reorder_horizon, LatePolicy.COUNT,
                             metrics=registry)
               if args.reorder_horizon > 0 else None)
+    fault_plan = None
+    if os.environ.get(_PROCESS_FAULT_ENV):
+        # Chaos-suite channel, lazy so production never imports it.
+        from .testing.faults import load_streaming_faults
+
+        fault_plan = load_streaming_faults(model.parameters)
+    engine = LiveBlockEngine(detector, buffer=buffer,
+                             drift=_live_drift_config(args),
+                             fault_plan=fault_plan)
+    # Resume restores the drift auditor but not the reorder buffer: the
+    # time-based skip below re-reads everything that was still buffered
+    # at checkpoint time, so restoring the buffer would double-feed it.
+    engine.restore(detector.restored_extra, buffer_state=False)
+
+    def _save() -> None:
+        save_checkpoint_rotated(detector, args.checkpoint,
+                                keep=args.checkpoint_keep,
+                                extra=engine.checkpoint_extra())
+
     next_checkpoint = (detector.last_time + args.checkpoint_every
                        if args.checkpoint else float("inf"))
     interval = getattr(args, "metrics_interval", 0.0)
     next_status = (detector.last_time + interval
                    if interval > 0 else float("inf"))
     status_bins = _metric_value(registry, "stream_bins_total")
-    replayed = 0
-    try:
-        with CaptureReader(args.capture, tolerant=args.tolerant) as reader:
-            for observation in reader:
-                if observation.time < detector.start:
-                    continue  # training-window traffic, not live
-                if (resume_time is not None
-                        and observation.time <= resume_time):
-                    continue  # already accounted before the crash
-                ready = (buffer.push(observation) if buffer
-                         else [observation])
-                for row in ready:
-                    detector.observe(row)
-                    replayed += 1
-                if args.checkpoint and detector.last_time >= next_checkpoint:
-                    save_checkpoint(detector, args.checkpoint)
-                    next_checkpoint = (detector.last_time
-                                       + args.checkpoint_every)
-                if detector.last_time >= next_status:
-                    bins = _metric_value(registry, "stream_bins_total")
-                    lag = _metric_value(registry,
-                                        "stream_watermark_lag_seconds")
-                    print(f"[live t={detector.last_time:,.0f}s] "
-                          f"{(bins - status_bins) / interval:,.2f} windows/s, "
-                          f"lag {lag:,.1f}s, "
-                          f"{len(detector.dead_letters)} blocks quarantined",
-                          file=sys.stderr)
-                    status_bins = bins
-                    next_status = detector.last_time + interval
-            if buffer:
-                for row in buffer.flush():
-                    detector.observe(row)
-                    replayed += 1
-            if reader.stopped_early:
-                print(f"capture corrupt past record {reader.records_read}; "
-                      f"stopped at last good frame", file=sys.stderr)
-    except CaptureCorruptionError as error:
-        print(f"corrupt capture: {error}", file=sys.stderr)
-        print("hint: pass --tolerant to stop at the last good frame instead",
-              file=sys.stderr)
-        return 1
-    except OSError as error:
-        print(f"cannot read capture: {error}", file=sys.stderr)
-        return 1
-    except ValueError as error:
-        print(f"capture is not time-sorted: {error}", file=sys.stderr)
-        print("hint: pass --reorder-horizon SECONDS to re-sort bounded "
-              "disorder in-stream", file=sys.stderr)
-        return 1
+    interrupted = False
+    with _graceful_stop() as stop_requested:
+        try:
+            with CaptureReader(args.capture,
+                               tolerant=args.tolerant) as reader:
+                for observation in reader:
+                    if stop_requested():
+                        interrupted = True
+                        break
+                    if observation.time < detector.start:
+                        continue  # training-window traffic, not live
+                    if (resume_time is not None
+                            and observation.time <= resume_time):
+                        continue  # already accounted before the crash
+                    engine.feed(observation)
+                    if (args.checkpoint
+                            and detector.last_time >= next_checkpoint):
+                        _save()
+                        next_checkpoint = (detector.last_time
+                                           + args.checkpoint_every)
+                    if detector.last_time >= next_status:
+                        bins = _metric_value(registry, "stream_bins_total")
+                        lag = _metric_value(
+                            registry, "stream_watermark_lag_seconds")
+                        print(f"[live t={detector.last_time:,.0f}s] "
+                              f"{(bins - status_bins) / interval:,.2f} "
+                              f"windows/s, lag {lag:,.1f}s, "
+                              f"{len(detector.dead_letters)} "
+                              f"blocks quarantined",
+                              file=sys.stderr)
+                        status_bins = bins
+                        next_status = detector.last_time + interval
+                if not interrupted:
+                    engine.flush()
+                if reader.stopped_early:
+                    print(f"capture corrupt past record "
+                          f"{reader.records_read}; stopped at last good "
+                          f"frame", file=sys.stderr)
+        except CaptureCorruptionError as error:
+            print(f"corrupt capture: {error}", file=sys.stderr)
+            print("hint: pass --tolerant to stop at the last good frame "
+                  "instead", file=sys.stderr)
+            return 1
+        except OSError as error:
+            print(f"cannot read capture: {error}", file=sys.stderr)
+            return 1
+        except ValueError as error:
+            print(f"capture is not time-sorted: {error}", file=sys.stderr)
+            print("hint: pass --reorder-horizon SECONDS to re-sort bounded "
+                  "disorder in-stream", file=sys.stderr)
+            return 1
+
+    if interrupted:
+        # Graceful SIGTERM/SIGINT: the buffer stays unflushed (its
+        # records are re-read on resume by the time-based skip above),
+        # the checkpoint lands, and telemetry flushes in _telemetry's
+        # finally.  Exit 0: interruption is an operator action.
+        print("interrupted: stopping cleanly", file=sys.stderr)
+        if args.checkpoint:
+            _save()
+            print(f"checkpoint saved to {args.checkpoint}", file=sys.stderr)
+        print(f"replayed {engine.observed:,} observations to "
+              f"t={detector.last_time:,.1f}s")
+        return 0
 
     end = detector.last_time
     try:
@@ -431,16 +529,16 @@ def _run_live(args: argparse.Namespace, model: "TrainedModel",
         if args.health_report:
             _write_health_report(args.health_report, detector.last_health)
         if args.checkpoint:
-            save_checkpoint(detector, args.checkpoint)
+            _save()
             print(f"checkpoint saved to {args.checkpoint}", file=sys.stderr)
         return EXIT_BUDGET_TRIPPED
     _print_quarantine_summary(detector.last_health)
     if args.health_report:
         _write_health_report(args.health_report, detector.last_health)
     if args.checkpoint:
-        save_checkpoint(detector, args.checkpoint)
+        _save()
         print(f"checkpoint saved to {args.checkpoint}")
-    print(f"replayed {replayed:,} observations to t={end:,.1f}s")
+    print(f"replayed {engine.observed:,} observations to t={end:,.1f}s")
     if buffer:
         stats = buffer.stats
         print(f"reorder buffer: {stats.out_of_order} out-of-order arrivals "
@@ -452,13 +550,99 @@ def _run_live(args: argparse.Namespace, model: "TrainedModel",
               f"({detector.sentinel.quarantined_seconds():,.0f}s)")
         for window_start, window_end in windows:
             print(f"  quarantine {window_start:,.1f}s -> {window_end:,.1f}s")
-    events = 0
-    for key, block in sorted(results.items()):
-        for event in block.timeline.events(args.min_duration):
-            events += 1
-            print(f"  block {key:#x}: outage {event.start:,.1f}s "
-                  f"-> {event.end:,.1f}s ({event.duration:,.0f}s)")
-    print(f"{events} outage events >= {args.min_duration:.0f}s")
+    _print_live_summary(args, results, registry)
+    return 0
+
+
+def _run_live_partitioned(args: argparse.Namespace, model: "TrainedModel",
+                          registry: object) -> int:
+    """Live monitoring with the keyspace partitioned across workers."""
+    from .live import LivePartitionSupervisor
+    from .parallel import ShardWorkerError, SupervisionPolicy
+    from .telescope.capture import CaptureCorruptionError
+
+    if not args.checkpoint:
+        print("partitioned live requires --checkpoint DIR: per-partition "
+              "checkpoints and the run manifest live there",
+              file=sys.stderr)
+        return 1
+    os.makedirs(args.checkpoint, exist_ok=True)
+    policy = SupervisionPolicy(
+        timeout=args.partition_timeout,
+        retries=(args.partition_retries
+                 if args.partition_retries is not None else 2),
+        max_rss_mb=args.partition_max_rss_mb)
+    with _graceful_stop() as stop_requested:
+        supervisor = LivePartitionSupervisor(
+            model,
+            partitions=args.partitions,
+            partition_chunk=args.partition_chunk,
+            policy=policy,
+            checkpoint_dir=args.checkpoint,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_keep=args.checkpoint_keep,
+            reorder_horizon=args.reorder_horizon,
+            sentinel=args.sentinel,
+            drift=_live_drift_config(args),
+            max_quarantine_frac=args.max_quarantine_frac,
+            metrics=registry,
+            stop_requested=stop_requested,
+            status=lambda line: print(line, file=sys.stderr))
+        try:
+            result = supervisor.run(args.capture, tolerant=args.tolerant)
+        except CaptureCorruptionError as error:
+            print(f"corrupt capture: {error}", file=sys.stderr)
+            print("hint: pass --tolerant to stop at the last good frame "
+                  "instead", file=sys.stderr)
+            return 1
+        except OSError as error:
+            print(f"cannot read capture: {error}", file=sys.stderr)
+            return 1
+        except ShardWorkerError as error:
+            # A worker's exception is a harness bug, not a block fault
+            # (those are dead-lettered in-worker); surface it verbatim.
+            print(f"live partition worker failed: {error}", file=sys.stderr)
+            return 1
+        except ErrorBudgetExceeded as error:
+            print(f"error budget exceeded: {error}", file=sys.stderr)
+            if args.health_report:
+                _write_health_report(args.health_report, error.report)
+            return EXIT_BUDGET_TRIPPED
+
+    if result.stopped_early:
+        print(f"capture corrupt past record {result.records_read}; "
+              f"stopped at last good frame", file=sys.stderr)
+    _print_quarantine_summary(result.health)
+    if args.health_report:
+        _write_health_report(args.health_report, result.health)
+    print(f"partitions: {len(supervisor.partitions)} over "
+          f"{len(model.parameters)} blocks (plan {supervisor.digest[:12]}), "
+          f"{result.restarts} restarts, "
+          f"{result.replayed_rows:,} rows replayed")
+    if result.manifest_path:
+        print(f"manifest: {result.manifest_path}")
+    if result.interrupted:
+        print("interrupted: partition checkpoints flushed; rerun the same "
+              "command to resume", file=sys.stderr)
+        print(f"replayed {result.observed:,} observations to "
+              f"t={result.end:,.1f}s")
+        return 0
+    print(f"replayed {result.observed:,} observations to "
+          f"t={result.end:,.1f}s")
+    if args.sentinel:
+        print(f"sentinel: {len(result.sentinel_windows)} quarantined feed "
+              f"windows ({result.sentinel_seconds:,.0f}s)")
+        for window_start, window_end in result.sentinel_windows:
+            print(f"  quarantine {window_start:,.1f}s -> {window_end:,.1f}s")
+    _print_live_summary(args, result.results, registry)
+    if result.degraded:
+        coverage = result.health.coverage
+        print(f"live coverage degraded: "
+              f"{len(coverage.blocks_lost)}/{coverage.blocks_planned} "
+              f"blocks lost to partitions that exhausted their restart "
+              f"budget; lost blocks are dead-lettered under stage=stream")
+        if args.strict_coverage:
+            return EXIT_DEGRADED_COVERAGE
     return 0
 
 
@@ -530,6 +714,40 @@ def _render_health_report(document: Dict) -> str:
     return "\n".join(lines)
 
 
+def _render_live_manifest(document: Dict) -> str:
+    """Human-readable rendering of a partitioned live-run manifest.
+
+    Deterministic (pinned by a golden test): partitions in plan order,
+    restart outcome histories shown only for partitions that needed
+    more than one attempt.
+    """
+    start = float(document.get("start", 0.0))
+    watermark = float(document.get("global_watermark", start))
+    partitions = document.get("partitions", [])
+    lines = [
+        f"live run: status={document.get('status', '?')} "
+        f"family=IPv{document.get('family', '?')} "
+        f"plan={str(document.get('plan_digest', ''))[:12]}",
+        f"  start t={start:,.1f}s, global watermark t={watermark:,.1f}s "
+        f"({len(partitions)} partitions)",
+        "partitions:",
+    ]
+    for entry in sorted(partitions, key=lambda item: item.get("index", 0)):
+        outcomes = list(entry.get("outcomes", []))
+        suffix = ""
+        if len(outcomes) > 1 or entry.get("status") == "lost":
+            suffix = f" [{','.join(outcomes) or '-'}]"
+        lines.append(
+            f"  {entry.get('unit', '?')}: {entry.get('status', '?'):<11} "
+            f"{entry.get('blocks', 0)} blocks "
+            f"({entry.get('measurable', 0)} measurable), "
+            f"watermark t={float(entry.get('watermark', start)):,.1f}s, "
+            f"{entry.get('windows', 0)} windows, "
+            f"{entry.get('restarts', 0)} restarts, "
+            f"{entry.get('drift_swaps', 0)} drift swaps{suffix}")
+    return "\n".join(lines)
+
+
 def _cmd_inspect(args: argparse.Namespace) -> int:
     """Pretty-print a metrics snapshot, health report, or checkpoint."""
     try:
@@ -542,8 +760,13 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
         print(f"{args.path} is neither a metrics snapshot nor a checkpoint",
               file=sys.stderr)
         return 1
+    from .live import LIVE_MANIFEST_FORMAT
+
     if document.get("format") == SNAPSHOT_FORMAT:
         snapshot = document
+    elif document.get("format") == LIVE_MANIFEST_FORMAT:
+        print(_render_live_manifest(document))
+        return 0
     elif "stages" in document and "dead_letters" in document:
         # A --health-report document: no format marker of its own, but
         # its two mandatory sections distinguish it from the other two
@@ -656,9 +879,46 @@ def build_parser() -> argparse.ArgumentParser:
                       help="saved model from 'train'")
     live.add_argument("--family", type=int, choices=(4, 6), default=4)
     live.add_argument("--checkpoint", default="",
-                      help="checkpoint path; resumes from it when present")
+                      help="checkpoint path (a directory in partitioned "
+                           "mode); resumes from it when present")
     live.add_argument("--checkpoint-every", type=float, default=3600.0,
                       help="stream-seconds between checkpoints")
+    live.add_argument("--checkpoint-keep", type=int, default=3,
+                      help="checkpoint generations kept per detector "
+                           "(resume falls back past corrupt ones)")
+    live.add_argument("--partitions", type=int, default=None,
+                      help="partition the keyspace across this many "
+                           "supervised worker processes")
+    live.add_argument("--partition-chunk", type=int, default=None,
+                      help="blocks per partition (overrides --partitions; "
+                           "the plan hashes the population, not the "
+                           "worker count)")
+    live.add_argument("--partition-timeout", type=float, default=None,
+                      help="seconds of heartbeat silence (with work "
+                           "outstanding) before a partition counts as "
+                           "hung")
+    live.add_argument("--partition-retries", type=int, default=None,
+                      help="restarts-from-checkpoint granted per "
+                           "partition before its blocks are dead-lettered "
+                           "as lost coverage (default 2)")
+    live.add_argument("--partition-max-rss-mb", type=float, default=None,
+                      help="kill and restart a partition whose RSS "
+                           "exceeds this many MB")
+    live.add_argument("--strict-coverage", action="store_true",
+                      help="exit 4 when partitions exhausted their "
+                           "restart budget and blocks were lost")
+    live.add_argument("--drift-audit-every", type=float, default=0.0,
+                      help="audit per-block arrival rates for drift every "
+                           "this many stream-seconds (0 disables)")
+    live.add_argument("--drift-window", type=float, default=None,
+                      help="rate-audit lookback window (default: the "
+                           "audit interval)")
+    live.add_argument("--drift-factor", type=float, default=2.0,
+                      help="flag a block whose windowed rate differs from "
+                           "its trained rate by at least this factor")
+    live.add_argument("--drift-min-arrivals", type=int, default=20,
+                      help="minimum windowed arrivals before a block's "
+                           "rate is judged at all")
     live.add_argument("--sentinel", action="store_true",
                       help="quarantine feed-level quiet periods "
                            "(observer failure) instead of reporting "
@@ -706,12 +966,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     inspect = sub.add_parser("inspect",
                              help="pretty-print a metrics snapshot, a "
-                                  "health report, or a checkpoint's "
-                                  "embedded telemetry")
+                                  "health report, a live-run manifest, "
+                                  "or a checkpoint's embedded telemetry")
     inspect.add_argument("path",
                          help="metrics JSON from --metrics-out, a health "
-                              "report from --health-report, or a "
-                              "checkpoint file")
+                              "report from --health-report, a live "
+                              "manifest from a partitioned run's "
+                              "checkpoint dir, or a checkpoint file")
     inspect.set_defaults(func=_cmd_inspect)
 
     report = sub.add_parser("report", help="reproduce every table and figure")

@@ -29,6 +29,7 @@ from typing import Any, Dict, Mapping, Optional, Union
 
 from ..net.addr import Family
 from ..obs.metrics import resolve_registry
+from .belief import BeliefState
 from .detector import StreamingDetector
 from .events import RefinementConfig
 from .health import DeadLetterRegistry, ErrorBudget, GuardrailCounters
@@ -36,11 +37,14 @@ from .history import BlockHistory
 from .parameters import BlockParameters
 from .pipeline import TrainedModel
 from .sentinel import VantageSentinel
-from .serialize import atomic_write_text
+from .serialize import (atomic_write_text, model_blocks_from_dict,
+                        model_blocks_to_dict)
 
 __all__ = ["CHECKPOINT_FORMAT_VERSION", "CheckpointFormatError",
            "detector_to_json", "detector_from_json", "save_checkpoint",
-           "load_checkpoint", "SHARD_CHECKPOINT_FORMAT_VERSION",
+           "load_checkpoint", "save_checkpoint_rotated",
+           "load_checkpoint_rotated",
+           "SHARD_CHECKPOINT_FORMAT_VERSION",
            "write_shard_manifest", "read_shard_manifest",
            "save_shard_result", "load_shard_result",
            "load_shard_document", "discard_shard_result",
@@ -62,8 +66,17 @@ def _finite_or_none(value: Optional[float]) -> Optional[float]:
     return None if value is None else float(value)
 
 
-def detector_to_json(detector: StreamingDetector) -> str:
-    """Serialise a streaming detector's mutable state to JSON."""
+def detector_to_json(detector: StreamingDetector,
+                     extra: Optional[Dict[str, Any]] = None) -> str:
+    """Serialise a streaming detector's mutable state to JSON.
+
+    ``extra`` is an opaque JSON-able payload stored alongside the
+    detector state and surfaced on restore as ``restored_extra`` — the
+    hook the partitioned live worker uses to checkpoint companion state
+    (reorder buffer, drift auditor, replay cursor) in the *same* atomic
+    write, so detector and companions can never disagree about where
+    the stream stopped.
+    """
     refinement = detector.refinement
     blocks: Dict[str, Any] = {}
     for key, state in detector._states.items():
@@ -98,7 +111,25 @@ def detector_to_json(detector: StreamingDetector) -> str:
         "dead_letters": detector.dead_letters.as_dict(),
         "guardrails": detector.guardrails.as_dict(),
         "max_quarantine_frac": detector.budget.max_quarantine_frac,
+        "windows_closed": detector.windows_closed,
     }
+    # Drift hot-swap state (defaulted keys, format stays version 1):
+    # retuned blocks carry their *current* histories/parameters — the
+    # supplied model still has the originals, so restoring without
+    # these would silently revert every hot-swap — and swaps staged but
+    # not yet applied survive to land at their bin boundary.
+    retuned = detector.retuned
+    if retuned:
+        document["retuned"] = model_blocks_to_dict(
+            {key: pair[0] for key, pair in retuned.items()},
+            {key: pair[1] for key, pair in retuned.items()})
+    pending = detector.pending_swaps
+    if pending:
+        document["pending_swaps"] = model_blocks_to_dict(
+            {key: pair[0] for key, pair in pending.items()},
+            {key: pair[1] for key, pair in pending.items()})
+    if extra is not None:
+        document["extra"] = extra
     # Telemetry rides along (defaulted key, format stays version 1):
     # cumulative counters survive kill-and-resume instead of resetting
     # to zero.  Omitted entirely when telemetry is off, so documents
@@ -163,6 +194,34 @@ def detector_from_json(
             # Quarantined blocks must not restart fresh: their evidence
             # is gone and a fresh state would fabricate clean verdicts.
             detector._states.pop(key, None)
+        detector.windows_closed = int(document.get("windows_closed", 0))
+        detector.restored_extra = document.get("extra")
+        # Re-apply hot-swapped models *before* the blocks loop: the
+        # constructor installed the supplied (pre-drift) model, and the
+        # loop below then overwrites the belief numbers and bin cursor,
+        # so order here means a retuned block resumes with its retuned
+        # parameters and its checkpointed belief — exactly the state it
+        # was killed with.
+        retuned_doc = document.get("retuned")
+        if retuned_doc:
+            r_histories, r_parameters = model_blocks_from_dict(retuned_doc)
+            for key in sorted(r_parameters):
+                state = detector._states.get(key)
+                if state is None:
+                    continue
+                params = r_parameters[key]
+                state.params = params
+                state.history = r_histories[key]
+                state.belief = BeliefState(params)
+                detector.histories[key] = r_histories[key]
+                detector._retuned[key] = (r_histories[key], params)
+        pending_doc = document.get("pending_swaps")
+        if pending_doc:
+            p_histories, p_parameters = model_blocks_from_dict(pending_doc)
+            detector._pending_swaps = {
+                key: (p_histories[key], p_parameters[key])
+                for key in sorted(p_parameters)
+                if key in detector._states}
         for key_text, entry in document["blocks"].items():
             key = int(key_text)
             state = detector._states.get(key)
@@ -210,10 +269,11 @@ def detector_from_json(
 PathLike = Union[str, "Any"]
 
 
-def save_checkpoint(detector: StreamingDetector, path: PathLike) -> None:
+def save_checkpoint(detector: StreamingDetector, path: PathLike,
+                    extra: Optional[Dict[str, Any]] = None) -> None:
     """Atomically persist a detector checkpoint to ``path``."""
     clock = (_time.perf_counter() if detector.metrics.enabled else None)
-    atomic_write_text(path, detector_to_json(detector))
+    atomic_write_text(path, detector_to_json(detector, extra=extra))
     if clock is not None:
         detector.metrics.histogram(
             "checkpoint_save_seconds",
@@ -221,6 +281,64 @@ def save_checkpoint(detector: StreamingDetector, path: PathLike) -> None:
                 _time.perf_counter() - clock)
         detector.metrics.counter(
             "checkpoints_saved_total", "Checkpoints written").inc()
+
+
+def _generation_path(base: str, generation: int) -> str:
+    return base if generation == 0 else f"{base}.{generation}"
+
+
+def save_checkpoint_rotated(detector: StreamingDetector, path: PathLike,
+                            keep: int = 3,
+                            extra: Optional[Dict[str, Any]] = None) -> None:
+    """Persist a checkpoint, keeping the last ``keep`` generations.
+
+    ``path`` is always the newest generation; older ones shift to
+    ``path.1`` … ``path.{keep-1}`` and the oldest is dropped.  The
+    rotation happens *before* the atomic write, so at every instant at
+    least one complete previous generation exists on disk — a crash
+    mid-save (or a save that lands corrupt for any reason outside the
+    rename's atomicity, e.g. later bit rot) can never leave a partition
+    with zero restorable state.
+    """
+    if keep < 1:
+        raise ValueError("keep must be >= 1")
+    base = os.fspath(path)
+    for generation in range(keep - 1, 0, -1):
+        try:
+            os.replace(_generation_path(base, generation - 1),
+                       _generation_path(base, generation))
+        except OSError:
+            pass  # newer generation absent (first saves): nothing to shift
+    save_checkpoint(detector, base, extra=extra)
+
+
+def load_checkpoint_rotated(path: PathLike, model: "TrainedModel",
+                            metrics: Optional[Any] = None,
+                            keep: int = 3) -> StreamingDetector:
+    """Restore from the newest loadable checkpoint generation.
+
+    Tries ``path``, then ``path.1`` … ``path.{keep-1}``; a missing or
+    corrupt generation falls through to the next-older one (the
+    tolerance :func:`load_shard_document` gives cached shards, applied
+    to the rotation chain).  Raises :class:`CheckpointFormatError` only
+    when *no* generation is restorable.
+    """
+    base = os.fspath(path)
+    last_error: Optional[Exception] = None
+    for generation in range(max(1, keep)):
+        candidate = _generation_path(base, generation)
+        try:
+            return load_checkpoint(candidate, model, metrics=metrics)
+        except FileNotFoundError:
+            continue
+        except (OSError, CheckpointFormatError) as error:
+            last_error = error
+            continue
+    if last_error is not None:
+        raise CheckpointFormatError(
+            f"no restorable checkpoint generation at {base} "
+            f"(newest failure: {last_error})") from last_error
+    raise FileNotFoundError(base)
 
 
 def _unit_name(unit: Union[int, str]) -> str:

@@ -363,6 +363,21 @@ class StreamingDetector:
         self.last_health: Optional[RunHealthReport] = None
         self._states: Dict[int, _StreamBlockState] = {}
         self._last_time = float(start)
+        #: total per-block bins closed — the streaming fault hooks and
+        #: the live supervisor key their "after K windows" triggers off
+        #: this, so it must advance deterministically with the stream.
+        self.windows_closed = 0
+        #: drift hot-swap queue and application log: ``hot_swap`` parks
+        #: the replacement (history, parameters) here; it is applied at
+        #: the owning block's next bin close (never mid-bin, so the bin
+        #: being accumulated is judged by the model that opened it).
+        self._pending_swaps: Dict[int, Tuple[BlockHistory,
+                                             BlockParameters]] = {}
+        self._retuned: Dict[int, Tuple[BlockHistory, BlockParameters]] = {}
+        #: extra payload carried by the checkpoint this detector was
+        #: restored from (None for a fresh detector) — the live worker
+        #: parks its replay cursor and buffer state there.
+        self.restored_extra: Optional[Dict[str, Any]] = None
         for key, params in parameters.items():
             if not params.measurable:
                 continue
@@ -453,14 +468,14 @@ class StreamingDetector:
         if state is None:
             return
         try:
-            self._observe_block(state, observation)
+            self._observe_block(key, state, observation)
         except Exception as error:
             self._quarantine(key, "stream", error)
 
-    def _observe_block(self, state: _StreamBlockState,
+    def _observe_block(self, key: int, state: _StreamBlockState,
                        observation: Observation) -> None:
         """One block's share of :meth:`observe` (supervised scope)."""
-        self._advance_block(state, observation.time)
+        self._advance_block(key, state, observation.time)
         # Gap detector: a silence longer than the trained threshold is an
         # outage bounded by exact packet times, regardless of bin state.
         threshold = state.params.gap_threshold_seconds
@@ -485,7 +500,7 @@ class StreamingDetector:
             self.sentinel.advance(now)
         for key, state in list(self._states.items()):
             try:
-                self._advance_block(state, now)
+                self._advance_block(key, state, now)
             except Exception as error:
                 self._quarantine(key, "stream", error)
 
@@ -493,16 +508,81 @@ class StreamingDetector:
                     error: BaseException) -> None:
         """Dead-letter one block and stop processing it."""
         self._states.pop(key, None)
+        self._pending_swaps.pop(key, None)
         self.dead_letters.record(stage, key, error)
         self._m_blocks.set(len(self._states))
 
-    def finalize(self, end: float) -> Dict[int, BlockResult]:
+    def hot_swap(self, key: int, history: BlockHistory,
+                 params: BlockParameters) -> bool:
+        """Queue a retuned (history, parameters) pair for one block.
+
+        The swap is applied at the block's *next bin close*, never
+        mid-bin: the bin currently accumulating was opened under the old
+        model and is judged by it, then the belief value and up/down
+        decision carry over into the new model unchanged (drift retuning
+        corrects the *rate* model, not the block's current verdict).
+        Returns False — and queues nothing — for a block this detector
+        is not tracking (quarantined, unmeasurable, or foreign), and
+        for replacement parameters that are themselves unmeasurable
+        (swapping those in would silently stop judging the block).
+
+        Queue order is the caller's responsibility: the live path calls
+        this from a deterministic point in per-block stream order, which
+        is what keeps partitioned and single-process runs bit-identical.
+        """
+        if key not in self._states or not params.measurable:
+            return False
+        self._pending_swaps[key] = (history, params)
+        return True
+
+    @property
+    def retuned(self) -> Dict[int, Tuple[BlockHistory, BlockParameters]]:
+        """Applied hot swaps, by block key (checkpointed and restored)."""
+        return dict(self._retuned)
+
+    @property
+    def pending_swaps(self) -> Dict[int, Tuple[BlockHistory,
+                                               BlockParameters]]:
+        """Queued-but-unapplied hot swaps, by block key."""
+        return dict(self._pending_swaps)
+
+    def _apply_swap(self, key: int, state: _StreamBlockState,
+                    history: BlockHistory, params: BlockParameters,
+                    boundary: float) -> None:
+        """Install a retuned model for one block at a bin boundary.
+
+        The belief value, up/down decision, and guardrail count carry
+        over; the next bin opens at ``boundary`` with the *new* bin
+        width, so a bin-size change re-grids the block from the swap
+        point forward without tearing the closed-bin history.
+        """
+        belief = BeliefState(params)
+        belief.belief = state.belief.belief
+        belief.is_up = state.belief.is_up
+        belief.guardrail_trips = state.belief.guardrail_trips
+        state.params = params
+        state.history = history
+        state.belief = belief
+        state.next_bin_end = boundary + params.bin_seconds
+        self.histories[key] = history
+        self._retuned[key] = (history, params)
+        self.metrics.counter(
+            "drift_hot_swaps_total",
+            "Retuned block models hot-swapped in at a bin boundary").inc()
+
+    def finalize(self, end: float,
+                 quarantined: Optional[List[Tuple[float, float]]] = None,
+                 ) -> Dict[int, BlockResult]:
         """Close the window at ``end`` and return per-block results.
 
         With a sentinel attached, down-time inside feed-quarantine
         windows is retracted (the observer, not the block, was judged
         unhealthy) and the overlapping windows are recorded on each
-        :class:`BlockResult`.
+        :class:`BlockResult`.  ``quarantined`` overrides the sentinel's
+        own windows — the partitioned live path runs *one* sentinel
+        parent-side over the whole tap (feed health is a property of
+        the vantage, not of any partition's slice) and passes its
+        verdict down to every worker here.
 
         Enforces the error budget: when more than ``max_quarantine_frac``
         of the blocks this detector started with have been dead-lettered,
@@ -512,8 +592,9 @@ class StreamingDetector:
         :attr:`last_health` either way.
         """
         self.advance(end)
-        quarantined = (self.sentinel.quarantined_intervals()
-                       if self.sentinel is not None else [])
+        if quarantined is None:
+            quarantined = (self.sentinel.quarantined_intervals()
+                           if self.sentinel is not None else [])
         results: Dict[int, BlockResult] = {}
         for key, state in list(self._states.items()):
             try:
@@ -587,12 +668,13 @@ class StreamingDetector:
 
     # -- internals ----------------------------------------------------------
 
-    def _advance_block(self, state: _StreamBlockState, now: float) -> None:
+    def _advance_block(self, key: int, state: _StreamBlockState,
+                       now: float) -> None:
         """Close every bin that ends at or before ``now``."""
         while state.next_bin_end <= now:
-            self._close_bin(state)
+            self._close_bin(key, state)
 
-    def _close_bin(self, state: _StreamBlockState) -> None:
+    def _close_bin(self, key: int, state: _StreamBlockState) -> None:
         params = state.params
         was_up = state.belief.is_up
         bin_start = state.next_bin_end - params.bin_seconds
@@ -646,4 +728,12 @@ class StreamingDetector:
             state.transitions.append((recovery, True))
         state.bin_count = 0
         state.first_packet_this_bin = None
-        state.next_bin_end += params.bin_seconds
+        self.windows_closed += 1
+        swap = self._pending_swaps.pop(key, None)
+        if swap is not None:
+            # The boundary just closed is where the retuned model takes
+            # over; the new bin grid restarts from it.
+            self._apply_swap(key, state, swap[0], swap[1],
+                             state.next_bin_end)
+        else:
+            state.next_bin_end += params.bin_seconds

@@ -16,8 +16,9 @@ the audit first masks the detector's own down intervals.
 from __future__ import annotations
 
 import enum
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import (Callable, Deque, Dict, List, Mapping, Optional, Tuple)
 
 import numpy as np
 
@@ -27,7 +28,8 @@ from .history import BlockHistory, train_history
 from .parameters import BlockParameters, ParameterPlanner
 from .pipeline import TrainedModel
 
-__all__ = ["DriftVerdict", "BlockDrift", "audit_drift", "refresh_model"]
+__all__ = ["DriftVerdict", "BlockDrift", "audit_drift", "refresh_model",
+           "RollingRateAuditor", "retune_block"]
 
 
 class DriftVerdict(enum.Enum):
@@ -159,3 +161,143 @@ def refresh_model(
         train_end=window_end,
     )
     return refreshed, sorted(retrained)
+
+
+def retune_block(times: np.ndarray, window_start: float, window_end: float,
+                 planner: Optional[ParameterPlanner] = None,
+                 learn_diurnal: bool = True,
+                 ) -> Tuple[BlockHistory, BlockParameters]:
+    """Re-estimate one block's model from a rolling arrival window.
+
+    The incremental counterpart of :func:`refresh_model`: the live path
+    retunes exactly the block that drifted, from exactly the arrivals
+    its rolling auditor retained, without touching the rest of the
+    population.  Raises :class:`~repro.core.health.BlockDataError` on
+    poisoned arrivals, same as batch training.
+    """
+    planner = planner or ParameterPlanner()
+    history = train_history(np.asarray(times, dtype=float),
+                            window_start, window_end, learn_diurnal)
+    return history, planner.plan_block(history)
+
+
+class RollingRateAuditor:
+    """Streaming drift audit over per-block rolling arrival windows.
+
+    The batch audit (:func:`audit_drift`) needs a finished detection
+    window; a live monitor cannot wait for one.  This auditor keeps
+    each block's arrivals over the trailing ``window_seconds`` and, at
+    every ``audit_every`` boundary, compares the block's rolling rate
+    against its trained rate — *only* for blocks that were up for the
+    whole trailing window with no transitions in it, the streaming
+    analogue of the batch audit's up-time-only masking (a block in or
+    near an outage would otherwise flag as drift).
+
+    Deliberately decoupled from the detector: the caller supplies an
+    eligibility predicate and the trained rates, so this class owns
+    only the arrival bookkeeping and the verdict arithmetic.  State
+    round-trips through :meth:`to_dict`/:meth:`from_dict` so a live
+    worker's checkpoint can carry it and a restart audits identically.
+    """
+
+    def __init__(self, start: float, audit_every: float,
+                 window_seconds: Optional[float] = None,
+                 drift_factor: float = 2.0,
+                 min_arrivals: int = 20) -> None:
+        if audit_every <= 0:
+            raise ValueError("audit_every must be positive")
+        if drift_factor <= 1.0:
+            raise ValueError("drift_factor must exceed 1")
+        self.audit_every = float(audit_every)
+        self.window_seconds = float(window_seconds
+                                    if window_seconds else audit_every)
+        if self.window_seconds <= 0:
+            raise ValueError("window_seconds must be positive")
+        self.drift_factor = float(drift_factor)
+        self.min_arrivals = int(min_arrivals)
+        self.next_boundary = float(start) + self.audit_every
+        self._arrivals: Dict[int, Deque[float]] = {}
+
+    def note(self, key: int, time: float) -> None:
+        """Record one arrival for ``key`` (monotone stream order)."""
+        queue = self._arrivals.get(key)
+        if queue is None:
+            queue = deque()
+            self._arrivals[key] = queue
+        queue.append(float(time))
+
+    def arrivals(self, key: int) -> List[float]:
+        """The retained arrivals for one block, oldest first."""
+        return list(self._arrivals.get(key, ()))
+
+    def _prune(self, horizon: float) -> None:
+        for key in list(self._arrivals):
+            queue = self._arrivals[key]
+            while queue and queue[0] < horizon:
+                queue.popleft()
+            if not queue:
+                del self._arrivals[key]
+
+    def audit(self, boundary: float,
+              eligible: Callable[[int], bool],
+              trained_rate: Callable[[int], Optional[float]],
+              ) -> Dict[int, BlockDrift]:
+        """Drift verdicts at ``boundary`` over ``[boundary - W, boundary)``.
+
+        ``eligible(key)`` must return True only for blocks whose whole
+        trailing window was healthy up-time (the caller reads that off
+        the detector); ``trained_rate(key)`` returns the model rate or
+        None for untracked blocks.  Returns only the blocks that
+        *drifted* — stable and ineligible blocks are omitted, keeping
+        the hot path allocation-free when nothing moved.  Keys audit in
+        sorted order so retune side effects are deterministic.
+        """
+        window_start = boundary - self.window_seconds
+        self._prune(window_start)
+        drifted: Dict[int, BlockDrift] = {}
+        for key in sorted(self._arrivals):
+            queue = self._arrivals[key]
+            count = sum(1 for t in queue if t < boundary)
+            if count < self.min_arrivals or not eligible(key):
+                continue
+            rate = trained_rate(key)
+            if rate is None or rate <= 0:
+                continue
+            observed = count / self.window_seconds
+            if observed > rate * self.drift_factor:
+                verdict = DriftVerdict.RATE_ROSE
+            elif observed < rate / self.drift_factor:
+                verdict = DriftVerdict.RATE_FELL
+            else:
+                continue
+            drifted[key] = BlockDrift(
+                key=key, trained_rate=rate, observed_rate=observed,
+                up_seconds=self.window_seconds, verdict=verdict)
+        return drifted
+
+    # -- checkpoint support -------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "audit_every": self.audit_every,
+            "window_seconds": self.window_seconds,
+            "drift_factor": self.drift_factor,
+            "min_arrivals": self.min_arrivals,
+            "next_boundary": self.next_boundary,
+            "arrivals": {str(key): list(queue)
+                         for key, queue in sorted(self._arrivals.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "RollingRateAuditor":
+        auditor = cls(
+            start=0.0,
+            audit_every=float(data["audit_every"]),
+            window_seconds=float(data["window_seconds"]),
+            drift_factor=float(data["drift_factor"]),
+            min_arrivals=int(data["min_arrivals"]))
+        auditor.next_boundary = float(data["next_boundary"])
+        auditor._arrivals = {
+            int(key): deque(float(t) for t in times)
+            for key, times in dict(data.get("arrivals", {})).items()}
+        return auditor

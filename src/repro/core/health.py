@@ -55,6 +55,7 @@ __all__ = [
     "ShardAttemptRecord",
     "CoverageReport",
     "RunHealthReport",
+    "fold_lost_coverage",
     "inputs_digest",
 ]
 
@@ -629,3 +630,49 @@ class RunHealthReport:
             parts.append(f"DEGRADED: {len(self.coverage.blocks_lost)} "
                          f"blocks lost to supervision")
         return ", ".join(parts)
+
+
+def fold_lost_coverage(report: RunHealthReport, stage_name: str,
+                       planned: int,
+                       lost_errors: Dict[int, BaseException],
+                       records: Optional[List[ShardAttemptRecord]],
+                       metrics: Any = None) -> None:
+    """Fold supervised-run delivery accounting into a merged report.
+
+    Shared by the batch shard supervisor and the partitioned live
+    supervisor: lost blocks join the *existing* ``stage_name`` row as
+    attempted-and-quarantined (not a separate row — ``blocks_attempted``
+    is the max over stage rows, so a parallel row would break
+    :meth:`RunHealthReport.accounts_for` over the full population) and
+    are dead-lettered under ``stage="supervision"`` through the
+    registry's normal ``record`` path, the single write path that keeps
+    report and metrics in lockstep.  Must run *after* the merged
+    registry is bound to its metric series and *before* the budget
+    verdict, so lost blocks are judged by the error budget exactly like
+    data-poisoned ones.
+
+    ``lost_errors`` maps each undelivered block key to the supervision
+    error that condemned it.  ``records`` is the per-unit attempt
+    history; ``None`` means the run was not supervised and the report
+    is left untouched.  ``metrics`` (optional — health may not import
+    obs) receives a ``supervision_lost_blocks`` gauge.
+    """
+    if records is None:
+        return
+    lost_set = set(lost_errors)
+    stage = report.stage(stage_name)
+    stage.attempted += len(lost_set)
+    stage.quarantined += len(lost_set)
+    for key in sorted(lost_set):
+        report.dead_letters.record("supervision", key, lost_errors[key])
+    report.dead_letters.canonicalize()
+    report.coverage = CoverageReport(
+        blocks_planned=planned,
+        blocks_delivered=planned - len(lost_set),
+        blocks_lost=sorted(lost_set),
+        shard_attempts=records)
+    if metrics is not None:
+        metrics.gauge(
+            "supervision_lost_blocks",
+            "Blocks whose supervised workers kept dying; dead-lettered "
+            "under stage=supervision").set(len(lost_set))

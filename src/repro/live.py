@@ -1,0 +1,1107 @@
+"""Supervised partitioned live detection.
+
+The deployment-shaped counterpart of :mod:`repro.parallel`: where the
+batch path shards a *bounded* window and can re-run any shard from its
+input, the live path consumes an *unbounded* stream, so containment has
+to restart a failed partition from its last checkpoint and replay only
+the gap — bisection would mean replaying the whole stream per probe.
+
+Three layers:
+
+:class:`LiveBlockEngine`
+    One :class:`~repro.core.detector.StreamingDetector` plus its
+    reorder buffer and rolling drift auditor.  The single-process CLI
+    path and every partition worker run the *same* engine, which is
+    what makes the partitioned≡single equivalence contract testable
+    rather than aspirational.
+
+``_live_worker_entry``
+    Child-process entry point for one partition: restores the engine
+    from its rotated checkpoint (detector state, reorder buffer,
+    drift auditor, replay cursor), consumes sequence-numbered
+    observation batches from the parent, checkpoints on a stream-time
+    cadence, and reports heartbeats with its watermark and replay
+    cursor.
+
+:class:`LivePartitionSupervisor`
+    The parent: plans partitions over the model's block population with
+    the same deterministic plan algebra as the batch path
+    (:func:`~repro.parallel.plan_shards` — the plan is a function of
+    the population, never of worker count), routes capture records to
+    their owning partition with per-partition sequence numbers and the
+    *global* stream front attached, classifies failures as
+    crash/hang/oom exactly like :class:`~repro.parallel.ShardSupervisor`,
+    restarts a failed partition from its checkpoint without touching
+    siblings, and merges per-partition results/health/telemetry into
+    one population-wide report whose ``accounts_for`` holds over the
+    full live population.  A partition that exhausts its restart
+    budget is dead-lettered as lost coverage — the run completes
+    *degraded* rather than dying.
+
+Equivalence contract.  A partitioned run emits bit-identical events,
+health verdicts, and stream-semantic counters to a single-process run
+of the same capture:
+
+- Partition streams preserve capture order per key, and every
+  per-block decision (bins, beliefs, transitions, drift audits, hot
+  swaps) depends only on that key's arrival prefix.
+- Each worker's reorder buffer is driven by the *global* stream front
+  (shipped with every routed record via
+  :meth:`~repro.telescope.reorder.ReorderBuffer.advance_front`), so a
+  sparse partition's buffer releases records and judges lateness
+  exactly like the single global buffer restricted to its keys.
+- One sentinel runs parent-side over the whole tap (feed health is a
+  property of the vantage, not of any partition's slice) and its
+  verdict is passed into every worker's ``finalize``.
+
+Wall-clock-dependent telemetry (stage seconds, watermark-lag and
+occupancy gauges, checkpoint counts) legitimately differs between
+runs; the chaos suite compares the deterministic counters only.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import multiprocessing
+import os
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+)
+
+from .core.checkpoint import (
+    CheckpointFormatError,
+    load_checkpoint_rotated,
+    save_checkpoint_rotated,
+)
+from .core.detector import (
+    BlockResult,
+    StreamingDetector,
+    dead_letter_metric,
+    guardrail_metric,
+)
+from .core.drift import RollingRateAuditor, retune_block
+from .core.health import (
+    ErrorBudget,
+    ErrorBudgetExceeded,
+    RunHealthReport,
+    ShardAttemptRecord,
+    fold_lost_coverage,
+)
+from .core.parameters import ParameterPlanner
+from .core.pipeline import TrainedModel
+from .core.sentinel import SentinelConfig, VantageSentinel
+from .core.serialize import (
+    atomic_write_text,
+    block_result_from_dict,
+    block_result_to_dict,
+    model_blocks_from_dict,
+    model_blocks_to_dict,
+)
+from .net.addr import Family
+from .obs.metrics import NULL_REGISTRY, MetricsRegistry, resolve_registry
+from .parallel import (
+    ShardFatalError,
+    ShardWorkerError,
+    SupervisionPolicy,
+    _OUTCOME_ERRORS,
+    _backoff_delay,
+    _ensure_child_import_path,
+    _plan_digest,
+    _process_rss_mb,
+    plan_shards,
+)
+from .telescope.capture import CaptureReader
+from .telescope.records import Observation
+from .telescope.reorder import LatePolicy, ReorderBuffer
+
+__all__ = [
+    "DriftConfig",
+    "LiveBlockEngine",
+    "LiveRunResult",
+    "LivePartitionSupervisor",
+    "run_partitioned_live",
+    "LIVE_MANIFEST_FORMAT",
+]
+
+#: format stamp of the live-run manifest (``live-manifest.json`` in the
+#: checkpoint directory) — ``repro-outage inspect`` dispatches on it.
+LIVE_MANIFEST_FORMAT = "repro-live-manifest-v1"
+
+_PROCESS_FAULT_ENV = "REPRO_PROCESS_FAULTS"
+
+#: routed rows per ``("obs", rows)`` message.
+_BATCH_ROWS = 256
+#: sent-but-unacknowledged batches per partition before the parent
+#: stops sending and services the fleet instead.  Deliberately small:
+#: two pickled batches fit well inside an OS pipe buffer, so the
+#: parent's ``send`` never blocks on a hung worker — it must stay free
+#: to *detect* the hang instead of joining it.
+_MAX_INFLIGHT_BATCHES = 2
+
+
+@dataclass(frozen=True)
+class DriftConfig:
+    """Rolling drift audit settings for the live path.
+
+    Every ``audit_every`` stream-seconds the engine compares each
+    quiet, currently-up block's observed arrival rate over the
+    trailing ``window_seconds`` against its trained rate; a block
+    outside ``[rate/drift_factor, rate*drift_factor]`` is re-estimated
+    from exactly that trailing window and the replacement model is
+    hot-swapped in at the block's next bin boundary.
+    """
+
+    audit_every: float
+    window_seconds: Optional[float] = None
+    drift_factor: float = 2.0
+    min_arrivals: int = 20
+    learn_diurnal: bool = True
+
+    def __post_init__(self) -> None:
+        if self.audit_every <= 0:
+            raise ValueError("audit_every must be positive")
+
+
+class LiveBlockEngine:
+    """One streaming detector with its reorder buffer and drift auditor.
+
+    The shared per-process live engine: the single-process CLI path
+    runs one over the whole population; each partition worker runs one
+    over its slice.  All stream-order-sensitive logic lives here —
+    audit boundaries are checked *before* each released record is
+    observed, and arrivals are noted *after*, so both deployment
+    shapes make identical per-block decisions on identical per-block
+    input.
+    """
+
+    def __init__(
+        self,
+        detector: StreamingDetector,
+        buffer: Optional[ReorderBuffer] = None,
+        drift: Optional[DriftConfig] = None,
+        planner: Optional[ParameterPlanner] = None,
+        fault_plan: Optional[Any] = None,
+    ) -> None:
+        self.detector = detector
+        self.buffer = buffer
+        self.drift = drift
+        self.planner = planner or ParameterPlanner()
+        self.fault_plan = fault_plan
+        self.auditor: Optional[RollingRateAuditor] = None
+        if drift is not None:
+            self.auditor = RollingRateAuditor(
+                detector.start, drift.audit_every,
+                window_seconds=drift.window_seconds,
+                drift_factor=drift.drift_factor,
+                min_arrivals=drift.min_arrivals)
+        #: released records actually observed (the CLI's "replayed" count).
+        self.observed = 0
+        metrics = detector.metrics
+        self._m_flagged = metrics.counter(
+            "drift_blocks_flagged_total",
+            "Blocks flagged as drifted by the rolling rate audit")
+        self._m_failed = metrics.counter(
+            "drift_retunes_failed_total",
+            "Drift retunes abandoned (poisoned window or unmeasurable "
+            "replacement)")
+
+    def feed(self, observation: Observation) -> None:
+        """Push one raw record; process whatever the buffer releases."""
+        if self.buffer is not None:
+            for ready in self.buffer.push(observation):
+                self._process(ready)
+        else:
+            self._process(observation)
+
+    def advance_front(self, front: float) -> None:
+        """Advance the buffer watermark from the global stream front.
+
+        Non-finite fronts are ignored: the first routed record carries
+        the global front *before* anything was seen, which is -inf.
+        """
+        if self.buffer is not None and math.isfinite(front):
+            for ready in self.buffer.advance_front(front):
+                self._process(ready)
+
+    def flush(self) -> None:
+        """Drain the buffer at end of stream."""
+        if self.buffer is not None:
+            for ready in self.buffer.flush():
+                self._process(ready)
+
+    def checkpoint_extra(self, seq: Optional[int] = None,
+                         ) -> Optional[Dict[str, Any]]:
+        """Engine state that rides in the checkpoint's ``extra`` slot."""
+        extra: Dict[str, Any] = {}
+        if seq is not None:
+            extra["seq"] = int(seq)
+        if self.buffer is not None:
+            extra["reorder"] = self.buffer.state_dict()
+        if self.auditor is not None:
+            extra["drift"] = self.auditor.to_dict()
+        return extra or None
+
+    def restore(self, extra: Optional[Mapping[str, Any]],
+                buffer_state: bool = True) -> None:
+        """Rehydrate buffer/auditor state from a checkpoint's ``extra``.
+
+        ``buffer_state=False`` skips the reorder buffer: the
+        single-process resume path replays the capture by *time* (its
+        skipped records include everything that was buffered), so
+        restoring the buffer there would process those records twice.
+        The seq-replaying partition worker restores it.
+        """
+        if not extra:
+            return
+        if (buffer_state and self.buffer is not None
+                and extra.get("reorder") is not None):
+            self.buffer.restore_state(extra["reorder"])
+        if self.auditor is not None and extra.get("drift") is not None:
+            self.auditor = RollingRateAuditor.from_dict(extra["drift"])
+
+    # -- stream-order core --------------------------------------------------
+
+    def _process(self, observation: Observation) -> None:
+        auditor = self.auditor
+        if auditor is not None:
+            # Audit every boundary the stream just crossed, *before*
+            # observing the record that crossed it: all arrivals < B
+            # are in, none >= B — the same cut both deployment shapes
+            # see regardless of how the population is partitioned.
+            while observation.time >= auditor.next_boundary:
+                boundary = auditor.next_boundary
+                self._audit(boundary)
+                auditor.next_boundary = boundary + auditor.audit_every
+        self.detector.observe(observation)
+        self.observed += 1
+        if (auditor is not None
+                and observation.family is self.detector.family):
+            key = observation.block_key
+            if key in self.detector._states:
+                auditor.note(key, observation.time)
+        if self.fault_plan is not None:
+            self.fault_plan.on_windows(self.detector.windows_closed)
+
+    def _audit(self, boundary: float) -> None:
+        detector = self.detector
+        auditor = self.auditor
+        assert auditor is not None
+        window_start = boundary - auditor.window_seconds
+
+        def eligible(key: int) -> bool:
+            state = detector._states.get(key)
+            if state is None or not state.belief.is_up:
+                return False  # quarantined/untracked, or mid-outage
+            # A transition inside the window means the rate change has
+            # an explanation the detector already acted on.
+            return all(t < window_start for t, _ in state.transitions)
+
+        def trained_rate(key: int) -> Optional[float]:
+            state = detector._states.get(key)
+            return None if state is None else state.history.mean_rate
+
+        drifted = auditor.audit(boundary, eligible, trained_rate)
+        for key in sorted(drifted):
+            self._m_flagged.inc()
+            times = [t for t in auditor.arrivals(key)
+                     if window_start <= t < boundary]
+            learn_diurnal = (self.drift.learn_diurnal
+                             if self.drift is not None else True)
+            try:
+                history, params = retune_block(
+                    times, window_start, boundary, planner=self.planner,
+                    learn_diurnal=learn_diurnal)
+            except Exception:
+                self._m_failed.inc()
+                continue
+            if not detector.hot_swap(key, history, params):
+                self._m_failed.inc()
+
+
+# ---------------------------------------------------------------------------
+# partition worker
+# ---------------------------------------------------------------------------
+
+
+def _live_worker_entry(payload: Dict[str, Any], conn: Any) -> None:
+    """Child-process entry point for one live partition.
+
+    Protocol (parent -> worker): ``("obs", rows)`` where each row is
+    ``(seq, time, family, source, qtype, front)``; ``("finalize", end,
+    windows)``; ``("shutdown",)``.  Worker -> parent: ``("hello",
+    {...})`` once ready (carrying the checkpointed replay cursor),
+    ``("hb", {...})`` after every obs batch, ``("final", document)``,
+    ``("bye", {...})`` after a shutdown checkpoint, ``("fatal",
+    message)`` for an escaping exception (a harness bug, not a block
+    fault — per-block faults are dead-lettered inside the detector).
+
+    Module-level so spawn can pickle it.
+    """
+    try:
+        registry = MetricsRegistry()
+        family = Family(payload["family"])
+        histories, parameters = model_blocks_from_dict(payload["blocks"])
+        start = float(payload["start"])
+        checkpoint_path = payload.get("checkpoint")
+        keep = int(payload.get("keep", 3))
+        checkpoint_every = float(payload.get("checkpoint_every", 3600.0))
+        horizon = float(payload.get("horizon", 0.0))
+        drift: Optional[DriftConfig] = payload.get("drift")
+
+        detector: Optional[StreamingDetector] = None
+        resumed = False
+        if checkpoint_path and payload.get("resume", True):
+            model = TrainedModel(family=family, histories=histories,
+                                 parameters=parameters, train_start=start,
+                                 train_end=start)
+            try:
+                detector = load_checkpoint_rotated(
+                    checkpoint_path, model, metrics=registry, keep=keep)
+                resumed = True
+            except (FileNotFoundError, CheckpointFormatError):
+                detector = None
+        if detector is None:
+            detector = StreamingDetector(
+                family, histories, parameters, start, sentinel=None,
+                max_quarantine_frac=1.0, metrics=registry)
+        # The error budget is the parent's verdict over the merged
+        # population; a partition never vetoes its own slice.
+        detector.budget = ErrorBudget(1.0)
+
+        buffer = (ReorderBuffer(horizon, LatePolicy(payload["late_policy"]),
+                                metrics=registry)
+                  if horizon > 0 else None)
+        fault_plan = None
+        if os.environ.get(_PROCESS_FAULT_ENV):
+            # Chaos-suite channel, lazy so production never imports it.
+            from .testing.faults import load_streaming_faults
+            fault_plan = load_streaming_faults(payload.get("keys", ()))
+        engine = LiveBlockEngine(detector, buffer=buffer, drift=drift,
+                                 fault_plan=fault_plan)
+        last_seq = -1
+        if resumed and detector.restored_extra:
+            last_seq = int(detector.restored_extra.get("seq", -1))
+            engine.restore(detector.restored_extra, buffer_state=True)
+        checkpoint_seq = last_seq
+        next_checkpoint = (detector.last_time + checkpoint_every
+                           if checkpoint_path else float("inf"))
+
+        conn.send(("hello", {"seq": last_seq, "resumed": resumed}))
+        while True:
+            try:
+                message = conn.recv()
+            except EOFError:
+                return  # parent died; nothing sane left to do
+            kind = message[0]
+            if kind == "obs":
+                for seq, when, fam, source, qtype, front in message[1]:
+                    if seq <= last_seq:
+                        continue  # replayed duplicate, already accounted
+                    engine.advance_front(front)
+                    engine.feed(Observation(when, Family(fam), source,
+                                            qtype))
+                    last_seq = seq
+                    if detector.last_time >= next_checkpoint:
+                        save_checkpoint_rotated(
+                            detector, checkpoint_path, keep=keep,
+                            extra=engine.checkpoint_extra(seq=last_seq))
+                        checkpoint_seq = last_seq
+                        next_checkpoint = (detector.last_time
+                                           + checkpoint_every)
+                conn.send(("hb", {
+                    "seq": last_seq,
+                    "ckpt_seq": checkpoint_seq,
+                    "watermark": detector.last_time,
+                    "windows": detector.windows_closed,
+                    "swaps": len(detector.retuned),
+                }))
+            elif kind == "finalize":
+                end, windows = float(message[1]), message[2]
+                engine.flush()
+                results = detector.finalize(
+                    end, quarantined=[(float(s), float(e))
+                                      for s, e in windows])
+                if checkpoint_path:
+                    save_checkpoint_rotated(
+                        detector, checkpoint_path, keep=keep,
+                        extra=engine.checkpoint_extra(seq=last_seq))
+                document: Dict[str, Any] = {
+                    "index": payload["index"],
+                    "results": [block_result_to_dict(results[key])
+                                for key in sorted(results)],
+                    "health": detector.last_health.as_dict(),
+                    "swaps": sorted(detector.retuned),
+                    "windows": detector.windows_closed,
+                    "metrics": registry.snapshot(),
+                }
+                if buffer is not None:
+                    stats = buffer.stats
+                    document["reorder"] = {
+                        "out_of_order": stats.out_of_order,
+                        "late_dropped": stats.late_dropped,
+                    }
+                conn.send(("final", document))
+                return
+            elif kind == "shutdown":
+                if checkpoint_path:
+                    save_checkpoint_rotated(
+                        detector, checkpoint_path, keep=keep,
+                        extra=engine.checkpoint_extra(seq=last_seq))
+                conn.send(("bye", {"seq": last_seq}))
+                return
+    except BaseException as error:  # noqa: BLE001 — verdict must cross
+        try:
+            conn.send(("fatal", f"{type(error).__name__}: {error}"))
+        except Exception:
+            pass
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass
+
+
+# ---------------------------------------------------------------------------
+# parent supervisor
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _LivePartition:
+    """Parent-side bookkeeping for one partition."""
+
+    index: int
+    unit: str
+    keys: List[int]
+    measurable: List[int]
+    process: Any = None
+    conn: Any = None
+    status: str = "pending"          # pending|running|done|lost|interrupted
+    hello: bool = False
+    attempts: List[str] = field(default_factory=list)
+    next_seq: int = 0                # next seq to assign at route time
+    sent_seq: int = -1               # last seq sent to this incarnation
+    acked_seq: int = -1              # last seq the worker heartbeat ack'd
+    ckpt_seq: int = -1               # last seq safely in a checkpoint
+    watermark: float = 0.0
+    windows: int = 0
+    swaps: int = 0
+    #: rows not yet covered by a checkpoint: ``(seq, t, fam, src, qt,
+    #: front)``, pruned as ``ckpt_seq`` advances, replayed after a
+    #: restart.
+    replay: Deque[Tuple[int, float, int, int, int, float]] = field(
+        default_factory=deque)
+    #: rows routed but not yet sent to the current worker incarnation
+    #: (rebuilt from ``replay`` after a restart).
+    outbox: Deque[Tuple[int, float, int, int, int, float]] = field(
+        default_factory=deque)
+    #: last seqs of sent-but-unacked batches (backpressure window).
+    unacked: Deque[int] = field(default_factory=deque)
+    restart_at: Optional[float] = None
+    last_message_at: float = 0.0
+    finalize_sent: bool = False
+    document: Optional[Dict[str, Any]] = None
+    last_failure: str = "crash"
+
+    @property
+    def failures(self) -> int:
+        return sum(1 for outcome in self.attempts if outcome != "ok")
+
+    def checkpoint_file(self, directory: str) -> str:
+        return os.path.join(directory, f"partition-{self.unit}.ckpt.json")
+
+
+@dataclass
+class LiveRunResult:
+    """Outcome of one partitioned live run."""
+
+    results: Dict[int, BlockResult]
+    health: RunHealthReport
+    end: float
+    interrupted: bool = False
+    degraded: bool = False
+    observed: int = 0                #: records routed to partitions
+    unrouted: int = 0                #: records with no owning partition
+    restarts: int = 0
+    replayed_rows: int = 0           #: rows resent across all restarts
+    records_read: int = 0
+    stopped_early: bool = False
+    sentinel_windows: List[Tuple[float, float]] = field(default_factory=list)
+    sentinel_seconds: float = 0.0
+    manifest_path: Optional[str] = None
+
+
+class LivePartitionSupervisor:
+    """Coordinate a fleet of partition workers over one live stream.
+
+    One instance is one run: construct, :meth:`run`, inspect the
+    returned :class:`LiveRunResult`.  Failure containment follows the
+    batch :class:`~repro.parallel.ShardSupervisor` — crash (silent
+    death), hang (no heartbeat past the deadline while work is
+    outstanding), oom (RSS ceiling) — but recovery is
+    restart-from-checkpoint with gap replay instead of bisection: the
+    stream is unbounded, so "re-run the shard" is not an operation
+    that exists.
+    """
+
+    def __init__(
+        self,
+        model: TrainedModel,
+        *,
+        partitions: Optional[int] = None,
+        partition_chunk: Optional[int] = None,
+        policy: Optional[SupervisionPolicy] = None,
+        checkpoint_dir: Optional[str] = None,
+        checkpoint_every: float = 3600.0,
+        checkpoint_keep: int = 3,
+        reorder_horizon: float = 0.0,
+        late_policy: LatePolicy = LatePolicy.COUNT,
+        sentinel: bool = False,
+        drift: Optional[DriftConfig] = None,
+        max_quarantine_frac: float = 0.5,
+        start: Optional[float] = None,
+        metrics: Optional[Any] = None,
+        stop_requested: Optional[Callable[[], bool]] = None,
+        status: Optional[Callable[[str], None]] = None,
+        batch_rows: int = _BATCH_ROWS,
+    ) -> None:
+        if partitions is not None and partitions <= 0:
+            raise ValueError("partitions must be positive")
+        if partition_chunk is not None and partition_chunk <= 0:
+            raise ValueError("partition_chunk must be positive")
+        if reorder_horizon < 0:
+            raise ValueError("reorder_horizon must be >= 0")
+        self.model = model
+        self.policy = policy or SupervisionPolicy()
+        self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_every = float(checkpoint_every)
+        self.checkpoint_keep = int(checkpoint_keep)
+        self.reorder_horizon = float(reorder_horizon)
+        self.late_policy = late_policy
+        self.drift = drift
+        self.max_quarantine_frac = float(max_quarantine_frac)
+        self.start = float(start if start is not None else model.train_end)
+        self.metrics = resolve_registry(metrics)
+        self._stop = stop_requested or (lambda: False)
+        self._status = status or (lambda line: None)
+        self._batch_rows = int(batch_rows)
+
+        keys = sorted(model.parameters)
+        if partition_chunk is not None:
+            chunk = partition_chunk
+        elif partitions is not None:
+            chunk = max(1, -(-len(keys) // partitions))
+        else:
+            chunk = None
+        shards = plan_shards(keys, chunk)
+        # The plan hashes the population, not the worker count: the
+        # same model partitions identically on every box, and the
+        # backoff jitter below is seeded per (digest, unit).
+        self.digest = _plan_digest("live", model.family, self.start,
+                                   self.start, shards)
+        measurable = set(model.measurable_keys)
+        self.partitions = [
+            _LivePartition(
+                index=index, unit=f"{index:05d}", keys=list(shard),
+                measurable=[key for key in shard if key in measurable],
+                watermark=self.start)
+            for index, shard in enumerate(shards)
+        ]
+        self._owner = {key: partition.index
+                       for partition in self.partitions
+                       for key in partition.keys}
+        self._ctx = multiprocessing.get_context("spawn")
+        self._sentinel = (VantageSentinel(self.start, SentinelConfig())
+                          .bind_metrics(self.metrics)
+                          if sentinel else None)
+        # The sentinel judges the same (released, time-sorted) stream
+        # the single-process detector's sentinel sees; metrics are
+        # NULL so this shadow buffer doesn't double the workers'
+        # reorder counters.
+        self._sentinel_buffer = (
+            ReorderBuffer(self.reorder_horizon, self.late_policy,
+                          metrics=NULL_REGISTRY)
+            if sentinel and self.reorder_horizon > 0 else None)
+        self._m_observations = self.metrics.counter(
+            "stream_observations_total",
+            "Observations fed to the streaming detector")
+        self._front = float("-inf")
+        self._end = self.start
+        self._observed = 0
+        self._unrouted = 0
+        self._replayed_rows = 0
+        self._finalize_end: Optional[float] = None
+        self._finalize_windows: List[Tuple[float, float]] = []
+        self._run_status = "running"
+        self._manifest_written_at = 0.0
+        self.manifest_path = (
+            os.path.join(checkpoint_dir, "live-manifest.json")
+            if checkpoint_dir else None)
+
+    # -- manifest -----------------------------------------------------------
+
+    def _write_manifest(self, force: bool = False) -> None:
+        if self.manifest_path is None:
+            return
+        now = time.monotonic()
+        if not force and now - self._manifest_written_at < 1.0:
+            return
+        self._manifest_written_at = now
+        watermarks = [p.watermark for p in self.partitions
+                      if p.status != "lost"]
+        document = {
+            "format": LIVE_MANIFEST_FORMAT,
+            "plan_digest": self.digest,
+            "family": int(self.model.family),
+            "start": self.start,
+            "status": self._run_status,
+            "global_watermark": min(watermarks) if watermarks else self.start,
+            "partitions": [
+                {
+                    "index": p.index,
+                    "unit": p.unit,
+                    "blocks": len(p.keys),
+                    "measurable": len(p.measurable),
+                    "status": p.status,
+                    "watermark": p.watermark,
+                    "restarts": p.failures,
+                    "outcomes": list(p.attempts),
+                    "windows": p.windows,
+                    "drift_swaps": p.swaps,
+                    "checkpoint": f"partition-{p.unit}.ckpt.json",
+                }
+                for p in self.partitions
+            ],
+        }
+        atomic_write_text(self.manifest_path,
+                          json.dumps(document, indent=2, sort_keys=True))
+
+    # -- fleet lifecycle ----------------------------------------------------
+
+    def _spawn(self, partition: _LivePartition) -> None:
+        _ensure_child_import_path()
+        histories = {key: self.model.histories[key]
+                     for key in partition.keys
+                     if key in self.model.histories}
+        parameters = {key: self.model.parameters[key]
+                      for key in partition.keys}
+        payload = {
+            "index": partition.index,
+            "unit": partition.unit,
+            "keys": list(partition.keys),
+            "blocks": model_blocks_to_dict(histories, parameters),
+            "family": int(self.model.family),
+            "start": self.start,
+            "horizon": self.reorder_horizon,
+            "late_policy": self.late_policy.value,
+            "drift": self.drift,
+            "checkpoint": (partition.checkpoint_file(self.checkpoint_dir)
+                           if self.checkpoint_dir else None),
+            "checkpoint_every": self.checkpoint_every,
+            "keep": self.checkpoint_keep,
+            "resume": True,
+        }
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_live_worker_entry, args=(payload, child_conn),
+            daemon=True)
+        process.start()
+        child_conn.close()
+        partition.process = process
+        partition.conn = parent_conn
+        partition.status = "running"
+        partition.hello = False
+        partition.restart_at = None
+        partition.unacked.clear()
+        partition.last_message_at = time.monotonic()
+        self._write_manifest()
+
+    def _kill(self, partition: _LivePartition) -> None:
+        process = partition.process
+        if process is not None and process.is_alive():
+            process.terminate()
+            process.join(1.0)
+            if process.is_alive():
+                process.kill()
+                process.join(1.0)
+        if partition.conn is not None:
+            try:
+                partition.conn.close()
+            except Exception:
+                pass
+        partition.process = None
+        partition.conn = None
+
+    def _fail(self, partition: _LivePartition, outcome: str) -> None:
+        self._kill(partition)
+        partition.attempts.append(outcome)
+        partition.hello = False
+        partition.finalize_sent = False
+        partition.unacked.clear()
+        partition.outbox.clear()  # rebuilt from replay at the next hello
+        partition.last_failure = outcome
+        if partition.failures <= self.policy.retries:
+            delay = _backoff_delay(self.policy, self.digest, partition.unit,
+                                   partition.failures)
+            partition.restart_at = time.monotonic() + delay
+            partition.status = "pending"
+            self._status(f"partition {partition.unit} {outcome}; restarting "
+                         f"from checkpoint in {delay:.2f}s "
+                         f"(attempt {len(partition.attempts) + 1}/"
+                         f"{self.policy.max_attempts})")
+        else:
+            partition.status = "lost"
+            partition.replay.clear()
+            partition.outbox.clear()
+            self._status(f"partition {partition.unit} lost after "
+                         f"{len(partition.attempts)} attempts "
+                         f"[{','.join(partition.attempts)}]; its blocks "
+                         f"are dead-lettered as lost coverage")
+        self._write_manifest(force=True)
+
+    # -- message plumbing ---------------------------------------------------
+
+    def _handle(self, partition: _LivePartition,
+                message: Tuple[Any, ...]) -> None:
+        kind = message[0]
+        partition.last_message_at = time.monotonic()
+        if kind == "hello":
+            info = message[1]
+            resumed_seq = int(info.get("seq", -1))
+            partition.hello = True
+            partition.sent_seq = resumed_seq
+            partition.acked_seq = resumed_seq
+            partition.ckpt_seq = max(partition.ckpt_seq, resumed_seq)
+            while (partition.replay
+                   and partition.replay[0][0] <= partition.ckpt_seq):
+                partition.replay.popleft()
+            # Everything past the worker's checkpointed cursor is the
+            # gap it missed: resend exactly that, nothing else.
+            partition.outbox = deque(row for row in partition.replay
+                                     if row[0] > resumed_seq)
+            if partition.attempts:
+                self._replayed_rows += len(partition.outbox)
+        elif kind == "hb":
+            info = message[1]
+            partition.acked_seq = int(info["seq"])
+            partition.ckpt_seq = max(partition.ckpt_seq,
+                                     int(info["ckpt_seq"]))
+            partition.watermark = float(info["watermark"])
+            partition.windows = int(info["windows"])
+            partition.swaps = int(info["swaps"])
+            while (partition.unacked
+                   and partition.unacked[0] <= partition.acked_seq):
+                partition.unacked.popleft()
+            while (partition.replay
+                   and partition.replay[0][0] <= partition.ckpt_seq):
+                partition.replay.popleft()
+            self._write_manifest()
+        elif kind == "final":
+            partition.document = message[1]
+            partition.attempts.append("ok")
+            partition.status = "done"
+            partition.watermark = (self._finalize_end
+                                   if self._finalize_end is not None
+                                   else partition.watermark)
+            partition.windows = int(message[1].get("windows",
+                                                   partition.windows))
+            partition.swaps = len(message[1].get("swaps", []))
+            if partition.process is not None:
+                partition.process.join(1.0)
+            self._kill(partition)
+            self._write_manifest(force=True)
+        elif kind == "bye":
+            partition.status = "interrupted"
+            if partition.process is not None:
+                partition.process.join(1.0)
+            self._kill(partition)
+        elif kind == "fatal":
+            # An escaping worker exception is a harness bug: retrying
+            # deterministic code on the same replay would fail the same
+            # way, so propagate instead of burning the restart budget.
+            raise ShardWorkerError(
+                f"live partition {partition.unit} worker raised: "
+                f"{message[1]}")
+
+    def _pump(self, partition: _LivePartition) -> None:
+        """Send pending rows (and a due finalize) to a worker."""
+        if (partition.status != "running" or not partition.hello
+                or partition.conn is None):
+            return
+        while (partition.outbox
+               and len(partition.unacked) < _MAX_INFLIGHT_BATCHES):
+            batch = []
+            while partition.outbox and len(batch) < self._batch_rows:
+                batch.append(partition.outbox.popleft())
+            partition.conn.send(("obs", batch))
+            partition.sent_seq = batch[-1][0]
+            partition.unacked.append(partition.sent_seq)
+        if (self._finalize_end is not None and not partition.finalize_sent
+                and not partition.outbox):
+            # Pipe FIFO ordering guarantees the worker sees every
+            # routed row before the finalize cut.
+            partition.conn.send(("finalize", self._finalize_end,
+                                 self._finalize_windows))
+            partition.finalize_sent = True
+
+    def _service(self) -> None:
+        """One supervision pass: drain, judge, respawn, pump."""
+        now = time.monotonic()
+        for partition in self.partitions:
+            if partition.status == "running" and partition.conn is not None:
+                # Drain the pipe before the liveness verdict, so a
+                # worker that finished and exited still delivers.
+                try:
+                    while (partition.conn is not None
+                           and partition.conn.poll(0)):
+                        self._handle(partition, partition.conn.recv())
+                except (EOFError, OSError):
+                    pass
+                if partition.status != "running":
+                    continue
+                if (partition.process is not None
+                        and not partition.process.is_alive()):
+                    self._fail(partition, "crash")
+                    continue
+                outstanding = (bool(partition.unacked)
+                               or (partition.finalize_sent
+                                   and partition.document is None))
+                if (self.policy.timeout is not None and outstanding
+                        and now - partition.last_message_at
+                        > self.policy.timeout):
+                    self._fail(partition, "hang")
+                    continue
+                if (self.policy.max_rss_mb is not None
+                        and partition.process is not None):
+                    rss = _process_rss_mb(partition.process.pid)
+                    if rss is not None and rss > self.policy.max_rss_mb:
+                        self._fail(partition, "oom")
+                        continue
+            if (partition.status == "pending"
+                    and partition.restart_at is not None
+                    and now >= partition.restart_at):
+                self._spawn(partition)
+            self._pump(partition)
+
+    # -- the run ------------------------------------------------------------
+
+    def run(self, capture: str, tolerant: bool = False) -> LiveRunResult:
+        """Stream ``capture`` through the partition fleet and merge."""
+        for partition in self.partitions:
+            self._spawn(partition)
+        self._write_manifest(force=True)
+        interrupted = False
+        records_read = 0
+        stopped_early = False
+        records = 0
+        try:
+            with CaptureReader(capture, tolerant=tolerant) as reader:
+                for observation in reader:
+                    if self._stop():
+                        interrupted = True
+                        break
+                    self._route(observation)
+                    records += 1
+                    if records % 64 == 0:
+                        self._service()
+                records_read = reader.records_read
+                stopped_early = reader.stopped_early
+            if not interrupted:
+                self._finalize()
+                interrupted = self._stop()
+        except BaseException:
+            # Capture errors and worker-propagated ShardWorkerError
+            # alike: tear the fleet down hard, then let the caller see
+            # the original failure.
+            for partition in self.partitions:
+                self._kill(partition)
+            raise
+        if interrupted:
+            self._shutdown_fleet()
+        result = self._merge(interrupted)
+        result.records_read = records_read
+        result.stopped_early = stopped_early
+        for partition in self.partitions:
+            self._kill(partition)
+        return result
+
+    def _route(self, observation: Observation) -> None:
+        when = observation.time
+        if when < self.start:
+            return  # training-window traffic, not live
+        front_before = self._front
+        self._front = max(self._front, when)
+        self._end = max(self._end, when)
+        if self._sentinel is not None:
+            if self._sentinel_buffer is not None:
+                for ready in self._sentinel_buffer.push(observation):
+                    self._sentinel.observe(ready.time)
+            else:
+                self._sentinel.observe(when)
+        index = (self._owner.get(observation.block_key)
+                 if observation.family is self.model.family else None)
+        if index is None:
+            # The single-process detector counts (and ignores) records
+            # it has no block for; count them here so the merged
+            # counter matches.
+            self._unrouted += 1
+            self._m_observations.inc()
+            return
+        partition = self.partitions[index]
+        if partition.status == "lost":
+            return
+        row = (partition.next_seq, when, int(observation.family),
+               observation.source, observation.qtype, front_before)
+        partition.next_seq += 1
+        partition.replay.append(row)
+        partition.outbox.append(row)
+        self._observed += 1
+        if len(partition.outbox) >= self._batch_rows:
+            self._pump(partition)
+
+    def _finalize(self) -> None:
+        if self._sentinel is not None:
+            if self._sentinel_buffer is not None:
+                for ready in self._sentinel_buffer.flush():
+                    self._sentinel.observe(ready.time)
+            self._sentinel.advance(self._end)
+            self._finalize_windows = self._sentinel.quarantined_intervals()
+        self._finalize_end = self._end
+        while any(p.status in ("running", "pending")
+                  for p in self.partitions):
+            if self._stop():
+                return
+            self._service()
+            if any(p.status in ("running", "pending")
+                   for p in self.partitions):
+                time.sleep(self.policy.poll_interval)
+
+    def _shutdown_fleet(self) -> None:
+        """Graceful stop: ask every live worker to checkpoint and exit."""
+        deadline = time.monotonic() + 5.0
+        for partition in self.partitions:
+            if (partition.status == "running" and partition.hello
+                    and partition.conn is not None):
+                try:
+                    partition.conn.send(("shutdown",))
+                except (OSError, ValueError):
+                    continue
+        while (time.monotonic() < deadline
+               and any(p.status == "running" for p in self.partitions)):
+            for partition in self.partitions:
+                if partition.status != "running" or partition.conn is None:
+                    continue
+                try:
+                    while (partition.conn is not None
+                           and partition.conn.poll(0)):
+                        # "bye" flips the partition to interrupted; a
+                        # "final" that races the shutdown still counts.
+                        self._handle(partition, partition.conn.recv())
+                except (EOFError, OSError, ShardWorkerError):
+                    partition.status = "interrupted"
+            time.sleep(self.policy.poll_interval)
+        for partition in self.partitions:
+            if partition.status == "running":
+                partition.status = "interrupted"
+            self._kill(partition)
+
+    # -- merging ------------------------------------------------------------
+
+    def _merge(self, interrupted: bool) -> LiveRunResult:
+        documents = [p.document for p in self.partitions
+                     if p.document is not None]
+        results: Dict[int, BlockResult] = {}
+        for document in documents:
+            for entry in document["results"]:
+                result = block_result_from_dict(entry)
+                results[result.key] = result
+
+        merged = RunHealthReport.merged(
+            (RunHealthReport.from_dict(document["health"])
+             for document in documents),
+            run="streaming", max_quarantine_frac=self.max_quarantine_frac)
+        folded = False
+        if self.metrics.enabled:
+            for document in documents:
+                snapshot = document.get("metrics")
+                if snapshot is not None:
+                    self.metrics.merge_snapshot(snapshot)
+                    folded = True
+            merged.dead_letters.bind(dead_letter_metric(self.metrics),
+                                     backfill=not folded)
+            merged.guardrails.bind(guardrail_metric(self.metrics),
+                                   backfill=not folded)
+        if self._sentinel is not None:
+            merged.sentinel_windows = sorted(
+                set(tuple(window) for window in self._finalize_windows))
+
+        planned = len(self.model.measurable_keys)
+        lost_errors: Dict[int, BaseException] = {}
+        for partition in self.partitions:
+            if partition.status != "lost":
+                continue
+            error_cls = _OUTCOME_ERRORS.get(partition.last_failure,
+                                            ShardFatalError)
+            error = error_cls(
+                f"live partition {partition.unit} kept dying "
+                f"({partition.last_failure}) through "
+                f"{len(partition.attempts)} attempts "
+                f"[{','.join(partition.attempts)}]; its blocks were "
+                f"dead-lettered as lost coverage")
+            for key in partition.measurable:
+                lost_errors[key] = error
+        records = [
+            ShardAttemptRecord(
+                unit=partition.unit, outcomes=list(partition.attempts),
+                status={"done": "done", "lost": "lost"}.get(
+                    partition.status, "pending"))
+            for partition in self.partitions
+        ]
+        fold_lost_coverage(merged, "stream", planned, lost_errors, records,
+                           self.metrics if self.metrics.enabled else None)
+
+        degraded = bool(lost_errors)
+        self._run_status = ("interrupted" if interrupted
+                            else "degraded" if degraded else "finalized")
+        self._write_manifest(force=True)
+
+        result = LiveRunResult(
+            results=results, health=merged, end=self._end,
+            interrupted=interrupted, degraded=degraded,
+            observed=self._observed, unrouted=self._unrouted,
+            restarts=sum(p.failures for p in self.partitions),
+            replayed_rows=self._replayed_rows,
+            sentinel_windows=list(merged.sentinel_windows),
+            sentinel_seconds=(self._sentinel.quarantined_seconds()
+                              if self._sentinel is not None else 0.0),
+            manifest_path=self.manifest_path)
+        if not interrupted:
+            # The parent owns the budget verdict over the merged
+            # population, exactly like the single-process finalize.
+            try:
+                ErrorBudget(self.max_quarantine_frac).check(
+                    "stream", planned, len(merged.dead_letters))
+            except ErrorBudgetExceeded as error:
+                merged.budget_tripped = True
+                error.report = merged
+                raise
+        return result
+
+
+def run_partitioned_live(model: TrainedModel, capture: str,
+                         tolerant: bool = False,
+                         **kwargs: Any) -> LiveRunResult:
+    """Convenience wrapper: build a supervisor and run one capture."""
+    supervisor = LivePartitionSupervisor(model, **kwargs)
+    return supervisor.run(capture, tolerant=tolerant)

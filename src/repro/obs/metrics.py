@@ -449,6 +449,27 @@ class MetricsRegistry:
         with self._lock:
             return self._families.get(name)
 
+    def value(self, name: str, **labels: Any) -> Optional[float]:
+        """Current value of one counter/gauge series, or None.
+
+        Strictly read-only: unlike ``get(...).labels(...)`` this never
+        registers the family or creates the child, so probing a metric
+        (supervisor heartbeat displays, tests, the CLI summary) cannot
+        perturb the snapshot it is about to compare.  Histograms have
+        no single value and read as None; so do unknown families,
+        mismatched label sets, and never-touched label combinations.
+        """
+        with self._lock:
+            family = self._families.get(name)
+            if family is None or family.kind == "histogram":
+                return None
+            if set(labels) != set(family.labelnames):
+                return None
+            key = tuple(str(labels[label])
+                        for label in family.labelnames)
+            child = family._children.get(key)
+            return None if child is None else child.value
+
     def families(self) -> List[MetricFamily]:
         with self._lock:
             return [self._families[name]
@@ -751,6 +772,9 @@ class NullRegistry:
 
     def families(self) -> List[MetricFamily]:
         return []
+
+    def value(self, name: str, **labels: Any) -> Optional[float]:
+        return None
 
     def snapshot(self) -> Dict[str, Any]:
         return {"format": SNAPSHOT_FORMAT, "metrics": []}

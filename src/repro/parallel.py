@@ -99,10 +99,10 @@ from .core.checkpoint import (
 from .core.detector import dead_letter_metric, guardrail_metric
 from .core.events import RefinementConfig
 from .core.health import (
-    CoverageReport,
     ErrorBudgetExceeded,
     RunHealthReport,
     ShardAttemptRecord,
+    fold_lost_coverage,
 )
 from .core.parameters import HomogeneousPlanner, TuningPolicy
 from .core.pipeline import PassiveOutagePipeline, PipelineResult, TrainedModel
@@ -945,22 +945,18 @@ def _apply_supervision(report: RunHealthReport, stage_name: str,
                        metrics: Any) -> None:
     """Fold supervised-run delivery accounting into a merged report.
 
-    Lost blocks join the *existing* stage row as attempted-and-
-    quarantined (not a separate row: ``blocks_attempted`` is the max
-    over stage rows, so a parallel row would break ``accounts_for``
-    over the full population) and are dead-lettered under
-    ``stage="supervision"`` through the registry's normal ``record``
-    path — the single write path that keeps report and metrics in
-    lockstep.  Runs after :func:`_merged_report` binds the registry,
-    before the budget verdict, so lost blocks are judged by the error
-    budget exactly like data-poisoned ones.
+    Thin adapter over :func:`repro.core.health.fold_lost_coverage`
+    (shared with the partitioned live supervisor): this wrapper only
+    translates bisection units into per-block supervision errors, with
+    the last non-ok attempt outcome picking the error class.  Runs
+    after :func:`_merged_report` binds the registry, before the budget
+    verdict, so lost blocks are judged by the error budget exactly
+    like data-poisoned ones.
     """
     if records is None:
         return
     lost_set = set(lost_keys)
-    stage = report.stage(stage_name)
-    stage.attempted += len(lost_set)
-    stage.quarantined += len(lost_set)
+    lost_errors: Dict[int, BaseException] = {}
     for unit in sorted(lost_units, key=lambda u: u.unit_id):
         failure = next(
             (o for o in reversed(unit.attempts) if o != "ok"), "crash")
@@ -971,17 +967,9 @@ def _apply_supervision(report: RunHealthReport, stage_name: str,
             f"[{','.join(unit.attempts)}]; block isolated by bisection")
         for key in unit.keys:
             if key in lost_set:
-                report.dead_letters.record("supervision", key, error)
-    report.dead_letters.canonicalize()
-    report.coverage = CoverageReport(
-        blocks_planned=planned,
-        blocks_delivered=planned - len(lost_set),
-        blocks_lost=sorted(lost_set),
-        shard_attempts=records)
-    metrics.gauge(
-        "supervision_lost_blocks",
-        "Blocks whose supervised workers kept dying; dead-lettered "
-        "under stage=supervision").set(len(lost_set))
+                lost_errors[key] = error
+    fold_lost_coverage(report, stage_name, planned, lost_errors, records,
+                       metrics)
 
 
 def _fold_telemetry(pipeline: PassiveOutagePipeline,

@@ -191,6 +191,98 @@ class ReorderBuffer:
         """Release everything still buffered, in time order."""
         return self._drain(float("inf"))
 
+    def advance_front(self, time: float) -> List[Observation]:
+        """Advance the stream front from an *external* clock.
+
+        A partitioned live worker's buffer sees only its own keys, so
+        its front — and therefore its watermark — would lag a global
+        buffer's whenever the partition is sparse, releasing records
+        later and judging lateness against a softer boundary.  The
+        parent ships the global stream front alongside every routed
+        record; calling this before each push makes a per-partition
+        buffer behave exactly like the single global buffer restricted
+        to the partition's records (same releases, same late verdicts),
+        which is what the partitioned≡single equivalence contract
+        rests on.  Returns the records the advanced watermark released.
+        """
+        if not math.isfinite(time):
+            raise ValueError(
+                f"non-finite external front t={time!r} would wedge the "
+                f"reorder watermark")
+        if time <= self._front:
+            return []
+        self._front = time
+        return self._drain(self.watermark)
+
+    # -- checkpoint support -------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-able snapshot of the buffer's full mutable state.
+
+        The held-back records travel with the watermark bookkeeping: a
+        live monitor checkpointing its detector must checkpoint the
+        observations still *inside* its reorder buffer too, or a
+        restart would silently lose every record the watermark had not
+        yet released.  Restoring via :meth:`restore_state` and feeding
+        the remainder of the stream is bit-for-bit identical to never
+        having stopped (heap entries keep their arrival sequence, so
+        tie-breaking survives the round trip).
+        """
+        return {
+            "horizon_seconds": self.horizon_seconds,
+            "policy": self.policy.value,
+            "heap": [[time, sequence,
+                      [observation.time, int(observation.family),
+                       observation.source, observation.qtype]]
+                     for time, sequence, observation in sorted(self._heap)],
+            "sequence": self._sequence,
+            "front": self._front,
+            "emitted_up_to": self._emitted_up_to,
+            "last_arrival": self._last_arrival,
+            "stats": self.stats.as_dict(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Load a :meth:`state_dict` snapshot into this buffer.
+
+        The buffer must have been constructed with the same horizon and
+        policy the snapshot was taken under; a mismatch is a caller bug
+        (the snapshot's watermark arithmetic assumed the old horizon)
+        and raises rather than silently corrupting emission order.
+        """
+        from ..net.addr import Family
+
+        if float(state["horizon_seconds"]) != self.horizon_seconds:
+            raise ValueError(
+                f"snapshot horizon {state['horizon_seconds']}s does not "
+                f"match buffer horizon {self.horizon_seconds}s")
+        if str(state["policy"]) != self.policy.value:
+            raise ValueError(
+                f"snapshot policy {state['policy']!r} does not match "
+                f"buffer policy {self.policy.value!r}")
+        self._heap = [
+            (float(time), int(sequence),
+             Observation(float(row[0]), Family(int(row[1])),
+                         int(row[2]), int(row[3])))
+            for time, sequence, row in state["heap"]]
+        heapq.heapify(self._heap)
+        self._sequence = int(state["sequence"])
+        self._front = float(state["front"])
+        self._emitted_up_to = float(state["emitted_up_to"])
+        self._last_arrival = float(state["last_arrival"])
+        stats = state.get("stats", {})
+        self.stats = ReorderStats(
+            pushed=int(stats.get("pushed", 0)),
+            emitted=int(stats.get("emitted", 0)),
+            out_of_order=int(stats.get("out_of_order", 0)),
+            late_total=int(stats.get("late_total", 0)),
+            late_admitted=int(stats.get("late_admitted", 0)),
+            late_dropped=int(stats.get("late_dropped", 0)),
+            max_displacement_seconds=float(
+                stats.get("max_displacement_seconds", 0.0)),
+            occupancy_peak=int(stats.get("occupancy_peak", 0)),
+        )
+
     def _drain(self, up_to: float) -> List[Observation]:
         ready: List[Observation] = []
         heap = self._heap

@@ -50,8 +50,9 @@ __all__ = ["drop_observations", "duplicate_observations",
            "corrupt_capture", "poison_timestamps", "poison_block_times",
            "degenerate_parameters", "compose",
            "PROCESS_FAULT_ENV", "crash_on_block", "hang_on_block",
-           "balloon_rss_on_block", "process_fault_env",
-           "activate_process_faults"]
+           "balloon_rss_on_block", "slow_on_block", "after_windows",
+           "process_fault_env", "activate_process_faults",
+           "StreamingFaultPlan", "load_streaming_faults"]
 
 Stream = Iterable[Observation]
 Mutator = Callable[[Stream], Iterator[Observation]]
@@ -335,6 +336,41 @@ def balloon_rss_on_block(block_key: int, mb: float = 512.0,
             "hold_seconds": float(hold_seconds), "times": times}
 
 
+def slow_on_block(block_key: int, seconds: float = 0.05,
+                  times: Optional[int] = None) -> Dict[str, Any]:
+    """Hook spec: stretch every window of the worker owning ``block_key``.
+
+    Streaming-only (always combined with :func:`after_windows`): once
+    the threshold is reached the worker sleeps ``seconds`` at every
+    subsequent window close, slowing it without wedging it — the knob
+    the graceful-shutdown test uses to guarantee a SIGTERM lands while
+    the run is demonstrably mid-stream.
+    """
+    return {"kind": "slow", "block": int(block_key),
+            "seconds": float(seconds), "times": times}
+
+
+def after_windows(hook: Dict[str, Any], windows: int) -> Dict[str, Any]:
+    """Defer a process-fault spec until the worker has closed K windows.
+
+    Batch workers fire faults at shard *entry*; a streaming worker has
+    no entry worth faulting (it starts idle and accumulates state), so
+    its chaos faults key off progress instead: the fault arms only once
+    the owning worker's detector has closed ``windows`` bins.  Because
+    ``windows_closed`` is checkpointed, a restarted worker resumes
+    *past* the threshold rather than re-approaching it — a ``times=1``
+    crash therefore fires exactly once across the restart chain, while
+    a ``times=None`` crash models a persistent killer that exhausts the
+    partition's restart budget.  Batch entry
+    (:func:`activate_process_faults`) skips deferred specs entirely.
+    """
+    if windows < 0:
+        raise ValueError("after_windows threshold must be >= 0")
+    deferred = dict(hook)
+    deferred["after_windows"] = int(windows)
+    return deferred
+
+
 def process_fault_env(*hooks: Dict[str, Any],
                       counter_dir: Optional[str] = None) -> Dict[str, str]:
     """Environment mapping that activates ``hooks`` in shard workers.
@@ -419,8 +455,74 @@ def activate_process_faults(keys: Iterable[int],
     counter_dir = spec.get("counter_dir")
     keyset = {int(key) for key in keys}
     for fault in spec.get("faults", []):
+        if fault.get("after_windows") is not None:
+            continue  # streaming-deferred: fires via StreamingFaultPlan
         if int(fault.get("block", -1)) not in keyset:
             continue
         if not _consume_fault_attempt(fault, counter_dir):
             continue
         _fire_process_fault(fault)
+
+
+class StreamingFaultPlan:
+    """Armed window-deferred faults for one live partition worker.
+
+    Built by :func:`load_streaming_faults` at worker entry; the worker
+    calls :meth:`on_windows` with its detector's cumulative
+    ``windows_closed`` after feeding each observation.  One-shot kinds
+    (crash/hang/rss) fire at most once per process and burn their
+    cross-process ``times`` charge through the same counter files as
+    batch faults; the ``slow`` kind re-fires at every new window past
+    its threshold, since its whole purpose is sustained drag.
+    """
+
+    def __init__(self, faults: List[Dict[str, Any]],
+                 counter_dir: Optional[str]) -> None:
+        self._faults = [dict(fault) for fault in faults]
+        self._counter_dir = counter_dir
+        self._slow_fired_at: Dict[int, int] = {}
+
+    def __bool__(self) -> bool:
+        return bool(self._faults)
+
+    def on_windows(self, windows_closed: int) -> None:
+        """Fire every armed fault whose window threshold is reached."""
+        for index, fault in enumerate(self._faults):
+            if windows_closed < int(fault["after_windows"]):
+                continue
+            if fault.get("kind") == "slow":
+                if self._slow_fired_at.get(index) == windows_closed:
+                    continue
+                self._slow_fired_at[index] = windows_closed
+                time.sleep(float(fault.get("seconds", 0.05)))
+                continue
+            if fault.get("_spent"):
+                continue
+            fault["_spent"] = True
+            if not _consume_fault_attempt(fault, self._counter_dir):
+                continue
+            _fire_process_fault(fault)
+
+
+def load_streaming_faults(keys: Iterable[int],
+                          environ: Optional[Mapping[str, str]] = None,
+                          ) -> Optional[StreamingFaultPlan]:
+    """The window-deferred faults targeting a partition's keyspace.
+
+    Streaming counterpart of :func:`activate_process_faults`: returns
+    None (one dict lookup, no JSON parse on the common path) unless
+    :data:`PROCESS_FAULT_ENV` names a deferred fault whose block the
+    partition owns.
+    """
+    raw = (environ if environ is not None else os.environ).get(
+        PROCESS_FAULT_ENV)
+    if not raw:
+        return None
+    spec = json.loads(raw)
+    keyset = {int(key) for key in keys}
+    faults = [fault for fault in spec.get("faults", [])
+              if fault.get("after_windows") is not None
+              and int(fault.get("block", -1)) in keyset]
+    if not faults:
+        return None
+    return StreamingFaultPlan(faults, spec.get("counter_dir"))
