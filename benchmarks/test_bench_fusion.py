@@ -2,8 +2,21 @@
 
 Adding a darknet telescope as a second passive source raises coverage
 (blocks sparse at one vantage are loud at the other) and outage
-detection, at unchanged precision.
+detection, at unchanged precision.  Two fusion shapes run side by
+side: the naive packet-merge retrain, and the deployable
+evidence-fusion layer (``repro.fusion``: per-source models and
+sentinels, reliability-weighted log-likelihoods).  The layered
+detector path must clear the same precision bar as the merge while
+strictly beating the DNS-only coverage — otherwise graceful
+degradation was bought with accuracy, which is not a trade this
+system makes.
+
+``pytest benchmarks/test_bench_fusion.py -s`` prints the comparison,
+and CI saves it as the ``BENCH_fusion.json`` artefact.
 """
+
+import json
+import os
 
 from repro.experiments import run_darknet_fusion
 
@@ -14,6 +27,37 @@ def test_bench_fusion(benchmark, bench_scale):
                                 rounds=1, iterations=1)
     print()
     print(result.text)
+
+    out = os.environ.get("REPRO_BENCH_FUSION_OUT")
+    if out:
+        with open(out, "w") as handle:
+            json.dump({
+                "scale": bench_scale,
+                "coverage": {
+                    "dns": result.dns_coverage,
+                    "darknet": result.darknet_coverage,
+                    "merged": result.fused_coverage,
+                    "layered": result.layered_coverage,
+                },
+                "precision": {
+                    "dns": result.dns_confusion.precision,
+                    "darknet": result.darknet_confusion.precision,
+                    "merged": result.fused_confusion.precision,
+                    "layered": result.layered_confusion.precision,
+                },
+                "tnr": {
+                    "dns": result.dns_confusion.tnr,
+                    "darknet": result.darknet_confusion.tnr,
+                    "merged": result.fused_confusion.tnr,
+                    "layered": result.layered_confusion.tnr,
+                },
+            }, handle, indent=2, sort_keys=True)
+
     assert result.fused_coverage >= result.dns_coverage
     assert result.fused_confusion.tnr >= result.dns_confusion.tnr - 0.02
     assert result.fused_confusion.precision > 0.995
+    # The fused detector path: no precision paid for fault tolerance,
+    # and strictly more of the population measurable than DNS alone.
+    assert result.layered_coverage > result.dns_coverage
+    assert result.layered_confusion.tnr >= result.dns_confusion.tnr - 0.02
+    assert result.layered_confusion.precision > 0.995

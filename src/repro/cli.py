@@ -692,6 +692,21 @@ def _render_health_report(document: Dict) -> str:
                 f"succeeded {stage.succeeded}, "
                 f"quarantined {stage.quarantined} "
                 f"({stage.seconds:.2f}s)")
+    if report.sources:
+        lines.append("vantages:")
+        for name in sorted(report.sources):
+            source = report.sources[name]
+            line = (f"  {name}: weight {source.weight:.4f}, "
+                    f"{source.observations} observations, "
+                    f"{source.healthy_bins} healthy / "
+                    f"{source.quiet_bins} quiet bins, "
+                    f"{source.gated_bins} gated, "
+                    f"{source.measurable_blocks} measurable blocks")
+            if source.quarantine_windows:
+                line += (f", quarantined "
+                         f"{source.quarantined_seconds:,.0f}s over "
+                         f"{len(source.quarantine_windows)} window(s)")
+            lines.append(line)
     coverage = report.coverage
     if coverage is not None:
         lines.append("coverage (supervised run):")
@@ -748,6 +763,37 @@ def _render_live_manifest(document: Dict) -> str:
     return "\n".join(lines)
 
 
+def _render_fusion_state(document: Dict) -> str:
+    """Per-source sentinel and reliability state of a fused checkpoint.
+
+    Deterministic (pinned by a golden test): sources in roster order,
+    quarantine windows in time order.  State is rehydrated through the
+    same ``from_dict`` path the restorer uses, so what this prints is
+    what a resumed detector would actually trust.
+    """
+    from .fusion import SourceMonitor
+
+    fusion = document["fusion"]
+    names = list(fusion.get("sources", []))
+    lines = [f"fused vantages ({len(names)}, "
+             f"primary {fusion.get('primary', '?')}):"]
+    for name in names:
+        monitor = SourceMonitor.from_dict(fusion["monitors"][name])
+        sentinel = monitor.sentinel
+        state = "healthy"
+        if sentinel.suspect_since is not None:
+            state = f"SUSPECT since t={sentinel.suspect_since:,.1f}s"
+        lines.append(
+            f"  {name}: weight {monitor.weight:.4f} ({state}), "
+            f"{monitor.observations} observations, "
+            f"{monitor.healthy_bins} healthy / "
+            f"{monitor.quiet_bins} quiet bins, "
+            f"{monitor.gated_bins} gated")
+        for left, right in sentinel.quarantined_intervals():
+            lines.append(f"    quarantined [{left:,.1f}s, {right:,.1f}s)")
+    return "\n".join(lines)
+
+
 def _cmd_inspect(args: argparse.Namespace) -> int:
     """Pretty-print a metrics snapshot, health report, or checkpoint."""
     try:
@@ -774,14 +820,24 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
         print(_render_health_report(document))
         return 0
     elif "format_version" in document:
+        fused = document.get("fusion")
+        if fused is not None:
+            print(f"fused checkpoint {args.path} "
+                  f"(t={float(document.get('last_time', 0.0)):,.1f}s)")
+            print(_render_fusion_state(document))
         snapshot = document.get("metrics")
         if snapshot is None:
+            if fused is not None:
+                return 0
             print(f"{args.path} is a checkpoint without embedded telemetry "
                   f"(it was written by a monitor with metrics off)",
                   file=sys.stderr)
             return 1
-        print(f"embedded telemetry from checkpoint {args.path} "
-              f"(t={float(document.get('last_time', 0.0)):,.1f}s)")
+        if fused is None:
+            print(f"embedded telemetry from checkpoint {args.path} "
+                  f"(t={float(document.get('last_time', 0.0)):,.1f}s)")
+        else:
+            print("embedded telemetry:")
     else:
         print(f"{args.path} is neither a metrics snapshot nor a checkpoint",
               file=sys.stderr)

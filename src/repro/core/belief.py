@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import time as _time
 from dataclasses import dataclass
-from typing import Any, Optional, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -33,7 +33,8 @@ from .health import BlockDataError, GuardrailCounters
 from .parameters import BlockParameters
 
 __all__ = ["BeliefState", "vector_belief_pass", "guarded_belief_pass",
-           "BELIEF_FLOOR", "BELIEF_CEIL"]
+           "bin_log_likelihood_ratio", "fused_posterior",
+           "fused_belief_pass", "BELIEF_FLOOR", "BELIEF_CEIL"]
 
 #: Belief clamp bounds; keep strictly inside (0, 1) so evidence can
 #: always move the posterior back (no absorbing states).
@@ -348,6 +349,245 @@ def guarded_belief_pass(
             "belief_bins_total",
             "Bins filtered by the vectorised belief pass").inc(
                 n_blocks * n_bins)
+        if pass_clock is not None:
+            metrics.histogram(
+                "belief_pass_seconds",
+                "Wall-time of one vectorised belief pass").observe(
+                    _time.perf_counter() - pass_clock)
+    return states, beliefs, poisoned
+
+
+# -- multi-source evidence fusion -------------------------------------------
+#
+# With several vantages the correction step generalises naturally in
+# log-odds space: each source contributes an independent per-bin
+# log-likelihood ratio log P(count|up)/P(count|down) under *its own*
+# likelihood parameters, scaled by a reliability weight in [0, 1].
+# Weight 1 is full Bayesian trust, weight 0 removes the source from the
+# update entirely (prediction only), and intermediate weights temper a
+# vantage whose recent health history is shaky — a soft version of the
+# sentinel's hard quarantine that degrades evidence before the failure
+# is confirmed and restores it gradually afterwards.
+
+
+def bin_log_likelihood_ratio(count: float, p_empty_up: float,
+                             noise_nonempty: float) -> float:
+    """One bin's evidence, log P(count | up) / P(count | down).
+
+    Uses the same presence/absence likelihoods and capped count
+    discount as :meth:`BeliefState.update`, with the same guardrails: a
+    non-finite likelihood parameter raises :class:`BlockDataError`
+    (poisoned model), a degenerate ``p_empty_up`` is clamped strictly
+    inside (0, 1), and a non-finite or negative count is no evidence
+    (ratio 0).
+    """
+    if not (np.isfinite(p_empty_up) and np.isfinite(noise_nonempty)):
+        raise BlockDataError(
+            f"non-finite likelihood parameters (p_empty_up={p_empty_up!r}, "
+            f"noise_nonempty={noise_nonempty!r}): source model is poisoned")
+    p_empty = min(max(p_empty_up, _PROB_EPS), 1.0 - _PROB_EPS)
+    noise = min(max(noise_nonempty, _PROB_EPS), 1.0 - _PROB_EPS)
+    if not (np.isfinite(count) and count >= 0):
+        return 0.0
+    if count == 0:
+        return float(np.log(p_empty) - np.log(1.0 - noise))
+    likelihood_up = max(1.0 - p_empty, 1e-3)
+    likelihood_down = noise * max(8.0 ** -(count - 1), 1.0 / _COUNT_RATIO_CAP)
+    return float(np.log(likelihood_up) - np.log(likelihood_down))
+
+
+def fused_posterior(belief: float, weighted_llr: float, prior_down: float,
+                    prior_up_recovery: float) -> float:
+    """One fused filter step: transition prior, then log-odds evidence.
+
+    ``weighted_llr`` is the sum over sources of ``weight_s * llr_s``
+    for the bin.  Equivalent to :meth:`BeliefState.update`'s
+    prediction+correction when a single source contributes at weight 1
+    (up to floating-point rounding of the log/exp round trip).
+    """
+    if not np.isfinite(weighted_llr):
+        raise BlockDataError(
+            f"non-finite fused evidence {weighted_llr!r}: a source "
+            f"likelihood is poisoned")
+    predicted = (belief * (1.0 - prior_down)
+                 + (1.0 - belief) * prior_up_recovery)
+    predicted = min(max(predicted, BELIEF_FLOOR), BELIEF_CEIL)
+    log_odds = np.log(predicted) - np.log1p(-predicted) + weighted_llr
+    posterior = 1.0 / (1.0 + np.exp(-log_odds))
+    return float(np.clip(posterior, BELIEF_FLOOR, BELIEF_CEIL))
+
+
+def fused_belief_pass(
+    counts_by_source: Sequence[np.ndarray],
+    p_empty_by_source: Sequence[np.ndarray],
+    noise_by_source: Sequence[np.ndarray],
+    weights_by_source: Sequence[np.ndarray],
+    prior_down: np.ndarray,
+    prior_up_recovery: np.ndarray,
+    down_threshold: float = 0.1,
+    up_threshold: float = 0.9,
+    initial_belief: Optional[np.ndarray] = None,
+    return_beliefs: bool = False,
+    guardrails: Optional[GuardrailCounters] = None,
+    metrics: Optional[Any] = None,
+) -> Tuple[np.ndarray, Optional[np.ndarray], np.ndarray]:
+    """Vectorised multi-source filter over a shared bin grid.
+
+    Each source ``s`` supplies a ``(n_blocks, n_bins)`` count matrix,
+    per-block likelihood parameters (``p_empty`` as a vector or a
+    time-varying matrix, ``noise_nonempty`` as a vector), and a
+    reliability-weight array — ``(n_bins,)`` when the weight applies to
+    the whole population (vantage health is a property of the observer,
+    not of any single block), or ``(n_blocks, n_bins)`` when some
+    blocks do not participate in a source at all (the per-bin health
+    weight times a 0/1 participation mask).  Transition priors and
+    hysteresis thresholds are shared (the lead source's per-block
+    tuning).
+
+    Guardrail semantics mirror :func:`guarded_belief_pass` per source:
+    poisoned count entries contribute zero evidence, a block with
+    non-finite parameters in *any* contributing source is pinned "up"
+    and flagged in the returned ``poisoned_rows`` mask.
+
+    A bin in which *every* source is gated (zero weight) for a block is
+    evidence-free and freezes that block's belief and verdict — the
+    transition prior does not run, so a fully-blinded stretch can never
+    drift a healthy block across the down threshold.
+    """
+    guardrails = guardrails if guardrails is not None else GuardrailCounters()
+    pass_clock = (_time.perf_counter()
+                  if metrics is not None and metrics.enabled else None)
+    n_sources = len(counts_by_source)
+    if n_sources == 0:
+        raise ValueError("fused_belief_pass needs at least one source")
+    if not (len(p_empty_by_source) == len(noise_by_source)
+            == len(weights_by_source) == n_sources):
+        raise ValueError("per-source argument lists must align")
+    counts_by_source = [np.asarray(c) for c in counts_by_source]
+    n_blocks, n_bins = counts_by_source[0].shape
+    for counts in counts_by_source[1:]:
+        if counts.shape != (n_blocks, n_bins):
+            raise ValueError("all sources must share the bin grid "
+                             f"({n_blocks}, {n_bins}); got {counts.shape}")
+    prior_down = np.asarray(prior_down, dtype=float)
+    prior_up_recovery = np.asarray(prior_up_recovery, dtype=float)
+    if prior_down.shape != (n_blocks,) or prior_up_recovery.shape != (n_blocks,):
+        raise ValueError(f"priors must have shape ({n_blocks},)")
+
+    pinned = (~np.isfinite(prior_down)) | (~np.isfinite(prior_up_recovery))
+    poisoned = pinned.copy()
+    llr_by_source: List[np.ndarray] = []
+    weight_rows: List[np.ndarray] = []
+    for index in range(n_sources):
+        counts = counts_by_source[index]
+        p_empty = np.asarray(p_empty_by_source[index], dtype=float)
+        noise = np.asarray(noise_by_source[index], dtype=float)
+        weights = np.asarray(weights_by_source[index], dtype=float)
+        if p_empty.shape not in ((n_blocks,), (n_blocks, n_bins)):
+            raise ValueError(
+                f"source {index}: p_empty must be ({n_blocks},) or "
+                f"({n_blocks}, {n_bins})")
+        if noise.shape != (n_blocks,):
+            raise ValueError(f"source {index}: noise must be ({n_blocks},)")
+        if weights.shape not in ((n_bins,), (n_blocks, n_bins)):
+            raise ValueError(
+                f"source {index}: weights must be ({n_bins},) or "
+                f"({n_blocks}, {n_bins})")
+        if counts.dtype.kind == "f":
+            bad_counts = ~np.isfinite(counts)
+            negative = counts < 0
+        else:
+            bad_counts = np.zeros(counts.shape, dtype=bool)
+            negative = counts < 0
+        invalid = bad_counts | negative
+        guardrails.trip("nonfinite_count", int(bad_counts.sum()))
+        guardrails.trip("negative_count", int(negative.sum()))
+        bad_params = ~np.isfinite(noise)
+        if p_empty.ndim == 2:
+            bad_params |= ~np.isfinite(p_empty).all(axis=1)
+        else:
+            bad_params |= ~np.isfinite(p_empty)
+        guardrails.trip("nonfinite_parameter", int(bad_params.sum()))
+        degenerate = np.isfinite(p_empty) & ((p_empty <= 0.0)
+                                             | (p_empty >= 1.0))
+        guardrails.trip("degenerate_p_empty", int(degenerate.sum()))
+        p_empty = np.clip(np.nan_to_num(p_empty, nan=0.5),
+                          _PROB_EPS, 1.0 - _PROB_EPS)
+        noise = np.clip(np.nan_to_num(noise, nan=0.5),
+                        _PROB_EPS, 1.0 - _PROB_EPS)
+        pinned |= bad_params
+        poisoned |= bad_params | invalid.any(axis=1)
+        safe_counts = np.where(invalid, 0, counts)
+        empty = safe_counts == 0
+        if p_empty.ndim == 1:
+            p_empty = p_empty[:, None]
+        llr_empty = np.log(p_empty) - np.log(1.0 - noise)[:, None]
+        extra = np.maximum(safe_counts - 1, 0)
+        count_discount = np.maximum(
+            np.power(8.0, -extra.astype(float)), 1.0 / _COUNT_RATIO_CAP)
+        llr_nonempty = (np.log(np.maximum(1.0 - p_empty, 1e-3))
+                        - np.log(noise)[:, None] - np.log(count_discount))
+        llr = np.where(empty, llr_empty, llr_nonempty)
+        if invalid.any():
+            llr = np.where(invalid, 0.0, llr)
+        llr_by_source.append(llr)
+        weight_rows.append(np.clip(np.nan_to_num(weights, nan=0.0), 0.0, 1.0))
+    guardrails.trip("masked_row", int(poisoned.sum()))
+
+    safe_prior_down = np.where(np.isfinite(prior_down), prior_down, 0.0)
+    safe_prior_up = np.where(np.isfinite(prior_up_recovery),
+                             prior_up_recovery, 0.0)
+
+    belief = np.full(n_blocks, BELIEF_CEIL)
+    if initial_belief is not None:
+        belief = np.clip(np.asarray(initial_belief, dtype=float),
+                         BELIEF_FLOOR, BELIEF_CEIL).copy()
+    up = np.ones(n_blocks, dtype=bool)
+    states = np.empty((n_blocks, n_bins), dtype=bool)
+    beliefs = np.empty((n_blocks, n_bins)) if return_beliefs else None
+
+    for bin_index in range(n_bins):
+        predicted = (belief * (1.0 - safe_prior_down)
+                     + (1.0 - belief) * safe_prior_up)
+        np.clip(predicted, BELIEF_FLOOR, BELIEF_CEIL, out=predicted)
+        log_odds = np.log(predicted) - np.log1p(-predicted)
+        contributed = np.zeros(n_blocks, dtype=bool)
+        for source_index in range(n_sources):
+            weights = weight_rows[source_index]
+            weight = (weights[:, bin_index] if weights.ndim == 2
+                      else weights[bin_index])
+            if np.max(weight) <= 0.0:
+                continue
+            contributed |= weight > 0.0
+            log_odds += weight * llr_by_source[source_index][:, bin_index]
+        updated = 1.0 / (1.0 + np.exp(-log_odds))
+        np.clip(updated, BELIEF_FLOOR, BELIEF_CEIL, out=updated)
+        # An evidence-free bin (every source gated for this block) is a
+        # freeze, not an update: letting the transition prior run free
+        # would walk the belief toward its stationary point and
+        # eventually cross the down threshold — a false onset
+        # manufactured purely by the *observer's* failure.  Belief and
+        # verdict hold until some vantage can see the block again.
+        belief = np.where(contributed, updated, belief)
+        up = np.where(contributed,
+                      np.where(up, belief > down_threshold,
+                               belief >= up_threshold),
+                      up)
+        states[:, bin_index] = up
+        if beliefs is not None:
+            beliefs[:, bin_index] = belief
+    if pinned.any():
+        # A row filtered on substitute parameters is not a verdict; rows
+        # poisoned only through counts keep the neutralised trajectory,
+        # matching :func:`guarded_belief_pass`.
+        states[pinned] = True
+        if beliefs is not None:
+            beliefs[pinned] = BELIEF_CEIL
+    if metrics is not None:
+        metrics.counter(
+            "belief_bins_total",
+            "Bins filtered by the vectorised belief pass").inc(
+                n_sources * n_blocks * n_bins)
         if pass_clock is not None:
             metrics.histogram(
                 "belief_pass_seconds",

@@ -25,7 +25,7 @@ from __future__ import annotations
 import json
 import os
 import time as _time
-from typing import Any, Dict, Mapping, Optional, Union
+from typing import Any, Callable, Dict, Mapping, Optional, Union
 
 from ..net.addr import Family
 from ..obs.metrics import resolve_registry
@@ -41,7 +41,9 @@ from .serialize import (atomic_write_text, model_blocks_from_dict,
                         model_blocks_to_dict)
 
 __all__ = ["CHECKPOINT_FORMAT_VERSION", "CheckpointFormatError",
-           "detector_to_json", "detector_from_json", "save_checkpoint",
+           "detector_to_json", "detector_from_json",
+           "parse_checkpoint_document", "apply_checkpoint_state",
+           "save_checkpoint",
            "load_checkpoint", "save_checkpoint_rotated",
            "load_checkpoint_rotated",
            "SHARD_CHECKPOINT_FORMAT_VERSION",
@@ -130,6 +132,14 @@ def detector_to_json(detector: StreamingDetector,
             {key: pair[1] for key, pair in pending.items()})
     if extra is not None:
         document["extra"] = extra
+    # Per-source fusion state (defaulted key, format stays version 1):
+    # a fused detector carries one sentinel + reliability monitor per
+    # vantage and per-block per-source bin counts.  Duck-typed so this
+    # module needs no import of the fusion package; plain detectors
+    # write byte-identical documents.
+    fusion_state = getattr(detector, "checkpoint_fusion_state", None)
+    if fusion_state is not None:
+        document["fusion"] = fusion_state()
     # Telemetry rides along (defaulted key, format stays version 1):
     # cumulative counters survive kill-and-resume instead of resetting
     # to zero.  Omitted entirely when telemetry is off, so documents
@@ -157,18 +167,7 @@ def detector_from_json(
     snapshot — if any — is loaded into it, so cumulative counters
     continue from where the killed process left off.
     """
-    try:
-        document = json.loads(text)
-    except json.JSONDecodeError as error:
-        raise CheckpointFormatError(f"not valid JSON: {error}") from None
-    if not isinstance(document, dict):
-        raise CheckpointFormatError(
-            "checkpoint document must be a JSON object")
-    version = document.get("format_version")
-    if version != CHECKPOINT_FORMAT_VERSION:
-        raise CheckpointFormatError(
-            f"unsupported checkpoint format version {version!r} "
-            f"(this build reads {CHECKPOINT_FORMAT_VERSION})")
+    document = parse_checkpoint_document(text)
     try:
         family = Family(document["family"])
         refinement = RefinementConfig(**document["refinement"])
@@ -183,87 +182,121 @@ def detector_from_json(
                 document.get("max_quarantine_frac",
                              ErrorBudget().max_quarantine_frac)),
             metrics=resolve_registry(metrics))
-        detector._last_time = float(document["last_time"])
-        # Checkpoints from before fault containment lack these keys;
-        # default to empty so they still load (format stays version 1).
-        detector.dead_letters = DeadLetterRegistry.from_dict(
-            document.get("dead_letters", []))
-        detector.guardrails = GuardrailCounters.from_dict(
-            document.get("guardrails", {}))
-        for key in detector.dead_letters.keys():
-            # Quarantined blocks must not restart fresh: their evidence
-            # is gone and a fresh state would fabricate clean verdicts.
-            detector._states.pop(key, None)
-        detector.windows_closed = int(document.get("windows_closed", 0))
-        detector.restored_extra = document.get("extra")
-        # Re-apply hot-swapped models *before* the blocks loop: the
-        # constructor installed the supplied (pre-drift) model, and the
-        # loop below then overwrites the belief numbers and bin cursor,
-        # so order here means a retuned block resumes with its retuned
-        # parameters and its checkpointed belief — exactly the state it
-        # was killed with.
-        retuned_doc = document.get("retuned")
-        if retuned_doc:
-            r_histories, r_parameters = model_blocks_from_dict(retuned_doc)
-            for key in sorted(r_parameters):
-                state = detector._states.get(key)
-                if state is None:
-                    continue
-                params = r_parameters[key]
-                state.params = params
-                state.history = r_histories[key]
-                state.belief = BeliefState(params)
-                detector.histories[key] = r_histories[key]
-                detector._retuned[key] = (r_histories[key], params)
-        pending_doc = document.get("pending_swaps")
-        if pending_doc:
-            p_histories, p_parameters = model_blocks_from_dict(pending_doc)
-            detector._pending_swaps = {
-                key: (p_histories[key], p_parameters[key])
-                for key in sorted(p_parameters)
-                if key in detector._states}
-        for key_text, entry in document["blocks"].items():
-            key = int(key_text)
-            state = detector._states.get(key)
-            if state is None:
-                if key in detector.dead_letters:
-                    continue
-                raise CheckpointFormatError(
-                    f"checkpoint block {key:#x} is not a measurable "
-                    f"block of the supplied model")
-            state.belief.belief = float(entry["belief"])
-            state.belief.is_up = bool(entry["is_up"])
-            state.belief.guardrail_trips = int(
-                entry.get("guardrail_trips", 0))
-            state.next_bin_end = float(entry["next_bin_end"])
-            state.bin_count = int(entry["bin_count"])
-            last_packet = entry.get("last_packet")
-            state.last_packet = (None if last_packet is None
-                                 else float(last_packet))
-            first = entry.get("first_packet_this_bin")
-            state.first_packet_this_bin = (None if first is None
-                                           else float(first))
-            state.transitions = [(float(time), bool(up))
-                                 for time, up in entry["transitions"]]
-        if detector.metrics.enabled:
-            snapshot = document.get("metrics")
-            if snapshot is not None:
-                detector.metrics.restore(snapshot)
-            # Rebind the restored health registries to the (restored)
-            # metric series.  Backfill only when the checkpoint carried
-            # no snapshot — a snapshot already counts those entries, so
-            # backfilling again would double them.
-            detector._register_metrics(backfill=snapshot is None)
-            detector.metrics.histogram(
-                "checkpoint_restore_seconds",
-                "Wall-time of one checkpoint restore").observe(
-                    _time.perf_counter() - restore_clock)
+        apply_checkpoint_state(detector, document,
+                               restore_clock=restore_clock)
         return detector
     except CheckpointFormatError:
         raise
     except (KeyError, TypeError, ValueError) as error:
         raise CheckpointFormatError(
             f"malformed checkpoint document: {error}") from None
+
+
+def parse_checkpoint_document(text: str) -> Dict[str, Any]:
+    """Parse and version-check a v1 checkpoint document."""
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise CheckpointFormatError(f"not valid JSON: {error}") from None
+    if not isinstance(document, dict):
+        raise CheckpointFormatError(
+            "checkpoint document must be a JSON object")
+    version = document.get("format_version")
+    if version != CHECKPOINT_FORMAT_VERSION:
+        raise CheckpointFormatError(
+            f"unsupported checkpoint format version {version!r} "
+            f"(this build reads {CHECKPOINT_FORMAT_VERSION})")
+    return document
+
+
+def apply_checkpoint_state(detector: StreamingDetector,
+                           document: Dict[str, Any],
+                           restore_clock: Optional[float] = None) -> None:
+    """Overwrite a freshly-constructed detector with checkpointed state.
+
+    Shared by :func:`detector_from_json` and the fusion package's fused
+    restore (which constructs its own detector subclass around the
+    fused model, then applies the common state here).  The caller must
+    have built ``detector`` against the same model the checkpoint was
+    written with; per-block entries unknown to the model raise.
+    """
+    if restore_clock is None:
+        restore_clock = _time.perf_counter()
+    detector._last_time = float(document["last_time"])
+    # Checkpoints from before fault containment lack these keys;
+    # default to empty so they still load (format stays version 1).
+    detector.dead_letters = DeadLetterRegistry.from_dict(
+        document.get("dead_letters", []))
+    detector.guardrails = GuardrailCounters.from_dict(
+        document.get("guardrails", {}))
+    for key in detector.dead_letters.keys():
+        # Quarantined blocks must not restart fresh: their evidence
+        # is gone and a fresh state would fabricate clean verdicts.
+        detector._states.pop(key, None)
+    detector.windows_closed = int(document.get("windows_closed", 0))
+    detector.restored_extra = document.get("extra")
+    # Re-apply hot-swapped models *before* the blocks loop: the
+    # constructor installed the supplied (pre-drift) model, and the
+    # loop below then overwrites the belief numbers and bin cursor,
+    # so order here means a retuned block resumes with its retuned
+    # parameters and its checkpointed belief — exactly the state it
+    # was killed with.
+    retuned_doc = document.get("retuned")
+    if retuned_doc:
+        r_histories, r_parameters = model_blocks_from_dict(retuned_doc)
+        for key in sorted(r_parameters):
+            state = detector._states.get(key)
+            if state is None:
+                continue
+            params = r_parameters[key]
+            state.params = params
+            state.history = r_histories[key]
+            state.belief = BeliefState(params)
+            detector.histories[key] = r_histories[key]
+            detector._retuned[key] = (r_histories[key], params)
+    pending_doc = document.get("pending_swaps")
+    if pending_doc:
+        p_histories, p_parameters = model_blocks_from_dict(pending_doc)
+        detector._pending_swaps = {
+            key: (p_histories[key], p_parameters[key])
+            for key in sorted(p_parameters)
+            if key in detector._states}
+    for key_text, entry in document["blocks"].items():
+        key = int(key_text)
+        state = detector._states.get(key)
+        if state is None:
+            if key in detector.dead_letters:
+                continue
+            raise CheckpointFormatError(
+                f"checkpoint block {key:#x} is not a measurable "
+                f"block of the supplied model")
+        state.belief.belief = float(entry["belief"])
+        state.belief.is_up = bool(entry["is_up"])
+        state.belief.guardrail_trips = int(
+            entry.get("guardrail_trips", 0))
+        state.next_bin_end = float(entry["next_bin_end"])
+        state.bin_count = int(entry["bin_count"])
+        last_packet = entry.get("last_packet")
+        state.last_packet = (None if last_packet is None
+                             else float(last_packet))
+        first = entry.get("first_packet_this_bin")
+        state.first_packet_this_bin = (None if first is None
+                                       else float(first))
+        state.transitions = [(float(time), bool(up))
+                             for time, up in entry["transitions"]]
+    if detector.metrics.enabled:
+        snapshot = document.get("metrics")
+        if snapshot is not None:
+            detector.metrics.restore(snapshot)
+        # Rebind the restored health registries to the (restored)
+        # metric series.  Backfill only when the checkpoint carried
+        # no snapshot — a snapshot already counts those entries, so
+        # backfilling again would double them.
+        detector._register_metrics(backfill=snapshot is None)
+        detector.metrics.histogram(
+            "checkpoint_restore_seconds",
+            "Wall-time of one checkpoint restore").observe(
+                _time.perf_counter() - restore_clock)
 
 
 PathLike = Union[str, "Any"]
@@ -314,7 +347,10 @@ def save_checkpoint_rotated(detector: StreamingDetector, path: PathLike,
 
 def load_checkpoint_rotated(path: PathLike, model: "TrainedModel",
                             metrics: Optional[Any] = None,
-                            keep: int = 3) -> StreamingDetector:
+                            keep: int = 3,
+                            loader: Optional[Callable[[str],
+                                                      StreamingDetector]]
+                            = None) -> StreamingDetector:
     """Restore from the newest loadable checkpoint generation.
 
     Tries ``path``, then ``path.1`` … ``path.{keep-1}``; a missing or
@@ -328,7 +364,8 @@ def load_checkpoint_rotated(path: PathLike, model: "TrainedModel",
     for generation in range(max(1, keep)):
         candidate = _generation_path(base, generation)
         try:
-            return load_checkpoint(candidate, model, metrics=metrics)
+            return load_checkpoint(candidate, model, metrics=metrics,
+                                   loader=loader)
         except FileNotFoundError:
             continue
         except (OSError, CheckpointFormatError) as error:
@@ -487,13 +524,20 @@ def load_shard_result(directory: PathLike,
 
 
 def load_checkpoint(path: PathLike, model: TrainedModel,
-                    metrics: Optional[Any] = None) -> StreamingDetector:
+                    metrics: Optional[Any] = None,
+                    loader: Optional[Callable[[str], StreamingDetector]]
+                    = None) -> StreamingDetector:
     """Restore a detector from ``path`` against a trained model.
 
-    The checkpoint's address family must match the model's.
+    The checkpoint's address family must match the model's.  ``loader``
+    overrides the document-to-detector step (the fused live path passes
+    a closure over :func:`repro.fusion.fused_detector_from_json`);
+    family validation is then the loader's job.
     """
     with open(path, "r", encoding="utf-8") as handle:
         text = handle.read()
+    if loader is not None:
+        return loader(text)
     detector = detector_from_json(text, model.histories, model.parameters,
                                   metrics=metrics)
     if detector.family is not model.family:

@@ -16,29 +16,64 @@ region to corroborate results."  Two fusion mechanisms:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..net.blocks import supernet_key
 from ..timeline import OutageEvent, Timeline
 from .belief import BELIEF_CEIL, BELIEF_FLOOR
+from .health import BlockDataError
 
 __all__ = ["fuse_beliefs", "fuse_timelines", "CorroboratedEvent",
            "corroborate_events"]
 
 
+def _source_label(sources: Optional[Sequence[str]], index: int) -> str:
+    if sources is not None and index < len(sources):
+        return repr(sources[index])
+    return f"source[{index}]"
+
+
 def fuse_beliefs(belief_traces: Sequence[np.ndarray],
-                 prior: float = 0.99) -> np.ndarray:
+                 prior: float = 0.99,
+                 sources: Optional[Sequence[str]] = None) -> np.ndarray:
     """Fuse aligned belief trajectories from independent sources.
 
     Each trace is P(up | that source's data).  Under independent
     observations with a shared prior, the fused posterior's log-odds is
     ``sum(logodds(b_i)) - (n-1) * logodds(prior)``.
+
+    A trace whose length disagrees with the first, or that carries
+    NaN/inf probabilities, raises :class:`BlockDataError` naming the
+    offending source (pass ``sources`` for real vantage names):
+    corrupt evidence from one vantage must be quarantined at its
+    source, never silently folded into every verdict downstream.
     """
     if not belief_traces:
         raise ValueError("need at least one belief trace")
-    stacked = np.clip(np.vstack(belief_traces), BELIEF_FLOOR, BELIEF_CEIL)
+    if not (np.isfinite(prior) and 0.0 < prior < 1.0):
+        raise ValueError(f"prior must be a probability in (0, 1), "
+                         f"got {prior!r}")
+    traces = [np.asarray(trace, dtype=float) for trace in belief_traces]
+    expected = traces[0].shape
+    for index, trace in enumerate(traces):
+        label = _source_label(sources, index)
+        if trace.ndim != 1:
+            raise BlockDataError(
+                f"belief trace from {label} must be 1-d, "
+                f"got shape {trace.shape}")
+        if trace.shape != expected:
+            raise BlockDataError(
+                f"belief trace from {label} has {trace.shape[0]} "
+                f"samples where {_source_label(sources, 0)} has "
+                f"{expected[0]}; traces must share one evaluation grid")
+        if not np.isfinite(trace).all():
+            bad = int(np.flatnonzero(~np.isfinite(trace))[0])
+            raise BlockDataError(
+                f"belief trace from {label} has a non-finite "
+                f"probability at sample {bad} ({trace[bad]!r})")
+    stacked = np.clip(np.vstack(traces), BELIEF_FLOOR, BELIEF_CEIL)
     log_odds = np.log(stacked / (1.0 - stacked)).sum(axis=0)
     prior_odds = np.log(prior / (1.0 - prior))
     log_odds -= (stacked.shape[0] - 1) * prior_odds
@@ -47,19 +82,39 @@ def fuse_beliefs(belief_traces: Sequence[np.ndarray],
 
 
 def fuse_timelines(timelines: Sequence[Timeline],
-                   quorum: int = 0) -> Timeline:
+                   quorum: int = 0,
+                   sources: Optional[Sequence[str]] = None) -> Timeline:
     """Combine per-source timelines: down where >= ``quorum`` agree.
 
     ``quorum`` defaults to a majority.  With quorum 1 this is the union
     (most sensitive); with ``len(timelines)`` the intersection (most
     specific).
+
+    Timelines must cover one shared span with finite interval edges; a
+    violation raises :class:`BlockDataError` naming the offending
+    source, since a mis-spanned timeline would silently dilute (or
+    inflate) every vote on the mismatched stretch.
     """
     if not timelines:
         raise ValueError("need at least one timeline")
+    first = timelines[0]
+    for index, timeline in enumerate(timelines):
+        label = _source_label(sources, index)
+        if (timeline.start, timeline.end) != (first.start, first.end):
+            raise BlockDataError(
+                f"timeline from {label} spans "
+                f"[{timeline.start}, {timeline.end}] where "
+                f"{_source_label(sources, 0)} spans "
+                f"[{first.start}, {first.end}]; fusion needs one "
+                f"shared span")
+        for left, right in timeline.down_intervals:
+            if not (np.isfinite(left) and np.isfinite(right)):
+                raise BlockDataError(
+                    f"timeline from {label} has a non-finite down "
+                    f"interval ({left!r}, {right!r})")
     if quorum <= 0:
         quorum = len(timelines) // 2 + 1
     quorum = min(quorum, len(timelines))
-    first = timelines[0]
     edges = sorted({first.start, first.end} | {
         edge
         for timeline in timelines

@@ -674,17 +674,29 @@ class StreamingDetector:
         while state.next_bin_end <= now:
             self._close_bin(key, state)
 
+    def _update_belief(self, key: int, state: _StreamBlockState,
+                       bin_start: float) -> bool:
+        """Apply one closed bin's evidence; returns the new up/down state.
+
+        Split out of :meth:`_close_bin` so the fusion layer's detector
+        can substitute a multi-source weighted update while inheriting
+        all of the bin-close bookkeeping (refined transition placement,
+        metrics, hot-swap application) unchanged.
+        """
+        params = state.params
+        p_empty = (state.history.empty_bin_probability_at(
+            bin_start, params.bin_seconds)
+            if state.history.diurnal_profile is not None else None)
+        return state.belief.update(state.bin_count, p_empty)
+
     def _close_bin(self, key: int, state: _StreamBlockState) -> None:
         params = state.params
         was_up = state.belief.is_up
         bin_start = state.next_bin_end - params.bin_seconds
-        p_empty = (state.history.empty_bin_probability_at(
-            bin_start, params.bin_seconds)
-            if state.history.diurnal_profile is not None else None)
         trips_before = state.belief.guardrail_trips
         update_clock = (_time.perf_counter()
                         if self.metrics.enabled else None)
-        is_up = state.belief.update(state.bin_count, p_empty)
+        is_up = self._update_belief(key, state, bin_start)
         if update_clock is not None:
             self._m_belief.observe(_time.perf_counter() - update_clock)
         # Guardrail trips are accounted the moment they happen (delta

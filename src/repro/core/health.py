@@ -54,6 +54,7 @@ __all__ = [
     "StageStats",
     "ShardAttemptRecord",
     "CoverageReport",
+    "SourceHealth",
     "RunHealthReport",
     "fold_lost_coverage",
     "inputs_digest",
@@ -462,6 +463,80 @@ class CoverageReport:
 
 
 @dataclass
+class SourceHealth:
+    """Per-vantage accounting for a fused (multi-source) run.
+
+    Distinct from block-level dead letters and from the run-level
+    sentinel windows: this section says how much each *vantage*
+    contributed and how trusted it ended up — a degraded-vantage run is
+    visibly degraded (low ``weight``, non-empty ``quarantine_windows``,
+    climbing ``gated_bins``), not silently thinner.
+    """
+
+    name: str
+    observations: int = 0
+    #: reliability weight in [0, 1] at the end of the run.
+    weight: float = 1.0
+    healthy_bins: int = 0
+    quiet_bins: int = 0
+    #: detector bins whose evidence from this source was dropped
+    #: because the vantage was suspect or quarantined at the time.
+    gated_bins: int = 0
+    quarantine_windows: List[Tuple[float, float]] = field(
+        default_factory=list)
+    #: blocks this vantage could individually measure (its share of the
+    #: fused coverage).
+    measurable_blocks: int = 0
+
+    @property
+    def quarantined_seconds(self) -> float:
+        return sum(e - s for s, e in self.quarantine_windows)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "observations": self.observations,
+            "weight": self.weight,
+            "healthy_bins": self.healthy_bins,
+            "quiet_bins": self.quiet_bins,
+            "gated_bins": self.gated_bins,
+            "quarantine_windows": [list(pair)
+                                   for pair in self.quarantine_windows],
+            "measurable_blocks": self.measurable_blocks,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SourceHealth":
+        return cls(
+            name=str(data["name"]),
+            observations=int(data.get("observations", 0)),
+            weight=float(data.get("weight", 1.0)),
+            healthy_bins=int(data.get("healthy_bins", 0)),
+            quiet_bins=int(data.get("quiet_bins", 0)),
+            gated_bins=int(data.get("gated_bins", 0)),
+            quarantine_windows=[(float(s), float(e))
+                                for s, e in
+                                data.get("quarantine_windows", [])],
+            measurable_blocks=int(data.get("measurable_blocks", 0)),
+        )
+
+    def merge(self, other: "SourceHealth") -> None:
+        """Fold another shard's view of the same vantage into this one."""
+        self.observations += other.observations
+        # The most pessimistic surviving weight wins: a vantage judged
+        # unreliable anywhere is unreliable for the merged run.
+        self.weight = min(self.weight, other.weight)
+        self.healthy_bins += other.healthy_bins
+        self.quiet_bins += other.quiet_bins
+        self.gated_bins += other.gated_bins
+        windows = set(map(tuple, self.quarantine_windows))
+        windows.update(map(tuple, other.quarantine_windows))
+        self.quarantine_windows = sorted(windows)
+        self.measurable_blocks = max(self.measurable_blocks,
+                                     other.measurable_blocks)
+
+
+@dataclass
 class RunHealthReport:
     """One run's health: stage accounting, quarantine, guardrail trips.
 
@@ -486,6 +561,10 @@ class RunHealthReport:
     #: reports from unsupervised runs are byte-identical to older
     #: builds).
     coverage: Optional[CoverageReport] = None
+    #: per-vantage accounting for fused runs, keyed by source name;
+    #: empty for single-source runs (and omitted from the serialised
+    #: document, keeping those reports byte-identical to older builds).
+    sources: Dict[str, SourceHealth] = field(default_factory=dict)
 
     # -- accounting ---------------------------------------------------------
 
@@ -548,6 +627,12 @@ class RunHealthReport:
                 row.quarantined += stats.quarantined
             merged.guardrails.merge(report.guardrails)
             windows.extend(report.sentinel_windows)
+            for name, source in report.sources.items():
+                if name in merged.sources:
+                    merged.sources[name].merge(source)
+                else:
+                    merged.sources[name] = SourceHealth.from_dict(
+                        source.as_dict())
         merged.dead_letters = DeadLetterRegistry.merged(
             report.dead_letters for report in reports)
         merged.sentinel_windows = sorted(set(windows))
@@ -590,6 +675,9 @@ class RunHealthReport:
         }
         if self.coverage is not None:
             document["coverage"] = self.coverage.as_dict()
+        if self.sources:
+            document["sources"] = {name: self.sources[name].as_dict()
+                                   for name in sorted(self.sources)}
         return document
 
     def to_json(self) -> str:
@@ -611,6 +699,8 @@ class RunHealthReport:
             budget_tripped=bool(data.get("budget_tripped", False)),
             coverage=(CoverageReport.from_dict(data["coverage"])
                       if data.get("coverage") is not None else None),
+            sources={str(name): SourceHealth.from_dict(entry)
+                     for name, entry in data.get("sources", {}).items()},
         )
 
     @classmethod
@@ -629,6 +719,11 @@ class RunHealthReport:
         if self.coverage is not None and self.coverage.degraded:
             parts.append(f"DEGRADED: {len(self.coverage.blocks_lost)} "
                          f"blocks lost to supervision")
+        degraded_sources = sorted(
+            name for name, source in self.sources.items()
+            if source.quarantine_windows or source.weight < 0.5)
+        if degraded_sources:
+            parts.append("degraded vantages: " + ", ".join(degraded_sources))
         return ", ".join(parts)
 
 

@@ -15,7 +15,11 @@ bins the aggregate feed coarsely (default: one minute), learns the
 expected per-bin volume online (EWMA over healthy bins, or a fixed
 ``expected_rate`` when the operator knows it), and declares a
 **quarantine** when consecutive bins fall below a small fraction of
-expectation.  Quarantined windows are padded by a margin on both sides
+expectation.  Between "dead" and "healthy" sits a grey zone: a bin far
+under its baseline but clearly not empty is judged **depressed** — a
+brownout, reported to the bin listener (so fused reliability weights
+sag) without opening a quarantine.  Quarantined windows are padded by
+a margin on both sides
 — the detector's edge refinement places outage starts just after the
 last packet seen, which for a feed gap is just *before* the gap — and
 per-block down-time overlapping a quarantine is retracted by
@@ -28,7 +32,7 @@ stay O(1) per packet at full feed rate.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..timeline import Interval, Timeline, merge_intervals
 
@@ -63,7 +67,15 @@ class SentinelConfig:
     ``quiet_fraction`` is the fraction of the expected per-bin volume
     below which a bin counts as quiet; ``min_quiet_bins`` consecutive
     quiet bins open a quarantine (one quiet minute is routine, several
-    in a row at a busy vantage point are not).  ``min_expected_count``
+    in a row at a busy vantage point are not).  ``depressed_fraction``
+    marks the grey zone above quiet: a judgeable bin below this
+    fraction of expectation (but not quiet) is *depressed* — the feed
+    is flowing yet far under its baseline, a brownout rather than a
+    death.  Depressed bins never open quarantines and never feed the
+    learned baseline (a sustained brownout must not teach the sentinel
+    that a trickle is normal); they are reported to the bin listener so
+    the fusion layer's reliability weight can sag.  Setting it equal to
+    ``quiet_fraction`` disables the grey zone.  ``min_expected_count``
     guards against judging a feed too sparse to judge: below this
     expected per-bin volume an empty bin carries no evidence about the
     observer.  ``margin_seconds`` pads each quarantine on both sides;
@@ -74,6 +86,7 @@ class SentinelConfig:
     bin_seconds: float = 60.0
     quiet_fraction: float = 0.05
     min_quiet_bins: int = 2
+    depressed_fraction: float = 0.5
     min_expected_count: float = 5.0
     margin_seconds: Optional[float] = None
     expected_rate: Optional[float] = None
@@ -87,6 +100,9 @@ class SentinelConfig:
             raise ValueError("quiet_fraction must be in (0, 1)")
         if self.min_quiet_bins < 1:
             raise ValueError("min_quiet_bins must be >= 1")
+        if not self.quiet_fraction <= self.depressed_fraction < 1.0:
+            raise ValueError(
+                "depressed_fraction must be in [quiet_fraction, 1)")
 
     @property
     def margin(self) -> float:
@@ -121,6 +137,22 @@ class VantageSentinel:
         self._m_entered: Optional[Any] = None
         self._m_exited: Optional[Any] = None
         self._m_expected: Optional[Any] = None
+        self._bin_listener: Optional[
+            Callable[[float, bool, bool], None]] = None
+
+    def set_bin_listener(
+            self,
+            listener: Optional[Callable[[float, bool, bool], None]]) -> None:
+        """Register a callback fired once per closed bin.
+
+        Called as ``listener(bin_start, quiet, depressed)`` immediately
+        after the bin's health verdict lands — the fusion layer's
+        reliability tracker hangs off this to learn a per-vantage trust
+        weight with exact per-bin ordering.  At most one of ``quiet``
+        and ``depressed`` is true.  Not serialised: re-attach after
+        :meth:`from_dict`.
+        """
+        self._bin_listener = listener
 
     def bind_metrics(self, metrics: Any) -> "VantageSentinel":
         """Mirror quarantine decisions into a metrics registry.
@@ -150,6 +182,17 @@ class VantageSentinel:
         self._close_bins_to(time)
         self._bin_count += 1
 
+    def observe_bulk(self, time: float, count: int) -> None:
+        """Count ``count`` simultaneous arrivals at ``time``.
+
+        Offline replays feed pre-binned aggregate counts through this
+        (one call per sentinel bin instead of one per packet); the
+        resulting sentinel state is identical to per-packet feeding of
+        the same arrivals.
+        """
+        self._close_bins_to(time)
+        self._bin_count += int(count)
+
     def advance(self, now: float) -> None:
         """Close bins up to wall-clock ``now`` (judges total silence)."""
         self._close_bins_to(now)
@@ -166,6 +209,34 @@ class VantageSentinel:
                 or self._healthy_bins < config.warmup_bins):
             return None
         return self._ewma_count
+
+    @property
+    def bins_closed(self) -> int:
+        """Total sentinel bins judged so far (healthy, quiet, or warmup).
+
+        Monotone counter; the fusion layer's reliability tracker diffs
+        it between observations to learn how many health verdicts have
+        landed since it last looked.
+        """
+        return self._bins_closed
+
+    @property
+    def suspect_since(self) -> Optional[float]:
+        """Start of the current quiet run, or None while the feed looks
+        healthy.
+
+        Set from the *first* quiet bin — before ``min_quiet_bins``
+        confirms a quarantine — so evidence gating can stop trusting a
+        vantage the moment its feed goes suspiciously silent rather
+        than one confirmation lag later.  A warm-up or unjudgeable bin
+        never opens a run.
+        """
+        return self._quiet_run_start
+
+    @property
+    def suspect(self) -> bool:
+        """True while a quiet run is open (possible vantage failure)."""
+        return self._quiet_run_start is not None
 
     def quarantined_intervals(self) -> List[Interval]:
         """Merged quarantine windows decided so far (margins applied)."""
@@ -196,6 +267,7 @@ class VantageSentinel:
                 "bin_seconds": config.bin_seconds,
                 "quiet_fraction": config.quiet_fraction,
                 "min_quiet_bins": config.min_quiet_bins,
+                "depressed_fraction": config.depressed_fraction,
                 "min_expected_count": config.min_expected_count,
                 "margin_seconds": config.margin_seconds,
                 "expected_rate": config.expected_rate,
@@ -241,10 +313,13 @@ class VantageSentinel:
     def _close_bin(self) -> None:
         config = self.config
         count = self._bin_count
+        closed_bin_start = self._bin_start
         expected = self.expected_bin_count
         judgeable = (expected is not None
                      and expected >= config.min_expected_count)
         quiet = judgeable and count < config.quiet_fraction * expected
+        depressed = (judgeable and not quiet
+                     and count < config.depressed_fraction * expected)
         if quiet:
             if self._quiet_run_start is None:
                 self._quiet_run_start = self._bin_start
@@ -282,8 +357,11 @@ class VantageSentinel:
                         self._healthy_bins += 1
                         self._ewma_count = float(count)
                 elif (ewma >= config.min_expected_count
-                        and count < config.quiet_fraction * ewma):
-                    pass  # suspicious warmup bin: no learning, no credit
+                        and count < config.depressed_fraction * ewma):
+                    # Suspicious or depressed bin: no learning, no
+                    # credit — a sustained brownout must not drag the
+                    # baseline down to its own trickle and erase itself.
+                    pass
                 else:
                     self._healthy_bins += 1
                     alpha = config.ewma_alpha
@@ -291,6 +369,9 @@ class VantageSentinel:
         self._bins_closed += 1
         self._bin_count = 0
         self._bin_start += config.bin_seconds
+        if self._bin_listener is not None:
+            self._bin_listener(closed_bin_start, bool(quiet),
+                               bool(depressed))
         if self._m_expected is not None:
             expected_now = self.expected_bin_count
             self._m_expected.set(expected_now

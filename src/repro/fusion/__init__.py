@@ -1,0 +1,50 @@
+"""Vantage-fault-tolerant multi-source evidence fusion.
+
+Fuses several telemetry vantages (DNS passive tap, darknet/IBR
+telescope, optional active corroboration) *inside* the belief filter:
+each source contributes a reliability-weighted log-likelihood ratio per
+bin, one :class:`~repro.core.sentinel.VantageSentinel` per source
+judges that vantage's feed health, and a failing vantage's evidence is
+gated off while the remaining sources keep producing outage calls.
+"""
+
+from .engine import (
+    FusedBlockSpec,
+    FusedDetection,
+    FusedModel,
+    FusedStreamingDetector,
+    build_block_specs,
+    detect_fused,
+    fused_detector_from_json,
+    intersect_interval_lists,
+    train_fused,
+    union_interval_lists,
+)
+from .reliability import ReliabilityConfig, SourceMonitor
+from .sources import (
+    DARKNET_POLICY,
+    ActiveProbeSource,
+    DarknetSource,
+    MappingSource,
+    SourceAdapter,
+)
+
+__all__ = [
+    "ActiveProbeSource",
+    "DARKNET_POLICY",
+    "DarknetSource",
+    "FusedBlockSpec",
+    "FusedDetection",
+    "FusedModel",
+    "FusedStreamingDetector",
+    "MappingSource",
+    "ReliabilityConfig",
+    "SourceAdapter",
+    "SourceMonitor",
+    "build_block_specs",
+    "detect_fused",
+    "fused_detector_from_json",
+    "intersect_interval_lists",
+    "train_fused",
+    "union_interval_lists",
+]

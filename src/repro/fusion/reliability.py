@@ -1,0 +1,336 @@
+"""Per-vantage reliability: a trust weight learned from sentinel health.
+
+Each fused source carries its own :class:`~repro.core.sentinel.
+VantageSentinel` (feed health is judged per vantage, not per tap) and a
+:class:`SourceMonitor` that turns the sentinel's per-bin verdicts into
+a reliability weight in ``[floor, 1]``: healthy bins pull the weight
+toward 1 at ``ewma_alpha`` per bin, quiet *and depressed* bins pull it
+toward the floor — a brownout (feed flowing far under baseline) sags
+trust even though it never opens a quarantine.  The weight scales the
+source's log-likelihood contribution in
+the fused belief update, so a vantage with a shaky recent history is
+tempered *before* it fails outright and regains trust *gradually* after
+it recovers — no cliff in either direction.
+
+On top of the soft weight sits a hard gate: while the sentinel has an
+open quiet run (the feed just went suspiciously silent, possibly before
+``min_quiet_bins`` confirms a quarantine) or the bin overlaps a
+confirmed quarantine window, the source's effective weight is zero.
+The gate is what guarantees zero false onsets from a blinded vantage —
+the decay alone would still leak a few heavily-down-weighted empty
+bins; the gate removes them entirely while the uncertainty is live.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.sentinel import SentinelConfig, VantageSentinel
+
+__all__ = ["ReliabilityConfig", "SourceMonitor"]
+
+
+@dataclass(frozen=True)
+class ReliabilityConfig:
+    """Knobs of the per-vantage trust weight.
+
+    ``ewma_alpha`` is the per-sentinel-bin learning rate: after a
+    quarantine ends, the weight recovers to ``1 - (1-floor)*(1-a)^k``
+    of full trust in ``k`` healthy bins (about 10 bins to ~90% at the
+    default 0.2).  ``floor`` > 0 keeps a minimum voice for a vantage
+    that is quiet but not gated — the default 0 silences it fully.
+    """
+
+    ewma_alpha: float = 0.2
+    floor: float = 0.0
+    initial: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        if not 0.0 <= self.floor <= 1.0:
+            raise ValueError("floor must be in [0, 1]")
+        if not 0.0 <= self.initial <= 1.0:
+            raise ValueError("initial must be in [0, 1]")
+
+
+class SourceMonitor:
+    """One vantage's sentinel plus its learned reliability weight.
+
+    Feed it like a sentinel — :meth:`observe` for this vantage's own
+    arrivals, :meth:`advance` for the shared stream clock (so a dead
+    vantage is still judged while the others keep talking).  The weight
+    updates exactly once per closed sentinel bin via the sentinel's bin
+    listener, so streaming and offline replays of the same feed produce
+    bit-identical weights.
+    """
+
+    def __init__(self, name: str, sentinel: VantageSentinel,
+                 config: Optional[ReliabilityConfig] = None,
+                 keep_weight_history: bool = False) -> None:
+        self.name = name
+        self.sentinel = sentinel
+        self.config = config or ReliabilityConfig()
+        self.weight = self.config.initial
+        self.observations = 0
+        self.healthy_bins = 0
+        self.quiet_bins = 0
+        #: brownout bookkeeping: the open depressed run's first bin
+        #: start, and closed runs as raw (start, end) bin spans.  The
+        #: sentinel never quarantines a depressed feed (it is alive),
+        #: so the monitor itself must remember where the brownouts were
+        #: to withdraw trust over them.
+        self._depressed_since: Optional[float] = None
+        self._depressed_closed: List[Tuple[float, float]] = []
+        #: bins whose evidence the fused detector dropped for this
+        #: source (weight gated to zero); incremented by the detector.
+        self.gated_bins = 0
+        self._history: Optional[List[Tuple[float, float]]] = (
+            [] if keep_weight_history else None)
+        self._m_observations: Optional[Any] = None
+        self._m_weight: Optional[Any] = None
+        self._m_bins: Optional[Any] = None
+        self._m_gated: Optional[Any] = None
+        self.sentinel.set_bin_listener(self._on_bin)
+
+    @classmethod
+    def fresh(cls, name: str, start: float,
+              sentinel_config: Optional[SentinelConfig] = None,
+              config: Optional[ReliabilityConfig] = None,
+              keep_weight_history: bool = False) -> "SourceMonitor":
+        return cls(name, VantageSentinel(start, sentinel_config),
+                   config=config, keep_weight_history=keep_weight_history)
+
+    # -- metrics ------------------------------------------------------------
+
+    def bind_metrics(self, metrics: Any) -> "SourceMonitor":
+        """Mirror per-source fusion state into the obs registry."""
+        self._m_observations = metrics.counter(
+            "fusion_observations_total",
+            "Observations consumed by the fused detector, by source",
+            labelnames=("source",)).labels(source=self.name)
+        self._m_weight = metrics.gauge(
+            "fusion_source_weight",
+            "Current per-vantage reliability weight in [0, 1]",
+            labelnames=("source",)).labels(source=self.name)
+        self._m_bins = metrics.counter(
+            "fusion_source_bins_total",
+            "Sentinel bins judged per fused source, by verdict",
+            labelnames=("source", "verdict"))
+        self._m_gated = metrics.counter(
+            "fusion_gated_bins_total",
+            "Detector bins whose evidence was gated (vantage unhealthy)",
+            labelnames=("source",)).labels(source=self.name)
+        self._m_weight.set(self.weight)
+        return self
+
+    # -- feeding ------------------------------------------------------------
+
+    def observe(self, time: float) -> None:
+        self.observations += 1
+        if self._m_observations is not None:
+            self._m_observations.inc()
+        self.sentinel.observe(time)
+
+    def observe_bulk(self, time: float, count: int) -> None:
+        """Count ``count`` arrivals at ``time`` (offline replays)."""
+        self.observations += int(count)
+        if self._m_observations is not None:
+            self._m_observations.inc(int(count))
+        self.sentinel.observe_bulk(time, count)
+
+    def advance(self, now: float) -> None:
+        self.sentinel.advance(now)
+
+    def replay(self, times, start: float, end: float) -> "SourceMonitor":
+        """Feed a whole window's aggregate arrivals offline.
+
+        Bins the arrivals onto the sentinel grid and feeds one bulk
+        count per sentinel bin — identical final state to per-packet
+        feeding, at a cost proportional to bins rather than packets.
+        Finishes with :meth:`advance` to ``end`` so trailing silence is
+        judged.
+        """
+        bin_seconds = self.sentinel.config.bin_seconds
+        times = np.asarray(times, dtype=float)
+        if times.size:
+            n_bins = int(np.ceil((end - start) / bin_seconds))
+            edges = start + bin_seconds * np.arange(n_bins + 1)
+            counts, _ = np.histogram(times, bins=edges)
+            for index in np.flatnonzero(counts):
+                self.observe_bulk(float(edges[index]), int(counts[index]))
+        self.advance(end)
+        return self
+
+    def _on_bin(self, bin_start: float, quiet: bool,
+                depressed: bool = False) -> None:
+        # A depressed bin (feed flowing but far under baseline — a
+        # brownout) sags the weight exactly like a quiet one; only the
+        # sentinel's quarantine machinery distinguishes them.
+        sick = quiet or depressed
+        alpha = self.config.ewma_alpha
+        target = self.config.floor if sick else 1.0
+        self.weight += alpha * (target - self.weight)
+        self.weight = min(max(self.weight, self.config.floor), 1.0)
+        if sick:
+            self.quiet_bins += 1
+        else:
+            self.healthy_bins += 1
+        # Track brownout runs like the sentinel tracks quiet runs: a
+        # depressed bin opens (or extends) a run, a healthy bin closes
+        # it.  A quiet bin leaves an open run open — blindness following
+        # a brownout is one continuous distrust window, not two.
+        if depressed:
+            if self._depressed_since is None:
+                self._depressed_since = bin_start
+        elif not quiet and self._depressed_since is not None:
+            self._depressed_closed.append((self._depressed_since, bin_start))
+            self._depressed_since = None
+        if self._history is not None:
+            self._history.append(
+                (bin_start + self.sentinel.config.bin_seconds, self.weight))
+        if self._m_bins is not None:
+            self._m_bins.labels(
+                source=self.name,
+                verdict=("quiet" if quiet
+                         else "depressed" if depressed else "healthy")).inc()
+        if self._m_weight is not None:
+            self._m_weight.set(self.weight)
+
+    # -- judging ------------------------------------------------------------
+
+    def trusted_over(self, start: float, end: float) -> bool:
+        """True when no suspicion, quarantine, or brownout overlaps
+        ``[start, end)``.
+
+        An *open* quiet run counts from its first quiet bin (padded by
+        the sentinel margin, like a confirmed quarantine) — trust is
+        withdrawn the moment the feed goes suspiciously silent, not one
+        confirmation lag later.  Depressed (browned-out) runs gate the
+        same way: the reliability weight sags too, but decay alone
+        cannot protect a high-rate block — a tiny weight times a huge
+        absence log-likelihood still leaks — so evidence from a feed
+        running far under baseline is dropped outright until the feed
+        recovers.
+
+        A vantage that has never delivered a single packet is untrusted
+        outright: its online sentinel has no baseline to judge silence
+        against (cold-start warmup never seeds from empty bins), so
+        without this gate a feed that was dead from the start would
+        contribute full-weight absence evidence to every block — the
+        one failure shape the warmup semantics cannot catch.
+        """
+        if self.observations == 0:
+            return False
+        margin = self.sentinel.config.margin
+        suspect_since = self.sentinel.suspect_since
+        if suspect_since is not None and suspect_since - margin < end:
+            return False
+        if (self._depressed_since is not None
+                and self._depressed_since - margin < end):
+            return False
+        if any(d_start - margin < end and d_end + margin > start
+               for d_start, d_end in self._depressed_closed):
+            return False
+        return not any(q_start < end and q_end > start
+                       for q_start, q_end in
+                       self.sentinel.quarantined_intervals())
+
+    def effective_weight(self, bin_start: float, bin_end: float) -> float:
+        """The weight a bin over ``[bin_start, bin_end)`` should use.
+
+        Zero (hard gate) while the sentinel suspects an open failure,
+        the bin overlaps a quarantine, or the feed is browned out
+        (depressed run); otherwise the learned weight.
+        Callers should count gated bins via :meth:`note_gated`.
+        """
+        if not self.trusted_over(bin_start, bin_end):
+            return 0.0
+        return self.weight
+
+    def note_gated(self) -> None:
+        self.gated_bins += 1
+        if self._m_gated is not None:
+            self._m_gated.inc()
+
+    def weight_vector(self, edges: np.ndarray, bin_seconds: float,
+                      stride: int = 1) -> np.ndarray:
+        """Per-detector-bin effective weights for an offline replay.
+
+        With ``stride == 1`` (the lead source), each bin
+        ``[edge, edge + bin_seconds)`` gets zero when it overlaps a
+        quarantine window or the open suspect run (hindsight gating —
+        the whole window is known by replay time), otherwise the
+        learned weight in force at the bin's close.  With a larger
+        ``stride`` the source reports once per window of ``stride``
+        bins: only each window's closing bin carries a weight (judged
+        over the *whole* window span), every other bin is zero.
+        Requires ``keep_weight_history=True``.
+        """
+        out = np.zeros(len(edges), dtype=float)
+        span = stride * bin_seconds
+        for index in range(stride - 1, len(edges), stride):
+            close = float(edges[index]) + bin_seconds
+            if not self.trusted_over(close - span, close):
+                self.note_gated()
+            else:
+                out[index] = self.weight_at(close)
+        return out
+
+    def weight_at(self, time: float) -> float:
+        """The recorded weight in force at ``time`` (offline replays).
+
+        Requires ``keep_weight_history=True``; returns the weight after
+        the last sentinel bin closing at or before ``time``, or the
+        initial weight before any bin closed.
+        """
+        if self._history is None:
+            raise ValueError("monitor was not built with "
+                             "keep_weight_history=True")
+        closes = [close for close, _ in self._history]
+        index = bisect.bisect_right(closes, time) - 1
+        return self.config.initial if index < 0 else self._history[index][1]
+
+    # -- checkpointing ------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "config": {
+                "ewma_alpha": self.config.ewma_alpha,
+                "floor": self.config.floor,
+                "initial": self.config.initial,
+            },
+            "weight": self.weight,
+            "observations": self.observations,
+            "healthy_bins": self.healthy_bins,
+            "quiet_bins": self.quiet_bins,
+            "gated_bins": self.gated_bins,
+            "depressed_since": self._depressed_since,
+            "depressed_closed": [list(pair)
+                                 for pair in self._depressed_closed],
+            "sentinel": self.sentinel.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SourceMonitor":
+        monitor = cls(
+            str(data["name"]),
+            VantageSentinel.from_dict(data["sentinel"]),
+            config=ReliabilityConfig(**data["config"]),
+        )
+        monitor.weight = float(data["weight"])
+        monitor.observations = int(data["observations"])
+        monitor.healthy_bins = int(data["healthy_bins"])
+        monitor.quiet_bins = int(data["quiet_bins"])
+        monitor.gated_bins = int(data.get("gated_bins", 0))
+        since = data.get("depressed_since")
+        monitor._depressed_since = None if since is None else float(since)
+        monitor._depressed_closed = [
+            (float(s), float(e))
+            for s, e in data.get("depressed_closed", [])]
+        return monitor

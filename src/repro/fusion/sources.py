@@ -1,0 +1,168 @@
+"""Uniform source adapters: every vantage type is one small class.
+
+The fused detector consumes vantages through one interface —
+:class:`SourceAdapter` — so adding a new telemetry source (another
+telescope, a resolver tap, an active prober) is one file that answers
+two questions: *what did you see per block over this window* and *what
+tuning policy fits your noise profile*.  The shape follows the
+collector/normaliser split of multi-source monitors like BigBen and
+Dhruva's fusion engine: collection quirks stay in the adapter, the
+engine sees only per-block arrival times.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from ..net.addr import Family
+from ..core.parameters import TuningPolicy
+
+__all__ = ["SourceAdapter", "MappingSource", "DarknetSource",
+           "ActiveProbeSource", "DARKNET_POLICY"]
+
+#: Tuning policy for darknet/IBR vantages: the spoofed share of IBR
+#: keeps arriving from a dead block, so the per-block noise floor must
+#: scale with the block's own rate (matches the offline
+#: ``run_darknet_fusion`` experiment).
+DARKNET_POLICY = TuningPolicy(noise_fraction_of_rate=0.04)
+
+
+class SourceAdapter:
+    """One vantage as the fusion engine sees it.
+
+    ``name`` keys everything per-source downstream: sentinel and
+    reliability state in checkpoints, metrics labels, health-report
+    sections, CLI rendering.  Names must be unique within a fused run.
+    """
+
+    name: str = "source"
+
+    def per_block(self, family: Family, start: float,
+                  end: float) -> Dict[int, np.ndarray]:
+        """Sorted arrival times per block key over ``[start, end)``."""
+        raise NotImplementedError
+
+    def tuning_policy(self) -> Optional[TuningPolicy]:
+        """Per-source tuning policy, or None for the global default."""
+        return None
+
+
+class MappingSource(SourceAdapter):
+    """Precomputed per-block arrival times (the DNS tap, replays, tests).
+
+    ``per_family`` maps family -> {block key -> sorted times}; a plain
+    {key -> times} mapping may be passed with ``family`` naming which
+    family it covers.  Windowing slices each block's array to
+    ``[start, end)`` so one mapping can back both train and detect.
+    """
+
+    def __init__(self, name: str,
+                 per_family: Mapping,
+                 family: Optional[Family] = None,
+                 policy: Optional[TuningPolicy] = None) -> None:
+        self.name = name
+        if family is not None:
+            per_family = {family: per_family}
+        self._per_family = {fam: dict(blocks)
+                            for fam, blocks in per_family.items()}
+        self._policy = policy
+
+    def per_block(self, family: Family, start: float,
+                  end: float) -> Dict[int, np.ndarray]:
+        blocks = self._per_family.get(family, {})
+        out: Dict[int, np.ndarray] = {}
+        for key, times in blocks.items():
+            times = np.asarray(times)
+            lo, hi = np.searchsorted(times, [start, end])
+            out[key] = times[lo:hi]
+        return out
+
+    def tuning_policy(self) -> Optional[TuningPolicy]:
+        return self._policy
+
+
+class DarknetSource(SourceAdapter):
+    """IBR telescope vantage over a simulated Internet.
+
+    Wraps :class:`~repro.traffic.darknet.DarknetTelescope`; the stream
+    is deterministic in ``seed`` (and safe to regenerate in spawned
+    workers — the telescope derives per-block generators from a
+    SeedSequence, never from global state).
+    """
+
+    def __init__(self, telescope, name: str = "darknet",
+                 seed: Optional[int] = None,
+                 policy: Optional[TuningPolicy] = None) -> None:
+        self.name = name
+        self.telescope = telescope
+        self.seed = seed
+        self._policy = policy if policy is not None else DARKNET_POLICY
+
+    def per_block(self, family: Family, start: float,
+                  end: float) -> Dict[int, np.ndarray]:
+        return self.telescope.per_block(family, seed=self.seed,
+                                        start=start, end=end)
+
+    def tuning_policy(self) -> Optional[TuningPolicy]:
+        return self._policy
+
+
+class ActiveProbeSource(SourceAdapter):
+    """Simulated active corroboration (Trinocular/Atlas-style rounds).
+
+    Probes each block's known-active addresses once per ``period``
+    seconds through an :class:`~repro.active.prober.ActiveProber`; a
+    responsive round contributes one "arrival" at the probe time, so
+    active reachability feeds the same presence/absence likelihood
+    machinery as the passive taps.  Probe responses stop entirely when
+    a block is down (no spoofing analogue), so the source's noise floor
+    is the policy default.
+    """
+
+    def __init__(self, internet, name: str = "active",
+                 period: float = 660.0, probes_per_round: int = 4,
+                 network_loss: float = 0.01, seed: int = 20257,
+                 policy: Optional[TuningPolicy] = None) -> None:
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self.name = name
+        self.internet = internet
+        self.period = float(period)
+        self.probes_per_round = int(probes_per_round)
+        self.network_loss = float(network_loss)
+        self.seed = int(seed)
+        self._policy = policy
+
+    def per_block(self, family: Family, start: float,
+                  end: float) -> Dict[int, np.ndarray]:
+        # Local import: repro.active imports nothing from fusion, but
+        # keeping the prober optional keeps this module importable in
+        # minimal deployments that never probe.
+        from ..active.prober import ActiveProber
+        profiles = [profile for profile in self.internet.profiles
+                    if profile.family is family]
+        children = np.random.SeedSequence(self.seed).spawn(len(profiles))
+        out: Dict[int, np.ndarray] = {}
+        for profile, child in zip(profiles, children):
+            rng = np.random.default_rng(child)
+            prober = ActiveProber(self.internet, rng,
+                                  network_loss=self.network_loss)
+            # Deterministic phase per block so rounds do not synchronise
+            # across the population (a synchronised probe fleet would
+            # make every block's bin boundaries degenerate).
+            phase = float(rng.random()) * self.period
+            responses = []
+            round_time = start + phase
+            while round_time < end:
+                _, responded = prober.probe_round(
+                    profile, round_time, self.probes_per_round)
+                if responded:
+                    responses.append(round_time)
+                round_time += self.period
+            out[profile.key] = np.asarray(responses, dtype=float)
+        return out
+
+    def tuning_policy(self) -> Optional[TuningPolicy]:
+        return self._policy

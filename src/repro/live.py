@@ -61,6 +61,8 @@ runs; the chaos suite compares the deterministic counters only.
 
 from __future__ import annotations
 
+import contextlib
+import heapq
 import json
 import math
 import multiprocessing
@@ -96,6 +98,7 @@ from .core.health import (
     ErrorBudgetExceeded,
     RunHealthReport,
     ShardAttemptRecord,
+    SourceHealth,
     fold_lost_coverage,
 )
 from .core.parameters import ParameterPlanner
@@ -122,7 +125,7 @@ from .parallel import (
     plan_shards,
 )
 from .telescope.capture import CaptureReader
-from .telescope.records import Observation
+from .telescope.records import Observation, TaggedObservation
 from .telescope.reorder import LatePolicy, ReorderBuffer
 
 __all__ = [
@@ -130,6 +133,7 @@ __all__ = [
     "LiveBlockEngine",
     "LiveRunResult",
     "LivePartitionSupervisor",
+    "merge_tagged_captures",
     "run_partitioned_live",
     "LIVE_MANIFEST_FORMAT",
 ]
@@ -192,12 +196,25 @@ class LiveBlockEngine:
         drift: Optional[DriftConfig] = None,
         planner: Optional[ParameterPlanner] = None,
         fault_plan: Optional[Any] = None,
+        monitor_feed: str = "raw",
     ) -> None:
         self.detector = detector
         self.buffer = buffer
         self.drift = drift
         self.planner = planner or ParameterPlanner()
         self.fault_plan = fault_plan
+        # A fused detector's vantage monitors judge the *raw* tap (feed
+        # health includes the disorder and lag the reorder buffer
+        # hides), so the engine takes the monitor feed away from
+        # observe_from and drives it in feed() — or, in a partition
+        # worker ("external"), leaves it to the parent's shipped
+        # sentinel-bin counts.
+        if monitor_feed not in ("raw", "external"):
+            raise ValueError(f"unknown monitor_feed {monitor_feed!r}")
+        self._fused = hasattr(detector, "observe_from")
+        self._raw_monitors = self._fused and monitor_feed == "raw"
+        if self._fused:
+            detector.inline_monitors = False
         self.auditor: Optional[RollingRateAuditor] = None
         if drift is not None:
             self.auditor = RollingRateAuditor(
@@ -218,6 +235,10 @@ class LiveBlockEngine:
 
     def feed(self, observation: Observation) -> None:
         """Push one raw record; process whatever the buffer releases."""
+        if self._raw_monitors and observation.time >= self.detector.start:
+            vantage = getattr(observation, "vantage", "")
+            if vantage:
+                self.detector.note_arrival(vantage, observation.time)
         if self.buffer is not None:
             for ready in self.buffer.push(observation):
                 self._process(ready)
@@ -283,7 +304,11 @@ class LiveBlockEngine:
                 boundary = auditor.next_boundary
                 self._audit(boundary)
                 auditor.next_boundary = boundary + auditor.audit_every
-        self.detector.observe(observation)
+        vantage = getattr(observation, "vantage", "")
+        if vantage and self._fused:
+            self.detector.observe_from(vantage, observation)
+        else:
+            self.detector.observe(observation)
         self.observed += 1
         if (auditor is not None
                 and observation.family is self.detector.family):
@@ -351,30 +376,69 @@ def _live_worker_entry(payload: Dict[str, Any], conn: Any) -> None:
     try:
         registry = MetricsRegistry()
         family = Family(payload["family"])
-        histories, parameters = model_blocks_from_dict(payload["blocks"])
         start = float(payload["start"])
         checkpoint_path = payload.get("checkpoint")
         keep = int(payload.get("keep", 3))
         checkpoint_every = float(payload.get("checkpoint_every", 3600.0))
         horizon = float(payload.get("horizon", 0.0))
         drift: Optional[DriftConfig] = payload.get("drift")
+        fusion = payload.get("fusion")
 
         detector: Optional[StreamingDetector] = None
         resumed = False
-        if checkpoint_path and payload.get("resume", True):
-            model = TrainedModel(family=family, histories=histories,
-                                 parameters=parameters, train_start=start,
-                                 train_end=start)
-            try:
-                detector = load_checkpoint_rotated(
-                    checkpoint_path, model, metrics=registry, keep=keep)
-                resumed = True
-            except (FileNotFoundError, CheckpointFormatError):
-                detector = None
-        if detector is None:
-            detector = StreamingDetector(
-                family, histories, parameters, start, sentinel=None,
-                max_quarantine_frac=1.0, metrics=registry)
+        fused_names: List[str] = []
+        if fusion:
+            # Fused partition: one per-source sliced model each, the
+            # monitors driven externally by parent-shipped sentinel-bin
+            # counts (vantage health is a whole-tap property no
+            # partition can judge from its slice alone).
+            from .fusion import (
+                FusedModel,
+                FusedStreamingDetector,
+                fused_detector_from_json,
+            )
+            fused_names = list(fusion["sources"])
+            sources: Dict[str, TrainedModel] = {}
+            for name in fused_names:
+                s_histories, s_parameters = model_blocks_from_dict(
+                    fusion["blocks"][name])
+                t_start, t_end = fusion["train"][name]
+                sources[name] = TrainedModel(
+                    family=family, histories=s_histories,
+                    parameters=s_parameters, train_start=float(t_start),
+                    train_end=float(t_end))
+            fused_model = FusedModel(family=family, sources=sources,
+                                     primary=fusion["primary"])
+            if checkpoint_path and payload.get("resume", True):
+                try:
+                    detector = load_checkpoint_rotated(
+                        checkpoint_path, fused_model, keep=keep,
+                        loader=lambda text: fused_detector_from_json(
+                            text, fused_model, metrics=registry))
+                    resumed = True
+                except (FileNotFoundError, CheckpointFormatError):
+                    detector = None
+            if detector is None:
+                detector = FusedStreamingDetector(
+                    fused_model, start, max_quarantine_frac=1.0,
+                    metrics=registry)
+        else:
+            histories, parameters = model_blocks_from_dict(
+                payload["blocks"])
+            if checkpoint_path and payload.get("resume", True):
+                model = TrainedModel(family=family, histories=histories,
+                                     parameters=parameters,
+                                     train_start=start, train_end=start)
+                try:
+                    detector = load_checkpoint_rotated(
+                        checkpoint_path, model, metrics=registry, keep=keep)
+                    resumed = True
+                except (FileNotFoundError, CheckpointFormatError):
+                    detector = None
+            if detector is None:
+                detector = StreamingDetector(
+                    family, histories, parameters, start, sentinel=None,
+                    max_quarantine_frac=1.0, metrics=registry)
         # The error budget is the parent's verdict over the merged
         # population; a partition never vetoes its own slice.
         detector.budget = ErrorBudget(1.0)
@@ -388,7 +452,8 @@ def _live_worker_entry(payload: Dict[str, Any], conn: Any) -> None:
             from .testing.faults import load_streaming_faults
             fault_plan = load_streaming_faults(payload.get("keys", ()))
         engine = LiveBlockEngine(detector, buffer=buffer, drift=drift,
-                                 fault_plan=fault_plan)
+                                 fault_plan=fault_plan,
+                                 monitor_feed="external")
         last_seq = -1
         if resumed and detector.restored_extra:
             last_seq = int(detector.restored_extra.get("seq", -1))
@@ -405,12 +470,38 @@ def _live_worker_entry(payload: Dict[str, Any], conn: Any) -> None:
                 return  # parent died; nothing sane left to do
             kind = message[0]
             if kind == "obs":
-                for seq, when, fam, source, qtype, front in message[1]:
+                for row in message[1]:
+                    seq = row[0]
                     if seq <= last_seq:
                         continue  # replayed duplicate, already accounted
-                    engine.advance_front(front)
-                    engine.feed(Observation(when, Family(fam), source,
-                                            qtype))
+                    if row[1] is None:
+                        # Vantage sentinel-bin count from the parent:
+                        # (seq, None, vidx, bin_start, count, front,
+                        # closed).  Feed the whole-tap bin into this
+                        # partition's monitor copy, then close it (the
+                        # end-of-stream partial bin stays open) —
+                        # exactly what a single-process engine's raw
+                        # tap would do at this stream position.
+                        _, _, vidx, bin_start, count, front, closed = row
+                        monitor = detector.monitors[fused_names[vidx]]
+                        if count:
+                            monitor.observe_bulk(bin_start, count)
+                        if closed:
+                            monitor.advance(
+                                bin_start
+                                + monitor.sentinel.config.bin_seconds)
+                        engine.advance_front(front)
+                    elif fusion:
+                        seq, when, fam, source, qtype, front, vidx = row
+                        engine.advance_front(front)
+                        engine.feed(TaggedObservation(
+                            when, Family(fam), source, qtype,
+                            fused_names[vidx]))
+                    else:
+                        seq, when, fam, source, qtype, front = row
+                        engine.advance_front(front)
+                        engine.feed(Observation(when, Family(fam), source,
+                                                qtype))
                     last_seq = seq
                     if detector.last_time >= next_checkpoint:
                         save_checkpoint_rotated(
@@ -429,9 +520,15 @@ def _live_worker_entry(payload: Dict[str, Any], conn: Any) -> None:
             elif kind == "finalize":
                 end, windows = float(message[1]), message[2]
                 engine.flush()
-                results = detector.finalize(
-                    end, quarantined=[(float(s), float(e))
-                                      for s, e in windows])
+                if fusion:
+                    # quarantined=None: the fused detector derives the
+                    # all-dark intersection from its own monitors, which
+                    # hold identical whole-tap state in every partition.
+                    results = detector.finalize(end)
+                else:
+                    results = detector.finalize(
+                        end, quarantined=[(float(s), float(e))
+                                          for s, e in windows])
                 if checkpoint_path:
                     save_checkpoint_rotated(
                         detector, checkpoint_path, keep=keep,
@@ -591,13 +688,27 @@ class LivePartitionSupervisor:
         self.late_policy = late_policy
         self.drift = drift
         self.max_quarantine_frac = float(max_quarantine_frac)
-        self.start = float(start if start is not None else model.train_end)
+        self.fused = hasattr(model, "sources")
+        if self.fused:
+            if sentinel:
+                raise ValueError(
+                    "fused live runs monitor every vantage through the "
+                    "fusion layer's own sentinels; the single parent-side "
+                    "sentinel does not apply")
+            default_start = model.sources[model.primary].train_end
+        else:
+            default_start = model.train_end
+        self.start = float(start if start is not None else default_start)
         self.metrics = resolve_registry(metrics)
         self._stop = stop_requested or (lambda: False)
         self._status = status or (lambda line: None)
         self._batch_rows = int(batch_rows)
 
-        keys = sorted(model.parameters)
+        if self.fused:
+            from .fusion import build_block_specs
+            keys = sorted(build_block_specs(model))
+        else:
+            keys = sorted(model.parameters)
         if partition_chunk is not None:
             chunk = partition_chunk
         elif partitions is not None:
@@ -610,7 +721,7 @@ class LivePartitionSupervisor:
         # backoff jitter below is seeded per (digest, unit).
         self.digest = _plan_digest("live", model.family, self.start,
                                    self.start, shards)
-        measurable = set(model.measurable_keys)
+        measurable = set(keys) if self.fused else set(model.measurable_keys)
         self.partitions = [
             _LivePartition(
                 index=index, unit=f"{index:05d}", keys=list(shard),
@@ -636,6 +747,16 @@ class LivePartitionSupervisor:
         self._m_observations = self.metrics.counter(
             "stream_observations_total",
             "Observations fed to the streaming detector")
+        # Fused runs: the parent tallies per-vantage arrivals over the
+        # whole tap and ships one count row per closed sentinel bin to
+        # every partition — vantage health is a global property, so
+        # every worker holds the same monitor state.
+        self._fused_names: List[str] = (list(model.source_names)
+                                        if self.fused else [])
+        self._planned_measurable = len(measurable)
+        self._vbin_seconds = float(SentinelConfig().bin_seconds)
+        self._vbin_start = self.start
+        self._vbin_counts = [0] * len(self._fused_names)
         self._front = float("-inf")
         self._end = self.start
         self._observed = 0
@@ -691,16 +812,10 @@ class LivePartitionSupervisor:
 
     def _spawn(self, partition: _LivePartition) -> None:
         _ensure_child_import_path()
-        histories = {key: self.model.histories[key]
-                     for key in partition.keys
-                     if key in self.model.histories}
-        parameters = {key: self.model.parameters[key]
-                      for key in partition.keys}
         payload = {
             "index": partition.index,
             "unit": partition.unit,
             "keys": list(partition.keys),
-            "blocks": model_blocks_to_dict(histories, parameters),
             "family": int(self.model.family),
             "start": self.start,
             "horizon": self.reorder_horizon,
@@ -712,6 +827,34 @@ class LivePartitionSupervisor:
             "keep": self.checkpoint_keep,
             "resume": True,
         }
+        if self.fused:
+            # Per-source model slices restricted to this partition's
+            # keys; the worker reassembles a FusedModel and re-derives
+            # its block specs (specs are deterministic derived state).
+            keys = set(partition.keys)
+            payload["fusion"] = {
+                "sources": list(self._fused_names),
+                "primary": self.model.primary,
+                "train": {
+                    name: [source.train_start, source.train_end]
+                    for name, source in self.model.sources.items()
+                },
+                "blocks": {
+                    name: model_blocks_to_dict(
+                        {key: source.histories[key]
+                         for key in source.histories if key in keys},
+                        {key: source.parameters[key]
+                         for key in source.parameters if key in keys})
+                    for name, source in self.model.sources.items()
+                },
+            }
+        else:
+            histories = {key: self.model.histories[key]
+                         for key in partition.keys
+                         if key in self.model.histories}
+            parameters = {key: self.model.parameters[key]
+                          for key in partition.keys}
+            payload["blocks"] = model_blocks_to_dict(histories, parameters)
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         process = self._ctx.Process(
             target=_live_worker_entry, args=(payload, child_conn),
@@ -896,8 +1039,23 @@ class LivePartitionSupervisor:
 
     # -- the run ------------------------------------------------------------
 
-    def run(self, capture: str, tolerant: bool = False) -> LiveRunResult:
-        """Stream ``capture`` through the partition fleet and merge."""
+    def run(self, capture: Any, tolerant: bool = False) -> LiveRunResult:
+        """Stream ``capture`` through the partition fleet and merge.
+
+        For a fused model ``capture`` is a mapping ``{source name:
+        capture path}`` with one entry per vantage; the per-vantage
+        streams are merged by timestamp, exactly the stream a fused
+        single-process engine would see on one tagged tap.
+        """
+        if self.fused:
+            if not isinstance(capture, Mapping):
+                raise TypeError("a fused live run takes a mapping of "
+                                "{source name: capture path}")
+            missing = [name for name in self._fused_names
+                       if name not in capture]
+            if missing:
+                raise ValueError("no capture for vantage(s): "
+                                 + ", ".join(sorted(missing)))
         for partition in self.partitions:
             self._spawn(partition)
         self._write_manifest(force=True)
@@ -906,17 +1064,37 @@ class LivePartitionSupervisor:
         stopped_early = False
         records = 0
         try:
-            with CaptureReader(capture, tolerant=tolerant) as reader:
-                for observation in reader:
+            with contextlib.ExitStack() as stack:
+                if self.fused:
+                    readers = {
+                        name: stack.enter_context(
+                            CaptureReader(capture[name], tolerant=tolerant))
+                        for name in self._fused_names
+                    }
+                    stream = _merge_readers(self._fused_names, readers)
+                else:
+                    reader = stack.enter_context(
+                        CaptureReader(capture, tolerant=tolerant))
+                    stream = ((None, observation) for observation in reader)
+                for vidx, observation in stream:
                     if self._stop():
                         interrupted = True
                         break
-                    self._route(observation)
+                    if vidx is None:
+                        self._route(observation)
+                    else:
+                        self._route_fused(vidx, observation)
                     records += 1
                     if records % 64 == 0:
                         self._service()
-                records_read = reader.records_read
-                stopped_early = reader.stopped_early
+                if self.fused:
+                    records_read = sum(r.records_read
+                                       for r in readers.values())
+                    stopped_early = any(r.stopped_early
+                                        for r in readers.values())
+                else:
+                    records_read = reader.records_read
+                    stopped_early = reader.stopped_early
             if not interrupted:
                 self._finalize()
                 interrupted = self._stop()
@@ -970,6 +1148,69 @@ class LivePartitionSupervisor:
         if len(partition.outbox) >= self._batch_rows:
             self._pump(partition)
 
+    def _route_fused(self, vidx: int, observation: Observation) -> None:
+        """Route one tagged record; ship vantage-bin closes in-band.
+
+        Mirrors the single-process fused engine exactly: monitors see
+        the *raw* tap (every record at or past ``start``, routable or
+        not), and a sentinel bin closes the moment the raw stream
+        reaches ``bin_start + bin_seconds`` — before the record that
+        crossed the boundary is observed.  The count rows are
+        sequence-numbered into every partition's stream, so replay
+        after a restart reconstructs monitor state bit-for-bit.
+        """
+        when = observation.time
+        if when < self.start:
+            return  # training-window traffic, not live
+        front_before = self._front
+        while self._vbin_start + self._vbin_seconds <= when:
+            for source_index, count in enumerate(self._vbin_counts):
+                self._broadcast_vbin(source_index, self._vbin_start, count,
+                                     front_before)
+            self._vbin_counts = [0] * len(self._vbin_counts)
+            self._vbin_start += self._vbin_seconds
+        self._vbin_counts[vidx] += 1
+        self._front = max(self._front, when)
+        self._end = max(self._end, when)
+        index = (self._owner.get(observation.block_key)
+                 if observation.family is self.model.family else None)
+        if index is None:
+            self._unrouted += 1
+            self._m_observations.inc()
+            return
+        partition = self.partitions[index]
+        if partition.status == "lost":
+            return
+        row = (partition.next_seq, when, int(observation.family),
+               observation.source, observation.qtype, front_before, vidx)
+        partition.next_seq += 1
+        partition.replay.append(row)
+        partition.outbox.append(row)
+        self._observed += 1
+        if len(partition.outbox) >= self._batch_rows:
+            self._pump(partition)
+
+    def _broadcast_vbin(self, vidx: int, bin_start: float, count: int,
+                        front: float, closed: bool = True) -> None:
+        """Ship one vantage-sentinel bin count to every live partition.
+
+        Zero-count closed bins are shipped too — an empty bin *is* the
+        blind-vantage signal the monitors exist to catch.  The
+        end-of-stream partial bin goes out with ``closed=False``: its
+        arrivals count, but the bin stays open, exactly as in a
+        single-process engine whose raw tap simply stopped.
+        """
+        for partition in self.partitions:
+            if partition.status == "lost":
+                continue
+            row = (partition.next_seq, None, vidx, bin_start, count, front,
+                   closed)
+            partition.next_seq += 1
+            partition.replay.append(row)
+            partition.outbox.append(row)
+            if len(partition.outbox) >= self._batch_rows:
+                self._pump(partition)
+
     def _finalize(self) -> None:
         if self._sentinel is not None:
             if self._sentinel_buffer is not None:
@@ -977,6 +1218,12 @@ class LivePartitionSupervisor:
                     self._sentinel.observe(ready.time)
             self._sentinel.advance(self._end)
             self._finalize_windows = self._sentinel.quarantined_intervals()
+        if self.fused:
+            for vidx, count in enumerate(self._vbin_counts):
+                if count:
+                    self._broadcast_vbin(vidx, self._vbin_start, count,
+                                         self._front, closed=False)
+            self._vbin_counts = [0] * len(self._vbin_counts)
         self._finalize_end = self._end
         while any(p.status in ("running", "pending")
                   for p in self.partitions):
@@ -1018,6 +1265,21 @@ class LivePartitionSupervisor:
 
     # -- merging ------------------------------------------------------------
 
+    def _merge_fused_sources(self, documents: List[Dict[str, Any]]
+                             ) -> Dict[str, SourceHealth]:
+        sources: Dict[str, SourceHealth] = {}
+        for document in documents:
+            for name, entry in document["health"].get("sources",
+                                                      {}).items():
+                health = SourceHealth.from_dict(entry)
+                existing = sources.get(name)
+                if existing is None:
+                    sources[name] = health
+                else:
+                    existing.gated_bins += health.gated_bins
+                    existing.measurable_blocks += health.measurable_blocks
+        return sources
+
     def _merge(self, interrupted: bool) -> LiveRunResult:
         documents = [p.document for p in self.partitions
                      if p.document is not None]
@@ -1030,7 +1292,16 @@ class LivePartitionSupervisor:
         merged = RunHealthReport.merged(
             (RunHealthReport.from_dict(document["health"])
              for document in documents),
-            run="streaming", max_quarantine_frac=self.max_quarantine_frac)
+            run="fusion-stream" if self.fused else "streaming",
+            max_quarantine_frac=self.max_quarantine_frac)
+        if self.fused and documents:
+            # Every fused partition holds an identical whole-tap copy
+            # of each vantage's monitor, so the generic merge summed
+            # the same observation/bin counters once per partition.
+            # Rebuild: vantage-level fields from the first document,
+            # per-partition accounting (gated bins, measurable blocks)
+            # summed across documents.
+            merged.sources = self._merge_fused_sources(documents)
         folded = False
         if self.metrics.enabled:
             for document in documents:
@@ -1046,7 +1317,7 @@ class LivePartitionSupervisor:
             merged.sentinel_windows = sorted(
                 set(tuple(window) for window in self._finalize_windows))
 
-        planned = len(self.model.measurable_keys)
+        planned = self._planned_measurable
         lost_errors: Dict[int, BaseException] = {}
         for partition in self.partitions:
             if partition.status != "lost":
@@ -1099,9 +1370,55 @@ class LivePartitionSupervisor:
         return result
 
 
-def run_partitioned_live(model: TrainedModel, capture: str,
+def _merge_readers(names: List[str],
+                   readers: Mapping[str, CaptureReader]):
+    """Time-merge per-vantage capture readers into ``(vidx, obs)`` rows.
+
+    Ties break by vantage order then arrival position, so the merged
+    order is a pure function of the capture files — both deployment
+    shapes iterate the identical stream.
+    """
+    def stream(vidx: int, reader: CaptureReader):
+        for position, observation in enumerate(reader):
+            yield (observation.time, vidx, position, observation)
+
+    merged = heapq.merge(*(stream(vidx, readers[name])
+                           for vidx, name in enumerate(names)))
+    for _, vidx, _, observation in merged:
+        yield vidx, observation
+
+
+def merge_tagged_captures(captures: Mapping[str, str],
+                          order: Optional[List[str]] = None,
+                          tolerant: bool = False):
+    """Yield the time-merged union of per-vantage captures, tagged.
+
+    The single-process fused ingest: each record comes back as a
+    :class:`~repro.telescope.records.TaggedObservation` carrying its
+    vantage name, so feeding the result through a
+    :class:`LiveBlockEngine` over a fused detector consumes exactly
+    the stream the partitioned supervisor ships to its fleet.
+    """
+    names = list(order) if order is not None else sorted(captures)
+    with contextlib.ExitStack() as stack:
+        readers = {
+            name: stack.enter_context(
+                CaptureReader(captures[name], tolerant=tolerant))
+            for name in names
+        }
+        for vidx, observation in _merge_readers(names, readers):
+            yield TaggedObservation(observation.time, observation.family,
+                                    observation.source, observation.qtype,
+                                    names[vidx])
+
+
+def run_partitioned_live(model: TrainedModel, capture: Any,
                          tolerant: bool = False,
                          **kwargs: Any) -> LiveRunResult:
-    """Convenience wrapper: build a supervisor and run one capture."""
+    """Convenience wrapper: build a supervisor and run one capture.
+
+    ``capture`` is a path for a single-source model, or a mapping of
+    ``{source name: path}`` for a fused model.
+    """
     supervisor = LivePartitionSupervisor(model, **kwargs)
     return supervisor.run(capture, tolerant=tolerant)

@@ -18,7 +18,7 @@ import numpy as np
 from ..net.addr import Family, format_address
 from ..net.blocks import Block
 
-__all__ = ["Observation", "ObservationBatch"]
+__all__ = ["Observation", "TaggedObservation", "ObservationBatch"]
 
 
 @dataclass(frozen=True, order=True)
@@ -44,6 +44,20 @@ class Observation:
     def __str__(self) -> str:
         return (f"{self.time:.3f}s {format_address(self.family, self.source)} "
                 f"qtype={self.qtype}")
+
+
+@dataclass(frozen=True)
+class TaggedObservation(Observation):
+    """An observation carrying the name of the vantage that saw it.
+
+    The multi-vantage (fusion) stream plumbing needs the tag to survive
+    reorder buffering and checkpointing, so it rides on the record
+    itself rather than in side tables.  Everything downstream that
+    handles plain observations handles tagged ones unchanged; only the
+    fused detector looks at ``vantage``.
+    """
+
+    vantage: str = ""
 
 
 class ObservationBatch:

@@ -41,7 +41,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator, List, Optional, Tuple
 
 from ..obs.metrics import resolve_registry
-from .records import Observation
+from .records import Observation, TaggedObservation
 
 __all__ = ["LatePolicy", "ReorderStats", "ReorderBuffer", "reorder_stream"]
 
@@ -231,9 +231,15 @@ class ReorderBuffer:
         return {
             "horizon_seconds": self.horizon_seconds,
             "policy": self.policy.value,
+            # A 5th row element carries the vantage tag of a fused
+            # stream's records; plain records keep the 4-element shape
+            # so single-source checkpoints are byte-identical.
             "heap": [[time, sequence,
                       [observation.time, int(observation.family),
-                       observation.source, observation.qtype]]
+                       observation.source, observation.qtype]
+                      + ([observation.vantage]
+                         if isinstance(observation, TaggedObservation)
+                         else [])]
                      for time, sequence, observation in sorted(self._heap)],
             "sequence": self._sequence,
             "front": self._front,
@@ -262,8 +268,11 @@ class ReorderBuffer:
                 f"buffer policy {self.policy.value!r}")
         self._heap = [
             (float(time), int(sequence),
-             Observation(float(row[0]), Family(int(row[1])),
-                         int(row[2]), int(row[3])))
+             (TaggedObservation(float(row[0]), Family(int(row[1])),
+                                int(row[2]), int(row[3]), str(row[4]))
+              if len(row) > 4 else
+              Observation(float(row[0]), Family(int(row[1])),
+                          int(row[2]), int(row[3]))))
             for time, sequence, row in state["heap"]]
         heapq.heapify(self._heap)
         self._sequence = int(state["sequence"])

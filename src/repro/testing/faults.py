@@ -16,6 +16,12 @@ does alter them (a drifting capture clock).
 :func:`corrupt_capture` operates one layer down, on the raw bytes of a
 ``.pobs`` capture file, to exercise the reader's corruption handling.
 
+The *vantage-level* mutators (:func:`blind_vantage`,
+:func:`vantage_brownout`, :func:`vantage_lag`) operate on fused
+``(source, observation)`` streams and fail exactly one vantage of a
+multi-source feed — the fault class the per-source sentinels and
+reliability weights exist to contain.
+
 The *process-level* hooks (:func:`crash_on_block`, :func:`hang_on_block`,
 :func:`balloon_rss_on_block`) operate another layer down still: they
 kill, stall, or bloat the whole worker *process* rather than poisoning
@@ -49,6 +55,7 @@ __all__ = ["drop_observations", "duplicate_observations",
            "reorder_observations", "clock_skew", "feed_gap",
            "corrupt_capture", "poison_timestamps", "poison_block_times",
            "degenerate_parameters", "compose",
+           "blind_vantage", "vantage_brownout", "vantage_lag",
            "PROCESS_FAULT_ENV", "crash_on_block", "hang_on_block",
            "balloon_rss_on_block", "slow_on_block", "after_windows",
            "process_fault_env", "activate_process_faults",
@@ -56,6 +63,9 @@ __all__ = ["drop_observations", "duplicate_observations",
 
 Stream = Iterable[Observation]
 Mutator = Callable[[Stream], Iterator[Observation]]
+#: A fused multi-vantage feed: ``(source name, observation)`` pairs in
+#: timestamp order, as consumed by ``FusedStreamingDetector.observe_from``.
+TaggedStream = Iterable[Tuple[str, Observation]]
 
 
 def drop_observations(stream: Stream, fraction: float,
@@ -285,6 +295,91 @@ def compose(stream: Stream, *mutators: Mutator) -> Iterator[Observation]:
     for mutator in mutators:
         result = mutator(result)
     return iter(result)
+
+
+# -- vantage-level faults (multi-source fusion chaos) -------------------------
+
+
+def blind_vantage(stream: TaggedStream, source: str, at: float,
+                  until: float = float("inf"),
+                  ) -> Iterator[Tuple[str, Observation]]:
+    """Silence one vantage of a fused feed over ``[at, until)``.
+
+    The vantage-level analogue of :func:`feed_gap`: every record tagged
+    ``source`` inside the window disappears while the other vantages
+    flow untouched — a telescope losing its uplink, a tap host dying.
+    The default open end models a vantage that never comes back; the
+    fused detector's acceptance bar is that the survivors keep calling
+    outages with *no* false onsets attributable to the blinded source.
+    """
+    if until < at:
+        raise ValueError("blind window must not end before it starts")
+    for name, observation in stream:
+        if name == source and at <= observation.time < until:
+            continue
+        yield name, observation
+
+
+def vantage_brownout(stream: TaggedStream, source: str, start: float,
+                     end: float, keep_fraction: float,
+                     rng: np.random.Generator,
+                     ) -> Iterator[Tuple[str, Observation]]:
+    """Degrade one vantage to ``keep_fraction`` of its traffic.
+
+    Partial failure, not death: over ``[start, end)`` each of the
+    vantage's records survives independently with probability
+    ``keep_fraction`` (an overloaded collector shedding load, a lossy
+    relay).  Unlike :func:`blind_vantage` the sentinel may never open a
+    quarantine — the reliability weight is what should sag — so this is
+    the injector that exercises the *soft* half of the degradation
+    story.
+    """
+    if end < start:
+        raise ValueError("brownout window must not end before it starts")
+    if not 0.0 <= keep_fraction <= 1.0:
+        raise ValueError("keep_fraction must be in [0, 1]")
+    for name, observation in stream:
+        if (name == source and start <= observation.time < end
+                and rng.random() >= keep_fraction):
+            continue
+        yield name, observation
+
+
+def vantage_lag(stream: TaggedStream, source: str, lag_seconds: float,
+                start: float = float("-inf"), end: float = float("inf"),
+                ) -> Iterator[Tuple[str, Observation]]:
+    """Deliver one vantage ``lag_seconds`` late, stamped at delivery.
+
+    Models a buffering relay that holds the vantage's records and the
+    collector stamping them on *arrival*: inside ``[start, end)`` each
+    of the vantage's records is released once the merged front passes
+    ``time + lag_seconds`` and carries that shifted timestamp, so the
+    output stays timestamp-ordered (feedable straight into
+    ``observe_from``) while the vantage's evidence is displaced in
+    time.  A lagging vantage must neither veto the punctual sources'
+    onset calls nor trip its own sentinel — lag is displacement, not
+    silence.
+    """
+    if lag_seconds < 0:
+        raise ValueError("lag_seconds must be >= 0")
+    if end < start:
+        raise ValueError("lag window must not end before it starts")
+    held: List[Observation] = []
+
+    def release(observation: Observation) -> Tuple[str, Observation]:
+        return source, Observation(observation.time + lag_seconds,
+                                   observation.family, observation.source,
+                                   observation.qtype)
+
+    for name, observation in stream:
+        while held and held[0].time + lag_seconds <= observation.time:
+            yield release(held.pop(0))
+        if name == source and start <= observation.time < end:
+            held.append(observation)
+        else:
+            yield name, observation
+    for observation in held:
+        yield release(observation)
 
 
 # -- process-level faults (shard supervision chaos) --------------------------

@@ -506,3 +506,86 @@ class TestSupervisionCLI:
         # clean while the train-side report carries the coverage hole.
         document = json.loads(report_path.read_text())
         assert document["coverage"]["blocks_lost"] == []
+
+
+class TestFusedInspect:
+    def make_fused_checkpoint(self, tmp_path):
+        """A deterministic two-vantage checkpoint: dns healthy to the
+        end, darknet dead from t=24000 (open suspicion, quarantine)."""
+        from repro.core.checkpoint import detector_to_json
+        from repro.fusion import (FusedStreamingDetector, MappingSource,
+                                  train_fused)
+        from repro.net.addr import Family
+        from repro.telescope.records import Observation
+
+        family = Family.IPV4
+        shift = family.bits - family.default_block_prefix
+        times = np.arange(0.0, 40000.0, 10.0)
+        dns = MappingSource("dns", {1: times, 2: times}, family=family)
+        darknet = MappingSource("darknet", {1: times, 2: times},
+                                family=family)
+        model = train_fused([dns, darknet], family, 0.0, 20000.0)
+        detector = FusedStreamingDetector(model, 20000.0)
+        events = []
+        for key in (1, 2):
+            address = key << shift
+            for time in times[times >= 20000.0]:
+                events.append((float(time), "dns", address))
+                if time < 24000.0:
+                    events.append((float(time), "darknet", address))
+        events.sort(key=lambda event: (event[0], event[1], event[2]))
+        for time, name, address in events:
+            detector.observe_from(name,
+                                  Observation(time, family, address))
+        path = tmp_path / "fused.ckpt.json"
+        path.write_text(detector_to_json(detector))
+        return path
+
+    def test_inspect_renders_fused_checkpoint_golden(self, tmp_path,
+                                                     capsys):
+        path = self.make_fused_checkpoint(tmp_path)
+        capsys.readouterr()
+        assert main(["inspect", str(path)]) == 0
+        golden = (
+            f"fused checkpoint {path} (t=39,990.0s)\n"
+            "fused vantages (2, primary dns):\n"
+            "  dns: weight 1.0000 (healthy), 4000 observations, "
+            "333 healthy / 0 quiet bins, 0 gated\n"
+            "  darknet: weight 0.0000 (SUSPECT since t=24,020.0s), "
+            "800 observations, 67 healthy / 266 quiet bins, 106 gated\n"
+            "    quarantined [23,960.0s, 40,040.0s)\n")
+        captured = capsys.readouterr()
+        assert captured.out == golden
+        # Metrics-free fused checkpoints are not an error: the fusion
+        # state itself is the telemetry.
+        assert captured.err == ""
+
+    def test_inspect_renders_vantage_health_golden(self, tmp_path,
+                                                   capsys):
+        from repro.core.health import RunHealthReport, SourceHealth
+
+        report = RunHealthReport(run="live")
+        stage = report.stage("stream")
+        stage.attempted = 2
+        stage.succeeded = 2
+        stage.seconds = 1.25
+        report.sources["dns"] = SourceHealth(
+            name="dns", observations=4000, weight=1.0,
+            healthy_bins=333, quiet_bins=0, gated_bins=0,
+            measurable_blocks=2)
+        report.sources["darknet"] = SourceHealth(
+            name="darknet", observations=800, weight=0.0123,
+            healthy_bins=67, quiet_bins=266, gated_bins=106,
+            quarantine_windows=[(23960.0, 40040.0)], measurable_blocks=2)
+        path = tmp_path / "health.json"
+        path.write_text(report.to_json())
+        capsys.readouterr()
+        assert main(["inspect", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert ("vantages:\n"
+                "  darknet: weight 0.0123, 800 observations, "
+                "67 healthy / 266 quiet bins, 106 gated, "
+                "2 measurable blocks, quarantined 16,080s over 1 window(s)\n"
+                "  dns: weight 1.0000, 4000 observations, "
+                "333 healthy / 0 quiet bins, 0 gated, "
+                "2 measurable blocks\n") in out

@@ -8,6 +8,7 @@ from repro.core.correlation import (
     fuse_beliefs,
     fuse_timelines,
 )
+from repro.core.health import BlockDataError
 from repro.timeline import OutageEvent, Timeline
 
 
@@ -37,6 +38,38 @@ class TestFuseBeliefs:
         fused = fuse_beliefs([extreme, extreme, extreme])
         assert fused[0] < 1.0
 
+    def test_nan_trace_rejected_naming_source_and_sample(self):
+        good = np.array([0.8, 0.7, 0.9])
+        bad = np.array([0.8, np.nan, 0.9])
+        with pytest.raises(BlockDataError) as info:
+            fuse_beliefs([good, bad], sources=["dns", "darknet"])
+        message = str(info.value)
+        assert "'darknet'" in message
+        assert "sample 1" in message
+
+    def test_inf_trace_rejected_without_names(self):
+        with pytest.raises(BlockDataError) as info:
+            fuse_beliefs([np.array([0.8, np.inf])])
+        assert "source[0]" in str(info.value)
+
+    def test_length_mismatch_rejected_naming_both_sources(self):
+        with pytest.raises(BlockDataError) as info:
+            fuse_beliefs([np.full(4, 0.9), np.full(3, 0.9)],
+                         sources=["dns", "darknet"])
+        message = str(info.value)
+        assert "'darknet'" in message and "'dns'" in message
+        assert "3" in message and "4" in message
+
+    def test_multidimensional_trace_rejected(self):
+        with pytest.raises(BlockDataError, match="must be 1-d"):
+            fuse_beliefs([np.full((2, 2), 0.9)])
+
+    def test_non_finite_prior_rejected(self):
+        with pytest.raises(ValueError, match="prior"):
+            fuse_beliefs([np.array([0.9])], prior=float("nan"))
+        with pytest.raises(ValueError, match="prior"):
+            fuse_beliefs([np.array([0.9])], prior=1.0)
+
 
 class TestFuseTimelines:
     def make(self, *down):
@@ -61,6 +94,24 @@ class TestFuseTimelines:
     def test_requires_input(self):
         with pytest.raises(ValueError):
             fuse_timelines([])
+
+    def test_span_mismatch_rejected_naming_source(self):
+        with pytest.raises(BlockDataError) as info:
+            fuse_timelines([self.make((10, 20)),
+                            Timeline(0, 90, [(10, 20)])],
+                           sources=["dns", "darknet"])
+        message = str(info.value)
+        assert "'darknet'" in message
+        assert "shared span" in message
+
+    def test_non_finite_interval_edge_rejected(self):
+        # Construction sanitises edges, so model the fault the check
+        # exists for: a corrupt deserialisation poking the internals.
+        broken = Timeline(0, 100, [(10.0, 20.0)])
+        broken._down = [(10.0, float("nan"))]
+        with pytest.raises(BlockDataError) as info:
+            fuse_timelines([self.make((10, 20)), broken])
+        assert "source[1]" in str(info.value)
 
 
 class TestCorroborateEvents:

@@ -113,6 +113,26 @@ class TestSentinelQuarantine:
                 == restored.quarantined_intervals())
         assert sentinel.quarantined_bins == restored.quarantined_bins
 
+    def test_roundtrip_with_open_quarantine(self):
+        # The feed died and never came back: the quiet run is still
+        # open at serialisation time.  The restored sentinel must agree
+        # it is mid-quarantine (suspect_since, open window, per-bin
+        # verdicts), not just replay to agreement later.
+        sentinel = VantageSentinel(0.0, SentinelConfig(expected_rate=2.0))
+        feed(sentinel, 2.0, 0.0, 1000.0)
+        sentinel.advance(2400.0)  # feed dark, clock running
+        assert sentinel.suspect_since is not None
+        restored = VantageSentinel.from_dict(sentinel.to_dict())
+        assert restored.suspect_since == sentinel.suspect_since
+        assert (restored.quarantined_intervals()
+                == sentinel.quarantined_intervals())
+        assert restored.quarantined_intervals()  # the open window
+        assert restored.is_quarantined(2000.0)
+        # Advancing both in lockstep keeps them bit-identical.
+        sentinel.advance(3600.0)
+        restored.advance(3600.0)
+        assert restored.to_dict() == sentinel.to_dict()
+
     def test_config_validation(self):
         with pytest.raises(ValueError):
             SentinelConfig(bin_seconds=0.0)

@@ -38,6 +38,7 @@ from repro.telescope.capture import (
 from repro.telescope.records import Observation, ObservationBatch
 from repro.telescope.reorder import LatePolicy, ReorderBuffer, reorder_stream
 from repro.testing.faults import (
+    blind_vantage,
     clock_skew,
     compose,
     corrupt_capture,
@@ -45,6 +46,8 @@ from repro.testing.faults import (
     duplicate_observations,
     feed_gap,
     reorder_observations,
+    vantage_brownout,
+    vantage_lag,
 )
 from repro.traffic.sources import poisson_times
 
@@ -256,6 +259,75 @@ class TestLossAndDuplication:
         ))
         assert 0 < len(mutated) < len(rows)
         assert not any(gap[0] <= row.time < gap[1] for row in mutated)
+
+
+def tagged_stream(end=100.0, step=1.0):
+    """Two interleaved vantages at constant rate, timestamp-ordered."""
+    rows = []
+    for t in np.arange(0.0, end, step):
+        rows.append(("dns", Observation(float(t), Family.IPV4, 1 << 8)))
+        rows.append(("darknet",
+                     Observation(float(t) + 0.25, Family.IPV4, 1 << 8)))
+    return rows
+
+
+class TestVantageFaults:
+    def test_blind_vantage_silences_only_the_target(self):
+        rows = tagged_stream()
+        blinded = list(blind_vantage(rows, "darknet", at=40.0, until=60.0))
+        dark = [o.time for name, o in blinded if name == "darknet"]
+        dns = [o.time for name, o in blinded if name == "dns"]
+        assert not any(40.0 <= t < 60.0 for t in dark)
+        assert dns == [o.time for name, o in rows if name == "dns"]
+        # Order is untouched: blinding only deletes.
+        times = [o.time for _, o in blinded]
+        assert times == sorted(times)
+
+    def test_blind_vantage_open_end_never_recovers(self):
+        rows = tagged_stream()
+        blinded = list(blind_vantage(rows, "darknet", at=40.0))
+        assert all(o.time < 40.0 for name, o in blinded
+                   if name == "darknet")
+
+    def test_blind_vantage_rejects_inverted_window(self):
+        with pytest.raises(ValueError):
+            list(blind_vantage(tagged_stream(), "dns", at=50.0, until=40.0))
+
+    def test_brownout_sheds_partially_and_deterministically(self):
+        rows = tagged_stream(end=400.0)
+        kept = list(vantage_brownout(rows, "darknet", 0.0, 400.0, 0.3,
+                                     np.random.default_rng(7)))
+        again = list(vantage_brownout(rows, "darknet", 0.0, 400.0, 0.3,
+                                      np.random.default_rng(7)))
+        assert kept == again
+        dark = sum(1 for name, _ in kept if name == "darknet")
+        total = sum(1 for name, _ in rows if name == "darknet")
+        assert 0 < dark < total  # degraded, not dead
+        assert abs(dark / total - 0.3) < 0.1
+        assert (sum(1 for name, _ in kept if name == "dns")
+                == sum(1 for name, _ in rows if name == "dns"))
+
+    def test_brownout_validates_fraction(self):
+        with pytest.raises(ValueError):
+            list(vantage_brownout(tagged_stream(), "dns", 0.0, 10.0, 1.5,
+                                  np.random.default_rng(1)))
+
+    def test_lag_displaces_but_keeps_stream_feedable(self):
+        rows = tagged_stream()
+        lagged = list(vantage_lag(rows, "darknet", 5.0,
+                                  start=40.0, end=60.0))
+        times = [o.time for _, o in lagged]
+        assert times == sorted(times), "output must stay observe()-able"
+        dark = [o.time for name, o in lagged if name == "darknet"]
+        # Records inside the window are restamped at delivery (+lag).
+        assert not any(40.0 <= t < 45.0 for t in dark)
+        assert sum(1 for name, _ in lagged if name == "darknet") == sum(
+            1 for name, _ in rows if name == "darknet"), \
+            "lag displaces, it never drops"
+
+    def test_lag_zero_is_identity(self):
+        rows = tagged_stream(end=20.0)
+        assert list(vantage_lag(rows, "darknet", 0.0)) == rows
 
 
 class TestCaptureCorruption:

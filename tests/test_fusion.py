@@ -1,0 +1,307 @@
+"""Fused multi-vantage detector: model assembly, streaming, checkpoints.
+
+The chaos-level degradation contracts (blinding a vantage mid-run adds
+no false onsets, batch and live) live in ``test_fusion_chaos.py``; this
+file pins the deterministic machinery they stand on: spec derivation,
+coverage union, evidence routing, and bit-for-bit kill-and-resume of
+per-source sentinel and reliability state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoint import CheckpointFormatError, detector_to_json
+from repro.core.detector import StreamingDetector
+from repro.core.sentinel import SentinelConfig
+from repro.fusion import (
+    DarknetSource,
+    FusedModel,
+    FusedStreamingDetector,
+    MappingSource,
+    SourceMonitor,
+    build_block_specs,
+    detect_fused,
+    fused_detector_from_json,
+    train_fused,
+)
+from repro.net.addr import Family
+from repro.telescope.records import Observation
+from repro.traffic.darknet import DarknetTelescope
+from repro.traffic.internet import (
+    FamilyConfig,
+    InternetConfig,
+    SimulatedInternet,
+)
+from repro.traffic.outages import IPV4_OUTAGE_MODEL
+from repro.traffic.sources import poisson_times
+
+DAY = 86400.0
+FAMILY = Family.IPV4
+SHIFT = FAMILY.bits - FAMILY.default_block_prefix
+
+
+@pytest.fixture(scope="module")
+def fused_setup():
+    """Two vantages over a small simulated Internet, plus the tagged
+    merged eval stream both deployment shapes consume."""
+    config = InternetConfig(
+        end=160000.0, training_seconds=120000.0, seed=7,
+        ipv4=FamilyConfig(n_blocks=24, outage_model=IPV4_OUTAGE_MODEL))
+    internet = SimulatedInternet.build(config)
+    dns_blocks = {profile.key: times
+                  for profile, times in internet.passive_observations(seed=11)}
+    dns = MappingSource("dns", dns_blocks, family=FAMILY)
+    darknet = DarknetSource(DarknetTelescope(internet), seed=23)
+    model = train_fused([dns, darknet], FAMILY, 0.0, config.eval_start)
+    events = []
+    for name, adapter in (("dns", dns), ("darknet", darknet)):
+        per_block = adapter.per_block(FAMILY, config.eval_start, config.end)
+        for key, times in per_block.items():
+            address = key << SHIFT
+            events.extend((float(t), name, address) for t in times)
+    events.sort(key=lambda event: (event[0], event[1], event[2]))
+    return {
+        "internet": internet,
+        "adapters": (dns, darknet),
+        "model": model,
+        "events": events,
+        "eval_start": config.eval_start,
+        "end": config.end,
+    }
+
+
+def feed_events(detector, events):
+    for time, name, address in events:
+        detector.observe_from(
+            name, Observation(time, FAMILY, address))
+
+
+class TestModelAssembly:
+    def test_measurable_keys_are_the_union(self, fused_setup):
+        model = fused_setup["model"]
+        fused = set(model.measurable_keys)
+        for source in model.sources.values():
+            assert fused >= set(source.measurable_keys)
+
+    def test_specs_deterministic_with_finest_lead(self, fused_setup):
+        model = fused_setup["model"]
+        specs = build_block_specs(model)
+        again = build_block_specs(model)
+        assert set(specs) == set(again)
+        for key, spec in specs.items():
+            assert spec.lead == again[key].lead
+            assert spec.likelihoods == again[key].likelihoods
+            for name, _, _, stride in spec.likelihoods:
+                source_params = model.sources[name].parameters[key]
+                assert stride >= 1
+                # The lead has the finest tuned bin of the contributors.
+                assert spec.params.bin_seconds <= source_params.bin_seconds
+
+    def test_sparse_block_measurable_only_through_second_vantage(self):
+        # The coverage story in miniature: a block too sparse for the
+        # DNS tap to model is dense at the darknet, so the fused roster
+        # covers it while the DNS-only model cannot.
+        rng = np.random.default_rng(3)
+        dense = poisson_times(rng, 0.3, 0, DAY)
+        sparse = poisson_times(rng, 4.0 / DAY, 0, DAY)
+        loud = poisson_times(rng, 0.25, 0, DAY)
+        dns = MappingSource("dns", {1: dense, 2: sparse}, family=FAMILY)
+        other = MappingSource("other", {1: dense, 2: loud}, family=FAMILY)
+        model = train_fused([dns, other], FAMILY, 0.0, DAY)
+        assert 2 not in model.sources["dns"].measurable_keys
+        assert 2 in model.measurable_keys
+        assert model.coverage() == 1.0  # strictly above DNS-only (1 of 2)
+        assert build_block_specs(model)[2].lead == "other"
+
+    def test_duplicate_source_names_rejected(self):
+        rng = np.random.default_rng(5)
+        times = poisson_times(rng, 0.2, 0, DAY)
+        first = MappingSource("dns", {1: times}, family=FAMILY)
+        second = MappingSource("dns", {1: times}, family=FAMILY)
+        with pytest.raises(ValueError, match="duplicate"):
+            train_fused([first, second], FAMILY, 0.0, DAY)
+        with pytest.raises(ValueError):
+            train_fused([], FAMILY, 0.0, DAY)
+
+    def test_primary_must_be_a_source(self, fused_setup):
+        model = fused_setup["model"]
+        with pytest.raises(ValueError, match="primary"):
+            FusedModel(family=FAMILY, sources=dict(model.sources),
+                       primary="atlantis")
+
+
+class TestBatchDetection:
+    def test_healthy_run_reports_both_sources(self, fused_setup):
+        model = fused_setup["model"]
+        start, end = fused_setup["eval_start"], fused_setup["end"]
+        dns, darknet = fused_setup["adapters"]
+        detection = detect_fused(
+            model,
+            {"dns": dns.per_block(FAMILY, start, end),
+             "darknet": darknet.per_block(FAMILY, start, end)},
+            start, end)
+        assert set(detection.blocks) == set(model.measurable_keys)
+        assert detection.all_dark_windows == []
+        health = detection.health
+        assert set(health.sources) == {"dns", "darknet"}
+        for source in health.sources.values():
+            assert source.observations > 0
+            assert source.weight > 0.9
+            assert source.quarantine_windows == []
+            assert source.measurable_blocks > 0
+
+    def test_missing_source_degrades_instead_of_failing(self, fused_setup):
+        model = fused_setup["model"]
+        start, end = fused_setup["eval_start"], fused_setup["end"]
+        dns, _ = fused_setup["adapters"]
+        detection = detect_fused(
+            model, {"dns": dns.per_block(FAMILY, start, end)},
+            start, end, max_quarantine_frac=1.0)
+        # The absent vantage never spoke, so every bin of its evidence
+        # is gated; the survivor keeps producing calls and nothing is
+        # all-dark while one source still talks.
+        darknet = detection.health.sources["darknet"]
+        assert darknet.observations == 0
+        assert darknet.gated_bins > 0
+        assert detection.all_dark_windows == []
+        assert detection.blocks
+
+    def test_every_source_missing_retracts_the_whole_span(self,
+                                                          fused_setup):
+        model = fused_setup["model"]
+        start, end = fused_setup["eval_start"], fused_setup["end"]
+        detection = detect_fused(model, {}, start, end,
+                                 max_quarantine_frac=1.0)
+        assert detection.all_dark_windows == [(start, end)]
+        for block in detection.blocks.values():
+            assert block.timeline.down_intervals == []
+            assert block.quarantined == [(start, end)]
+
+
+class TestStreamingRouting:
+    def test_untagged_observations_belong_to_the_primary(self, fused_setup):
+        model = fused_setup["model"]
+        start = fused_setup["eval_start"]
+        detector = FusedStreamingDetector(model, start)
+        key = model.measurable_keys[0]
+        detector.observe(Observation(start + 1.0, FAMILY, key << SHIFT))
+        assert detector.monitors[model.primary].observations == 1
+        others = [name for name in model.source_names
+                  if name != model.primary]
+        assert all(detector.monitors[name].observations == 0
+                   for name in others)
+
+    def test_unknown_source_rejected(self, fused_setup):
+        detector = FusedStreamingDetector(fused_setup["model"],
+                                          fused_setup["eval_start"])
+        with pytest.raises(ValueError, match="unknown source"):
+            detector.observe_from(
+                "atlantis",
+                Observation(fused_setup["eval_start"] + 1.0, FAMILY, 1 << 8))
+
+    def test_non_finite_timestamp_rejected(self, fused_setup):
+        detector = FusedStreamingDetector(fused_setup["model"],
+                                          fused_setup["eval_start"])
+        with pytest.raises(ValueError, match="non-finite"):
+            detector.observe_from(
+                "dns", Observation(float("nan"), FAMILY, 1 << 8))
+
+
+class TestKillAndResume:
+    def test_mid_run_checkpoint_is_bit_for_bit(self, fused_setup):
+        model = fused_setup["model"]
+        events = fused_setup["events"]
+        start, end = fused_setup["eval_start"], fused_setup["end"]
+
+        uninterrupted = FusedStreamingDetector(model, start)
+        feed_events(uninterrupted, events)
+        full_document = detector_to_json(uninterrupted)
+        full_results = uninterrupted.finalize(end)
+
+        kill_at = start + (end - start) / 2.0
+        victim = FusedStreamingDetector(model, start)
+        feed_events(victim, [e for e in events if e[0] < kill_at])
+        checkpoint = detector_to_json(victim)
+        del victim  # the process dies here
+
+        resumed = fused_detector_from_json(checkpoint, model)
+        feed_events(resumed, [e for e in events if e[0] >= kill_at])
+        assert detector_to_json(resumed) == full_document
+        resumed_results = resumed.finalize(end)
+        assert set(resumed_results) == set(full_results)
+        for key in full_results:
+            assert (full_results[key].timeline
+                    == resumed_results[key].timeline), key
+            assert (full_results[key].quarantined
+                    == resumed_results[key].quarantined), key
+        assert (uninterrupted.last_health.as_dict()
+                == resumed.last_health.as_dict())
+
+    def test_restore_rehydrates_every_named_sentinel(self, fused_setup):
+        model = fused_setup["model"]
+        events = fused_setup["events"]
+        start = fused_setup["eval_start"]
+        detector = FusedStreamingDetector(model, start)
+        feed_events(detector, events[:5000])
+        restored = fused_detector_from_json(detector_to_json(detector),
+                                            model)
+        assert list(restored.monitors) == model.source_names
+        for name in model.source_names:
+            assert (restored.monitors[name].to_dict()
+                    == detector.monitors[name].to_dict()), name
+
+    def test_single_source_checkpoint_refused_with_direction(
+            self, fused_setup):
+        model = fused_setup["model"]
+        source = model.sources["dns"]
+        plain = StreamingDetector(FAMILY, source.histories,
+                                  source.parameters,
+                                  fused_setup["eval_start"])
+        with pytest.raises(CheckpointFormatError,
+                           match="detector_from_json instead"):
+            fused_detector_from_json(detector_to_json(plain), model)
+
+    def test_source_roster_mismatch_refused(self, fused_setup):
+        model = fused_setup["model"]
+        detector = FusedStreamingDetector(model, fused_setup["eval_start"])
+        document = detector_to_json(detector)
+        renamed = FusedModel(
+            family=FAMILY,
+            sources={"alpha" if name == "dns" else name: source
+                     for name, source in model.sources.items()},
+            primary="alpha")
+        with pytest.raises(CheckpointFormatError, match="sources"):
+            fused_detector_from_json(document, renamed)
+
+
+class TestMonitorRoundTrip:
+    def quiet_monitor(self):
+        """A monitor whose feed died: open quarantine, decayed weight."""
+        monitor = SourceMonitor.fresh(
+            "darknet", 0.0, SentinelConfig(expected_rate=2.0))
+        for time in np.arange(0.0, 1000.0, 0.5):
+            monitor.observe(float(time))
+        monitor.advance(3000.0)  # the feed goes dark; clock runs on
+        return monitor
+
+    def test_roundtrip_preserves_open_quarantine(self):
+        monitor = self.quiet_monitor()
+        assert monitor.sentinel.suspect_since is not None
+        assert monitor.weight < 1.0
+        restored = SourceMonitor.from_dict(monitor.to_dict())
+        assert restored.to_dict() == monitor.to_dict()
+        assert (restored.sentinel.quarantined_intervals()
+                == monitor.sentinel.quarantined_intervals())
+        assert not restored.trusted_over(2500.0, 2600.0)
+        # Both evolve identically after the round trip.
+        monitor.advance(4000.0)
+        restored.advance(4000.0)
+        assert restored.to_dict() == monitor.to_dict()
+
+    def test_gated_bins_survive_the_roundtrip(self):
+        monitor = self.quiet_monitor()
+        monitor.note_gated()
+        monitor.note_gated()
+        assert SourceMonitor.from_dict(monitor.to_dict()).gated_bins == 2

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.net.addr import Family
-from repro.telescope.records import Observation
+from repro.telescope.records import Observation, TaggedObservation
 from repro.telescope.reorder import (
     LatePolicy,
     ReorderBuffer,
@@ -221,6 +221,46 @@ class TestReorderTelemetry:
         # No metrics kwarg means the null registry: nothing registered.
         from repro.obs.metrics import NULL_REGISTRY
         assert NULL_REGISTRY.families() == []
+
+
+class TestCheckpointState:
+    def test_vantage_tag_survives_state_roundtrip(self):
+        buffer = ReorderBuffer(5.0)
+        buffer.push(TaggedObservation(10.0, Family.IPV4, 1 << 8, 0, "dns"))
+        buffer.push(TaggedObservation(11.0, Family.IPV4, 2 << 8, 0,
+                                      "darknet"))
+        state = buffer.state_dict()
+        # Tagged rows carry the vantage as a 5th element.
+        assert all(len(row[2]) == 5 for row in state["heap"])
+        restored = ReorderBuffer(5.0)
+        restored.restore_state(state)
+        held = sorted(restored.flush(), key=lambda o: o.time)
+        assert [type(o) for o in held] == [TaggedObservation] * 2
+        assert [o.vantage for o in held] == ["dns", "darknet"]
+        assert [o.time for o in held] == [10.0, 11.0]
+
+    def test_plain_rows_keep_four_element_shape(self):
+        # Single-source checkpoints must stay byte-identical to the
+        # pre-fusion format: no vantage column for plain observations.
+        buffer = ReorderBuffer(5.0)
+        buffer.push(obs(10.0))
+        state = buffer.state_dict()
+        assert all(len(row[2]) == 4 for row in state["heap"])
+        restored = ReorderBuffer(5.0)
+        restored.restore_state(state)
+        held = restored.flush()
+        assert [type(o) for o in held] == [Observation]
+
+    def test_mixed_heap_restores_each_shape(self):
+        buffer = ReorderBuffer(5.0)
+        buffer.push(obs(10.0))
+        buffer.push(TaggedObservation(10.5, Family.IPV4, 1 << 8, 0, "dns"))
+        restored = ReorderBuffer(5.0)
+        restored.restore_state(buffer.state_dict())
+        held = sorted(restored.flush(), key=lambda o: o.time)
+        assert type(held[0]) is Observation
+        assert type(held[1]) is TaggedObservation
+        assert held[1].vantage == "dns"
 
 
 class TestStreamIntegration:

@@ -1,5 +1,8 @@
 """Darknet telescope (IBR second source)."""
 
+import hashlib
+import multiprocessing
+
 import numpy as np
 import pytest
 
@@ -13,6 +16,31 @@ from repro.traffic.internet import (
 from repro.traffic.outages import OutageModel
 
 DAY = 86400.0
+
+_SPAWN_CONFIG = InternetConfig(
+    end=DAY, training_seconds=DAY / 2, seed=41,
+    ipv4=FamilyConfig(n_blocks=12,
+                      outage_model=OutageModel(outage_probability=0.5)))
+
+
+def _darknet_digest(seed):
+    """Digest of the telescope's full IPv4 stream (spawn-safe, top-level).
+
+    Rebuilt from scratch so a spawned child shares nothing with its
+    parent but the code — the digest matching across processes proves
+    the stream derives from the seed alone, never from global RNG state.
+    """
+    telescope = DarknetTelescope(SimulatedInternet.build(_SPAWN_CONFIG))
+    digest = hashlib.sha256()
+    for key in sorted(telescope.per_block(Family.IPV4, seed=seed)):
+        times = telescope.per_block(Family.IPV4, seed=seed)[key]
+        digest.update(str(key).encode())
+        digest.update(np.ascontiguousarray(times, dtype=float).tobytes())
+    return digest.hexdigest()
+
+
+def _digest_to_queue(queue, seed):
+    queue.put(_darknet_digest(seed))
 
 
 @pytest.fixture(scope="module")
@@ -87,6 +115,37 @@ class TestObservations:
         second = telescope.per_block(Family.IPV4, seed=5)
         for key in first:
             assert np.array_equal(first[key], second[key])
+
+    def test_observations_match_per_block(self, internet):
+        # The two access paths expose one stream, not two generators.
+        telescope = DarknetTelescope(internet)
+        per_block = telescope.per_block(Family.IPV4, seed=5)
+        via_observations = {
+            profile.key: times
+            for profile, times in telescope.observations(seed=5)
+            if profile.family is Family.IPV4}
+        assert set(per_block) == set(via_observations)
+        for key in per_block:
+            assert np.array_equal(per_block[key], via_observations[key])
+
+
+class TestSpawnDeterminism:
+    """The fused live path regenerates telescope streams in spawned
+    partition workers; the whole-tap monitor protocol only works if a
+    child's regenerated stream is bit-identical to the parent's."""
+
+    def test_identical_stream_across_spawned_processes(self):
+        expected = _darknet_digest(5)
+        assert _darknet_digest(5) == expected  # same-process repeat
+        context = multiprocessing.get_context("spawn")
+        queue = context.Queue()
+        child = context.Process(target=_digest_to_queue, args=(queue, 5))
+        child.start()
+        try:
+            assert queue.get(timeout=120) == expected
+        finally:
+            child.join(timeout=30)
+        assert _darknet_digest(6) != expected  # the seed is the input
 
 
 class TestFusionExperiment:
