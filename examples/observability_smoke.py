@@ -1,0 +1,141 @@
+"""End-to-end smoke for the live observability endpoint (CI gate).
+
+Drives the real deployment shape: simulate a capture, train a model on
+the first half, run the partitioned live monitor with ``--obs-port 0``,
+and scrape ``/metrics``, ``/health``, ``/metrics.json``, and
+``/events`` *while the run is in flight*.  The checks are golden-shape
+assertions — exposition format, document ``format`` tags, health keys —
+plus the one liveness contract worth gating on: worker counters must
+become visible through the parent's endpoint mid-run, proving the
+heartbeat piggyback and the scrape plane work against a real fleet.
+
+Exit code 0 on success; any failed check raises and exits nonzero.
+
+    python examples/observability_smoke.py
+"""
+
+import json
+import re
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+DAY = 86400.0
+SCRAPE_DEADLINE = 120.0  # seconds to see live worker counters
+
+
+def fetch(base, path):
+    with urllib.request.urlopen(base + path, timeout=10) as response:
+        return response.headers, response.read().decode()
+
+
+def exposition_value(body, name):
+    """Sum of a metric's sample values in a Prometheus text body."""
+    total, seen = 0.0, False
+    for line in body.splitlines():
+        if line.startswith(name) and not line.startswith("#"):
+            total += float(line.rsplit(" ", 1)[1])
+            seen = True
+    return total if seen else None
+
+
+def main():
+    root = Path(tempfile.mkdtemp(prefix="obs_smoke_"))
+    capture, model = str(root / "capture.pobs"), str(root / "model.json")
+    run = [sys.executable, "-c",
+           "import sys; from repro.cli import main; "
+           "sys.exit(main(sys.argv[1:]))"]
+    subprocess.run(run + ["simulate", "--blocks", "24", "--days", "2",
+                          "--seed", "7", "--out", capture], check=True)
+    # --train-end at the midpoint: training defaults to the capture's
+    # end, which would leave the live monitor zero rows to replay.
+    subprocess.run(run + ["train", capture, "--train-end", str(DAY),
+                          "--out", model], check=True)
+
+    monitor = subprocess.Popen(
+        run + ["live", capture, "--model", model, "--partitions", "2",
+               "--checkpoint", str(root / "ckpt"), "--obs-port", "0"],
+        stderr=subprocess.PIPE, text=True)
+    stderr_lines = []
+
+    def drain():
+        for line in monitor.stderr:
+            stderr_lines.append(line)
+
+    reader = threading.Thread(target=drain, daemon=True)
+    reader.start()
+    try:
+        # The CLI announces the ephemeral endpoint on stderr.
+        base = None
+        deadline = time.monotonic() + 30.0
+        while base is None and time.monotonic() < deadline:
+            for line in stderr_lines:
+                match = re.search(r"observability endpoint: (\S+)", line)
+                if match:
+                    base = match.group(1)
+                    break
+            else:
+                if monitor.poll() is not None:
+                    raise SystemExit("monitor exited before serving: "
+                                     + "".join(stderr_lines))
+                time.sleep(0.05)
+        if base is None:
+            raise SystemExit("no observability endpoint announced")
+        print("scraping", base)
+
+        # Worker counters must surface through the parent mid-run.
+        deadline = time.monotonic() + SCRAPE_DEADLINE
+        observed = None
+        while time.monotonic() < deadline:
+            if monitor.poll() is not None:
+                break  # run finished; final fold below must still show
+            headers, body = fetch(base, "/metrics")
+            assert headers["Content-Type"].startswith("text/plain"), \
+                headers["Content-Type"]
+            observed = exposition_value(body, "stream_observations_total")
+            if observed:
+                break
+            time.sleep(0.2)
+        assert observed, "worker counters never reached /metrics"
+        print(f"stream_observations_total {observed:.0f} mid-run")
+
+        _, body = fetch(base, "/metrics.json")
+        snapshot = json.loads(body)
+        assert snapshot["format"] == "repro-metrics-v1", snapshot["format"]
+        assert any(entry["name"] == "stream_observations_total"
+                   for entry in snapshot["metrics"])
+
+        _, body = fetch(base, "/health")
+        health = json.loads(body)
+        assert health["status"] in ("running", "merging", "done"), health
+        assert health["run"] == "streaming", health
+        assert len(health["partitions"]) == 2, health
+        for row in health["partitions"]:
+            for key in ("index", "unit", "status", "watermark",
+                        "watermark_lag", "restarts"):
+                assert key in row, (key, row)
+        print("health:", health["status"],
+              [row["status"] for row in health["partitions"]])
+
+        _, body = fetch(base, "/events")
+        events = json.loads(body)
+        assert events["format"] == "repro-explain-v1", events["format"]
+        assert isinstance(events["events"], list)
+        print(f"{len(events['events'])} explain events")
+    except Exception:
+        monitor.kill()
+        raise
+    finally:
+        code = monitor.wait(timeout=300)
+        reader.join(timeout=10)
+    assert code == 0, ("monitor exited "
+                       f"{code}: " + "".join(stderr_lines[-20:]))
+    print("observability smoke OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -22,6 +22,14 @@ import numpy as np
 
 from .core.health import ErrorBudgetExceeded, RunHealthReport
 from .core.pipeline import PassiveOutagePipeline
+from .obs.explain import (
+    EXPLAIN_FORMAT,
+    NULL_EXPLAIN,
+    ExplainLog,
+    format_explain,
+    read_explain_jsonl,
+    set_explain,
+)
 from .obs.metrics import (
     NULL_REGISTRY,
     SNAPSHOT_FORMAT,
@@ -29,6 +37,7 @@ from .obs.metrics import (
     render_snapshot,
     set_registry,
 )
+from .obs.server import ObservabilityServer
 from .obs.tracing import NULL_TRACER, SpanTracer, set_tracer
 from .experiments import (
     run_baseline_comparison,
@@ -79,15 +88,28 @@ EXPERIMENTS: Dict[str, Callable] = {
 }
 
 
+class _RunTelemetry:
+    """One command's telemetry plane: registry, tracer, explain, server."""
+
+    def __init__(self, registry: object, tracer: object, explain: object,
+                 server: Optional[ObservabilityServer]) -> None:
+        self.registry = registry
+        self.tracer = tracer
+        self.explain = explain
+        self.server = server
+
+
 @contextmanager
 def _telemetry(args: argparse.Namespace,
-               force_metrics: bool = False) -> Iterator[Tuple[object, object]]:
+               force_metrics: bool = False) -> Iterator[_RunTelemetry]:
     """Install (and on exit, export and uninstall) run telemetry.
 
-    A real registry/tracer is created only when the corresponding
-    ``--metrics-out``/``--trace-out`` flag was given (or
+    A real registry/tracer/explain log is created only when the
+    corresponding ``--metrics-out``/``--trace-out``/``--explain-out``
+    flag was given, when ``--obs-port`` asks for the live HTTP endpoint
+    (which serves all three, so all three must exist), or under
     ``force_metrics`` — the live monitor always meters so checkpoints
-    carry cumulative telemetry).  Both are installed as the process
+    carry cumulative telemetry.  All are installed as the process
     defaults so internally-constructed pipelines pick them up, and the
     previous defaults are restored afterwards — ``main()`` is called
     repeatedly in-process by the test suite.  Export happens in the
@@ -97,22 +119,38 @@ def _telemetry(args: argparse.Namespace,
 
     metrics_out = getattr(args, "metrics_out", "")
     trace_out = getattr(args, "trace_out", "")
-    registry = (MetricsRegistry() if (metrics_out or force_metrics)
+    explain_out = getattr(args, "explain_out", "")
+    obs_port = getattr(args, "obs_port", None)
+    serve = obs_port is not None
+    registry = (MetricsRegistry() if (metrics_out or force_metrics or serve)
                 else NULL_REGISTRY)
-    tracer = SpanTracer() if trace_out else NULL_TRACER
+    tracer = SpanTracer() if (trace_out or serve) else NULL_TRACER
+    explain = ExplainLog() if (explain_out or serve) else NULL_EXPLAIN
     previous_registry = set_registry(registry)
     previous_tracer = set_tracer(tracer)
+    previous_explain = set_explain(explain)
+    server: Optional[ObservabilityServer] = None
+    if serve:
+        server = ObservabilityServer(port=obs_port, registry=registry,
+                                     tracer=tracer, explain=explain).start()
+        print(f"observability endpoint: {server.url}", file=sys.stderr)
     try:
-        yield registry, tracer
+        yield _RunTelemetry(registry, tracer, explain, server)
     finally:
+        if server is not None:
+            server.stop()
         set_registry(previous_registry)
         set_tracer(previous_tracer)
+        set_explain(previous_explain)
         if metrics_out and registry.enabled:
             atomic_write_text(metrics_out, registry.to_json())
             print(f"metrics written to {metrics_out}")
         if trace_out and tracer.enabled:
             atomic_write_text(trace_out, tracer.to_chrome_json())
             print(f"trace written to {trace_out}")
+        if explain_out and explain.enabled:
+            atomic_write_text(explain_out, explain.to_jsonl())
+            print(f"explain log written to {explain_out}")
 
 
 def _metric_value(registry: object, name: str) -> float:
@@ -270,7 +308,8 @@ def _cmd_detect(args: argparse.Namespace) -> int:
             workers = 1
 
     per_block = per_block_times(batch)
-    with _telemetry(args) as (registry, tracer):
+    with _telemetry(args) as telemetry:
+        registry, tracer = telemetry.registry, telemetry.tracer
         pipeline = PassiveOutagePipeline(
             max_quarantine_frac=args.max_quarantine_frac,
             metrics=registry, tracer=tracer,
@@ -356,10 +395,10 @@ def _cmd_live(args: argparse.Namespace) -> int:
     # the cumulative telemetry snapshot whether or not this particular
     # invocation asked for --metrics-out, so counters survive a
     # kill-and-resume regardless of the resuming operator's flags.
-    with _telemetry(args, force_metrics=True) as (registry, _):
+    with _telemetry(args, force_metrics=True) as telemetry:
         if args.partitions is not None or args.partition_chunk is not None:
-            return _run_live_partitioned(args, model, registry)
-        return _run_live(args, model, registry)
+            return _run_live_partitioned(args, model, telemetry)
+        return _run_live(args, model, telemetry.registry)
 
 
 def _live_drift_config(args: argparse.Namespace) -> Optional[object]:
@@ -555,8 +594,9 @@ def _run_live(args: argparse.Namespace, model: "TrainedModel",
 
 
 def _run_live_partitioned(args: argparse.Namespace, model: "TrainedModel",
-                          registry: object) -> int:
+                          telemetry: _RunTelemetry) -> int:
     """Live monitoring with the keyspace partitioned across workers."""
+    registry = telemetry.registry
     from .live import LivePartitionSupervisor
     from .parallel import ShardWorkerError, SupervisionPolicy
     from .telescope.capture import CaptureCorruptionError
@@ -586,8 +626,14 @@ def _run_live_partitioned(args: argparse.Namespace, model: "TrainedModel",
             drift=_live_drift_config(args),
             max_quarantine_frac=args.max_quarantine_frac,
             metrics=registry,
+            tracer=telemetry.tracer,
+            explain=telemetry.explain,
             stop_requested=stop_requested,
             status=lambda line: print(line, file=sys.stderr))
+        if telemetry.server is not None:
+            # /health now reports this run: per-partition status and
+            # watermark lag instead of bare process liveness.
+            telemetry.server.health_provider = supervisor.health_document
         try:
             result = supervisor.run(args.capture, tolerant=args.tolerant)
         except CaptureCorruptionError as error:
@@ -796,6 +842,35 @@ def _render_fusion_state(document: Dict) -> str:
 
 def _cmd_inspect(args: argparse.Namespace) -> int:
     """Pretty-print a metrics snapshot, health report, or checkpoint."""
+    explain_block: Optional[int] = None
+    if getattr(args, "explain", None):
+        try:
+            explain_block = int(args.explain, 0)
+        except ValueError:
+            print(f"--explain takes a block key (decimal or 0x hex), "
+                  f"got {args.explain!r}", file=sys.stderr)
+            return 1
+    # Explain exports are JSONL (header line + one event per line), so
+    # they dispatch on the first line before the single-document parse.
+    try:
+        with open(args.path, "r", encoding="utf-8") as handle:
+            first_line = handle.readline().strip()
+        header = json.loads(first_line) if first_line else None
+    except (OSError, json.JSONDecodeError):
+        header = None
+    if (isinstance(header, dict)
+            and header.get("format") == EXPLAIN_FORMAT):
+        try:
+            events = read_explain_jsonl(args.path)
+        except (OSError, ValueError, json.JSONDecodeError) as error:
+            print(f"cannot read {args.path}: {error}", file=sys.stderr)
+            return 1
+        print(format_explain(events, block=explain_block))
+        return 0
+    if explain_block is not None:
+        print(f"{args.path} is not a {EXPLAIN_FORMAT} export; --explain "
+              f"applies to --explain-out files", file=sys.stderr)
+        return 1
     try:
         with open(args.path, "r", encoding="utf-8") as handle:
             document = json.load(handle)
@@ -925,6 +1000,13 @@ def build_parser() -> argparse.ArgumentParser:
     detect.add_argument("--trace-out", default="",
                         help="write a Chrome-trace JSON of the run's "
                              "stage spans here")
+    detect.add_argument("--explain-out", default="",
+                        help="write the decision-provenance explain log "
+                             "(JSONL) here")
+    detect.add_argument("--obs-port", type=int, default=None,
+                        help="serve /metrics, /metrics.json, /health, "
+                             "/trace, /events on this port while the run "
+                             "is live (0 = ephemeral)")
     detect.set_defaults(func=_cmd_detect)
 
     live = sub.add_parser("live",
@@ -1000,6 +1082,13 @@ def build_parser() -> argparse.ArgumentParser:
     live.add_argument("--metrics-interval", type=float, default=0.0,
                       help="print a telemetry one-liner to stderr every "
                            "this many stream-seconds (0 disables)")
+    live.add_argument("--explain-out", default="",
+                      help="write the decision-provenance explain log "
+                           "(JSONL) here")
+    live.add_argument("--obs-port", type=int, default=None,
+                      help="serve /metrics, /metrics.json, /health, "
+                           "/trace, /events on this port while the run "
+                           "is live (0 = ephemeral)")
     live.set_defaults(func=_cmd_live)
 
     experiment = sub.add_parser("experiment",
@@ -1018,6 +1107,13 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--trace-out", default="",
                             help="write a Chrome-trace JSON of the run's "
                                  "stage spans here")
+    experiment.add_argument("--explain-out", default="",
+                            help="write the decision-provenance explain "
+                                 "log (JSONL) here")
+    experiment.add_argument("--obs-port", type=int, default=None,
+                            help="serve /metrics, /metrics.json, /health, "
+                                 "/trace, /events on this port while the "
+                                 "run is live (0 = ephemeral)")
     experiment.set_defaults(func=_cmd_experiment)
 
     inspect = sub.add_parser("inspect",
@@ -1028,7 +1124,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="metrics JSON from --metrics-out, a health "
                               "report from --health-report, a live "
                               "manifest from a partitioned run's "
-                              "checkpoint dir, or a checkpoint file")
+                              "checkpoint dir, a checkpoint file, or an "
+                              "explain JSONL from --explain-out")
+    inspect.add_argument("--explain", default=None, metavar="BLOCK",
+                         help="render the decision-provenance audit trail "
+                              "for one block (decimal or 0x hex key) from "
+                              "an --explain-out JSONL export")
     inspect.set_defaults(func=_cmd_inspect)
 
     report = sub.add_parser("report", help="reproduce every table and figure")

@@ -15,13 +15,14 @@ suite pins them to identical decisions on identical input.
 from __future__ import annotations
 
 import time as _time
-from collections import defaultdict
+from collections import defaultdict, deque
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
 from ..net.addr import Family
+from ..obs.explain import resolve_explain
 from ..obs.metrics import resolve_registry
 from ..telescope.aggregate import BinGrid, binned_counts
 from ..telescope.records import Observation
@@ -46,7 +47,12 @@ from .parameters import BlockParameters
 from .sentinel import VantageSentinel, suppress_quarantined
 
 __all__ = ["BlockResult", "PassiveDetector", "StreamingDetector",
-           "dead_letter_metric", "guardrail_metric"]
+           "dead_letter_metric", "guardrail_metric",
+           "EXPLAIN_TRAJECTORY_BINS"]
+
+#: Belief-trajectory window kept per block for the explain log: the
+#: "deciding bins" an auditor sees leading into a transition.
+EXPLAIN_TRAJECTORY_BINS = 8
 
 
 def dead_letter_metric(metrics: Any) -> Any:
@@ -107,12 +113,17 @@ class PassiveDetector:
 
     def __init__(self, refinement: Optional[RefinementConfig] = None,
                  keep_belief_traces: bool = False,
-                 metrics: Optional[Any] = None) -> None:
+                 metrics: Optional[Any] = None,
+                 explain: Optional[Any] = None) -> None:
         self.refinement = refinement or RefinementConfig()
         self.keep_belief_traces = keep_belief_traces
         #: metrics registry (``repro.obs.metrics``); defaults to the
         #: process-wide registry, which is a no-op until installed.
         self.metrics = resolve_registry(metrics)
+        #: decision-provenance log; records one onset/recovery pair per
+        #: finalized outage (batch detection has no bin-by-bin belief
+        #: trajectory to narrate — the streaming detector carries that).
+        self.explain = resolve_explain(explain)
         #: quarantine and guardrail accounting for the most recent
         #: :meth:`detect` call (callers may pass their own instead).
         self.last_dead_letters = DeadLetterRegistry()
@@ -274,6 +285,13 @@ class PassiveDetector:
         if gaps:
             refined = Timeline(start, end,
                                refined.down_intervals + gaps)
+        if self.explain.enabled:
+            for event in refined.events():
+                self.explain.record({
+                    "event": "onset", "block": key, "time": event.start,
+                    "duration": event.duration})
+                self.explain.record({
+                    "event": "recovery", "block": key, "time": event.end})
         return BlockResult(
             key=key,
             family=family,
@@ -351,6 +369,7 @@ class StreamingDetector:
         sentinel: Optional[VantageSentinel] = None,
         max_quarantine_frac: float = 0.5,
         metrics: Optional[Any] = None,
+        explain: Optional[Any] = None,
     ) -> None:
         self.family = family
         self.start = float(start)
@@ -391,6 +410,14 @@ class StreamingDetector:
         #: metrics registry; the no-op default costs one attribute read
         #: per hot-path increment.
         self.metrics = resolve_registry(metrics)
+        #: decision-provenance log (``repro.obs.explain``); the no-op
+        #: default costs one ``enabled`` attribute read per bin close.
+        self.explain = resolve_explain(explain)
+        #: per-block belief trajectory over the deciding bins, kept only
+        #: while provenance is on; the most recent evidence dict is
+        #: staged by ``_update_belief`` for the transition event.
+        self._trajectories: Dict[int, deque] = {}
+        self._last_evidence: Optional[Dict[str, Any]] = None
         self._register_metrics()
 
     def _register_metrics(self, backfill: bool = True) -> None:
@@ -428,6 +455,10 @@ class StreamingDetector:
         self._m_belief = m.histogram(
             "belief_update_seconds",
             "Wall-time of one scalar belief update at bin close")
+        self._m_explain = m.counter(
+            "explain_events_total",
+            "Decision-provenance events recorded, by kind",
+            labelnames=("kind",))
         self._m_blocks.set(len(self._states))
         self.dead_letters.bind(dead_letter_metric(m), backfill=backfill)
         self.guardrails.bind(guardrail_metric(m), backfill=backfill)
@@ -511,6 +542,18 @@ class StreamingDetector:
         self._pending_swaps.pop(key, None)
         self.dead_letters.record(stage, key, error)
         self._m_blocks.set(len(self._states))
+        if self.explain.enabled:
+            self._trajectories.pop(key, None)
+            self._record_event({
+                "event": "retraction", "block": key,
+                "time": self._last_time,
+                "reason": f"dead-lettered at stage {stage}: "
+                          f"{type(error).__name__}: {error}",
+            })
+
+    def _record_event(self, event: Dict[str, Any]) -> None:
+        self.explain.record(event)
+        self._m_explain.labels(kind=event["event"]).inc()
 
     def hot_swap(self, key: int, history: BlockHistory,
                  params: BlockParameters) -> bool:
@@ -609,6 +652,9 @@ class StreamingDetector:
                     for s, e in quarantined if s < end and e > self.start]
                 if overlapping:
                     timeline = suppress_quarantined(coarse, overlapping)
+                if self.explain.enabled:
+                    self._explain_finalized(key, coarse, timeline,
+                                            overlapping)
                 results[key] = BlockResult(
                     key=key,
                     family=self.family,
@@ -628,6 +674,30 @@ class StreamingDetector:
             error.report = self.last_health
             raise
         return results
+
+    def _explain_finalized(self, key: int, coarse: Timeline,
+                           timeline: Timeline,
+                           overlapping: List[Tuple[float, float]]) -> None:
+        """Record the finalized boundaries (and retractions) for a block."""
+        final = timeline.events()
+        for event in final:
+            self._record_event({
+                "event": "onset", "block": key, "time": event.start,
+                "duration": event.duration})
+            self._record_event({
+                "event": "recovery", "block": key, "time": event.end})
+        for event in coarse.events():
+            survived = any(event.start < kept.end and kept.start < event.end
+                           for kept in final)
+            if not survived:
+                self._record_event({
+                    "event": "retraction", "block": key,
+                    "time": event.start,
+                    "reason": "down-time overlapped "
+                              f"{len(overlapping)} sentinel quarantine "
+                              "window(s); the observer, not the block, "
+                              "was judged unhealthy",
+                })
 
     def health_report(self, end: Optional[float] = None) -> RunHealthReport:
         """The most recent run health report (building one if needed)."""
@@ -687,7 +757,44 @@ class StreamingDetector:
         p_empty = (state.history.empty_bin_probability_at(
             bin_start, params.bin_seconds)
             if state.history.diurnal_profile is not None else None)
+        if self.explain.enabled:
+            # Stage the evidence *before* the update so the recorded
+            # floats are exactly what the belief math consumed.
+            self._last_evidence = {
+                "count": state.bin_count,
+                "p_empty": (p_empty if p_empty is not None
+                            else params.p_empty_up),
+            }
         return state.belief.update(state.bin_count, p_empty)
+
+    def _explain_bin(self, key: int, state: _StreamBlockState,
+                     bin_start: float, was_up: bool, is_up: bool) -> None:
+        """Track the belief trajectory; record threshold crossings.
+
+        Called only when provenance is on.  The evidence dict staged by
+        :meth:`_update_belief` (or the fusion layer's override) is
+        attached verbatim — those are the very floats the update
+        consumed, which is what makes the event bit-for-bit auditable.
+        """
+        trajectory = self._trajectories.get(key)
+        if trajectory is None:
+            trajectory = deque(maxlen=EXPLAIN_TRAJECTORY_BINS)
+            self._trajectories[key] = trajectory
+        trajectory.append((bin_start, state.belief.belief))
+        if was_up == is_up:
+            return
+        event: Dict[str, Any] = {
+            "event": "transition",
+            "block": key,
+            "time": state.next_bin_end,
+            "bin_start": bin_start,
+            "is_up": is_up,
+            "belief": state.belief.belief,
+            "trajectory": list(trajectory),
+        }
+        if self._last_evidence is not None:
+            event.update(self._last_evidence)
+        self._record_event(event)
 
     def _close_bin(self, key: int, state: _StreamBlockState) -> None:
         params = state.params
@@ -699,6 +806,8 @@ class StreamingDetector:
         is_up = self._update_belief(key, state, bin_start)
         if update_clock is not None:
             self._m_belief.observe(_time.perf_counter() - update_clock)
+        if self.explain.enabled:
+            self._explain_bin(key, state, bin_start, was_up, is_up)
         # Guardrail trips are accounted the moment they happen (delta
         # against the belief state's running total) so the health report
         # and the metrics registry can never disagree mid-run.

@@ -610,6 +610,7 @@ class FusedStreamingDetector(StreamingDetector):
         max_quarantine_frac: float = 0.5,
         metrics: Optional[Any] = None,
         monitors: Optional[Dict[str, SourceMonitor]] = None,
+        explain: Optional[Any] = None,
     ) -> None:
         self.model = model
         self.source_names = model.source_names
@@ -622,7 +623,7 @@ class FusedStreamingDetector(StreamingDetector):
         super().__init__(model.family, histories, parameters, start,
                          refinement=refinement, sentinel=None,
                          max_quarantine_frac=max_quarantine_frac,
-                         metrics=metrics)
+                         metrics=metrics, explain=explain)
         if monitors is None:
             monitors = {
                 name: SourceMonitor.fresh(name, self.start, sentinel_config,
@@ -747,6 +748,8 @@ class FusedStreamingDetector(StreamingDetector):
         # grid; a source with stride k reports when (b + 1) % k == 0.
         # Derived, not stored: kill-and-resume restores it for free.
         b = int(round((bin_start - self.start) / params.bin_seconds))
+        explain = self.explain.enabled
+        rows = [] if explain else None
         weighted = 0.0
         contributed = False
         for name, p_empty, noise, stride in spec.likelihoods:
@@ -762,6 +765,11 @@ class FusedStreamingDetector(StreamingDetector):
                 counts[index] = 0  # window consumed, gated or not
             if weight <= 0.0:
                 monitor.note_gated()
+                if rows is not None:
+                    rows.append(self._explain_source_row(
+                        name, monitor, weight, count, p_empty, noise,
+                        llr=0.0, gated=True,
+                        window=(window_start, bin_end)))
                 continue
             contributed = True
             if name == spec.lead:
@@ -773,9 +781,26 @@ class FusedStreamingDetector(StreamingDetector):
                     if state.history.diurnal_profile is not None
                     else params.p_empty_up)
                 noise = params.noise_nonempty
-            weighted += weight * bin_log_likelihood_ratio(
+            contribution = weight * bin_log_likelihood_ratio(
                 count, p_empty, noise)
+            weighted += contribution
+            if rows is not None:
+                rows.append(self._explain_source_row(
+                    name, monitor, weight, count, p_empty, noise,
+                    llr=contribution, gated=False,
+                    window=(window_start, bin_end)))
         belief = state.belief
+        if explain:
+            # The staged floats are the exact operands of the update
+            # below — re-adding the per-source ``llr`` rows reproduces
+            # ``weighted_llr`` bit-for-bit, and ``fused_posterior(
+            # prior_belief, weighted_llr, ...)`` reproduces ``belief``.
+            self._last_evidence = {
+                "sources": rows,
+                "weighted_llr": weighted,
+                "prior_belief": belief.belief,
+                "contributed": contributed,
+            }
         if contributed:
             posterior = fused_posterior(belief.belief, weighted,
                                         params.prior_down,
@@ -790,6 +815,29 @@ class FusedStreamingDetector(StreamingDetector):
         # prior must not drift a healthy block down while nobody can
         # observe it.
         return belief.is_up
+
+    @staticmethod
+    def _explain_source_row(name: str, monitor: SourceMonitor,
+                            weight: float, count: int, p_empty: float,
+                            noise: float, llr: float, gated: bool,
+                            window: Tuple[float, float]) -> Dict[str, Any]:
+        """One vantage's share of a fused update, for the explain log."""
+        sentinel = monitor.sentinel
+        quarantined = any(left < window[1] and window[0] < right
+                          for left, right
+                          in sentinel.quarantined_intervals())
+        return {
+            "source": name,
+            "weight": weight,
+            "raw_weight": monitor.weight,
+            "count": count,
+            "p_empty": p_empty,
+            "noise": noise,
+            "llr": llr,
+            "gated": gated,
+            "suspect": sentinel.suspect_since is not None,
+            "quarantined": quarantined,
+        }
 
     def _quarantine(self, key: int, stage: str,
                     error: BaseException) -> None:

@@ -112,7 +112,15 @@ from .core.serialize import (
     model_blocks_to_dict,
 )
 from .net.addr import Family
-from .obs.metrics import NULL_REGISTRY, MetricsRegistry, resolve_registry
+from .obs.explain import NULL_EXPLAIN, ExplainLog, resolve_explain
+from .obs.metrics import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+    diff_snapshots,
+    negate_snapshot,
+    resolve_registry,
+)
+from .obs.tracing import NULL_TRACER, SpanTracer, resolve_tracer
 from .parallel import (
     ShardFatalError,
     ShardWorkerError,
@@ -375,6 +383,19 @@ def _live_worker_entry(payload: Dict[str, Any], conn: Any) -> None:
     """
     try:
         registry = MetricsRegistry()
+        tracer = (SpanTracer.from_context(payload.get("trace_ctx"))
+                  if payload.get("traced") else NULL_TRACER)
+        explain = (ExplainLog() if payload.get("explain") else NULL_EXPLAIN)
+        # Heartbeat piggyback state: each heartbeat ships the registry
+        # *delta* since the previous one under a monotone sequence
+        # number, so the parent's fold is incremental and re-delivery
+        # is detectable.  A None baseline makes the first delta the
+        # full snapshot — exactly what the parent needs after it rolls
+        # back a dead incarnation's contributions.
+        ship_telemetry = bool(payload.get("ship_telemetry"))
+        metrics_seq = 0
+        metrics_baseline: Optional[Dict[str, Any]] = None
+        explain_sent = 0
         family = Family(payload["family"])
         start = float(payload["start"])
         checkpoint_path = payload.get("checkpoint")
@@ -411,10 +432,12 @@ def _live_worker_entry(payload: Dict[str, Any], conn: Any) -> None:
                                      primary=fusion["primary"])
             if checkpoint_path and payload.get("resume", True):
                 try:
-                    detector = load_checkpoint_rotated(
-                        checkpoint_path, fused_model, keep=keep,
-                        loader=lambda text: fused_detector_from_json(
-                            text, fused_model, metrics=registry))
+                    with tracer.span("partition_restore",
+                                     unit=payload["unit"]):
+                        detector = load_checkpoint_rotated(
+                            checkpoint_path, fused_model, keep=keep,
+                            loader=lambda text: fused_detector_from_json(
+                                text, fused_model, metrics=registry))
                     resumed = True
                 except (FileNotFoundError, CheckpointFormatError):
                     detector = None
@@ -430,8 +453,11 @@ def _live_worker_entry(payload: Dict[str, Any], conn: Any) -> None:
                                      parameters=parameters,
                                      train_start=start, train_end=start)
                 try:
-                    detector = load_checkpoint_rotated(
-                        checkpoint_path, model, metrics=registry, keep=keep)
+                    with tracer.span("partition_restore",
+                                     unit=payload["unit"]):
+                        detector = load_checkpoint_rotated(
+                            checkpoint_path, model, metrics=registry,
+                            keep=keep)
                     resumed = True
                 except (FileNotFoundError, CheckpointFormatError):
                     detector = None
@@ -442,6 +468,9 @@ def _live_worker_entry(payload: Dict[str, Any], conn: Any) -> None:
         # The error budget is the parent's verdict over the merged
         # population; a partition never vetoes its own slice.
         detector.budget = ErrorBudget(1.0)
+        # Provenance is per-incarnation state (checkpoints do not carry
+        # it): install after restore, same object either way.
+        detector.explain = explain
 
         buffer = (ReorderBuffer(horizon, LatePolicy(payload["late_policy"]),
                                 metrics=registry)
@@ -504,35 +533,53 @@ def _live_worker_entry(payload: Dict[str, Any], conn: Any) -> None:
                                                 qtype))
                     last_seq = seq
                     if detector.last_time >= next_checkpoint:
-                        save_checkpoint_rotated(
-                            detector, checkpoint_path, keep=keep,
-                            extra=engine.checkpoint_extra(seq=last_seq))
+                        with tracer.span("partition_checkpoint",
+                                         unit=payload["unit"]):
+                            save_checkpoint_rotated(
+                                detector, checkpoint_path, keep=keep,
+                                extra=engine.checkpoint_extra(seq=last_seq))
                         checkpoint_seq = last_seq
                         next_checkpoint = (detector.last_time
                                            + checkpoint_every)
-                conn.send(("hb", {
+                heartbeat: Dict[str, Any] = {
                     "seq": last_seq,
                     "ckpt_seq": checkpoint_seq,
                     "watermark": detector.last_time,
                     "windows": detector.windows_closed,
                     "swaps": len(detector.retuned),
-                }))
+                }
+                if ship_telemetry:
+                    metrics_seq += 1
+                    current = registry.snapshot()
+                    heartbeat["metrics_seq"] = metrics_seq
+                    heartbeat["metrics_delta"] = diff_snapshots(
+                        current, metrics_baseline)
+                    metrics_baseline = current
+                if explain.enabled:
+                    fresh = explain.events_since(explain_sent)
+                    if fresh:
+                        heartbeat["explain"] = fresh
+                        explain_sent = fresh[-1]["seq"]
+                conn.send(("hb", heartbeat))
             elif kind == "finalize":
                 end, windows = float(message[1]), message[2]
-                engine.flush()
-                if fusion:
-                    # quarantined=None: the fused detector derives the
-                    # all-dark intersection from its own monitors, which
-                    # hold identical whole-tap state in every partition.
-                    results = detector.finalize(end)
-                else:
-                    results = detector.finalize(
-                        end, quarantined=[(float(s), float(e))
-                                          for s, e in windows])
-                if checkpoint_path:
-                    save_checkpoint_rotated(
-                        detector, checkpoint_path, keep=keep,
-                        extra=engine.checkpoint_extra(seq=last_seq))
+                with tracer.span("partition_finalize",
+                                 unit=payload["unit"], end=end):
+                    engine.flush()
+                    if fusion:
+                        # quarantined=None: the fused detector derives
+                        # the all-dark intersection from its own
+                        # monitors, which hold identical whole-tap
+                        # state in every partition.
+                        results = detector.finalize(end)
+                    else:
+                        results = detector.finalize(
+                            end, quarantined=[(float(s), float(e))
+                                              for s, e in windows])
+                    if checkpoint_path:
+                        save_checkpoint_rotated(
+                            detector, checkpoint_path, keep=keep,
+                            extra=engine.checkpoint_extra(seq=last_seq))
                 document: Dict[str, Any] = {
                     "index": payload["index"],
                     "results": [block_result_to_dict(results[key])
@@ -542,6 +589,17 @@ def _live_worker_entry(payload: Dict[str, Any], conn: Any) -> None:
                     "windows": detector.windows_closed,
                     "metrics": registry.snapshot(),
                 }
+                if ship_telemetry:
+                    metrics_seq += 1
+                    document["metrics_seq"] = metrics_seq
+                    document["metrics_delta"] = diff_snapshots(
+                        document["metrics"], metrics_baseline)
+                if tracer.enabled:
+                    document["spans"] = tracer.export_spans()
+                if explain.enabled:
+                    tail = explain.events_since(explain_sent)
+                    if tail:
+                        document["explain"] = tail
                 if buffer is not None:
                     stats = buffer.stats
                     document["reorder"] = {
@@ -610,6 +668,17 @@ class _LivePartition:
     finalize_sent: bool = False
     document: Optional[Dict[str, Any]] = None
     last_failure: str = "crash"
+    #: last heartbeat metrics-delta sequence folded into the parent
+    #: registry (0 = none yet; the worker numbers deltas from 1), the
+    #: re-delivery guard for the incremental telemetry fold.
+    folded_metrics_seq: int = 0
+    #: last worker-side explain-event seq folded (same guard shape).
+    explain_folded_seq: int = 0
+    #: shadow registry holding exactly what this incarnation's deltas
+    #: contributed to the parent registry — negated on restart so the
+    #: respawned worker (whose first delta re-ships its checkpointed
+    #: state) cannot double-count.
+    shadow: Optional[Any] = None
 
     @property
     def failures(self) -> int:
@@ -669,6 +738,8 @@ class LivePartitionSupervisor:
         max_quarantine_frac: float = 0.5,
         start: Optional[float] = None,
         metrics: Optional[Any] = None,
+        tracer: Optional[Any] = None,
+        explain: Optional[Any] = None,
         stop_requested: Optional[Callable[[], bool]] = None,
         status: Optional[Callable[[str], None]] = None,
         batch_rows: int = _BATCH_ROWS,
@@ -700,6 +771,8 @@ class LivePartitionSupervisor:
             default_start = model.train_end
         self.start = float(start if start is not None else default_start)
         self.metrics = resolve_registry(metrics)
+        self.tracer = resolve_tracer(tracer)
+        self.explain = resolve_explain(explain)
         self._stop = stop_requested or (lambda: False)
         self._status = status or (lambda line: None)
         self._batch_rows = int(batch_rows)
@@ -726,7 +799,9 @@ class LivePartitionSupervisor:
             _LivePartition(
                 index=index, unit=f"{index:05d}", keys=list(shard),
                 measurable=[key for key in shard if key in measurable],
-                watermark=self.start)
+                watermark=self.start,
+                shadow=(MetricsRegistry() if self.metrics.enabled
+                        else None))
             for index, shard in enumerate(shards)
         ]
         self._owner = {key: partition.index
@@ -808,6 +883,45 @@ class LivePartitionSupervisor:
         atomic_write_text(self.manifest_path,
                           json.dumps(document, indent=2, sort_keys=True))
 
+    def health_document(self) -> Dict[str, Any]:
+        """Liveness document for the ``/health`` endpoint.
+
+        RunHealthReport-shaped top level (status / run / watermarks)
+        plus one row per partition with its watermark lag behind the
+        global stream front.  Called from the observability server's
+        thread while the run mutates state; every field read is a
+        single attribute load, so a scrape sees a consistent-enough
+        point-in-time view without taking the supervisor's time.
+        """
+        front = self._front
+        watermarks = [p.watermark for p in self.partitions
+                      if p.status != "lost"]
+        return {
+            "status": self._run_status,
+            "run": "fusion-stream" if self.fused else "streaming",
+            "plan_digest": self.digest,
+            "start": self.start,
+            "stream_front": None if front == float("-inf") else front,
+            "global_watermark": (min(watermarks) if watermarks
+                                 else self.start),
+            "observed": self._observed,
+            "restarts": sum(p.failures for p in self.partitions),
+            "partitions": [
+                {
+                    "index": p.index,
+                    "unit": p.unit,
+                    "status": p.status,
+                    "watermark": p.watermark,
+                    "watermark_lag": (max(0.0, front - p.watermark)
+                                      if front != float("-inf") else None),
+                    "restarts": p.failures,
+                    "windows": p.windows,
+                    "drift_swaps": p.swaps,
+                }
+                for p in self.partitions
+            ],
+        }
+
     # -- fleet lifecycle ----------------------------------------------------
 
     def _spawn(self, partition: _LivePartition) -> None:
@@ -826,6 +940,10 @@ class LivePartitionSupervisor:
             "checkpoint_every": self.checkpoint_every,
             "keep": self.checkpoint_keep,
             "resume": True,
+            "ship_telemetry": self.metrics.enabled,
+            "traced": self.tracer.enabled,
+            "trace_ctx": self.tracer.context(),
+            "explain": self.explain.enabled,
         }
         if self.fused:
             # Per-source model slices restricted to this partition's
@@ -894,11 +1012,31 @@ class LivePartitionSupervisor:
         partition.unacked.clear()
         partition.outbox.clear()  # rebuilt from replay at the next hello
         partition.last_failure = outcome
+        if partition.shadow is not None and partition.folded_metrics_seq:
+            # Retract the dead incarnation's folded heartbeat deltas:
+            # its replacement restores from a checkpoint *older* than
+            # the last heartbeat, so its first delta re-ships state the
+            # registry already counted.  The shadow holds exactly what
+            # was folded, so subtracting it leaves the registry as if
+            # this incarnation had never reported.
+            self.metrics.merge_snapshot(
+                negate_snapshot(partition.shadow.snapshot()))
+            partition.shadow = MetricsRegistry()
+        partition.folded_metrics_seq = 0
+        # Explain events are an audit trail, not a counter: replayed
+        # decisions after the restart are recorded again (both
+        # sightings visible) rather than risking silent drops.
+        partition.explain_folded_seq = 0
         if partition.failures <= self.policy.retries:
             delay = _backoff_delay(self.policy, self.digest, partition.unit,
                                    partition.failures)
             partition.restart_at = time.monotonic() + delay
             partition.status = "pending"
+            # Marker span: restarts belong on the run's merged timeline.
+            with self.tracer.span("partition_restart", unit=partition.unit,
+                                  outcome=outcome,
+                                  failures=partition.failures):
+                pass
             self._status(f"partition {partition.unit} {outcome}; restarting "
                          f"from checkpoint in {delay:.2f}s "
                          f"(attempt {len(partition.attempts) + 1}/"
@@ -949,9 +1087,11 @@ class LivePartitionSupervisor:
             while (partition.replay
                    and partition.replay[0][0] <= partition.ckpt_seq):
                 partition.replay.popleft()
+            self._fold_piggyback(partition, info)
             self._write_manifest()
         elif kind == "final":
             partition.document = message[1]
+            self._fold_piggyback(partition, message[1])
             partition.attempts.append("ok")
             partition.status = "done"
             partition.watermark = (self._finalize_end
@@ -977,26 +1117,62 @@ class LivePartitionSupervisor:
                 f"live partition {partition.unit} worker raised: "
                 f"{message[1]}")
 
+    def _fold_piggyback(self, partition: _LivePartition,
+                        info: Dict[str, Any]) -> None:
+        """Fold a heartbeat's (or final document's) piggybacked telemetry.
+
+        Metric deltas fold into the parent registry (and the
+        partition's shadow, for restart rollback) guarded by the
+        worker's monotone ``metrics_seq`` — a re-delivered delta is a
+        no-op, which is the idempotence contract.  Explain events fold
+        guarded by their own seq.
+        """
+        seq = int(info.get("metrics_seq", 0))
+        if seq > partition.folded_metrics_seq:
+            delta = info.get("metrics_delta")
+            if delta is not None and self.metrics.enabled:
+                self.metrics.merge_snapshot(delta)
+                if partition.shadow is not None:
+                    partition.shadow.merge_snapshot(delta)
+            partition.folded_metrics_seq = seq
+        events = info.get("explain")
+        if events:
+            fresh = [event for event in events
+                     if int(event.get("seq", 0))
+                     > partition.explain_folded_seq]
+            if fresh:
+                partition.explain_folded_seq = int(fresh[-1]["seq"])
+                if self.explain.enabled:
+                    self.explain.extend(fresh)
+
     def _pump(self, partition: _LivePartition) -> None:
         """Send pending rows (and a due finalize) to a worker."""
         if (partition.status != "running" or not partition.hello
                 or partition.conn is None):
             return
-        while (partition.outbox
-               and len(partition.unacked) < _MAX_INFLIGHT_BATCHES):
-            batch = []
-            while partition.outbox and len(batch) < self._batch_rows:
-                batch.append(partition.outbox.popleft())
-            partition.conn.send(("obs", batch))
-            partition.sent_seq = batch[-1][0]
-            partition.unacked.append(partition.sent_seq)
-        if (self._finalize_end is not None and not partition.finalize_sent
-                and not partition.outbox):
-            # Pipe FIFO ordering guarantees the worker sees every
-            # routed row before the finalize cut.
-            partition.conn.send(("finalize", self._finalize_end,
-                                 self._finalize_windows))
-            partition.finalize_sent = True
+        try:
+            while (partition.outbox
+                   and len(partition.unacked) < _MAX_INFLIGHT_BATCHES):
+                batch = []
+                while partition.outbox and len(batch) < self._batch_rows:
+                    batch.append(partition.outbox.popleft())
+                partition.conn.send(("obs", batch))
+                partition.sent_seq = batch[-1][0]
+                partition.unacked.append(partition.sent_seq)
+            if (self._finalize_end is not None
+                    and not partition.finalize_sent
+                    and not partition.outbox):
+                # Pipe FIFO ordering guarantees the worker sees every
+                # routed row before the finalize cut.
+                partition.conn.send(("finalize", self._finalize_end,
+                                     self._finalize_windows))
+                partition.finalize_sent = True
+        except OSError:
+            # The worker died between the liveness verdict and this
+            # send.  Judge it here instead of crashing the supervisor:
+            # every unacked row (including a half-sent batch) is still
+            # in ``replay``, so the restart rebuilds the outbox intact.
+            self._fail(partition, "crash")
 
     def _service(self) -> None:
         """One supervision pass: drain, judge, respawn, pump."""
@@ -1056,8 +1232,12 @@ class LivePartitionSupervisor:
             if missing:
                 raise ValueError("no capture for vantage(s): "
                                  + ", ".join(sorted(missing)))
-        for partition in self.partitions:
-            self._spawn(partition)
+        # Dispatch under an open span so every worker's trace context
+        # names it as the cross-process parent.
+        with self.tracer.span("partition_dispatch",
+                              partitions=len(self.partitions)):
+            for partition in self.partitions:
+                self._spawn(partition)
         self._write_manifest(force=True)
         interrupted = False
         records_read = 0
@@ -1107,7 +1287,9 @@ class LivePartitionSupervisor:
             raise
         if interrupted:
             self._shutdown_fleet()
-        result = self._merge(interrupted)
+        with self.tracer.span("partition_merge",
+                              partitions=len(self.partitions)):
+            result = self._merge(interrupted)
         result.records_read = records_read
         result.stopped_early = stopped_early
         for partition in self.partitions:
@@ -1302,9 +1484,19 @@ class LivePartitionSupervisor:
             # per-partition accounting (gated bins, measurable blocks)
             # summed across documents.
             merged.sources = self._merge_fused_sources(documents)
-        folded = False
-        if self.metrics.enabled:
+        if self.tracer.enabled:
             for document in documents:
+                self.tracer.import_spans(document.get("spans"))
+        folded = any(p.folded_metrics_seq for p in self.partitions)
+        if self.metrics.enabled:
+            for partition in self.partitions:
+                document = partition.document
+                if document is None or partition.folded_metrics_seq:
+                    # Nothing delivered, or this partition's counters
+                    # arrived incrementally (heartbeat deltas plus the
+                    # final delta) — the registry is already current,
+                    # folding the full snapshot would double it.
+                    continue
                 snapshot = document.get("metrics")
                 if snapshot is not None:
                     self.metrics.merge_snapshot(snapshot)

@@ -1,12 +1,26 @@
-"""Observability: metrics registry and span tracing for the detector.
+"""Observability: metrics, spans, provenance, and the serving plane.
 
 This package sits at the very bottom of the dependency graph — pure
 standard library, importable from the ingest layers (telescope, dns)
 and the analysis core alike without creating cycles.  See
-:mod:`repro.obs.metrics` for counters/gauges/histograms and
-:mod:`repro.obs.tracing` for wall-time span trees.
+:mod:`repro.obs.metrics` for counters/gauges/histograms,
+:mod:`repro.obs.tracing` for wall-time span trees with cross-process
+trace propagation, :mod:`repro.obs.explain` for the decision-provenance
+event log, and :mod:`repro.obs.server` for the opt-in HTTP endpoint
+that serves all three live.
 """
 
+from .explain import (
+    EXPLAIN_FORMAT,
+    NULL_EXPLAIN,
+    ExplainLog,
+    NullExplainLog,
+    format_explain,
+    get_explain,
+    read_explain_jsonl,
+    resolve_explain,
+    set_explain,
+)
 from .metrics import (
     DEFAULT_SECONDS_BUCKETS,
     NULL_REGISTRY,
@@ -16,12 +30,15 @@ from .metrics import (
     MetricFamily,
     MetricsRegistry,
     NullRegistry,
+    diff_snapshots,
     get_registry,
     log_spaced_buckets,
+    negate_snapshot,
     render_snapshot,
     resolve_registry,
     set_registry,
 )
+from .server import ObservabilityServer
 from .tracing import (
     NULL_TRACER,
     NullTracer,
@@ -45,6 +62,8 @@ __all__ = [
     "resolve_registry",
     "log_spaced_buckets",
     "render_snapshot",
+    "diff_snapshots",
+    "negate_snapshot",
     "DEFAULT_SECONDS_BUCKETS",
     "Span",
     "SpanTracer",
@@ -53,4 +72,14 @@ __all__ = [
     "get_tracer",
     "set_tracer",
     "resolve_tracer",
+    "EXPLAIN_FORMAT",
+    "ExplainLog",
+    "NullExplainLog",
+    "NULL_EXPLAIN",
+    "get_explain",
+    "set_explain",
+    "resolve_explain",
+    "format_explain",
+    "read_explain_jsonl",
+    "ObservabilityServer",
 ]

@@ -61,9 +61,22 @@ __all__ = [
     "DEFAULT_SECONDS_BUCKETS",
     "render_snapshot",
     "SNAPSHOT_FORMAT",
+    "GAUGE_MERGE_POLICIES",
+    "diff_snapshots",
+    "negate_snapshot",
 ]
 
 SNAPSHOT_FORMAT = "repro-metrics-v1"
+
+#: How a gauge series folds when another process's snapshot merges in.
+#:
+#: ``max`` — high-watermark gauges (peak occupancy, furthest watermark):
+#: the largest reading from any process is the one an operator wants,
+#: and it is the only fold independent of merge order.  ``last`` —
+#: freshness gauges (watermark *lag*, clock readings): the most recently
+#: delivered value wins, because an old high reading going *down* is
+#: exactly the news the gauge exists to carry.
+GAUGE_MERGE_POLICIES = ("max", "last")
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
@@ -310,12 +323,16 @@ class MetricFamily:
     def __init__(self, name: str, kind: str, help_text: str,
                  labelnames: Tuple[str, ...],
                  lock: threading.RLock,
-                 buckets: Optional[Tuple[float, ...]] = None) -> None:
+                 buckets: Optional[Tuple[float, ...]] = None,
+                 merge: Optional[str] = None) -> None:
         self.name = name
         self.kind = kind
         self.help = help_text
         self.labelnames = labelnames
         self.buckets = buckets
+        #: Gauge fold policy (see :data:`GAUGE_MERGE_POLICIES`); gauges
+        #: default to ``max``, other kinds have a fixed additive fold.
+        self.merge = (merge or "max") if kind == "gauge" else None
         self._lock = lock
         self._children: Dict[Tuple[str, ...], Any] = {}
 
@@ -397,13 +414,18 @@ class MetricsRegistry:
 
     def _register(self, name: str, kind: str, help_text: str,
                   labelnames: Iterable[str],
-                  buckets: Optional[Sequence[float]] = None) -> MetricFamily:
+                  buckets: Optional[Sequence[float]] = None,
+                  merge: Optional[str] = None) -> MetricFamily:
         if not _NAME_RE.match(name):
             raise ValueError(f"invalid metric name {name!r}")
         names = tuple(str(label) for label in labelnames)
         for label in names:
             if not _LABEL_RE.match(label):
                 raise ValueError(f"invalid label name {label!r}")
+        if merge is not None and merge not in GAUGE_MERGE_POLICIES:
+            raise ValueError(
+                f"unknown gauge merge policy {merge!r}; "
+                f"expected one of {GAUGE_MERGE_POLICIES}")
         bounds = (tuple(float(b) for b in buckets)
                   if buckets is not None else None)
         if bounds is not None:
@@ -420,14 +442,15 @@ class MetricsRegistry:
             family = self._families.get(name)
             if family is not None:
                 if family.kind != kind or family.labelnames != names or (
-                        bounds is not None and family.buckets != bounds):
+                        bounds is not None and family.buckets != bounds) or (
+                        merge is not None and family.merge != merge):
                     raise ValueError(
                         f"metric {name} already registered as "
                         f"{family.kind}{family.labelnames}; cannot "
                         f"re-register as {kind}{names}")
                 return family
             family = MetricFamily(name, kind, help_text, names, self._lock,
-                                  bounds)
+                                  bounds, merge)
             self._families[name] = family
             return family
 
@@ -436,8 +459,10 @@ class MetricsRegistry:
         return self._register(name, "counter", help_text, labelnames)
 
     def gauge(self, name: str, help_text: str = "",
-              labelnames: Iterable[str] = ()) -> MetricFamily:
-        return self._register(name, "gauge", help_text, labelnames)
+              labelnames: Iterable[str] = (),
+              merge: Optional[str] = None) -> MetricFamily:
+        return self._register(name, "gauge", help_text, labelnames,
+                              merge=merge)
 
     def histogram(self, name: str, help_text: str = "",
                   labelnames: Iterable[str] = (),
@@ -495,6 +520,8 @@ class MetricsRegistry:
                 }
                 if family.kind == "histogram":
                     entry["buckets"] = list(family.buckets or ())
+                if family.kind == "gauge":
+                    entry["merge"] = family.merge
                 series: List[Dict[str, Any]] = []
                 for labelvalues, child in family.series():
                     row: Dict[str, Any] = {"labels": list(labelvalues)}
@@ -535,7 +562,7 @@ class MetricsRegistry:
                                       labelnames)
             elif kind == "gauge":
                 family = self.gauge(entry["name"], entry.get("help", ""),
-                                    labelnames)
+                                    labelnames, merge=entry.get("merge"))
             else:
                 raise ValueError(f"unknown metric type {kind!r}")
             for row in entry.get("series", []):
@@ -565,16 +592,21 @@ class MetricsRegistry:
         :meth:`restore` (which overwrites — checkpoint resume), merging
         is additive and commutative over disjoint work:
 
-        * counters add;
+        * counters add (negative rows subtract — the rollback path a
+          supervisor uses to retract a dead worker's partial fold);
         * histograms add bucket counts, sum, and count, and combine
           min/max;
-        * gauges take the maximum — shard gauges are last-value
-          readings from concurrent processes with no meaningful total,
-          and max is the only fold that is independent of merge order
-          (the high-watermark reading an operator wants anyway).
+        * gauges fold per their declared policy (see
+          :data:`GAUGE_MERGE_POLICIES`): ``max`` keeps the high
+          watermark, ``last`` lets the delivered value win — the fold
+          freshness gauges such as watermark lag need, where max would
+          pin the series at its worst-ever reading forever.
 
-        Families absent from this registry are registered on the fly,
-        exactly as :meth:`restore` does.
+        The policy travels inside the snapshot (``merge`` on gauge
+        entries), so the parent folds correctly even for families it
+        first learns about from the wire.  Families absent from this
+        registry are registered on the fly, exactly as :meth:`restore`
+        does.
         """
         if snapshot.get("format") != SNAPSHOT_FORMAT:
             raise ValueError(
@@ -592,9 +624,10 @@ class MetricsRegistry:
                                       labelnames)
             elif kind == "gauge":
                 family = self.gauge(entry["name"], entry.get("help", ""),
-                                    labelnames)
+                                    labelnames, merge=entry.get("merge"))
             else:
                 raise ValueError(f"unknown metric type {kind!r}")
+            policy = entry.get("merge") or family.merge or "max"
             for row in entry.get("series", []):
                 child = family.labels(**dict(zip(labelnames, row["labels"])))
                 with self._lock:
@@ -619,6 +652,8 @@ class MetricsRegistry:
                                         else pick(ours, theirs))
                     elif kind == "counter":
                         child._value += row["value"]
+                    elif policy == "last":
+                        child._value = row["value"]
                     else:
                         child._value = max(child._value, row["value"])
 
@@ -692,6 +727,133 @@ def _format_number(value: Any) -> str:
     return repr(number)
 
 
+# -- snapshot arithmetic (the cross-process aggregation plane) --------------
+
+
+def _series_index(entry: Dict[str, Any]) -> Dict[Tuple[str, ...],
+                                                 Dict[str, Any]]:
+    return {tuple(row.get("labels", ())): row
+            for row in entry.get("series", [])}
+
+
+def diff_snapshots(current: Dict[str, Any],
+                   previous: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+    """``current - previous`` as a mergeable incremental snapshot.
+
+    This is the heartbeat-piggyback encoding: a worker snapshots its
+    registry each heartbeat and ships only the *delta* since the last
+    one, so the parent can fold it with :meth:`MetricsRegistry.
+    merge_snapshot` without ever double-counting.  Counter values and
+    histogram bucket counts / sum / count subtract; gauges always carry
+    their current reading (they are last-value, not cumulative — there
+    is nothing to subtract).  Series whose cumulative delta is zero are
+    dropped, as are families left with no series, so an idle worker's
+    heartbeat costs a few bytes.  ``previous=None`` yields ``current``
+    itself (the first heartbeat ships the whole state).
+
+    Deltas may legitimately go *negative* — a worker restarted from a
+    checkpoint older than its last heartbeat re-counts the replayed
+    rows, and the supervisor first retracts the dead incarnation's
+    fold — which is why :meth:`merge_snapshot` adds counters without a
+    sign check.
+    """
+    if current.get("format") != SNAPSHOT_FORMAT:
+        raise ValueError(
+            f"not a {SNAPSHOT_FORMAT} snapshot: {current.get('format')!r}")
+    if previous is None:
+        return current
+    if previous.get("format") != SNAPSHOT_FORMAT:
+        raise ValueError(
+            f"not a {SNAPSHOT_FORMAT} snapshot: {previous.get('format')!r}")
+    before = {entry["name"]: entry
+              for entry in previous.get("metrics", [])}
+    metrics: List[Dict[str, Any]] = []
+    for entry in current.get("metrics", []):
+        kind = entry["type"]
+        prior = _series_index(before.get(entry["name"], {}))
+        series: List[Dict[str, Any]] = []
+        for row in entry.get("series", []):
+            if kind == "gauge":
+                series.append(dict(row))
+                continue
+            base = prior.get(tuple(row.get("labels", ())))
+            if kind == "counter":
+                delta = row["value"] - (base["value"] if base else 0)
+                if delta:
+                    series.append({"labels": list(row["labels"]),
+                                   "value": delta})
+                continue
+            counts = list(row["bucket_counts"])
+            if base is not None:
+                counts = [a - b for a, b
+                          in zip(counts, base["bucket_counts"])]
+            if not any(counts):
+                continue
+            series.append({
+                "labels": list(row["labels"]),
+                "bucket_counts": counts,
+                "sum": row["sum"] - (base["sum"] if base else 0.0),
+                "count": row["count"] - (base["count"] if base else 0),
+                # Streaming min/max are not invertible; ship the
+                # cumulative readings, which min/max-combine correctly.
+                "min": row.get("min"),
+                "max": row.get("max"),
+            })
+        if series:
+            slim = {key: value for key, value in entry.items()
+                    if key != "series"}
+            slim["series"] = series
+            metrics.append(slim)
+    return {"format": SNAPSHOT_FORMAT, "metrics": metrics}
+
+
+def negate_snapshot(snapshot: Dict[str, Any]) -> Dict[str, Any]:
+    """A snapshot that, merged in, retracts ``snapshot``'s counts.
+
+    The supervisor's rollback primitive: when a worker dies and
+    restarts from a checkpoint, everything its dead incarnation folded
+    into the global registry is retracted with the negated accumulation
+    before the restarted worker re-reports from its checkpoint state —
+    otherwise the replayed stretch would count twice.  Counters and
+    histogram counts/sums negate; gauges are dropped (a last-value
+    reading cannot be "un-observed" — the next heartbeat refreshes it)
+    and so are histogram min/max (not invertible; the global envelope
+    stays conservative).
+    """
+    if snapshot.get("format") != SNAPSHOT_FORMAT:
+        raise ValueError(
+            f"not a {SNAPSHOT_FORMAT} snapshot: {snapshot.get('format')!r}")
+    metrics: List[Dict[str, Any]] = []
+    for entry in snapshot.get("metrics", []):
+        kind = entry["type"]
+        if kind == "gauge":
+            continue
+        series: List[Dict[str, Any]] = []
+        for row in entry.get("series", []):
+            if kind == "counter":
+                if row["value"]:
+                    series.append({"labels": list(row["labels"]),
+                                   "value": -row["value"]})
+                continue
+            counts = [-c for c in row["bucket_counts"]]
+            if not any(counts):
+                continue
+            series.append({
+                "labels": list(row["labels"]),
+                "bucket_counts": counts,
+                "sum": -row["sum"],
+                "count": -row["count"],
+                "min": None,
+                "max": None,
+            })
+        if series:
+            slim = {key: value for key, value in entry.items()
+                    if key != "series"}
+            slim["series"] = series
+            metrics.append(slim)
+    return {"format": SNAPSHOT_FORMAT, "metrics": metrics}
+
+
 # -- the no-op implementation ----------------------------------------------
 
 
@@ -759,7 +921,8 @@ class NullRegistry:
         return _NULL_METRIC
 
     def gauge(self, name: str, help_text: str = "",
-              labelnames: Iterable[str] = ()) -> _NullMetric:
+              labelnames: Iterable[str] = (),
+              merge: Optional[str] = None) -> _NullMetric:
         return _NULL_METRIC
 
     def histogram(self, name: str, help_text: str = "",

@@ -1,0 +1,153 @@
+"""Pull-based observability endpoint: the run, readable over HTTP.
+
+The telemetry core (:mod:`repro.obs.metrics`, :mod:`repro.obs.tracing`,
+:mod:`repro.obs.explain`) is deliberately pull-snapshot shaped — no
+background flusher, no export interval.  This module is the one place
+that shape is *served*: an opt-in, stdlib-only
+:class:`~http.server.ThreadingHTTPServer` that renders whatever the
+run's registry/tracer/explain log currently hold, on demand, from a
+daemon thread.  Nothing is pushed and nothing is buffered here; a
+scrape observes exactly the state a checkpoint would have embedded at
+that instant.
+
+Endpoints (all GET):
+
+* ``/metrics`` — Prometheus text exposition (version 0.0.4);
+* ``/metrics.json`` — the ``repro-metrics-v1`` snapshot document;
+* ``/health`` — liveness document shaped like a
+  :class:`~repro.core.health.RunHealthReport` dict, extended by the
+  partitioned-live supervisor with per-partition status and watermark
+  lag;
+* ``/trace`` — the Chrome trace-event document assembled so far
+  (parent and imported worker spans under one trace id);
+* ``/events`` — the decision-provenance explain log
+  (``repro-explain-v1``).
+
+The server is wired behind ``--obs-port`` on ``detect``/``live``/
+``experiment``; port 0 binds an ephemeral port (tests, and operators
+who let the supervisor pick) and the bound port is reported via
+:attr:`ObservabilityServer.port`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Dict, Optional
+
+from .explain import EXPLAIN_FORMAT, NULL_EXPLAIN
+from .metrics import NULL_REGISTRY
+from .tracing import NULL_TRACER
+
+__all__ = ["ObservabilityServer"]
+
+#: Content type the Prometheus scraper expects for the text format.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _ObsHandler(BaseHTTPRequestHandler):
+    """Renders the owning server's telemetry objects; never logs."""
+
+    server: "ObservabilityServer"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args: Any) -> None:
+        pass  # a scrape every second must not spam the operator's tty
+
+    def _send(self, status: int, body: bytes, content_type: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, document: Dict[str, Any]) -> None:
+        self._send(200, json.dumps(document, indent=1).encode("utf-8"),
+                   "application/json")
+
+    def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
+        obs = self.server
+        path = self.path.split("?", 1)[0]
+        endpoint = {
+            "/metrics": "metrics", "/metrics.json": "metrics_json",
+            "/health": "health", "/trace": "trace", "/events": "events",
+        }.get(path)
+        obs.requests_seen.labels(
+            endpoint=endpoint or "unknown").inc()
+        try:
+            if endpoint == "metrics":
+                self._send(200, obs.registry.to_prometheus().encode("utf-8"),
+                           PROMETHEUS_CONTENT_TYPE)
+            elif endpoint == "metrics_json":
+                self._send_json(obs.registry.snapshot())
+            elif endpoint == "health":
+                self._send_json(obs.health_document())
+            elif endpoint == "trace":
+                self._send_json(obs.tracer.chrome_trace())
+            elif endpoint == "events":
+                self._send_json({"format": EXPLAIN_FORMAT,
+                                 "events": obs.explain.events()})
+            else:
+                self._send(404, b"not found: try /metrics, /metrics.json, "
+                                b"/health, /trace, /events\n", "text/plain")
+        except BrokenPipeError:
+            pass  # scraper went away mid-response; nothing to salvage
+
+
+class ObservabilityServer(ThreadingHTTPServer):
+    """Serve one run's telemetry objects over HTTP from a daemon thread.
+
+    The registry/tracer/explain objects are held by reference — the
+    server renders their *live* state per request, it does not copy or
+    subscribe.  ``health_provider`` is a zero-argument callable
+    returning the ``/health`` document; the partitioned-live supervisor
+    installs one that reports per-partition status and watermark lag,
+    other commands leave the minimal default (process liveness).
+    """
+
+    daemon_threads = True
+
+    def __init__(self, port: int = 0, host: str = "127.0.0.1",
+                 registry: Any = None, tracer: Any = None,
+                 explain: Any = None,
+                 health_provider: Optional[
+                     Callable[[], Dict[str, Any]]] = None) -> None:
+        super().__init__((host, port), _ObsHandler)
+        self.registry = registry if registry is not None else NULL_REGISTRY
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.explain = explain if explain is not None else NULL_EXPLAIN
+        self.health_provider = health_provider
+        #: Scrape traffic is itself telemetry: which endpoints are hit,
+        #: how often, folds into the same registry it serves.
+        self.requests_seen = self.registry.counter(
+            "obs_http_requests_total",
+            "observability endpoint requests served",
+            labelnames=("endpoint",))
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.server_address[0]}:{self.port}"
+
+    def health_document(self) -> Dict[str, Any]:
+        if self.health_provider is not None:
+            return self.health_provider()
+        return {"status": "alive", "run": None}
+
+    def start(self) -> "ObservabilityServer":
+        self._thread = threading.Thread(target=self.serve_forever,
+                                        name="obs-server", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self.server_close()

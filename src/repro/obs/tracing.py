@@ -19,6 +19,16 @@ and exports two views:
   per-span-name count / total / mean / max, the "where did the seconds
   go" summary the CLI prints.
 
+Runs that cross process boundaries stay one trace: every tracer carries
+a **trace id**, the parent stamps its id (plus the dispatching span's
+id) into worker payloads via :meth:`SpanTracer.context`, workers build
+their tracer with :meth:`SpanTracer.from_context` and ship finished
+spans home as plain rows (:meth:`SpanTracer.export_spans`), and the
+parent folds them in with :meth:`SpanTracer.import_spans`.  Exported
+rows are anchored to the *wall clock*, not the per-process
+``perf_counter`` epoch, so parent and child spans land on one shared
+timeline; each process keeps its own ``pid`` lane in the Chrome trace.
+
 Like the metrics registry, tracing is opt-out by default: the
 :data:`NULL_TRACER` records nothing and its ``span`` is a no-op
 context manager, so instrumented code pays one generator frame per
@@ -31,9 +41,10 @@ import json
 import os
 import threading
 import time
+import uuid
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List, Optional, Sequence
 
 __all__ = [
     "Span",
@@ -56,6 +67,8 @@ class Span:
     thread_id: int
     depth: int    #: nesting depth within its thread (0 = top level)
     args: Dict[str, Any] = field(default_factory=dict)
+    span_id: int = 0   #: per-tracer ordinal, 0 = unassigned
+    pid: int = 0       #: recording process, 0 = this process
 
     @property
     def duration(self) -> float:
@@ -63,17 +76,34 @@ class Span:
 
 
 class SpanTracer:
-    """Collects spans; thread-safe; export to Chrome trace or a table."""
+    """Collects spans; thread-safe; export to Chrome trace or a table.
+
+    ``trace_id`` names the distributed trace this tracer belongs to; a
+    fresh root tracer mints its own, a worker tracer built via
+    :meth:`from_context` inherits the parent's.  ``parent_span_id`` is
+    the dispatching span in the parent (0 for a root tracer) — it rides
+    into every span's Chrome args so the cross-process nesting is
+    recoverable from the merged file.
+    """
 
     enabled = True
 
-    def __init__(self) -> None:
+    def __init__(self, trace_id: Optional[str] = None,
+                 parent_span_id: int = 0) -> None:
+        self.trace_id = trace_id or uuid.uuid4().hex[:16]
+        self.parent_span_id = int(parent_span_id)
         self._epoch = time.perf_counter()
+        #: Wall-clock reading taken at the same instant as the epoch:
+        #: exported spans are rebased onto it so spans recorded in
+        #: different processes (different perf_counter origins) land on
+        #: one shared timeline.
+        self._wall_epoch = time.time()
         self._lock = threading.Lock()
         self._local = threading.local()
+        self._next_id = 0
         self.spans: List[Span] = []
 
-    def _stack(self) -> List[str]:
+    def _stack(self) -> List[int]:
         stack = getattr(self._local, "stack", None)
         if stack is None:
             stack = []
@@ -85,7 +115,13 @@ class SpanTracer:
         """Record the wall-time of the enclosed block as one span."""
         stack = self._stack()
         depth = len(stack)
-        stack.append(name)
+        # Ids are allocated at span *start* so a still-open span can be
+        # named as the parent in a dispatch context (the whole point of
+        # dispatching under a span).
+        with self._lock:
+            self._next_id += 1
+            span_id = self._next_id
+        stack.append(span_id)
         start = time.perf_counter() - self._epoch
         try:
             yield
@@ -94,36 +130,133 @@ class SpanTracer:
             stack.pop()
             span = Span(name=name, start=start, end=end,
                         thread_id=threading.get_ident(), depth=depth,
-                        args=args)
+                        args=args, span_id=span_id)
             with self._lock:
                 self.spans.append(span)
+            self._local.last_span_id = span_id
+
+    @property
+    def last_span_id(self) -> int:
+        """Id of the most recently *finished* span on this thread."""
+        return getattr(self._local, "last_span_id", 0)
+
+    # -- cross-process propagation ------------------------------------------
+
+    def context(self) -> Dict[str, Any]:
+        """Trace context to stamp into a worker dispatch payload.
+
+        The parent span id is the innermost span currently *open* on
+        the calling thread if any (the dispatching span), else the last
+        finished one, else this tracer's own inherited parent.
+        """
+        stack = self._stack()
+        parent = (stack[-1] if stack
+                  else (self.last_span_id or self.parent_span_id))
+        return {"trace_id": self.trace_id, "parent_span_id": parent}
+
+    @classmethod
+    def from_context(cls, context: Optional[Dict[str, Any]]) -> "SpanTracer":
+        """Worker-side constructor: join the parent's trace."""
+        if not context:
+            return cls()
+        return cls(trace_id=str(context.get("trace_id") or "") or None,
+                   parent_span_id=int(context.get("parent_span_id", 0)))
+
+    def export_spans(self) -> List[Dict[str, Any]]:
+        """Finished spans as JSON-able rows on the wall-clock timeline.
+
+        The return payload a worker ships home; feed it to the parent's
+        :meth:`import_spans`.  Rows carry this process's pid and the
+        tracer's trace id / parent span id, so the merged trace keeps
+        one lane per process and the cross-process edges survive.
+        """
+        with self._lock:
+            spans = list(self.spans)
+        return [
+            {
+                "name": span.name,
+                "wall_start": self._wall_epoch + span.start,
+                "wall_end": self._wall_epoch + span.end,
+                "thread_id": span.thread_id,
+                "depth": span.depth,
+                "args": {key: _jsonable(value)
+                         for key, value in span.args.items()},
+                "span_id": span.span_id,
+                "pid": os.getpid(),
+                "trace_id": self.trace_id,
+                "parent_span_id": self.parent_span_id,
+            }
+            for span in spans
+        ]
+
+    def import_spans(self, rows: Optional[Sequence[Dict[str, Any]]]) -> int:
+        """Fold a worker's exported spans into this tracer.
+
+        Wall-clock anchors are rebased onto this tracer's epoch, so an
+        imported span sorts correctly against locally recorded ones.
+        Rows from a different trace id are still imported (the file
+        should not silently lose data) but keep their original id in
+        ``args`` so the discontinuity is visible.  Returns the number
+        of spans imported.
+        """
+        if not rows:
+            return 0
+        imported: List[Span] = []
+        for row in rows:
+            args = dict(row.get("args") or {})
+            row_trace = row.get("trace_id")
+            if row_trace and row_trace != self.trace_id:
+                args["trace_id"] = row_trace
+            parent = int(row.get("parent_span_id", 0))
+            if parent:
+                args.setdefault("parent_span_id", parent)
+            imported.append(Span(
+                name=str(row["name"]),
+                start=float(row["wall_start"]) - self._wall_epoch,
+                end=float(row["wall_end"]) - self._wall_epoch,
+                thread_id=int(row.get("thread_id", 0)),
+                depth=int(row.get("depth", 0)),
+                args=args,
+                span_id=int(row.get("span_id", 0)),
+                pid=int(row.get("pid", 0)),
+            ))
+        with self._lock:
+            self.spans.extend(imported)
+        return len(imported)
 
     # -- exports ------------------------------------------------------------
 
     def chrome_trace(self) -> Dict[str, Any]:
         """Chrome-trace document (``chrome://tracing`` / Perfetto).
 
-        Complete events on one pid, one tid per recording thread;
+        Complete events, one pid lane per recording process (imported
+        worker spans keep theirs), one tid per recording thread;
         timestamps in microseconds since the tracer epoch.  Events on
-        the same tid nest by time containment, which is exactly how the
-        spans were recorded.
+        the same pid/tid nest by time containment, which is exactly how
+        the spans were recorded.  Every event is stamped with the trace
+        id, so a merged multi-process file is self-describing.
         """
         with self._lock:
             spans = list(self.spans)
-        events = [
-            {
+        own_pid = os.getpid()
+        events = []
+        for span in sorted(spans, key=lambda s: (s.start, -s.depth)):
+            args = {key: _jsonable(value)
+                    for key, value in span.args.items()}
+            args.setdefault("trace_id", self.trace_id)
+            if span.span_id:
+                args.setdefault("span_id", span.span_id)
+            events.append({
                 "name": span.name,
                 "ph": "X",
                 "ts": span.start * 1e6,
                 "dur": span.duration * 1e6,
-                "pid": os.getpid(),
+                "pid": span.pid or own_pid,
                 "tid": span.thread_id % 1_000_000,
-                "args": {key: _jsonable(value)
-                         for key, value in span.args.items()},
-            }
-            for span in sorted(spans, key=lambda s: (s.start, -s.depth))
-        ]
-        return {"traceEvents": events, "displayTimeUnit": "ms"}
+                "args": args,
+            })
+        return {"traceEvents": events, "displayTimeUnit": "ms",
+                "metadata": {"trace_id": self.trace_id}}
 
     def to_chrome_json(self) -> str:
         return json.dumps(self.chrome_trace(), indent=1)
@@ -175,10 +308,21 @@ class NullTracer:
 
     enabled = False
     spans: List[Span] = []
+    trace_id = ""
+    parent_span_id = 0
 
     @contextmanager
     def span(self, name: str, **args: Any) -> Iterator[None]:
         yield
+
+    def context(self) -> Dict[str, Any]:
+        return {}
+
+    def export_spans(self) -> List[Dict[str, Any]]:
+        return []
+
+    def import_spans(self, rows: Optional[Sequence[Dict[str, Any]]]) -> int:
+        return 0
 
     def chrome_trace(self) -> Dict[str, Any]:
         return {"traceEvents": [], "displayTimeUnit": "ms"}

@@ -114,7 +114,8 @@ from .core.serialize import (
 )
 from .net.addr import Family
 from .obs.metrics import NULL_REGISTRY, MetricsRegistry
-from .obs.tracing import NULL_TRACER
+from .obs.explain import NULL_EXPLAIN, ExplainLog
+from .obs.tracing import NULL_TRACER, SpanTracer
 
 __all__ = [
     "SHARD_RESULT_FORMAT",
@@ -234,6 +235,12 @@ def _pipeline_config(pipeline: PassiveOutagePipeline) -> Dict[str, Any]:
         "learn_diurnal": pipeline.learn_diurnal,
         "keep_belief_traces": pipeline.detector.keep_belief_traces,
         "metered": pipeline.metrics.enabled,
+        "explained": pipeline.detector.explain.enabled,
+        "traced": pipeline.tracer.enabled,
+        # Distributed-trace context: trace id plus the dispatching span,
+        # so worker spans join the parent's trace instead of minting
+        # anonymous ones that the merged file cannot relate.
+        "trace_ctx": pipeline.tracer.context(),
     }
 
 
@@ -241,6 +248,8 @@ def _worker_pipeline(config: Dict[str, Any],
                      ) -> Tuple[PassiveOutagePipeline, Any]:
     """Build the worker-local pipeline (and registry) from a config."""
     registry = MetricsRegistry() if config["metered"] else NULL_REGISTRY
+    tracer = (SpanTracer.from_context(config.get("trace_ctx"))
+              if config.get("traced") else NULL_TRACER)
     pipeline = PassiveOutagePipeline(
         policy=TuningPolicy(**config["policy"]),
         refinement=RefinementConfig(**config["refinement"]),
@@ -250,14 +259,20 @@ def _worker_pipeline(config: Dict[str, Any],
         keep_belief_traces=config["keep_belief_traces"],
         max_quarantine_frac=1.0,
         metrics=registry,
-        tracer=NULL_TRACER,
+        tracer=tracer,
         workers=0,
     )
+    if config.get("explained"):
+        # Worker-local explain ring; its events ship home in the shard
+        # document and re-sequence into the parent's log.
+        pipeline.detector.explain = ExplainLog()
     return pipeline, registry
 
 
 def _shard_document(stage: str, payload: Dict[str, Any],
-                    health: RunHealthReport, registry: Any) -> Dict[str, Any]:
+                    health: RunHealthReport, registry: Any,
+                    tracer: Any = NULL_TRACER,
+                    explain: Any = NULL_EXPLAIN) -> Dict[str, Any]:
     document = {
         "format": SHARD_RESULT_FORMAT,
         "stage": stage,
@@ -271,6 +286,13 @@ def _shard_document(stage: str, payload: Dict[str, Any],
         document["unit"] = payload["unit"]
     if registry.enabled:
         document["metrics"] = registry.snapshot()
+    if tracer.enabled:
+        # Worker spans ride home in the result document; without this
+        # every span a shard child recorded was silently dropped and
+        # the parent's --trace-out file showed dispatch gaps instead.
+        document["spans"] = tracer.export_spans()
+    if explain.enabled and len(explain):
+        document["explain"] = explain.events()
     return document
 
 
@@ -283,7 +305,8 @@ def _run_train_shard(payload: Dict[str, Any]) -> Dict[str, Any]:
     pipeline, registry = _worker_pipeline(payload["config"])
     model = pipeline.train(Family(payload["family"]), payload["per_block"],
                            payload["start"], payload["end"])
-    document = _shard_document("train", payload, model.health, registry)
+    document = _shard_document("train", payload, model.health, registry,
+                               pipeline.tracer, pipeline.detector.explain)
     document["blocks"] = model_blocks_to_dict(model.histories,
                                               model.parameters)
     return document
@@ -299,7 +322,8 @@ def _run_detect_shard(payload: Dict[str, Any]) -> Dict[str, Any]:
         train_end=payload["train_end"])
     result = pipeline.detect(model, payload["per_block"],
                              payload["start"], payload["end"])
-    document = _shard_document("detect", payload, result.health, registry)
+    document = _shard_document("detect", payload, result.health, registry,
+                               pipeline.tracer, pipeline.detector.explain)
     document["results"] = [block_result_to_dict(result.blocks[key])
                            for key in sorted(result.blocks)]
     return document
@@ -616,7 +640,8 @@ class ShardSupervisor:
                  build_payload: Callable[[Sequence[int]], Dict[str, Any]],
                  policy: SupervisionPolicy, workers: int, digest: str,
                  n_shards: int, checkpoint_dir: Optional[str] = None,
-                 metrics: Any = NULL_REGISTRY) -> None:
+                 metrics: Any = NULL_REGISTRY,
+                 tracer: Any = NULL_TRACER) -> None:
         self._stage = stage
         self._worker = worker
         self._build_payload = build_payload
@@ -626,6 +651,7 @@ class ShardSupervisor:
         self._n_shards = n_shards
         self._checkpoint_dir = checkpoint_dir
         self._metrics = metrics
+        self._tracer = tracer
         self._ctx = get_context("spawn")
         #: unit_id -> {"attempts": [...], "status": ...} — the exact
         #: shape persisted under ``supervision.units`` in the manifest.
@@ -823,12 +849,22 @@ class ShardSupervisor:
         self._attempts_metric.labels(outcome=outcome).inc()
         if unit.failures <= self._policy.retries:
             self._retries_metric.inc()
+            # Marker span: supervision decisions are part of the run's
+            # timeline, so retries and bisections show up in the merged
+            # trace between the worker attempts they separate.
+            with self._tracer.span("shard_retry", unit=unit.unit_id,
+                                   outcome=outcome,
+                                   failures=unit.failures):
+                pass
             delay = _backoff_delay(self._policy, self._digest, unit.unit_id,
                                    unit.failures)
             waiting.append((_time.monotonic() + delay, unit))
             self._record(unit, "pending")
         elif len(unit.keys) > 1:
             self._bisections_metric.inc()
+            with self._tracer.span("shard_bisection", unit=unit.unit_id,
+                                   keys=len(unit.keys)):
+                pass
             self._record(unit, "bisected")
             left, right = _split_keys(unit.keys)
             for suffix, keys in (("0", left), ("1", right)):
@@ -928,7 +964,8 @@ def _run_shards(stage: str,
             stage=stage, worker=worker, build_payload=build_payload,
             policy=supervision, workers=pipeline.workers or 1,
             digest=digest, n_shards=len(shards),
-            checkpoint_dir=checkpoint_dir, metrics=pipeline.metrics)
+            checkpoint_dir=checkpoint_dir, metrics=pipeline.metrics,
+            tracer=pipeline.tracer)
         return supervisor.execute(shards)
     payloads = [dict(build_payload(shard), index=index, plan_digest=digest)
                 for index, shard in enumerate(shards)]
@@ -980,7 +1017,20 @@ def _fold_telemetry(pipeline: PassiveOutagePipeline,
     registries must bind to the parent's metric series *without*
     backfill (the fold already counted every dead letter and guardrail
     trip; backfilling would double them).
+
+    Worker spans fold here too: each shard document carries the spans
+    its child recorded (rebased to the wall clock), and importing them
+    keeps the parent's trace file one coherent timeline across every
+    process the run touched.
     """
+    if pipeline.tracer.enabled:
+        for document in documents:
+            pipeline.tracer.import_spans(document.get("spans"))
+    if pipeline.detector.explain.enabled:
+        for document in documents:
+            events = document.get("explain")
+            if events:
+                pipeline.detector.explain.extend(events)
     if not pipeline.metrics.enabled:
         return False
     folded = False

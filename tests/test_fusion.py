@@ -26,7 +26,9 @@ from repro.fusion import (
     fused_detector_from_json,
     train_fused,
 )
+from repro.core.belief import fused_posterior
 from repro.net.addr import Family
+from repro.obs.explain import ExplainLog
 from repro.telescope.records import Observation
 from repro.traffic.darknet import DarknetTelescope
 from repro.traffic.internet import (
@@ -305,3 +307,76 @@ class TestMonitorRoundTrip:
         monitor.note_gated()
         monitor.note_gated()
         assert SourceMonitor.from_dict(monitor.to_dict()).gated_bins == 2
+
+
+class TestDecisionProvenance:
+    """The explain log's fused evidence reproduces the update exactly.
+
+    The acceptance bar for provenance: an auditor holding only the
+    recorded event must be able to re-run the belief arithmetic and land
+    on the recorded posterior bit-for-bit — no recomputation from raw
+    traffic, no tolerance windows.
+    """
+
+    @pytest.fixture(scope="class")
+    def provenance_run(self, fused_setup):
+        # The small sim has no natural outage in the eval window, so
+        # inject one: silence a single block at *both* vantages for a
+        # mid-run stretch.  Every other block keeps talking, so the
+        # vantage monitors stay trusted and the silence reads as a real
+        # outage — transition DOWN, onset, then recovery.
+        start = fused_setup["eval_start"]
+        victim = sorted(fused_setup["model"].measurable_keys)[0]
+        down, up = start + 10000.0, start + 30000.0
+        events = [event for event in fused_setup["events"]
+                  if not (event[2] >> SHIFT == victim
+                          and down <= event[0] < up)]
+        explain = ExplainLog(capacity=65536)
+        detector = FusedStreamingDetector(
+            fused_setup["model"], start, explain=explain)
+        feed_events(detector, events)
+        detector.finalize(fused_setup["end"])
+        return explain.events()
+
+    def test_transition_evidence_reproduces_the_update(self, fused_setup,
+                                                       provenance_run):
+        specs = build_block_specs(fused_setup["model"])
+        transitions = [event for event in provenance_run
+                       if event["event"] == "transition"
+                       and event.get("sources")]
+        assert transitions, "simulated outages should flip some block"
+        for event in transitions:
+            rows = event["sources"]
+            # Re-adding the non-gated per-source contributions, in row
+            # order, lands exactly on the recorded sum ...
+            total = sum(row["llr"] for row in rows if not row["gated"])
+            assert total == event["weighted_llr"], event["block"]
+            # ... and pushing that sum through the posterior with the
+            # block's own priors lands exactly on the recorded belief.
+            params = specs[event["block"]].params
+            assert fused_posterior(
+                event["prior_belief"], event["weighted_llr"],
+                params.prior_down, params.prior_up_recovery
+            ) == event["belief"], event["block"]
+
+    def test_rows_carry_the_vantage_state(self, provenance_run):
+        rows = [row for event in provenance_run
+                for row in event.get("sources") or []]
+        assert rows
+        names = {row["source"] for row in rows}
+        assert names <= {"dns", "darknet"}
+        for row in rows:
+            assert set(row) >= {"source", "weight", "count", "p_empty",
+                                "noise", "llr", "gated", "quarantined"}
+            if row["gated"]:
+                assert row["llr"] == 0.0
+
+    def test_finalized_boundaries_are_logged(self, provenance_run):
+        kinds = {event["event"] for event in provenance_run}
+        assert "onset" in kinds
+        # Every onset's block also produced transition provenance.
+        transitions = {event["block"] for event in provenance_run
+                       if event["event"] == "transition"}
+        onsets = {event["block"] for event in provenance_run
+                  if event["event"] == "onset"}
+        assert onsets <= transitions

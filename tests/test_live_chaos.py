@@ -27,8 +27,11 @@ from repro.cli import EXIT_DEGRADED_COVERAGE, main
 from repro.core.checkpoint import load_checkpoint_rotated
 from repro.core.serialize import load_model
 from repro.live import DriftConfig, LivePartitionSupervisor
+from repro.obs.explain import ExplainLog
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import SpanTracer
 from repro.parallel import SupervisionPolicy
+from repro.telescope.capture import CaptureReader, CaptureWriter
 from repro.testing.faults import (
     after_windows,
     crash_on_block,
@@ -289,3 +292,150 @@ class TestGracefulShutdown:
         assert main(["live", capture, "--model", model_path,
                      "--checkpoint", str(checkpoint),
                      "--checkpoint-every", "600"]) == 0
+
+
+class TestObservabilityPlane:
+    """One crashing partitioned run, observed end to end.
+
+    The same run must yield: worker counters folded into the parent
+    registry with no restart double-count, one coherent trace holding
+    the respawned worker under the parent's trace id, the workers'
+    decision provenance, and a /health document that accounts for the
+    fleet.  The module's stock capture has no eval-window outage, so a
+    doctored copy silences two blocks (owned by partitions that do
+    *not* crash) mid-stream — a guaranteed decision for the explain
+    piggyback to carry home.
+    """
+
+    @pytest.fixture(scope="class")
+    def doctored(self, live_setup, tmp_path_factory):
+        capture, _, model = live_setup
+        root = tmp_path_factory.mktemp("obs_plane")
+        keys = sorted(model.parameters)
+        chunk = -(-len(keys) // 4)
+        victims = {keys[chunk + 2], keys[2 * chunk + 2]}
+        down = model.train_end + 21600.0
+        up = model.train_end + 43200.0
+        path = str(root / "outage.pobs")
+        with CaptureWriter(path) as writer:
+            for observation in CaptureReader(capture):
+                if (observation.block_key in victims
+                        and down <= observation.time < up):
+                    continue
+                writer.write(observation)
+        return path, sorted(victims), root
+
+    @pytest.fixture(scope="class")
+    def clean_doctored_run(self, live_setup, doctored):
+        _, _, model = live_setup
+        capture, victims, root = doctored
+        result, registry, _ = run_partitioned(model, capture,
+                                              root / "clean_ckpt")
+        assert result.restarts == 0
+        # The injected silences really read as outages.
+        assert {key for key, _, _ in event_tuples(result.results)} \
+            >= set(victims)
+        return result, registry
+
+    @pytest.fixture(scope="class")
+    def observed_crash_run(self, live_setup, doctored):
+        _, _, model = live_setup
+        capture, _, root = doctored
+        crash_victim = sorted(model.parameters)[0]
+        registry, tracer, explain = (MetricsRegistry(), SpanTracer(),
+                                     ExplainLog())
+        patcher = pytest.MonkeyPatch()
+        try:
+            os.makedirs(root / "counters", exist_ok=True)
+            for key, value in process_fault_env(
+                    after_windows(crash_on_block(crash_victim, times=1), 50),
+                    counter_dir=str(root / "counters")).items():
+                patcher.setenv(key, value)
+            os.makedirs(root / "ckpt", exist_ok=True)
+            supervisor = LivePartitionSupervisor(
+                model, partitions=4, policy=SupervisionPolicy(**FAST_POLICY),
+                checkpoint_dir=str(root / "ckpt"), checkpoint_every=1800.0,
+                reorder_horizon=2.0, drift=DRIFT, metrics=registry,
+                tracer=tracer, explain=explain)
+            result = supervisor.run(capture)
+        finally:
+            patcher.undo()
+        return result, registry, tracer, explain, supervisor
+
+    def test_counters_survive_the_restart_without_double_count(
+            self, clean_doctored_run, observed_crash_run):
+        result, registry, _, _, supervisor = observed_crash_run
+        _, base_reg = clean_doctored_run
+        assert result.restarts == 1 and not result.degraded
+        # Heartbeat deltas actually folded mid-run (not just the final
+        # document), and the shadow rollback kept totals exact.
+        assert any(p.folded_metrics_seq for p in supervisor.partitions)
+        for name in COUNTERS:
+            assert registry.value(name) == base_reg.value(name), name
+
+    def test_one_trace_spans_the_fleet_across_the_restart(
+            self, observed_crash_run):
+        _, _, tracer, _, supervisor = observed_crash_run
+        names = {span.name for span in tracer.spans}
+        assert {"partition_dispatch", "partition_merge",
+                "partition_restart"} <= names
+        worker_spans = [span for span in tracer.spans if span.pid]
+        worker_names = {span.name for span in worker_spans}
+        assert {"partition_restore", "partition_checkpoint",
+                "partition_finalize"} <= worker_names
+        # Every partition's surviving incarnation ships its spans home,
+        # all under the parent's trace id, each in its own pid lane.
+        pids = {span.pid for span in worker_spans}
+        assert len(pids) >= len(supervisor.partitions)
+        document = tracer.chrome_trace()
+        assert document["metadata"]["trace_id"] == tracer.trace_id
+        for span in worker_spans:
+            assert (span.args.get("trace_id", tracer.trace_id)
+                    == tracer.trace_id)
+
+    def test_worker_provenance_reaches_the_parent(
+            self, doctored, observed_crash_run):
+        _, victims, _ = doctored
+        _, _, _, explain, supervisor = observed_crash_run
+        assert any(p.explain_folded_seq for p in supervisor.partitions)
+        events = explain.events()
+        assert events
+        assert {event["event"] for event in events} <= {
+            "transition", "onset", "recovery", "retraction"}
+        # Both silenced blocks explain themselves — provenance crossed
+        # from at least two distinct partitions.
+        onsets = {event["block"] for event in events
+                  if event["event"] == "onset"}
+        assert onsets >= set(victims)
+        owner = {key: p.index for p in supervisor.partitions
+                 for key in p.keys}
+        assert len({owner[block] for block in onsets}) >= 2
+
+    def test_health_document_accounts_for_the_fleet(self,
+                                                    observed_crash_run):
+        _, _, _, _, supervisor = observed_crash_run
+        document = supervisor.health_document()
+        assert document["run"] == "streaming"
+        assert document["restarts"] == 1
+        assert len(document["partitions"]) == len(supervisor.partitions)
+        for row in document["partitions"]:
+            assert row["status"] == "done"
+            assert row["watermark_lag"] >= 0.0
+        assert document["global_watermark"] <= document["stream_front"]
+
+    def test_piggyback_fold_is_idempotent(self, live_setup):
+        _, _, model = live_setup
+        supervisor = LivePartitionSupervisor(
+            model, partitions=2, metrics=MetricsRegistry(),
+            explain=ExplainLog())
+        partition = supervisor.partitions[0]
+        worker = MetricsRegistry()
+        worker.counter("stream_observations_total", "rows").inc(5)
+        info = {"metrics_seq": 1, "metrics_delta": worker.snapshot(),
+                "explain": [{"event": "onset", "block": 1, "seq": 1}]}
+        for _ in range(3):  # re-delivered heartbeat folds exactly once
+            supervisor._fold_piggyback(partition, info)
+        assert supervisor.metrics.value("stream_observations_total") == 5
+        assert len(supervisor.explain) == 1
+        assert partition.folded_metrics_seq == 1
+        assert partition.explain_folded_seq == 1

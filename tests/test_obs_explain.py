@@ -1,0 +1,191 @@
+"""Decision-provenance log: bounded ring, monotone seq, exact rendering.
+
+The bit-for-bit contract is the point: ``format_explain`` renders the
+very floats the belief update consumed (via ``repr``), so re-adding the
+per-source log-likelihood rows must land exactly on the printed sum —
+the end-to-end half of that contract (a fused detector's recorded
+evidence reproducing its posterior) lives in ``test_fusion.py``.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.explain import (
+    EXPLAIN_FORMAT,
+    NULL_EXPLAIN,
+    ExplainLog,
+    format_explain,
+    get_explain,
+    read_explain_jsonl,
+    resolve_explain,
+    set_explain,
+)
+
+
+class TestRing:
+    def test_seq_is_monotone_from_one(self):
+        log = ExplainLog()
+        assert log.record({"event": "onset"}) == 1
+        assert log.record({"event": "recovery"}) == 2
+        assert log.last_seq == 2
+
+    def test_seq_survives_ring_eviction(self):
+        log = ExplainLog(capacity=2)
+        for index in range(5):
+            log.record({"event": "onset", "index": index})
+        assert len(log) == 2
+        assert [event["seq"] for event in log.events()] == [4, 5]
+        assert log.last_seq == 5
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError, match="capacity"):
+            ExplainLog(capacity=0)
+
+    def test_record_copies_the_event(self):
+        log = ExplainLog()
+        event = {"event": "onset"}
+        log.record(event)
+        assert "seq" not in event
+
+    def test_events_filters_by_block(self):
+        log = ExplainLog()
+        log.record({"event": "onset", "block": 1})
+        log.record({"event": "onset", "block": 2})
+        assert [e["block"] for e in log.events(block=2)] == [2]
+
+    def test_events_since_is_strictly_greater(self):
+        log = ExplainLog()
+        for _ in range(3):
+            log.record({"event": "onset"})
+        assert [e["seq"] for e in log.events_since(1)] == [2, 3]
+        assert log.events_since(3) == []
+
+    def test_extend_resequences_foreign_events(self):
+        parent, worker = ExplainLog(), ExplainLog()
+        worker.record({"event": "onset", "block": 7})
+        worker.record({"event": "recovery", "block": 7})
+        parent.record({"event": "onset", "block": 1})
+        assert parent.extend(worker.events()) == 2
+        assert [e["seq"] for e in parent.events()] == [1, 2, 3]
+        # The foreign payloads survive, only the seq is local.
+        assert parent.events()[1]["block"] == 7
+
+
+class TestPersistence:
+    def test_jsonl_round_trip(self, tmp_path):
+        log = ExplainLog()
+        log.record({"event": "onset", "block": 3, "time": 5.0})
+        path = tmp_path / "explain.jsonl"
+        path.write_text(log.to_jsonl())
+        events = read_explain_jsonl(str(path))
+        assert events == log.events()
+
+    def test_header_line_is_validated(self, tmp_path):
+        path = tmp_path / "explain.jsonl"
+        path.write_text(json.dumps({"format": "something-else"}) + "\n")
+        with pytest.raises(ValueError, match=EXPLAIN_FORMAT):
+            read_explain_jsonl(str(path))
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            read_explain_jsonl(str(path))
+
+
+class TestNullAndDefault:
+    def test_null_is_inert(self):
+        assert not NULL_EXPLAIN.enabled
+        assert NULL_EXPLAIN.record({"event": "onset"}) == 0
+        assert NULL_EXPLAIN.extend([{"event": "onset"}]) == 0
+        assert len(NULL_EXPLAIN) == 0
+        assert NULL_EXPLAIN.events() == []
+
+    def test_set_and_resolve(self):
+        log = ExplainLog()
+        previous = set_explain(log)
+        try:
+            assert get_explain() is log
+            assert resolve_explain(None) is log
+            other = ExplainLog()
+            assert resolve_explain(other) is other
+        finally:
+            set_explain(previous)
+
+    def test_set_none_resets_to_null(self):
+        previous = set_explain(ExplainLog())
+        try:
+            set_explain(None)
+            assert get_explain() is NULL_EXPLAIN
+        finally:
+            set_explain(previous)
+
+
+def fused_transition(weighted_llr=None):
+    """A fused transition event with awkward floats.
+
+    The llr values are chosen so naive decimal round-tripping would
+    drift; ``repr`` rendering must keep the re-added sum exact.
+    """
+    rows = [
+        {"source": "dns", "weight": 0.7, "count": 0,
+         "p_empty": 0.1, "noise": 0.05, "llr": -1.6094379124341003,
+         "gated": False, "quarantined": False},
+        {"source": "darknet", "weight": 0.3, "count": 2,
+         "p_empty": 0.30000000000000004, "noise": 0.1,
+         "llr": 0.09531017980432486, "gated": False, "quarantined": False},
+    ]
+    total = sum(row["llr"] for row in rows)
+    return {
+        "event": "transition", "block": 0xBEEF, "time": 600.0,
+        "is_up": False, "belief": 0.04,
+        "sources": rows,
+        "weighted_llr": weighted_llr if weighted_llr is not None else total,
+        "trajectory": [(0.0, 0.9), (300.0, 0.4)],
+    }
+
+
+class TestFormatExplain:
+    def test_reladded_llr_sum_matches_bit_for_bit(self):
+        text = format_explain([fused_transition()])
+        # The sum line must NOT carry the divergence marker: re-adding
+        # the printed rows lands exactly on the printed total.
+        assert "weighted log-likelihood sum" in text
+        assert "re-added" not in text
+
+    def test_divergent_sum_is_called_out(self):
+        event = fused_transition(weighted_llr=-1.23)
+        text = format_explain([event])
+        assert "re-added" in text
+
+    def test_gated_rows_excluded_from_the_sum(self):
+        event = fused_transition()
+        event["sources"].append({
+            "source": "blinded", "weight": 0.0, "count": 0,
+            "p_empty": 0.5, "noise": 0.1, "llr": 0.0, "gated": True,
+            "quarantined": True})
+        text = format_explain([event])
+        assert "[gated]" in text
+        assert "[quarantined]" in text
+        assert "re-added" not in text
+
+    def test_onset_recovery_and_retraction_render(self):
+        events = [
+            {"event": "onset", "block": 7, "time": 100.0,
+             "duration": 300.0},
+            {"event": "recovery", "block": 7, "time": 400.0},
+            {"event": "retraction", "block": 9, "reason": "poisoned"},
+        ]
+        text = format_explain(events)
+        assert "onset at t=100.0s (duration 300s)" in text
+        assert "recovery at t=400.0s" in text
+        assert "RETRACTED: poisoned" in text
+
+    def test_block_filter(self):
+        events = [{"event": "onset", "block": 1, "time": 1.0},
+                  {"event": "onset", "block": 2, "time": 2.0}]
+        text = format_explain(events, block=2)
+        assert "block 0x2" in text and "block 0x1" not in text
+        assert "no explain events" in format_explain(events, block=3)
+
+    def test_trajectory_rendered(self):
+        text = format_explain([fused_transition()])
+        assert "belief trajectory" in text

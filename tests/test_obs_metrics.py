@@ -11,8 +11,10 @@ from repro.obs.metrics import (
     NULL_REGISTRY,
     SNAPSHOT_FORMAT,
     MetricsRegistry,
+    diff_snapshots,
     get_registry,
     log_spaced_buckets,
+    negate_snapshot,
     render_snapshot,
     resolve_registry,
     set_registry,
@@ -394,3 +396,189 @@ class TestRenderSnapshot:
     def test_rejects_foreign_document(self):
         with pytest.raises(ValueError, match="snapshot"):
             render_snapshot({"format": "nope"})
+
+
+class TestGaugeMergePolicy:
+    """Per-gauge merge policy: "max" (default watermark) vs "last"."""
+
+    def test_default_policy_is_max(self):
+        registry = MetricsRegistry()
+        assert registry.gauge("peak").merge == "max"
+
+    def test_max_policy_pins_the_high_watermark(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.gauge("peak").set(9)
+        worker.gauge("peak").set(4)
+        parent.merge_snapshot(worker.snapshot())
+        assert parent.value("peak") == 9
+
+    def test_last_policy_lets_the_delivered_value_win(self):
+        # Freshness gauges (watermark lag) must *fall* when a worker
+        # catches up; a max fold would pin them at their worst-ever
+        # reading forever.
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.gauge("lag_seconds", merge="last").set(120.0)
+        worker.gauge("lag_seconds", merge="last").set(3.0)
+        parent.merge_snapshot(worker.snapshot())
+        assert parent.value("lag_seconds") == 3.0
+
+    def test_policy_travels_inside_the_snapshot(self):
+        # A parent that first learns about the family from the wire
+        # must still fold it per the declared policy.
+        worker = MetricsRegistry()
+        worker.gauge("lag_seconds", merge="last").set(50.0)
+        parent = MetricsRegistry()
+        parent.merge_snapshot(worker.snapshot())
+        assert parent.get("lag_seconds").merge == "last"
+        worker.gauge("lag_seconds").set(2.0)
+        parent.merge_snapshot(worker.snapshot())
+        assert parent.value("lag_seconds") == 2.0
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="merge policy"):
+            MetricsRegistry().gauge("bad", merge="average")
+
+    def test_conflicting_policy_reregistration_rejected(self):
+        registry = MetricsRegistry()
+        registry.gauge("lag_seconds", merge="last")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("lag_seconds", merge="max")
+
+
+class TestSnapshotArithmetic:
+    """diff/negate: the heartbeat-delta encoding and its rollback."""
+
+    def build(self, hits=0, lag=0.0, observations=()):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits_total", labelnames=("kind",))
+        counter.labels(kind="exact").inc(hits)
+        registry.gauge("lag_seconds", merge="last").set(lag)
+        histogram = registry.histogram("latency_seconds",
+                                       buckets=(0.1, 1.0))
+        for value in observations:
+            histogram.observe(value)
+        return registry
+
+    def test_none_previous_ships_the_full_snapshot(self):
+        snapshot = self.build(hits=3).snapshot()
+        assert diff_snapshots(snapshot, None) == snapshot
+
+    def test_counters_and_histograms_subtract(self):
+        registry = self.build(hits=3, observations=(0.05, 0.5))
+        before = registry.snapshot()
+        registry.get("hits_total").labels(kind="exact").inc(4)
+        registry.get("latency_seconds").observe(5.0)
+        delta = diff_snapshots(registry.snapshot(), before)
+        by_name = {entry["name"]: entry for entry in delta["metrics"]}
+        assert by_name["hits_total"]["series"][0]["value"] == 4
+        assert by_name["latency_seconds"]["series"][0]["count"] == 1
+
+    def test_unchanged_series_are_dropped(self):
+        registry = self.build(hits=3, observations=(0.5,))
+        before = registry.snapshot()
+        delta = diff_snapshots(registry.snapshot(), before)
+        # Only the gauge survives (last-value readings always ship).
+        assert [entry["name"] for entry in delta["metrics"]] \
+            == ["lag_seconds"]
+
+    def test_telescoping_deltas_reproduce_the_full_fold(self):
+        # Folding every delta d_i = s_i - s_{i-1} must land the parent
+        # bit-for-bit where folding the final full snapshot would —
+        # the incremental aggregation plane's core identity.
+        worker = self.build()
+        parent_deltas, baseline = MetricsRegistry(), None
+        for step in range(1, 4):
+            worker.get("hits_total").labels(kind="exact").inc(step)
+            worker.get("lag_seconds").set(100.0 / step)
+            worker.get("latency_seconds").observe(0.01 * step)
+            current = worker.snapshot()
+            parent_deltas.merge_snapshot(diff_snapshots(current, baseline))
+            baseline = current
+        parent_full = MetricsRegistry()
+        parent_full.merge_snapshot(worker.snapshot())
+        assert parent_deltas.snapshot() == parent_full.snapshot()
+
+    def test_negate_retracts_a_merged_snapshot(self):
+        worker = self.build(hits=5, lag=9.0, observations=(0.05, 5.0))
+        parent = MetricsRegistry()
+        parent.merge_snapshot(worker.snapshot())
+        parent.merge_snapshot(negate_snapshot(worker.snapshot()))
+        assert parent.value("hits_total", kind="exact") == 0
+        entry = [e for e in parent.snapshot()["metrics"]
+                 if e["name"] == "latency_seconds"][0]
+        assert entry["series"][0]["count"] == 0
+        assert not any(entry["series"][0]["bucket_counts"])
+        # Gauges are not retracted: a last-value reading cannot be
+        # "un-observed"; the next heartbeat refreshes it.
+        assert parent.value("lag_seconds") == 9.0
+
+    def test_restart_rollback_does_not_double_count(self):
+        # The supervisor's restart sequence in miniature: fold two
+        # deltas, retract the incarnation's shadow, then fold the
+        # restarted worker's full first delta — counts match a clean
+        # single-incarnation run exactly.
+        worker = self.build()
+        parent, shadow, baseline = MetricsRegistry(), MetricsRegistry(), None
+        for _ in range(2):
+            worker.get("hits_total").labels(kind="exact").inc(2)
+            current = worker.snapshot()
+            delta = diff_snapshots(current, baseline)
+            parent.merge_snapshot(delta)
+            shadow.merge_snapshot(delta)
+            baseline = current
+        # The worker dies; the checkpoint held only the first increment.
+        parent.merge_snapshot(negate_snapshot(shadow.snapshot()))
+        restarted = self.build(hits=2)  # restored from the checkpoint
+        restarted.get("hits_total").labels(kind="exact").inc(2)
+        parent.merge_snapshot(diff_snapshots(restarted.snapshot(), None))
+        assert parent.value("hits_total", kind="exact") == 4
+
+    def test_diff_rejects_wrong_format(self):
+        good = MetricsRegistry().snapshot()
+        with pytest.raises(ValueError, match="snapshot"):
+            diff_snapshots({"format": "nope"}, None)
+        with pytest.raises(ValueError, match="snapshot"):
+            diff_snapshots(good, {"format": "nope"})
+        with pytest.raises(ValueError, match="snapshot"):
+            negate_snapshot({"format": "nope"})
+
+
+class TestConcurrentExposition:
+    def test_exposition_during_label_child_creation(self):
+        # A scrape must never crash or emit a torn line while worker
+        # threads are minting new label children mid-render.
+        registry = MetricsRegistry()
+        family = registry.counter("events_total", labelnames=("kind",))
+        stop = threading.Event()
+        errors = []
+
+        def mint(prefix):
+            try:
+                for index in range(500):
+                    if stop.is_set():
+                        break
+                    family.labels(kind=f"{prefix}{index}").inc()
+            except Exception as error:  # pragma: no cover — the assert
+                errors.append(error)
+
+        workers = [threading.Thread(target=mint, args=(chr(97 + i),))
+                   for i in range(4)]
+        for worker in workers:
+            worker.start()
+        try:
+            rendered = [registry.to_prometheus() for _ in range(20)]
+        finally:
+            stop.set()
+            for worker in workers:
+                worker.join()
+        assert not errors
+        for text in rendered:
+            for line in text.splitlines():
+                if line.startswith("#"):
+                    continue
+                name, value = line.rsplit(" ", 1)
+                assert name.startswith("events_total")
+                float(value)  # every sample line is complete
+        final = registry.to_prometheus()
+        assert final.count('kind="') == sum(
+            len(family.series()) for family in [registry.get("events_total")])

@@ -1,0 +1,171 @@
+"""The observability endpoint: one run's telemetry, served over HTTP.
+
+Everything binds port 0 (ephemeral) on loopback, talks stdlib
+``urllib``, and tears the server down in the fixture — the suite must
+never collide with a real scrape target or leak a listener.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.explain import EXPLAIN_FORMAT, ExplainLog
+from repro.obs.metrics import SNAPSHOT_FORMAT, MetricsRegistry
+from repro.obs.server import PROMETHEUS_CONTENT_TYPE, ObservabilityServer
+from repro.obs.tracing import SpanTracer
+
+
+@pytest.fixture()
+def plane():
+    """A server over a registry/tracer/explain trio with known content."""
+    registry = MetricsRegistry()
+    registry.counter("runs_total", "runs").inc(3)
+    registry.gauge("lag_seconds", merge="last").set(2.5)
+    tracer = SpanTracer()
+    with tracer.span("detect", family="ipv4"):
+        pass
+    explain = ExplainLog()
+    explain.record({"event": "onset", "block": 0xCAFE, "time": 10.0})
+    server = ObservabilityServer(port=0, registry=registry, tracer=tracer,
+                                 explain=explain).start()
+    try:
+        yield server, registry, tracer, explain
+    finally:
+        server.stop()
+
+
+def fetch(server, path):
+    with urllib.request.urlopen(server.url + path, timeout=10) as response:
+        return response.status, response.headers, response.read().decode()
+
+
+class TestEndpoints:
+    def test_metrics_is_prometheus_text(self, plane):
+        server, _, _, _ = plane
+        status, headers, body = fetch(server, "/metrics")
+        assert status == 200
+        assert headers["Content-Type"] == PROMETHEUS_CONTENT_TYPE
+        assert "runs_total 3" in body
+        assert "lag_seconds 2.5" in body
+
+    def test_metrics_json_is_the_snapshot_document(self, plane):
+        server, registry, _, _ = plane
+        _, _, body = fetch(server, "/metrics.json")
+        document = json.loads(body)
+        assert document["format"] == SNAPSHOT_FORMAT
+        names = [entry["name"] for entry in document["metrics"]]
+        assert "runs_total" in names
+
+    def test_trace_is_the_chrome_document(self, plane):
+        server, _, tracer, _ = plane
+        _, _, body = fetch(server, "/trace")
+        document = json.loads(body)
+        assert document["metadata"]["trace_id"] == tracer.trace_id
+        assert [e["name"] for e in document["traceEvents"]] == ["detect"]
+
+    def test_events_is_the_explain_log(self, plane):
+        server, _, _, explain = plane
+        _, _, body = fetch(server, "/events")
+        document = json.loads(body)
+        assert document["format"] == EXPLAIN_FORMAT
+        assert document["events"] == explain.events()
+
+    def test_health_defaults_to_process_liveness(self, plane):
+        server, _, _, _ = plane
+        _, _, body = fetch(server, "/health")
+        assert json.loads(body) == {"status": "alive", "run": None}
+
+    def test_health_provider_hook(self, plane):
+        server, _, _, _ = plane
+        server.health_provider = lambda: {"status": "running",
+                                          "partitions": [{"index": 0}]}
+        _, _, body = fetch(server, "/health")
+        assert json.loads(body)["partitions"] == [{"index": 0}]
+
+    def test_unknown_path_is_404_with_directions(self, plane):
+        server, _, _, _ = plane
+        with pytest.raises(urllib.error.HTTPError) as info:
+            fetch(server, "/nope")
+        assert info.value.code == 404
+        assert "/metrics" in info.value.read().decode()
+
+    def test_query_strings_ignored(self, plane):
+        server, _, _, _ = plane
+        status, _, _ = fetch(server, "/metrics?foo=bar")
+        assert status == 200
+
+
+class TestScrapeTelemetry:
+    def test_requests_fold_into_the_served_registry(self, plane):
+        server, registry, _, _ = plane
+        fetch(server, "/metrics")
+        fetch(server, "/metrics")
+        fetch(server, "/health")
+        try:
+            fetch(server, "/nope")
+        except urllib.error.HTTPError:
+            pass
+        assert registry.value("obs_http_requests_total",
+                              endpoint="metrics") >= 2
+        assert registry.value("obs_http_requests_total",
+                              endpoint="health") == 1
+        assert registry.value("obs_http_requests_total",
+                              endpoint="unknown") == 1
+        # And the counter is itself visible on the next scrape.
+        _, _, body = fetch(server, "/metrics")
+        assert 'obs_http_requests_total{endpoint="metrics"}' in body
+
+
+class TestLiveness:
+    def test_scrape_observes_live_state_not_a_copy(self, plane):
+        server, registry, _, explain = plane
+        registry.get("runs_total").inc(7)
+        explain.record({"event": "recovery", "block": 0xCAFE, "time": 20.0})
+        _, _, metrics = fetch(server, "/metrics")
+        assert "runs_total 10" in metrics
+        _, _, events = fetch(server, "/events")
+        assert len(json.loads(events)["events"]) == 2
+
+    def test_concurrent_scrapes(self, plane):
+        server, _, _, _ = plane
+        errors = []
+
+        def scrape():
+            try:
+                for _ in range(5):
+                    status, _, _ = fetch(server, "/metrics")
+                    assert status == 200
+            except Exception as error:  # pragma: no cover — the assert
+                errors.append(error)
+
+        threads = [threading.Thread(target=scrape) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+
+    def test_ephemeral_port_reported(self, plane):
+        server, _, _, _ = plane
+        assert server.port > 0
+        assert str(server.port) in server.url
+
+    def test_stop_releases_the_listener(self):
+        server = ObservabilityServer(port=0).start()
+        url = server.url
+        server.stop()
+        with pytest.raises(urllib.error.URLError):
+            urllib.request.urlopen(url + "/health", timeout=0.5)
+
+    def test_defaults_serve_null_objects(self):
+        server = ObservabilityServer(port=0).start()
+        try:
+            _, _, body = fetch(server, "/metrics.json")
+            assert json.loads(body)["metrics"] == []
+            _, _, body = fetch(server, "/events")
+            assert json.loads(body)["events"] == []
+        finally:
+            server.stop()

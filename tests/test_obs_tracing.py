@@ -66,7 +66,11 @@ class TestChromeTrace:
         assert event["ph"] == "X"
         assert event["name"] == "detect"
         assert event["dur"] >= 0
-        assert event["args"] == {"family": "ipv4"}
+        # Span args plus the distributed-trace stamps that make a
+        # merged multi-process file self-describing.
+        assert event["args"] == {"family": "ipv4",
+                                 "trace_id": tracer.trace_id,
+                                 "span_id": 1}
 
     def test_events_sorted_parents_first(self):
         tracer = SpanTracer()
@@ -145,3 +149,102 @@ class TestGlobalTracer:
             assert resolve_tracer(other) is other
         finally:
             set_tracer(previous)
+
+
+class TestDistributedTrace:
+    """Cross-process propagation: context, export/import, one trace id."""
+
+    def test_root_tracer_mints_a_trace_id(self):
+        assert SpanTracer().trace_id
+        assert SpanTracer().trace_id != SpanTracer().trace_id
+
+    def test_context_names_the_open_dispatching_span(self):
+        tracer = SpanTracer()
+        with tracer.span("dispatch"):
+            context = tracer.context()
+        assert context["trace_id"] == tracer.trace_id
+        # Ids are allocated at span *start*, so the still-open dispatch
+        # span is addressable as the cross-process parent.
+        assert context["parent_span_id"] == tracer.spans[0].span_id
+
+    def test_context_falls_back_to_the_last_finished_span(self):
+        tracer = SpanTracer()
+        with tracer.span("setup"):
+            pass
+        assert (tracer.context()["parent_span_id"]
+                == tracer.spans[0].span_id)
+
+    def test_from_context_joins_the_parent_trace(self):
+        parent = SpanTracer()
+        with parent.span("dispatch"):
+            child = SpanTracer.from_context(parent.context())
+        assert child.trace_id == parent.trace_id
+        assert child.parent_span_id == parent.spans[0].span_id
+
+    def test_from_empty_context_is_a_fresh_root(self):
+        tracer = SpanTracer.from_context(None)
+        assert tracer.trace_id and tracer.parent_span_id == 0
+
+    def test_export_import_merges_under_one_trace_id(self):
+        parent = SpanTracer()
+        with parent.span("dispatch"):
+            worker = SpanTracer.from_context(parent.context())
+        with worker.span("shard"):
+            pass
+        rows = worker.export_spans()
+        assert rows[0]["trace_id"] == parent.trace_id
+        assert parent.import_spans(rows) == 1
+        document = parent.chrome_trace()
+        assert document["metadata"]["trace_id"] == parent.trace_id
+        events = {event["name"]: event for event in
+                  document["traceEvents"]}
+        # Same trace: the imported span carries no foreign-trace marker,
+        # and its args name the dispatching span as its parent.
+        assert "trace_id" not in events["shard"]["args"] or \
+            events["shard"]["args"]["trace_id"] == parent.trace_id
+        assert (events["shard"]["args"]["parent_span_id"]
+                == events["dispatch"]["args"]["span_id"])
+
+    def test_imported_spans_keep_their_process_lane(self):
+        parent = SpanTracer()
+        with parent.span("local"):
+            pass
+        rows = [{"name": "remote", "wall_start": parent._wall_epoch,
+                 "wall_end": parent._wall_epoch + 0.5, "thread_id": 1,
+                 "depth": 0, "args": {}, "span_id": 7, "pid": 4242,
+                 "trace_id": parent.trace_id, "parent_span_id": 0}]
+        parent.import_spans(rows)
+        lanes = {event["name"]: event["pid"]
+                 for event in parent.chrome_trace()["traceEvents"]}
+        assert lanes["remote"] == 4242
+        assert lanes["local"] != 4242
+
+    def test_wall_clock_rebase_keeps_ordering(self):
+        parent = SpanTracer()
+        with parent.span("first"):
+            pass
+        worker = SpanTracer.from_context(parent.context())
+        with worker.span("second"):
+            pass
+        parent.import_spans(worker.export_spans())
+        spans = {span.name: span for span in parent.spans}
+        assert spans["first"].start <= spans["second"].start
+
+    def test_foreign_trace_id_kept_visible(self):
+        parent = SpanTracer()
+        stranger = SpanTracer()
+        with stranger.span("odd"):
+            pass
+        parent.import_spans(stranger.export_spans())
+        imported = parent.spans[-1]
+        assert imported.args["trace_id"] == stranger.trace_id
+
+    def test_import_none_or_empty_is_a_noop(self):
+        tracer = SpanTracer()
+        assert tracer.import_spans(None) == 0
+        assert tracer.import_spans([]) == 0
+        assert tracer.spans == []
+
+    def test_null_tracer_context_is_empty(self):
+        assert NULL_TRACER.context() == {}
+        assert NULL_TRACER.import_spans([{"name": "x"}]) == 0

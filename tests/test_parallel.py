@@ -17,7 +17,9 @@ import pytest
 from repro.core.health import ErrorBudgetExceeded
 from repro.core.pipeline import PassiveOutagePipeline
 from repro.net.addr import Family
+from repro.obs.explain import ExplainLog
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import SpanTracer
 from repro.parallel import (
     get_default_parallelism,
     plan_shards,
@@ -370,3 +372,61 @@ class TestProcessDefaults:
     def test_default_default_is_sequential(self):
         pipeline = PassiveOutagePipeline()
         assert not pipeline.workers  # None/0: legacy sequential path
+
+
+class TestShardedTelemetryShipping:
+    """Spans and explain events recorded in workers ship home.
+
+    The shard document is the only channel a pool worker has, so the
+    tracer's spans and the explain ring both ride it: the parent must
+    end up holding one coherent trace (its own lane plus one per worker
+    pid, all under its trace id) and the same decision provenance a
+    sequential run would have recorded.
+    """
+
+    def outage_evaluate(self, population):
+        """The training population with one block silenced mid-window."""
+        victim = sorted(population)[0]
+        evaluate = dict(population)
+        times = evaluate[victim]
+        evaluate[victim] = times[(times < DAY * 0.3) | (times >= DAY * 0.7)]
+        return victim, evaluate
+
+    def test_worker_spans_merge_into_the_parent_trace(self, population):
+        tracer = SpanTracer()
+        pipeline = PassiveOutagePipeline(
+            aggregation_levels=0, metrics=MetricsRegistry(),
+            tracer=tracer, workers=2, shard_chunk=3)
+        model = pipeline.train(Family.IPV4, population, 0.0, DAY)
+        pipeline.detect(model, population, 0.0, DAY)
+        # Foreign spans (pid set) arrived and joined this trace id.
+        foreign = [span for span in tracer.spans if span.pid]
+        assert foreign
+        assert {span.pid for span in foreign} != {os.getpid()}
+        assert all(span.args.get("trace_id", tracer.trace_id)
+                   == tracer.trace_id for span in foreign)
+        document = tracer.chrome_trace()
+        assert document["metadata"]["trace_id"] == tracer.trace_id
+        # Parent lane plus at least one worker lane.
+        assert len({event["pid"]
+                    for event in document["traceEvents"]}) >= 2
+
+    def test_sharded_explain_matches_sequential(self, population):
+        victim, evaluate = self.outage_evaluate(population)
+
+        def provenance(workers):
+            pipeline = PassiveOutagePipeline(
+                aggregation_levels=0, metrics=MetricsRegistry(),
+                workers=workers, shard_chunk=3)
+            pipeline.detector.explain = ExplainLog()
+            model = pipeline.train(Family.IPV4, population, 0.0, DAY)
+            pipeline.detect(model, evaluate, 0.0, DAY)
+            return [{k: v for k, v in event.items() if k != "seq"}
+                    for event in pipeline.detector.explain.events()]
+
+        sequential, sharded = provenance(0), provenance(2)
+        assert sequential  # the silenced block produced decisions
+        assert any(event["block"] == victim for event in sequential)
+        canonical = lambda events: sorted(
+            json.dumps(event, sort_keys=True) for event in events)
+        assert canonical(sequential) == canonical(sharded)
