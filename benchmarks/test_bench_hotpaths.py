@@ -108,3 +108,196 @@ def test_bench_streaming_detector(benchmark):
 
     results = benchmark(stream_day)
     assert len(results) == sum(p.measurable for p in parameters.values())
+
+
+# ---------------------------------------------------------------------------
+# columnar streaming belief engine: scalar-vs-columnar speedup gate
+# ---------------------------------------------------------------------------
+
+#: the acceptance floor for this PR: batching all bin closes that share
+#: a boundary must cut streaming bin-close wall time (and the batched
+#: tune stage) by at least this factor on the weeklong synthetic.
+BELIEF_SPEEDUP_FLOOR = 5.0
+WEEK = 7 * 86400.0
+GRID_SECONDS = 300.0
+#: tuned bin ladder (all multiples of the drive grid, so every close
+#: lands inside a timed ``advance`` call rather than packet catch-up).
+BELIEF_LADDER = (300.0, 600.0, 1200.0, 1800.0, 3600.0, 7200.0)
+
+
+def save_belief_artefact(section, payload):
+    """Merge one section into the BENCH_belief.json artefact."""
+    import json
+    import os
+
+    artefact = os.environ.get("REPRO_BENCH_BELIEF_OUT")
+    if not artefact:
+        return
+    document = {}
+    if os.path.exists(artefact):
+        with open(artefact, "r", encoding="utf-8") as handle:
+            try:
+                document = json.load(handle)
+            except ValueError:
+                document = {}
+    if not isinstance(document, dict):
+        document = {}
+    document[section] = payload
+    with open(artefact, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+
+
+@pytest.fixture(scope="module")
+def belief_population(bench_scale):
+    """A 1,536-block weeklong synthetic population (scaled), mixed
+    across the bin ladder, half diurnal, plus its observation stream."""
+    from repro.core.history import BlockHistory
+    from repro.core.parameters import BlockParameters
+    from repro.telescope.records import Observation
+
+    rng = np.random.default_rng(17)
+    n_blocks = max(64, int(1536 * bench_scale))
+    histories = {}
+    parameters = {}
+    times_list = []
+    keys_list = []
+    for index in range(n_blocks):
+        key = index + 1
+        bin_seconds = BELIEF_LADDER[index % len(BELIEF_LADDER)]
+        rate = 1.0 / 1800.0
+        diurnal = None
+        weekly = None
+        if index % 2 == 0:
+            profile = 1.0 + 0.4 * np.sin(
+                2 * np.pi * (np.arange(24) + index % 24) / 24.0)
+            diurnal = profile / profile.mean()
+            week_profile = 1.0 + 0.1 * np.cos(
+                2 * np.pi * np.arange(7) / 7.0)
+            weekly = week_profile / week_profile.mean()
+        histories[key] = BlockHistory(
+            mean_rate=rate, observed_count=int(rate * WEEK),
+            training_seconds=WEEK, median_gap=1.0 / rate,
+            p95_gap=3.0 / rate, max_gap=5.0 / rate,
+            burstiness=1.0 + (index % 4) * 0.5,
+            diurnal_profile=diurnal, weekly_profile=weekly)
+        parameters[key] = BlockParameters(
+            bin_seconds=bin_seconds,
+            p_empty_up=float(np.exp(-rate * bin_seconds)),
+            noise_nonempty=1e-4, prior_down=0.01,
+            prior_up_recovery=0.05)
+        count = rng.poisson(rate * WEEK)
+        times_list.append(rng.uniform(0.0, WEEK, count))
+        keys_list.append(np.full(count, key, dtype=np.int64))
+    times = np.concatenate(times_list)
+    keys = np.concatenate(keys_list)
+    order = np.argsort(times, kind="stable")
+    observations = [
+        Observation(float(t), Family.IPV4, int(k) << 8)
+        for t, k in zip(times[order], keys[order])
+    ]
+    return histories, parameters, observations
+
+
+def _timed_streaming_run(histories, parameters, observations, columnar):
+    """Drive one engine over the weeklong stream; return the summed
+    wall time of the ``advance`` calls (= streaming bin-close time,
+    since the packet feed between grid points closes zero bins) and
+    the detector for equivalence checks."""
+    import time as _time
+
+    from repro.core.detector import StreamingDetector
+
+    detector = StreamingDetector(Family.IPV4, histories, parameters, 0.0,
+                                 sentinel=None, columnar=columnar)
+    wall = 0.0
+    i = 0
+    total = len(observations)
+    boundary = GRID_SECONDS
+    while boundary <= WEEK:
+        while i < total and observations[i].time <= boundary:
+            detector.observe(observations[i])
+            i += 1
+        clock = _time.perf_counter()
+        detector.advance(boundary)
+        wall += _time.perf_counter() - clock
+        boundary += GRID_SECONDS
+    return wall, detector
+
+
+def test_bench_columnar_bin_close_speedup(belief_population):
+    """The tentpole gate: columnar batched bin closes must beat the
+    scalar per-block loop by >= 5x on the weeklong synthetic — while
+    producing bit-identical detector state."""
+    from repro.core.checkpoint import detector_to_json
+
+    histories, parameters, observations = belief_population
+    scalar_wall, scalar_det = _timed_streaming_run(
+        histories, parameters, observations, columnar=False)
+    columnar_wall, columnar_det = _timed_streaming_run(
+        histories, parameters, observations, columnar=True)
+
+    assert detector_to_json(scalar_det) == detector_to_json(columnar_det)
+    assert scalar_det.windows_closed == columnar_det.windows_closed
+
+    speedup = scalar_wall / columnar_wall
+    payload = {
+        "blocks": len(parameters),
+        "bins_closed": scalar_det.windows_closed,
+        "before": {"engine": "scalar", "bin_close_seconds": scalar_wall},
+        "after": {"engine": "columnar",
+                  "bin_close_seconds": columnar_wall},
+        "speedup": speedup,
+        "floor": BELIEF_SPEEDUP_FLOOR,
+    }
+    save_belief_artefact("streaming_bin_close", payload)
+    print(f"\nstreaming bin close: scalar {scalar_wall:.3f}s, columnar "
+          f"{columnar_wall:.3f}s, speedup {speedup:.1f}x "
+          f"({scalar_det.windows_closed} bins, {len(parameters)} blocks)")
+    assert speedup >= BELIEF_SPEEDUP_FLOOR, (
+        f"columnar bin close speedup {speedup:.2f}x under the "
+        f"{BELIEF_SPEEDUP_FLOOR}x floor")
+
+
+def test_bench_tune_batch_speedup(belief_population):
+    """The tune-stage gate: ``plan_batch`` must beat the per-block
+    ``plan`` loop by >= 5x — while planning identical parameters."""
+    import time as _time
+
+    from repro.core.parameters import ParameterPlanner
+
+    histories, _, _ = belief_population
+    planner = ParameterPlanner()
+
+    # Best-of-N on both sides: the tune stage is milliseconds, so one
+    # scheduler hiccup would otherwise decide the gate.
+    scalar_wall = float("inf")
+    for _ in range(5):
+        clock = _time.perf_counter()
+        scalar_planned = planner.plan(histories)
+        scalar_wall = min(scalar_wall, _time.perf_counter() - clock)
+
+    batch_wall = float("inf")
+    for _ in range(5):
+        clock = _time.perf_counter()
+        batch_planned, batch_errors = planner.plan_batch(histories)
+        batch_wall = min(batch_wall, _time.perf_counter() - clock)
+
+    assert not batch_errors
+    assert batch_planned == scalar_planned
+
+    speedup = scalar_wall / batch_wall
+    payload = {
+        "blocks": len(histories),
+        "before": {"engine": "plan_block loop",
+                   "tune_seconds": scalar_wall},
+        "after": {"engine": "plan_batch", "tune_seconds": batch_wall},
+        "speedup": speedup,
+        "floor": BELIEF_SPEEDUP_FLOOR,
+    }
+    save_belief_artefact("tune", payload)
+    print(f"\ntune: scalar {scalar_wall:.3f}s, batched {batch_wall:.3f}s, "
+          f"speedup {speedup:.1f}x ({len(histories)} blocks)")
+    assert speedup >= BELIEF_SPEEDUP_FLOOR, (
+        f"plan_batch speedup {speedup:.2f}x under the "
+        f"{BELIEF_SPEEDUP_FLOOR}x floor")

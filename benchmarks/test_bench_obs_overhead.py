@@ -144,7 +144,7 @@ def test_real_registry_records_and_stays_bounded(workload):
     """
     registry = MetricsRegistry()
     guarded_belief_pass(**workload, metrics=registry)
-    assert (registry.get("belief_bins_total").value
+    assert (registry.get("belief_bins_total").labels(path="single").value
             == N_BLOCKS * N_BINS)
     ((_, histogram),) = registry.get("belief_pass_seconds").series()
     assert histogram.count == 1
@@ -213,5 +213,6 @@ def test_full_observability_plane_cost_is_bounded(detection_workload):
                                      metrics=registry, tracer=tracer)
     pipeline.detector.explain = ExplainLog()
     pipeline.detect(model, per_block, 0.0, DAY)
-    assert registry.get("belief_bins_total").value > 0
+    assert (registry.get("belief_bins_total").labels(path="single").value
+            > 0)
     assert any(span.name == "detect" for span in tracer.spans)

@@ -345,14 +345,19 @@ def guarded_belief_pass(
         if beliefs is not None:
             beliefs[bad_params] = BELIEF_CEIL
     if metrics is not None:
+        # The fused pass counts source-bins (n_sources x blocks x bins),
+        # so the two passes write incomparable units; the ``path`` label
+        # keeps each series a like-for-like baseline.
         metrics.counter(
             "belief_bins_total",
-            "Bins filtered by the vectorised belief pass").inc(
+            "Bins filtered by the vectorised belief pass",
+            labelnames=("path",)).labels(path="single").inc(
                 n_blocks * n_bins)
         if pass_clock is not None:
             metrics.histogram(
                 "belief_pass_seconds",
-                "Wall-time of one vectorised belief pass").observe(
+                "Wall-time of one vectorised belief pass",
+                labelnames=("path",)).labels(path="single").observe(
                     _time.perf_counter() - pass_clock)
     return states, beliefs, poisoned
 
@@ -584,13 +589,17 @@ def fused_belief_pass(
         if beliefs is not None:
             beliefs[pinned] = BELIEF_CEIL
     if metrics is not None:
+        # Fused units are source-bins; label so fused runs never corrupt
+        # the single-source baseline in benchmark comparisons.
         metrics.counter(
             "belief_bins_total",
-            "Bins filtered by the vectorised belief pass").inc(
+            "Bins filtered by the vectorised belief pass",
+            labelnames=("path",)).labels(path="fused").inc(
                 n_sources * n_blocks * n_bins)
         if pass_clock is not None:
             metrics.histogram(
                 "belief_pass_seconds",
-                "Wall-time of one vectorised belief pass").observe(
+                "Wall-time of one vectorised belief pass",
+                labelnames=("path",)).labels(path="fused").observe(
                     _time.perf_counter() - pass_clock)
     return states, beliefs, poisoned

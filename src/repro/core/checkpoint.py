@@ -284,6 +284,11 @@ def apply_checkpoint_state(detector: StreamingDetector,
                                        else float(first))
         state.transitions = [(float(time), bool(up))
                              for time, up in entry["transitions"]]
+    # The restore rewrote per-block params/histories in place; any
+    # columnar cohorts built against the pre-restore model are stale.
+    invalidate = getattr(detector, "_invalidate_cohorts", None)
+    if invalidate is not None:
+        invalidate()
     if detector.metrics.enabled:
         snapshot = document.get("metrics")
         if snapshot is not None:

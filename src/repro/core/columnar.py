@@ -1,0 +1,271 @@
+"""Columnar cohort layout for the streaming belief engine.
+
+The scalar streaming detector closes bins one Python object at a time:
+every ``_close_bin`` call runs ~20 scalar numpy operations per block.
+At population scale (the paper judges hundreds of thousands of /24s)
+the per-bin hot path must be a batched array operation — Trinocular's
+Bayesian rounds and Chocolatine's telescope-scale streaming both hinge
+on this.  This module holds the *data layout* and the *vectorised
+update kernels*; :class:`~repro.core.detector.StreamingDetector` owns
+the orchestration (which members close when, quarantine, hot swaps).
+
+Design contract — scalar is the oracle, columnar is the engine:
+
+* Close *scheduling* is untouched.  Per-packet catch-up still closes a
+  lagging block's bins scalar, and ``advance(now)`` closes the same
+  bins at the same boundaries the scalar loop would.  Only the *math*
+  of simultaneous closes is batched, so audits, hot-swap boundaries,
+  checkpoints, and partition splits observe bit-identical state.
+* Every array expression replicates the scalar float operations of
+  :meth:`repro.core.belief.BeliefState.update` (and the fused path's
+  :func:`~repro.core.belief.bin_log_likelihood_ratio` /
+  :func:`~repro.core.belief.fused_posterior`) in the same order; numpy
+  ufuncs produce bitwise-identical results for array and scalar
+  operands, which the property suite pins.
+* A member whose history or likelihood spec could make the scalar path
+  *raise* (non-finite summary, malformed profile) is excluded from its
+  cohort at build time and processed by the scalar loop in insertion
+  order, so quarantine order and dead-letter messages stay identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .belief import BELIEF_CEIL, BELIEF_FLOOR, _COUNT_RATIO_CAP, _PROB_EPS
+from .history import DIURNAL_SLOTS
+
+__all__ = ["Cohort", "build_cohorts", "diurnal_p_empty",
+           "columnar_update", "columnar_fused_posterior",
+           "columnar_llr", "history_is_clean"]
+
+
+def history_is_clean(history: Any) -> bool:
+    """True when the scalar likelihood math over ``history`` cannot
+    raise or produce non-finite evidence — the admission test for a
+    cohort.  Anything suspicious keeps the scalar path (and with it the
+    exact exception type, message, and quarantine order)."""
+    try:
+        if not (np.isfinite(history.mean_rate)
+                and np.isfinite(history.burstiness)):
+            return False
+        profile = history.diurnal_profile
+        if profile is not None:
+            profile = np.asarray(profile, dtype=float)
+            if profile.shape != (DIURNAL_SLOTS,):
+                return False
+            if not np.isfinite(profile).all():
+                return False
+        weekly = history.weekly_profile
+        if weekly is not None:
+            weekly = np.asarray(weekly, dtype=float)
+            if weekly.shape != (7,):
+                return False
+            if not np.isfinite(weekly).all():
+                return False
+    except Exception:
+        return False
+    return True
+
+
+@dataclass
+class Cohort:
+    """One parameter group's contiguous arrays (static per member).
+
+    ``states`` hold direct references to the detector's per-block
+    state objects — the detector's dicts stay authoritative; the
+    cohort only caches what does not change between hot swaps.
+    Per-close values (belief, counts, ``next_bin_end``) are gathered
+    fresh at each boundary, so packet-driven scalar closes never
+    invalidate the cohort.
+    """
+
+    bin_seconds: float
+    keys: List[int]
+    states: List[Any]
+    # -- belief-update parameter columns (one row per member) --------
+    p_empty_up: np.ndarray
+    noise_nonempty: np.ndarray
+    prior_down: np.ndarray
+    prior_up_recovery: np.ndarray
+    down_threshold: np.ndarray
+    up_threshold: np.ndarray
+    # -- diurnal likelihood rows -------------------------------------
+    has_diurnal: np.ndarray
+    mean_rate: np.ndarray
+    rate_denominator: np.ndarray
+    diurnal: np.ndarray   # (n, 24) shrunk factors; 1.0 where flat
+    weekly: np.ndarray    # (n, 7) shrunk factors; 1.0 where flat
+    #: subclass payload (the fused engine parks per-source likelihood
+    #: columns and the roster signature here).
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+
+def _shrink(profile: np.ndarray) -> np.ndarray:
+    """The likelihood shrinkage of ``BlockHistory.likelihood_rate_at``:
+    below-average slots at face value, above-average slots shrunk
+    toward the mean (same float ops, evaluated as an array)."""
+    return np.where(profile < 1.0, profile, 0.75 * profile + 0.25)
+
+
+def build_cohorts(entries: List[Tuple[Any, int, Any]],
+                  ) -> List[Cohort]:
+    """Group ``(signature, key, state)`` rows into cohorts.
+
+    ``entries`` must be in the detector's insertion order; grouping is
+    stable so member order inside a cohort matches it.
+    """
+    grouped: Dict[Any, List[Tuple[int, Any]]] = {}
+    for signature, key, state in entries:
+        grouped.setdefault(signature, []).append((key, state))
+    cohorts: List[Cohort] = []
+    for signature, members in grouped.items():
+        keys = [key for key, _ in members]
+        states = [state for _, state in members]
+        n = len(states)
+        params = [state.params for state in states]
+        has_diurnal = np.array(
+            [state.history.diurnal_profile is not None
+             for state in states], dtype=bool)
+        diurnal = np.ones((n, DIURNAL_SLOTS))
+        weekly = np.ones((n, 7))
+        for row, state in enumerate(states):
+            history = state.history
+            if history.diurnal_profile is not None:
+                diurnal[row] = _shrink(
+                    np.asarray(history.diurnal_profile, dtype=float))
+                if history.weekly_profile is not None:
+                    weekly[row] = _shrink(
+                        np.asarray(history.weekly_profile, dtype=float))
+        burstiness = np.array(
+            [state.history.burstiness for state in states], dtype=float)
+        cohorts.append(Cohort(
+            bin_seconds=float(states[0].params.bin_seconds),
+            keys=keys,
+            states=states,
+            p_empty_up=np.array([p.p_empty_up for p in params]),
+            noise_nonempty=np.array([p.noise_nonempty for p in params]),
+            prior_down=np.array([p.prior_down for p in params]),
+            prior_up_recovery=np.array(
+                [p.prior_up_recovery for p in params]),
+            down_threshold=np.array([p.down_threshold for p in params]),
+            up_threshold=np.array([p.up_threshold for p in params]),
+            has_diurnal=has_diurnal,
+            mean_rate=np.array(
+                [state.history.mean_rate for state in states], dtype=float),
+            rate_denominator=np.maximum(1.0, np.sqrt(burstiness)),
+            diurnal=diurnal,
+            weekly=weekly,
+        ))
+    return cohorts
+
+
+def diurnal_p_empty(cohort: Cohort, rows: np.ndarray,
+                    bin_start: float) -> np.ndarray:
+    """Per-member P(empty bin | up) for the bin starting at
+    ``bin_start`` — ``empty_bin_probability_at`` over the selected
+    rows, with the tuned ``p_empty_up`` for members without a diurnal
+    profile (exactly the scalar detector's ``_update_belief`` choice).
+    """
+    hour = int((bin_start % 86400.0) // 3600.0) % DIURNAL_SLOTS
+    day = int((bin_start % (7 * 86400.0)) // 86400.0) % 7
+    factor = cohort.diurnal[rows, hour] * cohort.weekly[rows, day]
+    rate = (cohort.mean_rate[rows] * factor) / cohort.rate_denominator[rows]
+    from_profile = np.exp(-rate * cohort.bin_seconds)
+    return np.where(cohort.has_diurnal[rows], from_profile,
+                    cohort.p_empty_up[rows])
+
+
+def columnar_update(belief: np.ndarray, is_up: np.ndarray,
+                    counts: np.ndarray, p_empty: np.ndarray,
+                    noise_nonempty: np.ndarray, prior_down: np.ndarray,
+                    prior_up_recovery: np.ndarray,
+                    down_threshold: np.ndarray,
+                    up_threshold: np.ndarray,
+                    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorised :meth:`BeliefState.update` over one cohort boundary.
+
+    Streaming counts are always finite non-negative ints, so the
+    no-evidence branch of the scalar update is unreachable here; every
+    other branch is replicated operation-for-operation.  Returns
+    ``(new_belief, new_up, guardrail_trips)``.
+    """
+    degenerate = (p_empty <= 0.0) | (p_empty >= 1.0)
+    # The scalar oracle clamps ONLY the degenerate rows — an in-range
+    # p_empty is consumed at face value, however tiny, so the clamp
+    # must not touch it (that was this PR's audited divergence).
+    p = np.where(degenerate,
+                 np.minimum(np.maximum(p_empty, _PROB_EPS),
+                            1.0 - _PROB_EPS),
+                 p_empty)
+    predicted = (belief * (1.0 - prior_down)
+                 + (1.0 - belief) * prior_up_recovery)
+    empty = counts == 0
+    likelihood_up = np.where(empty, p, np.maximum(1.0 - p, 1e-3))
+    with np.errstate(over="ignore", under="ignore"):
+        discount = np.maximum(8.0 ** -(counts - 1),
+                              1.0 / _COUNT_RATIO_CAP)
+    likelihood_down = np.where(empty, 1.0 - noise_nonempty,
+                               noise_nonempty * discount)
+    numerator = predicted * likelihood_up
+    denominator = numerator + (1.0 - predicted) * likelihood_down
+    with np.errstate(divide="ignore", invalid="ignore"):
+        updated = np.where(denominator > 0,
+                           numerator / np.where(denominator > 0,
+                                                denominator, 1.0),
+                           predicted)
+    updated = np.clip(updated, BELIEF_FLOOR, BELIEF_CEIL)
+    new_up = np.where(is_up, updated > down_threshold,
+                      updated >= up_threshold)
+    return updated, new_up, degenerate.astype(np.int64)
+
+
+def columnar_llr(counts: np.ndarray, p_empty: np.ndarray,
+                 noise_nonempty: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`bin_log_likelihood_ratio` (finite inputs).
+
+    Callers guarantee finite likelihood parameters and non-negative
+    integer counts (cohort admission does), so the raise/no-evidence
+    branches of the scalar form are unreachable.
+    """
+    p = np.minimum(np.maximum(p_empty, _PROB_EPS), 1.0 - _PROB_EPS)
+    noise = np.minimum(np.maximum(noise_nonempty, _PROB_EPS),
+                       1.0 - _PROB_EPS)
+    empty = counts == 0
+    with np.errstate(over="ignore", under="ignore"):
+        discount = np.maximum(8.0 ** -(counts - 1),
+                              1.0 / _COUNT_RATIO_CAP)
+    return np.where(
+        empty,
+        np.log(p) - np.log(1.0 - noise),
+        np.log(np.maximum(1.0 - p, 1e-3)) - np.log(noise * discount))
+
+
+def columnar_fused_posterior(belief: np.ndarray, is_up: np.ndarray,
+                             weighted_llr: np.ndarray,
+                             prior_down: np.ndarray,
+                             prior_up_recovery: np.ndarray,
+                             down_threshold: np.ndarray,
+                             up_threshold: np.ndarray,
+                             ) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorised :func:`fused_posterior` + the fused hysteresis step.
+
+    Returns ``(posterior, new_up)``; the fused path trips no
+    guardrails (its clamps are silent, matching the scalar form).
+    """
+    predicted = (belief * (1.0 - prior_down)
+                 + (1.0 - belief) * prior_up_recovery)
+    predicted = np.minimum(np.maximum(predicted, BELIEF_FLOOR),
+                           BELIEF_CEIL)
+    log_odds = np.log(predicted) - np.log1p(-predicted) + weighted_llr
+    posterior = 1.0 / (1.0 + np.exp(-log_odds))
+    posterior = np.clip(posterior, BELIEF_FLOOR, BELIEF_CEIL)
+    new_up = np.where(is_up, posterior > down_threshold,
+                      posterior >= up_threshold)
+    return posterior, new_up

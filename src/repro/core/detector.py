@@ -28,6 +28,13 @@ from ..telescope.aggregate import BinGrid, binned_counts
 from ..telescope.records import Observation
 from ..timeline import OutageEvent, Timeline
 from .belief import BeliefState, guarded_belief_pass
+from .columnar import (
+    Cohort,
+    build_cohorts,
+    columnar_update,
+    diurnal_p_empty,
+    history_is_clean,
+)
 from .events import (
     RefinementConfig,
     gap_outages,
@@ -370,9 +377,18 @@ class StreamingDetector:
         max_quarantine_frac: float = 0.5,
         metrics: Optional[Any] = None,
         explain: Optional[Any] = None,
+        columnar: Optional[bool] = None,
     ) -> None:
         self.family = family
         self.start = float(start)
+        #: when True (the default), ``advance`` closes all bins sharing
+        #: a boundary with one batched array update per parameter
+        #: cohort; the scalar per-block loop remains the oracle (and is
+        #: used automatically while decision provenance is on, which
+        #: needs per-update evidence staging).
+        self.columnar = True if columnar is None else bool(columnar)
+        self._cohorts: Optional[List[Cohort]] = None
+        self._cohort_stragglers: List[int] = []
         self.refinement = refinement or RefinementConfig()
         self.sentinel = sentinel
         self.histories = dict(histories)
@@ -455,6 +471,14 @@ class StreamingDetector:
         self._m_belief = m.histogram(
             "belief_update_seconds",
             "Wall-time of one scalar belief update at bin close")
+        self._m_stream_bins = m.counter(
+            "belief_bins_total",
+            "Bins filtered by the vectorised belief pass",
+            labelnames=("path",)).labels(path="stream")
+        self._m_stream_pass = m.histogram(
+            "belief_pass_seconds",
+            "Wall-time of one vectorised belief pass",
+            labelnames=("path",)).labels(path="stream")
         self._m_explain = m.counter(
             "explain_events_total",
             "Decision-provenance events recorded, by kind",
@@ -525,21 +549,237 @@ class StreamingDetector:
         state.last_packet = observation.time
 
     def advance(self, now: float) -> None:
-        """Flush every block's complete bins up to wall-clock ``now``."""
+        """Flush every block's complete bins up to wall-clock ``now``.
+
+        With :attr:`columnar` on (the default) and provenance off, all
+        blocks sharing a bin boundary close in one batched array
+        update per parameter cohort; otherwise each block takes the
+        scalar per-bin path.  Both paths close exactly the same bins
+        at the same boundaries and leave bit-identical per-block
+        state — the property suite pins scalar as the oracle.
+        """
         self._last_time = max(self._last_time, now)
         if self.sentinel is not None:
             self.sentinel.advance(now)
-        for key, state in list(self._states.items()):
+        if not self.columnar or self.explain.enabled:
+            for key, state in list(self._states.items()):
+                try:
+                    self._advance_block(key, state, now)
+                except Exception as error:
+                    self._quarantine(key, "stream", error)
+            return
+        if self._cohorts is None:
+            self._build_cohorts()
+        cohorts = self._cohorts
+        # Suspect members (a history the scalar math could raise on)
+        # keep the scalar path, in insertion order, so quarantine
+        # order and dead-letter messages match the scalar engine.
+        for key in self._cohort_stragglers:
+            state = self._states.get(key)
+            if state is None:
+                continue
             try:
                 self._advance_block(key, state, now)
             except Exception as error:
                 self._quarantine(key, "stream", error)
+        for cohort in cohorts:
+            self._advance_cohort(cohort, now)
+
+    # -- columnar bin close --------------------------------------------------
+
+    def _invalidate_cohorts(self) -> None:
+        """Drop the cohort cache (membership or block models changed).
+
+        Cheap and safe to call often: cohorts rebuild lazily at the
+        next columnar ``advance``.  Packet-driven scalar closes do
+        *not* need this — per-close state is gathered fresh at every
+        boundary; only parameter/history swaps, quarantines, and
+        checkpoint restores invalidate the static columns.
+        """
+        self._cohorts = None
+        self._cohort_stragglers = []
+
+    def _cohort_signature(self, key: int,
+                          state: _StreamBlockState) -> Optional[Any]:
+        """Grouping key for the columnar store; None keeps the block on
+        the scalar path (suspect history)."""
+        if not history_is_clean(state.history):
+            return None
+        return (state.params.bin_seconds,)
+
+    def _cohort_extras(self, cohort: Cohort) -> None:
+        """Populate subclass payload on a freshly built cohort."""
+
+    def _build_cohorts(self) -> None:
+        entries: List[Tuple[Any, int, _StreamBlockState]] = []
+        stragglers: List[int] = []
+        for key, state in self._states.items():
+            signature = self._cohort_signature(key, state)
+            if signature is None:
+                stragglers.append(key)
+            else:
+                entries.append((signature, key, state))
+        self._cohorts = build_cohorts(entries)
+        self._cohort_stragglers = stragglers
+        for cohort in self._cohorts:
+            self._cohort_extras(cohort)
+
+    def _advance_cohort(self, cohort: Cohort, now: float) -> None:
+        """Close every cohort member's pending bins up to ``now``,
+        batching all members that share each boundary."""
+        states = cohort.states
+        next_ends = np.array([state.next_bin_end for state in states])
+        while True:
+            pending = next_ends <= now
+            if not pending.any():
+                break
+            boundary = float(next_ends[pending].min())
+            rows = np.flatnonzero(next_ends == boundary)
+            self._close_cohort(cohort, rows, boundary, now)
+            for row in rows.tolist():
+                key = cohort.keys[row]
+                if key not in self._states:
+                    next_ends[row] = np.inf
+                else:
+                    next_ends[row] = states[row].next_bin_end
+
+    def _cohort_posterior(self, cohort: Cohort, rows: np.ndarray,
+                          keys: List[int],
+                          members: List[_StreamBlockState],
+                          bin_start: float, boundary: float,
+                          belief: np.ndarray, was_up: np.ndarray,
+                          ) -> Tuple[np.ndarray, np.ndarray, np.ndarray,
+                                     Optional[np.ndarray]]:
+        """Batched belief math for one boundary; the single-source
+        replica of :meth:`BeliefState.update`.  Returns ``(belief,
+        is_up, guardrail_trips, bad)`` where ``bad`` marks members that
+        must fall back to the scalar close (residual poisoned
+        evidence) — None when every member is clean."""
+        counts = np.fromiter((state.bin_count for state in members),
+                             np.int64, len(members))
+        p_empty = diurnal_p_empty(cohort, rows, bin_start)
+        bad: Optional[np.ndarray] = ~np.isfinite(p_empty)
+        if bad.any():
+            p_empty = np.where(bad, 0.5, p_empty)
+        else:
+            bad = None
+        new_belief, new_up, trips = columnar_update(
+            belief, was_up, counts, p_empty,
+            cohort.noise_nonempty[rows], cohort.prior_down[rows],
+            cohort.prior_up_recovery[rows], cohort.down_threshold[rows],
+            cohort.up_threshold[rows])
+        return new_belief, new_up, trips, bad
+
+    def _close_cohort(self, cohort: Cohort, rows: np.ndarray,
+                      boundary: float, now: float) -> None:
+        """Close one shared boundary for ``rows`` of ``cohort`` — the
+        batched equivalent of N scalar :meth:`_close_bin` calls."""
+        clock = _time.perf_counter() if self.metrics.enabled else None
+        bin_seconds = cohort.bin_seconds
+        bin_start = boundary - bin_seconds
+        keys = [cohort.keys[row] for row in rows.tolist()]
+        members = [cohort.states[row] for row in rows.tolist()]
+        belief = np.fromiter(
+            (state.belief.belief for state in members), float,
+            len(members))
+        was_up = np.array([state.belief.is_up for state in members])
+        new_belief, new_up, trips, bad = self._cohort_posterior(
+            cohort, rows, keys, members, bin_start, boundary, belief,
+            was_up)
+        if bad is not None and bad.any():
+            # Residual poison the admission check could not see: those
+            # members take the scalar close so the exact BlockDataError
+            # lands in the dead-letter registry.
+            for position in np.flatnonzero(bad).tolist():
+                key, state = keys[position], members[position]
+                try:
+                    self._close_bin(key, state)
+                except Exception as error:
+                    self._quarantine(key, "stream", error)
+            keep = np.flatnonzero(~bad)
+            if keep.size == 0:
+                return
+            keys = [keys[i] for i in keep.tolist()]
+            members = [members[i] for i in keep.tolist()]
+            was_up = was_up[keep]
+            new_belief = new_belief[keep]
+            new_up = new_up[keep]
+            trips = trips[keep]
+        flips_down = 0
+        flips_up = 0
+        swapped: List[Tuple[int, _StreamBlockState]] = []
+        for key, state, value, up, trip, previous in zip(
+                keys, members, new_belief.tolist(), new_up.tolist(),
+                trips.tolist(), was_up.tolist()):
+            block_belief = state.belief
+            block_belief.belief = value
+            block_belief.is_up = up
+            if trip:
+                block_belief.guardrail_trips += trip
+            if previous and not up:
+                flips_down += 1
+                mean_gap = (1.0 / state.history.mean_rate
+                            if state.history.mean_rate > 0
+                            else bin_seconds)
+                guard = min(self.refinement.guard_gaps * mean_gap,
+                            bin_seconds)
+                max_backfill = (self.refinement.max_backfill_bins
+                                * bin_seconds)
+                if state.last_packet is not None:
+                    refined = max(state.last_packet + guard,
+                                  bin_start - max_backfill)
+                else:
+                    refined = bin_start
+                state.transitions.append((min(refined, boundary), False))
+            elif not previous and up:
+                flips_up += 1
+                if state.first_packet_this_bin is not None:
+                    mean_gap = (1.0 / state.history.mean_rate
+                                if state.history.mean_rate > 0
+                                else bin_seconds)
+                    guard = min(self.refinement.guard_gaps * mean_gap,
+                                bin_seconds)
+                    recovery = state.first_packet_this_bin - guard
+                else:
+                    recovery = bin_start
+                state.transitions.append((recovery, True))
+            state.bin_count = 0
+            state.first_packet_this_bin = None
+            swap = self._pending_swaps.pop(key, None)
+            if swap is not None:
+                self._apply_swap(key, state, swap[0], swap[1], boundary)
+                swapped.append((key, state))
+            else:
+                state.next_bin_end = boundary + bin_seconds
+        closed = len(members)
+        self.windows_closed += closed
+        trip_total = int(trips.sum())
+        if trip_total:
+            self.guardrails.trip("neutralised_bin", trip_total)
+        self._m_bins.inc(closed)
+        if flips_down:
+            self._m_down.inc(flips_down)
+        if flips_up:
+            self._m_up.inc(flips_up)
+        self._m_lag.set(self._last_time - boundary)
+        self._m_clock.set(self._last_time)
+        for key, state in swapped:
+            # A swap may re-grid the member; catch it up scalar for the
+            # rest of this advance (its cohort row rebuilds lazily).
+            try:
+                self._advance_block(key, state, now)
+            except Exception as error:
+                self._quarantine(key, "stream", error)
+        if clock is not None:
+            self._m_stream_bins.inc(closed)
+            self._m_stream_pass.observe(_time.perf_counter() - clock)
 
     def _quarantine(self, key: int, stage: str,
                     error: BaseException) -> None:
         """Dead-letter one block and stop processing it."""
         self._states.pop(key, None)
         self._pending_swaps.pop(key, None)
+        self._invalidate_cohorts()
         self.dead_letters.record(stage, key, error)
         self._m_blocks.set(len(self._states))
         if self.explain.enabled:
@@ -609,6 +849,7 @@ class StreamingDetector:
         state.next_bin_end = boundary + params.bin_seconds
         self.histories[key] = history
         self._retuned[key] = (history, params)
+        self._invalidate_cohorts()
         self.metrics.counter(
             "drift_hot_swaps_total",
             "Retuned block models hot-swapped in at a bin boundary").inc()

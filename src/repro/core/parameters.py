@@ -18,7 +18,7 @@ systems' one-size-fits-all behaviour for the ablation benchmarks.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -187,6 +187,177 @@ class ParameterPlanner:
         """Tune every block."""
         return {key: self.plan_block(history)
                 for key, history in histories.items()}
+
+    def plan_batch(self, histories: Mapping[int, BlockHistory]
+                   ) -> Tuple[Dict[int, BlockParameters],
+                              Dict[int, BaseException]]:
+        """Vectorised :meth:`plan_block` over a whole population.
+
+        Returns ``(planned, errors)``: every key of ``histories`` lands
+        in exactly one of the two dicts.  The batched path replicates
+        the scalar planner bit-for-bit — the ladder search, likelihood
+        clamps, and gap thresholds are the same float operations
+        evaluated as arrays — so ``planned[key] == plan_block(history)``
+        field-for-field.  Histories with non-finite summaries (and any
+        planner subclass that overrides :meth:`plan_block` or
+        :meth:`_build`, or a policy whose derived priors fall outside
+        the validated ranges) fall back to the scalar path so exception
+        types, messages, and per-block quarantine behaviour are
+        preserved exactly.
+        """
+        planned: Dict[int, BlockParameters] = {}
+        errors: Dict[int, BaseException] = {}
+        if not histories:
+            return planned, errors
+        policy = self.policy
+        vectorisable = (
+            type(self).plan_block is ParameterPlanner.plan_block
+            and type(self)._build is ParameterPlanner._build)
+        ladder = np.asarray(policy.bin_ladder, dtype=float)
+        if vectorisable:
+            vectorisable = bool(np.isfinite(ladder).all()
+                                and (ladder > 0.0).all()
+                                and 0.0 <= policy.down_threshold <= 1.0
+                                and 0.0 <= policy.up_threshold <= 1.0
+                                and policy.down_threshold
+                                < policy.up_threshold)
+        priors: Dict[float, Tuple[float, float]] = {}
+        if vectorisable:
+            for bin_seconds in ladder:
+                p_down, p_up = self.policy.transition_priors(
+                    float(bin_seconds))
+                if not (0.0 <= p_down <= 1.0 and 0.0 <= p_up <= 1.0):
+                    vectorisable = False
+                    break
+                priors[float(bin_seconds)] = (p_down, p_up)
+        if not vectorisable:
+            for key, history in histories.items():
+                try:
+                    planned[key] = self.plan_block(history)
+                except Exception as error:
+                    errors[key] = error
+            return planned, errors
+
+        keys = list(histories.keys())
+        rows = list(histories.values())
+        n = len(rows)
+        min_rate = np.zeros(n)
+        burst = np.zeros(n)
+        mean_rate = np.zeros(n)
+        max_gap = np.zeros(n)
+        observed = np.zeros(n, dtype=np.int64)
+        clean = np.zeros(n, dtype=bool)
+        diurnal_rows: List[int] = []
+        diurnal_profiles: List[Any] = []
+        for i, history in enumerate(rows):
+            try:
+                # Inlined BlockHistory.min_rate (same float ops): the
+                # gather loop is the batch planner's only per-row
+                # Python cost, so method-call overhead matters here.
+                # Diurnal troughs are deferred so all profiles reduce
+                # in one stacked ``min`` (min commutes with the exact
+                # float64 promotion, so the result is bit-identical).
+                min_rate[i] = history.mean_rate
+                profile = history.diurnal_profile
+                if profile is not None:
+                    diurnal_rows.append(i)
+                    diurnal_profiles.append(profile)
+                burst[i] = history.burstiness
+                mean_rate[i] = history.mean_rate
+                max_gap[i] = history.max_gap
+                observed[i] = history.observed_count
+                clean[i] = True
+            except Exception:
+                clean[i] = False
+        if diurnal_profiles:
+            try:
+                stacked = np.stack(diurnal_profiles)
+                if stacked.ndim != 2:
+                    raise ValueError("profiles are not 1-D")
+                troughs = stacked.min(axis=1)
+                factors = 0.5 * troughs + 0.5
+                min_rate[diurnal_rows] = (min_rate[diurnal_rows]
+                                          * factors)
+            except Exception:
+                # Ragged or malformed profiles: reduce row by row so a
+                # raising profile demotes only its own block to the
+                # scalar path (preserving its exact exception there).
+                for row, profile in zip(diurnal_rows, diurnal_profiles):
+                    try:
+                        trough = float(profile.min())
+                        min_rate[row] *= 0.5 * trough + 0.5
+                    except Exception:
+                        clean[row] = False
+        clean &= (np.isfinite(min_rate) & np.isfinite(burst)
+                  & np.isfinite(mean_rate) & np.isfinite(max_gap))
+
+        with np.errstate(invalid="ignore", divide="ignore", over="ignore"):
+            effective = min_rate / np.maximum(1.0, np.sqrt(burst))
+            # One exp per (block, ladder step); identical to the scalar
+            # search because the chosen column's product/exp are the
+            # same float64 operations the scalar path performs.
+            p_ladder = np.exp(-(effective[:, None] * ladder[None, :]))
+            meets = p_ladder <= policy.target_empty_prob
+            has_choice = meets.any(axis=1)
+            first = np.argmax(meets, axis=1)
+            trained = observed >= policy.min_training_arrivals
+            measurable = trained & has_choice
+            column = np.where(measurable, first, ladder.size - 1)
+            bin_chosen = ladder[column]
+            p_empty = p_ladder[np.arange(n), column]
+            noise_rate = np.maximum(
+                policy.noise_rate_assumed,
+                policy.noise_fraction_of_rate * mean_rate)
+            noise_nonempty = 1.0 - np.exp(-noise_rate * bin_chosen)
+            factor = 1.0 + (np.log(1.0 / policy.gap_daily_false_target)
+                            / np.log(np.maximum(observed - 1, 3)))
+            gap = np.where(observed >= policy.min_gap_arrivals,
+                           np.maximum(factor * max_gap,
+                                      policy.gap_floor_seconds),
+                           np.inf)
+            # Compose _build's pre-clamp with __post_init__'s epsilon
+            # clamp; the result is field-identical to the constructor.
+            eps = BlockParameters.PROB_EPS
+            p_empty_up = np.minimum(np.maximum(p_empty, eps), 1.0 - eps)
+            noise_final = np.minimum(np.maximum(noise_nonempty, eps),
+                                     1.0 - eps)
+
+        # ``tolist`` converts whole columns to Python scalars in one C
+        # call, and filling the (pre-``__init__``) instance ``__dict__``
+        # directly sidesteps the frozen-dataclass ``__setattr__`` once
+        # per field — together the dominant cost of this loop.
+        bin_list = bin_chosen.tolist()
+        p_empty_list = p_empty_up.tolist()
+        noise_list = noise_final.tolist()
+        gap_list = gap.tolist()
+        measurable_list = measurable.tolist()
+        clean_list = clean.tolist()
+        down_threshold = policy.down_threshold
+        up_threshold = policy.up_threshold
+        new = object.__new__
+        cls = BlockParameters
+        for i, key in enumerate(keys):
+            if not clean_list[i]:
+                try:
+                    planned[key] = self.plan_block(rows[i])
+                except Exception as error:
+                    errors[key] = error
+                continue
+            bin_value = bin_list[i]
+            p_down, p_up = priors[bin_value]
+            block = new(cls)
+            block.__dict__.update(
+                bin_seconds=bin_value,
+                p_empty_up=p_empty_list[i],
+                noise_nonempty=noise_list[i],
+                prior_down=p_down,
+                prior_up_recovery=p_up,
+                down_threshold=down_threshold,
+                up_threshold=up_threshold,
+                measurable=measurable_list[i],
+                gap_threshold_seconds=gap_list[i])
+            planned[key] = block
+        return planned, errors
 
     def _build(self, history: BlockHistory, bin_seconds: float,
                p_empty: float, measurable: bool) -> BlockParameters:

@@ -275,20 +275,27 @@ class PassiveOutagePipeline:
                 "Wall-time of one block's parameter fit (tuning)")
                 if self.metrics.enabled else None)
             with self.tracer.span("tune", blocks=len(histories)):
-                for key, history in histories.items():
+                batch_clock = _time.perf_counter()
+                planned, tune_errors = self.planner.plan_batch(histories)
+                batch_seconds = _time.perf_counter() - batch_clock
+                for key in histories:
                     tune_stage.attempted += 1
-                    block_clock = (_time.perf_counter()
-                                   if tune_timer is not None else 0.0)
-                    try:
-                        parameters[key] = self.planner.plan_block(history)
+                    if key in planned:
+                        parameters[key] = planned[key]
                         tune_stage.succeeded += 1
-                    except Exception as error:
+                    else:
                         tune_stage.quarantined += 1
-                        registry.record("tune", key, error)
-                    finally:
-                        if tune_timer is not None:
-                            tune_timer.observe(
-                                _time.perf_counter() - block_clock)
+                        registry.record("tune", key, tune_errors[key])
+                if tune_timer is not None and tune_stage.succeeded:
+                    # Only successful fits are recorded — a population
+                    # of fast-failing poisoned blocks must not drag the
+                    # histogram down and mask tuning regressions.  The
+                    # batched fit is amortised evenly so the histogram
+                    # keeps count == successful fits and
+                    # sum == tune wall time.
+                    share = batch_seconds / tune_stage.succeeded
+                    for _ in range(tune_stage.succeeded):
+                        tune_timer.observe(share)
             tune_stage.seconds = _time.perf_counter() - clock
             self._stage_seconds("tune", tune_stage.seconds)
         # A block that failed tuning has a history but no parameters;

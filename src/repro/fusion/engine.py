@@ -58,6 +58,12 @@ from ..core.belief import (
     fused_belief_pass,
     fused_posterior,
 )
+from ..core.columnar import (
+    Cohort,
+    columnar_fused_posterior,
+    columnar_llr,
+    diurnal_p_empty,
+)
 from ..core.detector import (
     BlockResult,
     StreamingDetector,
@@ -611,6 +617,7 @@ class FusedStreamingDetector(StreamingDetector):
         metrics: Optional[Any] = None,
         monitors: Optional[Dict[str, SourceMonitor]] = None,
         explain: Optional[Any] = None,
+        columnar: Optional[bool] = None,
     ) -> None:
         self.model = model
         self.source_names = model.source_names
@@ -623,7 +630,8 @@ class FusedStreamingDetector(StreamingDetector):
         super().__init__(model.family, histories, parameters, start,
                          refinement=refinement, sentinel=None,
                          max_quarantine_frac=max_quarantine_frac,
-                         metrics=metrics, explain=explain)
+                         metrics=metrics, explain=explain,
+                         columnar=columnar)
         if monitors is None:
             monitors = {
                 name: SourceMonitor.fresh(name, self.start, sentinel_config,
@@ -815,6 +823,127 @@ class FusedStreamingDetector(StreamingDetector):
         # prior must not drift a healthy block down while nobody can
         # observe it.
         return belief.is_up
+
+    # -- columnar bin close --------------------------------------------------
+
+    def _cohort_signature(self, key: int,
+                          state: _StreamBlockState) -> Optional[Any]:
+        """Fused cohorts additionally require a uniform roster: the
+        lead source, the source order, and each source's reporting
+        stride must match so the per-boundary stride arithmetic and
+        weight lookups are cohort-wide."""
+        base = super()._cohort_signature(key, state)
+        if base is None:
+            return None
+        spec = self.specs.get(key)
+        if spec is None:
+            return None
+        for name, p_empty, noise, stride in spec.likelihoods:
+            if not (np.isfinite(p_empty) and np.isfinite(noise)):
+                return None  # scalar path raises per block; keep it
+        return (state.params.bin_seconds, spec.lead,
+                tuple((name, stride)
+                      for name, _, _, stride in spec.likelihoods))
+
+    def _cohort_extras(self, cohort: Cohort) -> None:
+        """Per-source likelihood columns for the cohort's roster."""
+        spec = self.specs[cohort.keys[0]]
+        roster = [(name, stride)
+                  for name, _, _, stride in spec.likelihoods]
+        p_empty_columns = []
+        noise_columns = []
+        for position in range(len(roster)):
+            p_empty_columns.append(np.array(
+                [self.specs[key].likelihoods[position][1]
+                 for key in cohort.keys]))
+            noise_columns.append(np.array(
+                [self.specs[key].likelihoods[position][2]
+                 for key in cohort.keys]))
+        cohort.extras.update(
+            roster=roster, lead=spec.lead,
+            p_empty=p_empty_columns, noise=noise_columns)
+
+    def _cohort_posterior(self, cohort: Cohort, rows: np.ndarray,
+                          keys: List[int],
+                          members: List[_StreamBlockState],
+                          bin_start: float, boundary: float,
+                          belief: np.ndarray, was_up: np.ndarray,
+                          ) -> Tuple[np.ndarray, np.ndarray, np.ndarray,
+                                     Optional[np.ndarray]]:
+        """Batched fused update for one boundary — the array replica of
+        :meth:`_update_belief` (same windows consumed, same weights,
+        same log-odds accumulation order)."""
+        extras = cohort.extras
+        bin_seconds = cohort.bin_seconds
+        count = len(members)
+        # 0-indexed position of the closing bin on the lead grid;
+        # uniform across the cohort because boundary and bin width are.
+        b = int(round((bin_start - self.start) / bin_seconds))
+        weighted = np.zeros(count)
+        contributed = False
+        bad = np.zeros(count, dtype=bool)
+        consumed: List[Tuple[int, np.ndarray]] = []
+        gated: List[SourceMonitor] = []
+        for position, (name, stride) in enumerate(extras["roster"]):
+            if stride > 1 and (b + 1) % stride != 0:
+                continue  # evidence window still open
+            index = self._source_index[name]
+            monitor = self._monitor_list[index]
+            window_start = boundary - stride * bin_seconds
+            weight = monitor.effective_weight(window_start, boundary)
+            counts = np.empty(count, dtype=np.int64)
+            for i, (key, state) in enumerate(zip(keys, members)):
+                source_counts = self._source_counts.get(key)
+                if source_counts is not None:
+                    counts[i] = source_counts[index]
+                    source_counts[index] = 0  # window consumed either way
+                else:
+                    counts[i] = state.bin_count
+            consumed.append((index, counts))
+            if weight <= 0.0:
+                gated.append(monitor)
+                continue
+            contributed = True
+            if name == extras["lead"]:
+                # Lead likelihoods live on the (possibly hot-swapped)
+                # block state, diurnal-aware like the base detector.
+                p_empty = diurnal_p_empty(cohort, rows, bin_start)
+                lead_bad = ~np.isfinite(p_empty)
+                if lead_bad.any():
+                    # Scalar raises BlockDataError here; those members
+                    # must take the scalar close, not a silent clamp.
+                    bad |= lead_bad
+                    p_empty = np.where(lead_bad, 0.5, p_empty)
+                noise = cohort.noise_nonempty[rows]
+            else:
+                p_empty = extras["p_empty"][position][rows]
+                noise = extras["noise"][position][rows]
+            weighted = weighted + weight * columnar_llr(counts, p_empty,
+                                                        noise)
+        if contributed:
+            bad |= ~np.isfinite(weighted)
+        fallback = int(bad.sum())
+        if fallback:
+            # The scalar close re-consumes each fallback member's
+            # source windows (and re-counts its gated windows), so put
+            # back what the batched gather took.
+            for index, counts in consumed:
+                for i in np.flatnonzero(bad).tolist():
+                    source_counts = self._source_counts.get(keys[i])
+                    if source_counts is not None:
+                        source_counts[index] = int(counts[i])
+        for monitor in gated:
+            monitor.note_gated(count - fallback)
+        trips = np.zeros(count, dtype=np.int64)  # fused path never trips
+        if not contributed:
+            # Evidence-free boundary: freeze belief and verdict.
+            return belief.copy(), was_up.copy(), trips, None
+        weighted = np.where(bad, 0.0, weighted)
+        posterior, new_up = columnar_fused_posterior(
+            belief, was_up, weighted, cohort.prior_down[rows],
+            cohort.prior_up_recovery[rows], cohort.down_threshold[rows],
+            cohort.up_threshold[rows])
+        return posterior, new_up, trips, bad if fallback else None
 
     @staticmethod
     def _explain_source_row(name: str, monitor: SourceMonitor,

@@ -252,10 +252,12 @@ class SourceMonitor:
             return 0.0
         return self.weight
 
-    def note_gated(self) -> None:
-        self.gated_bins += 1
+    def note_gated(self, count: int = 1) -> None:
+        """Record ``count`` gated windows (one per block by default;
+        the columnar engine gates a whole cohort in one call)."""
+        self.gated_bins += int(count)
         if self._m_gated is not None:
-            self._m_gated.inc()
+            self._m_gated.inc(int(count))
 
     def weight_vector(self, edges: np.ndarray, bin_seconds: float,
                       stride: int = 1) -> np.ndarray:

@@ -205,6 +205,7 @@ class LiveBlockEngine:
         planner: Optional[ParameterPlanner] = None,
         fault_plan: Optional[Any] = None,
         monitor_feed: str = "raw",
+        advance_every: Optional[float] = None,
     ) -> None:
         self.detector = detector
         self.buffer = buffer
@@ -230,6 +231,30 @@ class LiveBlockEngine:
                 window_seconds=drift.window_seconds,
                 drift_factor=drift.drift_factor,
                 min_arrivals=drift.min_arrivals)
+        # Advance cadence: a stream-time grid on which the engine calls
+        # ``detector.advance`` so simultaneous bin closes take the
+        # columnar batched path instead of trickling out one block at a
+        # time through per-packet catch-up.  ``None`` auto-derives the
+        # finest tuned bin (every block boundary lands on a multiple of
+        # it under the planner's ladder); pass ``<= 0`` to disable.
+        # Partition workers receive the cadence explicitly from the
+        # supervisor — computed over the FULL model — because a slice's
+        # own minimum may differ and the advance grid must be identical
+        # in both deployment shapes.
+        if advance_every is None:
+            bins = [state.params.bin_seconds
+                    for state in detector._states.values()]
+            cadence = float(min(bins)) if bins else None
+        else:
+            cadence = (float(advance_every) if advance_every > 0 else None)
+        self.advance_every = cadence
+        self._next_advance: Optional[float] = None
+        if cadence is not None:
+            # First grid point strictly after the detector clock, so a
+            # restored engine resumes on the same grid it was killed on.
+            steps = math.floor(
+                (detector.last_time - detector.start) / cadence) + 1
+            self._next_advance = detector.start + steps * cadence
         #: released records actually observed (the CLI's "replayed" count).
         self.observed = 0
         metrics = detector.metrics
@@ -303,15 +328,30 @@ class LiveBlockEngine:
 
     def _process(self, observation: Observation) -> None:
         auditor = self.auditor
-        if auditor is not None:
-            # Audit every boundary the stream just crossed, *before*
-            # observing the record that crossed it: all arrivals < B
-            # are in, none >= B — the same cut both deployment shapes
-            # see regardless of how the population is partitioned.
-            while observation.time >= auditor.next_boundary:
+        # Fire every advance-grid point and audit boundary the stream
+        # just crossed, in ascending stream-time order, *before*
+        # observing the record that crossed them: all arrivals < B are
+        # in, none >= B — the same cut both deployment shapes see
+        # regardless of how the population is partitioned.  Advances
+        # win ties so an audit at B reads block state with every bin
+        # boundary <= B already closed (identical in both shapes, since
+        # the supervisor ships the single cadence grid to all workers).
+        while True:
+            next_advance = self._next_advance
+            due_advance = (next_advance is not None
+                           and observation.time >= next_advance)
+            due_audit = (auditor is not None
+                         and observation.time >= auditor.next_boundary)
+            if due_advance and (not due_audit
+                                or next_advance <= auditor.next_boundary):
+                self.detector.advance(next_advance)
+                self._next_advance = next_advance + self.advance_every
+            elif due_audit:
                 boundary = auditor.next_boundary
                 self._audit(boundary)
                 auditor.next_boundary = boundary + auditor.audit_every
+            else:
+                break
         vantage = getattr(observation, "vantage", "")
         if vantage and self._fused:
             self.detector.observe_from(vantage, observation)
@@ -482,7 +522,9 @@ def _live_worker_entry(payload: Dict[str, Any], conn: Any) -> None:
             fault_plan = load_streaming_faults(payload.get("keys", ()))
         engine = LiveBlockEngine(detector, buffer=buffer, drift=drift,
                                  fault_plan=fault_plan,
-                                 monitor_feed="external")
+                                 monitor_feed="external",
+                                 advance_every=payload.get("advance_every",
+                                                           0.0))
         last_seq = -1
         if resumed and detector.restored_extra:
             last_seq = int(detector.restored_extra.get("seq", -1))
@@ -735,6 +777,7 @@ class LivePartitionSupervisor:
         late_policy: LatePolicy = LatePolicy.COUNT,
         sentinel: bool = False,
         drift: Optional[DriftConfig] = None,
+        advance_every: Optional[float] = None,
         max_quarantine_frac: float = 0.5,
         start: Optional[float] = None,
         metrics: Optional[Any] = None,
@@ -779,9 +822,25 @@ class LivePartitionSupervisor:
 
         if self.fused:
             from .fusion import build_block_specs
-            keys = sorted(build_block_specs(model))
+            specs = build_block_specs(model)
+            keys = sorted(specs)
+            cadence_bins = [spec.params.bin_seconds
+                            for spec in specs.values()]
         else:
             keys = sorted(model.parameters)
+            cadence_bins = [params.bin_seconds
+                            for params in model.parameters.values()
+                            if params.measurable]
+        # Advance cadence for every worker engine, derived over the
+        # FULL model (a slice's own minimum bin may be coarser, and the
+        # advance grid must match the single-process shape exactly).
+        # 0.0 disables — shipped verbatim so workers never re-derive.
+        if advance_every is None:
+            self.advance_every = (float(min(cadence_bins))
+                                  if cadence_bins else 0.0)
+        else:
+            self.advance_every = (float(advance_every)
+                                  if advance_every > 0 else 0.0)
         if partition_chunk is not None:
             chunk = partition_chunk
         elif partitions is not None:
@@ -935,6 +994,7 @@ class LivePartitionSupervisor:
             "horizon": self.reorder_horizon,
             "late_policy": self.late_policy.value,
             "drift": self.drift,
+            "advance_every": self.advance_every,
             "checkpoint": (partition.checkpoint_file(self.checkpoint_dir)
                            if self.checkpoint_dir else None),
             "checkpoint_every": self.checkpoint_every,

@@ -51,6 +51,18 @@ def build_exposition_registry():
     # _sum and min/max so one poisoned sample cannot erase the series.
     edges.observe(float("inf"))
     edges.observe(float("nan"))
+    # Labeled histogram: the belief hot-path families are split by
+    # ``path`` (single-pass / fused / streaming close different units),
+    # so the exposition must render bucket series per label value.
+    belief = registry.histogram("belief_pass_seconds",
+                                "Wall-time of one vectorised belief pass",
+                                labelnames=("path",),
+                                buckets=(0.001, 0.1))
+    belief.labels(path="single").observe(0.0005)
+    belief.labels(path="stream").observe(0.05)
+    registry.counter("belief_bins_total",
+                     "Bins filtered by the vectorised belief pass",
+                     labelnames=("path",)).labels(path="stream").inc(7)
     # An unhelped metric: no # HELP line.
     registry.gauge("bare_gauge").set(2)
     return registry
