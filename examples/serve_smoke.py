@@ -1,0 +1,159 @@
+"""End-to-end smoke for the live serving plane (CI gate).
+
+Drives the real deployment shape: simulate a capture, train a model on
+the first half, run ``repro-outage serve`` as a subprocess, and — while
+it replays and then lingers — exercise every consumer surface: poll
+``/ready`` until the plane admits traffic, query block state by
+address with the ``{watermark, staleness_s, degraded}`` stamp, pull
+``/metrics`` and ``/health``, subscribe over the WebSocket and receive
+the snapshot-then-deltas resync, then SIGTERM the server and verify
+the graceful-drain contract (subscriber sees a clean close, process
+exits 0).
+
+Exit code 0 on success; any failed check raises and exits nonzero.
+
+    python examples/serve_smoke.py
+"""
+
+import json
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.request
+from pathlib import Path
+from urllib.error import HTTPError
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.serve.client import SyncServeClient, http_get  # noqa: E402
+
+DAY = 86400.0
+READY_DEADLINE = 120.0  # seconds for replay to publish a fresh snapshot
+
+
+def fetch(base, path):
+    with urllib.request.urlopen(base + path, timeout=10) as response:
+        return response.status, response.read().decode()
+
+
+def main():
+    root = Path(tempfile.mkdtemp(prefix="serve_smoke_"))
+    capture, model = str(root / "capture.pobs"), str(root / "model.json")
+    run = [sys.executable, "-c",
+           "import sys; from repro.cli import main; "
+           "sys.exit(main(sys.argv[1:]))"]
+    subprocess.run(run + ["simulate", "--blocks", "24", "--days", "2",
+                          "--seed", "7", "--out", capture], check=True)
+    subprocess.run(run + ["train", capture, "--train-end", str(DAY),
+                          "--out", model], check=True)
+
+    server = subprocess.Popen(
+        run + ["serve", capture, "--model", model, "--port", "0",
+               "--max-clients", "64", "--max-lag-s", "300",
+               "--shed-qps", "0", "--linger-s", "-1"],
+        stderr=subprocess.PIPE, text=True)
+    stderr_lines = []
+
+    def drain():
+        for line in server.stderr:
+            stderr_lines.append(line)
+
+    reader = threading.Thread(target=drain, daemon=True)
+    reader.start()
+    try:
+        # The CLI announces the ephemeral endpoint on stderr.
+        base = None
+        deadline = time.monotonic() + 30.0
+        while base is None and time.monotonic() < deadline:
+            for line in stderr_lines:
+                match = re.search(r"serving plane: (\S+)", line)
+                if match:
+                    base = match.group(1)
+                    break
+            else:
+                if server.poll() is not None:
+                    raise SystemExit("server exited before serving: "
+                                     + "".join(stderr_lines))
+                time.sleep(0.05)
+        if base is None:
+            raise SystemExit("no serving-plane URL announced")
+        host, port = base.rsplit("/", 1)[1].split(":")
+        port = int(port)
+        print("serving plane at", base)
+
+        # /ready flips once the first snapshot is published and fresh.
+        deadline = time.monotonic() + READY_DEADLINE
+        ready = False
+        while time.monotonic() < deadline and not ready:
+            try:
+                status, _ = fetch(base, "/ready")
+                ready = status == 200
+            except HTTPError as error:
+                assert error.code == 503, error.code
+            except OSError:
+                pass
+            if not ready:
+                time.sleep(0.2)
+        assert ready, "/ready never flipped: " + "".join(stderr_lines[-10:])
+        print("/ready OK")
+
+        # Subscribe: hello + snapshot arrive synchronously on connect.
+        with SyncServeClient(host, port) as client:
+            assert client.accepted, client.status
+            hello = client.recv_message()
+            assert hello["type"] == "hello", hello
+            assert hello["resync"] == "snapshot", hello
+            snapshot = client.recv_message()
+            assert snapshot["type"] == "snapshot", snapshot
+            blocks = snapshot["blocks"]
+            assert blocks, "snapshot carried no blocks"
+            print(f"snapshot seq={snapshot['seq']} with "
+                  f"{len(blocks)} blocks")
+
+            # Query one known block's network address; the response must
+            # carry the bounded-lag stamp.
+            block_str = blocks[0][0]
+            address = block_str.split("/", 1)[0]
+            status, _, body = http_get(host, port,
+                                       f"/v1/state?address={address}")
+            assert status == 200, (status, body)
+            state = json.loads(body)
+            assert state["found"] and state["block"] == block_str, state
+            stamp = state["stamp"]
+            for field in ("watermark", "staleness_s", "degraded"):
+                assert field in stamp, (field, stamp)
+            print(f"{address} -> {'up' if state['up'] else 'down'} "
+                  f"(staleness {stamp['staleness_s']}s)")
+
+            status, body = fetch(base, "/metrics")
+            assert status == 200 and "serve_requests_total" in body
+            status, body = fetch(base, "/health")
+            health = json.loads(body)
+            assert health["plane"]["snapshot_seq"] >= 1, health
+            print("metrics + health OK")
+
+            # Graceful drain: SIGTERM must close the subscription
+            # cleanly (close frame -> recv returns None), then exit 0.
+            server.send_signal(signal.SIGTERM)
+            client.settimeout(30.0)
+            while True:
+                message = client.recv_message()
+                if message is None:
+                    break
+            print("subscriber drained cleanly on SIGTERM")
+    except Exception:
+        server.kill()
+        raise
+    finally:
+        code = server.wait(timeout=60)
+        reader.join(timeout=10)
+    assert code == 0, f"server exited {code}: " + "".join(stderr_lines[-20:])
+    print("serve smoke OK")
+
+
+if __name__ == "__main__":
+    main()

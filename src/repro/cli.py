@@ -15,6 +15,7 @@ import json
 import os
 import signal
 import sys
+import time
 from contextlib import contextmanager
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
@@ -692,6 +693,126 @@ def _run_live_partitioned(args: argparse.Namespace, model: "TrainedModel",
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Replay a capture through the live engine behind the serving plane.
+
+    The deployment shape for consumers: the streaming detector runs
+    in-process and the :mod:`repro.serve` plane fronts it — query
+    up/down state by address or prefix, subscribe to onset/recovery/
+    retraction events over a WebSocket, scrape ``/metrics``, and let a
+    load balancer watch ``/ready``.  ``--linger-s`` keeps serving after
+    the capture is exhausted (``-1`` = until SIGTERM), which is how the
+    smoke example and a demo deployment use it.
+    """
+    from .core.detector import StreamingDetector
+    from .core.serialize import load_model
+    from .live import LiveBlockEngine
+    from .serve import (
+        AdmissionConfig,
+        EngineBridge,
+        LagPolicy,
+        ReadyGate,
+        ServeConfig,
+        ServingPlane,
+    )
+    from .telescope.capture import CaptureCorruptionError, CaptureReader
+    from .telescope.reorder import LatePolicy, ReorderBuffer
+
+    model = load_model(args.model)
+    if int(model.family) != args.family:
+        print(f"model is IPv{int(model.family)}, not IPv{args.family}",
+              file=sys.stderr)
+        return 1
+    if args.reorder_horizon < 0:
+        print(f"--reorder-horizon must be >= 0, got {args.reorder_horizon}",
+              file=sys.stderr)
+        return 1
+
+    with _telemetry(args, force_metrics=True) as telemetry:
+        registry = telemetry.registry
+        detector = StreamingDetector(model.family, model.histories,
+                                     model.parameters, model.train_end,
+                                     metrics=registry)
+        buffer = (ReorderBuffer(args.reorder_horizon, LatePolicy.COUNT,
+                                metrics=registry)
+                  if args.reorder_horizon > 0 else None)
+        engine = LiveBlockEngine(detector, buffer=buffer)
+        config = ServeConfig(
+            host=args.host, port=args.port,
+            admission=AdmissionConfig(
+                max_connections=args.max_clients,
+                max_subscribers=args.max_subscribers,
+                shed_qps=args.shed_qps,
+                salt=f"{args.model}|{model.train_end}"),
+            lag=LagPolicy(
+                stale_after_s=args.stale_after_s,
+                fail_after_s=(args.fail_stale_after_s
+                              if args.fail_stale_after_s > 0 else None)),
+            ready=ReadyGate(max_lag_s=args.max_lag_s))
+        plane = ServingPlane(
+            model.family, config, registry=registry,
+            health_provider=lambda: {
+                "status": "serving", "run": "live-serve",
+                "watermark": detector.last_time,
+                "windows": detector.windows_closed,
+                "quarantined": len(detector.dead_letters),
+            })
+        bridge = EngineBridge(engine, plane,
+                              publish_min_interval_s=args.publish_every_s)
+        plane.start()
+        print(f"serving plane: {plane.url}", file=sys.stderr)
+        interrupted = False
+        try:
+            with _graceful_stop() as stop_requested:
+                try:
+                    with CaptureReader(args.capture,
+                                       tolerant=args.tolerant) as reader:
+                        for observation in reader:
+                            if stop_requested():
+                                interrupted = True
+                                break
+                            if observation.time < detector.start:
+                                continue  # training-window traffic
+                            engine.feed(observation)
+                            bridge.step()
+                except CaptureCorruptionError as error:
+                    print(f"corrupt capture: {error}", file=sys.stderr)
+                    print("hint: pass --tolerant to stop at the last good "
+                          "frame instead", file=sys.stderr)
+                    return 1
+                except OSError as error:
+                    print(f"cannot read capture: {error}", file=sys.stderr)
+                    return 1
+                except ValueError as error:
+                    print(f"capture is not time-sorted: {error}",
+                          file=sys.stderr)
+                    print("hint: pass --reorder-horizon SECONDS to re-sort "
+                          "bounded disorder in-stream", file=sys.stderr)
+                    return 1
+                if not interrupted:
+                    engine.flush()
+                    bridge.step(force=True)
+                    print(f"replayed {engine.observed:,} observations to "
+                          f"t={detector.last_time:,.1f}s; serving",
+                          file=sys.stderr)
+                    linger = args.linger_s
+                    deadline = (time.monotonic() + linger
+                                if linger >= 0 else None)
+                    while not stop_requested():
+                        if deadline is not None \
+                                and time.monotonic() >= deadline:
+                            break
+                        time.sleep(0.05)
+        finally:
+            # Drain: stop accepting, flush subscriber outboxes, close
+            # with 1001 going-away — the SIGTERM rolling-restart path.
+            plane.stop(drain=True)
+        print(f"served {plane.admission.sheds} sheds, "
+              f"{plane.last_event_seq} events; stopping cleanly",
+              file=sys.stderr)
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     """Run one named experiment and print its artefact.
 
@@ -1090,6 +1211,51 @@ def build_parser() -> argparse.ArgumentParser:
                            "/trace, /events on this port while the run "
                            "is live (0 = ephemeral)")
     live.set_defaults(func=_cmd_live)
+
+    serve = sub.add_parser("serve",
+                           help="replay a capture behind the query/"
+                                "subscribe serving plane")
+    serve.add_argument("capture", help="capture file to replay as a stream")
+    serve.add_argument("--model", required=True,
+                       help="saved model from 'train'")
+    serve.add_argument("--family", type=int, choices=(4, 6), default=4)
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address for the serving plane")
+    serve.add_argument("--port", type=int, default=0,
+                       help="serving-plane port (0 = ephemeral; the bound "
+                            "URL is printed to stderr)")
+    serve.add_argument("--max-clients", type=int, default=1024,
+                       help="connection ceiling; excess connects are shed "
+                            "with 503 + Retry-After")
+    serve.add_argument("--max-subscribers", type=int, default=256,
+                       help="WebSocket subscription ceiling")
+    serve.add_argument("--max-lag-s", type=float, default=60.0,
+                       help="/ready flips not-ready when the published "
+                            "snapshot is older than this")
+    serve.add_argument("--shed-qps", type=float, default=0.0,
+                       help="per-endpoint query token-bucket rate "
+                            "(0 disables shedding)")
+    serve.add_argument("--stale-after-s", type=float, default=30.0,
+                       help="stamp responses degraded:stale past this "
+                            "snapshot age")
+    serve.add_argument("--fail-stale-after-s", type=float, default=0.0,
+                       help="refuse queries (503) past this snapshot age "
+                            "(0 = always serve-stale-with-flag)")
+    serve.add_argument("--publish-every-s", type=float, default=0.25,
+                       help="minimum seconds between snapshot "
+                            "publications while replaying")
+    serve.add_argument("--linger-s", type=float, default=-1.0,
+                       help="keep serving this long after the capture is "
+                            "exhausted (-1 = until SIGTERM/SIGINT)")
+    serve.add_argument("--reorder-horizon", type=float, default=0.0,
+                       help="re-sort out-of-order arrivals within this "
+                            "many seconds")
+    serve.add_argument("--tolerant", action="store_true",
+                       help="stop cleanly at the last good frame of a "
+                            "corrupt capture")
+    serve.add_argument("--metrics-out", default="",
+                       help="write the run's metrics snapshot (JSON) here")
+    serve.set_defaults(func=_cmd_serve)
 
     experiment = sub.add_parser("experiment",
                                 help="reproduce one paper table/figure")

@@ -140,7 +140,9 @@ __all__ = [
     "DriftConfig",
     "LiveBlockEngine",
     "LiveRunResult",
+    "LivePartitionStatus",
     "LivePartitionSupervisor",
+    "LiveStatus",
     "merge_tagged_captures",
     "run_partitioned_live",
     "LIVE_MANIFEST_FORMAT",
@@ -436,6 +438,13 @@ def _live_worker_entry(payload: Dict[str, Any], conn: Any) -> None:
         metrics_seq = 0
         metrics_baseline: Optional[Dict[str, Any]] = None
         explain_sent = 0
+        # Serving-plane piggyback: per-block transition rows shipped in
+        # heartbeats under the same at-least-once contract as metrics.
+        # ``shipped`` counts per-incarnation; after a restart the full
+        # checkpointed history re-ships and the parent-side consumer
+        # applies it idempotently (strictly increasing time per block).
+        ship_transitions = bool(payload.get("ship_transitions"))
+        shipped_transitions: Dict[int, int] = {}
         family = Family(payload["family"])
         start = float(payload["start"])
         checkpoint_path = payload.get("checkpoint")
@@ -597,6 +606,11 @@ def _live_worker_entry(payload: Dict[str, Any], conn: Any) -> None:
                     heartbeat["metrics_delta"] = diff_snapshots(
                         current, metrics_baseline)
                     metrics_baseline = current
+                if ship_transitions:
+                    from .serve.bridge import fresh_transitions
+                    rows = fresh_transitions(detector, shipped_transitions)
+                    if rows:
+                        heartbeat["transitions"] = rows
                 if explain.enabled:
                     fresh = explain.events_since(explain_sent)
                     if fresh:
@@ -636,6 +650,11 @@ def _live_worker_entry(payload: Dict[str, Any], conn: Any) -> None:
                     document["metrics_seq"] = metrics_seq
                     document["metrics_delta"] = diff_snapshots(
                         document["metrics"], metrics_baseline)
+                if ship_transitions:
+                    from .serve.bridge import fresh_transitions
+                    rows = fresh_transitions(detector, shipped_transitions)
+                    if rows:
+                        document["transitions"] = rows
                 if tracer.enabled:
                     document["spans"] = tracer.export_spans()
                 if explain.enabled:
@@ -730,6 +749,64 @@ class _LivePartition:
         return os.path.join(directory, f"partition-{self.unit}.ckpt.json")
 
 
+@dataclass(frozen=True)
+class LivePartitionStatus:
+    """Point-in-time public view of one partition (see ``LiveStatus``)."""
+
+    index: int
+    unit: str
+    status: str                      # pending|running|done|lost|interrupted
+    watermark: float
+    restarts: int
+    windows: int
+    drift_swaps: int
+    outcomes: Tuple[str, ...]
+    keys: Tuple[int, ...]
+    measurable_keys: Tuple[int, ...]
+
+    @property
+    def blocks(self) -> int:
+        return len(self.keys)
+
+    @property
+    def measurable(self) -> int:
+        return len(self.measurable_keys)
+
+
+@dataclass(frozen=True)
+class LiveStatus:
+    """Programmatic run status — the manifest's single source of truth.
+
+    :meth:`LivePartitionSupervisor.live_status` returns one; both the
+    on-disk manifest and the ``/health`` document are derived from it,
+    so an in-process consumer (the serving plane's bridge, a test)
+    reads exactly what an external observer reads — agreement by
+    construction, not by parallel bookkeeping.
+    """
+
+    status: str
+    plan_digest: str
+    family: int
+    start: float
+    #: newest record time routed so far; ``None`` before the first.
+    stream_front: Optional[float]
+    #: slowest non-lost partition watermark (the serving watermark).
+    global_watermark: float
+    observed: int
+    restarts: int
+    partitions: Tuple[LivePartitionStatus, ...]
+
+    @property
+    def lost_partitions(self) -> Tuple[LivePartitionStatus, ...]:
+        return tuple(p for p in self.partitions if p.status == "lost")
+
+    @property
+    def lost_measurable_keys(self) -> Tuple[int, ...]:
+        """Measurable keys whose coverage is dead-lettered, sorted."""
+        return tuple(sorted(
+            key for p in self.lost_partitions for key in p.measurable_keys))
+
+
 @dataclass
 class LiveRunResult:
     """Outcome of one partitioned live run."""
@@ -786,6 +863,9 @@ class LivePartitionSupervisor:
         stop_requested: Optional[Callable[[], bool]] = None,
         status: Optional[Callable[[str], None]] = None,
         batch_rows: int = _BATCH_ROWS,
+        on_transitions: Optional[
+            Callable[[List[Tuple[int, float, bool]]], None]] = None,
+        on_service: Optional[Callable[[], None]] = None,
     ) -> None:
         if partitions is not None and partitions <= 0:
             raise ValueError("partitions must be positive")
@@ -819,6 +899,12 @@ class LivePartitionSupervisor:
         self._stop = stop_requested or (lambda: False)
         self._status = status or (lambda line: None)
         self._batch_rows = int(batch_rows)
+        #: serving-plane hooks (see ``repro.serve.bridge``): when
+        #: ``on_transitions`` is set, workers ship per-block transition
+        #: rows piggybacked on heartbeats; ``on_service`` fires once per
+        #: supervision pass (publish cadence + lost-coverage polling).
+        self.on_transitions = on_transitions
+        self.on_service = on_service
 
         if self.fused:
             from .fusion import build_block_specs
@@ -904,7 +990,47 @@ class LivePartitionSupervisor:
             os.path.join(checkpoint_dir, "live-manifest.json")
             if checkpoint_dir else None)
 
-    # -- manifest -----------------------------------------------------------
+    # -- status / manifest --------------------------------------------------
+
+    def live_status(self) -> LiveStatus:
+        """Point-in-time :class:`LiveStatus` snapshot of the run.
+
+        The single derivation both the on-disk manifest and the
+        ``/health`` document are rendered from, and the programmatic
+        accessor the serving plane's bridge polls.  Safe to call from
+        another thread while the run mutates state: every field read is
+        a single attribute load, so the view is consistent-enough
+        without taking the supervisor's time.
+        """
+        front = self._front
+        watermarks = [p.watermark for p in self.partitions
+                      if p.status != "lost"]
+        return LiveStatus(
+            status=self._run_status,
+            plan_digest=self.digest,
+            family=int(self.model.family),
+            start=self.start,
+            stream_front=None if front == float("-inf") else front,
+            global_watermark=(min(watermarks) if watermarks
+                              else self.start),
+            observed=self._observed,
+            restarts=sum(p.failures for p in self.partitions),
+            partitions=tuple(
+                LivePartitionStatus(
+                    index=p.index,
+                    unit=p.unit,
+                    status=p.status,
+                    watermark=p.watermark,
+                    restarts=p.failures,
+                    windows=p.windows,
+                    drift_swaps=p.swaps,
+                    outcomes=tuple(p.attempts),
+                    keys=tuple(p.keys),
+                    measurable_keys=tuple(p.measurable),
+                )
+                for p in self.partitions
+            ),
+        )
 
     def _write_manifest(self, force: bool = False) -> None:
         if self.manifest_path is None:
@@ -913,30 +1039,29 @@ class LivePartitionSupervisor:
         if not force and now - self._manifest_written_at < 1.0:
             return
         self._manifest_written_at = now
-        watermarks = [p.watermark for p in self.partitions
-                      if p.status != "lost"]
+        status = self.live_status()
         document = {
             "format": LIVE_MANIFEST_FORMAT,
-            "plan_digest": self.digest,
-            "family": int(self.model.family),
-            "start": self.start,
-            "status": self._run_status,
-            "global_watermark": min(watermarks) if watermarks else self.start,
+            "plan_digest": status.plan_digest,
+            "family": status.family,
+            "start": status.start,
+            "status": status.status,
+            "global_watermark": status.global_watermark,
             "partitions": [
                 {
                     "index": p.index,
                     "unit": p.unit,
-                    "blocks": len(p.keys),
-                    "measurable": len(p.measurable),
+                    "blocks": p.blocks,
+                    "measurable": p.measurable,
                     "status": p.status,
                     "watermark": p.watermark,
-                    "restarts": p.failures,
-                    "outcomes": list(p.attempts),
+                    "restarts": p.restarts,
+                    "outcomes": list(p.outcomes),
                     "windows": p.windows,
-                    "drift_swaps": p.swaps,
+                    "drift_swaps": p.drift_swaps,
                     "checkpoint": f"partition-{p.unit}.ckpt.json",
                 }
-                for p in self.partitions
+                for p in status.partitions
             ],
         }
         atomic_write_text(self.manifest_path,
@@ -947,24 +1072,20 @@ class LivePartitionSupervisor:
 
         RunHealthReport-shaped top level (status / run / watermarks)
         plus one row per partition with its watermark lag behind the
-        global stream front.  Called from the observability server's
-        thread while the run mutates state; every field read is a
-        single attribute load, so a scrape sees a consistent-enough
-        point-in-time view without taking the supervisor's time.
+        global stream front.  Rendered from :meth:`live_status`, so it
+        cannot drift from the manifest or the programmatic accessor.
         """
-        front = self._front
-        watermarks = [p.watermark for p in self.partitions
-                      if p.status != "lost"]
+        status = self.live_status()
+        front = status.stream_front
         return {
-            "status": self._run_status,
+            "status": status.status,
             "run": "fusion-stream" if self.fused else "streaming",
-            "plan_digest": self.digest,
-            "start": self.start,
-            "stream_front": None if front == float("-inf") else front,
-            "global_watermark": (min(watermarks) if watermarks
-                                 else self.start),
-            "observed": self._observed,
-            "restarts": sum(p.failures for p in self.partitions),
+            "plan_digest": status.plan_digest,
+            "start": status.start,
+            "stream_front": front,
+            "global_watermark": status.global_watermark,
+            "observed": status.observed,
+            "restarts": status.restarts,
             "partitions": [
                 {
                     "index": p.index,
@@ -972,12 +1093,12 @@ class LivePartitionSupervisor:
                     "status": p.status,
                     "watermark": p.watermark,
                     "watermark_lag": (max(0.0, front - p.watermark)
-                                      if front != float("-inf") else None),
-                    "restarts": p.failures,
+                                      if front is not None else None),
+                    "restarts": p.restarts,
                     "windows": p.windows,
-                    "drift_swaps": p.swaps,
+                    "drift_swaps": p.drift_swaps,
                 }
-                for p in self.partitions
+                for p in status.partitions
             ],
         }
 
@@ -1001,6 +1122,7 @@ class LivePartitionSupervisor:
             "keep": self.checkpoint_keep,
             "resume": True,
             "ship_telemetry": self.metrics.enabled,
+            "ship_transitions": self.on_transitions is not None,
             "traced": self.tracer.enabled,
             "trace_ctx": self.tracer.context(),
             "explain": self.explain.enabled,
@@ -1204,6 +1326,14 @@ class LivePartitionSupervisor:
                 partition.explain_folded_seq = int(fresh[-1]["seq"])
                 if self.explain.enabled:
                     self.explain.extend(fresh)
+        rows = info.get("transitions")
+        if rows and self.on_transitions is not None:
+            # Forward verbatim; the consumer's apply is idempotent
+            # (strictly increasing transition time per block), which
+            # absorbs a restarted worker re-shipping its full history.
+            self.on_transitions(
+                [(int(key), float(when), bool(up))
+                 for key, when, up in rows])
 
     def _pump(self, partition: _LivePartition) -> None:
         """Send pending rows (and a due finalize) to a worker."""
@@ -1272,6 +1402,11 @@ class LivePartitionSupervisor:
                     and now >= partition.restart_at):
                 self._spawn(partition)
             self._pump(partition)
+        if self.on_service is not None:
+            # Serving-plane tick: fires even when every worker is dead
+            # or silent, so the bridge can observe lost coverage and
+            # let its published snapshot age honestly.
+            self.on_service()
 
     # -- the run ------------------------------------------------------------
 

@@ -6,6 +6,20 @@ prefix lengths (/24s plus aggregated /20s, /48s plus /44s).  A
 dictionary keyed by a single fixed prefix length cannot answer that, so
 we provide a classic path-compressed binary trie with longest-prefix
 match semantics — the same structure a routing table uses.
+
+Two views share the node structure:
+
+:class:`PrefixTrie`
+    The mutable table.  :meth:`PrefixTrie.frozen` publishes an
+    immutable :class:`FrozenPrefixTrie` snapshot in O(1): the trie
+    switches to copy-on-write and any later mutation path-copies the
+    nodes it touches, so every published view keeps seeing exactly the
+    prefixes it was frozen with.
+
+:class:`FrozenPrefixTrie`
+    A read-only snapshot safe to share across threads without a lock —
+    the serving plane's query hot path reads one of these while the
+    publisher keeps mutating the live trie.
 """
 
 from __future__ import annotations
@@ -15,20 +29,85 @@ from typing import Generic, Iterator, List, Optional, Tuple, TypeVar
 from .addr import Address, Family
 from .blocks import Block
 
-__all__ = ["PrefixTrie"]
+__all__ = ["PrefixTrie", "FrozenPrefixTrie"]
 
 V = TypeVar("V")
 
 
 class _Node(Generic[V]):
-    """One trie node; ``value`` is set when a prefix terminates here."""
+    """One trie node; ``value`` is set when a prefix terminates here.
 
-    __slots__ = ("children", "value", "has_value")
+    ``gen`` is the copy-on-write stamp: a node may be mutated in place
+    only while its generation matches the owning trie's current one.
+    Frozen views hold references to older-generation nodes, which the
+    mutable trie clones (never edits) on its next write.
+    """
 
-    def __init__(self) -> None:
+    __slots__ = ("children", "value", "has_value", "gen")
+
+    def __init__(self, gen: int = 0) -> None:
         self.children: List[Optional["_Node[V]"]] = [None, None]
         self.value: Optional[V] = None
         self.has_value = False
+        self.gen = gen
+
+
+def _clone(node: _Node, gen: int) -> _Node:
+    copy: _Node = _Node(gen)
+    copy.children = list(node.children)
+    copy.value = node.value
+    copy.has_value = node.has_value
+    return copy
+
+
+def _bits_of(block: Block) -> Iterator[int]:
+    """High-to-low bits of the block's prefix."""
+    for position in range(block.prefix_len - 1, -1, -1):
+        yield (block.prefix >> position) & 1
+
+
+def _find(root: _Node, block: Block) -> Optional[_Node]:
+    """Descend to the node for ``block``'s exact prefix, if present."""
+    node = root
+    for bit in _bits_of(block):
+        child = node.children[bit]
+        if child is None:
+            return None
+        node = child
+    return node
+
+
+def _lookup(root: _Node, family: Family,
+            address: Address) -> Optional[Tuple[object, Block]]:
+    """Longest-prefix match shared by both trie views."""
+    node = root
+    best: Optional[Tuple[object, int]] = None
+    if node.has_value:  # a /0 default route
+        best = (node.value, 0)
+    bits = family.bits
+    for depth in range(1, bits + 1):
+        bit = (address.value >> (bits - depth)) & 1
+        child = node.children[bit]
+        if child is None:
+            break
+        node = child
+        if node.has_value:
+            best = (node.value, depth)
+    if best is None:
+        return None
+    value, depth = best
+    matched = Block(family, address.value >> (bits - depth), depth)
+    return value, matched
+
+
+def _walk(node: _Node, family: Family, prefix: int,
+          depth: int) -> Iterator[Tuple[Block, object]]:
+    if node.has_value:
+        yield Block(family, prefix, depth), node.value
+    for bit in (0, 1):
+        child = node.children[bit]
+        if child is not None:
+            yield from _walk(child, family, (prefix << 1) | bit, depth + 1)
 
 
 class PrefixTrie(Generic[V]):
@@ -47,7 +126,8 @@ class PrefixTrie(Generic[V]):
 
     def __init__(self, family: Family) -> None:
         self.family = family
-        self._root: _Node[V] = _Node()
+        self._gen = 0
+        self._root: _Node[V] = _Node(0)
         self._size = 0
 
     def __len__(self) -> int:
@@ -60,19 +140,44 @@ class PrefixTrie(Generic[V]):
             )
 
     def _bits_of(self, block: Block) -> Iterator[int]:
-        """High-to-low bits of the block's prefix."""
-        for position in range(block.prefix_len - 1, -1, -1):
-            yield (block.prefix >> position) & 1
+        return _bits_of(block)
+
+    def frozen(self) -> "FrozenPrefixTrie[V]":
+        """Publish an immutable snapshot of the current contents.
+
+        O(1): the snapshot shares this trie's nodes, and the trie bumps
+        its generation so any subsequent :meth:`insert`/:meth:`remove`
+        clones the path it modifies instead of editing shared nodes.
+        The returned view never changes and is safe to read from any
+        thread without synchronisation.
+        """
+        view = FrozenPrefixTrie(self.family, self._root, self._size)
+        self._gen += 1
+        return view
+
+    def _owned(self, parent: Optional[_Node[V]], bit: int,
+               node: _Node[V]) -> _Node[V]:
+        """Return a node safe to mutate, cloning a shared one."""
+        if node.gen == self._gen:
+            return node
+        copy = _clone(node, self._gen)
+        if parent is None:
+            self._root = copy
+        else:
+            parent.children[bit] = copy
+        return copy
 
     def insert(self, block: Block, value: V) -> None:
         """Insert or replace the value stored at ``block``."""
         self._check_family(block.family)
-        node = self._root
-        for bit in self._bits_of(block):
+        node = self._owned(None, 0, self._root)
+        for bit in _bits_of(block):
             child = node.children[bit]
             if child is None:
-                child = _Node()
+                child = _Node(self._gen)
                 node.children[bit] = child
+            else:
+                child = self._owned(node, bit, child)
             node = child
         if not node.has_value:
             self._size += 1
@@ -86,12 +191,14 @@ class PrefixTrie(Generic[V]):
         remove cycles do not leak memory.
         """
         self._check_family(block.family)
+        if _find(self._root, block) is None:
+            return False
+        node = self._owned(None, 0, self._root)
         path: List[Tuple[_Node[V], int]] = []
-        node = self._root
-        for bit in self._bits_of(block):
+        for bit in _bits_of(block):
             child = node.children[bit]
-            if child is None:
-                return False
+            assert child is not None  # probed above
+            child = self._owned(node, bit, child)
             path.append((node, bit))
             node = child
         if not node.has_value:
@@ -110,12 +217,9 @@ class PrefixTrie(Generic[V]):
     def get(self, block: Block) -> Optional[V]:
         """Exact-match lookup of a prefix; None when absent."""
         self._check_family(block.family)
-        node = self._root
-        for bit in self._bits_of(block):
-            child = node.children[bit]
-            if child is None:
-                return None
-            node = child
+        node = _find(self._root, block)
+        if node is None:
+            return None
         return node.value if node.has_value else None
 
     def lookup(self, address: Address) -> Optional[Tuple[V, Block]]:
@@ -125,34 +229,63 @@ class PrefixTrie(Generic[V]):
         prefix containing the address, or None when nothing matches.
         """
         self._check_family(address.family)
-        node = self._root
-        best: Optional[Tuple[V, int]] = None
-        if node.has_value:  # a /0 default route
-            best = (node.value, 0)  # type: ignore[assignment]
-        bits = self.family.bits
-        for depth in range(1, bits + 1):
-            bit = (address.value >> (bits - depth)) & 1
-            child = node.children[bit]
-            if child is None:
-                break
-            node = child
-            if node.has_value:
-                best = (node.value, depth)  # type: ignore[assignment]
-        if best is None:
-            return None
-        value, depth = best
-        matched = Block(self.family, address.value >> (bits - depth), depth)
-        return value, matched
+        return _lookup(self._root, self.family, address)  # type: ignore[return-value]
 
     def items(self) -> Iterator[Tuple[Block, V]]:
         """Iterate all stored ``(block, value)`` pairs in prefix order."""
+        yield from _walk(self._root, self.family, 0, 0)  # type: ignore[misc]
 
-        def walk(node: _Node[V], prefix: int, depth: int) -> Iterator[Tuple[Block, V]]:
-            if node.has_value:
-                yield Block(self.family, prefix, depth), node.value  # type: ignore[misc]
-            for bit in (0, 1):
-                child = node.children[bit]
-                if child is not None:
-                    yield from walk(child, (prefix << 1) | bit, depth + 1)
 
-        yield from walk(self._root, 0, 0)
+class FrozenPrefixTrie(Generic[V]):
+    """Immutable point-in-time view of a :class:`PrefixTrie`.
+
+    Obtained from :meth:`PrefixTrie.frozen`; shares nodes with the
+    live trie under copy-on-write, so it costs nothing to create and
+    nothing to hold.  All read operations match the mutable trie's.
+    """
+
+    __slots__ = ("family", "_root", "_size")
+
+    def __init__(self, family: Family, root: _Node[V], size: int) -> None:
+        self.family = family
+        self._root = root
+        self._size = size
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _check_family(self, family: Family) -> None:
+        if family is not self.family:
+            raise ValueError(
+                f"trie holds {self.family.name} prefixes, got {family.name}"
+            )
+
+    def get(self, block: Block) -> Optional[V]:
+        """Exact-match lookup of a prefix; None when absent."""
+        self._check_family(block.family)
+        node = _find(self._root, block)
+        if node is None:
+            return None
+        return node.value if node.has_value else None
+
+    def lookup(self, address: Address) -> Optional[Tuple[V, Block]]:
+        """Longest-prefix match; see :meth:`PrefixTrie.lookup`."""
+        self._check_family(address.family)
+        return _lookup(self._root, self.family, address)  # type: ignore[return-value]
+
+    def items(self) -> Iterator[Tuple[Block, V]]:
+        """Iterate all stored ``(block, value)`` pairs in prefix order."""
+        yield from _walk(self._root, self.family, 0, 0)  # type: ignore[misc]
+
+    def covered(self, block: Block) -> Iterator[Tuple[Block, V]]:
+        """Iterate stored prefixes at or under ``block`` (subtree query).
+
+        Yields ``block`` itself when stored, then every more-specific
+        stored prefix inside it, in prefix order.
+        """
+        self._check_family(block.family)
+        node = _find(self._root, block)
+        if node is None:
+            return
+        yield from _walk(node, self.family, block.prefix,  # type: ignore[misc]
+                         block.prefix_len)

@@ -75,6 +75,7 @@ class _ObsHandler(BaseHTTPRequestHandler):
         }.get(path)
         obs.requests_seen.labels(
             endpoint=endpoint or "unknown").inc()
+        obs.scrape_started()
         try:
             if endpoint == "metrics":
                 self._send(200, obs.registry.to_prometheus().encode("utf-8"),
@@ -93,6 +94,8 @@ class _ObsHandler(BaseHTTPRequestHandler):
                                 b"/health, /trace, /events\n", "text/plain")
         except BrokenPipeError:
             pass  # scraper went away mid-response; nothing to salvage
+        finally:
+            obs.scrape_finished()
 
 
 class ObservabilityServer(ThreadingHTTPServer):
@@ -125,6 +128,11 @@ class ObservabilityServer(ThreadingHTTPServer):
             "observability endpoint requests served",
             labelnames=("endpoint",))
         self._thread: Optional[threading.Thread] = None
+        #: in-flight scrape accounting for :meth:`stop`'s drain — a
+        #: scrape that already entered ``do_GET`` finishes its response
+        #: before the socket is torn down.
+        self._inflight = 0
+        self._inflight_cv = threading.Condition()
 
     @property
     def port(self) -> int:
@@ -145,9 +153,35 @@ class ObservabilityServer(ThreadingHTTPServer):
         self._thread.start()
         return self
 
-    def stop(self) -> None:
+    def scrape_started(self) -> None:
+        with self._inflight_cv:
+            self._inflight += 1
+
+    def scrape_finished(self) -> None:
+        with self._inflight_cv:
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._inflight_cv.notify_all()
+
+    @property
+    def inflight(self) -> int:
+        with self._inflight_cv:
+            return self._inflight
+
+    def stop(self, drain_s: float = 5.0) -> None:
+        """Stop accepting, drain in-flight scrapes, release the port.
+
+        ``shutdown`` only stops the accept loop; handler threads may
+        still be mid-response (daemon threads — a bare ``server_close``
+        would yank their socket).  Wait up to ``drain_s`` for the
+        in-flight count to reach zero before closing, so an operator's
+        final scrape completes and the port is provably free on return.
+        """
         self.shutdown()
         if self._thread is not None:
             self._thread.join(timeout=5.0)
             self._thread = None
+        with self._inflight_cv:
+            self._inflight_cv.wait_for(lambda: self._inflight == 0,
+                                       timeout=drain_s)
         self.server_close()

@@ -1,0 +1,178 @@
+"""Admission control, load shedding, and the readiness gate.
+
+Overload never degrades silently: past the connection/subscription
+ceilings or the per-endpoint token buckets, the plane answers ``503``
+with a ``Retry-After`` hint instead of queueing unboundedly.  The hint
+is *deterministically jittered* — the same blake2b construction the
+shard supervisor uses for restart backoff (`repro.parallel`), seeded
+by (salt, endpoint, shed count) — so a thundering herd that arrived
+together is told to come back spread out, and a replayed test sees the
+same hints every run.
+
+``/ready`` is distinct from ``/health``: health answers "is the
+process alive", ready answers "should a load balancer route traffic
+here".  The :class:`ReadyGate` trips ready on watermark staleness (the
+detector stalled or fell behind) and on lost-partition coverage (too
+much of the keyspace is dead-lettered to be worth serving).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .snapshot import ServingSnapshot
+
+__all__ = ["Admission", "AdmissionConfig", "ReadyGate", "TokenBucket",
+           "retry_jitter"]
+
+
+def retry_jitter(salt: str, endpoint: str, n: int, base: float) -> float:
+    """Deterministic jittered retry hint in ``[base/2, base]`` seconds.
+
+    Same construction as the supervisor's restart backoff: a blake2b
+    word keyed by (salt, endpoint, n) scales the base into the upper
+    half of its range, so hints are reproducible yet spread a
+    simultaneous herd across half the window.
+    """
+    word = int.from_bytes(
+        hashlib.blake2b(f"{salt}|{endpoint}|{n}".encode(),
+                        digest_size=4).digest(), "big")
+    return base * (0.5 + 0.5 * word / 0xFFFFFFFF)
+
+
+class TokenBucket:
+    """Classic token bucket; ``rate <= 0`` admits everything.
+
+    Not thread-safe by design — the plane calls it only from its event
+    loop.  ``clock`` is injectable for tests.
+    """
+
+    def __init__(self, rate: float, burst: Optional[float] = None,
+                 clock=time.monotonic) -> None:
+        self.rate = float(rate)
+        self.burst = float(burst if burst is not None else max(1.0, rate))
+        self._clock = clock
+        self._tokens = self.burst
+        self._updated = clock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._updated)
+        self._updated = now
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+
+    def try_take(self) -> bool:
+        """Admit one request if a token is available."""
+        if self.rate <= 0:
+            return True
+        now = self._clock()
+        self._refill(now)
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+    def wait_time(self) -> float:
+        """Seconds until the next token exists (0 when one is ready)."""
+        if self.rate <= 0:
+            return 0.0
+        self._refill(self._clock())
+        if self._tokens >= 1.0:
+            return 0.0
+        return (1.0 - self._tokens) / self.rate
+
+
+@dataclass
+class AdmissionConfig:
+    """Ceilings and rates for one plane instance."""
+
+    #: concurrent connections accepted at all (HTTP + WebSocket).
+    max_connections: int = 1024
+    #: concurrent WebSocket subscriptions.
+    max_subscribers: int = 256
+    #: sustained queries/second admitted per shed-governed endpoint
+    #: (``/v1/state``, ``/v1/events``); 0 disables shedding.
+    shed_qps: float = 0.0
+    #: bucket burst; defaults to one second's worth of tokens.
+    shed_burst: Optional[float] = None
+    #: base for the deterministic Retry-After jitter.
+    retry_base_s: float = 1.0
+    #: seed folded into the jitter (the run's plan digest, typically).
+    salt: str = ""
+
+
+class Admission:
+    """Per-endpoint shedding plus ceiling checks, with explicit hints.
+
+    ``/health``, ``/ready`` and the metrics expositions are never shed:
+    an operator diagnosing an overloaded plane must still be able to
+    see it.
+    """
+
+    SHED_ENDPOINTS = ("/v1/state", "/v1/events")
+
+    def __init__(self, config: AdmissionConfig, clock=time.monotonic) -> None:
+        self.config = config
+        self._clock = clock
+        self._buckets: Dict[str, TokenBucket] = {
+            endpoint: TokenBucket(config.shed_qps, config.shed_burst,
+                                  clock=clock)
+            for endpoint in self.SHED_ENDPOINTS
+        }
+        self._sheds: Dict[str, int] = {}
+
+    def admit_query(self, endpoint: str) -> Tuple[bool, float]:
+        """``(admitted, retry_after_s)`` for one query on ``endpoint``."""
+        bucket = self._buckets.get(endpoint)
+        if bucket is None or bucket.try_take():
+            return True, 0.0
+        return False, self._hint(endpoint, bucket.wait_time())
+
+    def _hint(self, endpoint: str, wait: float) -> float:
+        n = self._sheds.get(endpoint, 0)
+        self._sheds[endpoint] = n + 1
+        return wait + retry_jitter(self.config.salt, endpoint, n,
+                                   self.config.retry_base_s)
+
+    def connection_hint(self) -> float:
+        """Retry-After for a connection/subscription ceiling rejection."""
+        return self._hint("connect", 0.0)
+
+    @property
+    def sheds(self) -> int:
+        return sum(self._sheds.values())
+
+
+@dataclass(frozen=True)
+class ReadyGate:
+    """Routability verdict for ``/ready``; fails closed, with reasons."""
+
+    #: trip when the served snapshot is older than this many wall
+    #: seconds (the detector stalled, or publication stopped).
+    max_lag_s: float = 60.0
+    #: trip when more than this fraction of the monitored population is
+    #: dead-lettered lost coverage.
+    max_lost_fraction: float = 0.5
+
+    def evaluate(self, snapshot: Optional[ServingSnapshot], now: float,
+                 ) -> Tuple[bool, List[str]]:
+        """``(ready, reasons)``; reasons name every tripped condition."""
+        if snapshot is None:
+            return False, ["no snapshot published yet"]
+        reasons: List[str] = []
+        staleness = max(0.0, now - snapshot.published_at)
+        if staleness > self.max_lag_s:
+            reasons.append(
+                f"snapshot stale: {staleness:.1f}s > {self.max_lag_s:.1f}s")
+        total = len(snapshot.states) + len(snapshot.lost)
+        if total:
+            lost_fraction = len(snapshot.lost) / total
+            if lost_fraction > self.max_lost_fraction:
+                reasons.append(
+                    f"lost coverage: {len(snapshot.lost)}/{total} blocks "
+                    f"({lost_fraction:.0%} > "
+                    f"{self.max_lost_fraction:.0%})")
+        return not reasons, reasons

@@ -1,0 +1,249 @@
+"""Reference consumer for the serving plane's subscribe channel.
+
+:class:`SubscriberState` is the pure state machine — apply a stream of
+``snapshot``/``event`` messages, idempotently by seq, and hold the
+reconstructed view.  It is what the resync property test drives with
+fault-mutated message streams: any at-least-once interleaving of
+drops-then-resyncs, duplicates and reorderings must converge to the
+same final state.
+
+:class:`SyncServeClient` wraps it in a blocking socket WebSocket
+client (stdlib only) for tests, the chaos suite, and the smoke
+example.  It is deliberately simple: connect, subscribe with a
+``?since=`` cursor, iterate messages, ack.  Reconnect-and-resume is
+the caller's loop — create a new client with
+``since=state.last_seq`` and keep applying into the same state.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from base64 import b64encode
+from os import urandom
+from typing import Any, Dict, Iterator, Optional, Set, Tuple
+
+from . import ws
+
+__all__ = ["SubscriberState", "SyncServeClient", "http_get"]
+
+
+class SubscriberState:
+    """Client-side replica of the served view, idempotent by seq.
+
+    ``blocks`` maps block string -> ``(up, belief, since)``; ``lost``
+    is the set of lost-coverage prefixes.  ``apply`` returns True when
+    the message changed the state (False for duplicates and stale
+    re-deliveries), which is the at-least-once contract: re-applying
+    any already-seen suffix is a no-op.
+    """
+
+    def __init__(self) -> None:
+        self.blocks: Dict[str, Tuple[bool, Optional[float],
+                                     Optional[float]]] = {}
+        self.lost: Set[str] = set()
+        self.last_seq = 0
+        self.snapshot_seq = 0
+        self.watermark: Optional[float] = None
+        self.events_applied = 0
+        self.snapshots_applied = 0
+        self.gaps_detected = 0
+
+    def view(self) -> Tuple[Tuple[Tuple[str, Tuple[bool, Optional[float],
+                                                   Optional[float]]], ...],
+                            Tuple[str, ...], int]:
+        """Canonical comparable form (the property test's equality)."""
+        return (tuple(sorted(self.blocks.items())),
+                tuple(sorted(self.lost)), self.last_seq)
+
+    def apply(self, message: Dict[str, Any]) -> bool:
+        kind = message.get("type")
+        if kind == "snapshot":
+            return self._apply_snapshot(message)
+        if kind == "event":
+            return self._apply_event(message)
+        return False
+
+    def _apply_snapshot(self, message: Dict[str, Any]) -> bool:
+        seq = int(message.get("seq", 0))
+        events_through = int(message.get("events_through", 0))
+        if (seq < self.snapshot_seq
+                or events_through < self.last_seq):
+            return False  # older than what events already built
+        self.blocks = {
+            str(block): (bool(up),
+                         None if belief is None else float(belief),
+                         None if since is None else float(since))
+            for block, up, belief, since in message.get("blocks", ())
+        }
+        self.lost = set(message.get("lost", ()))
+        self.snapshot_seq = seq
+        self.last_seq = events_through
+        self.watermark = message.get("watermark")
+        self.snapshots_applied += 1
+        return True
+
+    def _apply_event(self, message: Dict[str, Any]) -> bool:
+        seq = int(message["seq"])
+        if seq <= self.last_seq:
+            return False  # duplicate / re-delivery
+        if seq != self.last_seq + 1:
+            # Missed an event: never apply past a hole — skipping a
+            # transition would corrupt the replica silently.  The
+            # caller reconnects with ``since=last_seq`` and the server
+            # re-delivers in order (or resyncs via snapshot).
+            self.gaps_detected += 1
+            return False
+        self.last_seq = seq
+        self.watermark = message.get("watermark")
+        self.events_applied += 1
+        kind = message.get("kind")
+        block = message.get("block")
+        when = message.get("time")
+        if kind == "onset" and block is not None:
+            self.blocks[block] = (False, None, when)
+        elif kind == "recovery" and block is not None:
+            self.blocks[block] = (True, None, when)
+        elif kind == "retraction" and block is not None:
+            self.blocks.pop(block, None)
+            self.lost.add(block)
+        elif kind == "coverage-change":
+            detail = message.get("detail") or {}
+            affected = detail.get("affected_prefixes") or ()
+            if detail.get("lost", True):
+                for prefix in affected:
+                    self.lost.add(prefix)
+                    self.blocks.pop(prefix, None)
+            else:
+                for prefix in affected:
+                    self.lost.discard(prefix)
+        return True
+
+
+def http_get(host: str, port: int, path: str, timeout: float = 5.0,
+             ) -> Tuple[int, Dict[str, str], bytes]:
+    """One blocking HTTP GET; ``(status, headers, body)``.
+
+    Headers come back lower-cased, so shed handling reads
+    ``headers.get("retry-after")``.
+    """
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.sendall((f"GET {path} HTTP/1.1\r\nHost: {host}\r\n"
+                      "Connection: close\r\n\r\n").encode("latin-1"))
+        raw = b""
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            raw += chunk
+    head, _, body = raw.partition(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split()[1])
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", len(body)))
+    return status, headers, body[:length]
+
+
+class SyncServeClient:
+    """Blocking WebSocket subscriber (tests / examples / chaos suite)."""
+
+    def __init__(self, host: str, port: int,
+                 since: Optional[int] = None,
+                 timeout: float = 10.0) -> None:
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rb")
+        path = "/v1/subscribe" if since is None else (
+            f"/v1/subscribe?since={since}")
+        key = b64encode(urandom(16)).decode("ascii")
+        self._sock.sendall((
+            f"GET {path} HTTP/1.1\r\n"
+            f"Host: {host}\r\n"
+            "Upgrade: websocket\r\n"
+            "Connection: Upgrade\r\n"
+            f"Sec-WebSocket-Key: {key}\r\n"
+            "Sec-WebSocket-Version: 13\r\n\r\n"
+        ).encode("latin-1"))
+        status_line = self._file.readline().decode("latin-1")
+        self.status = int(status_line.split()[1])
+        self.headers: Dict[str, str] = {}
+        while True:
+            line = self._file.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            self.headers[name.strip().lower()] = value.strip()
+        if self.status != 101:
+            # Shed or rejected: the JSON body (with Retry-After in
+            # self.headers) is still readable.
+            length = int(self.headers.get("content-length", 0))
+            self.reject_body = self._file.read(length) if length else b""
+            self.close()
+            return
+        expect = ws.accept_key(key)
+        got = self.headers.get("sec-websocket-accept")
+        if got != expect:
+            self.close()
+            raise ws.WebSocketError(
+                f"bad handshake accept: {got!r} != {expect!r}")
+
+    @property
+    def accepted(self) -> bool:
+        return self.status == 101
+
+    def settimeout(self, timeout: Optional[float]) -> None:
+        self._sock.settimeout(timeout)
+
+    def _readexactly(self, n: int) -> bytes:
+        data = self._file.read(n)
+        if data is None or len(data) < (n or 0):
+            raise ws.WebSocketError("connection closed mid-frame")
+        return data
+
+    def recv_message(self) -> Optional[Dict[str, Any]]:
+        """Next JSON message; None on close.  Pings answered inline."""
+        while True:
+            opcode, payload = ws.read_frame_blocking(self._readexactly)
+            if opcode == ws.OP_CLOSE:
+                return None
+            if opcode == ws.OP_PING:
+                self._sock.sendall(ws.encode_frame(ws.OP_PONG, payload,
+                                                   mask=True))
+                continue
+            if opcode != ws.OP_TEXT:
+                continue
+            return json.loads(payload.decode("utf-8"))
+
+    def messages(self) -> Iterator[Dict[str, Any]]:
+        while True:
+            message = self.recv_message()
+            if message is None:
+                return
+            yield message
+
+    def send_json(self, document: Dict[str, Any]) -> None:
+        payload = json.dumps(document, separators=(",", ":")).encode()
+        self._sock.sendall(ws.encode_frame(ws.OP_TEXT, payload, mask=True))
+
+    def ack(self, seq: int) -> None:
+        self.send_json({"type": "ack", "seq": int(seq)})
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        except Exception:
+            pass
+        try:
+            self._sock.close()
+        except Exception:
+            pass
+
+    def __enter__(self) -> "SyncServeClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

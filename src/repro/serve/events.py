@@ -1,0 +1,136 @@
+"""Sequence-numbered event stream with a bounded replay ring.
+
+The broker assigns every published event a monotone sequence number
+and retains the last ``capacity`` events.  Delivery to subscribers is
+at-least-once and idempotent by seq (mirroring the live heartbeat
+protocol's ``metrics_seq`` guard): a client applies an event only when
+its seq exceeds the last one applied, so duplicates and re-deliveries
+are no-ops.  A reconnecting client asks for ``since(last_acked)``; if
+the ring still holds seq ``last_acked + 1`` it gets pure deltas,
+otherwise the gap is explicit and the plane resyncs it via
+snapshot-then-deltas — never silently.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+__all__ = ["EVENT_KINDS", "EventBroker", "ServeEvent"]
+
+#: The event vocabulary.  ``onset``/``recovery`` are block state
+#: transitions; ``retraction`` withdraws a block's evidence (the
+#: detector dead-lettered it); ``coverage-change`` reports the lost
+#: keyspace growing (partition dead-lettered) or shrinking.
+EVENT_KINDS = ("onset", "recovery", "retraction", "coverage-change")
+
+
+@dataclass(frozen=True)
+class ServeEvent:
+    """One immutable event on the wire.
+
+    ``time`` is stream time (the transition's bin boundary);
+    ``emitted_at`` is ``time.monotonic()`` at publication, which the
+    delivery-latency benchmark subtracts client-side.
+    """
+
+    seq: int
+    kind: str
+    time: float
+    watermark: float
+    block: Optional[str] = None
+    key: Optional[int] = None
+    detail: Tuple[Tuple[str, Any], ...] = ()
+    emitted_at: float = 0.0
+
+    def to_wire(self) -> Dict[str, Any]:
+        document: Dict[str, Any] = {
+            "type": "event",
+            "seq": self.seq,
+            "kind": self.kind,
+            "time": self.time,
+            "watermark": self.watermark,
+            "block": self.block,
+            "emitted_at": self.emitted_at,
+        }
+        if self.key is not None:
+            document["key"] = self.key
+        if self.detail:
+            document["detail"] = dict(self.detail)
+        return document
+
+
+@dataclass
+class EventSpec:
+    """Publisher-side event payload before the broker assigns a seq."""
+
+    kind: str
+    time: float
+    block: Optional[str] = None
+    key: Optional[int] = None
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise ValueError(f"unknown event kind {self.kind!r}")
+
+
+class EventBroker:
+    """Bounded ring of sequence-numbered events.
+
+    Single-writer (the plane's event loop); readers take immutable
+    :class:`ServeEvent` objects.  The ring bounds replay memory: a
+    consumer further behind than ``capacity`` events cannot be healed
+    by deltas and must snapshot-resync, which :meth:`since` reports as
+    an explicit gap.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = int(capacity)
+        self._ring: Deque[ServeEvent] = deque(maxlen=self.capacity)
+        self._last_seq = 0
+
+    @property
+    def last_seq(self) -> int:
+        """Seq of the newest published event (0 = nothing published)."""
+        return self._last_seq
+
+    @property
+    def oldest_retained(self) -> Optional[int]:
+        """Seq of the oldest event still in the ring, or ``None``."""
+        return self._ring[0].seq if self._ring else None
+
+    def publish(self, spec: EventSpec, watermark: float,
+                emitted_at: Optional[float] = None) -> ServeEvent:
+        """Assign the next seq and retain the event; returns it."""
+        self._last_seq += 1
+        event = ServeEvent(
+            seq=self._last_seq,
+            kind=spec.kind,
+            time=float(spec.time),
+            watermark=float(watermark),
+            block=spec.block,
+            key=spec.key,
+            detail=tuple(sorted(spec.detail.items())),
+            emitted_at=(time.monotonic() if emitted_at is None
+                        else float(emitted_at)),
+        )
+        self._ring.append(event)
+        return event
+
+    def since(self, seq: int) -> Tuple[List[ServeEvent], bool]:
+        """Events with seq > ``seq``, plus whether a gap precedes them.
+
+        ``gap`` is True when the ring no longer holds ``seq + 1`` even
+        though newer events exist(ed) — the caller missed events it can
+        never replay from here and must resync from a snapshot.
+        """
+        if seq >= self._last_seq:
+            return [], False
+        oldest = self.oldest_retained
+        gap = oldest is None or seq + 1 < oldest
+        return [event for event in self._ring if event.seq > seq], gap

@@ -1,0 +1,220 @@
+"""Immutable serving snapshots and the bounded-lag policy.
+
+The serving hot path never reads detector internals: the publisher
+(an :mod:`~repro.serve.bridge` bridge) assembles a
+:class:`ServingSnapshot` — two frozen tries plus scalar metadata — and
+the plane swaps it in with a single attribute assignment.  Readers in
+any thread pick up whichever snapshot reference they observe; a
+snapshot is never mutated after publication, so there is no lock and
+no torn read on the query path.
+
+Staleness is always explicit.  Every response carries a stamp
+``{watermark, staleness_s, degraded, ...}`` and the
+:class:`LagPolicy` decides what a stale snapshot means: by default the
+plane serves it *flagged* (``degraded: "stale"``), because a monitoring
+consumer usually prefers last-known state with an honest timestamp
+over an error; past the optional hard bound it fails closed with a
+503, because state older than that is indistinguishable from wrong.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Mapping, Optional, Tuple
+
+from ..net.addr import Address, Family
+from ..net.blocks import Block
+from ..net.trie import FrozenPrefixTrie, PrefixTrie
+
+__all__ = [
+    "BlockServingState",
+    "LagPolicy",
+    "ServingSnapshot",
+    "build_snapshot",
+]
+
+
+@dataclass(frozen=True)
+class BlockServingState:
+    """Served state of one monitored block.
+
+    ``belief`` is ``None`` when the publisher cannot see the posterior
+    (the partitioned supervisor serves from worker transition reports,
+    which carry the decision but not the filter state).
+    """
+
+    up: bool
+    belief: Optional[float] = None
+    #: stream time of the latest up/down transition; ``None`` when the
+    #: block has never flipped since the monitor started.
+    since: Optional[float] = None
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {"up": self.up, "belief": self.belief, "since": self.since}
+
+
+@dataclass(frozen=True)
+class LagPolicy:
+    """Bounded-lag contract between detector watermark and served state.
+
+    ``stale_after_s``: past this many wall seconds since the last
+    snapshot publication, responses are flagged ``degraded: "stale"``
+    but still served.  ``fail_after_s``: past this hard bound the plane
+    answers 503 instead (``None`` serves stale state forever, always
+    flagged — the serve-stale-with-flag default).
+    """
+
+    stale_after_s: float = 30.0
+    fail_after_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.stale_after_s < 0:
+            raise ValueError("stale_after_s must be >= 0")
+        if (self.fail_after_s is not None
+                and self.fail_after_s < self.stale_after_s):
+            raise ValueError("fail_after_s must be >= stale_after_s")
+
+    def judge(self, staleness_s: float) -> str:
+        """``"ok"``, ``"stale"`` (serve flagged) or ``"fail"`` (503)."""
+        if self.fail_after_s is not None and staleness_s > self.fail_after_s:
+            return "fail"
+        if staleness_s > self.stale_after_s:
+            return "stale"
+        return "ok"
+
+
+@dataclass(frozen=True)
+class ServingSnapshot:
+    """One immutable, point-in-time view of the monitored population.
+
+    Published as a whole; never mutated afterwards.  ``events_through``
+    is the event-broker sequence number already folded into this state,
+    which is what makes snapshot-then-deltas resync exact: a client
+    that applies this snapshot and then every event with a larger seq
+    reconstructs the live view bit-for-bit.
+    """
+
+    seq: int
+    family: Family
+    #: stream time through which the detector judged this state.
+    watermark: float
+    #: ``time.monotonic()`` at publication; staleness is measured
+    #: against it.
+    published_at: float
+    events_through: int
+    #: block -> :class:`BlockServingState` for every monitored block.
+    states: FrozenPrefixTrie
+    #: block -> degradation reason ("lost-coverage" for a dead-lettered
+    #: partition's keyspace, "quarantined" for a dead-lettered block).
+    lost: FrozenPrefixTrie
+    lost_prefixes: Tuple[str, ...]
+
+    def stamp(self, staleness_s: float, degraded: Optional[str],
+              ) -> Dict[str, Any]:
+        """The ``stamp`` object attached to every served response."""
+        return {
+            "watermark": self.watermark,
+            "staleness_s": round(staleness_s, 3),
+            "degraded": degraded,
+            "snapshot_seq": self.seq,
+            "events_through": self.events_through,
+        }
+
+    # -- queries ------------------------------------------------------------
+
+    def query_address(self, address: Address) -> Dict[str, Any]:
+        """LPM query; ``degraded: "lost-coverage"`` under a lost keyspace."""
+        lost_hit = self.lost.lookup(address)
+        if lost_hit is not None:
+            reason, lost_block = lost_hit
+            return {
+                "query": {"address": str(address)},
+                "found": False,
+                "degraded": reason,
+                "affected_prefixes": [str(lost_block)],
+            }
+        hit = self.states.lookup(address)
+        if hit is None:
+            return {"query": {"address": str(address)}, "found": False,
+                    "degraded": None}
+        state, block = hit
+        document = {"query": {"address": str(address)}, "found": True,
+                    "block": str(block), "degraded": None}
+        document.update(state.to_wire())
+        return document
+
+    def query_prefix(self, block: Block) -> Dict[str, Any]:
+        """Subtree query: every monitored block at or under ``block``."""
+        blocks = [
+            dict({"block": str(covered)}, **state.to_wire())
+            for covered, state in self.states.covered(block)
+        ]
+        affected = sorted(
+            {str(covered) for covered, _ in self.lost.covered(block)}
+            | ({str(hit[1])} if (hit := self.lost.lookup(
+                block.network_address)) is not None else set())
+        )
+        down = sum(1 for entry in blocks if not entry["up"])
+        return {
+            "query": {"prefix": str(block)},
+            "blocks": blocks,
+            "count": len(blocks),
+            "down": down,
+            "degraded": "lost-coverage" if affected else None,
+            "affected_prefixes": affected,
+        }
+
+    def snapshot_message(self) -> Dict[str, Any]:
+        """Full-state resync payload for a (re)connecting subscriber."""
+        return {
+            "type": "snapshot",
+            "seq": self.seq,
+            "watermark": self.watermark,
+            "events_through": self.events_through,
+            "blocks": [
+                [str(block), state.up, state.belief, state.since]
+                for block, state in self.states.items()
+            ],
+            "lost": list(self.lost_prefixes),
+        }
+
+
+def build_snapshot(
+    family: Family,
+    states: Mapping[int, BlockServingState],
+    *,
+    watermark: float,
+    published_at: float,
+    lost: Optional[Mapping[int, str]] = None,
+    seq: int = 0,
+    events_through: int = 0,
+    prefix_len: Optional[int] = None,
+    lost_blocks: Optional[Iterable[Block]] = None,
+) -> ServingSnapshot:
+    """Assemble a snapshot from keyed block states.
+
+    Integer keys are block prefixes at ``prefix_len`` (the family's
+    default block prefix when omitted) — the same keying the detector
+    and supervisor use.  ``lost_blocks`` adds arbitrary-width lost
+    prefixes (a dead-lettered partition's keyspace aggregates).
+    """
+    depth = family.default_block_prefix if prefix_len is None else prefix_len
+    state_trie: PrefixTrie = PrefixTrie(family)
+    for key, state in states.items():
+        state_trie.insert(Block(family, int(key), depth), state)
+    lost_trie: PrefixTrie = PrefixTrie(family)
+    for key, reason in (lost or {}).items():
+        lost_trie.insert(Block(family, int(key), depth), reason)
+    for block in (lost_blocks or ()):
+        lost_trie.insert(block, "lost-coverage")
+    frozen_lost = lost_trie.frozen()
+    return ServingSnapshot(
+        seq=seq,
+        family=family,
+        watermark=float(watermark),
+        published_at=float(published_at),
+        events_through=int(events_through),
+        states=state_trie.frozen(),
+        lost=frozen_lost,
+        lost_prefixes=tuple(str(block) for block, _ in frozen_lost.items()),
+    )

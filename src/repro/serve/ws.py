@@ -1,0 +1,141 @@
+"""Minimal RFC 6455 WebSocket framing, stdlib only.
+
+Just enough of the protocol for the serving plane's subscribe channel
+and its test/smoke clients: the opening handshake digest, and
+single-frame text/close/ping/pong encode/decode.  Fragmented messages
+and extensions are rejected explicitly — the plane's own messages are
+always single text frames, and a peer that fragments is outside the
+contract.
+
+Two decode entry points share the header logic: an ``async`` one for
+the plane's :class:`asyncio.StreamReader` and a blocking one for the
+synchronous client (which takes any ``readexactly(n)`` callable, e.g.
+a socket file's ``read``).
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import os
+import struct
+from typing import Awaitable, Callable, Tuple
+
+__all__ = [
+    "OP_CLOSE",
+    "OP_PING",
+    "OP_PONG",
+    "OP_TEXT",
+    "WebSocketError",
+    "accept_key",
+    "close_payload",
+    "encode_frame",
+    "read_frame",
+    "read_frame_blocking",
+]
+
+#: RFC 6455 §1.3 handshake GUID.
+_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+OP_TEXT = 0x1
+OP_CLOSE = 0x8
+OP_PING = 0x9
+OP_PONG = 0xA
+
+#: payload bytes accepted per frame; the plane's largest message is a
+#: full-population snapshot, well under this.
+MAX_FRAME = 16 * 1024 * 1024
+
+
+class WebSocketError(Exception):
+    """Protocol violation or unsupported frame."""
+
+
+def accept_key(key: str) -> str:
+    """``Sec-WebSocket-Accept`` for a client's ``Sec-WebSocket-Key``."""
+    digest = hashlib.sha1((key + _GUID).encode("ascii")).digest()
+    return base64.b64encode(digest).decode("ascii")
+
+
+def encode_frame(opcode: int, payload: bytes, mask: bool = False) -> bytes:
+    """One FIN frame.  ``mask=True`` for client->server direction."""
+    header = bytearray([0x80 | (opcode & 0x0F)])
+    length = len(payload)
+    mask_bit = 0x80 if mask else 0x00
+    if length < 126:
+        header.append(mask_bit | length)
+    elif length < 1 << 16:
+        header.append(mask_bit | 126)
+        header += struct.pack(">H", length)
+    else:
+        header.append(mask_bit | 127)
+        header += struct.pack(">Q", length)
+    if mask:
+        key = os.urandom(4)
+        header += key
+        payload = bytes(b ^ key[i % 4] for i, b in enumerate(payload))
+    return bytes(header) + payload
+
+
+def close_payload(code: int, reason: str = "") -> bytes:
+    """Close-frame payload: status code plus UTF-8 reason."""
+    return struct.pack(">H", code) + reason.encode("utf-8")
+
+
+def _decode_lengths(b1: int, b2: int) -> Tuple[int, bool, int]:
+    """``(opcode, masked, length_or_extended)`` from the first 2 bytes.
+
+    Returns length ``126``/``127`` sentinels unresolved; callers read
+    the extended length themselves (sync vs async).
+    """
+    if not b1 & 0x80:
+        raise WebSocketError("fragmented frames are not supported")
+    if b1 & 0x70:
+        raise WebSocketError("reserved bits set (extensions unsupported)")
+    opcode = b1 & 0x0F
+    masked = bool(b2 & 0x80)
+    return opcode, masked, b2 & 0x7F
+
+
+def _unmask(payload: bytes, key: bytes) -> bytes:
+    return bytes(b ^ key[i % 4] for i, b in enumerate(payload))
+
+
+async def read_frame(readexactly: Callable[[int], Awaitable[bytes]],
+                     ) -> Tuple[int, bytes]:
+    """Read one frame from an async ``readexactly``; ``(opcode, payload)``."""
+    head = await readexactly(2)
+    opcode, masked, length = _decode_lengths(head[0], head[1])
+    if length == 126:
+        length = struct.unpack(">H", await readexactly(2))[0]
+    elif length == 127:
+        length = struct.unpack(">Q", await readexactly(8))[0]
+    if length > MAX_FRAME:
+        raise WebSocketError(f"frame of {length} bytes exceeds limit")
+    key = await readexactly(4) if masked else b""
+    payload = await readexactly(length) if length else b""
+    if masked:
+        payload = _unmask(payload, key)
+    return opcode, payload
+
+
+def read_frame_blocking(readexactly: Callable[[int], bytes],
+                        ) -> Tuple[int, bytes]:
+    """Blocking twin of :func:`read_frame` for the sync client."""
+    head = readexactly(2)
+    if len(head) < 2:
+        raise WebSocketError("connection closed mid-frame")
+    opcode, masked, length = _decode_lengths(head[0], head[1])
+    if length == 126:
+        length = struct.unpack(">H", readexactly(2))[0]
+    elif length == 127:
+        length = struct.unpack(">Q", readexactly(8))[0]
+    if length > MAX_FRAME:
+        raise WebSocketError(f"frame of {length} bytes exceeds limit")
+    key = readexactly(4) if masked else b""
+    payload = readexactly(length) if length else b""
+    if masked:
+        payload = _unmask(payload, key)
+    if len(payload) < length:
+        raise WebSocketError("connection closed mid-frame")
+    return opcode, payload

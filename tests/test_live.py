@@ -462,3 +462,66 @@ class TestPartitionedCLI:
         with pytest.raises(ValueError):
             LivePartitionSupervisor(model, partitions=2,
                                     reorder_horizon=-1.0)
+
+
+class TestLiveStatusAccessor:
+    """`live_status()` is the single source the manifest/health render."""
+
+    def test_manifest_and_health_agree_with_live_status(self, live_setup,
+                                                        tmp_path):
+        capture, model = live_setup
+        result, _, supervisor = run_partitioned(
+            model, capture, tmp_path / "ckpt", partitions=3)
+        status = supervisor.live_status()
+
+        # Programmatic accessor: terminal shape of a clean run.
+        assert status.status == "finalized"
+        assert status.plan_digest == supervisor.digest
+        assert status.observed == result.observed
+        assert status.restarts == result.restarts == 0
+        assert status.stream_front is not None
+        assert status.global_watermark == min(
+            p.watermark for p in status.partitions)
+        assert not status.lost_partitions
+        assert status.lost_measurable_keys == ()
+        # Partitions jointly cover exactly the measurable population.
+        covered = sorted(key for p in status.partitions
+                         for key in p.measurable_keys)
+        assert covered == sorted(model.measurable_keys)
+
+        # The on-disk manifest is the same status, rendered.
+        with open(result.manifest_path) as handle:
+            manifest = json.load(handle)
+        assert manifest["plan_digest"] == status.plan_digest
+        assert manifest["status"] == status.status
+        assert manifest["family"] == status.family
+        assert manifest["start"] == status.start
+        assert manifest["global_watermark"] == status.global_watermark
+        rows = {row["index"]: row for row in manifest["partitions"]}
+        assert sorted(rows) == [p.index for p in status.partitions]
+        for p in status.partitions:
+            row = rows[p.index]
+            assert row["unit"] == p.unit
+            assert row["status"] == p.status
+            assert row["watermark"] == p.watermark
+            assert row["restarts"] == p.restarts
+            assert row["windows"] == p.windows
+            assert row["drift_swaps"] == p.drift_swaps
+            assert row["blocks"] == p.blocks
+            assert row["measurable"] == p.measurable
+            assert row["outcomes"] == list(p.outcomes)
+
+        # And the /health document agrees field-for-field as well.
+        health = supervisor.health_document()
+        assert health["status"] == status.status
+        assert health["plan_digest"] == status.plan_digest
+        assert health["stream_front"] == status.stream_front
+        assert health["global_watermark"] == status.global_watermark
+        assert health["observed"] == status.observed
+        assert health["restarts"] == status.restarts
+        for p, row in zip(status.partitions, health["partitions"]):
+            assert row["index"] == p.index
+            assert row["status"] == p.status
+            assert row["watermark"] == p.watermark
+            assert row["watermark_lag"] == max(
+                0.0, status.stream_front - p.watermark)

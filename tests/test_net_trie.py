@@ -96,3 +96,107 @@ def test_matches_reference_at_fixed_length(table, probe_value):
         assert result is None
     else:
         assert result[0] == expected
+
+
+class TestFrozenSnapshots:
+    """Copy-on-write publication: the serving plane's read path."""
+
+    def test_frozen_view_ignores_later_mutation(self, trie):
+        view = trie.frozen()
+        trie.insert(Block.parse("172.16.0.0/12"), "new")
+        trie.remove(Block.parse("192.0.2.0/24"))
+        trie.insert(Block.parse("10.0.0.0/8"), "ten2")
+        # The live trie moved on...
+        assert trie.get(Block.parse("172.16.0.0/12")) == "new"
+        assert trie.get(Block.parse("192.0.2.0/24")) is None
+        assert trie.get(Block.parse("10.0.0.0/8")) == "ten2"
+        # ...the snapshot did not.
+        assert view.get(Block.parse("172.16.0.0/12")) is None
+        assert view.get(Block.parse("192.0.2.0/24")) == "fine"
+        assert view.get(Block.parse("10.0.0.0/8")) == "ten"
+        assert len(view) == 3
+
+    def test_each_freeze_is_an_independent_epoch(self):
+        trie = PrefixTrie(Family.IPV4)
+        views = []
+        for i in range(5):
+            trie.insert(Block(Family.IPV4, i, 24), i)
+            views.append(trie.frozen())
+        for i, view in enumerate(views):
+            assert len(view) == i + 1
+            assert sorted(value for _, value in view.items()) == list(
+                range(i + 1))
+
+    def test_frozen_lookup_matches_live(self, trie):
+        view = trie.frozen()
+        for address in ("192.0.2.9", "192.0.9.9", "10.1.2.3", "8.8.8.8"):
+            assert view.lookup(Address.parse(address)) == trie.lookup(
+                Address.parse(address))
+
+    def test_covered_subtree(self, trie):
+        view = trie.frozen()
+        inside = {str(block): value
+                  for block, value in view.covered(
+                      Block.parse("192.0.0.0/16"))}
+        assert inside == {"192.0.0.0/16": "coarse",
+                          "192.0.2.0/24": "fine"}
+        assert list(view.covered(Block.parse("172.16.0.0/12"))) == []
+
+    def test_frozen_rejects_family_mixups(self, trie):
+        view = trie.frozen()
+        with pytest.raises(ValueError):
+            view.lookup(Address.parse("::1"))
+
+    def test_concurrent_readers_see_consistent_epochs(self):
+        """Readers race a mutating writer; every view stays bit-stable.
+
+        This is the plane's exact sharing pattern: the publisher keeps
+        inserting into the live trie and re-freezing, while query
+        threads hold whatever snapshot they last picked up.  A reader
+        must always see exactly the prefixes its epoch was frozen with,
+        no matter what the writer does meanwhile.
+        """
+        import threading
+
+        trie = PrefixTrie(Family.IPV4)
+        epochs = []  # (expected key set, frozen view)
+        keys = list(range(64))
+        for key in keys[:8]:
+            trie.insert(Block(Family.IPV4, key, 24), key)
+        epochs.append((frozenset(keys[:8]), trie.frozen()))
+        errors = []
+        done = threading.Event()
+
+        def read_forever():
+            while not done.is_set():
+                expected, view = epochs[len(epochs) - 1]
+                seen = {value for _, value in view.items()}
+                if seen != expected:
+                    errors.append((expected, seen))
+                    return
+                for key in expected:
+                    if view.get(Block(Family.IPV4, key, 24)) != key:
+                        errors.append(("get", key))
+                        return
+
+        readers = [threading.Thread(target=read_forever) for _ in range(4)]
+        for reader in readers:
+            reader.start()
+        try:
+            for step in range(8, 64):
+                trie.insert(Block(Family.IPV4, keys[step], 24), keys[step])
+                if step % 2:
+                    trie.remove(Block(Family.IPV4, keys[step - 8], 24))
+                    current = set(epochs[-1][0] | {keys[step]})
+                    current.discard(keys[step - 8])
+                else:
+                    current = set(epochs[-1][0] | {keys[step]})
+                epochs.append((frozenset(current), trie.frozen()))
+        finally:
+            done.set()
+            for reader in readers:
+                reader.join(timeout=10)
+        assert not errors, errors[:3]
+        # And the retired epochs are still intact afterwards.
+        for expected, view in epochs:
+            assert {value for _, value in view.items()} == expected

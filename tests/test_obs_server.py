@@ -169,3 +169,90 @@ class TestLiveness:
             assert json.loads(body)["events"] == []
         finally:
             server.stop()
+
+
+class TestGracefulDrain:
+    def test_stop_waits_for_inflight_scrape(self):
+        """A scrape that already entered the handler completes during stop.
+
+        The health provider blocks until released; stop() runs on
+        another thread while the scrape is mid-render.  The contract:
+        the scrape still returns 200 with a full body (the socket is
+        not yanked), the port is released on return, and the in-flight
+        count drains to zero.
+        """
+        import socket
+        import time
+
+        entered = threading.Event()
+        release = threading.Event()
+
+        def slow_health():
+            entered.set()
+            assert release.wait(timeout=10)
+            return {"status": "draining-test", "run": None}
+
+        server = ObservabilityServer(port=0,
+                                     health_provider=slow_health).start()
+        port = server.port
+        result = {}
+
+        def scrape():
+            result["response"] = fetch(server, "/health")
+
+        scraper = threading.Thread(target=scrape)
+        scraper.start()
+        assert entered.wait(timeout=10)
+        assert server.inflight == 1
+
+        stopper = threading.Thread(target=server.stop)
+        stopper.start()
+        # stop() must not return while the scrape is still in flight.
+        time.sleep(0.2)
+        assert stopper.is_alive()
+        release.set()
+        stopper.join(timeout=10)
+        assert not stopper.is_alive()
+        scraper.join(timeout=10)
+
+        status, _, body = result["response"]
+        assert status == 200
+        assert json.loads(body)["status"] == "draining-test"
+        assert server.inflight == 0
+        # The port is provably free again.
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            probe.bind(("127.0.0.1", port))
+        finally:
+            probe.close()
+
+    def test_stop_drain_deadline_is_bounded(self):
+        """A scrape wedged past the deadline cannot hang stop() forever."""
+        import time
+
+        entered = threading.Event()
+        release = threading.Event()
+
+        def wedged_health():
+            entered.set()
+            release.wait(timeout=30)
+            return {"status": "late", "run": None}
+
+        server = ObservabilityServer(port=0,
+                                     health_provider=wedged_health).start()
+
+        def scrape():
+            try:
+                fetch(server, "/health")
+            except Exception:
+                pass  # the wedged scrape may lose its socket; that's the deal
+
+        scraper = threading.Thread(target=scrape, daemon=True)
+        scraper.start()
+        assert entered.wait(timeout=10)
+        began = time.monotonic()
+        server.stop(drain_s=0.3)
+        assert time.monotonic() - began < 10.0
+        release.set()
+        scraper.join(timeout=10)
